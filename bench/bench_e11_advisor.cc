@@ -1,0 +1,84 @@
+// Experiment E11 (extension) — the view-selection advisor (the paper's
+// stated future work): cost of recommending views for a workload, and the
+// quality of the recommendation, sweeping the workload size.
+//
+// Series:
+//   E11/Recommend/<queries> — full advisor run (candidate generation,
+//     materialization probing, benefit scoring, greedy selection).
+//     Counters: selected views and the estimated workload cost reduction.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "advisor/view_selection.h"
+#include "bench/bench_util.h"
+#include "ir/builder.h"
+#include "workload/telephony.h"
+
+namespace aqv {
+namespace {
+
+std::vector<Query> MakeWorkload(int n) {
+  std::vector<Query> workload;
+  const char* kGroupings[] = {"Plan", "Month", "Year", "Cust", "Day"};
+  for (int i = 0; i < n; ++i) {
+    QueryBuilder b;
+    b.From("Calls", {"Id", "Cust", "Plan", "Day", "Month", "Year", "Charge"});
+    const char* g = kGroupings[i % 5];
+    b.Select(g).GroupBy(g);
+    switch (i % 3) {
+      case 0:
+        b.SelectAgg(AggFn::kSum, "Charge", "total");
+        break;
+      case 1:
+        b.SelectAgg(AggFn::kAvg, "Charge", "avg_charge");
+        break;
+      case 2:
+        b.SelectAgg(AggFn::kCount, "Id", "n");
+        break;
+    }
+    if (i % 2 == 0) {
+      b.WhereConst("Year", CmpOp::kEq, Value::Int64(1994 + i % 3));
+    }
+    workload.push_back(b.BuildOrDie());
+  }
+  return workload;
+}
+
+void BM_E11_Recommend(benchmark::State& state) {
+  static TelephonyWorkload* w = [] {
+    auto* t = new TelephonyWorkload();
+    TelephonyParams params;
+    params.num_calls = 50000;
+    *t = MakeTelephonyWorkload(params);
+    return t;
+  }();
+  int n = static_cast<int>(state.range(0));
+  std::vector<Query> workload = MakeWorkload(n);
+  AdvisorOptions options;
+  options.space_budget_rows = 20000;
+  ViewAdvisor advisor(&w->db, options);
+
+  size_t selected = 0;
+  double reduction = 0;
+  for (auto _ : state) {
+    AdvisorReport report =
+        ValueOrDie(advisor.Recommend(workload), "advisor run");
+    selected = report.selected.size();
+    reduction = report.workload_cost_before > 0
+                    ? 1.0 - report.workload_cost_after /
+                                report.workload_cost_before
+                    : 0;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["queries"] = n;
+  state.counters["selected"] = static_cast<double>(selected);
+  state.counters["cost_reduction_pct"] = 100.0 * reduction;
+}
+
+BENCHMARK(BM_E11_Recommend)->Arg(1)->Arg(5)->Arg(15)->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aqv

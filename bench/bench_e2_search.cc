@@ -1,0 +1,122 @@
+// Experiment E2 — rewrite-search cost at optimizer time: how long does it
+// take to test a query against a library of candidate views, and how does
+// mapping enumeration scale with query join width?
+//
+// Series:
+//   E2/ViewLibrary/<n>  — test one query against n candidate views (a mix
+//                         of usable and unusable definitions)
+//   E2/JoinWidth/<k>    — self-join query of width k against a single-table
+//                         view (k candidate mappings)
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "ir/builder.h"
+#include "rewrite/rewriter.h"
+
+namespace aqv {
+namespace {
+
+Query LibraryQuery() {
+  return QueryBuilder()
+      .From("R1", {"A1", "B1", "C1", "D1"})
+      .From("R2", {"E1", "F1"})
+      .Select("A1")
+      .SelectAgg(AggFn::kSum, "B1", "s")
+      .WhereCols("C1", CmpOp::kEq, "E1")
+      .WhereConst("D1", CmpOp::kEq, Value::Int64(3))
+      .GroupBy("A1")
+      .BuildOrDie();
+}
+
+// A library of n views: every fourth view is usable; the others fail C2,
+// C3-first-half or C3-second-half respectively.
+ViewRegistry MakeLibrary(int n) {
+  ViewRegistry views;
+  for (int i = 0; i < n; ++i) {
+    QueryBuilder b;
+    b.From("R1", {"A2", "B2", "C2", "D2"});
+    switch (i % 4) {
+      case 0:  // usable: selects everything the query needs
+        b.Select("A2").Select("B2").Select("C2").Select("D2");
+        break;
+      case 1:  // C2 failure: grouping column projected out
+        b.Select("B2").Select("C2").Select("D2");
+        break;
+      case 2:  // C3 failure: stronger than the query
+        b.Select("A2").Select("B2").Select("C2").Select("D2");
+        b.WhereConst("B2", CmpOp::kEq, Value::Int64(7 + i));
+        break;
+      case 3:  // C3 failure: needed residual column hidden
+        b.Select("A2").Select("B2").Select("C2");
+        break;
+    }
+    CheckOrDie(views.Register(ViewDef{"V" + std::to_string(i), b.BuildOrDie()}),
+               "register view");
+  }
+  return views;
+}
+
+void BM_E2_ViewLibrary(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  ViewRegistry views = MakeLibrary(n);
+  Query q = LibraryQuery();
+  Rewriter rewriter(&views);
+  int usable = 0;
+  for (auto _ : state) {
+    usable = 0;
+    for (int i = 0; i < n; ++i) {
+      Result<std::vector<Rewriting>> r =
+          rewriter.RewritingsUsingView(q, "V" + std::to_string(i));
+      if (r.ok() && !r->empty()) ++usable;
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.counters["views"] = n;
+  state.counters["usable"] = usable;
+  state.counters["views_per_sec"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_E2_ViewLibrary)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E2_JoinWidth(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  QueryBuilder qb;
+  for (int i = 0; i < k; ++i) {
+    qb.From("R1", {"A" + std::to_string(i), "B" + std::to_string(i),
+                   "C" + std::to_string(i), "D" + std::to_string(i)});
+  }
+  qb.Select("A0");
+  for (int i = 1; i < k; ++i) {
+    qb.WhereCols("B" + std::to_string(i - 1), CmpOp::kEq,
+                 "A" + std::to_string(i));
+  }
+  Query q = qb.BuildOrDie();
+  ViewRegistry views;
+  CheckOrDie(views.Register(ViewDef{"V", QueryBuilder()
+                                             .From("R1", {"X", "Y", "Z", "W"})
+                                             .Select("X")
+                                             .Select("Y")
+                                             .Select("Z")
+                                             .Select("W")
+                                             .BuildOrDie()}),
+             "register view");
+  Rewriter rewriter(&views);
+  size_t rewritings = 0;
+  for (auto _ : state) {
+    Result<std::vector<Rewriting>> r = rewriter.RewritingsUsingView(q, "V");
+    rewritings = r.ok() ? r->size() : 0;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["join_width"] = k;
+  state.counters["rewritings"] = static_cast<double>(rewritings);
+}
+BENCHMARK(BM_E2_JoinWidth)->DenseRange(1, 6)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aqv

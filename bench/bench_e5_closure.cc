@@ -1,0 +1,125 @@
+// Experiment E5 — the reasoning substrate's cost (footnote 2 of the paper:
+// "the closure ... has size polynomial in the size of Conds(Q)"). Measures
+// closure construction, entailment checks and residual computation as the
+// number of atoms grows, over three condition shapes: an order chain
+// (A1 < A2 < ... < An), an equality chain, and random conditions.
+//
+// Series:
+//   E5/BuildChain/<n>, E5/BuildEqualities/<n>, E5/BuildRandom/<n>
+//   E5/Implies/<n>   — one entailment query against a built closure
+//   E5/Residual/<n>  — full residual computation (condition C3)
+
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "reason/closure.h"
+#include "reason/residual.h"
+
+namespace aqv {
+namespace {
+
+Operand Col(int i) { return Operand::Column("A" + std::to_string(i)); }
+
+std::vector<Predicate> OrderChain(int n) {
+  std::vector<Predicate> conds;
+  for (int i = 0; i + 1 < n; ++i) {
+    conds.push_back(Predicate{Col(i), CmpOp::kLt, Col(i + 1)});
+  }
+  return conds;
+}
+
+std::vector<Predicate> EqualityChain(int n) {
+  std::vector<Predicate> conds;
+  for (int i = 0; i + 1 < n; ++i) {
+    conds.push_back(Predicate{Col(i), CmpOp::kEq, Col(i + 1)});
+  }
+  return conds;
+}
+
+std::vector<Predicate> RandomConds(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Predicate> conds;
+  const CmpOp ops[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe};
+  int cols = n;  // sparse: few repeated columns, so merges stay rare
+  for (int i = 0; i < n; ++i) {
+    int a = static_cast<int>(rng() % cols), b = static_cast<int>(rng() % cols);
+    if (a == b) b = (b + 1) % cols;
+    conds.push_back(Predicate{Col(a), ops[rng() % 4], Col(b)});
+  }
+  return conds;
+}
+
+template <std::vector<Predicate> (*MakeConds)(int)>
+void BM_E5_Build(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Predicate> conds = MakeConds(n);
+  bool sat = true;
+  for (auto _ : state) {
+    Result<ConstraintClosure> c = ConstraintClosure::Build(conds);
+    sat = c.ok() && c->satisfiable();
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["atoms"] = n;
+  state.counters["satisfiable"] = sat;
+}
+
+void BM_E5_BuildRandom(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Predicate> conds = RandomConds(n, 42);
+  for (auto _ : state) {
+    Result<ConstraintClosure> c = ConstraintClosure::Build(conds);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["atoms"] = n;
+}
+
+void BM_E5_Implies(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  ConstraintClosure closure =
+      ValueOrDie(ConstraintClosure::Build(OrderChain(n)), "build chain");
+  Predicate query{Col(0), CmpOp::kLt, Col(n - 1)};
+  bool entailed = false;
+  for (auto _ : state) {
+    entailed = closure.Implies(query);
+    benchmark::DoNotOptimize(entailed);
+  }
+  state.counters["atoms"] = n;
+  state.counters["entailed"] = entailed;
+}
+
+void BM_E5_Residual(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  // Query conditions: equality chain + constant pin; view enforces half.
+  std::vector<Predicate> query = EqualityChain(n);
+  query.push_back(Predicate{Col(0), CmpOp::kEq,
+                            Operand::Constant(Value::Int64(7))});
+  std::vector<Predicate> view(query.begin(), query.begin() + n / 2);
+  std::set<std::string> allowed;
+  for (int i = 0; i < n; ++i) allowed.insert("A" + std::to_string(i));
+  for (auto _ : state) {
+    Result<std::vector<Predicate>> r = ComputeResidual(query, view, allowed);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["atoms"] = n;
+}
+
+BENCHMARK_TEMPLATE(BM_E5_Build, OrderChain)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond)
+    ->Name("BM_E5_BuildChain");
+BENCHMARK_TEMPLATE(BM_E5_Build, EqualityChain)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond)
+    ->Name("BM_E5_BuildEqualities");
+BENCHMARK(BM_E5_BuildRandom)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E5_Implies)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_E5_Residual)
+    ->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,145 @@
+// Experiment E7 — Section 5: key information turns an otherwise-unusable
+// cached view into an answer source. Example 5.1's query is answerable from
+// the self-join view V1 only under a many-to-1 mapping, which multiset
+// semantics forbids unless keys prove both results are sets. The bench
+// measures (a) detection cost with and without key reasoning, and (b) the
+// evaluation payoff of answering from the cached view versus the base
+// table, sweeping the base table size.
+//
+// Series:
+//   E7/DetectWithKeys/<n>    — rewrite search with key reasoning on
+//   E7/DetectWithoutKeys/<n> — same, keys off (always refuses; counter
+//                              `usable` is 0)
+//   E7/BaseQuery/<n>         — Q over R1
+//   E7/RewrittenQuery/<n>    — Q' over the cached V1
+
+#include <map>
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "rewrite/rewriter.h"
+
+namespace aqv {
+namespace {
+
+struct Scenario {
+  Catalog catalog;
+  Database db;
+  ViewRegistry views;
+  Query query;
+  Query rewritten;
+  size_t view_rows = 0;
+};
+
+Scenario* GetScenario(int n) {
+  static std::map<int, Scenario*>* cache = new std::map<int, Scenario*>();
+  auto it = cache->find(n);
+  if (it != cache->end()) return it->second;
+
+  auto* s = new Scenario();
+  TableDef r1("R1", {"A", "B", "C"});
+  CheckOrDie(r1.AddKeyByName({"A"}), "key");
+  CheckOrDie(s->catalog.AddTable(r1), "add table");
+
+  std::mt19937_64 rng(7 + n);
+  // The B/C domain scales with n so the self-join view stays O(n) rows.
+  std::uniform_int_distribution<int64_t> dist(0, n - 1);
+  Table data({"A", "B", "C"});
+  for (int i = 0; i < n; ++i) {
+    data.AddRowOrDie(
+        {Value::Int64(i), Value::Int64(dist(rng)), Value::Int64(dist(rng))});
+  }
+  s->db.Put("R1", std::move(data));
+
+  s->query = QueryBuilder()
+                 .From("R1", {"A1", "B1", "C1"})
+                 .Select("A1")
+                 .WhereCols("B1", CmpOp::kEq, "C1")
+                 .BuildOrDie();
+  CheckOrDie(
+      s->views.Register(ViewDef{
+          "V1", QueryBuilder()
+                    .From("R1", {"A2", "B2", "C2"})
+                    .From("R1", {"A3", "B3", "C3"})
+                    .Select("A2")
+                    .Select("A3")
+                    .WhereCols("B2", CmpOp::kEq, "C3")
+                    .BuildOrDie()}),
+      "register V1");
+
+  RewriteOptions options;
+  options.use_key_information = true;
+  Rewriter rewriter(&s->views, &s->catalog, options);
+  s->rewritten =
+      ValueOrDie(rewriter.RewriteUsingView(s->query, "V1"), "rewrite 5.1");
+
+  Evaluator eval(&s->db, &s->views);
+  Table v1 = ValueOrDie(eval.MaterializeView("V1"), "materialize V1");
+  s->view_rows = v1.num_rows();
+  s->db.Put("V1", std::move(v1));
+
+  (*cache)[n] = s;
+  return s;
+}
+
+void BM_E7_DetectWithKeys(benchmark::State& state) {
+  Scenario* s = GetScenario(static_cast<int>(state.range(0)));
+  RewriteOptions options;
+  options.use_key_information = true;
+  Rewriter rewriter(&s->views, &s->catalog, options);
+  int usable = 0;
+  for (auto _ : state) {
+    Result<std::vector<Rewriting>> r =
+        rewriter.RewritingsUsingView(s->query, "V1");
+    usable = r.ok() ? static_cast<int>(r->size()) : 0;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["usable"] = usable;
+}
+
+void BM_E7_DetectWithoutKeys(benchmark::State& state) {
+  Scenario* s = GetScenario(static_cast<int>(state.range(0)));
+  Rewriter rewriter(&s->views);
+  int usable = 0;
+  for (auto _ : state) {
+    Result<std::vector<Rewriting>> r =
+        rewriter.RewritingsUsingView(s->query, "V1");
+    usable = r.ok() ? static_cast<int>(r->size()) : 0;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["usable"] = usable;
+}
+
+void BM_E7_BaseQuery(benchmark::State& state) {
+  Scenario* s = GetScenario(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Evaluator eval(&s->db, &s->views);
+    Table result = ValueOrDie(eval.Execute(s->query), "run Q");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+
+void BM_E7_RewrittenQuery(benchmark::State& state) {
+  Scenario* s = GetScenario(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Evaluator eval(&s->db, &s->views);
+    Table result = ValueOrDie(eval.Execute(s->rewritten), "run Q'");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["view_rows"] = static_cast<double>(s->view_rows);
+}
+
+BENCHMARK(BM_E7_DetectWithKeys)->Arg(1000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E7_DetectWithoutKeys)->Arg(1000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E7_BaseQuery)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E7_RewrittenQuery)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,138 @@
+// Experiment E8 — execution-substrate sanity: throughput of the physical
+// operators the other experiments' numbers rest on, plus the payoff of the
+// greedy hash-join plan over the reference Cartesian plan.
+//
+// Series:
+//   E8/HashJoin/<n>         — equi-join of two n-row tables
+//   E8/HashAggregate/<n>    — SUM+COUNT grouping of n rows
+//   E8/PlanHashJoin/<n>     — full query, greedy hash-join plan
+//   E8/PlanCartesian/<n>    — same query, reference Cartesian plan
+//   E8/Filter/<n>           — predicate filter over n rows
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "exec/evaluator.h"
+#include "exec/operators.h"
+#include "ir/builder.h"
+
+namespace aqv {
+namespace {
+
+std::vector<Row> RandomRows(int n, int width, int domain, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> dist(0, domain - 1);
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Row row;
+    row.reserve(width);
+    for (int j = 0; j < width; ++j) row.push_back(Value::Int64(dist(rng)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void BM_E8_HashJoin(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Row> left = RandomRows(n, 2, n, 1);
+  std::vector<Row> right = RandomRows(n, 2, n, 2);
+  size_t out = 0;
+  for (auto _ : state) {
+    std::vector<Row> joined = HashJoin(left, right, {{0, 0}});
+    out = joined.size();
+    benchmark::DoNotOptimize(joined);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+  state.counters["output_rows"] = static_cast<double>(out);
+}
+
+void BM_E8_HashAggregate(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Row> rows = RandomRows(n, 3, n / 16 + 1, 3);
+  for (auto _ : state) {
+    std::vector<Row> grouped = GroupAggregate(
+        rows, {0},
+        {AggSpec{AggFn::kSum, 1, -1}, AggSpec{AggFn::kCount, 2, -1}});
+    benchmark::DoNotOptimize(grouped);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_E8_Filter(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Row> rows = RandomRows(n, 2, 100, 4);
+  ColumnIndexMap layout = {{"A", 0}, {"B", 1}};
+  std::vector<Predicate> preds = {
+      Predicate{Operand::Column("A"), CmpOp::kLt,
+                Operand::Constant(Value::Int64(50))}};
+  for (auto _ : state) {
+    std::vector<Row> kept = FilterRows(rows, preds, layout);
+    benchmark::DoNotOptimize(kept);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+Database JoinDb(int n) {
+  Database db;
+  Table r({"A", "B"});
+  Table s({"C", "D"});
+  std::mt19937_64 rng(9);
+  std::uniform_int_distribution<int64_t> dist(0, n - 1);
+  for (int i = 0; i < n; ++i) {
+    r.AddRowOrDie({Value::Int64(dist(rng)), Value::Int64(dist(rng))});
+    s.AddRowOrDie({Value::Int64(dist(rng)), Value::Int64(dist(rng))});
+  }
+  db.Put("R", std::move(r));
+  db.Put("S", std::move(s));
+  return db;
+}
+
+Query JoinQuery() {
+  return QueryBuilder()
+      .From("R", {"A1", "B1"})
+      .From("S", {"C1", "D1"})
+      .Select("A1")
+      .SelectAgg(AggFn::kCount, "D1", "n")
+      .WhereCols("B1", CmpOp::kEq, "C1")
+      .GroupBy("A1")
+      .BuildOrDie();
+}
+
+void BM_E8_PlanHashJoin(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Database db = JoinDb(n);
+  Query q = JoinQuery();
+  for (auto _ : state) {
+    Evaluator eval(&db, nullptr, EvalOptions{true});
+    Table result = ValueOrDie(eval.Execute(q), "hash plan");
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_E8_PlanCartesian(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Database db = JoinDb(n);
+  Query q = JoinQuery();
+  for (auto _ : state) {
+    Evaluator eval(&db, nullptr, EvalOptions{false});
+    Table result = ValueOrDie(eval.Execute(q), "cartesian plan");
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+BENCHMARK(BM_E8_HashJoin)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E8_HashAggregate)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E8_Filter)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E8_PlanHashJoin)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E8_PlanCartesian)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aqv

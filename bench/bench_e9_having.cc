@@ -1,0 +1,157 @@
+// Experiment E9 — the Section 3.3 pre-processing (HAVING-to-WHERE
+// move-around) as an ablation: a family of query/view pairs is usable only
+// after normalization. Measures the detection rate with the pass on/off and
+// the latency it adds, plus the end-to-end payoff of the rewriting it
+// unlocks.
+//
+// Series:
+//   E9/DetectNormalized    — usability checks with the pass on
+//                            (counter `usable` = pairs detected usable)
+//   E9/DetectRaw           — pass off (`usable` drops)
+//   E9/NormalizeLatency    — the pre-processing pass alone
+//   E9/BaseQuery, E9/RewrittenQuery — end-to-end evaluation of one pair
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "reason/having_normalize.h"
+#include "rewrite/rewriter.h"
+
+namespace aqv {
+namespace {
+
+// Pair i: Q has HAVING A1 >= i (a grouping-column condition) and the view
+// pre-filters A2 >= i in its WHERE clause. Usable iff the condition moves.
+Query PairQuery(int i) {
+  return QueryBuilder()
+      .From("R1", {"A1", "B1", "C1", "D1"})
+      .Select("A1")
+      .SelectAgg(AggFn::kSum, "B1", "s")
+      .GroupBy("A1")
+      .HavingCol("A1", CmpOp::kGe, Value::Int64(i))
+      .BuildOrDie();
+}
+
+ViewDef PairView(int i) {
+  return ViewDef{"V" + std::to_string(i),
+                 QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .WhereConst("A2", CmpOp::kGe, Value::Int64(i))
+                     .BuildOrDie()};
+}
+
+constexpr int kPairs = 16;
+
+void BM_E9_DetectNormalized(benchmark::State& state) {
+  ViewRegistry views;
+  for (int i = 0; i < kPairs; ++i) CheckOrDie(views.Register(PairView(i)), "v");
+  RewriteOptions options;
+  options.normalize_having = true;
+  Rewriter rewriter(&views, nullptr, options);
+  int usable = 0;
+  for (auto _ : state) {
+    usable = 0;
+    for (int i = 0; i < kPairs; ++i) {
+      Result<Query> r =
+          rewriter.RewriteUsingView(PairQuery(i), "V" + std::to_string(i));
+      usable += r.ok();
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.counters["usable"] = usable;
+  state.counters["pairs"] = kPairs;
+}
+
+void BM_E9_DetectRaw(benchmark::State& state) {
+  ViewRegistry views;
+  for (int i = 0; i < kPairs; ++i) CheckOrDie(views.Register(PairView(i)), "v");
+  RewriteOptions options;
+  options.normalize_having = false;
+  Rewriter rewriter(&views, nullptr, options);
+  int usable = 0;
+  for (auto _ : state) {
+    usable = 0;
+    for (int i = 0; i < kPairs; ++i) {
+      Result<Query> r =
+          rewriter.RewriteUsingView(PairQuery(i), "V" + std::to_string(i));
+      usable += r.ok();
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.counters["usable"] = usable;
+  state.counters["pairs"] = kPairs;
+}
+
+void BM_E9_NormalizeLatency(benchmark::State& state) {
+  Query q = PairQuery(3);
+  for (auto _ : state) {
+    Query copy = q;
+    int moved = NormalizeHaving(&copy);
+    benchmark::DoNotOptimize(moved);
+  }
+}
+
+struct EndToEnd {
+  Database db;
+  ViewRegistry views;
+  Query query;
+  Query rewritten;
+};
+
+EndToEnd* GetEndToEnd() {
+  static EndToEnd* s = [] {
+    auto* e = new EndToEnd();
+    std::mt19937_64 rng(5);
+    std::uniform_int_distribution<int64_t> dist(0, 99);
+    Table r1({"A", "B", "C", "D"});
+    for (int i = 0; i < 200000; ++i) {
+      r1.AddRowOrDie({Value::Int64(dist(rng)), Value::Int64(dist(rng)),
+                      Value::Int64(dist(rng)), Value::Int64(dist(rng))});
+    }
+    e->db.Put("R1", std::move(r1));
+    e->query = PairQuery(50);
+    CheckOrDie(e->views.Register(PairView(50)), "v50");
+    Rewriter rewriter(&e->views);
+    e->rewritten = ValueOrDie(rewriter.RewriteUsingView(e->query, "V50"),
+                              "rewrite E9 pair");
+    Evaluator eval(&e->db, &e->views);
+    e->db.Put("V50", ValueOrDie(eval.MaterializeView("V50"), "materialize"));
+    return e;
+  }();
+  return s;
+}
+
+void BM_E9_BaseQuery(benchmark::State& state) {
+  EndToEnd* e = GetEndToEnd();
+  for (auto _ : state) {
+    Evaluator eval(&e->db, &e->views);
+    Table result = ValueOrDie(eval.Execute(e->query), "run Q");
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_E9_RewrittenQuery(benchmark::State& state) {
+  EndToEnd* e = GetEndToEnd();
+  for (auto _ : state) {
+    Evaluator eval(&e->db, &e->views);
+    Table result = ValueOrDie(eval.Execute(e->rewritten), "run Q'");
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+BENCHMARK(BM_E9_DetectNormalized)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E9_DetectRaw)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E9_NormalizeLatency)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_E9_BaseQuery)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E9_RewrittenQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aqv

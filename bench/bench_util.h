@@ -1,0 +1,33 @@
+#ifndef AQV_BENCH_BENCH_UTIL_H_
+#define AQV_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/result.h"
+
+namespace aqv {
+
+/// Unwraps a Result in bench setup code, aborting on failure (benchmarks
+/// have no gtest assertions).
+template <typename T>
+T ValueOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench setup: %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(result);
+}
+
+inline void CheckOrDie(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup: %s: %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace aqv
+
+#endif  // AQV_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,223 @@
+#include "advisor/view_selection.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "exec/evaluator.h"
+#include "ir/printer.h"
+#include "ir/validate.h"
+#include "reason/having_normalize.h"
+#include "rewrite/multiview.h"
+
+namespace aqv {
+
+std::string AdvisorReport::ToString() const {
+  std::string out;
+  out += "workload cost: " + std::to_string(workload_cost_before) + " -> " +
+         std::to_string(workload_cost_after) + "\n";
+  out += "selected " + std::to_string(selected.size()) + " view(s):\n";
+  for (const CandidateView& c : selected) {
+    out += "  " + c.def.name + " (" + std::to_string(c.materialized_rows) +
+           " rows, benefit " + std::to_string(c.benefit) + ", helps " +
+           std::to_string(c.helps.size()) + " queries)\n    " +
+           ToSql(c.def.query) + "\n";
+  }
+  if (!rejected.empty()) {
+    out += "rejected " + std::to_string(rejected.size()) + " candidate(s)\n";
+  }
+  return out;
+}
+
+Result<ViewDef> ViewAdvisor::SummarySkeleton(const Query& query,
+                                             const std::string& view_name) {
+  AQV_RETURN_NOT_OK(ValidateQuery(query));
+  Query q = query;
+  NormalizeHaving(&q);
+  if (q.IsConjunctive()) {
+    return Status::Unusable("conjunctive queries have no summary skeleton");
+  }
+
+  // The view gets its own column namespace.
+  std::map<std::string, std::string> rename;
+  Query v;
+  for (const TableRef& t : q.from) {
+    TableRef ref;
+    ref.table = t.table;
+    for (const std::string& c : t.columns) {
+      rename[c] = c + "_sk";
+      ref.columns.push_back(c + "_sk");
+    }
+    v.from.push_back(std::move(ref));
+  }
+
+  // Keep column-to-column conditions; drop the rest but promote their
+  // columns to grouping columns so the dropped conditions stay imposable.
+  std::set<std::string> groups(q.group_by.begin(), q.group_by.end());
+  for (const Predicate& p : q.where) {
+    if (p.lhs.is_column() && p.rhs.is_column()) {
+      v.where.push_back(Predicate{Operand::Column(rename.at(p.lhs.column)),
+                                  p.op,
+                                  Operand::Column(rename.at(p.rhs.column))});
+    } else {
+      for (const std::string& c : p.ReferencedColumns()) groups.insert(c);
+    }
+  }
+
+  for (const std::string& g : groups) {
+    v.group_by.push_back(rename.at(g));
+    v.select.push_back(SelectItem::MakeColumn(rename.at(g)));
+  }
+
+  // The query's aggregate terms (SELECT and HAVING), AVG decomposed.
+  int alias_id = 0;
+  bool has_count = false;
+  auto add_agg = [&](AggFn fn, const AggArg& arg) {
+    AggArg renamed{rename.at(arg.column),
+                   arg.scaled() ? rename.at(arg.multiplier) : ""};
+    // Aliases aside, avoid duplicate aggregates.
+    for (const SelectItem& s : v.select) {
+      if (s.kind == SelectItem::Kind::kAggregate && s.agg == fn &&
+          s.arg == renamed) {
+        return;
+      }
+    }
+    if (fn == AggFn::kCount) has_count = true;
+    v.select.push_back(SelectItem::MakeScaledAggregate(
+        fn, renamed, "m" + std::to_string(alias_id++)));
+  };
+  for (const Operand& term : q.AggregateTerms()) {
+    if (term.agg == AggFn::kAvg) {
+      add_agg(AggFn::kSum, term.agg_arg());
+      add_agg(AggFn::kCount, term.agg_arg());
+    } else {
+      add_agg(term.agg, term.agg_arg());
+    }
+  }
+  // A COUNT column makes the skeleton usable for multiplicity recovery by
+  // other queries (condition C4' 1(b)/2).
+  if (!has_count) {
+    add_agg(AggFn::kCount, AggArg{q.from[0].columns[0], ""});
+  }
+
+  AQV_RETURN_NOT_OK(ValidateQuery(v));
+  return ViewDef{view_name, std::move(v)};
+}
+
+Result<AdvisorReport> ViewAdvisor::Recommend(
+    const std::vector<Query>& workload) const {
+  AdvisorReport report;
+  CostModel model;
+
+  for (const Query& q : workload) {
+    report.workload_cost_before += model.Estimate(q, *db_);
+  }
+
+  // ---- Candidate generation (deduplicated skeletons). ----
+  std::vector<CandidateView> candidates;
+  std::set<std::string> seen;
+  int id = 0;
+  for (const Query& q : workload) {
+    Result<ViewDef> skeleton =
+        SummarySkeleton(q, "ADV_V" + std::to_string(++id));
+    if (!skeleton.ok()) {
+      if (skeleton.status().code() == StatusCode::kUnusable) continue;
+      return skeleton.status();
+    }
+    std::string key = CanonicalQueryKey(skeleton->query);
+    if (!seen.insert(key).second) continue;
+    CandidateView cand;
+    cand.def = *std::move(skeleton);
+    candidates.push_back(std::move(cand));
+  }
+
+  // ---- Measure footprints and score benefits. ----
+  for (CandidateView& cand : candidates) {
+    ViewRegistry registry;
+    AQV_RETURN_NOT_OK(registry.Register(cand.def));
+    Evaluator eval(db_, &registry);
+    AQV_ASSIGN_OR_RETURN(Table contents, eval.MaterializeView(cand.def.name));
+    cand.materialized_rows = contents.num_rows();
+
+    // Early footprint filter against the largest summarized base table.
+    size_t largest_base = 0;
+    for (const TableRef& t : cand.def.query.from) {
+      Result<const Table*> base = db_->Get(t.table);
+      if (base.ok()) largest_base = std::max(largest_base, (*base)->num_rows());
+    }
+    if (largest_base > 0 &&
+        cand.materialized_rows >
+            options_.max_candidate_fraction * largest_base) {
+      cand.benefit = 0;
+      continue;
+    }
+
+    Database with = *db_;
+    with.Put(cand.def.name, std::move(contents));
+    Rewriter rewriter(&registry, nullptr, options_.rewrite_options);
+    for (size_t i = 0; i < workload.size(); ++i) {
+      AQV_ASSIGN_OR_RETURN(
+          std::vector<Rewriting> rewritings,
+          rewriter.RewritingsUsingView(workload[i], cand.def.name));
+      if (rewritings.empty()) continue;
+      double original = model.Estimate(workload[i], *db_);
+      double best = original;
+      for (const Rewriting& r : rewritings) {
+        best = std::min(best, model.Estimate(r.query, with));
+      }
+      if (best < original) {
+        cand.benefit += original - best;
+        cand.helps.push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  // ---- Greedy selection by benefit per row under the budget. ----
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CandidateView& a, const CandidateView& b) {
+              double da = a.benefit / (a.materialized_rows + 1.0);
+              double db = b.benefit / (b.materialized_rows + 1.0);
+              if (da != db) return da > db;
+              return a.def.name < b.def.name;
+            });
+  double used_rows = 0;
+  for (CandidateView& cand : candidates) {
+    bool fits = used_rows + static_cast<double>(cand.materialized_rows) <=
+                options_.space_budget_rows;
+    if (cand.benefit > 0 && fits) {
+      used_rows += static_cast<double>(cand.materialized_rows);
+      report.selected.push_back(std::move(cand));
+    } else {
+      report.rejected.push_back(std::move(cand));
+    }
+  }
+
+  // ---- Post-selection workload cost with all chosen views in place. ----
+  ViewRegistry chosen;
+  Database after = *db_;
+  for (const CandidateView& cand : report.selected) {
+    AQV_RETURN_NOT_OK(chosen.Register(cand.def));
+  }
+  {
+    Evaluator eval(db_, &chosen);
+    for (const CandidateView& cand : report.selected) {
+      AQV_ASSIGN_OR_RETURN(Table contents, eval.MaterializeView(cand.def.name));
+      after.Put(cand.def.name, std::move(contents));
+    }
+  }
+  Rewriter rewriter(&chosen, nullptr, options_.rewrite_options);
+  for (const Query& q : workload) {
+    double best = model.Estimate(q, *db_);
+    for (const CandidateView& cand : report.selected) {
+      AQV_ASSIGN_OR_RETURN(std::vector<Rewriting> rewritings,
+                           rewriter.RewritingsUsingView(q, cand.def.name));
+      for (const Rewriting& r : rewritings) {
+        best = std::min(best, model.Estimate(r.query, after));
+      }
+    }
+    report.workload_cost_after += best;
+  }
+  return report;
+}
+
+}  // namespace aqv

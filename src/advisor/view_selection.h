@@ -1,0 +1,81 @@
+#ifndef AQV_ADVISOR_VIEW_SELECTION_H_
+#define AQV_ADVISOR_VIEW_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "exec/table.h"
+#include "ir/query.h"
+#include "rewrite/cost.h"
+#include "rewrite/rewriter.h"
+
+namespace aqv {
+
+/// Knobs for the advisor.
+struct AdvisorOptions {
+  /// Total materialized rows the cache may hold.
+  double space_budget_rows = 100000;
+  /// Candidates whose materialization exceeds this fraction of the largest
+  /// base table they summarize are dropped early (a summary as big as its
+  /// base rarely pays).
+  double max_candidate_fraction = 0.5;
+  RewriteOptions rewrite_options;
+};
+
+/// One candidate summary view with its measured footprint and the benefit
+/// it brings to the workload.
+struct CandidateView {
+  ViewDef def;
+  size_t materialized_rows = 0;
+  double benefit = 0;             // Σ max(0, cost(Q) − cost(best Q' using it))
+  std::vector<int> helps;         // workload indices it improves
+};
+
+/// The advisor's recommendation.
+struct AdvisorReport {
+  std::vector<CandidateView> selected;
+  std::vector<CandidateView> rejected;  // evaluated but not chosen
+  double workload_cost_before = 0;
+  double workload_cost_after = 0;
+
+  std::string ToString() const;
+};
+
+/// The paper's stated future work ("developing strategies for determining
+/// which views to cache"): given a query workload and the current database,
+/// propose summary views to materialize under a space budget.
+///
+/// Candidate generation: every aggregation query contributes its *summary
+/// skeleton* — same FROM, the column-to-column equality conditions kept,
+/// constant conditions dropped with their columns promoted to grouping
+/// columns (so the dropped conditions can be re-imposed as residuals), the
+/// query's aggregates kept, and a COUNT column added (enabling the
+/// Section 4 multiplicity recovery for *other* queries). Duplicate
+/// skeletons are merged.
+///
+/// Selection: each candidate is materialized to measure its footprint, its
+/// benefit is scored with the CostModel over the whole workload (through
+/// the real rewriter, so only genuinely usable views score), and
+/// candidates are picked greedily by benefit per row until the budget is
+/// exhausted.
+class ViewAdvisor {
+ public:
+  explicit ViewAdvisor(const Database* db, AdvisorOptions options = {})
+      : db_(db), options_(options) {}
+
+  Result<AdvisorReport> Recommend(const std::vector<Query>& workload) const;
+
+  /// Exposed for testing: the summary skeleton of one query, or Unusable
+  /// if the query has no useful skeleton (e.g. it is conjunctive).
+  static Result<ViewDef> SummarySkeleton(const Query& query,
+                                         const std::string& view_name);
+
+ private:
+  const Database* db_;
+  AdvisorOptions options_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_ADVISOR_VIEW_SELECTION_H_

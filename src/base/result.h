@@ -1,0 +1,73 @@
+#ifndef AQV_BASE_RESULT_H_
+#define AQV_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace aqv {
+
+/// Value-or-Status, in the style of arrow::Result<T>. A Result is either OK
+/// and holds a T, or holds a non-OK Status. Accessing the value of a failed
+/// Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed Result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+  /// Constructs a successful Result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// failed Status out of the current function.
+#define AQV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define AQV_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define AQV_ASSIGN_OR_RETURN_NAME(a, b) AQV_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define AQV_ASSIGN_OR_RETURN(lhs, expr) \
+  AQV_ASSIGN_OR_RETURN_IMPL(            \
+      AQV_ASSIGN_OR_RETURN_NAME(_aqv_result_, __LINE__), lhs, expr)
+
+}  // namespace aqv
+
+#endif  // AQV_BASE_RESULT_H_

@@ -1,0 +1,27 @@
+#ifndef AQV_BASE_STRINGS_H_
+#define AQV_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqv {
+
+/// Joins `parts` with `sep` ("a, b, c").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII-lowercases `s`.
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases `s`.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace aqv
+
+#endif  // AQV_BASE_STRINGS_H_

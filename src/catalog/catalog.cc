@@ -1,0 +1,102 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <set>
+
+namespace aqv {
+
+int TableDef::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableDef::AddKey(std::vector<int> ordinals) {
+  if (ordinals.empty()) {
+    return Status::InvalidArgument("key for table '" + name_ + "' is empty");
+  }
+  for (int o : ordinals) {
+    if (o < 0 || o >= num_columns()) {
+      return Status::InvalidArgument("key ordinal " + std::to_string(o) +
+                                     " out of range for table '" + name_ + "'");
+    }
+  }
+  std::sort(ordinals.begin(), ordinals.end());
+  ordinals.erase(std::unique(ordinals.begin(), ordinals.end()), ordinals.end());
+  // Record the key as an FD key -> all columns as well, so FD closure sees it.
+  std::vector<int> all(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) all[i] = static_cast<int>(i);
+  fds_.push_back(FunctionalDependency{ordinals, all});
+  keys_.push_back(std::move(ordinals));
+  return Status::OK();
+}
+
+Status TableDef::AddKeyByName(const std::vector<std::string>& names) {
+  std::vector<int> ordinals;
+  ordinals.reserve(names.size());
+  for (const std::string& n : names) {
+    int idx = ColumnIndex(n);
+    if (idx < 0) {
+      return Status::NotFound("key column '" + n + "' not in table '" + name_ +
+                              "'");
+    }
+    ordinals.push_back(idx);
+  }
+  return AddKey(std::move(ordinals));
+}
+
+Status TableDef::AddFunctionalDependency(std::vector<int> lhs,
+                                         std::vector<int> rhs) {
+  for (int o : lhs) {
+    if (o < 0 || o >= num_columns()) {
+      return Status::InvalidArgument("FD lhs ordinal out of range for table '" +
+                                     name_ + "'");
+    }
+  }
+  for (int o : rhs) {
+    if (o < 0 || o >= num_columns()) {
+      return Status::InvalidArgument("FD rhs ordinal out of range for table '" +
+                                     name_ + "'");
+    }
+  }
+  fds_.push_back(FunctionalDependency{std::move(lhs), std::move(rhs)});
+  return Status::OK();
+}
+
+Status Catalog::AddTable(TableDef table) {
+  if (tables_.count(table.name()) > 0) {
+    return Status::InvalidArgument("duplicate table '" + table.name() + "'");
+  }
+  std::set<std::string> seen;
+  for (const std::string& c : table.columns()) {
+    if (!seen.insert(c).second) {
+      return Status::InvalidArgument("duplicate column '" + c + "' in table '" +
+                                     table.name() + "'");
+    }
+  }
+  std::string name = table.name();
+  tables_.emplace(std::move(name), std::move(table));
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, def] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace aqv

@@ -1,0 +1,80 @@
+#ifndef AQV_CATALOG_CATALOG_H_
+#define AQV_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace aqv {
+
+/// A functional dependency lhs -> rhs over the columns of one table, with
+/// columns identified by ordinal position.
+struct FunctionalDependency {
+  std::vector<int> lhs;
+  std::vector<int> rhs;
+};
+
+/// Schema of a base table: a name, an ordered list of column names, and
+/// optional meta-data (keys, functional dependencies) used by the set/key
+/// reasoning of Section 5. A table with at least one key is guaranteed to be
+/// a set; a table with no keys may be a multiset.
+class TableDef {
+ public:
+  TableDef() = default;
+  TableDef(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// Ordinal of `column`, or -1 if absent.
+  int ColumnIndex(const std::string& column) const;
+
+  /// Declares the columns at `ordinals` to be a key. Returns
+  /// InvalidArgument on an out-of-range ordinal or empty key.
+  Status AddKey(std::vector<int> ordinals);
+  /// Convenience overload taking column names.
+  Status AddKeyByName(const std::vector<std::string>& names);
+
+  /// Declares a functional dependency. Key declarations are also recorded as
+  /// FDs (key -> all columns) for closure computation.
+  Status AddFunctionalDependency(std::vector<int> lhs, std::vector<int> rhs);
+
+  const std::vector<std::vector<int>>& keys() const { return keys_; }
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+
+  /// True if the table is guaranteed duplicate-free (i.e., has a key).
+  bool IsSet() const { return !keys_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<int>> keys_;
+  std::vector<FunctionalDependency> fds_;
+};
+
+/// Name -> schema registry for base tables. Views are registered separately
+/// (see rewrite/rewriter.h) because a view's schema is derived from its
+/// defining query.
+class Catalog {
+ public:
+  /// Registers `table`. Fails with InvalidArgument on duplicate names or
+  /// duplicate column names within the table.
+  Status AddTable(TableDef table);
+
+  bool HasTable(const std::string& name) const;
+  Result<const TableDef*> GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TableDef> tables_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_CATALOG_CATALOG_H_

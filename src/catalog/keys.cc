@@ -1,0 +1,38 @@
+#include "catalog/keys.h"
+
+#include <algorithm>
+
+namespace aqv {
+
+std::vector<int> FdClosure(const TableDef& table, const std::vector<int>& attrs) {
+  std::vector<bool> in(table.num_columns(), false);
+  for (int a : attrs) {
+    if (a >= 0 && a < table.num_columns()) in[a] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : table.fds()) {
+      bool lhs_covered =
+          std::all_of(fd.lhs.begin(), fd.lhs.end(), [&](int a) { return in[a]; });
+      if (!lhs_covered) continue;
+      for (int a : fd.rhs) {
+        if (!in[a]) {
+          in[a] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<int> closure;
+  for (int i = 0; i < table.num_columns(); ++i) {
+    if (in[i]) closure.push_back(i);
+  }
+  return closure;
+}
+
+bool IsSuperKey(const TableDef& table, const std::vector<int>& attrs) {
+  return static_cast<int>(FdClosure(table, attrs).size()) == table.num_columns();
+}
+
+}  // namespace aqv

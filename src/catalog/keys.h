@@ -1,0 +1,22 @@
+#ifndef AQV_CATALOG_KEYS_H_
+#define AQV_CATALOG_KEYS_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace aqv {
+
+/// Attribute-set closure under a table's functional dependencies
+/// (Armstrong closure): the set of ordinals determined by `attrs`.
+/// Used by the Section 5 key reasoning ("if A functionally determines B and
+/// B is a key, then so is A").
+std::vector<int> FdClosure(const TableDef& table, const std::vector<int>& attrs);
+
+/// True if `attrs` functionally determines every column of `table`, i.e.,
+/// `attrs` is a (super)key.
+bool IsSuperKey(const TableDef& table, const std::vector<int>& attrs);
+
+}  // namespace aqv
+
+#endif  // AQV_CATALOG_KEYS_H_

@@ -1,0 +1,287 @@
+#include "exec/evaluator.h"
+
+#include <algorithm>
+
+#include "exec/operators.h"
+#include "exec/planner.h"
+#include "ir/validate.h"
+
+namespace aqv {
+
+Result<const Table*> Evaluator::InputTable(const std::string& name, int depth) {
+  // Stored contents win: this is how a materialized view is served.
+  if (db_ != nullptr && db_->Has(name)) {
+    return db_->Get(name);
+  }
+  if (views_ != nullptr && views_->Has(name)) {
+    auto it = view_cache_.find(name);
+    if (it == view_cache_.end()) {
+      if (depth >= kMaxViewDepth) {
+        return Status::InvalidArgument("view nesting exceeds depth limit at '" +
+                                       name + "'");
+      }
+      AQV_ASSIGN_OR_RETURN(const ViewDef* def, views_->Get(name));
+      AQV_ASSIGN_OR_RETURN(Table t, ExecuteInternal(def->query, depth + 1));
+      ++stats_.views_materialized;
+      it = view_cache_.emplace(name, std::move(t)).first;
+    }
+    return &it->second;
+  }
+  return Status::NotFound("'" + name + "' is neither a stored table nor a view");
+}
+
+Result<Table> Evaluator::Execute(const Query& query) {
+  return ExecuteInternal(query, 0);
+}
+
+Result<Table> Evaluator::MaterializeView(const std::string& name) {
+  AQV_ASSIGN_OR_RETURN(const Table* t, InputTable(name, 0));
+  return *t;
+}
+
+Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
+  AQV_RETURN_NOT_OK(ValidateQuery(query));
+
+  // ---- Bind FROM entries to stored tables / materialized views. ----
+  size_t n = query.from.size();
+  std::vector<const Table*> inputs(n);
+  for (size_t i = 0; i < n; ++i) {
+    AQV_ASSIGN_OR_RETURN(inputs[i], InputTable(query.from[i].table, depth));
+    if (inputs[i]->num_columns() !=
+        static_cast<int>(query.from[i].columns.size())) {
+      return Status::InvalidArgument(
+          "FROM entry '" + query.from[i].table + "' has arity " +
+          std::to_string(query.from[i].columns.size()) + " but the table has " +
+          std::to_string(inputs[i]->num_columns()) + " columns");
+    }
+  }
+
+  auto note_rows = [this](size_t rows) {
+    stats_.peak_intermediate_rows = std::max(stats_.peak_intermediate_rows, rows);
+  };
+
+  // ---- Join phase: produce `joined` rows under `layout`. ----
+  std::vector<Row> joined;
+  ColumnIndexMap layout;
+
+  if (!options_.use_hash_join) {
+    // Reference plan: Cartesian product in FROM order, then filter.
+    int offset = 0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < query.from[i].columns.size(); ++j) {
+        layout[query.from[i].columns[j]] = offset++;
+      }
+      if (i == 0) {
+        joined = inputs[0]->rows();
+      } else {
+        joined = CartesianProduct(joined, inputs[i]->rows());
+      }
+      note_rows(joined.size());
+    }
+    joined = FilterRows(joined, query.where, layout);
+  } else {
+    PredicateClassification cls = ClassifyPredicates(query);
+
+    // Per-input filtered scans.
+    std::vector<std::vector<Row>> scans(n);
+    for (size_t i = 0; i < n; ++i) {
+      ColumnIndexMap scan_layout;
+      for (size_t j = 0; j < query.from[i].columns.size(); ++j) {
+        scan_layout[query.from[i].columns[j]] = static_cast<int>(j);
+      }
+      scans[i] = FilterRows(inputs[i]->rows(), cls.single_table[i], scan_layout);
+    }
+
+    std::vector<size_t> sizes(n);
+    for (size_t i = 0; i < n; ++i) sizes[i] = scans[i].size();
+    std::vector<int> order = GreedyJoinOrder(sizes, cls.equi_joins);
+
+    std::vector<bool> bound(n, false);
+    std::vector<bool> edge_used(cls.equi_joins.size(), false);
+    std::vector<bool> multi_applied(cls.multi_table.size(), false);
+
+    auto apply_ready_multi = [&]() {
+      std::vector<Predicate> ready;
+      for (size_t k = 0; k < cls.multi_table.size(); ++k) {
+        if (multi_applied[k]) continue;
+        bool all_bound = true;
+        for (const std::string& c : cls.multi_table[k].ReferencedColumns()) {
+          auto loc = query.FindColumn(c);
+          if (loc && !bound[loc->first]) all_bound = false;
+        }
+        if (all_bound) {
+          ready.push_back(cls.multi_table[k]);
+          multi_applied[k] = true;
+        }
+      }
+      if (!ready.empty()) joined = FilterRows(joined, ready, layout);
+    };
+
+    for (size_t step = 0; step < order.size(); ++step) {
+      int t = order[step];
+      if (step == 0) {
+        joined = scans[t];
+        for (size_t j = 0; j < query.from[t].columns.size(); ++j) {
+          layout[query.from[t].columns[j]] = static_cast<int>(j);
+        }
+        bound[t] = true;
+        note_rows(joined.size());
+        apply_ready_multi();
+        continue;
+      }
+
+      // Keys: every unused equi edge connecting t to the bound set.
+      std::vector<std::pair<int, int>> keys;  // (joined ordinal, scan ordinal)
+      for (size_t k = 0; k < cls.equi_joins.size(); ++k) {
+        if (edge_used[k]) continue;
+        const auto& e = cls.equi_joins[k];
+        std::string bound_col, new_col;
+        if (e.left_table == t && bound[e.right_table]) {
+          new_col = e.left_column;
+          bound_col = e.right_column;
+        } else if (e.right_table == t && bound[e.left_table]) {
+          new_col = e.right_column;
+          bound_col = e.left_column;
+        } else {
+          continue;
+        }
+        auto loc = query.FindColumn(new_col);
+        keys.emplace_back(layout.at(bound_col), loc->second);
+        edge_used[k] = true;
+      }
+
+      if (keys.empty()) {
+        joined = CartesianProduct(joined, scans[t]);
+      } else {
+        joined = HashJoin(joined, scans[t], keys);
+      }
+      int offset = static_cast<int>(layout.size());
+      for (size_t j = 0; j < query.from[t].columns.size(); ++j) {
+        layout[query.from[t].columns[j]] = offset + static_cast<int>(j);
+      }
+      bound[t] = true;
+      note_rows(joined.size());
+      apply_ready_multi();
+    }
+
+    // Equi edges between two tables joined through a third path may remain:
+    // apply them as residual filters.
+    std::vector<Predicate> leftover;
+    for (size_t k = 0; k < cls.equi_joins.size(); ++k) {
+      if (edge_used[k]) continue;
+      const auto& e = cls.equi_joins[k];
+      leftover.push_back(Predicate{Operand::Column(e.left_column), CmpOp::kEq,
+                                   Operand::Column(e.right_column)});
+    }
+    if (!leftover.empty()) joined = FilterRows(joined, leftover, layout);
+  }
+
+  // ---- Projection / aggregation phase. ----
+  Table out(query.OutputColumns());
+
+  if (query.IsConjunctive()) {
+    std::vector<int> ordinals;
+    ordinals.reserve(query.select.size());
+    for (const SelectItem& s : query.select) {
+      ordinals.push_back(layout.at(s.column));
+    }
+    std::vector<Row> rows = ProjectRows(joined, ordinals);
+    if (query.distinct) rows = DistinctRows(rows);
+    *out.mutable_rows() = std::move(rows);
+    return out;
+  }
+
+  // Grouped/aggregated query.
+  std::vector<int> group_ordinals;
+  group_ordinals.reserve(query.group_by.size());
+  for (const std::string& g : query.group_by) {
+    group_ordinals.push_back(layout.at(g));
+  }
+
+  std::vector<Operand> agg_terms = query.AggregateTerms();
+  std::vector<AggSpec> specs;
+  specs.reserve(agg_terms.size());
+  for (const Operand& term : agg_terms) {
+    int mult = term.multiplier.empty() ? -1 : layout.at(term.multiplier);
+    specs.push_back(AggSpec{term.agg, layout.at(term.column), mult});
+  }
+
+  std::vector<Row> grouped = GroupAggregate(joined, group_ordinals, specs);
+  note_rows(grouped.size());
+
+  // Layout of the grouped rows: grouping columns then one synthetic column
+  // per aggregate term.
+  ColumnIndexMap group_layout;
+  for (size_t i = 0; i < query.group_by.size(); ++i) {
+    group_layout[query.group_by[i]] = static_cast<int>(i);
+  }
+  auto agg_position = [&](const Operand& term) -> int {
+    for (size_t i = 0; i < agg_terms.size(); ++i) {
+      if (agg_terms[i] == term) {
+        return static_cast<int>(query.group_by.size() + i);
+      }
+    }
+    return -1;
+  };
+  auto synthetic_name = [](size_t i) { return "#agg" + std::to_string(i); };
+  for (size_t i = 0; i < agg_terms.size(); ++i) {
+    group_layout[synthetic_name(i)] =
+        static_cast<int>(query.group_by.size() + i);
+  }
+
+  // HAVING: rewrite aggregate operands to the synthetic columns, then filter.
+  if (!query.having.empty()) {
+    std::vector<Predicate> having;
+    having.reserve(query.having.size());
+    for (Predicate p : query.having) {
+      for (Operand* o : {&p.lhs, &p.rhs}) {
+        if (o->is_aggregate()) {
+          int pos = agg_position(*o);
+          *o = Operand::Column(synthetic_name(
+              static_cast<size_t>(pos) - query.group_by.size()));
+        }
+      }
+      having.push_back(std::move(p));
+    }
+    grouped = FilterRows(grouped, having, group_layout);
+  }
+
+  // Final projection. Ratio items divide two SUM positions, so this is a
+  // custom loop rather than ProjectRows.
+  std::vector<Row> rows;
+  rows.reserve(grouped.size());
+  for (const Row& g : grouped) {
+    Row projected;
+    projected.reserve(query.select.size());
+    for (const SelectItem& s : query.select) {
+      switch (s.kind) {
+        case SelectItem::Kind::kColumn:
+          projected.push_back(g[group_layout.at(s.column)]);
+          break;
+        case SelectItem::Kind::kAggregate:
+          projected.push_back(g[agg_position(
+              Operand::Aggregate(s.agg, s.arg.column, s.arg.multiplier))]);
+          break;
+        case SelectItem::Kind::kRatio: {
+          const Value& num = g[agg_position(Operand::Aggregate(
+              AggFn::kSum, s.arg.column, s.arg.multiplier))];
+          const Value& den = g[agg_position(Operand::Aggregate(
+              AggFn::kSum, s.den.column, s.den.multiplier))];
+          if (num.is_null() || den.is_null() || !den.is_numeric() ||
+              den.AsDouble() == 0.0) {
+            projected.push_back(Value::Null());
+          } else {
+            projected.push_back(Value::Double(num.AsDouble() / den.AsDouble()));
+          }
+          break;
+        }
+      }
+    }
+    rows.push_back(std::move(projected));
+  }
+  if (query.distinct) rows = DistinctRows(rows);
+  *out.mutable_rows() = std::move(rows);
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,65 @@
+#ifndef AQV_EXEC_EVALUATOR_H_
+#define AQV_EXEC_EVALUATOR_H_
+
+#include <map>
+#include <string>
+
+#include "base/result.h"
+#include "exec/table.h"
+#include "ir/query.h"
+#include "ir/views.h"
+
+namespace aqv {
+
+/// Evaluation knobs. The default plan pushes single-table filters below the
+/// joins and uses greedy left-deep hash equi-joins; the reference plan is a
+/// filtered Cartesian product, used by tests as an executable specification
+/// of multiset semantics.
+struct EvalOptions {
+  bool use_hash_join = true;
+};
+
+/// Counters for benches and plan-quality assertions.
+struct EvalStats {
+  size_t peak_intermediate_rows = 0;
+  size_t views_materialized = 0;
+};
+
+/// Executes single-block queries against a Database under multiset
+/// semantics. A FROM entry naming a table stored in the Database scans the
+/// stored contents (this is how *materialized* views are served); a FROM
+/// entry naming a registered but unmaterialized view is computed on demand
+/// from its definition and cached for the lifetime of the Evaluator.
+class Evaluator {
+ public:
+  explicit Evaluator(const Database* db, const ViewRegistry* views = nullptr,
+                     EvalOptions options = EvalOptions{})
+      : db_(db), views_(views), options_(options) {}
+
+  /// Evaluates `query`; output columns are query.OutputColumns().
+  Result<Table> Execute(const Query& query);
+
+  /// Materializes the named view from its registered definition (through the
+  /// cache). Use the result with Database::Put to simulate a maintained
+  /// materialized view.
+  Result<Table> MaterializeView(const std::string& name);
+
+  const EvalStats& stats() const { return stats_; }
+  void ClearViewCache() { view_cache_.clear(); }
+
+ private:
+  static constexpr int kMaxViewDepth = 16;
+
+  Result<Table> ExecuteInternal(const Query& query, int depth);
+  Result<const Table*> InputTable(const std::string& name, int depth);
+
+  const Database* db_;
+  const ViewRegistry* views_;
+  EvalOptions options_;
+  std::map<std::string, Table> view_cache_;
+  EvalStats stats_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_EXEC_EVALUATOR_H_

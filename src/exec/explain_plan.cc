@@ -1,0 +1,112 @@
+#include "exec/explain_plan.h"
+
+#include <vector>
+
+#include "base/strings.h"
+#include "exec/planner.h"
+#include "ir/validate.h"
+
+namespace aqv {
+
+Result<std::string> ExplainPlan(const Query& query, const Database& db,
+                                const ViewRegistry* views) {
+  AQV_RETURN_NOT_OK(ValidateQuery(query));
+
+  size_t n = query.from.size();
+  std::vector<size_t> sizes(n, 0);
+  std::vector<bool> known(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    Result<const Table*> t = db.Get(query.from[i].table);
+    if (t.ok()) {
+      sizes[i] = (*t)->num_rows();
+      known[i] = true;
+    } else if (views == nullptr || !views->Has(query.from[i].table)) {
+      return Status::NotFound("'" + query.from[i].table +
+                              "' is neither a stored table nor a view");
+    }
+  }
+
+  PredicateClassification cls = ClassifyPredicates(query);
+  std::vector<int> order = GreedyJoinOrder(sizes, cls.equi_joins);
+
+  std::string out;
+  auto describe_input = [&](int t) {
+    std::string s = query.from[t].table;
+    if (known[t]) {
+      s += " [" + std::to_string(sizes[t]) + " rows]";
+    } else {
+      s += " [virtual]";
+    }
+    if (!cls.single_table[t].empty()) {
+      std::vector<std::string> preds;
+      for (const Predicate& p : cls.single_table[t]) {
+        preds.push_back(p.ToString());
+      }
+      s += " filter(" + Join(preds, " AND ") + ")";
+    }
+    return s;
+  };
+
+  out += "Scan " + describe_input(order.empty() ? 0 : order[0]) + "\n";
+  std::vector<bool> bound(n, false);
+  if (!order.empty()) bound[order[0]] = true;
+  std::vector<bool> edge_used(cls.equi_joins.size(), false);
+
+  for (size_t step = 1; step < order.size(); ++step) {
+    int t = order[step];
+    std::vector<std::string> keys;
+    for (size_t k = 0; k < cls.equi_joins.size(); ++k) {
+      if (edge_used[k]) continue;
+      const auto& e = cls.equi_joins[k];
+      if ((e.left_table == t && bound[e.right_table]) ||
+          (e.right_table == t && bound[e.left_table])) {
+        keys.push_back(e.left_column + " = " + e.right_column);
+        edge_used[k] = true;
+      }
+    }
+    if (keys.empty()) {
+      out += "CartesianProduct with " + describe_input(t) + "\n";
+    } else {
+      out += "HashJoin(" + Join(keys, ", ") + ") with " + describe_input(t) +
+             "\n";
+    }
+    bound[t] = true;
+  }
+
+  std::vector<std::string> residual;
+  for (size_t k = 0; k < cls.equi_joins.size(); ++k) {
+    if (!edge_used[k]) {
+      residual.push_back(cls.equi_joins[k].left_column + " = " +
+                         cls.equi_joins[k].right_column);
+    }
+  }
+  for (const Predicate& p : cls.multi_table) residual.push_back(p.ToString());
+  if (!residual.empty()) {
+    out += "Filter(" + Join(residual, " AND ") + ")\n";
+  }
+
+  if (query.IsAggregation()) {
+    std::vector<std::string> aggs;
+    for (const Operand& term : query.AggregateTerms()) {
+      aggs.push_back(term.ToString());
+    }
+    out += "HashAggregate(groups: " +
+           (query.group_by.empty() ? std::string("<global>")
+                                   : Join(query.group_by, ", ")) +
+           "; aggregates: " + Join(aggs, ", ") + ")\n";
+    if (!query.having.empty()) {
+      std::vector<std::string> conds;
+      for (const Predicate& p : query.having) conds.push_back(p.ToString());
+      out += "Having(" + Join(conds, " AND ") + ")\n";
+    }
+  }
+  {
+    std::vector<std::string> items;
+    for (const SelectItem& s : query.select) items.push_back(s.ToString());
+    out += std::string(query.distinct ? "ProjectDistinct(" : "Project(") +
+           Join(items, ", ") + ")\n";
+  }
+  return out;
+}
+
+}  // namespace aqv

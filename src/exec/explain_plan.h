@@ -1,0 +1,27 @@
+#ifndef AQV_EXEC_EXPLAIN_PLAN_H_
+#define AQV_EXEC_EXPLAIN_PLAN_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "exec/table.h"
+#include "ir/query.h"
+#include "ir/views.h"
+
+namespace aqv {
+
+/// Renders the physical plan the Evaluator would execute for `query`:
+/// filtered scans with their pushed-down predicates, the greedy left-deep
+/// join order with the equi-join keys each step uses (or a Cartesian step
+/// when the join graph is disconnected), residual filters, and the
+/// aggregation / HAVING / projection stages. Cardinalities are annotated
+/// for inputs stored in `db`; registered-but-unmaterialized views show as
+/// "virtual".
+///
+/// Purely advisory: nothing is executed or materialized.
+Result<std::string> ExplainPlan(const Query& query, const Database& db,
+                                const ViewRegistry* views = nullptr);
+
+}  // namespace aqv
+
+#endif  // AQV_EXEC_EXPLAIN_PLAN_H_

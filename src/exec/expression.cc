@@ -1,0 +1,63 @@
+#include "exec/expression.h"
+
+namespace aqv {
+
+bool EvalCmp(const Value& lhs, CmpOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+
+  bool comparable = (lhs.is_numeric() && rhs.is_numeric()) ||
+                    (lhs.type() == ValueType::kString &&
+                     rhs.type() == ValueType::kString);
+  if (!comparable) {
+    // Cross-family: never equal, never ordered.
+    return op == CmpOp::kNe;
+  }
+
+  int c;
+  if (lhs.is_numeric()) {
+    double a = lhs.AsDouble(), b = rhs.AsDouble();
+    c = a < b ? -1 : (a > b ? 1 : 0);
+  } else {
+    c = lhs.str().compare(rhs.str());
+    c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+namespace {
+
+Value ResolveOperand(const Operand& o, const Row& row,
+                     const ColumnIndexMap& layout) {
+  if (o.is_constant()) return o.constant;
+  auto it = layout.find(o.column);
+  if (it == layout.end() || it->second < 0 ||
+      it->second >= static_cast<int>(row.size())) {
+    return Value::Null();
+  }
+  return row[it->second];
+}
+
+}  // namespace
+
+bool EvalScalarPredicate(const Predicate& pred, const Row& row,
+                         const ColumnIndexMap& layout) {
+  Value lhs = ResolveOperand(pred.lhs, row, layout);
+  Value rhs = ResolveOperand(pred.rhs, row, layout);
+  return EvalCmp(lhs, pred.op, rhs);
+}
+
+}  // namespace aqv

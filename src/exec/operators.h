@@ -1,0 +1,82 @@
+#ifndef AQV_EXEC_OPERATORS_H_
+#define AQV_EXEC_OPERATORS_H_
+
+#include <utility>
+#include <vector>
+
+#include "base/value.h"
+#include "exec/expression.h"
+#include "ir/query.h"
+
+namespace aqv {
+
+/// Streaming accumulator for one SQL aggregate function. NULL inputs are
+/// ignored per SQL. An accumulator that saw no (non-null) input finishes to
+/// NULL, except COUNT which finishes to 0.
+class Aggregator {
+ public:
+  explicit Aggregator(AggFn fn) : fn_(fn) {}
+
+  void Add(const Value& v);
+  Value Finish() const;
+
+ private:
+  AggFn fn_;
+  bool any_ = false;
+  Value extreme_;         // MIN/MAX running extremum
+  int64_t count_ = 0;     // COUNT / AVG denominator
+  int64_t sum_int_ = 0;   // exact integer sum while all inputs are INT64
+  double sum_dbl_ = 0.0;  // numeric sum (always maintained)
+  bool all_int_ = true;
+};
+
+/// One aggregate computation over an input row layout: AGG(column), or
+/// AGG(column * multiplier) when `multiplier >= 0` (scaled arguments from
+/// the Section 4 multiplicity recovery).
+struct AggSpec {
+  AggFn fn;
+  int column;
+  int multiplier = -1;
+};
+
+/// Numeric product of two values; NULL if either is NULL or non-numeric.
+/// INT64 * INT64 stays INT64.
+Value NumericProduct(const Value& a, const Value& b);
+
+/// Rows satisfying the conjunction `preds` (each scalar), resolved against
+/// `layout`.
+std::vector<Row> FilterRows(const std::vector<Row>& rows,
+                            const std::vector<Predicate>& preds,
+                            const ColumnIndexMap& layout);
+
+/// Hash equi-join of `left` and `right` on the given (left ordinal, right
+/// ordinal) key pairs. Output rows are left ++ right. Rows with a NULL key
+/// never match (SQL equi-join). Key equality is SQL equality (numeric across
+/// INT64/DOUBLE).
+std::vector<Row> HashJoin(const std::vector<Row>& left,
+                          const std::vector<Row>& right,
+                          const std::vector<std::pair<int, int>>& keys);
+
+/// Full Cartesian product; output rows are left ++ right.
+std::vector<Row> CartesianProduct(const std::vector<Row>& left,
+                                  const std::vector<Row>& right);
+
+/// Hash grouping: partitions `rows` by the values at `group_cols` and
+/// computes `aggs` within each group. Output rows are
+/// [group values..., aggregate values...] in spec order. With empty
+/// `group_cols` there is exactly one global group, emitted even on empty
+/// input (COUNT(...) over an empty table is 0).
+std::vector<Row> GroupAggregate(const std::vector<Row>& rows,
+                                const std::vector<int>& group_cols,
+                                const std::vector<AggSpec>& aggs);
+
+/// Removes duplicate rows (SELECT DISTINCT).
+std::vector<Row> DistinctRows(const std::vector<Row>& rows);
+
+/// Projects each row to the given ordinals.
+std::vector<Row> ProjectRows(const std::vector<Row>& rows,
+                             const std::vector<int>& ordinals);
+
+}  // namespace aqv
+
+#endif  // AQV_EXEC_OPERATORS_H_

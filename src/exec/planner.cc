@@ -1,0 +1,85 @@
+#include "exec/planner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace aqv {
+
+PredicateClassification ClassifyPredicates(const Query& query) {
+  PredicateClassification out;
+  out.single_table.resize(query.from.size());
+
+  auto table_of = [&query](const std::string& column) {
+    auto loc = query.FindColumn(column);
+    return loc ? loc->first : -1;
+  };
+
+  for (const Predicate& p : query.where) {
+    std::set<int> tables;
+    for (const std::string& c : p.ReferencedColumns()) {
+      int t = table_of(c);
+      if (t >= 0) tables.insert(t);
+    }
+    if (tables.size() <= 1) {
+      int t = tables.empty() ? 0 : *tables.begin();
+      out.single_table[t].push_back(p);
+      continue;
+    }
+    if (tables.size() == 2 && p.op == CmpOp::kEq && p.lhs.is_column() &&
+        p.rhs.is_column()) {
+      int lt = table_of(p.lhs.column);
+      int rt = table_of(p.rhs.column);
+      out.equi_joins.push_back(PredicateClassification::JoinEdge{
+          lt, rt, p.lhs.column, p.rhs.column});
+      continue;
+    }
+    out.multi_table.push_back(p);
+  }
+  return out;
+}
+
+std::vector<int> GreedyJoinOrder(
+    const std::vector<size_t>& sizes,
+    const std::vector<PredicateClassification::JoinEdge>& edges) {
+  int n = static_cast<int>(sizes.size());
+  std::vector<int> order;
+  if (n == 0) return order;
+
+  std::vector<bool> bound(n, false);
+  auto connected = [&edges, &bound](int table) {
+    for (const auto& e : edges) {
+      if ((e.left_table == table && bound[e.right_table]) ||
+          (e.right_table == table && bound[e.left_table])) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Seed with the smallest input.
+  int first = 0;
+  for (int i = 1; i < n; ++i) {
+    if (sizes[i] < sizes[first]) first = i;
+  }
+  order.push_back(first);
+  bound[first] = true;
+
+  while (static_cast<int>(order.size()) < n) {
+    int best = -1;
+    bool best_connected = false;
+    for (int i = 0; i < n; ++i) {
+      if (bound[i]) continue;
+      bool conn = connected(i);
+      if (best < 0 || (conn && !best_connected) ||
+          (conn == best_connected && sizes[i] < sizes[best])) {
+        best = i;
+        best_connected = conn;
+      }
+    }
+    order.push_back(best);
+    bound[best] = true;
+  }
+  return order;
+}
+
+}  // namespace aqv

@@ -1,0 +1,45 @@
+#ifndef AQV_EXEC_PLANNER_H_
+#define AQV_EXEC_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/query.h"
+
+namespace aqv {
+
+/// WHERE conjuncts of a query sorted into the roles the join planner needs.
+struct PredicateClassification {
+  /// Conjuncts referencing columns of exactly one FROM entry (or constants
+  /// only); index parallels Query::from. Pushed below the join.
+  std::vector<std::vector<Predicate>> single_table;
+
+  /// An equality between columns of two different FROM entries.
+  struct JoinEdge {
+    int left_table;
+    int right_table;
+    std::string left_column;
+    std::string right_column;
+  };
+  std::vector<JoinEdge> equi_joins;
+
+  /// Everything else (non-equality conjuncts spanning tables). Applied once
+  /// all referenced tables are joined.
+  std::vector<Predicate> multi_table;
+};
+
+/// Classifies query.where against query.from.
+PredicateClassification ClassifyPredicates(const Query& query);
+
+/// Greedy left-deep join order: start from the smallest input, repeatedly
+/// join the smallest input connected to the bound set by an equi-join edge,
+/// falling back to the smallest unconnected input (Cartesian step) when the
+/// join graph is disconnected. `sizes[i]` is the (filtered) cardinality of
+/// FROM entry i. Returns a permutation of 0..n-1.
+std::vector<int> GreedyJoinOrder(
+    const std::vector<size_t>& sizes,
+    const std::vector<PredicateClassification::JoinEdge>& edges);
+
+}  // namespace aqv
+
+#endif  // AQV_EXEC_PLANNER_H_

@@ -1,0 +1,155 @@
+#include "exec/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/strings.h"
+
+namespace aqv {
+
+int Table::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::AddRow(Row row) {
+  if (static_cast<int>(row.size()) != num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != table arity " +
+        std::to_string(num_columns()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::AddRowOrDie(Row row) {
+  Status s = AddRow(std::move(row));
+  if (!s.ok()) {
+    std::fprintf(stderr, "Table::AddRowOrDie: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << Join(columns_, " | ") << "\n";
+  size_t shown = 0;
+  for (const Row& row : rows_) {
+    if (shown++ >= max_rows) {
+      os << "... (" << rows_.size() << " rows total)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << " | ";
+      os << row[i].ToString();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Database::Put(std::string name, Table table) {
+  tables_[std::move(name)] = std::move(table);
+}
+
+Result<const Table*> Database::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not in database");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+// Row -> multiplicity.
+std::unordered_map<Row, int64_t, RowHash, RowEq> Histogram(const Table& t) {
+  std::unordered_map<Row, int64_t, RowHash, RowEq> h;
+  h.reserve(t.num_rows());
+  for (const Row& row : t.rows()) ++h[row];
+  return h;
+}
+
+}  // namespace
+
+bool MultisetEqual(const Table& a, const Table& b) {
+  if (a.num_columns() != b.num_columns()) return false;
+  if (a.num_rows() != b.num_rows()) return false;
+  auto ha = Histogram(a);
+  for (const Row& row : b.rows()) {
+    auto it = ha.find(row);
+    if (it == ha.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+bool MultisetAlmostEqual(const Table& a, const Table& b,
+                         double relative_tolerance) {
+  if (a.num_columns() != b.num_columns()) return false;
+  if (a.num_rows() != b.num_rows()) return false;
+  std::vector<Row> ra = a.rows(), rb = b.rows();
+  auto by_total_order = [](const Row& x, const Row& y) {
+    return CompareRows(x, y) < 0;
+  };
+  std::sort(ra.begin(), ra.end(), by_total_order);
+  std::sort(rb.begin(), rb.end(), by_total_order);
+  auto value_close = [relative_tolerance](const Value& x, const Value& y) {
+    if (x.is_numeric() && y.is_numeric()) {
+      double dx = x.AsDouble(), dy = y.AsDouble();
+      double scale = std::max({1.0, std::abs(dx), std::abs(dy)});
+      return std::abs(dx - dy) <= relative_tolerance * scale;
+    }
+    return x.Compare(y) == 0;
+  };
+  for (size_t i = 0; i < ra.size(); ++i) {
+    for (size_t j = 0; j < ra[i].size(); ++j) {
+      if (!value_close(ra[i][j], rb[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+std::string DescribeMultisetDifference(const Table& a, const Table& b) {
+  if (a.num_columns() != b.num_columns()) {
+    return "arity mismatch: " + std::to_string(a.num_columns()) + " vs " +
+           std::to_string(b.num_columns());
+  }
+  auto ha = Histogram(a);
+  auto hb = Histogram(b);
+  for (const auto& [row, count] : ha) {
+    auto it = hb.find(row);
+    int64_t other = it == hb.end() ? 0 : it->second;
+    if (other != count) {
+      std::string rendering;
+      for (const Value& v : row) rendering += v.ToString() + " ";
+      return "row [" + rendering + "] has multiplicity " +
+             std::to_string(count) + " on the left but " +
+             std::to_string(other) + " on the right";
+    }
+  }
+  for (const auto& [row, count] : hb) {
+    if (ha.find(row) == ha.end()) {
+      std::string rendering;
+      for (const Value& v : row) rendering += v.ToString() + " ";
+      return "row [" + rendering + "] has multiplicity 0 on the left but " +
+             std::to_string(count) + " on the right";
+    }
+  }
+  return "";
+}
+
+}  // namespace aqv

@@ -1,0 +1,82 @@
+#ifndef AQV_EXEC_TABLE_H_
+#define AQV_EXEC_TABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/value.h"
+
+namespace aqv {
+
+/// An in-memory multiset of rows with named columns. Duplicate rows are
+/// first-class: the paper's semantics are over bags, and a Table preserves
+/// multiplicities exactly.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Ordinal of `column`, or -1.
+  int ColumnIndex(const std::string& column) const;
+
+  /// Appends `row`; its arity must match the schema.
+  Status AddRow(Row row);
+
+  /// AddRow that aborts on arity mismatch; for literal test data.
+  void AddRowOrDie(Row row);
+
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>* mutable_rows() { return &rows_; }
+
+  /// Multi-line human-readable rendering (for examples and test failures).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+/// A database instance: base-table name -> contents. Materialized view
+/// contents may also be stored here under the view's name, in which case the
+/// evaluator uses the stored contents instead of recomputing the view.
+class Database {
+ public:
+  /// Stores `table` under `name`, replacing any previous contents.
+  void Put(std::string name, Table table);
+
+  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+  Result<const Table*> Get(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+/// True if `a` and `b` contain the same multiset of rows (column names are
+/// ignored; arity must match). This is Definition 2.2's multiset-equivalence
+/// check applied to two concrete results.
+bool MultisetEqual(const Table& a, const Table& b);
+
+/// Human-readable explanation of the first difference found by
+/// MultisetEqual, or "" if equal. Used in test failure messages.
+std::string DescribeMultisetDifference(const Table& a, const Table& b);
+
+/// MultisetEqual with a relative tolerance on numeric values. Needed when
+/// comparing a query against its rewriting over DOUBLE data: re-associating
+/// a SUM (e.g. summing monthly subtotals instead of raw values) changes the
+/// result in the last bits. Rows are canonically sorted and matched
+/// pairwise.
+bool MultisetAlmostEqual(const Table& a, const Table& b,
+                         double relative_tolerance = 1e-9);
+
+}  // namespace aqv
+
+#endif  // AQV_EXEC_TABLE_H_

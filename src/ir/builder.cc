@@ -1,0 +1,93 @@
+#include "ir/builder.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ir/validate.h"
+
+namespace aqv {
+
+QueryBuilder& QueryBuilder::Select(std::string column, std::string alias) {
+  query_.select.push_back(
+      SelectItem::MakeColumn(std::move(column), std::move(alias)));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::SelectAgg(AggFn fn, std::string column,
+                                      std::string alias) {
+  if (alias.empty()) {
+    alias = std::string(AggFnToString(fn)) + "_" + column;
+  }
+  query_.select.push_back(
+      SelectItem::MakeAggregate(fn, std::move(column), std::move(alias)));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Distinct() {
+  query_.distinct = true;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::From(std::string table,
+                                 std::vector<std::string> columns) {
+  query_.from.push_back(TableRef{std::move(table), std::move(columns)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Where(Predicate p) {
+  query_.where.push_back(std::move(p));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereCols(std::string lhs, CmpOp op,
+                                      std::string rhs) {
+  query_.where.push_back(Predicate{Operand::Column(std::move(lhs)), op,
+                                   Operand::Column(std::move(rhs))});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereConst(std::string lhs, CmpOp op, Value rhs) {
+  query_.where.push_back(Predicate{Operand::Column(std::move(lhs)), op,
+                                   Operand::Constant(std::move(rhs))});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBy(std::string column) {
+  query_.group_by.push_back(std::move(column));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Having(Predicate p) {
+  query_.having.push_back(std::move(p));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::HavingAgg(AggFn fn, std::string column, CmpOp op,
+                                      Value rhs) {
+  query_.having.push_back(Predicate{Operand::Aggregate(fn, std::move(column)),
+                                    op, Operand::Constant(std::move(rhs))});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::HavingCol(std::string column, CmpOp op, Value rhs) {
+  query_.having.push_back(Predicate{Operand::Column(std::move(column)), op,
+                                    Operand::Constant(std::move(rhs))});
+  return *this;
+}
+
+Result<Query> QueryBuilder::Build() const {
+  AQV_RETURN_NOT_OK(ValidateQuery(query_));
+  return query_;
+}
+
+Query QueryBuilder::BuildOrDie() const {
+  Result<Query> result = Build();
+  if (!result.ok()) {
+    std::fprintf(stderr, "QueryBuilder::BuildOrDie: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(result);
+}
+
+}  // namespace aqv

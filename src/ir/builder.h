@@ -1,0 +1,54 @@
+#ifndef AQV_IR_BUILDER_H_
+#define AQV_IR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ir/query.h"
+
+namespace aqv {
+
+/// Fluent construction of Query objects in tests, examples and benches.
+///
+///   Query q = QueryBuilder()
+///                 .From("R1", {"A1", "B1"})
+///                 .From("R2", {"C1", "D1"})
+///                 .Select("A1")
+///                 .SelectAgg(AggFn::kSum, "B1")
+///                 .WhereCols("A1", CmpOp::kEq, "C1")
+///                 .WhereConst("D1", CmpOp::kEq, Value::Int64(6))
+///                 .GroupBy("A1")
+///                 .BuildOrDie();
+///
+/// Column names must already follow the unique-name convention (the binder
+/// in parser/binder.h produces such names from raw SQL). Build() validates
+/// via ValidateQuery().
+class QueryBuilder {
+ public:
+  QueryBuilder& Select(std::string column, std::string alias = "");
+  QueryBuilder& SelectAgg(AggFn fn, std::string column, std::string alias = "");
+  QueryBuilder& Distinct();
+  QueryBuilder& From(std::string table, std::vector<std::string> columns);
+  QueryBuilder& Where(Predicate p);
+  QueryBuilder& WhereCols(std::string lhs, CmpOp op, std::string rhs);
+  QueryBuilder& WhereConst(std::string lhs, CmpOp op, Value rhs);
+  QueryBuilder& GroupBy(std::string column);
+  QueryBuilder& Having(Predicate p);
+  QueryBuilder& HavingAgg(AggFn fn, std::string column, CmpOp op, Value rhs);
+  QueryBuilder& HavingCol(std::string column, CmpOp op, Value rhs);
+
+  /// Validates and returns the query.
+  Result<Query> Build() const;
+
+  /// Build() that aborts on validation failure; for tests and examples
+  /// where the query is a literal known to be well-formed.
+  Query BuildOrDie() const;
+
+ private:
+  Query query_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_IR_BUILDER_H_

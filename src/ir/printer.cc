@@ -1,0 +1,47 @@
+#include "ir/printer.h"
+
+#include <vector>
+
+#include "base/strings.h"
+
+namespace aqv {
+
+std::string ToSql(const Query& query) {
+  std::string out = "SELECT ";
+  if (query.distinct) out += "DISTINCT ";
+  {
+    std::vector<std::string> items;
+    items.reserve(query.select.size());
+    for (const SelectItem& s : query.select) items.push_back(s.ToString());
+    out += Join(items, ", ");
+  }
+  out += " FROM ";
+  {
+    std::vector<std::string> tables;
+    tables.reserve(query.from.size());
+    for (const TableRef& t : query.from) tables.push_back(t.ToString());
+    out += Join(tables, ", ");
+  }
+  if (!query.where.empty()) {
+    std::vector<std::string> conds;
+    conds.reserve(query.where.size());
+    for (const Predicate& p : query.where) conds.push_back(p.ToString());
+    out += " WHERE " + Join(conds, " AND ");
+  }
+  if (!query.group_by.empty()) {
+    out += " GROUPBY " + Join(query.group_by, ", ");
+  }
+  if (!query.having.empty()) {
+    std::vector<std::string> conds;
+    conds.reserve(query.having.size());
+    for (const Predicate& p : query.having) conds.push_back(p.ToString());
+    out += " HAVING " + Join(conds, " AND ");
+  }
+  return out;
+}
+
+std::string ToSql(const ViewDef& view) {
+  return "CREATE VIEW " + view.name + " AS " + ToSql(view.query);
+}
+
+}  // namespace aqv

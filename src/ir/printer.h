@@ -1,0 +1,25 @@
+#ifndef AQV_IR_PRINTER_H_
+#define AQV_IR_PRINTER_H_
+
+#include <string>
+
+#include "ir/query.h"
+
+namespace aqv {
+
+/// Renders a query in the paper's notation, with FROM entries printed as
+/// `R1(A1, B1)` (each occurrence's renamed-apart columns in parentheses):
+///
+///   SELECT A1, SUM(B1) FROM R1(A1, B1), R2(C1, D1)
+///   WHERE A1 = C1 GROUPBY A1
+///
+/// The parser (parser/parser.h) accepts exactly this form back, so printing
+/// and parsing round-trip.
+std::string ToSql(const Query& query);
+
+/// Renders `CREATE VIEW name AS <query>`.
+std::string ToSql(const ViewDef& view);
+
+}  // namespace aqv
+
+#endif  // AQV_IR_PRINTER_H_

@@ -1,0 +1,278 @@
+#include "ir/query.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace aqv {
+
+const char* AggFnToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CmpOp FlipCmpOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kEq;
+    case CmpOp::kNe:
+      return CmpOp::kNe;
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+  }
+  return op;
+}
+
+bool Operand::operator==(const Operand& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kColumn:
+      return column == other.column;
+    case Kind::kConstant:
+      return constant == other.constant;
+    case Kind::kAggregate:
+      return agg == other.agg && column == other.column &&
+             multiplier == other.multiplier;
+  }
+  return false;
+}
+
+bool Operand::operator<(const Operand& other) const {
+  if (kind != other.kind) return kind < other.kind;
+  switch (kind) {
+    case Kind::kColumn:
+      return column < other.column;
+    case Kind::kConstant:
+      return constant < other.constant;
+    case Kind::kAggregate:
+      if (agg != other.agg) return agg < other.agg;
+      if (column != other.column) return column < other.column;
+      return multiplier < other.multiplier;
+  }
+  return false;
+}
+
+std::string Operand::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return column;
+    case Kind::kConstant:
+      return constant.ToString();
+    case Kind::kAggregate:
+      return std::string(AggFnToString(agg)) + "(" + agg_arg().ToString() + ")";
+  }
+  return "?";
+}
+
+bool Predicate::operator==(const Predicate& other) const {
+  return lhs == other.lhs && op == other.op && rhs == other.rhs;
+}
+
+std::vector<std::string> Predicate::ReferencedColumns() const {
+  std::vector<std::string> cols;
+  for (const Operand* o : {&lhs, &rhs}) {
+    if (o->is_constant()) continue;
+    cols.push_back(o->column);
+    if (o->is_aggregate() && !o->multiplier.empty()) {
+      cols.push_back(o->multiplier);
+    }
+  }
+  return cols;
+}
+
+std::string Predicate::ToString() const {
+  return lhs.ToString() + " " + CmpOpToString(op) + " " + rhs.ToString();
+}
+
+std::vector<std::string> SelectItem::ReferencedColumns() const {
+  std::vector<std::string> cols;
+  switch (kind) {
+    case Kind::kColumn:
+      cols.push_back(column);
+      break;
+    case Kind::kAggregate:
+      cols.push_back(arg.column);
+      if (arg.scaled()) cols.push_back(arg.multiplier);
+      break;
+    case Kind::kRatio:
+      cols.push_back(arg.column);
+      if (arg.scaled()) cols.push_back(arg.multiplier);
+      cols.push_back(den.column);
+      if (den.scaled()) cols.push_back(den.multiplier);
+      break;
+  }
+  return cols;
+}
+
+bool SelectItem::operator==(const SelectItem& other) const {
+  if (kind != other.kind || alias != other.alias) return false;
+  switch (kind) {
+    case Kind::kColumn:
+      return column == other.column;
+    case Kind::kAggregate:
+      return agg == other.agg && arg == other.arg;
+    case Kind::kRatio:
+      return arg == other.arg && den == other.den;
+  }
+  return false;
+}
+
+std::string SelectItem::ToString() const {
+  std::string body;
+  switch (kind) {
+    case Kind::kColumn:
+      body = column;
+      break;
+    case Kind::kAggregate:
+      body = std::string(AggFnToString(agg)) + "(" + arg.ToString() + ")";
+      break;
+    case Kind::kRatio:
+      body = "SUM(" + arg.ToString() + ") / SUM(" + den.ToString() + ")";
+      break;
+  }
+  if (!alias.empty() && alias != column) body += " AS " + alias;
+  return body;
+}
+
+std::string TableRef::ToString() const {
+  return table + "(" + Join(columns, ", ") + ")";
+}
+
+std::set<std::string> Query::AllColumns() const {
+  std::set<std::string> cols;
+  for (const TableRef& t : from) {
+    cols.insert(t.columns.begin(), t.columns.end());
+  }
+  return cols;
+}
+
+std::vector<std::string> Query::ColSel() const {
+  std::vector<std::string> cols;
+  for (const SelectItem& s : select) {
+    if (!s.is_aggregate()) cols.push_back(s.column);
+  }
+  return cols;
+}
+
+std::vector<std::string> Query::AggSel() const {
+  std::vector<std::string> cols;
+  for (const SelectItem& s : select) {
+    if (s.kind == SelectItem::Kind::kAggregate) cols.push_back(s.arg.column);
+    if (s.kind == SelectItem::Kind::kRatio) {
+      cols.push_back(s.arg.column);
+      cols.push_back(s.den.column);
+    }
+  }
+  return cols;
+}
+
+std::vector<Operand> Query::AggregateTerms() const {
+  std::vector<Operand> terms;
+  auto add = [&terms](const Operand& o) {
+    if (!o.is_aggregate()) return;
+    if (std::find(terms.begin(), terms.end(), o) == terms.end()) {
+      terms.push_back(o);
+    }
+  };
+  for (const SelectItem& s : select) {
+    if (s.kind == SelectItem::Kind::kAggregate) {
+      add(Operand::Aggregate(s.agg, s.arg.column, s.arg.multiplier));
+    } else if (s.kind == SelectItem::Kind::kRatio) {
+      // A ratio reads two SUM terms.
+      add(Operand::Aggregate(AggFn::kSum, s.arg.column, s.arg.multiplier));
+      add(Operand::Aggregate(AggFn::kSum, s.den.column, s.den.multiplier));
+    }
+  }
+  for (const Predicate& p : having) {
+    add(p.lhs);
+    add(p.rhs);
+  }
+  return terms;
+}
+
+bool Query::IsConjunctive() const {
+  if (!group_by.empty() || !having.empty()) return false;
+  for (const SelectItem& s : select) {
+    if (s.is_aggregate()) return false;
+  }
+  return true;
+}
+
+std::optional<std::pair<int, int>> Query::FindColumn(
+    const std::string& column) const {
+  for (size_t i = 0; i < from.size(); ++i) {
+    const TableRef& t = from[i];
+    for (size_t j = 0; j < t.columns.size(); ++j) {
+      if (t.columns[j] == column) {
+        return std::make_pair(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Query::OutputColumns() const {
+  std::vector<std::string> names;
+  names.reserve(select.size());
+  for (const SelectItem& s : select) {
+    names.push_back(s.alias.empty() ? s.column : s.alias);
+  }
+  return names;
+}
+
+bool Query::operator==(const Query& other) const {
+  return select == other.select && distinct == other.distinct &&
+         from == other.from && where == other.where &&
+         group_by == other.group_by && having == other.having;
+}
+
+void NameGenerator::Reserve(const std::set<std::string>& taken) {
+  taken_.insert(taken.begin(), taken.end());
+}
+
+void NameGenerator::Reserve(const std::string& name) { taken_.insert(name); }
+
+std::string NameGenerator::Fresh(const std::string& base) {
+  if (taken_.insert(base).second) return base;
+  for (int i = 2;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (taken_.insert(candidate).second) return candidate;
+  }
+}
+
+}  // namespace aqv

@@ -1,0 +1,263 @@
+#ifndef AQV_IR_QUERY_H_
+#define AQV_IR_QUERY_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/value.h"
+
+namespace aqv {
+
+/// SQL aggregate functions handled by the paper (Section 2, plus AVG per
+/// Section 4.4).
+enum class AggFn { kMin, kMax, kSum, kCount, kAvg };
+
+const char* AggFnToString(AggFn fn);
+
+/// Comparison operators allowed in WHERE/HAVING atoms (Section 2 restricts
+/// conditions to conjunctions of these).
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpToString(CmpOp op);
+
+/// The mirror-image operator: Flip(<) is >, so `a op b` iff `b Flip(op) a`.
+CmpOp FlipCmpOp(CmpOp op);
+
+/// Argument of an aggregate function: a column, optionally scaled by a
+/// second column ("E1 * N1"). Scaled arguments arise from the Section 4
+/// rewriting when a view's COUNT column re-weights rows whose base
+/// multiplicity the view's GROUPBY collapsed.
+struct AggArg {
+  std::string column;
+  std::string multiplier;  // empty: unscaled
+
+  bool scaled() const { return !multiplier.empty(); }
+
+  bool operator==(const AggArg& other) const {
+    return column == other.column && multiplier == other.multiplier;
+  }
+  bool operator<(const AggArg& other) const {
+    if (column != other.column) return column < other.column;
+    return multiplier < other.multiplier;
+  }
+
+  std::string ToString() const {
+    return scaled() ? column + " * " + multiplier : column;
+  }
+};
+
+/// An operand of a predicate: a column reference (by the query-wide unique
+/// column name of Section 2's naming convention), a constant, or an
+/// aggregate term AGG(arg) (legal only in HAVING).
+struct Operand {
+  enum class Kind { kColumn, kConstant, kAggregate };
+
+  Kind kind = Kind::kConstant;
+  std::string column;  // kColumn: the name; kAggregate: the argument column
+  std::string multiplier;   // kAggregate: optional argument scaling
+  Value constant;           // kConstant
+  AggFn agg = AggFn::kMin;  // kAggregate
+
+  static Operand Column(std::string name) {
+    Operand o;
+    o.kind = Kind::kColumn;
+    o.column = std::move(name);
+    return o;
+  }
+  static Operand Constant(Value v) {
+    Operand o;
+    o.kind = Kind::kConstant;
+    o.constant = std::move(v);
+    return o;
+  }
+  static Operand Aggregate(AggFn fn, std::string arg,
+                           std::string multiplier = "") {
+    Operand o;
+    o.kind = Kind::kAggregate;
+    o.agg = fn;
+    o.column = std::move(arg);
+    o.multiplier = std::move(multiplier);
+    return o;
+  }
+
+  AggArg agg_arg() const { return AggArg{column, multiplier}; }
+
+  bool is_column() const { return kind == Kind::kColumn; }
+  bool is_constant() const { return kind == Kind::kConstant; }
+  bool is_aggregate() const { return kind == Kind::kAggregate; }
+
+  bool operator==(const Operand& other) const;
+  bool operator<(const Operand& other) const;
+
+  std::string ToString() const;
+};
+
+/// One conjunct `lhs op rhs` of a WHERE or HAVING clause.
+struct Predicate {
+  Operand lhs;
+  CmpOp op = CmpOp::kEq;
+  Operand rhs;
+
+  bool operator==(const Predicate& other) const;
+
+  /// True if neither operand is an aggregate term.
+  bool IsScalar() const { return !lhs.is_aggregate() && !rhs.is_aggregate(); }
+
+  /// Column names referenced by either operand (aggregate arguments count).
+  std::vector<std::string> ReferencedColumns() const;
+
+  std::string ToString() const;
+};
+
+/// One item of a SELECT clause: a plain column, an aggregate AGG(arg), or a
+/// ratio SUM(arg)/SUM(den) (how AVG is recovered from SUM and COUNT columns
+/// of a view, Section 4.4). `alias` names the item in the query's output
+/// schema; the builder fills in a default when the user does not provide
+/// one.
+struct SelectItem {
+  enum class Kind { kColumn, kAggregate, kRatio };
+
+  Kind kind = Kind::kColumn;
+  std::string column;       // kColumn only
+  AggFn agg = AggFn::kMin;  // kAggregate only
+  AggArg arg;               // kAggregate argument; kRatio numerator
+  AggArg den;               // kRatio denominator
+  std::string alias;
+
+  static SelectItem MakeColumn(std::string column, std::string alias = "") {
+    SelectItem s;
+    s.kind = Kind::kColumn;
+    s.column = std::move(column);
+    s.alias = std::move(alias);
+    return s;
+  }
+  static SelectItem MakeAggregate(AggFn fn, std::string column,
+                                  std::string alias = "") {
+    SelectItem s;
+    s.kind = Kind::kAggregate;
+    s.agg = fn;
+    s.arg = AggArg{std::move(column), ""};
+    s.alias = std::move(alias);
+    return s;
+  }
+  static SelectItem MakeScaledAggregate(AggFn fn, AggArg arg,
+                                        std::string alias = "") {
+    SelectItem s;
+    s.kind = Kind::kAggregate;
+    s.agg = fn;
+    s.arg = std::move(arg);
+    s.alias = std::move(alias);
+    return s;
+  }
+  static SelectItem MakeRatio(AggArg numerator, AggArg denominator,
+                              std::string alias = "") {
+    SelectItem s;
+    s.kind = Kind::kRatio;
+    s.arg = std::move(numerator);
+    s.den = std::move(denominator);
+    s.alias = std::move(alias);
+    return s;
+  }
+
+  bool is_aggregate() const { return kind != Kind::kColumn; }
+  bool is_ratio() const { return kind == Kind::kRatio; }
+
+  /// Column names this item reads (argument, multiplier, denominator).
+  std::vector<std::string> ReferencedColumns() const;
+
+  bool operator==(const SelectItem& other) const;
+
+  std::string ToString() const;
+};
+
+/// One entry of a FROM clause: an occurrence of a base table or view, with
+/// the occurrence's columns renamed apart per Section 2 ("R1(A1, B1)").
+/// Column names are unique across the whole query.
+struct TableRef {
+  std::string table;                 // base table or registered view name
+  std::vector<std::string> columns;  // per-occurrence unique column names
+
+  bool operator==(const TableRef& other) const {
+    return table == other.table && columns == other.columns;
+  }
+
+  std::string ToString() const;
+};
+
+/// A single-block SQL query
+///   SELECT [DISTINCT] Sel(Q) FROM R1(A1),...,Rn(An)
+///   WHERE Conds(Q) GROUPBY Groups(Q) HAVING GConds(Q)
+/// under multiset semantics. WHERE and HAVING are conjunctions.
+///
+/// Section 2 terminology maps to accessors: Sel(Q) = `select`,
+/// Tables(Q) = `from`, Conds(Q) = `where`, Groups(Q) = `group_by`,
+/// GConds(Q) = `having`, Cols(Q) = AllColumns(), ColSel(Q) = ColSel(),
+/// AggSel(Q) = AggSel().
+struct Query {
+  std::vector<SelectItem> select;
+  bool distinct = false;
+  std::vector<TableRef> from;
+  std::vector<Predicate> where;
+  std::vector<std::string> group_by;
+  std::vector<Predicate> having;
+
+  /// Cols(Q): every unique column name introduced by the FROM clause.
+  std::set<std::string> AllColumns() const;
+
+  /// ColSel(Q): non-aggregation columns of the SELECT clause, in order.
+  std::vector<std::string> ColSel() const;
+
+  /// AggSel(Q): columns aggregated upon in the SELECT clause, in order.
+  std::vector<std::string> AggSel() const;
+
+  /// All aggregate terms appearing in SELECT or HAVING (deduplicated,
+  /// SELECT order first). Section 3.3 extends C4 to HAVING-only aggregates.
+  std::vector<Operand> AggregateTerms() const;
+
+  /// True if the query has no grouping, no aggregation and no HAVING —
+  /// a "conjunctive query" in the paper's terminology.
+  bool IsConjunctive() const;
+
+  /// True if the query has grouping, aggregation, or a HAVING clause.
+  bool IsAggregation() const { return !IsConjunctive(); }
+
+  /// Locates `column`: returns {from index, column ordinal} or nullopt.
+  std::optional<std::pair<int, int>> FindColumn(const std::string& column) const;
+
+  /// Output column names: each select item's alias.
+  std::vector<std::string> OutputColumns() const;
+
+  bool operator==(const Query& other) const;
+};
+
+/// A named view: its defining query plus the output column names under
+/// which other queries reference it in their FROM clauses.
+struct ViewDef {
+  std::string name;
+  Query query;
+
+  /// The view's output schema; equals query.OutputColumns().
+  std::vector<std::string> OutputColumns() const { return query.OutputColumns(); }
+};
+
+/// Generates fresh column/view names that do not collide with a set of
+/// reserved names. Used by the binder to rename occurrences apart and by the
+/// rewriter to name auxiliary views (Section 4's `Va`).
+class NameGenerator {
+ public:
+  /// Reserves every name in `taken`.
+  void Reserve(const std::set<std::string>& taken);
+  void Reserve(const std::string& name);
+
+  /// Returns `base` if free, else base_2, base_3, ... The result is reserved.
+  std::string Fresh(const std::string& base);
+
+ private:
+  std::set<std::string> taken_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_IR_QUERY_H_

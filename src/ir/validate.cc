@@ -1,0 +1,124 @@
+#include "ir/validate.h"
+
+#include <algorithm>
+#include <set>
+
+namespace aqv {
+
+namespace {
+
+Status CheckColumnKnown(const std::set<std::string>& cols,
+                        const std::string& name, const char* where) {
+  if (cols.count(name) == 0) {
+    return Status::InvalidArgument("column '" + name + "' referenced in " +
+                                   where + " is not introduced by FROM");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateQuery(const Query& query) {
+  if (query.select.empty()) {
+    return Status::InvalidArgument("SELECT clause is empty");
+  }
+  if (query.from.empty()) {
+    return Status::InvalidArgument("FROM clause is empty");
+  }
+
+  // Unique column names across occurrences.
+  std::set<std::string> cols;
+  for (const TableRef& t : query.from) {
+    if (t.table.empty()) {
+      return Status::InvalidArgument("FROM entry with empty table name");
+    }
+    if (t.columns.empty()) {
+      return Status::InvalidArgument("FROM entry '" + t.table +
+                                     "' has no columns");
+    }
+    for (const std::string& c : t.columns) {
+      if (!cols.insert(c).second) {
+        return Status::InvalidArgument(
+            "column name '" + c +
+            "' occurs twice in FROM; names must be renamed apart");
+      }
+    }
+  }
+
+  bool has_agg_select = false;
+  std::set<std::string> aliases;
+  for (const SelectItem& s : query.select) {
+    for (const std::string& c : s.ReferencedColumns()) {
+      AQV_RETURN_NOT_OK(CheckColumnKnown(cols, c, "SELECT"));
+    }
+    if (s.is_aggregate()) has_agg_select = true;
+    std::string alias = s.alias.empty() ? s.column : s.alias;
+    if (alias.empty()) {
+      return Status::InvalidArgument("aggregate SELECT item needs an alias: " +
+                                     s.ToString());
+    }
+    if (!aliases.insert(alias).second) {
+      return Status::InvalidArgument("duplicate output column '" + alias + "'");
+    }
+  }
+
+  for (const Predicate& p : query.where) {
+    if (!p.IsScalar()) {
+      return Status::InvalidArgument("aggregate term in WHERE: " + p.ToString());
+    }
+    for (const std::string& c : p.ReferencedColumns()) {
+      AQV_RETURN_NOT_OK(CheckColumnKnown(cols, c, "WHERE"));
+    }
+  }
+
+  for (const std::string& g : query.group_by) {
+    AQV_RETURN_NOT_OK(CheckColumnKnown(cols, g, "GROUP BY"));
+  }
+
+  bool grouped = !query.group_by.empty() || has_agg_select || !query.having.empty();
+  if (grouped) {
+    for (const SelectItem& s : query.select) {
+      if (!s.is_aggregate() &&
+          std::find(query.group_by.begin(), query.group_by.end(), s.column) ==
+              query.group_by.end()) {
+        return Status::InvalidArgument(
+            "non-aggregate SELECT column '" + s.column +
+            "' must appear in GROUP BY of a grouped query");
+      }
+    }
+  }
+
+  if (!query.having.empty() && !grouped) {
+    return Status::InvalidArgument("HAVING on a non-grouped query");
+  }
+  for (const Predicate& p : query.having) {
+    for (const Operand* o : {&p.lhs, &p.rhs}) {
+      switch (o->kind) {
+        case Operand::Kind::kColumn:
+          if (std::find(query.group_by.begin(), query.group_by.end(),
+                        o->column) == query.group_by.end()) {
+            return Status::InvalidArgument(
+                "HAVING references non-grouping column '" + o->column + "'");
+          }
+          break;
+        case Operand::Kind::kAggregate:
+          AQV_RETURN_NOT_OK(CheckColumnKnown(cols, o->column, "HAVING"));
+          if (!o->multiplier.empty()) {
+            AQV_RETURN_NOT_OK(CheckColumnKnown(cols, o->multiplier, "HAVING"));
+          }
+          break;
+        case Operand::Kind::kConstant:
+          break;
+      }
+    }
+  }
+
+  if (query.distinct && grouped) {
+    // DISTINCT on a grouped query is legal SQL but redundant for the
+    // Section 5 analysis; we allow it.
+  }
+
+  return Status::OK();
+}
+
+}  // namespace aqv

@@ -1,0 +1,22 @@
+#ifndef AQV_IR_VALIDATE_H_
+#define AQV_IR_VALIDATE_H_
+
+#include "base/status.h"
+#include "ir/query.h"
+
+namespace aqv {
+
+/// Structural well-formedness of a single-block query:
+///  - non-empty SELECT and FROM;
+///  - column names unique across all FROM occurrences (Section 2 convention);
+///  - every column referenced in SELECT/WHERE/GROUPBY/HAVING is introduced
+///    by the FROM clause;
+///  - SQL grouping rule: if the query has GROUP BY or any aggregation, every
+///    non-aggregate SELECT column is in GROUP BY;
+///  - HAVING only on grouped/aggregated queries; HAVING's plain columns must
+///    be grouping columns; no aggregate terms in WHERE.
+Status ValidateQuery(const Query& query);
+
+}  // namespace aqv
+
+#endif  // AQV_IR_VALIDATE_H_

@@ -1,0 +1,35 @@
+#include "ir/views.h"
+
+#include "ir/validate.h"
+
+namespace aqv {
+
+Status ViewRegistry::Register(ViewDef view) {
+  if (view.name.empty()) {
+    return Status::InvalidArgument("view name is empty");
+  }
+  if (views_.count(view.name) > 0) {
+    return Status::InvalidArgument("duplicate view '" + view.name + "'");
+  }
+  AQV_RETURN_NOT_OK(ValidateQuery(view.query));
+  std::string name = view.name;
+  views_.emplace(std::move(name), std::move(view));
+  return Status::OK();
+}
+
+Result<const ViewDef*> ViewRegistry::Get(const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + name + "' not registered");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> ViewRegistry::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, def] : views_) names.push_back(name);
+  return names;
+}
+
+}  // namespace aqv

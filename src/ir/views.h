@@ -1,0 +1,33 @@
+#ifndef AQV_IR_VIEWS_H_
+#define AQV_IR_VIEWS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ir/query.h"
+
+namespace aqv {
+
+/// Registry of named view definitions. The evaluator materializes a view on
+/// demand when a query's FROM clause references its name; the rewriter reads
+/// definitions from here and registers the auxiliary views (Section 4's
+/// `Va`) it synthesizes.
+class ViewRegistry {
+ public:
+  /// Registers `view`. Fails on duplicate names or an invalid definition.
+  Status Register(ViewDef view);
+
+  bool Has(const std::string& name) const { return views_.count(name) > 0; }
+  Result<const ViewDef*> Get(const std::string& name) const;
+
+  std::vector<std::string> ViewNames() const;
+
+ private:
+  std::map<std::string, ViewDef> views_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_IR_VIEWS_H_

@@ -1,0 +1,437 @@
+#include "maintain/incremental.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "exec/evaluator.h"
+#include "exec/expression.h"
+#include "exec/operators.h"
+#include "ir/validate.h"
+
+namespace aqv {
+
+bool Delta::has_deletes() const {
+  for (const auto& [table, rows] : deletes) {
+    if (!rows.empty()) return true;
+  }
+  return false;
+}
+
+Status ApplyDeltaToBase(const Delta& delta, Database* db) {
+  for (const auto& [name, rows] : delta.inserts) {
+    AQV_ASSIGN_OR_RETURN(const Table* t, db->Get(name));
+    Table updated = *t;
+    for (const Row& row : rows) {
+      AQV_RETURN_NOT_OK(updated.AddRow(row));
+    }
+    db->Put(name, std::move(updated));
+  }
+  for (const auto& [name, rows] : delta.deletes) {
+    AQV_ASSIGN_OR_RETURN(const Table* t, db->Get(name));
+    // Remove one occurrence per delete row.
+    std::unordered_map<Row, int64_t, RowHash, RowEq> to_remove;
+    for (const Row& row : rows) ++to_remove[row];
+    Table updated(t->columns());
+    for (const Row& row : t->rows()) {
+      auto it = to_remove.find(row);
+      if (it != to_remove.end() && it->second > 0) {
+        --it->second;
+        continue;
+      }
+      updated.AddRowOrDie(row);
+    }
+    for (const auto& [row, remaining] : to_remove) {
+      if (remaining > 0) {
+        return Status::InvalidArgument(
+            "delete batch removes a row not present in '" + name + "'");
+      }
+    }
+    db->Put(name, std::move(updated));
+  }
+  return Status::OK();
+}
+
+Result<IncrementalMaintainer> IncrementalMaintainer::Create(
+    const ViewDef& view) {
+  AQV_RETURN_NOT_OK(ValidateQuery(view.query));
+  const Query& q = view.query;
+  if (!q.having.empty()) {
+    return Status::Unsupported(
+        "views with HAVING are not incrementally maintainable (suppressed "
+        "groups are not retained)");
+  }
+  if (q.distinct) {
+    return Status::Unsupported("DISTINCT views need duplicate counts");
+  }
+  for (const SelectItem& s : q.select) {
+    if (s.kind == SelectItem::Kind::kRatio) {
+      return Status::Unsupported("ratio outputs are not maintainable");
+    }
+    if (s.kind == SelectItem::Kind::kAggregate && s.agg == AggFn::kAvg) {
+      return Status::Unsupported(
+          "AVG outputs are not maintainable; materialize SUM and COUNT");
+    }
+  }
+  if (q.IsAggregation()) {
+    // Every grouping column must be an output, or group identities are
+    // ambiguous in the materialization.
+    std::vector<std::string> colsel = q.ColSel();
+    for (const std::string& g : q.group_by) {
+      if (std::find(colsel.begin(), colsel.end(), g) == colsel.end()) {
+        return Status::Unsupported("grouping column '" + g +
+                                   "' is not in the view's SELECT clause");
+      }
+    }
+  }
+  return IncrementalMaintainer(view);
+}
+
+namespace {
+
+// Scalar value of an aggregate argument against a core row.
+Value ArgValue(const AggArg& arg, const Row& row, const ColumnIndexMap& layout) {
+  auto get = [&](const std::string& col) -> Value {
+    auto it = layout.find(col);
+    if (it == layout.end()) return Value::Null();
+    return row[it->second];
+  };
+  Value v = get(arg.column);
+  if (!arg.scaled()) return v;
+  return NumericProduct(v, get(arg.multiplier));
+}
+
+// Numeric a + sign * b for SUM maintenance (NULLs propagate like SQL SUM
+// over no rows: NULL + x = x).
+Value AddSigned(const Value& a, const Value& b, int sign) {
+  if (b.is_null()) return a;
+  if (a.is_null()) {
+    if (sign > 0) return b;
+    // Subtracting from nothing: negate.
+    if (b.type() == ValueType::kInt64) return Value::Int64(-b.int64());
+    return Value::Double(-b.AsDouble());
+  }
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    return Value::Int64(a.int64() + sign * b.int64());
+  }
+  return Value::Double(a.AsDouble() + sign * b.AsDouble());
+}
+
+}  // namespace
+
+Result<std::vector<IncrementalMaintainer::SignedRow>>
+IncrementalMaintainer::DeltaCoreRows(const Delta& delta,
+                                     const Database& before) const {
+  const Query& q = view_.query;
+  size_t k = q.from.size();
+
+  // "After" state for the telescoping prefix, built lazily: a single-table
+  // view (the common summary-table case) never needs it.
+  Database after;
+  bool after_built = false;
+  auto ensure_after = [&]() -> Status {
+    if (after_built) return Status::OK();
+    after = before;
+    after_built = true;
+    return ApplyDeltaToBase(delta, &after);
+  };
+
+  // A conjunctive core query over synthetic per-occurrence table names, so
+  // each occurrence can be bound to a different snapshot (after / delta /
+  // before).
+  Query core;
+  core.from = q.from;
+  core.where = q.where;
+  for (size_t i = 0; i < k; ++i) {
+    core.from[i].table = "@occ" + std::to_string(i);
+    for (const std::string& c : core.from[i].columns) {
+      core.select.push_back(SelectItem::MakeColumn(c));
+    }
+  }
+
+  std::vector<SignedRow> out;
+  for (size_t i = 0; i < k; ++i) {
+    const std::string& table = q.from[i].table;
+    for (int sign : {+1, -1}) {
+      const auto& changes = sign > 0 ? delta.inserts : delta.deletes;
+      auto it = changes.find(table);
+      if (it == changes.end() || it->second.empty()) continue;
+
+      Database term_db;
+      for (size_t j = 0; j < k; ++j) {
+        if (j < i) AQV_RETURN_NOT_OK(ensure_after());
+        const Database& source = j < i ? after : before;
+        if (j == i) {
+          AQV_ASSIGN_OR_RETURN(const Table* base, before.Get(table));
+          Table dt(base->columns());
+          for (const Row& row : it->second) {
+            AQV_RETURN_NOT_OK(dt.AddRow(row));
+          }
+          term_db.Put(core.from[j].table, std::move(dt));
+        } else {
+          AQV_ASSIGN_OR_RETURN(const Table* t, source.Get(q.from[j].table));
+          term_db.Put(core.from[j].table, *t);
+        }
+      }
+      Evaluator eval(&term_db, nullptr);
+      AQV_ASSIGN_OR_RETURN(Table term_rows, eval.Execute(core));
+      for (const Row& row : term_rows.rows()) {
+        out.push_back(SignedRow{row, sign});
+      }
+    }
+  }
+  return out;
+}
+
+Status IncrementalMaintainer::Apply(const Delta& delta, const Database& before,
+                                    Table* materialized) const {
+  if (delta.empty()) return Status::OK();
+  const Query& q = view_.query;
+
+  AQV_ASSIGN_OR_RETURN(std::vector<SignedRow> cores,
+                       DeltaCoreRows(delta, before));
+  if (cores.empty()) return Status::OK();
+
+  ColumnIndexMap layout;
+  {
+    int offset = 0;
+    for (const TableRef& t : q.from) {
+      for (const std::string& c : t.columns) layout[c] = offset++;
+    }
+  }
+
+  // ---- Conjunctive views: append / remove projected occurrences. ----
+  if (q.IsConjunctive()) {
+    std::vector<Row> new_rows = materialized->rows();
+    std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> index;
+    for (size_t r = 0; r < new_rows.size(); ++r) index[new_rows[r]].push_back(r);
+    std::vector<bool> removed(new_rows.size(), false);
+
+    std::vector<Row> appended;
+    for (const SignedRow& core : cores) {
+      Row projected;
+      projected.reserve(q.select.size());
+      for (const SelectItem& s : q.select) {
+        projected.push_back(core.row[layout.at(s.column)]);
+      }
+      if (core.weight > 0) {
+        appended.push_back(std::move(projected));
+      } else {
+        auto it = index.find(projected);
+        bool found = false;
+        if (it != index.end()) {
+          for (size_t r : it->second) {
+            if (!removed[r]) {
+              removed[r] = true;
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) {
+          return Status::Internal(
+              "delta removes a view row absent from the materialization");
+        }
+      }
+    }
+    Table result(materialized->columns());
+    for (size_t r = 0; r < new_rows.size(); ++r) {
+      if (!removed[r]) result.AddRowOrDie(std::move(new_rows[r]));
+    }
+    for (Row& row : appended) result.AddRowOrDie(std::move(row));
+    *materialized = std::move(result);
+    return Status::OK();
+  }
+
+  // ---- Grouped views: fold signed updates into the aggregates. ----
+  // Positions of grouping columns and of a COUNT output in the view schema.
+  std::vector<int> group_positions;
+  for (const std::string& g : q.group_by) {
+    for (size_t p = 0; p < q.select.size(); ++p) {
+      if (q.select[p].kind == SelectItem::Kind::kColumn &&
+          q.select[p].column == g) {
+        group_positions.push_back(static_cast<int>(p));
+        break;
+      }
+    }
+  }
+  int count_position = -1;
+  for (size_t p = 0; p < q.select.size(); ++p) {
+    if (q.select[p].kind == SelectItem::Kind::kAggregate &&
+        q.select[p].agg == AggFn::kCount) {
+      count_position = static_cast<int>(p);
+      break;
+    }
+  }
+  bool has_negative =
+      std::any_of(cores.begin(), cores.end(),
+                  [](const SignedRow& s) { return s.weight < 0; });
+  if (has_negative && count_position < 0) {
+    return Status::Unsupported(
+        "deletes need a COUNT output to track group liveness");
+  }
+
+  // Group key (canonical values of grouping columns) -> signed updates.
+  struct GroupUpdate {
+    Row group_values;                       // as they appear in core rows
+    std::vector<Value> sum_delta;           // per select position (SUM)
+    std::vector<int64_t> count_delta;       // per select position (COUNT)
+    std::vector<std::vector<Value>> mins;   // inserted values per MIN pos
+    std::vector<std::vector<Value>> maxs;   // inserted values per MAX pos
+    std::vector<std::vector<Value>> deleted;  // deleted values per pos
+  };
+  size_t width = q.select.size();
+  std::unordered_map<Row, GroupUpdate, RowHash, RowEq> updates;
+
+  for (const SignedRow& core : cores) {
+    Row key;
+    key.reserve(q.group_by.size());
+    for (const std::string& g : q.group_by) {
+      key.push_back(core.row[layout.at(g)]);
+    }
+    auto [it, inserted] = updates.try_emplace(key);
+    GroupUpdate& u = it->second;
+    if (inserted) {
+      u.group_values = key;
+      u.sum_delta.assign(width, Value::Null());
+      u.count_delta.assign(width, 0);
+      u.mins.resize(width);
+      u.maxs.resize(width);
+      u.deleted.resize(width);
+    }
+    for (size_t p = 0; p < width; ++p) {
+      const SelectItem& s = q.select[p];
+      if (s.kind != SelectItem::Kind::kAggregate) continue;
+      Value v = ArgValue(s.arg, core.row, layout);
+      switch (s.agg) {
+        case AggFn::kSum:
+          u.sum_delta[p] = AddSigned(u.sum_delta[p], v, core.weight);
+          break;
+        case AggFn::kCount:
+          if (!v.is_null()) u.count_delta[p] += core.weight;
+          break;
+        case AggFn::kMin:
+          (core.weight > 0 ? u.mins[p] : u.deleted[p]).push_back(v);
+          break;
+        case AggFn::kMax:
+          (core.weight > 0 ? u.maxs[p] : u.deleted[p]).push_back(v);
+          break;
+        case AggFn::kAvg:
+          break;  // rejected in Create()
+      }
+    }
+  }
+
+  // Index the materialization by group key and merge (into a copy, so a
+  // refusal leaves the input untouched).
+  std::vector<Row> rows = materialized->rows();
+  std::unordered_map<Row, size_t, RowHash, RowEq> index;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    Row key;
+    key.reserve(group_positions.size());
+    for (int p : group_positions) key.push_back(rows[r][p]);
+    index[std::move(key)] = r;
+  }
+
+  std::vector<Row> added;
+  std::vector<bool> dead(rows.size(), false);
+  for (auto& [key, u] : updates) {
+    auto it = index.find(key);
+    if (it == index.end()) {
+      // A brand-new group: it must consist purely of inserts.
+      for (size_t p = 0; p < width; ++p) {
+        if (!u.deleted[p].empty()) {
+          return Status::Internal("delta deletes from an unknown group");
+        }
+      }
+      Row row(width, Value::Null());
+      for (size_t i = 0; i < group_positions.size(); ++i) {
+        row[group_positions[i]] = u.group_values[i];
+      }
+      for (size_t p = 0; p < width; ++p) {
+        const SelectItem& s = q.select[p];
+        if (s.kind != SelectItem::Kind::kAggregate) continue;
+        switch (s.agg) {
+          case AggFn::kSum:
+            row[p] = u.sum_delta[p];
+            break;
+          case AggFn::kCount:
+            row[p] = Value::Int64(u.count_delta[p]);
+            break;
+          case AggFn::kMin: {
+            Aggregator agg(AggFn::kMin);
+            for (const Value& v : u.mins[p]) agg.Add(v);
+            row[p] = agg.Finish();
+            break;
+          }
+          case AggFn::kMax: {
+            Aggregator agg(AggFn::kMax);
+            for (const Value& v : u.maxs[p]) agg.Add(v);
+            row[p] = agg.Finish();
+            break;
+          }
+          case AggFn::kAvg:
+            break;
+        }
+      }
+      if (count_position < 0 || row[count_position].int64() > 0) {
+        added.push_back(std::move(row));
+      }
+      continue;
+    }
+
+    Row& row = rows[it->second];
+    // MIN/MAX first: a delete touching the extremum forces recomputation.
+    for (size_t p = 0; p < width; ++p) {
+      const SelectItem& s = q.select[p];
+      if (s.kind != SelectItem::Kind::kAggregate) continue;
+      if (s.agg != AggFn::kMin && s.agg != AggFn::kMax) continue;
+      for (const Value& v : u.deleted[p]) {
+        if (!v.is_null() && v.Compare(row[p]) == 0) {
+          return Status::Unsupported(
+              "a delete removes the current extremum of a group; recompute");
+        }
+      }
+    }
+    for (size_t p = 0; p < width; ++p) {
+      const SelectItem& s = q.select[p];
+      if (s.kind != SelectItem::Kind::kAggregate) continue;
+      switch (s.agg) {
+        case AggFn::kSum:
+          row[p] = AddSigned(row[p], u.sum_delta[p], +1);
+          break;
+        case AggFn::kCount:
+          row[p] = Value::Int64(row[p].int64() + u.count_delta[p]);
+          break;
+        case AggFn::kMin: {
+          Aggregator agg(AggFn::kMin);
+          agg.Add(row[p]);
+          for (const Value& v : u.mins[p]) agg.Add(v);
+          row[p] = agg.Finish();
+          break;
+        }
+        case AggFn::kMax: {
+          Aggregator agg(AggFn::kMax);
+          agg.Add(row[p]);
+          for (const Value& v : u.maxs[p]) agg.Add(v);
+          row[p] = agg.Finish();
+          break;
+        }
+        case AggFn::kAvg:
+          break;
+      }
+    }
+    if (count_position >= 0 && row[count_position].int64() <= 0) {
+      dead[it->second] = true;
+    }
+  }
+
+  Table result(materialized->columns());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (!dead[r]) result.AddRowOrDie(std::move(rows[r]));
+  }
+  for (Row& row : added) result.AddRowOrDie(std::move(row));
+  *materialized = std::move(result);
+  return Status::OK();
+}
+
+}  // namespace aqv

@@ -1,0 +1,82 @@
+#ifndef AQV_MAINTAIN_INCREMENTAL_H_
+#define AQV_MAINTAIN_INCREMENTAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "exec/table.h"
+#include "ir/query.h"
+
+namespace aqv {
+
+/// A batch of base-table changes.
+struct Delta {
+  std::map<std::string, std::vector<Row>> inserts;
+  std::map<std::string, std::vector<Row>> deletes;
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+  bool has_deletes() const;
+};
+
+/// Incremental maintenance of a materialized view under base-table change
+/// batches — the machinery the paper's warehousing motivation presumes
+/// (Section 1; cf. its citations [BLT86, GMS93]). Without it, every
+/// rewriting win in this library would be paid back at refresh time.
+///
+/// The maintainer implements the counting algorithm specialized to the
+/// single-block dialect:
+///
+///  - the view's join is differenced by telescoping over its FROM entries
+///    (Δ(R ⋈ S) = ΔR ⋈ S_old plus R_new ⋈ ΔS, generalized to k tables),
+///    with single-table and join predicates applied to the delta terms;
+///  - conjunctive views append / remove row occurrences (multiset exact);
+///  - grouped views update SUM and COUNT outputs in place; group liveness
+///    is tracked through a COUNT output, so *deletes require the view to
+///    select a COUNT column* (otherwise Unsupported — recompute instead);
+///  - MIN/MAX outputs absorb inserts; a delete that touches the current
+///    extremum of a group returns Unsupported (the new extremum is not
+///    derivable from the summary; recompute);
+///  - AVG outputs and views with HAVING or ratio items are Unsupported
+///    (HAVING-filtered groups would need the suppressed groups retained).
+///
+/// "Unsupported" is a safe refusal: the caller falls back to full
+/// recomputation (Evaluator::MaterializeView).
+class IncrementalMaintainer {
+ public:
+  /// Checks the view shape and captures what Apply needs. Fails with
+  /// Unsupported for shapes listed above (HAVING, ratio items, AVG).
+  static Result<IncrementalMaintainer> Create(const ViewDef& view);
+
+  /// Applies `delta` to `materialized` (the view's current contents).
+  /// `before` must hold every base table at its pre-delta state. Returns
+  /// Unsupported when the change cannot be folded in (see above); the
+  /// materialization is untouched in that case.
+  Status Apply(const Delta& delta, const Database& before,
+               Table* materialized) const;
+
+  const ViewDef& view() const { return view_; }
+
+ private:
+  explicit IncrementalMaintainer(ViewDef view) : view_(std::move(view)) {}
+
+  // Signed core rows: the view's FROM ⋈ WHERE output restricted to delta
+  // terms, each with weight +1 (insert) or -1 (delete).
+  struct SignedRow {
+    Row row;  // layout: concatenation of the view's FROM columns
+    int weight;
+  };
+  Result<std::vector<SignedRow>> DeltaCoreRows(const Delta& delta,
+                                               const Database& before) const;
+
+  ViewDef view_;
+};
+
+/// Convenience: applies `delta` to the base tables stored in `db` (the
+/// "after" state the next maintenance round starts from).
+Status ApplyDeltaToBase(const Delta& delta, Database* db);
+
+}  // namespace aqv
+
+#endif  // AQV_MAINTAIN_INCREMENTAL_H_

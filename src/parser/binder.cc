@@ -1,0 +1,63 @@
+#include "parser/binder.h"
+
+#include "base/strings.h"
+
+namespace aqv {
+
+Status BindingScope::AddOccurrence(const std::string& table,
+                                   const std::string& alias,
+                                   const std::vector<std::string>& raw_columns,
+                                   const std::vector<std::string>& unique_columns) {
+  if (raw_columns.size() != unique_columns.size()) {
+    return Status::Internal("raw/unique column arity mismatch for '" + table +
+                            "'");
+  }
+  for (const Occurrence& o : occurrences_) {
+    if (EqualsIgnoreCase(o.alias, alias)) {
+      return Status::InvalidArgument("duplicate range variable '" + alias +
+                                     "' in FROM");
+    }
+  }
+  occurrences_.push_back(Occurrence{table, alias, raw_columns, unique_columns});
+  return Status::OK();
+}
+
+Result<std::string> BindingScope::Resolve(const std::string& qualifier,
+                                          const std::string& column) const {
+  if (!qualifier.empty()) {
+    for (const Occurrence& o : occurrences_) {
+      if (!EqualsIgnoreCase(o.alias, qualifier)) continue;
+      for (size_t i = 0; i < o.raw.size(); ++i) {
+        if (EqualsIgnoreCase(o.raw[i], column)) return o.unique[i];
+      }
+      return Status::NotFound("column '" + column + "' not in '" + qualifier +
+                              "'");
+    }
+    return Status::NotFound("unknown range variable '" + qualifier + "'");
+  }
+
+  std::string found;
+  int hits = 0;
+  for (const Occurrence& o : occurrences_) {
+    for (size_t i = 0; i < o.raw.size(); ++i) {
+      if (EqualsIgnoreCase(o.raw[i], column) ||
+          EqualsIgnoreCase(o.unique[i], column)) {
+        // A raw name and its own unique name may both match within one
+        // occurrence; that is one hit, not two.
+        ++hits;
+        found = o.unique[i];
+        break;
+      }
+    }
+  }
+  if (hits == 0) {
+    return Status::NotFound("unknown column '" + column + "'");
+  }
+  if (hits > 1) {
+    return Status::InvalidArgument("ambiguous column '" + column +
+                                   "'; qualify it with a range variable");
+  }
+  return found;
+}
+
+}  // namespace aqv

@@ -1,0 +1,52 @@
+#ifndef AQV_PARSER_BINDER_H_
+#define AQV_PARSER_BINDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ir/query.h"
+
+namespace aqv {
+
+/// Name resolution for one query block, implementing the Section 2 renaming
+/// convention: every FROM occurrence's columns receive query-wide unique
+/// names. Two styles of FROM entry feed the scope:
+///
+///  - catalog-bound (`FROM Calls`, `FROM Calls c`): the occurrence's columns
+///    are the table's schema columns renamed to `<Col>_<k>` with k the
+///    occurrence's 1-based index (the paper's `A1`, `B1`, ... scheme);
+///  - explicit (`FROM R1(A1, B1)`): the listed names are used verbatim and
+///    must be unique across the query.
+///
+/// References resolve as `alias.column` (alias defaults to the table name)
+/// or as a bare column, which must be unambiguous.
+class BindingScope {
+ public:
+  /// Registers an occurrence whose unique column names are `unique_columns`
+  /// and whose raw schema column names are `raw_columns` (equal to
+  /// unique_columns for explicit entries).
+  Status AddOccurrence(const std::string& table, const std::string& alias,
+                       const std::vector<std::string>& raw_columns,
+                       const std::vector<std::string>& unique_columns);
+
+  /// Resolves a reference. `qualifier` is empty for bare references.
+  Result<std::string> Resolve(const std::string& qualifier,
+                              const std::string& column) const;
+
+  int num_occurrences() const { return static_cast<int>(occurrences_.size()); }
+
+ private:
+  struct Occurrence {
+    std::string table;
+    std::string alias;
+    std::vector<std::string> raw;
+    std::vector<std::string> unique;
+  };
+  std::vector<Occurrence> occurrences_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_PARSER_BINDER_H_

@@ -1,0 +1,142 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace aqv {
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, keyword);
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto peek = [&](size_t k = 0) -> char {
+    return i + k < sql.size() ? sql[i + k] : '\0';
+  };
+
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '#') {
+      size_t start = i;
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_' || sql[i] == '#')) {
+        ++i;
+      }
+      t.kind = TokenKind::kIdentifier;
+      t.text = std::string(sql.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+              ((sql[i] == '+' || sql[i] == '-') && i > start &&
+               (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        if (sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E') is_float = true;
+        ++i;
+      }
+      std::string text(sql.substr(start, i - start));
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.float_value = std::stod(text);
+      } else {
+        t.kind = TokenKind::kInteger;
+        t.int_value = std::stoll(text);
+      }
+    } else if (c == '\'') {
+      ++i;
+      size_t start = i;
+      while (i < sql.size() && sql[i] != '\'') ++i;
+      if (i >= sql.size()) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(t.offset));
+      }
+      t.kind = TokenKind::kString;
+      t.text = std::string(sql.substr(start, i - start));
+      ++i;  // closing quote
+    } else {
+      switch (c) {
+        case '(':
+          t.kind = TokenKind::kLParen;
+          ++i;
+          break;
+        case ')':
+          t.kind = TokenKind::kRParen;
+          ++i;
+          break;
+        case ',':
+          t.kind = TokenKind::kComma;
+          ++i;
+          break;
+        case '.':
+          t.kind = TokenKind::kDot;
+          ++i;
+          break;
+        case '*':
+          t.kind = TokenKind::kStar;
+          ++i;
+          break;
+        case '/':
+          t.kind = TokenKind::kSlash;
+          ++i;
+          break;
+        case '=':
+          t.kind = TokenKind::kEq;
+          ++i;
+          break;
+        case '!':
+          if (peek(1) == '=') {
+            t.kind = TokenKind::kNe;
+            i += 2;
+          } else {
+            return Status::InvalidArgument("unexpected '!' at offset " +
+                                           std::to_string(i));
+          }
+          break;
+        case '<':
+          if (peek(1) == '>') {
+            t.kind = TokenKind::kNe;
+            i += 2;
+          } else if (peek(1) == '=') {
+            t.kind = TokenKind::kLe;
+            i += 2;
+          } else {
+            t.kind = TokenKind::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (peek(1) == '=') {
+            t.kind = TokenKind::kGe;
+            i += 2;
+          } else {
+            t.kind = TokenKind::kGt;
+            ++i;
+          }
+          break;
+        default:
+          return Status::InvalidArgument("unexpected character '" +
+                                         std::string(1, c) + "' at offset " +
+                                         std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = sql.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace aqv

@@ -1,0 +1,36 @@
+#ifndef AQV_PARSER_PARSER_H_
+#define AQV_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "catalog/catalog.h"
+#include "ir/query.h"
+
+namespace aqv {
+
+/// Parses a single-block query:
+///
+///   SELECT [DISTINCT] item, ...
+///   FROM entry, ...
+///   [WHERE conj] [GROUPBY cols | GROUP BY cols] [HAVING conj]
+///
+/// where an item is a column reference, `AGG(arg)` with an optional
+/// `AS alias`, or the ratio form `SUM(arg) / SUM(arg)`; an arg is a column
+/// optionally scaled as `col * col`; and a FROM entry is either the paper's
+/// explicit notation `R1(A1, B1)` or a plain `table [alias]` resolved
+/// against `catalog` with the Section 2 renaming convention (`A_1`, `B_1`,
+/// ... per occurrence). Conditions are conjunctions of comparisons between
+/// columns, constants and (in HAVING) aggregate terms.
+///
+/// `catalog` may be null when every FROM entry uses the explicit notation.
+/// The result is validated (ir/validate.h) before being returned, so
+/// ToSql() of a parsed query re-parses to an equal query.
+Result<Query> ParseQuery(std::string_view sql, const Catalog* catalog = nullptr);
+
+/// Parses `CREATE VIEW name AS <query>`.
+Result<ViewDef> ParseView(std::string_view sql, const Catalog* catalog = nullptr);
+
+}  // namespace aqv
+
+#endif  // AQV_PARSER_PARSER_H_

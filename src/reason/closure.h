@@ -1,0 +1,107 @@
+#ifndef AQV_REASON_CLOSURE_H_
+#define AQV_REASON_CLOSURE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ir/query.h"
+
+namespace aqv {
+
+/// The closure of a conjunction of built-in predicates over columns and
+/// constants (footnote 2 of the paper): all atoms of the forms
+/// `t1 = t2`, `t1 <> t2`, `t1 < t2`, `t1 <= t2` entailed by the conjunction.
+/// For the equality/inequality dialect of Section 2 the closure has
+/// polynomial size and entailment is decided by lookup.
+///
+/// Implementation: terms (columns and constants) are partitioned into
+/// equality classes with union-find; order relations between classes are
+/// saturated Floyd–Warshall style with the composition rules
+/// {< ∘ <= = <, <= ∘ < = <, <= ∘ <= = <=}; `<=` in both directions merges
+/// classes; `<=` plus `<>` strengthens to `<`; constants seed ground truth.
+/// A contradiction (e.g. `x < x`, or two distinct constants made equal)
+/// marks the conjunction unsatisfiable.
+class ConstraintClosure {
+ public:
+  /// The closure of the empty (always-true) conjunction.
+  ConstraintClosure() = default;
+
+  /// Builds the closure of `conds`. All predicates must be scalar (no
+  /// aggregate operands); returns InvalidArgument otherwise. An
+  /// unsatisfiable conjunction still builds (satisfiable() turns false).
+  static Result<ConstraintClosure> Build(const std::vector<Predicate>& conds);
+
+  bool satisfiable() const { return satisfiable_; }
+
+  /// True if the conjunction entails `atom`. An unsatisfiable conjunction
+  /// entails everything. Terms that never occur in the conjunction are
+  /// unconstrained: atoms over them are entailed only when trivially true
+  /// (t = t, t <= t, or a relation between two constants).
+  bool Implies(const Predicate& atom) const;
+
+  /// Implies() over every atom of `conds`.
+  bool ImpliesAll(const std::vector<Predicate>& conds) const;
+
+  /// True if this conjunction and `conds` entail each other.
+  bool EquivalentTo(const std::vector<Predicate>& conds) const;
+
+  /// True if the conjunction entails a = b for the two terms.
+  bool AreEqual(const Operand& a, const Operand& b) const;
+
+  /// The strongest entailed atoms whose column operands all belong to
+  /// `allowed` (constants are always allowed). For every pair of terms with
+  /// an entailed relation, emits one atom: `=` if equal, else `<`/`<=`/`<>`
+  /// as entailed. Atoms trivially true (t op t, constant vs constant) are
+  /// omitted. This is the candidate residual of condition C3.
+  std::vector<Predicate> RestrictedAtoms(
+      const std::set<std::string>& allowed) const;
+
+  /// Columns of the conjunction entailed equal to `column`, including
+  /// itself. Empty if `column` never occurs.
+  std::vector<std::string> EqualColumns(const std::string& column) const;
+
+  /// If `column` is entailed equal to a constant, returns it.
+  std::optional<Value> ConstantFor(const std::string& column) const;
+
+  /// Number of distinct terms (columns + constants) in the conjunction.
+  int num_terms() const { return static_cast<int>(terms_.size()); }
+
+  /// Order relation between equality-class roots (implementation detail,
+  /// public so file-local saturation helpers can name it).
+  enum Rel { kNone = 0, kLe = 1, kLt = 2 };
+
+ private:
+  // Term bookkeeping. Terms are Operands of kind kColumn or kConstant.
+  int TermIndex(const Operand& term) const;  // -1 if unknown
+
+  int Find(int term) const;  // union-find root (walks parent chain)
+  Rel RelBetween(int root_a, int root_b) const;
+  bool NotEqual(int root_a, int root_b) const;
+
+  Status AddAtoms(const std::vector<Predicate>& conds);
+  void Saturate();
+
+  std::vector<Operand> terms_;
+  std::map<std::string, int> column_index_;
+  std::vector<int> constant_terms_;
+  std::vector<int> parent_;             // union-find
+  std::vector<std::vector<Rel>> rel_;   // over term indices; valid on roots
+  std::set<std::pair<int, int>> neq_;   // root pairs (normalized a<b)
+  bool satisfiable_ = true;
+};
+
+/// Convenience: does `conds` entail `atom`?
+bool Implies(const std::vector<Predicate>& conds, const Predicate& atom);
+
+/// Convenience: are the two conjunctions logically equivalent?
+bool Equivalent(const std::vector<Predicate>& a, const std::vector<Predicate>& b);
+
+/// Convenience: is the conjunction satisfiable?
+bool Satisfiable(const std::vector<Predicate>& conds);
+
+}  // namespace aqv
+
+#endif  // AQV_REASON_CLOSURE_H_

@@ -1,0 +1,77 @@
+#include "reason/having_normalize.h"
+
+#include <vector>
+
+namespace aqv {
+
+namespace {
+
+// True for MIN/MAX-extremum conjuncts movable per rule 2. The predicate
+// must compare a single aggregate term against a constant (either operand
+// order), with the operator on the "keeps the extremum" side.
+bool IsMovableExtremum(const Predicate& p) {
+  const Operand* agg = nullptr;
+  const Operand* other = nullptr;
+  CmpOp op = p.op;
+  if (p.lhs.is_aggregate() && !p.rhs.is_aggregate()) {
+    agg = &p.lhs;
+    other = &p.rhs;
+  } else if (p.rhs.is_aggregate() && !p.lhs.is_aggregate()) {
+    agg = &p.rhs;
+    other = &p.lhs;
+    op = FlipCmpOp(op);
+  } else {
+    return false;
+  }
+  if (!other->is_constant()) return false;
+  if (agg->agg == AggFn::kMax) {
+    return op == CmpOp::kGt || op == CmpOp::kGe;
+  }
+  if (agg->agg == AggFn::kMin) {
+    return op == CmpOp::kLt || op == CmpOp::kLe;
+  }
+  return false;
+}
+
+// Rewrites a movable extremum conjunct AGG(B) op c into the scalar B op c.
+Predicate ScalarizeExtremum(const Predicate& p) {
+  Predicate out = p;
+  if (out.lhs.is_aggregate()) {
+    out.lhs = Operand::Column(out.lhs.column);
+  } else {
+    out.rhs = Operand::Column(out.rhs.column);
+  }
+  return out;
+}
+
+}  // namespace
+
+int NormalizeHaving(Query* query) {
+  if (query->having.empty()) return 0;
+
+  int moved = 0;
+  std::vector<Predicate> remaining;
+
+  // Rule 2's guard needs the aggregate terms of the *whole* query.
+  std::vector<Operand> agg_terms = query->AggregateTerms();
+
+  for (const Predicate& p : query->having) {
+    if (p.IsScalar()) {
+      // Rule 1: grouping-column condition; validation guarantees its columns
+      // are grouping columns.
+      query->where.push_back(p);
+      ++moved;
+      continue;
+    }
+    if (IsMovableExtremum(p) && agg_terms.size() == 1) {
+      query->where.push_back(ScalarizeExtremum(p));
+      ++moved;
+      continue;
+    }
+    remaining.push_back(p);
+  }
+  query->having = std::move(remaining);
+  return moved;
+}
+
+}  // namespace aqv

@@ -1,0 +1,31 @@
+#ifndef AQV_REASON_HAVING_NORMALIZE_H_
+#define AQV_REASON_HAVING_NORMALIZE_H_
+
+#include "ir/query.h"
+
+namespace aqv {
+
+/// The Section 3.3 pre-processing step: moves maximal sets of conditions
+/// from the HAVING clause into the WHERE clause without changing the query's
+/// multiset of answers, strengthening Conds(Q) so that more views are
+/// recognized as usable. Two classes of moves are performed:
+///
+///  1. A HAVING conjunct with no aggregate operand only mentions grouping
+///     columns (and constants); it holds uniformly within each group, so
+///     enforcing it per-tuple in WHERE removes exactly the failing groups.
+///     Always moved.
+///
+///  2. `MAX(B) > c` (or >=) filters groups by their largest B; enforcing
+///     `B > c` per-tuple keeps exactly those groups and leaves their MAX
+///     unchanged — but it shrinks group contents, so it is only sound when
+///     MAX(B) is the sole aggregate term in the entire query (paper's
+///     example: "MAX(B) > 10 ... the only aggregation column appearing in
+///     Sel(Q)"). Symmetrically `MIN(B) < c` (or <=). Moved under that
+///     guard.
+///
+/// Returns the number of conjuncts moved. Idempotent.
+int NormalizeHaving(Query* query);
+
+}  // namespace aqv
+
+#endif  // AQV_REASON_HAVING_NORMALIZE_H_

@@ -1,0 +1,56 @@
+#include "reason/residual.h"
+
+#include "reason/closure.h"
+
+namespace aqv {
+
+std::vector<Predicate> MinimizeConditions(const std::vector<Predicate>& conds,
+                                          const std::vector<Predicate>& base) {
+  std::vector<Predicate> kept = conds;
+  // Try to drop each atom, last first (RestrictedAtoms puts equalities
+  // first; dropping derived order atoms first preserves readable output).
+  for (int i = static_cast<int>(kept.size()) - 1; i >= 0; --i) {
+    std::vector<Predicate> trial = base;
+    for (int j = 0; j < static_cast<int>(kept.size()); ++j) {
+      if (j != i) trial.push_back(kept[j]);
+    }
+    Result<ConstraintClosure> closure = ConstraintClosure::Build(trial);
+    if (closure.ok() && closure->Implies(kept[i])) {
+      kept.erase(kept.begin() + i);
+    }
+  }
+  return kept;
+}
+
+Result<std::vector<Predicate>> ComputeResidual(
+    const std::vector<Predicate>& query_conds,
+    const std::vector<Predicate>& view_conds_mapped,
+    const std::set<std::string>& allowed) {
+  AQV_ASSIGN_OR_RETURN(ConstraintClosure query_closure,
+                       ConstraintClosure::Build(query_conds));
+
+  // First half of C3: the query must entail everything the view enforces,
+  // otherwise the view discarded tuples the query needs.
+  if (!query_closure.ImpliesAll(view_conds_mapped)) {
+    return Status::Unusable(
+        "view enforces a condition not entailed by the query");
+  }
+
+  // Candidate residual: the query closure restricted to allowed columns.
+  std::vector<Predicate> candidate = query_closure.RestrictedAtoms(allowed);
+
+  // Second half of C3: view conditions plus the candidate must give back
+  // every query atom; if not, a needed column was projected out.
+  std::vector<Predicate> combined = view_conds_mapped;
+  combined.insert(combined.end(), candidate.begin(), candidate.end());
+  AQV_ASSIGN_OR_RETURN(ConstraintClosure check,
+                       ConstraintClosure::Build(combined));
+  if (!check.ImpliesAll(query_conds)) {
+    return Status::Unusable(
+        "query constrains columns that the view projected out");
+  }
+
+  return MinimizeConditions(candidate, view_conds_mapped);
+}
+
+}  // namespace aqv

@@ -1,0 +1,44 @@
+#ifndef AQV_REASON_RESIDUAL_H_
+#define AQV_REASON_RESIDUAL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ir/query.h"
+
+namespace aqv {
+
+/// Computes the residual condition `Conds'` of conditions C3/C3': a
+/// conjunction such that
+///
+///     query_conds  ≡  view_conds_mapped ∧ Conds'
+///
+/// where `Conds'` mentions only columns in `allowed` (constants are always
+/// permitted). `view_conds_mapped` is φ(Conds(V)), the view's conditions
+/// with the column mapping applied.
+///
+/// Returns kUnusable when no such residual exists — either the view enforces
+/// an atom the query does not entail (the view discards needed tuples), or
+/// the query's extra constraints involve columns the view projected out.
+///
+/// The construction is exact for the dialect of Section 2: take every atom
+/// of closure(query_conds) restricted to `allowed`, then verify that
+/// view_conds_mapped plus those atoms entails query_conds. A final greedy
+/// pass removes atoms that are implied by the rest, keeping the residual
+/// small (it becomes the rewritten query's WHERE clause).
+Result<std::vector<Predicate>> ComputeResidual(
+    const std::vector<Predicate>& query_conds,
+    const std::vector<Predicate>& view_conds_mapped,
+    const std::set<std::string>& allowed);
+
+/// Drops every atom of `conds` that is implied by the remaining atoms
+/// (single greedy pass, order-stable). `base` atoms are assumed to hold and
+/// participate in the implication checks but are never emitted.
+std::vector<Predicate> MinimizeConditions(const std::vector<Predicate>& conds,
+                                          const std::vector<Predicate>& base);
+
+}  // namespace aqv
+
+#endif  // AQV_REASON_RESIDUAL_H_

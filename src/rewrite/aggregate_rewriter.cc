@@ -1,0 +1,356 @@
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "ir/validate.h"
+#include "reason/having_normalize.h"
+#include "reason/residual.h"
+#include "rewrite/conditions.h"
+#include "rewrite/rewriter.h"
+
+namespace aqv {
+
+namespace {
+
+// Condition C2': a mapped query grouping column needs a *non-aggregation*
+// view output entailed equal to it.
+Result<std::string> StrictReplace(const RewriteContext& ctx,
+                                  const std::string& column) {
+  if (!ctx.IsMapped(column)) return column;
+  std::optional<int> p = ctx.PlainEquivalent(column);
+  if (!p) {
+    return Status::Unusable("no view grouping column is entailed equal to '" +
+                            column + "' (condition C2')");
+  }
+  return ctx.outputs()[*p].name;
+}
+
+// Rewrites one aggregate term AGG(arg) of the query into an aggregate over
+// the view's outputs (steps S4'/S5', with the multiplicity-weighting
+// correction documented in DESIGN.md). Returns the replacement function and
+// argument. AVG is decomposed by the caller into a SUM/SUM ratio and never
+// reaches here.
+Result<std::pair<AggFn, AggArg>> RewriteAggTerm(const RewriteContext& ctx,
+                                                AggFn fn, const AggArg& arg) {
+  const bool arg_mapped = ctx.IsMapped(arg.column);
+  const bool mult_mapped = arg.scaled() && ctx.IsMapped(arg.multiplier);
+  std::optional<int> count_pos = ctx.CountOutput();
+  auto count_name = [&]() { return ctx.outputs()[*count_pos].name; };
+
+  switch (fn) {
+    case AggFn::kMin:
+    case AggFn::kMax: {
+      // Extrema are multiplicity-invariant, so the lost multiplicities never
+      // matter; we only need the argument's value per view row.
+      if (!arg.scaled() && arg_mapped) {
+        if (std::optional<int> p = ctx.AggregateOutput(fn, arg)) {
+          // Step S4' 1(a): MIN of group minima is the overall minimum.
+          return std::make_pair(fn, AggArg{ctx.outputs()[*p].name, ""});
+        }
+      }
+      AggArg out = arg;
+      if (arg_mapped) {
+        std::optional<int> p = ctx.PlainEquivalent(arg.column);
+        if (!p) {
+          return Status::Unusable(
+              "condition C4' 1(a): view has neither " +
+              std::string(AggFnToString(fn)) + "(" + arg.column +
+              ") nor an equal grouping column");
+        }
+        out.column = ctx.outputs()[*p].name;
+      }
+      if (mult_mapped) {
+        std::optional<int> p = ctx.PlainEquivalent(arg.multiplier);
+        if (!p) {
+          return Status::Unusable(
+              "condition C4' 1(a): no view grouping column equals scaled "
+              "argument '" +
+              arg.multiplier + "'");
+        }
+        out.multiplier = ctx.outputs()[*p].name;
+      }
+      return std::make_pair(fn, std::move(out));
+    }
+
+    case AggFn::kSum: {
+      if (arg.scaled()) {
+        // SUM over a product: usable only when the view computed the exact
+        // same product-sum; re-weighting would need a triple product.
+        if (arg_mapped && mult_mapped) {
+          if (std::optional<int> p = ctx.AggregateOutput(AggFn::kSum, arg)) {
+            return std::make_pair(AggFn::kSum,
+                                  AggArg{ctx.outputs()[*p].name, ""});
+          }
+        }
+        return Status::Unusable(
+            "SUM over a product argument cannot be re-weighted through an "
+            "aggregation view");
+      }
+      if (arg_mapped) {
+        // Step S4' 1(a): the view computed SUM of the same column.
+        if (std::optional<int> p = ctx.AggregateOutput(AggFn::kSum, arg)) {
+          return std::make_pair(AggFn::kSum, AggArg{ctx.outputs()[*p].name, ""});
+        }
+        // Step S4' 1(b), corrected: a grouping column weighted by the
+        // group's multiplicity N — SUM(B_A * N).
+        if (std::optional<int> p = ctx.PlainEquivalent(arg.column);
+            p && count_pos) {
+          return std::make_pair(AggFn::kSum,
+                                AggArg{ctx.outputs()[*p].name, count_name()});
+        }
+        // Section 4.4: SUM recovered from AVG * COUNT.
+        if (std::optional<int> p = ctx.AggregateOutput(AggFn::kAvg, arg);
+            p && count_pos) {
+          return std::make_pair(AggFn::kSum,
+                                AggArg{ctx.outputs()[*p].name, count_name()});
+        }
+        return Status::Unusable(
+            "condition C4' 1: view provides neither SUM(" + arg.column +
+            ") nor an equal grouping column plus a COUNT column");
+      }
+      // Step S5', corrected: SUM of a non-view column, weighted by the
+      // view group's multiplicity — SUM(A * N).
+      if (!count_pos) {
+        return Status::Unusable(
+            "condition C4' 2: view lacks a COUNT column to recover the "
+            "multiplicities needed by SUM(" +
+            arg.column + ")");
+      }
+      return std::make_pair(AggFn::kSum, AggArg{arg.column, count_name()});
+    }
+
+    case AggFn::kCount: {
+      // COUNT of anything equals the recovered base multiplicity: SUM(N).
+      // (Exact under the null-free data model; see DESIGN.md.)
+      if (!count_pos) {
+        return Status::Unusable(
+            "condition C4' 1(b)/2: view lacks a COUNT column");
+      }
+      return std::make_pair(AggFn::kSum, AggArg{count_name(), ""});
+    }
+
+    case AggFn::kAvg:
+      return Status::Unusable(
+          "AVG terms in HAVING are not supported through aggregation views");
+  }
+  return Status::Internal("unreachable aggregate kind");
+}
+
+// Canonical pseudo-column name for an aggregate value at the group level,
+// used to compare GConds(Q) with φ(GConds(V)) (Section 4.3). Arguments are
+// canonicalized to their Conds(Q)-equality-class representative so that
+// SUM(A) and SUM(A') align when Conds(Q) entails A = A'. COUNT ignores its
+// argument (all columns count the same rows).
+std::string PseudoAggName(const ConstraintClosure& closure, AggFn fn,
+                          const AggArg& arg) {
+  if (fn == AggFn::kCount) return "#COUNT";
+  auto canon = [&closure](const std::string& col) {
+    std::vector<std::string> eq = closure.EqualColumns(col);
+    if (eq.empty()) return col;
+    return *std::min_element(eq.begin(), eq.end());
+  };
+  std::string name = std::string("#") + AggFnToString(fn) + ":" +
+                     canon(arg.column);
+  if (arg.scaled()) name += "*" + canon(arg.multiplier);
+  return name;
+}
+
+Predicate PseudoizeHavingAtom(const ConstraintClosure& closure,
+                              const Predicate& p) {
+  Predicate out = p;
+  for (Operand* o : {&out.lhs, &out.rhs}) {
+    if (o->is_aggregate()) {
+      *o = Operand::Column(PseudoAggName(closure, o->agg, o->agg_arg()));
+    }
+  }
+  return out;
+}
+
+// Section 4.3 usability checks for a view whose (normalized) definition
+// still carries HAVING conditions. Sound, conservative conditions:
+//  (a) no coalescing — every view grouping column's image is pinned (equal
+//      to a query grouping column or to a constant) by Conds(Q), so each
+//      query group draws from exactly one view group;
+//  (b) scale-safety — if the view's HAVING constrains SUM/COUNT/AVG values,
+//      the query must not join the view with other tables (extra tables
+//      multiply group contents, breaking the identification of the query's
+//      aggregate values with the view's);
+//  (c) entailment — Conds(Q) ∧ GConds(Q) must entail φ(GConds(V)) at the
+//      group level, so every group the view discarded is one the query
+//      discards too.
+Status CheckViewHavingUsable(const RewriteContext& ctx,
+                             const std::vector<Predicate>& view_having) {
+  if (view_having.empty()) return Status::OK();
+  const Query& query = ctx.query();
+  const ConstraintClosure& closure = ctx.query_closure();
+
+  // (a) No coalescing.
+  for (const std::string& g : ctx.view().query.group_by) {
+    std::string image = ctx.mapping().MapColumn(g);
+    bool pinned = closure.ConstantFor(image).has_value();
+    for (const std::string& qg : query.group_by) {
+      if (pinned) break;
+      pinned = closure.AreEqual(Operand::Column(image), Operand::Column(qg));
+    }
+    if (!pinned) {
+      return Status::Unusable(
+          "view HAVING with coalesced groups: grouping column '" + image +
+          "' is not pinned by the query (Section 4.3)");
+    }
+  }
+
+  // (b) Scale-safety.
+  bool has_scaling_sensitive = false;
+  for (const Predicate& p : view_having) {
+    for (const Operand* o : {&p.lhs, &p.rhs}) {
+      if (o->is_aggregate() && o->agg != AggFn::kMin && o->agg != AggFn::kMax) {
+        has_scaling_sensitive = true;
+      }
+    }
+  }
+  if (has_scaling_sensitive && !ctx.kept_columns().empty()) {
+    return Status::Unusable(
+        "view HAVING constrains SUM/COUNT/AVG but the query joins additional "
+        "tables (Section 4.3)");
+  }
+
+  // (c) Entailment of φ(GConds(V)) by Conds(Q) ∧ GConds(Q).
+  std::vector<Predicate> premises = query.where;
+  for (const Predicate& p : query.having) {
+    premises.push_back(PseudoizeHavingAtom(closure, p));
+  }
+  Result<ConstraintClosure> premise_closure = ConstraintClosure::Build(premises);
+  if (!premise_closure.ok()) return premise_closure.status();
+  for (const Predicate& p : view_having) {
+    Predicate mapped = ctx.mapping().MapPredicate(p);
+    Predicate pseudo = PseudoizeHavingAtom(closure, mapped);
+    if (!premise_closure->Implies(pseudo)) {
+      return Status::Unusable(
+          "query does not entail the view's HAVING condition " +
+          mapped.ToString() + " (Section 4.3)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Query> RewriteWithAggregateView(const Query& query, const ViewDef& view,
+                                       const ColumnMapping& mapping) {
+  if (view.query.IsConjunctive()) {
+    return Status::InvalidArgument(
+        "RewriteWithAggregateView requires an aggregation view");
+  }
+  // Section 4.5: an aggregation view cannot answer a conjunctive query
+  // under multiset semantics — the view's GROUPBY lost the multiplicities.
+  if (query.IsConjunctive()) {
+    return Status::Unusable(
+        "an aggregation view cannot answer a conjunctive query under "
+        "multiset semantics (Section 4.5)");
+  }
+  if (!mapping.IsOneToOne()) {
+    return Status::Unusable(
+        "condition C1: the column mapping must be 1-1 under multiset "
+        "semantics");
+  }
+
+  // Section 4.3 normal form: move what can be moved from the view's HAVING
+  // into its WHERE, so Conds and GConds can be compared independently.
+  ViewDef norm_view = view;
+  NormalizeHaving(&norm_view.query);
+
+  AQV_ASSIGN_OR_RETURN(RewriteContext ctx,
+                       RewriteContext::Create(query, norm_view, mapping));
+
+  // Condition C3': residual over kept columns and φ(ColSel(V)) only —
+  // aggregated view columns are not available for extra constraints
+  // (Example 4.4).
+  AQV_ASSIGN_OR_RETURN(
+      std::vector<Predicate> residual,
+      ComputeResidual(query.where,
+                      mapping.MapPredicates(norm_view.query.where),
+                      ctx.AllowedResidualColumns()));
+
+  AQV_RETURN_NOT_OK(CheckViewHavingUsable(ctx, norm_view.query.having));
+
+  Query out;
+  out.distinct = query.distinct;
+  out.from = ctx.RewrittenFrom();
+  out.where = std::move(residual);
+
+  for (const SelectItem& item : query.select) {
+    switch (item.kind) {
+      case SelectItem::Kind::kColumn: {
+        AQV_ASSIGN_OR_RETURN(std::string col, StrictReplace(ctx, item.column));
+        // Preserve the original output name even when the column changes.
+        std::string alias = item.alias.empty() ? item.column : item.alias;
+        out.select.push_back(
+            SelectItem::MakeColumn(std::move(col), std::move(alias)));
+        break;
+      }
+      case SelectItem::Kind::kAggregate: {
+        if (item.agg == AggFn::kAvg) {
+          // Section 4.4: AVG(A) = SUM(A) / COUNT(A), each recovered
+          // independently; the ratio of the recovered totals is exact even
+          // when the query coalesces several view groups.
+          AQV_ASSIGN_OR_RETURN(auto num,
+                               RewriteAggTerm(ctx, AggFn::kSum, item.arg));
+          AQV_ASSIGN_OR_RETURN(auto den,
+                               RewriteAggTerm(ctx, AggFn::kCount, item.arg));
+          out.select.push_back(SelectItem::MakeRatio(
+              std::move(num.second), std::move(den.second), item.alias));
+          break;
+        }
+        AQV_ASSIGN_OR_RETURN(auto term, RewriteAggTerm(ctx, item.agg, item.arg));
+        out.select.push_back(SelectItem::MakeScaledAggregate(
+            term.first, std::move(term.second), item.alias));
+        break;
+      }
+      case SelectItem::Kind::kRatio: {
+        AQV_ASSIGN_OR_RETURN(auto num, RewriteAggTerm(ctx, AggFn::kSum, item.arg));
+        AQV_ASSIGN_OR_RETURN(auto den, RewriteAggTerm(ctx, AggFn::kSum, item.den));
+        if (num.first != AggFn::kSum || den.first != AggFn::kSum) {
+          return Status::Unusable("ratio components must remain SUMs");
+        }
+        out.select.push_back(SelectItem::MakeRatio(
+            std::move(num.second), std::move(den.second), item.alias));
+        break;
+      }
+    }
+  }
+
+  for (const std::string& g : query.group_by) {
+    AQV_ASSIGN_OR_RETURN(std::string col, StrictReplace(ctx, g));
+    out.group_by.push_back(std::move(col));
+  }
+
+  // GConds': the query's HAVING with columns renamed and aggregate terms
+  // rewritten (steps S4'/S5' applied to GConds(Q), Section 4.3).
+  for (const Predicate& p : query.having) {
+    Predicate mapped = p;
+    for (Operand* o : {&mapped.lhs, &mapped.rhs}) {
+      switch (o->kind) {
+        case Operand::Kind::kColumn: {
+          AQV_ASSIGN_OR_RETURN(o->column, StrictReplace(ctx, o->column));
+          break;
+        }
+        case Operand::Kind::kAggregate: {
+          AQV_ASSIGN_OR_RETURN(auto term,
+                               RewriteAggTerm(ctx, o->agg, o->agg_arg()));
+          o->agg = term.first;
+          o->column = term.second.column;
+          o->multiplier = term.second.multiplier;
+          break;
+        }
+        case Operand::Kind::kConstant:
+          break;
+      }
+    }
+    out.having.push_back(std::move(mapped));
+  }
+
+  AQV_RETURN_NOT_OK(ValidateQuery(out));
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,127 @@
+#include "rewrite/conditions.h"
+
+namespace aqv {
+
+Result<RewriteContext> RewriteContext::Create(const Query& query,
+                                              const ViewDef& view,
+                                              const ColumnMapping& mapping) {
+  RewriteContext ctx;
+  ctx.query_ = &query;
+  ctx.view_ = &view;
+  ctx.mapping_ = &mapping;
+
+  AQV_ASSIGN_OR_RETURN(ctx.query_closure_,
+                       ConstraintClosure::Build(query.where));
+
+  // Columns of the query occurrences that the view does not replace.
+  std::set<int> replaced = mapping.MappedQueryTables();
+  for (size_t i = 0; i < query.from.size(); ++i) {
+    if (replaced.count(static_cast<int>(i)) > 0) continue;
+    ctx.kept_columns_.insert(query.from[i].columns.begin(),
+                             query.from[i].columns.end());
+  }
+
+  // Assign rewritten-query column names to the view's SELECT positions.
+  // A plain output B takes its image φ(B) — the name the query already used
+  // for that value (legal because the occurrence owning it is removed); an
+  // aggregate output takes a fresh name derived from the view's output
+  // column. Duplicates (e.g. the view selecting a column twice) get
+  // uniquified.
+  NameGenerator names;
+  names.Reserve(ctx.kept_columns_);
+  std::vector<std::string> view_outputs = view.OutputColumns();
+  for (size_t p = 0; p < view.query.select.size(); ++p) {
+    const SelectItem& item = view.query.select[p];
+    ViewOutput out;
+    out.position = static_cast<int>(p);
+    out.item = item;
+    std::string desired = item.kind == SelectItem::Kind::kColumn
+                              ? mapping.MapColumn(item.column)
+                              : view.name + "_" + view_outputs[p];
+    out.name = names.Fresh(desired);
+    ctx.outputs_.push_back(std::move(out));
+  }
+  return ctx;
+}
+
+std::optional<int> RewriteContext::PlainEquivalent(
+    const std::string& query_col) const {
+  std::optional<int> fallback;
+  for (const ViewOutput& out : outputs_) {
+    if (!out.is_plain()) continue;
+    std::string image = mapping_->MapColumn(out.item.column);
+    if (image == query_col) return out.position;
+    if (!fallback &&
+        query_closure_.AreEqual(Operand::Column(query_col),
+                                Operand::Column(image))) {
+      fallback = out.position;
+    }
+  }
+  return fallback;
+}
+
+std::optional<int> RewriteContext::AggregateOutput(AggFn fn,
+                                                   const AggArg& arg) const {
+  for (const ViewOutput& out : outputs_) {
+    if (out.item.kind != SelectItem::Kind::kAggregate || out.item.agg != fn) {
+      continue;
+    }
+    const AggArg& varg = out.item.arg;
+    if (!query_closure_.AreEqual(
+            Operand::Column(arg.column),
+            Operand::Column(mapping_->MapColumn(varg.column)))) {
+      continue;
+    }
+    if (arg.scaled() != varg.scaled()) continue;
+    if (arg.scaled() &&
+        !query_closure_.AreEqual(
+            Operand::Column(arg.multiplier),
+            Operand::Column(mapping_->MapColumn(varg.multiplier)))) {
+      continue;
+    }
+    return out.position;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> RewriteContext::CountOutput() const {
+  for (const ViewOutput& out : outputs_) {
+    if (out.is_count()) return out.position;
+  }
+  return std::nullopt;
+}
+
+std::set<std::string> RewriteContext::AllowedResidualColumns() const {
+  std::set<std::string> allowed = kept_columns_;
+  for (const ViewOutput& out : outputs_) {
+    if (!out.is_plain()) continue;
+    // Only names that coincide with their φ image can be mentioned by the
+    // residual, which is phrased over query column names.
+    if (out.name == mapping_->MapColumn(out.item.column)) {
+      allowed.insert(out.name);
+    }
+  }
+  return allowed;
+}
+
+TableRef RewriteContext::ViewTableRef() const {
+  TableRef ref;
+  ref.table = view_->name;
+  ref.columns.reserve(outputs_.size());
+  for (const ViewOutput& out : outputs_) ref.columns.push_back(out.name);
+  return ref;
+}
+
+std::vector<TableRef> RewriteContext::RewrittenFrom() const {
+  std::vector<TableRef> from;
+  std::set<int> replaced = mapping_->MappedQueryTables();
+  for (size_t i = 0; i < query_->from.size(); ++i) {
+    if (replaced.count(static_cast<int>(i)) == 0) {
+      from.push_back(query_->from[i]);
+    }
+  }
+  from.push_back(ViewTableRef());
+  return from;
+}
+
+}  // namespace aqv

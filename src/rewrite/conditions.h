@@ -1,0 +1,94 @@
+#ifndef AQV_REWRITE_CONDITIONS_H_
+#define AQV_REWRITE_CONDITIONS_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ir/query.h"
+#include "reason/closure.h"
+#include "rewrite/mapping.h"
+
+namespace aqv {
+
+/// How one SELECT position of the view surfaces in the rewritten query:
+/// its position in Sel(V), the fresh-or-mapped column name it carries in the
+/// rewritten query's FROM entry for the view, and what kind of value it is.
+struct ViewOutput {
+  int position = 0;
+  std::string name;
+  SelectItem item;  // the view's select item (copied)
+
+  bool is_plain() const { return item.kind == SelectItem::Kind::kColumn; }
+  bool is_count() const {
+    return item.kind == SelectItem::Kind::kAggregate && item.agg == AggFn::kCount;
+  }
+};
+
+/// Everything the Section 3 and Section 4 rewriters share for one
+/// (query, view, mapping) triple: the closure of Conds(Q) (used by every
+/// "Conds(Q) implies A = φ(B)" test in conditions C2/C2'/C4/C4'), the view
+/// outputs with their assigned rewritten-query names, and the lookups the
+/// rewriting steps perform.
+class RewriteContext {
+ public:
+  /// Builds the context. Fails only on malformed inputs, not on usability —
+  /// usability failures surface from the rewriters' condition checks.
+  static Result<RewriteContext> Create(const Query& query, const ViewDef& view,
+                                       const ColumnMapping& mapping);
+
+  const Query& query() const { return *query_; }
+  const ViewDef& view() const { return *view_; }
+  const ColumnMapping& mapping() const { return *mapping_; }
+  const ConstraintClosure& query_closure() const { return query_closure_; }
+  const std::vector<ViewOutput>& outputs() const { return outputs_; }
+
+  /// True if `query_col` is in φ(Cols(V)), i.e. belongs to a replaced
+  /// occurrence.
+  bool IsMapped(const std::string& query_col) const {
+    return mapping_->MappedQueryColumns().count(query_col) > 0;
+  }
+
+  /// The B_A of conditions C2/C2'/C4: a plain view output whose image is
+  /// entailed equal to `query_col` by Conds(Q). Prefers the output whose
+  /// image *is* the column.
+  std::optional<int> PlainEquivalent(const std::string& query_col) const;
+
+  /// A view aggregate output AGG(B) with fn `fn` whose (mapped) argument is
+  /// entailed equal to `arg` by Conds(Q) (condition C4' part 1(a)).
+  std::optional<int> AggregateOutput(AggFn fn, const AggArg& arg) const;
+
+  /// The COUNT column of conditions C4' 1(b)/2, if any.
+  std::optional<int> CountOutput() const;
+
+  /// Columns of the query occurrences the view does not replace.
+  const std::set<std::string>& kept_columns() const { return kept_columns_; }
+
+  /// The column set the C3/C3' residual may mention: kept columns plus the
+  /// images of the view's plain outputs (for an aggregation view this is
+  /// φ(ColSel(V)) — aggregated columns are not available for extra
+  /// constraints, Example 4.4).
+  std::set<std::string> AllowedResidualColumns() const;
+
+  /// The FROM entry for the view in the rewritten query.
+  TableRef ViewTableRef() const;
+
+  /// The rewritten FROM clause: kept occurrences (in order) plus the view.
+  std::vector<TableRef> RewrittenFrom() const;
+
+ private:
+  RewriteContext() = default;
+
+  const Query* query_ = nullptr;
+  const ViewDef* view_ = nullptr;
+  const ColumnMapping* mapping_ = nullptr;
+  ConstraintClosure query_closure_;
+  std::vector<ViewOutput> outputs_;
+  std::set<std::string> kept_columns_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITE_CONDITIONS_H_

@@ -1,0 +1,147 @@
+#include <string>
+
+#include "ir/validate.h"
+#include "reason/residual.h"
+#include "rewrite/conditions.h"
+#include "rewrite/rewriter.h"
+
+namespace aqv {
+
+namespace {
+
+// Strict column replacement (conditions C2 / C4 part 1): a mapped query
+// column must have a view output entailed equal to it by Conds(Q).
+Result<std::string> StrictReplace(const RewriteContext& ctx,
+                                  const std::string& column) {
+  if (!ctx.IsMapped(column)) return column;
+  std::optional<int> p = ctx.PlainEquivalent(column);
+  if (!p) {
+    return Status::Unusable("no view SELECT column is entailed equal to '" +
+                            column + "' (conditions C2/C4)");
+  }
+  return ctx.outputs()[*p].name;
+}
+
+// Lenient replacement for COUNT arguments (step S4): when the counted
+// column was projected out, any view column counts the same rows. This is
+// exact under the paper's (and this library's) null-free data model.
+Result<std::string> CountReplace(const RewriteContext& ctx,
+                                 const std::string& column) {
+  if (!ctx.IsMapped(column)) return column;
+  std::optional<int> p = ctx.PlainEquivalent(column);
+  if (p) return ctx.outputs()[*p].name;
+  if (ctx.outputs().empty()) {
+    return Status::Unusable("COUNT needs a non-empty view SELECT (C4 part 2)");
+  }
+  return ctx.outputs()[0].name;
+}
+
+Result<AggArg> ReplaceAggArg(const RewriteContext& ctx, AggFn fn,
+                             const AggArg& arg) {
+  AggArg out;
+  if (fn == AggFn::kCount) {
+    AQV_ASSIGN_OR_RETURN(out.column, CountReplace(ctx, arg.column));
+    if (arg.scaled()) {
+      AQV_ASSIGN_OR_RETURN(out.multiplier, CountReplace(ctx, arg.multiplier));
+    }
+  } else {
+    AQV_ASSIGN_OR_RETURN(out.column, StrictReplace(ctx, arg.column));
+    if (arg.scaled()) {
+      AQV_ASSIGN_OR_RETURN(out.multiplier, StrictReplace(ctx, arg.multiplier));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Query> RewriteWithConjunctiveView(const Query& query,
+                                         const ViewDef& view,
+                                         const ColumnMapping& mapping) {
+  if (!view.query.IsConjunctive()) {
+    return Status::InvalidArgument(
+        "RewriteWithConjunctiveView requires a conjunctive view");
+  }
+  // Condition C1: multiset semantics requires a 1-1 column mapping.
+  if (!mapping.IsOneToOne()) {
+    return Status::Unusable(
+        "condition C1: the column mapping must be 1-1 under multiset "
+        "semantics");
+  }
+
+  AQV_ASSIGN_OR_RETURN(RewriteContext ctx,
+                       RewriteContext::Create(query, view, mapping));
+
+  // Condition C3 / step S3: residual conditions.
+  AQV_ASSIGN_OR_RETURN(
+      std::vector<Predicate> residual,
+      ComputeResidual(query.where, mapping.MapPredicates(view.query.where),
+                      ctx.AllowedResidualColumns()));
+
+  // Steps S1, S2, S4: assemble the rewritten query.
+  Query out;
+  out.distinct = query.distinct;
+  out.from = ctx.RewrittenFrom();
+  out.where = std::move(residual);
+
+  for (const SelectItem& item : query.select) {
+    switch (item.kind) {
+      case SelectItem::Kind::kColumn: {
+        AQV_ASSIGN_OR_RETURN(std::string col, StrictReplace(ctx, item.column));
+        // Preserve the original output name even when the column changes
+        // (two distinct query columns may map to one view column).
+        std::string alias = item.alias.empty() ? item.column : item.alias;
+        out.select.push_back(
+            SelectItem::MakeColumn(std::move(col), std::move(alias)));
+        break;
+      }
+      case SelectItem::Kind::kAggregate: {
+        AQV_ASSIGN_OR_RETURN(AggArg arg, ReplaceAggArg(ctx, item.agg, item.arg));
+        out.select.push_back(
+            SelectItem::MakeScaledAggregate(item.agg, std::move(arg), item.alias));
+        break;
+      }
+      case SelectItem::Kind::kRatio: {
+        AQV_ASSIGN_OR_RETURN(AggArg num, ReplaceAggArg(ctx, AggFn::kSum, item.arg));
+        AQV_ASSIGN_OR_RETURN(AggArg den, ReplaceAggArg(ctx, AggFn::kSum, item.den));
+        out.select.push_back(
+            SelectItem::MakeRatio(std::move(num), std::move(den), item.alias));
+        break;
+      }
+    }
+  }
+
+  for (const std::string& g : query.group_by) {
+    AQV_ASSIGN_OR_RETURN(std::string col, StrictReplace(ctx, g));
+    out.group_by.push_back(std::move(col));
+  }
+
+  // Section 3.3: HAVING survives with columns renamed; aggregate operands
+  // follow the same C4 rules as SELECT aggregates.
+  for (const Predicate& p : query.having) {
+    Predicate mapped = p;
+    for (Operand* o : {&mapped.lhs, &mapped.rhs}) {
+      switch (o->kind) {
+        case Operand::Kind::kColumn: {
+          AQV_ASSIGN_OR_RETURN(o->column, StrictReplace(ctx, o->column));
+          break;
+        }
+        case Operand::Kind::kAggregate: {
+          AQV_ASSIGN_OR_RETURN(
+              AggArg arg, ReplaceAggArg(ctx, o->agg, o->agg_arg()));
+          o->column = arg.column;
+          o->multiplier = arg.multiplier;
+          break;
+        }
+        case Operand::Kind::kConstant:
+          break;
+      }
+    }
+    out.having.push_back(std::move(mapped));
+  }
+
+  AQV_RETURN_NOT_OK(ValidateQuery(out));
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,73 @@
+#include "rewrite/cost.h"
+
+#include <algorithm>
+
+#include "exec/planner.h"
+
+namespace aqv {
+
+double CostModel::Estimate(const Query& query, const Database& db,
+                           double unknown_input_rows) const {
+  size_t n = query.from.size();
+  std::vector<double> sizes(n, unknown_input_rows);
+  double cost = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Result<const Table*> t = db.Get(query.from[i].table);
+    if (t.ok()) sizes[i] = static_cast<double>((*t)->num_rows());
+    cost += sizes[i];  // scan cost
+  }
+
+  PredicateClassification cls = ClassifyPredicates(query);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < cls.single_table[i].size(); ++k) {
+      sizes[i] *= kFilterSelectivity;
+    }
+  }
+
+  // Simulate the greedy join order and accumulate intermediate sizes.
+  std::vector<size_t> int_sizes(n);
+  for (size_t i = 0; i < n; ++i) {
+    int_sizes[i] = static_cast<size_t>(std::max(1.0, sizes[i]));
+  }
+  std::vector<int> order = GreedyJoinOrder(int_sizes, cls.equi_joins);
+
+  std::vector<bool> bound(n, false);
+  double card = 0;
+  for (size_t step = 0; step < order.size(); ++step) {
+    int t = order[step];
+    if (step == 0) {
+      card = sizes[t];
+    } else {
+      double joined = card * sizes[t];
+      for (const auto& e : cls.equi_joins) {
+        bool connects = (e.left_table == t && bound[e.right_table]) ||
+                        (e.right_table == t && bound[e.left_table]);
+        if (connects) joined *= kJoinSelectivity;
+      }
+      card = std::max(1.0, joined);
+      cost += card;  // materialization of the intermediate
+    }
+    bound[t] = true;
+  }
+  return cost + card;  // final pass (grouping/projection)
+}
+
+Query ChooseCheapest(const Query& query, const std::vector<Query>& candidates,
+                     const Database& db, const CostModel& model,
+                     int* chosen_index) {
+  const Query* best = &query;
+  int best_index = -1;
+  double best_cost = model.Estimate(query, db);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double cost = model.Estimate(candidates[i], db);
+    if (cost < best_cost) {
+      best = &candidates[i];
+      best_index = static_cast<int>(i);
+      best_cost = cost;
+    }
+  }
+  if (chosen_index != nullptr) *chosen_index = best_index;
+  return *best;
+}
+
+}  // namespace aqv

@@ -1,0 +1,43 @@
+#ifndef AQV_REWRITE_COST_H_
+#define AQV_REWRITE_COST_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "exec/table.h"
+#include "ir/query.h"
+#include "ir/views.h"
+#include "rewrite/rewriter.h"
+
+namespace aqv {
+
+/// A deliberately simple cardinality-based cost model, enough to rank a
+/// query against its rewritings (a summary view several orders of magnitude
+/// smaller than its base table wins by scan size alone). Cost is the sum of
+/// input cardinalities plus estimated intermediate join cardinalities under
+/// a textbook independence model: single-table conjuncts keep a fraction
+/// `kFilterSelectivity` of rows, and each equi-join edge contributes a
+/// `kJoinSelectivity` factor to the joined cardinality.
+struct CostModel {
+  static constexpr double kFilterSelectivity = 0.3;
+  static constexpr double kJoinSelectivity = 0.01;
+
+  /// Estimated cost of evaluating `query` against `db`. FROM entries must
+  /// resolve to stored tables (materialized views included); an entry that
+  /// does not resolve is priced at `unknown_input_rows`.
+  double Estimate(const Query& query, const Database& db,
+                  double unknown_input_rows = 1e12) const;
+};
+
+/// Ranks `query` and `candidates` by estimated cost and returns a copy of
+/// the cheapest (which may be the original query). Ties keep the earlier
+/// entry. `chosen_index` (optional) receives -1 for the original query or
+/// the winning candidate's index.
+Query ChooseCheapest(const Query& query, const std::vector<Query>& candidates,
+                     const Database& db, const CostModel& model = CostModel{},
+                     int* chosen_index = nullptr);
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITE_COST_H_

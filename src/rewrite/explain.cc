@@ -1,0 +1,77 @@
+#include "rewrite/explain.h"
+
+#include "ir/printer.h"
+#include "ir/validate.h"
+#include "reason/having_normalize.h"
+
+namespace aqv {
+
+bool RewriteExplanation::usable() const {
+  for (const MappingExplanation& m : mappings) {
+    if (m.usable) return true;
+  }
+  return false;
+}
+
+std::string RewriteExplanation::ToString() const {
+  std::string out = "view " + view + ": ";
+  if (mappings.empty()) {
+    out += "no candidate column mapping (no same-named FROM tables)\n";
+    return out;
+  }
+  out += std::to_string(mappings.size()) + " candidate mapping(s)";
+  if (having_conjuncts_moved > 0) {
+    out += ", " + std::to_string(having_conjuncts_moved) +
+           " HAVING conjunct(s) moved to WHERE (Section 3.3)";
+  }
+  out += "\n";
+  for (size_t i = 0; i < mappings.size(); ++i) {
+    const MappingExplanation& m = mappings[i];
+    out += "  [" + std::to_string(i + 1) + "] " + m.mapping.ToString() + "\n";
+    if (m.usable) {
+      out += "      usable -> " + ToSql(m.rewritten) + "\n";
+    } else {
+      out += "      refused: " + m.detail + "\n";
+    }
+  }
+  return out;
+}
+
+Result<RewriteExplanation> ExplainRewrite(const Query& query,
+                                          const ViewDef& view,
+                                          const RewriteOptions& options) {
+  AQV_RETURN_NOT_OK(ValidateQuery(query));
+  AQV_RETURN_NOT_OK(ValidateQuery(view.query));
+
+  RewriteExplanation out;
+  out.view = view.name;
+  out.view_is_aggregation = view.query.IsAggregation();
+
+  Query q = query;
+  if (options.normalize_having) {
+    out.having_conjuncts_moved = NormalizeHaving(&q);
+  }
+
+  for (const ColumnMapping& mapping :
+       EnumerateColumnMappings(view.query, q, /*one_to_one=*/true,
+                               options.max_mappings)) {
+    MappingExplanation m{mapping, false, "", Query{}};
+    Result<Query> rewritten =
+        view.query.IsConjunctive()
+            ? RewriteWithConjunctiveView(q, view, mapping)
+            : RewriteWithAggregateView(q, view, mapping);
+    if (rewritten.ok()) {
+      m.usable = true;
+      m.detail = "usable";
+      m.rewritten = *std::move(rewritten);
+    } else if (rewritten.status().code() == StatusCode::kUnusable) {
+      m.detail = rewritten.status().message();
+    } else {
+      return rewritten.status();
+    }
+    out.mappings.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,45 @@
+#ifndef AQV_REWRITE_EXPLAIN_H_
+#define AQV_REWRITE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "ir/query.h"
+#include "ir/views.h"
+#include "rewrite/mapping.h"
+#include "rewrite/rewriter.h"
+
+namespace aqv {
+
+/// The verdict for one candidate column mapping: either the rewriting it
+/// produced, or which usability condition refused it and why.
+struct MappingExplanation {
+  ColumnMapping mapping;
+  bool usable = false;
+  std::string detail;  // refusal reason (C1..C4/C2'..C4' message) or "usable"
+  Query rewritten;     // valid only when usable
+};
+
+/// The full trace of testing one view against one query — the answer to
+/// "why wasn't my summary table used?".
+struct RewriteExplanation {
+  std::string view;
+  bool view_is_aggregation = false;
+  int having_conjuncts_moved = 0;  // Section 3.3 pre-processing effect
+  std::vector<MappingExplanation> mappings;
+
+  bool usable() const;
+  std::string ToString() const;
+};
+
+/// Runs the usability analysis of `view` against `query` and reports the
+/// outcome of every candidate mapping. Unlike Rewriter::RewritingsUsingView
+/// this never hides refusals: each mapping's failing condition is recorded.
+Result<RewriteExplanation> ExplainRewrite(const Query& query,
+                                          const ViewDef& view,
+                                          const RewriteOptions& options = {});
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITE_EXPLAIN_H_

@@ -1,0 +1,130 @@
+#include "rewrite/flatten.h"
+
+#include <map>
+
+#include "ir/validate.h"
+
+namespace aqv {
+
+namespace {
+
+// Applies a column rename to every reference in `query` (select items,
+// WHERE, GROUP BY, HAVING). FROM entries are not touched.
+void RenameReferences(Query* query,
+                      const std::map<std::string, std::string>& rename) {
+  auto fix = [&rename](std::string* col) {
+    auto it = rename.find(*col);
+    if (it != rename.end()) *col = it->second;
+  };
+  for (SelectItem& s : query->select) {
+    switch (s.kind) {
+      case SelectItem::Kind::kColumn:
+        // Keep the output name stable: the alias (defaulting to the old
+        // column name) survives the redirection.
+        if (s.alias.empty()) s.alias = s.column;
+        fix(&s.column);
+        break;
+      case SelectItem::Kind::kRatio:
+        fix(&s.den.column);
+        if (s.den.scaled()) fix(&s.den.multiplier);
+        [[fallthrough]];
+      case SelectItem::Kind::kAggregate:
+        fix(&s.arg.column);
+        if (s.arg.scaled()) fix(&s.arg.multiplier);
+        break;
+    }
+  }
+  for (Predicate& p : query->where) {
+    for (Operand* o : {&p.lhs, &p.rhs}) {
+      if (o->is_constant()) continue;
+      fix(&o->column);
+      if (o->is_aggregate() && !o->multiplier.empty()) fix(&o->multiplier);
+    }
+  }
+  for (std::string& g : query->group_by) fix(&g);
+  for (Predicate& p : query->having) {
+    for (Operand* o : {&p.lhs, &p.rhs}) {
+      if (o->is_constant()) continue;
+      fix(&o->column);
+      if (o->is_aggregate() && !o->multiplier.empty()) fix(&o->multiplier);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Query> FlattenViews(
+    const Query& query, const ViewRegistry& views,
+    const std::function<bool(const std::string&)>& should_flatten,
+    int* flattened) {
+  AQV_RETURN_NOT_OK(ValidateQuery(query));
+  Query out = query;
+  int merged = 0;
+
+  // Fixpoint loop with a depth guard against (ill-formed) cyclic view
+  // definitions.
+  for (int round = 0; round < 32; ++round) {
+    int index = -1;
+    const ViewDef* view = nullptr;
+    for (size_t i = 0; i < out.from.size(); ++i) {
+      const std::string& name = out.from[i].table;
+      if (!views.Has(name)) continue;
+      if (should_flatten && !should_flatten(name)) continue;
+      Result<const ViewDef*> def = views.Get(name);
+      if (!def.ok()) return def.status();
+      if (!(*def)->query.IsConjunctive() || (*def)->query.distinct) continue;
+      index = static_cast<int>(i);
+      view = *def;
+      break;
+    }
+    if (index < 0) break;
+
+    const TableRef occurrence = out.from[index];
+    const Query& inner = view->query;
+
+    // Rename the inner block's columns apart from everything in `out`.
+    NameGenerator names;
+    names.Reserve(out.AllColumns());
+    std::map<std::string, std::string> inner_rename;
+    std::vector<TableRef> inner_from = inner.from;
+    for (TableRef& t : inner_from) {
+      for (std::string& c : t.columns) {
+        std::string fresh = names.Fresh(c);
+        inner_rename[c] = fresh;
+        c = fresh;
+      }
+    }
+
+    // Redirect the occurrence's columns to the inner SELECT's sources.
+    std::map<std::string, std::string> redirect;
+    for (size_t p = 0; p < occurrence.columns.size(); ++p) {
+      if (p >= inner.select.size()) {
+        return Status::InvalidArgument(
+            "view reference '" + occurrence.table + "' arity exceeds the view");
+      }
+      redirect[occurrence.columns[p]] =
+          inner_rename.at(inner.select[p].column);
+    }
+    RenameReferences(&out, redirect);
+
+    // Splice FROM and WHERE.
+    out.from.erase(out.from.begin() + index);
+    out.from.insert(out.from.begin() + index, inner_from.begin(),
+                    inner_from.end());
+    for (const Predicate& p : inner.where) {
+      Predicate renamed = p;
+      for (Operand* o : {&renamed.lhs, &renamed.rhs}) {
+        if (o->is_constant()) continue;
+        o->column = inner_rename.at(o->column);
+      }
+      out.where.push_back(std::move(renamed));
+    }
+    ++merged;
+  }
+
+  AQV_RETURN_NOT_OK(ValidateQuery(out));
+  if (flattened != nullptr) *flattened = merged;
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,38 @@
+#ifndef AQV_REWRITE_FLATTEN_H_
+#define AQV_REWRITE_FLATTEN_H_
+
+#include <functional>
+#include <string>
+
+#include "base/result.h"
+#include "ir/query.h"
+#include "ir/views.h"
+
+namespace aqv {
+
+/// The Section 7 pre-pass: "multi-block SQL queries (e.g., queries with
+/// view tables in the FROM clause) can often be transformed to single-block
+/// queries ... In such cases, our techniques can also be applied."
+///
+/// FlattenViews merges FROM entries that reference *conjunctive, non-
+/// DISTINCT* registered views into the enclosing block: the view's FROM
+/// entries are spliced in (renamed apart), its WHERE conjuncts are added,
+/// and references to the view's outputs are redirected to the underlying
+/// columns. This is the classic select-project-join merge and is exact
+/// under multiset semantics. Aggregation and DISTINCT views are left in
+/// place — merging them would change the block structure's meaning.
+///
+/// `should_flatten` (optional) filters which view references are merged;
+/// returning false leaves a reference alone (e.g. the Optimizer skips views
+/// that are materialized — scanning them is the point). Runs to fixpoint,
+/// so views defined over views flatten through.
+///
+/// `flattened` (optional) receives the number of view references merged.
+Result<Query> FlattenViews(
+    const Query& query, const ViewRegistry& views,
+    const std::function<bool(const std::string&)>& should_flatten = nullptr,
+    int* flattened = nullptr);
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITE_FLATTEN_H_

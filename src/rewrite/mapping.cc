@@ -1,0 +1,109 @@
+#include "rewrite/mapping.h"
+
+#include <algorithm>
+
+namespace aqv {
+
+ColumnMapping::ColumnMapping(const Query& view, const Query& query,
+                             std::vector<int> table_assignment)
+    : table_assignment_(std::move(table_assignment)) {
+  for (size_t i = 0; i < table_assignment_.size(); ++i) {
+    const TableRef& v = view.from[i];
+    const TableRef& q = query.from[table_assignment_[i]];
+    for (size_t j = 0; j < v.columns.size(); ++j) {
+      column_map_[v.columns[j]] = q.columns[j];
+      mapped_query_columns_.insert(q.columns[j]);
+    }
+  }
+}
+
+bool ColumnMapping::IsOneToOne() const {
+  std::set<int> targets(table_assignment_.begin(), table_assignment_.end());
+  return targets.size() == table_assignment_.size();
+}
+
+std::string ColumnMapping::MapColumn(const std::string& view_column) const {
+  auto it = column_map_.find(view_column);
+  return it == column_map_.end() ? view_column : it->second;
+}
+
+Predicate ColumnMapping::MapPredicate(const Predicate& pred) const {
+  Predicate out = pred;
+  for (Operand* o : {&out.lhs, &out.rhs}) {
+    if (o->is_constant()) continue;
+    o->column = MapColumn(o->column);
+    if (o->is_aggregate() && !o->multiplier.empty()) {
+      o->multiplier = MapColumn(o->multiplier);
+    }
+  }
+  return out;
+}
+
+std::vector<Predicate> ColumnMapping::MapPredicates(
+    const std::vector<Predicate>& preds) const {
+  std::vector<Predicate> out;
+  out.reserve(preds.size());
+  for (const Predicate& p : preds) out.push_back(MapPredicate(p));
+  return out;
+}
+
+std::set<int> ColumnMapping::MappedQueryTables() const {
+  return std::set<int>(table_assignment_.begin(), table_assignment_.end());
+}
+
+std::string ColumnMapping::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [from, to] : column_map_) {
+    if (!first) out += ", ";
+    first = false;
+    out += from + " -> " + to;
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<ColumnMapping> EnumerateColumnMappings(const Query& view,
+                                                   const Query& query,
+                                                   bool one_to_one, int limit) {
+  std::vector<ColumnMapping> mappings;
+  size_t n = view.from.size();
+
+  // Candidate query occurrences per view occurrence: same table name and
+  // arity (arity can differ when the name denotes a view used with
+  // different projections; those never correspond).
+  std::vector<std::vector<int>> candidates(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < query.from.size(); ++j) {
+      if (view.from[i].table == query.from[j].table &&
+          view.from[i].columns.size() == query.from[j].columns.size()) {
+        candidates[i].push_back(static_cast<int>(j));
+      }
+    }
+    if (candidates[i].empty()) return mappings;
+  }
+
+  std::vector<int> assignment(n, -1);
+  std::vector<bool> used(query.from.size(), false);
+
+  // Depth-first enumeration of assignments.
+  auto enumerate = [&](auto&& self, size_t depth) -> void {
+    if (static_cast<int>(mappings.size()) >= limit) return;
+    if (depth == n) {
+      mappings.emplace_back(view, query, assignment);
+      return;
+    }
+    for (int target : candidates[depth]) {
+      if (one_to_one && used[target]) continue;
+      assignment[depth] = target;
+      if (one_to_one) used[target] = true;
+      self(self, depth + 1);
+      if (one_to_one) used[target] = false;
+      if (static_cast<int>(mappings.size()) >= limit) return;
+    }
+  };
+  enumerate(enumerate, 0);
+  return mappings;
+}
+
+}  // namespace aqv

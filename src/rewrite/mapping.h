@@ -1,0 +1,67 @@
+#ifndef AQV_REWRITE_MAPPING_H_
+#define AQV_REWRITE_MAPPING_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/query.h"
+
+namespace aqv {
+
+/// A column mapping φ from a view V to a query Q (Definition 2.1): every
+/// FROM occurrence of V is assigned a FROM occurrence of Q over the same
+/// base table, and columns map position-wise. A 1-1 mapping assigns
+/// distinct view occurrences to distinct query occurrences (condition C1);
+/// many-to-1 mappings are admitted only under the set semantics of
+/// Section 5.2.
+class ColumnMapping {
+ public:
+  ColumnMapping(const Query& view, const Query& query,
+                std::vector<int> table_assignment);
+
+  /// table_assignment()[i] is the query FROM index assigned to view FROM
+  /// index i.
+  const std::vector<int>& table_assignment() const { return table_assignment_; }
+
+  /// True if distinct view tables map to distinct query tables.
+  bool IsOneToOne() const;
+
+  /// φ(column) for a view column; returns the input unchanged if it is not
+  /// a view column (never the case for well-formed inputs).
+  std::string MapColumn(const std::string& view_column) const;
+
+  /// φ applied to a scalar or aggregate predicate.
+  Predicate MapPredicate(const Predicate& pred) const;
+  std::vector<Predicate> MapPredicates(const std::vector<Predicate>& preds) const;
+
+  /// φ(Cols(V)): the query columns that are images of view columns.
+  const std::set<std::string>& MappedQueryColumns() const {
+    return mapped_query_columns_;
+  }
+
+  /// The query FROM indices in the image of the table assignment.
+  std::set<int> MappedQueryTables() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<int> table_assignment_;
+  std::map<std::string, std::string> column_map_;
+  std::set<std::string> mapped_query_columns_;
+};
+
+inline constexpr int kDefaultMappingLimit = 4096;
+
+/// Enumerates every column mapping from `view` to `query`: all assignments
+/// of view FROM occurrences to same-named, same-arity query FROM
+/// occurrences. With `one_to_one` the assignment must be injective.
+/// Enumeration stops at `limit` mappings (a factorial-growth backstop).
+std::vector<ColumnMapping> EnumerateColumnMappings(
+    const Query& view, const Query& query, bool one_to_one,
+    int limit = kDefaultMappingLimit);
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITE_MAPPING_H_

@@ -1,0 +1,50 @@
+#include "rewrite/multiview.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace aqv {
+
+std::string CanonicalQueryKey(const Query& query) {
+  std::vector<std::string> from;
+  for (const TableRef& t : query.from) from.push_back(t.ToString());
+  std::sort(from.begin(), from.end());
+
+  std::vector<std::string> where;
+  for (const Predicate& p : query.where) {
+    // Orient symmetric atoms so "A = B" and "B = A" coincide.
+    Predicate q = p;
+    if ((q.op == CmpOp::kEq || q.op == CmpOp::kNe) && q.rhs < q.lhs) {
+      std::swap(q.lhs, q.rhs);
+    }
+    if (q.op == CmpOp::kGt || q.op == CmpOp::kGe) {
+      std::swap(q.lhs, q.rhs);
+      q.op = FlipCmpOp(q.op);
+    }
+    where.push_back(q.ToString());
+  }
+  std::sort(where.begin(), where.end());
+
+  std::vector<std::string> groups = query.group_by;
+  std::sort(groups.begin(), groups.end());
+
+  std::vector<std::string> having;
+  for (const Predicate& p : query.having) having.push_back(p.ToString());
+  std::sort(having.begin(), having.end());
+
+  std::vector<std::string> select;
+  for (const SelectItem& s : query.select) select.push_back(s.ToString());
+
+  std::string key;
+  key += "SELECT " + std::string(query.distinct ? "DISTINCT " : "") +
+         Join(select, ", ");
+  key += " FROM " + Join(from, ", ");
+  key += " WHERE " + Join(where, " AND ");
+  key += " GROUPBY " + Join(groups, ", ");
+  key += " HAVING " + Join(having, " AND ");
+  return key;
+}
+
+}  // namespace aqv

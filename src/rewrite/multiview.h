@@ -1,0 +1,19 @@
+#ifndef AQV_REWRITE_MULTIVIEW_H_
+#define AQV_REWRITE_MULTIVIEW_H_
+
+#include <string>
+
+#include "ir/query.h"
+
+namespace aqv {
+
+/// A syntactic canonical key for comparing rewritten queries modulo the
+/// irrelevant orderings (FROM entry order, conjunct order, GROUP BY order).
+/// Two queries with equal keys compute the same result; the Theorem 3.2
+/// Church–Rosser tests compare keys of rewritings derived in different view
+/// orders. SELECT order is preserved (it is the output schema).
+std::string CanonicalQueryKey(const Query& query);
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITE_MULTIVIEW_H_

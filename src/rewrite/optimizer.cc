@@ -1,0 +1,48 @@
+#include "rewrite/optimizer.h"
+
+#include "rewrite/flatten.h"
+
+namespace aqv {
+
+Result<OptimizeResult> Optimizer::Optimize(const Query& query) const {
+  OptimizeResult out;
+
+  // Section 7 pre-pass: merge virtual view references; keep materialized
+  // ones (scanning them is the point of this library).
+  AQV_ASSIGN_OR_RETURN(
+      Query flat,
+      FlattenViews(
+          query, *views_,
+          [this](const std::string& name) { return !db_->Has(name); },
+          &out.views_flattened));
+
+  CostModel model;
+  out.cost_original = model.Estimate(flat, *db_);
+
+  // Candidate rewritings over the materialized views.
+  std::vector<std::string> materialized;
+  for (const std::string& name : views_->ViewNames()) {
+    if (db_->Has(name)) materialized.push_back(name);
+  }
+  std::vector<Query> candidates;
+  if (!materialized.empty()) {
+    Rewriter rewriter(views_, catalog_, options_);
+    AQV_ASSIGN_OR_RETURN(candidates,
+                         rewriter.EnumerateAllRewritings(flat, materialized));
+  }
+  out.rewritings_considered = static_cast<int>(candidates.size());
+
+  int chosen_index = -1;
+  out.chosen = ChooseCheapest(flat, candidates, *db_, model, &chosen_index);
+  out.used_materialized_view = chosen_index >= 0;
+  out.cost_chosen = model.Estimate(out.chosen, *db_);
+  return out;
+}
+
+Result<Table> Optimizer::Run(const Query& query) const {
+  AQV_ASSIGN_OR_RETURN(OptimizeResult plan, Optimize(query));
+  Evaluator eval(db_, views_);
+  return eval.Execute(plan.chosen);
+}
+
+}  // namespace aqv

@@ -1,0 +1,63 @@
+#ifndef AQV_REWRITE_OPTIMIZER_H_
+#define AQV_REWRITE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "catalog/catalog.h"
+#include "exec/evaluator.h"
+#include "exec/table.h"
+#include "ir/query.h"
+#include "ir/views.h"
+#include "rewrite/cost.h"
+#include "rewrite/rewriter.h"
+
+namespace aqv {
+
+/// The plan the optimizer settled on.
+struct OptimizeResult {
+  Query chosen;
+  double cost_original = 0;
+  double cost_chosen = 0;
+  int rewritings_considered = 0;
+  int views_flattened = 0;  // Section 7 pre-pass merges
+  bool used_materialized_view = false;
+};
+
+/// End-to-end facade tying the pieces together the way Section 6's
+/// cost-based integration sketch suggests:
+///
+///   1. flatten virtual (non-materialized, conjunctive) view references
+///      into a single block (Section 7);
+///   2. enumerate all rewritings over the views whose contents are stored
+///      in the database (Sections 3-5);
+///   3. price original + candidates with the cost model and keep the
+///      cheapest;
+///   4. (Run) execute the winner.
+///
+/// A view counts as *materialized* when `db->Has(view name)`; other
+/// registered views are virtual and are only used by the flattening step.
+class Optimizer {
+ public:
+  Optimizer(const Database* db, const ViewRegistry* views,
+            const Catalog* catalog = nullptr,
+            RewriteOptions options = RewriteOptions{})
+      : db_(db), views_(views), catalog_(catalog), options_(options) {}
+
+  /// Picks the cheapest equivalent plan for `query`.
+  Result<OptimizeResult> Optimize(const Query& query) const;
+
+  /// Optimize + execute.
+  Result<Table> Run(const Query& query) const;
+
+ private:
+  const Database* db_;
+  const ViewRegistry* views_;
+  const Catalog* catalog_;
+  RewriteOptions options_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITE_OPTIMIZER_H_

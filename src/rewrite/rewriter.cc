@@ -1,0 +1,132 @@
+#include "rewrite/rewriter.h"
+
+#include <deque>
+#include <set>
+
+#include "ir/validate.h"
+#include "reason/having_normalize.h"
+#include "rewrite/multiview.h"
+#include "rewrite/set_rewriter.h"
+
+namespace aqv {
+
+Result<Query> RewriteWithViewMapping(const Query& query, const ViewDef& view,
+                                     const ColumnMapping& mapping,
+                                     const RewriteOptions& options) {
+  Query q = query;
+  if (options.normalize_having) NormalizeHaving(&q);
+  if (view.query.IsConjunctive()) {
+    return RewriteWithConjunctiveView(q, view, mapping);
+  }
+  return RewriteWithAggregateView(q, view, mapping);
+}
+
+Result<std::vector<Rewriting>> Rewriter::RewritingsUsingView(
+    const Query& query, const std::string& view_name) const {
+  AQV_RETURN_NOT_OK(ValidateQuery(query));
+  AQV_ASSIGN_OR_RETURN(const ViewDef* view, views_->Get(view_name));
+
+  Query q = query;
+  if (options_.normalize_having) NormalizeHaving(&q);
+
+  std::vector<Rewriting> rewritings;
+  std::set<std::string> seen;
+
+  // Multiset semantics: 1-1 mappings (condition C1).
+  for (const ColumnMapping& mapping :
+       EnumerateColumnMappings(view->query, q, /*one_to_one=*/true,
+                               options_.max_mappings)) {
+    Result<Query> rewritten =
+        view->query.IsConjunctive()
+            ? RewriteWithConjunctiveView(q, *view, mapping)
+            : RewriteWithAggregateView(q, *view, mapping);
+    if (!rewritten.ok()) {
+      if (rewritten.status().code() == StatusCode::kUnusable) continue;
+      return rewritten.status();
+    }
+    if (seen.insert(CanonicalQueryKey(*rewritten)).second) {
+      rewritings.push_back(
+          Rewriting{*std::move(rewritten), view_name, mapping});
+    }
+  }
+
+  // Section 5.2: many-to-1 mappings when set-ness is provable.
+  if (options_.use_key_information && catalog_ != nullptr &&
+      q.IsConjunctive() && view->query.IsConjunctive() &&
+      IsSetQuery(q, *catalog_, views_) &&
+      IsSetQuery(view->query, *catalog_, views_)) {
+    for (const ColumnMapping& mapping :
+         EnumerateColumnMappings(view->query, q, /*one_to_one=*/false,
+                                 options_.max_mappings)) {
+      if (mapping.IsOneToOne()) continue;  // already handled above
+      Result<Query> rewritten = RewriteWithSetView(q, *view, mapping);
+      if (!rewritten.ok()) {
+        if (rewritten.status().code() == StatusCode::kUnusable) continue;
+        return rewritten.status();
+      }
+      if (seen.insert(CanonicalQueryKey(*rewritten)).second) {
+        rewritings.push_back(
+            Rewriting{*std::move(rewritten), view_name, mapping});
+      }
+    }
+  }
+
+  return rewritings;
+}
+
+Result<Query> Rewriter::RewriteUsingView(const Query& query,
+                                         const std::string& view_name) const {
+  AQV_ASSIGN_OR_RETURN(std::vector<Rewriting> rewritings,
+                       RewritingsUsingView(query, view_name));
+  if (rewritings.empty()) {
+    return Status::Unusable("view '" + view_name +
+                            "' is not usable in evaluating the query");
+  }
+  return std::move(rewritings.front().query);
+}
+
+Result<Query> Rewriter::RewriteIteratively(
+    const Query& query, const std::vector<std::string>& view_names,
+    std::vector<std::string>* views_used) const {
+  Query current = query;
+  for (const std::string& name : view_names) {
+    Result<Query> next = RewriteUsingView(current, name);
+    if (next.ok()) {
+      current = *std::move(next);
+      if (views_used != nullptr) views_used->push_back(name);
+    } else if (next.status().code() != StatusCode::kUnusable) {
+      return next.status();
+    }
+  }
+  return current;
+}
+
+Result<std::vector<Query>> Rewriter::EnumerateAllRewritings(
+    const Query& query, const std::vector<std::string>& view_names,
+    int max_results) const {
+  std::vector<Query> results;
+  std::set<std::string> seen;
+  seen.insert(CanonicalQueryKey(query));
+
+  std::deque<Query> frontier;
+  frontier.push_back(query);
+  while (!frontier.empty() &&
+         static_cast<int>(results.size()) < max_results) {
+    Query current = std::move(frontier.front());
+    frontier.pop_front();
+    for (const std::string& name : view_names) {
+      AQV_ASSIGN_OR_RETURN(std::vector<Rewriting> step,
+                           RewritingsUsingView(current, name));
+      for (Rewriting& r : step) {
+        if (!seen.insert(CanonicalQueryKey(r.query)).second) continue;
+        results.push_back(r.query);
+        frontier.push_back(std::move(r.query));
+        if (static_cast<int>(results.size()) >= max_results) break;
+      }
+      if (static_cast<int>(results.size()) >= max_results) break;
+    }
+  }
+  return results;
+}
+
+}  // namespace aqv

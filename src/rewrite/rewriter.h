@@ -1,0 +1,103 @@
+#ifndef AQV_REWRITE_REWRITER_H_
+#define AQV_REWRITE_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "catalog/catalog.h"
+#include "ir/query.h"
+#include "ir/views.h"
+#include "rewrite/mapping.h"
+
+namespace aqv {
+
+/// Rewriting policy knobs.
+struct RewriteOptions {
+  /// Section 3.3: move HAVING conditions into WHERE before testing
+  /// usability (strengthens Conds(Q), detecting more usable views).
+  bool normalize_having = true;
+
+  /// Section 5: when the catalog proves both query and view produce sets,
+  /// admit many-to-1 column mappings (conjunctive case only).
+  bool use_key_information = false;
+
+  /// Backstop on mapping enumeration per (query, view) pair.
+  int max_mappings = kDefaultMappingLimit;
+};
+
+/// One rewriting of a query using one view occurrence.
+struct Rewriting {
+  Query query;          // Q', multiset-equivalent to the input query
+  std::string view;     // the view incorporated by this step
+  ColumnMapping mapping;  // the column mapping φ that justified it
+};
+
+/// Rewrites `query` to use `view` under the fixed column mapping `mapping`.
+/// Dispatches on the view's shape: Section 3 steps S1–S4 for a conjunctive
+/// view, Section 4 steps S1'–S5' for an aggregation view (with the
+/// multiplicity-weighting correction described in DESIGN.md). Returns
+/// kUnusable when conditions C1–C4 / C1,C2'–C4' fail.
+Result<Query> RewriteWithViewMapping(const Query& query, const ViewDef& view,
+                                     const ColumnMapping& mapping,
+                                     const RewriteOptions& options = {});
+
+/// Section 3 path: aggregation (or conjunctive) query, conjunctive view.
+Result<Query> RewriteWithConjunctiveView(const Query& query,
+                                         const ViewDef& view,
+                                         const ColumnMapping& mapping);
+
+/// Section 4 path: aggregation query, aggregation view. A conjunctive query
+/// is rejected per Section 4.5 (grouping in the view loses multiplicities).
+Result<Query> RewriteWithAggregateView(const Query& query, const ViewDef& view,
+                                       const ColumnMapping& mapping);
+
+/// The top-level engine: enumerates mappings, applies the per-mapping
+/// rewriters, iterates over multiple views (Section 3.2), and exposes the
+/// Section 5 set-semantics mode.
+class Rewriter {
+ public:
+  /// `views` must outlive the Rewriter. `catalog` is only needed for the
+  /// Section 5 key reasoning and may be null.
+  explicit Rewriter(const ViewRegistry* views, const Catalog* catalog = nullptr,
+                    RewriteOptions options = RewriteOptions{})
+      : views_(views), catalog_(catalog), options_(options) {}
+
+  /// Every rewriting of `query` that incorporates one occurrence of the
+  /// named view (one candidate per usable column mapping). Empty result
+  /// means the view is not usable. Statuses other than OK indicate
+  /// malformed input.
+  Result<std::vector<Rewriting>> RewritingsUsingView(
+      const Query& query, const std::string& view_name) const;
+
+  /// First usable rewriting with the named view, or kUnusable.
+  Result<Query> RewriteUsingView(const Query& query,
+                                 const std::string& view_name) const;
+
+  /// Section 3.2 iterative procedure: folds the views into the query one at
+  /// a time in the given order, skipping unusable ones; each incorporated
+  /// view is thereafter treated as a database table. Returns the final
+  /// query; `views_used` (optional) receives the names incorporated.
+  Result<Query> RewriteIteratively(const Query& query,
+                                   const std::vector<std::string>& view_names,
+                                   std::vector<std::string>* views_used) const;
+
+  /// Every distinct query reachable from `query` by iterative single-view
+  /// substitutions over `view_names` (views may be used repeatedly), up to
+  /// `max_results`. By Theorem 3.2 this enumerates all rewritings for
+  /// equality-only predicates. The input query itself is not included.
+  Result<std::vector<Query>> EnumerateAllRewritings(
+      const Query& query, const std::vector<std::string>& view_names,
+      int max_results = 64) const;
+
+  const RewriteOptions& options() const { return options_; }
+
+ private:
+  const ViewRegistry* views_;
+  const Catalog* catalog_;
+  RewriteOptions options_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITE_REWRITER_H_

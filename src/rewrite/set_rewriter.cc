@@ -1,0 +1,211 @@
+#include "rewrite/set_rewriter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/validate.h"
+#include "reason/residual.h"
+#include "rewrite/conditions.h"
+
+namespace aqv {
+
+namespace {
+
+// A functional dependency over query column names.
+struct QueryFd {
+  std::vector<std::string> lhs;  // empty lhs: rhs pinned by a constant
+  std::string rhs;
+};
+
+// Closes `attrs` under `fds`.
+std::set<std::string> CloseAttributes(std::set<std::string> attrs,
+                                      const std::vector<QueryFd>& fds) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const QueryFd& fd : fds) {
+      if (attrs.count(fd.rhs) > 0) continue;
+      bool covered = std::all_of(
+          fd.lhs.begin(), fd.lhs.end(),
+          [&attrs](const std::string& a) { return attrs.count(a) > 0; });
+      if (covered) {
+        attrs.insert(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return attrs;
+}
+
+bool IsSetQueryDepth(const Query& query, const Catalog& catalog,
+                     const ViewRegistry* views, int depth);
+
+// True if `name` denotes a duplicate-free input: a keyed base table or a
+// view whose result is itself a set.
+bool IsSetInput(const std::string& name, const Catalog& catalog,
+                const ViewRegistry* views, int depth) {
+  if (depth > 16) return false;
+  Result<const TableDef*> table = catalog.GetTable(name);
+  if (table.ok()) return (*table)->IsSet();
+  if (views != nullptr) {
+    Result<const ViewDef*> view = views->Get(name);
+    if (view.ok()) {
+      return IsSetQueryDepth((*view)->query, catalog, views, depth + 1);
+    }
+  }
+  return false;
+}
+
+bool IsSetQueryDepth(const Query& query, const Catalog& catalog,
+                     const ViewRegistry* views, int depth) {
+  if (query.distinct) return true;
+
+  if (query.IsAggregation()) {
+    // One output row per surviving group; the grouping columns key the
+    // result, so it is a set when they are all selected.
+    std::vector<std::string> colsel = query.ColSel();
+    for (const std::string& g : query.group_by) {
+      if (std::find(colsel.begin(), colsel.end(), g) == colsel.end()) {
+        return false;
+      }
+    }
+    return true;  // includes the global-aggregate single-row case
+  }
+
+  // Conjunctive query: Propositions 5.1 and 5.2.
+  // Proposition 5.2: every FROM entry must be a set.
+  for (const TableRef& t : query.from) {
+    if (!IsSetInput(t.table, catalog, views, depth)) return false;
+  }
+
+  // Collect FDs over query column names: per-occurrence table FDs, plus the
+  // WHERE clause's equalities (column=column as two-way FDs, column=constant
+  // as a pinning FD). This subsumes the foreign-key-join and FD-to-key
+  // inferences of Section 5.1.
+  std::vector<QueryFd> fds;
+  for (const TableRef& t : query.from) {
+    Result<const TableDef*> table = catalog.GetTable(t.table);
+    if (!table.ok()) continue;  // view occurrence: handled below
+    for (const FunctionalDependency& fd : (*table)->fds()) {
+      for (int rhs : fd.rhs) {
+        QueryFd qfd;
+        for (int lhs : fd.lhs) qfd.lhs.push_back(t.columns[lhs]);
+        qfd.rhs = t.columns[rhs];
+        fds.push_back(std::move(qfd));
+      }
+    }
+  }
+  for (const Predicate& p : query.where) {
+    if (p.op != CmpOp::kEq) continue;
+    if (p.lhs.is_column() && p.rhs.is_column()) {
+      fds.push_back(QueryFd{{p.lhs.column}, p.rhs.column});
+      fds.push_back(QueryFd{{p.rhs.column}, p.lhs.column});
+    } else if (p.lhs.is_column() && p.rhs.is_constant()) {
+      fds.push_back(QueryFd{{}, p.lhs.column});
+    } else if (p.rhs.is_column() && p.lhs.is_constant()) {
+      fds.push_back(QueryFd{{}, p.rhs.column});
+    }
+  }
+
+  // Proposition 5.1: the SELECT columns must contain (determine) a key of
+  // the core table. The core table's key is the concatenation of
+  // per-occurrence keys, so the closure of the selected columns must cover
+  // a key of every occurrence.
+  std::vector<std::string> colsel = query.ColSel();
+  std::set<std::string> selected(colsel.begin(), colsel.end());
+  std::set<std::string> closure = CloseAttributes(selected, fds);
+
+  for (const TableRef& t : query.from) {
+    Result<const TableDef*> table = catalog.GetTable(t.table);
+    bool occurrence_keyed = false;
+    if (table.ok()) {
+      for (const std::vector<int>& key : (*table)->keys()) {
+        bool covered = std::all_of(key.begin(), key.end(), [&](int ordinal) {
+          return closure.count(t.columns[ordinal]) > 0;
+        });
+        if (covered) {
+          occurrence_keyed = true;
+          break;
+        }
+      }
+    } else {
+      // A set-valued view occurrence: the full row is its key.
+      occurrence_keyed =
+          std::all_of(t.columns.begin(), t.columns.end(),
+                      [&](const std::string& c) { return closure.count(c) > 0; });
+    }
+    if (!occurrence_keyed) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsSetQuery(const Query& query, const Catalog& catalog,
+                const ViewRegistry* views) {
+  return IsSetQueryDepth(query, catalog, views, 0);
+}
+
+Result<Query> RewriteWithSetView(const Query& query, const ViewDef& view,
+                                 const ColumnMapping& mapping) {
+  if (!query.IsConjunctive() || !view.query.IsConjunctive()) {
+    return Status::InvalidArgument(
+        "set-semantics rewriting applies to conjunctive queries and views");
+  }
+
+  AQV_ASSIGN_OR_RETURN(RewriteContext ctx,
+                       RewriteContext::Create(query, view, mapping));
+
+  // Condition C3 (residual) is unchanged.
+  AQV_ASSIGN_OR_RETURN(
+      std::vector<Predicate> residual,
+      ComputeResidual(query.where, mapping.MapPredicates(view.query.where),
+                      ctx.AllowedResidualColumns()));
+
+  // Repeated images: distinct view columns collapsed onto one query column
+  // by the many-to-1 mapping received distinct rewritten names; constrain
+  // them equal (Example 5.1's "WHERE A1 = A4").
+  std::map<std::string, std::string> first_name_for_image;
+  std::vector<Predicate> duplicate_links;
+  for (const ViewOutput& out : ctx.outputs()) {
+    if (!out.is_plain()) continue;
+    std::string image = ctx.mapping().MapColumn(out.item.column);
+    auto [it, inserted] = first_name_for_image.emplace(image, out.name);
+    if (!inserted && it->second != out.name) {
+      duplicate_links.push_back(Predicate{Operand::Column(it->second),
+                                          CmpOp::kEq,
+                                          Operand::Column(out.name)});
+    }
+  }
+
+  Query out;
+  out.distinct = true;  // exact: the original query's result is a set
+  out.from = ctx.RewrittenFrom();
+  out.where = std::move(residual);
+  out.where.insert(out.where.end(), duplicate_links.begin(),
+                   duplicate_links.end());
+
+  for (const SelectItem& item : query.select) {
+    // Condition C2 (via the context's plain-equivalent lookup).
+    if (!ctx.IsMapped(item.column)) {
+      out.select.push_back(item);
+      continue;
+    }
+    std::optional<int> p = ctx.PlainEquivalent(item.column);
+    if (!p) {
+      return Status::Unusable("no view SELECT column is entailed equal to '" +
+                              item.column + "' (condition C2)");
+    }
+    out.select.push_back(SelectItem::MakeColumn(
+        ctx.outputs()[*p].name,
+        item.alias.empty() ? item.column : item.alias));
+  }
+
+  AQV_RETURN_NOT_OK(ValidateQuery(out));
+  return out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,47 @@
+#ifndef AQV_REWRITE_SET_REWRITER_H_
+#define AQV_REWRITE_SET_REWRITER_H_
+
+#include "base/result.h"
+#include "catalog/catalog.h"
+#include "ir/query.h"
+#include "ir/views.h"
+#include "rewrite/mapping.h"
+
+namespace aqv {
+
+/// Section 5.1: determines from catalog meta-data alone (keys, functional
+/// dependencies, DISTINCT, grouping) that the result of `query` is a set on
+/// every database instance.
+///
+///  - SELECT DISTINCT results are sets by definition.
+///  - A grouped/aggregated query is a set when every grouping column appears
+///    in the SELECT clause (the grouping columns key the result); a global
+///    aggregate yields a single row.
+///  - A conjunctive query is a set iff its core table is a set — every FROM
+///    entry is duplicate-free (Proposition 5.2): a base table with a key, or
+///    a view whose own result is a set — and the SELECT columns contain a
+///    key of the core table (Proposition 5.1). Core keys are derived by
+///    closing the SELECT columns under per-occurrence table FDs plus the
+///    WHERE clause's equalities (column=column as two-way FDs and
+///    column=constant as a pinning FD); this subsumes the paper's
+///    foreign-key-join and FD-to-key inferences.
+///
+/// `views` may be null when the query references base tables only.
+bool IsSetQuery(const Query& query, const Catalog& catalog,
+                const ViewRegistry* views);
+
+/// Section 5.2: rewrites a conjunctive query using a conjunctive view under
+/// a (possibly many-to-1) column mapping, valid when both results are known
+/// to be sets. Conditions C2 and C3 still apply; repeated images among the
+/// view's SELECT columns become fresh column names constrained equal in the
+/// rewritten WHERE clause (Example 5.1). The result carries DISTINCT, which
+/// is exact because the original query's result is a set.
+///
+/// The caller is responsible for having established set-ness of both query
+/// and view (via IsSetQuery).
+Result<Query> RewriteWithSetView(const Query& query, const ViewDef& view,
+                                 const ColumnMapping& mapping);
+
+}  // namespace aqv
+
+#endif  // AQV_REWRITE_SET_REWRITER_H_

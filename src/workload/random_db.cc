@@ -1,0 +1,31 @@
+#include "workload/random_db.h"
+
+namespace aqv {
+
+Table MakeRandomTable(const TableDef& def, int rows, int domain,
+                      std::mt19937_64* rng) {
+  std::uniform_int_distribution<int64_t> dist(0, domain - 1);
+  Table t(def.columns());
+  for (int r = 0; r < rows; ++r) {
+    Row row;
+    row.reserve(def.columns().size());
+    for (int c = 0; c < def.num_columns(); ++c) {
+      row.push_back(Value::Int64(dist(*rng)));
+    }
+    t.AddRowOrDie(std::move(row));
+  }
+  return t;
+}
+
+Database MakeRandomDatabase(const Catalog& catalog, int rows_per_table,
+                            int domain, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Database db;
+  for (const std::string& name : catalog.TableNames()) {
+    const TableDef* def = *catalog.GetTable(name);
+    db.Put(name, MakeRandomTable(*def, rows_per_table, domain, &rng));
+  }
+  return db;
+}
+
+}  // namespace aqv

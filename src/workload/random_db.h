@@ -1,0 +1,24 @@
+#ifndef AQV_WORKLOAD_RANDOM_DB_H_
+#define AQV_WORKLOAD_RANDOM_DB_H_
+
+#include <cstdint>
+#include <random>
+
+#include "catalog/catalog.h"
+#include "exec/table.h"
+
+namespace aqv {
+
+/// Fills one table with `rows` random rows whose integer values are drawn
+/// uniformly from [0, domain). Small domains force duplicates and joins with
+/// matches — exactly the regime where multiset semantics bites.
+Table MakeRandomTable(const TableDef& def, int rows, int domain,
+                      std::mt19937_64* rng);
+
+/// Random contents for every table of `catalog`.
+Database MakeRandomDatabase(const Catalog& catalog, int rows_per_table,
+                            int domain, uint64_t seed);
+
+}  // namespace aqv
+
+#endif  // AQV_WORKLOAD_RANDOM_DB_H_

@@ -1,0 +1,271 @@
+#include "workload/random_query.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "ir/validate.h"
+#include "workload/random_db.h"
+
+namespace aqv {
+
+namespace {
+
+struct SchemaTable {
+  const char* name;
+  std::vector<const char*> columns;
+};
+
+const std::vector<SchemaTable>& FixedSchema() {
+  static const std::vector<SchemaTable>* kSchema = new std::vector<SchemaTable>{
+      {"R1", {"A", "B", "C", "D"}},
+      {"R2", {"E", "F"}},
+      {"R3", {"G", "H"}},
+  };
+  return *kSchema;
+}
+
+const std::vector<AggFn> kAggFns = {AggFn::kMin, AggFn::kMax, AggFn::kSum,
+                                    AggFn::kCount};
+
+}  // namespace
+
+RandomWorkloadGen::RandomWorkloadGen(uint64_t seed) : rng_(seed) {
+  for (const SchemaTable& t : FixedSchema()) {
+    std::vector<std::string> cols(t.columns.begin(), t.columns.end());
+    Status s = catalog_.AddTable(TableDef(t.name, std::move(cols)));
+    if (!s.ok()) {
+      std::fprintf(stderr, "RandomWorkloadGen: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+int RandomWorkloadGen::Uniform(int lo, int hi) {
+  return std::uniform_int_distribution<int>(lo, hi)(rng_);
+}
+
+bool RandomWorkloadGen::Chance(double p) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
+}
+
+Database RandomWorkloadGen::NextDatabase(int rows_per_table, int domain) {
+  Database db;
+  for (const std::string& name : catalog_.TableNames()) {
+    const TableDef* def = *catalog_.GetTable(name);
+    db.Put(name, MakeRandomTable(*def, rows_per_table, domain, &rng_));
+  }
+  return db;
+}
+
+Query RandomWorkloadGen::RandomQuery(const RandomPairConfig& config) {
+  const auto& schema = FixedSchema();
+  Query q;
+
+  // FROM: 1..max occurrences, repeats allowed.
+  int num_tables = Uniform(1, config.max_query_tables);
+  std::vector<std::string> all_cols;
+  for (int i = 0; i < num_tables; ++i) {
+    const SchemaTable& t = schema[Uniform(0, static_cast<int>(schema.size()) - 1)];
+    TableRef ref;
+    ref.table = t.name;
+    for (const char* c : t.columns) {
+      std::string name = std::string(c) + "_q" + std::to_string(i);
+      ref.columns.push_back(name);
+      all_cols.push_back(std::move(name));
+    }
+    q.from.push_back(std::move(ref));
+  }
+  auto random_col = [&]() {
+    return all_cols[Uniform(0, static_cast<int>(all_cols.size()) - 1)];
+  };
+  auto random_op = [&]() {
+    if (config.equality_only) return CmpOp::kEq;
+    static const CmpOp kOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                                 CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+    return kOps[Uniform(0, 5)];
+  };
+
+  // WHERE.
+  int num_preds = Uniform(0, config.max_predicates);
+  for (int i = 0; i < num_preds; ++i) {
+    if (Chance(0.5)) {
+      q.where.push_back(Predicate{Operand::Column(random_col()), random_op(),
+                                  Operand::Column(random_col())});
+    } else {
+      q.where.push_back(
+          Predicate{Operand::Column(random_col()), random_op(),
+                    Operand::Constant(Value::Int64(
+                        Uniform(0, config.constant_domain - 1)))});
+    }
+  }
+
+  // SELECT / GROUPBY / HAVING.
+  if (config.query_aggregation) {
+    int num_groups = Uniform(1, std::min<int>(3, static_cast<int>(all_cols.size())));
+    std::set<std::string> groups;
+    while (static_cast<int>(groups.size()) < num_groups) {
+      groups.insert(random_col());
+    }
+    int alias_id = 0;
+    for (const std::string& g : groups) {
+      q.group_by.push_back(g);
+      q.select.push_back(SelectItem::MakeColumn(g));
+    }
+    int num_aggs = Uniform(1, 2);
+    for (int i = 0; i < num_aggs; ++i) {
+      AggFn fn = kAggFns[Uniform(0, static_cast<int>(kAggFns.size()) - 1)];
+      q.select.push_back(SelectItem::MakeAggregate(
+          fn, random_col(), "agg" + std::to_string(alias_id++)));
+    }
+    if (config.allow_having && Chance(0.5)) {
+      AggFn fn = kAggFns[Uniform(0, static_cast<int>(kAggFns.size()) - 1)];
+      q.having.push_back(
+          Predicate{Operand::Aggregate(fn, random_col()), random_op(),
+                    Operand::Constant(Value::Int64(
+                        Uniform(0, config.constant_domain - 1)))});
+    }
+  } else {
+    std::set<std::string> selected;
+    int num_sel = Uniform(1, std::min<int>(4, static_cast<int>(all_cols.size())));
+    while (static_cast<int>(selected.size()) < num_sel) {
+      selected.insert(random_col());
+    }
+    for (const std::string& c : selected) {
+      q.select.push_back(SelectItem::MakeColumn(c));
+    }
+  }
+  return q;
+}
+
+ViewDef RandomWorkloadGen::DeriveView(const Query& query,
+                                      const RandomPairConfig& config,
+                                      int view_id) {
+  // Choose a non-empty subset of the query's occurrences.
+  std::vector<int> chosen;
+  for (size_t i = 0; i < query.from.size(); ++i) {
+    if (Chance(0.7)) chosen.push_back(static_cast<int>(i));
+  }
+  if (chosen.empty()) chosen.push_back(0);
+
+  Query v;
+  // View columns mirror the chosen occurrences, renamed into the view's own
+  // namespace; `to_view` maps query column -> view column.
+  std::map<std::string, std::string> to_view;
+  std::vector<std::string> view_cols;
+  for (size_t vi = 0; vi < chosen.size(); ++vi) {
+    const TableRef& q_ref = query.from[chosen[vi]];
+    TableRef ref;
+    ref.table = q_ref.table;
+    for (const std::string& qc : q_ref.columns) {
+      std::string vc = qc + "_v" + std::to_string(vi);
+      to_view[qc] = vc;
+      ref.columns.push_back(vc);
+      view_cols.push_back(vc);
+    }
+    v.from.push_back(std::move(ref));
+  }
+
+  auto covered = [&to_view](const Predicate& p) {
+    for (const std::string& c : p.ReferencedColumns()) {
+      if (to_view.count(c) == 0) return false;
+    }
+    return true;
+  };
+  auto translate = [&to_view](Predicate p) {
+    for (Operand* o : {&p.lhs, &p.rhs}) {
+      if (!o->is_constant()) o->column = to_view.at(o->column);
+    }
+    return p;
+  };
+
+  // Conditions: most of the query's own (covered) conditions, occasionally
+  // dropped (weaker view: still usable) or a noise condition added
+  // (stronger view: usually unusable).
+  for (const Predicate& p : query.where) {
+    if (p.IsScalar() && covered(p) && Chance(0.8)) {
+      v.where.push_back(translate(p));
+    }
+  }
+  if (Chance(0.25)) {
+    const std::string& col =
+        view_cols[Uniform(0, static_cast<int>(view_cols.size()) - 1)];
+    v.where.push_back(
+        Predicate{Operand::Column(col),
+                  config.equality_only ? CmpOp::kEq : CmpOp::kLe,
+                  Operand::Constant(
+                      Value::Int64(Uniform(0, config.constant_domain - 1)))});
+  }
+
+  // The columns the query needs from the chosen occurrences; the SELECT
+  // clause is biased towards covering them.
+  std::set<std::string> needed;
+  for (const SelectItem& s : query.select) {
+    for (const std::string& c : s.ReferencedColumns()) {
+      if (to_view.count(c) > 0) needed.insert(to_view.at(c));
+    }
+  }
+  for (const std::string& g : query.group_by) {
+    if (to_view.count(g) > 0) needed.insert(to_view.at(g));
+  }
+  for (const Predicate& p : query.where) {
+    for (const std::string& c : p.ReferencedColumns()) {
+      if (to_view.count(c) > 0 && Chance(0.5)) needed.insert(to_view.at(c));
+    }
+  }
+
+  std::set<std::string> selected;
+  for (const std::string& c : needed) {
+    if (Chance(0.85)) selected.insert(c);
+  }
+  for (const std::string& c : view_cols) {
+    if (Chance(0.25)) selected.insert(c);
+  }
+  if (selected.empty()) selected.insert(view_cols[0]);
+
+  if (config.view_aggregation) {
+    // Selected columns become grouping columns; add aggregates, with a
+    // COUNT most of the time (enabling multiplicity recovery).
+    int alias_id = 0;
+    for (const std::string& c : selected) {
+      v.group_by.push_back(c);
+      v.select.push_back(SelectItem::MakeColumn(c));
+    }
+    int num_aggs = Uniform(1, 2);
+    for (int i = 0; i < num_aggs; ++i) {
+      AggFn fn = kAggFns[Uniform(0, static_cast<int>(kAggFns.size()) - 1)];
+      const std::string& c =
+          view_cols[Uniform(0, static_cast<int>(view_cols.size()) - 1)];
+      v.select.push_back(SelectItem::MakeAggregate(
+          fn, c, "vagg" + std::to_string(alias_id++)));
+    }
+    if (Chance(0.8)) {
+      v.select.push_back(SelectItem::MakeAggregate(
+          AggFn::kCount, view_cols[0], "vcount"));
+    }
+  } else {
+    for (const std::string& c : selected) {
+      v.select.push_back(SelectItem::MakeColumn(c));
+    }
+  }
+
+  return ViewDef{"V" + std::to_string(view_id), std::move(v)};
+}
+
+QueryViewPair RandomWorkloadGen::NextPair(const RandomPairConfig& config) {
+  // Retry until both halves validate (rarely needed).
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    QueryViewPair pair;
+    pair.query = RandomQuery(config);
+    if (!ValidateQuery(pair.query).ok()) continue;
+    pair.view = DeriveView(pair.query, config, ++pair_count_);
+    if (!ValidateQuery(pair.view.query).ok()) continue;
+    return pair;
+  }
+  std::fprintf(stderr, "RandomWorkloadGen: failed to generate a valid pair\n");
+  std::abort();
+}
+
+}  // namespace aqv

@@ -1,0 +1,66 @@
+#ifndef AQV_WORKLOAD_RANDOM_QUERY_H_
+#define AQV_WORKLOAD_RANDOM_QUERY_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/table.h"
+#include "ir/query.h"
+
+namespace aqv {
+
+/// Knobs for generated query/view pairs.
+struct RandomPairConfig {
+  int max_query_tables = 3;
+  int max_predicates = 3;
+  int constant_domain = 4;       // constants drawn from [0, domain)
+  bool query_aggregation = true;  // grouped query with aggregates
+  bool view_aggregation = false;  // grouped view with aggregates
+  bool allow_having = false;
+  bool equality_only = true;  // restrict predicates to '=' (Theorem 3.1/3.2)
+};
+
+/// A generated query plus a candidate view over the same base tables. The
+/// view is derived from the query by dropping tables/conditions/columns and
+/// optionally adding noise, so that a sizeable fraction of pairs is usable
+/// (exercising the rewriting) and the rest exercises the refusal paths.
+struct QueryViewPair {
+  Query query;
+  ViewDef view;
+};
+
+/// Deterministic generator of random schemas-fixed workloads for property
+/// tests: the soundness tests rewrite each generated pair and check
+/// multiset-equivalence of the two evaluations over random databases.
+class RandomWorkloadGen {
+ public:
+  explicit RandomWorkloadGen(uint64_t seed);
+
+  /// The fixed schema: R1(A,B,C,D), R2(E,F), R3(G,H), no keys.
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Generates the next query/view pair under `config`.
+  QueryViewPair NextPair(const RandomPairConfig& config);
+
+  /// Random contents for the fixed schema.
+  Database NextDatabase(int rows_per_table, int domain);
+
+ private:
+  int Uniform(int lo, int hi);  // inclusive bounds
+  bool Chance(double p);
+
+  Query RandomQuery(const RandomPairConfig& config);
+  ViewDef DeriveView(const Query& query, const RandomPairConfig& config,
+                     int view_id);
+
+  Catalog catalog_;
+  std::mt19937_64 rng_;
+  int pair_count_ = 0;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_WORKLOAD_RANDOM_QUERY_H_

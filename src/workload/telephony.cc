@@ -1,0 +1,110 @@
+#include "workload/telephony.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "ir/builder.h"
+
+namespace aqv {
+
+namespace {
+
+void DieOnError(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "telephony workload: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+TelephonyWorkload MakeTelephonyWorkload(const TelephonyParams& params) {
+  TelephonyWorkload w;
+
+  // ---- Catalog (Example 1.1 schemas, underlined columns are keys). ----
+  TableDef customer("Customer",
+                    {"Cust_Id", "Cust_Name", "Area_Code", "Phone_Number"});
+  DieOnError(customer.AddKeyByName({"Cust_Id"}));
+  TableDef plans("Calling_Plans", {"Plan_Id", "Plan_Name"});
+  DieOnError(plans.AddKeyByName({"Plan_Id"}));
+  TableDef calls("Calls", {"Call_Id", "Cust_Id", "Plan_Id", "Day", "Month",
+                           "Year", "Charge"});
+  DieOnError(calls.AddKeyByName({"Call_Id"}));
+  DieOnError(w.catalog.AddTable(customer));
+  DieOnError(w.catalog.AddTable(plans));
+  DieOnError(w.catalog.AddTable(calls));
+
+  // ---- Data. ----
+  std::mt19937_64 rng(params.seed);
+  std::uniform_int_distribution<int> plan_dist(0, params.num_plans - 1);
+  std::uniform_int_distribution<int> cust_dist(0, params.num_customers - 1);
+  std::uniform_int_distribution<int> day_dist(1, 28);
+  std::uniform_int_distribution<int> month_dist(1, 12);
+  std::uniform_int_distribution<int> year_dist(
+      params.first_year, params.first_year + params.num_years - 1);
+  std::uniform_real_distribution<double> charge_dist(0.05, params.max_charge);
+
+  Table customer_t(customer.columns());
+  for (int c = 0; c < params.num_customers; ++c) {
+    customer_t.AddRowOrDie({Value::Int64(c),
+                            Value::String("customer_" + std::to_string(c)),
+                            Value::Int64(200 + c % 800),
+                            Value::Int64(5550000 + c)});
+  }
+  Table plans_t(plans.columns());
+  for (int p = 0; p < params.num_plans; ++p) {
+    plans_t.AddRowOrDie(
+        {Value::Int64(p), Value::String("plan_" + std::to_string(p))});
+  }
+  Table calls_t(calls.columns());
+  for (int c = 0; c < params.num_calls; ++c) {
+    calls_t.AddRowOrDie({Value::Int64(c), Value::Int64(cust_dist(rng)),
+                         Value::Int64(plan_dist(rng)),
+                         Value::Int64(day_dist(rng)),
+                         Value::Int64(month_dist(rng)),
+                         Value::Int64(year_dist(rng)),
+                         Value::Double(charge_dist(rng))});
+  }
+  w.db.Put("Customer", std::move(customer_t));
+  w.db.Put("Calling_Plans", std::move(plans_t));
+  w.db.Put("Calls", std::move(calls_t));
+
+  // ---- The summary view V1 (monthly earnings per plan). ----
+  Query v1 = QueryBuilder()
+                 .From("Calls", {"vCall_Id", "vCust_Id", "vPlan_Id_1", "vDay",
+                                 "vMonth", "vYear", "vCharge"})
+                 .From("Calling_Plans", {"vPlan_Id_2", "vPlan_Name"})
+                 .Select("vPlan_Id_1")
+                 .Select("vPlan_Name")
+                 .Select("vMonth")
+                 .Select("vYear")
+                 .SelectAgg(AggFn::kSum, "vCharge", "Monthly_Earnings")
+                 .WhereCols("vPlan_Id_1", CmpOp::kEq, "vPlan_Id_2")
+                 .GroupBy("vPlan_Id_1")
+                 .GroupBy("vPlan_Name")
+                 .GroupBy("vMonth")
+                 .GroupBy("vYear")
+                 .BuildOrDie();
+  DieOnError(w.views.Register(ViewDef{w.summary_view, std::move(v1)}));
+
+  // ---- The query Q: plans that earned less than the threshold in 1995. ----
+  w.query = QueryBuilder()
+                .From("Calls", {"Call_Id", "Cust_Id", "Plan_Id_1", "Day",
+                                "Month", "Year", "Charge"})
+                .From("Calling_Plans", {"Plan_Id_2", "Plan_Name"})
+                .Select("Plan_Id_2")
+                .Select("Plan_Name")
+                .SelectAgg(AggFn::kSum, "Charge", "Total_Earnings")
+                .WhereCols("Plan_Id_1", CmpOp::kEq, "Plan_Id_2")
+                .WhereConst("Year", CmpOp::kEq, Value::Int64(1995))
+                .GroupBy("Plan_Id_2")
+                .GroupBy("Plan_Name")
+                .HavingAgg(AggFn::kSum, "Charge", CmpOp::kLt,
+                           Value::Double(params.earnings_threshold))
+                .BuildOrDie();
+  return w;
+}
+
+}  // namespace aqv

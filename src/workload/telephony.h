@@ -1,0 +1,45 @@
+#ifndef AQV_WORKLOAD_TELEPHONY_H_
+#define AQV_WORKLOAD_TELEPHONY_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "exec/table.h"
+#include "ir/query.h"
+#include "ir/views.h"
+
+namespace aqv {
+
+/// Parameters of the synthetic telephony warehouse of Example 1.1.
+/// Cardinalities default to the ratios the paper's speedup claim rests on:
+/// calls vastly outnumber plans, and the monthly summary view has at most
+/// `num_plans * 12 * num_years` rows regardless of call volume.
+struct TelephonyParams {
+  int num_plans = 20;
+  int num_customers = 1000;
+  int num_calls = 100000;
+  int first_year = 1994;
+  int num_years = 3;
+  double max_charge = 10.0;
+  /// HAVING threshold of the query ("plans that earned less than ...").
+  double earnings_threshold = 1e6;
+  uint64_t seed = 42;
+};
+
+/// The Example 1.1 scenario, fully assembled: catalog (with the paper's
+/// keys), generated base tables, the monthly-earnings summary view V1
+/// (registered in `views`), and the query Q ("plans that earned less than
+/// the threshold in 1995").
+struct TelephonyWorkload {
+  Catalog catalog;
+  Database db;
+  ViewRegistry views;
+  Query query;         // Q of Example 1.1
+  std::string summary_view = "V1";
+};
+
+TelephonyWorkload MakeTelephonyWorkload(const TelephonyParams& params);
+
+}  // namespace aqv
+
+#endif  // AQV_WORKLOAD_TELEPHONY_H_

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "advisor/view_selection.h"
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "tests/test_util.h"
+#include "workload/telephony.h"
+
+namespace aqv {
+namespace {
+
+TEST(SummarySkeletonTest, DropsConstantsPromotesColumns) {
+  // WHERE Year = 1995 is dropped; Year becomes a grouping column, so the
+  // skeleton serves queries about any year.
+  Query q = QueryBuilder()
+                .From("Calls", {"Id", "Plan", "Year", "Charge"})
+                .Select("Plan")
+                .SelectAgg(AggFn::kSum, "Charge", "total")
+                .WhereConst("Year", CmpOp::kEq, Value::Int64(1995))
+                .GroupBy("Plan")
+                .BuildOrDie();
+  ASSERT_OK_AND_ASSIGN(ViewDef v, ViewAdvisor::SummarySkeleton(q, "SK"));
+  EXPECT_EQ(v.query.group_by.size(), 2u);  // Plan + Year
+  EXPECT_TRUE(v.query.where.empty());
+  // SUM(Charge) kept, plus an automatic COUNT.
+  int sums = 0, counts = 0;
+  for (const SelectItem& s : v.query.select) {
+    if (s.kind != SelectItem::Kind::kAggregate) continue;
+    sums += s.agg == AggFn::kSum;
+    counts += s.agg == AggFn::kCount;
+  }
+  EXPECT_EQ(sums, 1);
+  EXPECT_EQ(counts, 1);
+}
+
+TEST(SummarySkeletonTest, KeepsJoinConditions) {
+  Query q = QueryBuilder()
+                .From("R", {"A", "B"})
+                .From("S", {"C", "D"})
+                .Select("A")
+                .SelectAgg(AggFn::kMax, "D", "m")
+                .WhereCols("B", CmpOp::kEq, "C")
+                .GroupBy("A")
+                .BuildOrDie();
+  ASSERT_OK_AND_ASSIGN(ViewDef v, ViewAdvisor::SummarySkeleton(q, "SK"));
+  ASSERT_EQ(v.query.where.size(), 1u);
+  EXPECT_EQ(v.query.where[0].op, CmpOp::kEq);
+}
+
+TEST(SummarySkeletonTest, AvgDecomposesToSumAndCount) {
+  Query q = QueryBuilder()
+                .From("R", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kAvg, "B", "avg_b")
+                .GroupBy("A")
+                .BuildOrDie();
+  ASSERT_OK_AND_ASSIGN(ViewDef v, ViewAdvisor::SummarySkeleton(q, "SK"));
+  bool has_avg = false;
+  for (const SelectItem& s : v.query.select) {
+    has_avg |= s.kind == SelectItem::Kind::kAggregate && s.agg == AggFn::kAvg;
+  }
+  EXPECT_FALSE(has_avg);  // stored as SUM + COUNT instead
+}
+
+TEST(SummarySkeletonTest, ConjunctiveQueryRefused) {
+  Query q = QueryBuilder().From("R", {"A", "B"}).Select("A").BuildOrDie();
+  EXPECT_EQ(ViewAdvisor::SummarySkeleton(q, "SK").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(AdvisorTest, RecommendsSummaryForTelephonyWorkload) {
+  TelephonyParams params;
+  params.num_calls = 20000;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+
+  // A workload of the paper's query for three different years: one shared
+  // skeleton should serve them all.
+  std::vector<Query> workload;
+  for (int year : {1994, 1995, 1996}) {
+    Query q = w.query;
+    for (Predicate& p : q.where) {
+      if (p.rhs.is_constant()) p.rhs = Operand::Constant(Value::Int64(year));
+    }
+    workload.push_back(std::move(q));
+  }
+
+  ViewAdvisor advisor(&w.db);
+  ASSERT_OK_AND_ASSIGN(AdvisorReport report, advisor.Recommend(workload));
+  ASSERT_EQ(report.selected.size(), 1u);  // deduplicated across years
+  EXPECT_EQ(report.selected[0].helps.size(), 3u);
+  EXPECT_LT(report.selected[0].materialized_rows, 2000u);
+  EXPECT_LT(report.workload_cost_after, report.workload_cost_before / 10);
+
+  // The recommended view really answers the workload correctly.
+  ViewRegistry registry;
+  ASSERT_OK(registry.Register(report.selected[0].def));
+  Rewriter rewriter(&registry);
+  for (const Query& q : workload) {
+    ASSERT_OK_AND_ASSIGN(Query rewritten,
+                         rewriter.RewriteUsingView(q, report.selected[0].def.name));
+    ExpectQueriesApproxEquivalentOn(q, rewritten, w.db, &registry);
+  }
+}
+
+TEST(AdvisorTest, BudgetForcesRejection) {
+  TelephonyParams params;
+  params.num_calls = 5000;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+  std::vector<Query> workload = {w.query};
+
+  AdvisorOptions options;
+  options.space_budget_rows = 1;  // nothing fits
+  ViewAdvisor advisor(&w.db, options);
+  ASSERT_OK_AND_ASSIGN(AdvisorReport report, advisor.Recommend(workload));
+  EXPECT_TRUE(report.selected.empty());
+  EXPECT_FALSE(report.rejected.empty());
+  EXPECT_DOUBLE_EQ(report.workload_cost_after, report.workload_cost_before);
+}
+
+TEST(AdvisorTest, OversizedCandidateFilteredOut) {
+  // A query grouping by a unique-ish column yields a summary nearly as big
+  // as the base table; the footprint filter drops it.
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("R", {"A", "B"})));
+  Database db;
+  Table r({"A", "B"});
+  for (int i = 0; i < 1000; ++i) {
+    r.AddRowOrDie({Value::Int64(i), Value::Int64(i % 7)});
+  }
+  db.Put("R", std::move(r));
+  Query q = QueryBuilder()
+                .From("R", {"A1", "B1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")  // one group per row
+                .BuildOrDie();
+  ViewAdvisor advisor(&db);
+  ASSERT_OK_AND_ASSIGN(AdvisorReport report, advisor.Recommend({q}));
+  EXPECT_TRUE(report.selected.empty());
+}
+
+TEST(AdvisorTest, EmptyWorkload) {
+  Database db;
+  ViewAdvisor advisor(&db);
+  ASSERT_OK_AND_ASSIGN(AdvisorReport report, advisor.Recommend({}));
+  EXPECT_TRUE(report.selected.empty());
+  EXPECT_DOUBLE_EQ(report.workload_cost_before, 0);
+}
+
+}  // namespace
+}  // namespace aqv

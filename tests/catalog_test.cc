@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/keys.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+TableDef MakeR() {
+  TableDef r("R", {"A", "B", "C"});
+  return r;
+}
+
+TEST(TableDefTest, ColumnIndex) {
+  TableDef r = MakeR();
+  EXPECT_EQ(r.ColumnIndex("A"), 0);
+  EXPECT_EQ(r.ColumnIndex("C"), 2);
+  EXPECT_EQ(r.ColumnIndex("Z"), -1);
+}
+
+TEST(TableDefTest, AddKeyValidatesOrdinals) {
+  TableDef r = MakeR();
+  EXPECT_OK(r.AddKey({0}));
+  EXPECT_FALSE(r.AddKey({}).ok());
+  EXPECT_FALSE(r.AddKey({5}).ok());
+  EXPECT_TRUE(r.IsSet());
+}
+
+TEST(TableDefTest, AddKeyByName) {
+  TableDef r = MakeR();
+  EXPECT_OK(r.AddKeyByName({"A", "B"}));
+  EXPECT_FALSE(r.AddKeyByName({"Z"}).ok());
+  ASSERT_EQ(r.keys().size(), 1u);
+  EXPECT_EQ(r.keys()[0], (std::vector<int>{0, 1}));
+}
+
+TEST(TableDefTest, KeyRecordsFd) {
+  TableDef r = MakeR();
+  ASSERT_OK(r.AddKey({0}));
+  // Key -> all columns is recorded as an FD.
+  ASSERT_EQ(r.fds().size(), 1u);
+  EXPECT_EQ(r.fds()[0].lhs, (std::vector<int>{0}));
+  EXPECT_EQ(r.fds()[0].rhs, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TableDefTest, NoKeyMeansMultiset) {
+  EXPECT_FALSE(MakeR().IsSet());
+}
+
+TEST(CatalogTest, AddAndGet) {
+  Catalog c;
+  ASSERT_OK(c.AddTable(MakeR()));
+  EXPECT_TRUE(c.HasTable("R"));
+  EXPECT_FALSE(c.HasTable("S"));
+  ASSERT_OK_AND_ASSIGN(const TableDef* r, c.GetTable("R"));
+  EXPECT_EQ(r->name(), "R");
+  EXPECT_EQ(c.GetTable("S").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RejectsDuplicates) {
+  Catalog c;
+  ASSERT_OK(c.AddTable(MakeR()));
+  EXPECT_FALSE(c.AddTable(MakeR()).ok());
+  EXPECT_FALSE(c.AddTable(TableDef("S", {"A", "A"})).ok());
+}
+
+TEST(KeysTest, FdClosureGrowsToFixpoint) {
+  TableDef r("R", {"A", "B", "C", "D"});
+  ASSERT_OK(r.AddFunctionalDependency({0}, {1}));
+  ASSERT_OK(r.AddFunctionalDependency({1}, {2}));
+  std::vector<int> closure = FdClosure(r, {0});
+  EXPECT_EQ(closure, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(KeysTest, FdDeterminesKeyMakesSuperKey) {
+  // Section 5.1: if A -> B and B is a key, then A is a key.
+  TableDef r("R", {"A", "B", "C"});
+  ASSERT_OK(r.AddKeyByName({"B"}));
+  ASSERT_OK(r.AddFunctionalDependency({0}, {1}));
+  EXPECT_TRUE(IsSuperKey(r, {0}));
+  EXPECT_FALSE(IsSuperKey(r, {2}));
+}
+
+TEST(KeysTest, SuperKeyBasics) {
+  TableDef r = MakeR();
+  // The whole row trivially determines itself, but that says nothing about
+  // duplicates: set-ness comes from declared keys, not FD closure.
+  EXPECT_TRUE(IsSuperKey(r, {0, 1, 2}));
+  EXPECT_FALSE(IsSuperKey(r, {0}));
+  EXPECT_FALSE(r.IsSet());
+  ASSERT_OK(r.AddKey({0}));
+  EXPECT_TRUE(IsSuperKey(r, {0}));
+  EXPECT_TRUE(r.IsSet());
+}
+
+}  // namespace
+}  // namespace aqv

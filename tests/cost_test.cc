@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "rewrite/cost.h"
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+#include "workload/telephony.h"
+
+namespace aqv {
+namespace {
+
+TEST(CostTest, SmallerInputIsCheaper) {
+  Database db;
+  Table big({"A", "B"});
+  for (int i = 0; i < 1000; ++i) {
+    big.AddRowOrDie({Value::Int64(i), Value::Int64(i)});
+  }
+  db.Put("Big", std::move(big));
+  Table small({"A", "B"});
+  for (int i = 0; i < 10; ++i) {
+    small.AddRowOrDie({Value::Int64(i), Value::Int64(i)});
+  }
+  db.Put("Small", std::move(small));
+
+  CostModel model;
+  Query on_big = QueryBuilder().From("Big", {"A1", "B1"}).Select("A1").BuildOrDie();
+  Query on_small =
+      QueryBuilder().From("Small", {"A1", "B1"}).Select("A1").BuildOrDie();
+  EXPECT_GT(model.Estimate(on_big, db), model.Estimate(on_small, db));
+}
+
+TEST(CostTest, UnknownInputIsExpensive) {
+  Database db;
+  CostModel model;
+  Query q = QueryBuilder().From("Mystery", {"A1"}).Select("A1").BuildOrDie();
+  EXPECT_GE(model.Estimate(q, db), 1e12);
+}
+
+TEST(CostTest, JoinCostsMoreThanScan) {
+  Database db;
+  Table t({"A"});
+  for (int i = 0; i < 100; ++i) t.AddRowOrDie({Value::Int64(i)});
+  db.Put("T", std::move(t));
+  CostModel model;
+  Query scan = QueryBuilder().From("T", {"A1"}).Select("A1").BuildOrDie();
+  Query cross = QueryBuilder()
+                    .From("T", {"A1"})
+                    .From("T", {"A2"})
+                    .Select("A1")
+                    .BuildOrDie();
+  EXPECT_GT(model.Estimate(cross, db), model.Estimate(scan, db));
+}
+
+TEST(CostTest, ChoosesSummaryViewForTelephonyQuery) {
+  TelephonyParams params;
+  params.num_calls = 20000;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+
+  // Materialize V1 so the cost model can see its (small) cardinality.
+  Evaluator eval(&w.db, &w.views);
+  ASSERT_OK_AND_ASSIGN(Table v1, eval.MaterializeView("V1"));
+  ASSERT_LT(v1.num_rows(), 2000u);
+  w.db.Put("V1", std::move(v1));
+
+  Rewriter rewriter(&w.views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(w.query, "V1"));
+
+  int chosen = -2;
+  Query best = ChooseCheapest(w.query, {rewritten}, w.db, CostModel{}, &chosen);
+  EXPECT_EQ(chosen, 0);
+  EXPECT_TRUE(best == rewritten);
+
+  CostModel model;
+  EXPECT_LT(model.Estimate(rewritten, w.db),
+            model.Estimate(w.query, w.db) / 10);
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,307 @@
+// Edge-case coverage across modules: NULL handling in the executor,
+// stacked views, string data through the whole pipeline, empty tables,
+// duplicate grouping columns, and rewriter behaviour on degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "parser/parser.h"
+#include "reason/closure.h"
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+TEST(NullHandlingTest, AggregatesIgnoreNulls) {
+  Database db;
+  Table t({"a", "b"});
+  t.AddRowOrDie({Value::Int64(1), Value::Int64(10)});
+  t.AddRowOrDie({Value::Int64(1), Value::Null()});
+  t.AddRowOrDie({Value::Int64(2), Value::Null()});
+  db.Put("T", std::move(t));
+  Query q = QueryBuilder()
+                .From("T", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kCount, "B", "n")
+                .SelectAgg(AggFn::kSum, "B", "s")
+                .GroupBy("A")
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  Table expected({"A", "n", "s"});
+  expected.AddRowOrDie({Value::Int64(1), Value::Int64(1), Value::Int64(10)});
+  expected.AddRowOrDie({Value::Int64(2), Value::Int64(0), Value::Null()});
+  EXPECT_TRUE(MultisetEqual(result, expected))
+      << DescribeMultisetDifference(result, expected);
+}
+
+TEST(NullHandlingTest, PredicatesRejectNulls) {
+  Database db;
+  Table t({"a"});
+  t.AddRowOrDie({Value::Null()});
+  t.AddRowOrDie({Value::Int64(1)});
+  db.Put("T", std::move(t));
+  // A = A is false for NULL under SQL comparison.
+  Query q = QueryBuilder()
+                .From("T", {"A"})
+                .Select("A")
+                .WhereCols("A", CmpOp::kEq, "A")
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  EXPECT_EQ(result.num_rows(), 1u);
+}
+
+TEST(NullHandlingTest, NullGroupKeysFormOneGroup) {
+  Database db;
+  Table t({"a", "b"});
+  t.AddRowOrDie({Value::Null(), Value::Int64(1)});
+  t.AddRowOrDie({Value::Null(), Value::Int64(2)});
+  db.Put("T", std::move(t));
+  Query q = QueryBuilder()
+                .From("T", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kCount, "B", "n")
+                .GroupBy("A")
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][1], Value::Int64(2));
+}
+
+TEST(EmptyTablesTest, GroupedQueryOverEmptyInputIsEmpty) {
+  Database db;
+  db.Put("T", Table({"a", "b"}));
+  Query q = QueryBuilder()
+                .From("T", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kSum, "B", "s")
+                .GroupBy("A")
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  EXPECT_EQ(result.num_rows(), 0u);
+}
+
+TEST(EmptyTablesTest, RewritingAgreesOnEmptyData) {
+  // Rewritings remain multiset-equivalent on empty databases (grouped
+  // queries: both sides are empty).
+  Database db;
+  db.Put("R1", Table({"a", "b"}));
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{
+      "V", QueryBuilder()
+               .From("R1", {"A2", "B2"})
+               .Select("A2")
+               .SelectAgg(AggFn::kSum, "B2", "s")
+               .SelectAgg(AggFn::kCount, "B2", "n")
+               .GroupBy("A2")
+               .BuildOrDie()}));
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")
+                .BuildOrDie();
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+}
+
+TEST(StringDataTest, FullPipelineOverStrings) {
+  Database db;
+  Table t({"name", "team", "score"});
+  t.AddRowOrDie({Value::String("ana"), Value::String("red"), Value::Int64(3)});
+  t.AddRowOrDie({Value::String("bob"), Value::String("red"), Value::Int64(5)});
+  t.AddRowOrDie({Value::String("cyd"), Value::String("blue"), Value::Int64(2)});
+  db.Put("Players", std::move(t));
+
+  ASSERT_OK_AND_ASSIGN(
+      Query q,
+      ParseQuery("SELECT Team, SUM(Score) AS total, MIN(Name) AS first_name "
+                 "FROM Players(Name, Team, Score) WHERE Name <> 'bob' "
+                 "GROUPBY Team"));
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  Table expected({"Team", "total", "first_name"});
+  expected.AddRowOrDie(
+      {Value::String("red"), Value::Int64(3), Value::String("ana")});
+  expected.AddRowOrDie(
+      {Value::String("blue"), Value::Int64(2), Value::String("cyd")});
+  EXPECT_TRUE(MultisetEqual(result, expected))
+      << DescribeMultisetDifference(result, expected);
+}
+
+TEST(StringDataTest, ClosureOverStringConstants) {
+  std::vector<Predicate> conds = {
+      Predicate{Operand::Column("A"), CmpOp::kEq,
+                Operand::Constant(Value::String("x"))},
+      Predicate{Operand::Column("B"), CmpOp::kGt,
+                Operand::Constant(Value::String("x"))}};
+  ASSERT_OK_AND_ASSIGN(ConstraintClosure c, ConstraintClosure::Build(conds));
+  EXPECT_TRUE(c.Implies(Predicate{Operand::Column("B"), CmpOp::kGt,
+                                  Operand::Column("A")}));
+  EXPECT_TRUE(c.Implies(Predicate{Operand::Column("A"), CmpOp::kLt,
+                                  Operand::Constant(Value::String("y"))}));
+}
+
+TEST(StackedViewsTest, ViewOverViewMaterializes) {
+  Database db;
+  Table t({"a", "b"});
+  for (int i = 0; i < 10; ++i) {
+    t.AddRowOrDie({Value::Int64(i % 3), Value::Int64(i)});
+  }
+  db.Put("T", std::move(t));
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{
+      "V1", QueryBuilder()
+                .From("T", {"A1", "B1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")
+                .BuildOrDie()}));
+  ASSERT_OK(views.Register(ViewDef{
+      "V2", QueryBuilder()
+                .From("V1", {"X", "S"})
+                .Select("X")
+                .WhereConst("S", CmpOp::kGt, Value::Int64(10))
+                .BuildOrDie()}));
+  Evaluator eval(&db, &views);
+  Query q = QueryBuilder().From("V2", {"G"}).Select("G").BuildOrDie();
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  // Groups: 0 -> 0+3+6+9=18, 1 -> 1+4+7=12, 2 -> 2+5+8=15; all > 10.
+  EXPECT_EQ(result.num_rows(), 3u);
+  EXPECT_EQ(eval.stats().views_materialized, 2u);
+}
+
+TEST(StackedViewsTest, QueryOverViewRewrittenWithDeeperView) {
+  // A query referencing V1 (treated as a database table per Section 3.2)
+  // can itself be rewritten with a view defined over V1.
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{
+      "V1", QueryBuilder()
+                .From("T", {"A1", "B1"})
+                .Select("A1")
+                .Select("B1")
+                .BuildOrDie()}));
+  ASSERT_OK(views.Register(ViewDef{
+      "V1_SUMMARY", QueryBuilder()
+                        .From("V1", {"X", "Y"})
+                        .Select("X")
+                        .SelectAgg(AggFn::kCount, "Y", "cnt")
+                        .GroupBy("X")
+                        .BuildOrDie()}));
+  Query q = QueryBuilder()
+                .From("V1", {"P", "Q"})
+                .Select("P")
+                .SelectAgg(AggFn::kCount, "Q", "n")
+                .GroupBy("P")
+                .BuildOrDie();
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten,
+                       rewriter.RewriteUsingView(q, "V1_SUMMARY"));
+  EXPECT_EQ(rewritten.from[0].table, "V1_SUMMARY");
+
+  Database db;
+  Table t({"a", "b"});
+  for (int i = 0; i < 12; ++i) {
+    t.AddRowOrDie({Value::Int64(i % 4), Value::Int64(i % 2)});
+  }
+  db.Put("T", std::move(t));
+  ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+}
+
+TEST(DegenerateTest, DuplicateGroupByColumns) {
+  Database db;
+  Table t({"a", "b"});
+  t.AddRowOrDie({Value::Int64(1), Value::Int64(2)});
+  t.AddRowOrDie({Value::Int64(1), Value::Int64(3)});
+  db.Put("T", std::move(t));
+  Query q = QueryBuilder()
+                .From("T", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kSum, "B", "s")
+                .GroupBy("A")
+                .GroupBy("A")  // duplicate: harmless
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][1], Value::Int64(5));
+}
+
+TEST(DegenerateTest, ViewSelectingSameColumnTwice) {
+  // A view projecting a column twice still rewrites (the duplicate output
+  // gets a fresh name).
+  ViewRegistry views;
+  Query vq;
+  vq.from.push_back(TableRef{"T", {"A2", "B2"}});
+  vq.select.push_back(SelectItem::MakeColumn("A2"));
+  vq.select.push_back(SelectItem::MakeColumn("A2", "A2_again"));
+  vq.select.push_back(SelectItem::MakeColumn("B2"));
+  ASSERT_OK(views.Register(ViewDef{"V", vq}));
+  Query q = QueryBuilder()
+                .From("T", {"A1", "B1"})
+                .Select("A1")
+                .Select("B1")
+                .BuildOrDie();
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  Database db;
+  Table t({"a", "b"});
+  t.AddRowOrDie({Value::Int64(1), Value::Int64(2)});
+  t.AddRowOrDie({Value::Int64(1), Value::Int64(2)});
+  db.Put("T", std::move(t));
+  ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+}
+
+TEST(DegenerateTest, UnsatisfiableQueryRewrites) {
+  // A query whose WHERE is unsatisfiable gets a FALSE residual; both sides
+  // return empty results.
+  Query q = QueryBuilder()
+                .From("T", {"A1", "B1"})
+                .Select("A1")
+                .WhereConst("A1", CmpOp::kEq, Value::Int64(1))
+                .WhereConst("A1", CmpOp::kEq, Value::Int64(2))
+                .BuildOrDie();
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{
+      "V",
+      QueryBuilder().From("T", {"A2", "B2"}).Select("A2").Select("B2").BuildOrDie()}));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  Database db;
+  Table t({"a", "b"});
+  t.AddRowOrDie({Value::Int64(1), Value::Int64(2)});
+  db.Put("T", std::move(t));
+  ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+}
+
+TEST(DegenerateTest, MappingLimitRespectedByRewriter) {
+  // A 5-way self-join against a 5-occurrence view explodes factorially;
+  // the cap keeps the search bounded and the result still valid.
+  QueryBuilder qb, vb;
+  for (int i = 0; i < 5; ++i) {
+    qb.From("T", {"A" + std::to_string(i)});
+    vb.From("T", {"X" + std::to_string(i)});
+  }
+  qb.Select("A0");
+  for (int i = 0; i < 5; ++i) vb.Select("X" + std::to_string(i));
+  Query q = qb.BuildOrDie();
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{"V", vb.BuildOrDie()}));
+  RewriteOptions options;
+  options.max_mappings = 7;
+  Rewriter rewriter(&views, nullptr, options);
+  ASSERT_OK_AND_ASSIGN(std::vector<Rewriting> rewritings,
+                       rewriter.RewritingsUsingView(q, "V"));
+  EXPECT_LE(rewritings.size(), 7u);
+  EXPECT_FALSE(rewritings.empty());
+}
+
+}  // namespace
+}  // namespace aqv

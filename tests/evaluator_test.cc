@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "tests/test_util.h"
+#include "workload/random_db.h"
+#include "workload/random_query.h"
+
+namespace aqv {
+namespace {
+
+Row R(std::initializer_list<int64_t> vals) {
+  Row row;
+  for (int64_t v : vals) row.push_back(Value::Int64(v));
+  return row;
+}
+
+Database SmallDb() {
+  Database db;
+  Table r1({"a", "b"});
+  r1.AddRowOrDie(R({1, 10}));
+  r1.AddRowOrDie(R({1, 20}));
+  r1.AddRowOrDie(R({2, 30}));
+  r1.AddRowOrDie(R({2, 30}));  // duplicate row: multiset semantics
+  db.Put("R1", std::move(r1));
+  Table r2({"c", "d"});
+  r2.AddRowOrDie(R({1, 100}));
+  r2.AddRowOrDie(R({2, 200}));
+  r2.AddRowOrDie(R({3, 300}));
+  db.Put("R2", std::move(r2));
+  return db;
+}
+
+TEST(EvaluatorTest, ConjunctiveProjectionKeepsDuplicates) {
+  Database db = SmallDb();
+  Query q = QueryBuilder().From("R1", {"A", "B"}).Select("A").BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  EXPECT_EQ(result.num_rows(), 4u);
+  EXPECT_EQ(result.columns(), (std::vector<std::string>{"A"}));
+}
+
+TEST(EvaluatorTest, DistinctRemovesDuplicates) {
+  Database db = SmallDb();
+  Query q =
+      QueryBuilder().From("R1", {"A", "B"}).Distinct().Select("A").BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  EXPECT_EQ(result.num_rows(), 2u);
+}
+
+TEST(EvaluatorTest, JoinWithFilter) {
+  Database db = SmallDb();
+  Query q = QueryBuilder()
+                .From("R1", {"A", "B"})
+                .From("R2", {"C", "D"})
+                .Select("B")
+                .Select("D")
+                .WhereCols("A", CmpOp::kEq, "C")
+                .WhereConst("B", CmpOp::kGe, Value::Int64(20))
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  // Matching rows: (1,20)x(1,100), (2,30)x(2,200) twice.
+  EXPECT_EQ(result.num_rows(), 3u);
+}
+
+TEST(EvaluatorTest, HashAndReferencePlansAgree) {
+  RandomWorkloadGen gen(7);
+  RandomPairConfig config;
+  config.query_aggregation = false;
+  config.equality_only = false;
+  for (int i = 0; i < 25; ++i) {
+    QueryViewPair pair = gen.NextPair(config);
+    Database db = gen.NextDatabase(12, 3);
+    Evaluator hash_eval(&db, nullptr, EvalOptions{true});
+    Evaluator ref_eval(&db, nullptr, EvalOptions{false});
+    ASSERT_OK_AND_ASSIGN(Table a, hash_eval.Execute(pair.query));
+    ASSERT_OK_AND_ASSIGN(Table b, ref_eval.Execute(pair.query));
+    EXPECT_TRUE(MultisetEqual(a, b))
+        << ToSql(pair.query) << "\n" << DescribeMultisetDifference(a, b);
+  }
+}
+
+TEST(EvaluatorTest, GroupAggregateQuery) {
+  Database db = SmallDb();
+  Query q = QueryBuilder()
+                .From("R1", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kSum, "B", "total")
+                .SelectAgg(AggFn::kCount, "B", "cnt")
+                .GroupBy("A")
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  ASSERT_EQ(result.num_rows(), 2u);
+  Table expected({"A", "total", "cnt"});
+  expected.AddRowOrDie(R({1, 30, 2}));
+  expected.AddRowOrDie(R({2, 60, 2}));
+  EXPECT_TRUE(MultisetEqual(result, expected))
+      << DescribeMultisetDifference(result, expected);
+}
+
+TEST(EvaluatorTest, HavingFiltersGroups) {
+  Database db = SmallDb();
+  Query q = QueryBuilder()
+                .From("R1", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kSum, "B", "total")
+                .GroupBy("A")
+                .HavingAgg(AggFn::kSum, "B", CmpOp::kGt, Value::Int64(40))
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][0], Value::Int64(2));
+}
+
+TEST(EvaluatorTest, HavingOnAggregateNotInSelect) {
+  Database db = SmallDb();
+  Query q = QueryBuilder()
+                .From("R1", {"A", "B"})
+                .Select("A")
+                .GroupBy("A")
+                .HavingAgg(AggFn::kCount, "B", CmpOp::kEq, Value::Int64(2))
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  EXPECT_EQ(result.num_rows(), 2u);
+}
+
+TEST(EvaluatorTest, RatioSelectItem) {
+  Database db = SmallDb();
+  Query q = QueryBuilder()
+                .From("R1", {"A", "B"})
+                .Select("A")
+                .GroupBy("A")
+                .BuildOrDie();
+  q.select.push_back(
+      SelectItem::MakeRatio(AggArg{"B", ""}, AggArg{"B", ""}, "one"));
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  for (const Row& row : result.rows()) {
+    EXPECT_EQ(row[1], Value::Double(1.0));
+  }
+}
+
+TEST(EvaluatorTest, GlobalAggregate) {
+  Database db = SmallDb();
+  Query q = QueryBuilder()
+                .From("R1", {"A", "B"})
+                .SelectAgg(AggFn::kCount, "A", "n")
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][0], Value::Int64(4));
+}
+
+TEST(EvaluatorTest, ViewMaterializationOnDemand) {
+  Database db = SmallDb();
+  ViewRegistry views;
+  ASSERT_OK(views.Register(
+      ViewDef{"V", QueryBuilder()
+                       .From("R1", {"x", "y"})
+                       .Select("x")
+                       .SelectAgg(AggFn::kSum, "y", "s")
+                       .GroupBy("x")
+                       .BuildOrDie()}));
+  Query q = QueryBuilder()
+                .From("V", {"A", "S"})
+                .Select("A")
+                .Select("S")
+                .WhereConst("S", CmpOp::kGt, Value::Int64(40))
+                .BuildOrDie();
+  Evaluator eval(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][1], Value::Int64(60));
+  EXPECT_EQ(eval.stats().views_materialized, 1u);
+  // Second use hits the cache.
+  ASSERT_OK_AND_ASSIGN(Table again, eval.Execute(q));
+  EXPECT_EQ(eval.stats().views_materialized, 1u);
+}
+
+TEST(EvaluatorTest, StoredViewContentsWin) {
+  // A materialized view stored in the Database is served as-is.
+  Database db = SmallDb();
+  Table stored({"A", "S"});
+  stored.AddRowOrDie(R({9, 9}));
+  db.Put("V", std::move(stored));
+  ViewRegistry views;
+  ASSERT_OK(views.Register(
+      ViewDef{"V", QueryBuilder().From("R1", {"x", "y"}).Select("x").Select("y").BuildOrDie()}));
+  Query q = QueryBuilder().From("V", {"A", "S"}).Select("A").BuildOrDie();
+  Evaluator eval(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][0], Value::Int64(9));
+}
+
+TEST(EvaluatorTest, ErrorsOnUnknownTableAndArityMismatch) {
+  Database db = SmallDb();
+  Evaluator eval(&db);
+  Query q1 = QueryBuilder().From("Nope", {"A"}).Select("A").BuildOrDie();
+  EXPECT_EQ(eval.Execute(q1).status().code(), StatusCode::kNotFound);
+  Query q2 = QueryBuilder().From("R1", {"A"}).Select("A").BuildOrDie();
+  EXPECT_EQ(eval.Execute(q2).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvaluatorTest, CartesianWhenNoJoinPredicate) {
+  Database db = SmallDb();
+  Query q = QueryBuilder()
+                .From("R1", {"A", "B"})
+                .From("R2", {"C", "D"})
+                .Select("A")
+                .Select("C")
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  EXPECT_EQ(result.num_rows(), 12u);
+}
+
+TEST(EvaluatorTest, AggregationOverJoin) {
+  Database db = SmallDb();
+  Query q = QueryBuilder()
+                .From("R1", {"A", "B"})
+                .From("R2", {"C", "D"})
+                .Select("A")
+                .SelectAgg(AggFn::kMax, "D", "m")
+                .WhereCols("A", CmpOp::kEq, "C")
+                .GroupBy("A")
+                .BuildOrDie();
+  Evaluator eval(&db);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.Execute(q));
+  Table expected({"A", "m"});
+  expected.AddRowOrDie(R({1, 100}));
+  expected.AddRowOrDie(R({2, 200}));
+  EXPECT_TRUE(MultisetEqual(result, expected));
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "rewrite/explain.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+Query SampleQuery() {
+  return QueryBuilder()
+      .From("R1", {"A1", "B1"})
+      .Select("A1")
+      .SelectAgg(AggFn::kSum, "B1", "s")
+      .WhereConst("A1", CmpOp::kEq, Value::Int64(3))
+      .GroupBy("A1")
+      .BuildOrDie();
+}
+
+TEST(ExplainTest, UsableMappingCarriesRewriting) {
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .BuildOrDie()};
+  ASSERT_OK_AND_ASSIGN(RewriteExplanation e, ExplainRewrite(SampleQuery(), v));
+  EXPECT_TRUE(e.usable());
+  ASSERT_EQ(e.mappings.size(), 1u);
+  EXPECT_TRUE(e.mappings[0].usable);
+  EXPECT_EQ(e.mappings[0].rewritten.from[0].table, "V");
+  EXPECT_NE(e.ToString().find("usable ->"), std::string::npos);
+}
+
+TEST(ExplainTest, RefusalNamesTheCondition) {
+  // The view projects out B, so SUM(B1) is not computable: C4.
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2"})
+                     .Select("A2")
+                     .BuildOrDie()};
+  ASSERT_OK_AND_ASSIGN(RewriteExplanation e, ExplainRewrite(SampleQuery(), v));
+  EXPECT_FALSE(e.usable());
+  ASSERT_EQ(e.mappings.size(), 1u);
+  EXPECT_NE(e.mappings[0].detail.find("C2/C4"), std::string::npos)
+      << e.mappings[0].detail;
+}
+
+TEST(ExplainTest, StrongerViewRefusalMentionsConditions) {
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .WhereConst("B2", CmpOp::kEq, Value::Int64(9))
+                     .BuildOrDie()};
+  ASSERT_OK_AND_ASSIGN(RewriteExplanation e, ExplainRewrite(SampleQuery(), v));
+  EXPECT_FALSE(e.usable());
+  EXPECT_NE(e.mappings[0].detail.find("not entailed"), std::string::npos)
+      << e.mappings[0].detail;
+}
+
+TEST(ExplainTest, NoMappingsWhenTablesDiffer) {
+  ViewDef v{"V",
+            QueryBuilder().From("R9", {"X", "Y"}).Select("X").BuildOrDie()};
+  ASSERT_OK_AND_ASSIGN(RewriteExplanation e, ExplainRewrite(SampleQuery(), v));
+  EXPECT_TRUE(e.mappings.empty());
+  EXPECT_NE(e.ToString().find("no candidate column mapping"),
+            std::string::npos);
+}
+
+TEST(ExplainTest, ReportsHavingNormalization) {
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")
+                .HavingCol("A1", CmpOp::kGe, Value::Int64(1))
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .WhereConst("A2", CmpOp::kGe, Value::Int64(1))
+                     .BuildOrDie()};
+  ASSERT_OK_AND_ASSIGN(RewriteExplanation e, ExplainRewrite(q, v));
+  EXPECT_EQ(e.having_conjuncts_moved, 1);
+  EXPECT_TRUE(e.usable());
+}
+
+TEST(ExplainTest, EnumeratesAllSelfJoinMappings) {
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .From("R1", {"A2", "B2"})
+                .Select("A1")
+                .Select("B2")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"X", "Y"})
+                     .Select("X")
+                     .BuildOrDie()};
+  ASSERT_OK_AND_ASSIGN(RewriteExplanation e, ExplainRewrite(q, v));
+  ASSERT_EQ(e.mappings.size(), 2u);
+  // Replacing the first occurrence works (its B is not needed); replacing
+  // the second hides B2, which the query selects.
+  int usable = 0;
+  for (const MappingExplanation& m : e.mappings) usable += m.usable;
+  EXPECT_EQ(usable, 1);
+}
+
+}  // namespace
+}  // namespace aqv

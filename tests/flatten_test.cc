@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "rewrite/flatten.h"
+#include "rewrite/optimizer.h"
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+#include "workload/random_db.h"
+
+namespace aqv {
+namespace {
+
+Catalog TwoTableCatalog() {
+  Catalog c;
+  EXPECT_TRUE(c.AddTable(TableDef("R", {"A", "B"})).ok());
+  EXPECT_TRUE(c.AddTable(TableDef("S", {"C", "D"})).ok());
+  return c;
+}
+
+ViewRegistry JoinViewRegistry() {
+  ViewRegistry views;
+  EXPECT_TRUE(views
+                  .Register(ViewDef{"VJ", QueryBuilder()
+                                              .From("R", {"A1", "B1"})
+                                              .From("S", {"C1", "D1"})
+                                              .Select("A1")
+                                              .Select("D1")
+                                              .WhereCols("B1", CmpOp::kEq, "C1")
+                                              .BuildOrDie()})
+                  .ok());
+  return views;
+}
+
+TEST(FlattenTest, MergesConjunctiveViewReference) {
+  ViewRegistry views = JoinViewRegistry();
+  // A query written against the virtual view VJ.
+  Query q = QueryBuilder()
+                .From("VJ", {"X", "Y"})
+                .Select("X")
+                .SelectAgg(AggFn::kSum, "Y", "s")
+                .WhereConst("Y", CmpOp::kGt, Value::Int64(2))
+                .GroupBy("X")
+                .BuildOrDie();
+  int flattened = 0;
+  ASSERT_OK_AND_ASSIGN(Query flat, FlattenViews(q, views, nullptr, &flattened));
+  EXPECT_EQ(flattened, 1);
+  ASSERT_EQ(flat.from.size(), 2u);
+  EXPECT_EQ(flat.from[0].table, "R");
+  EXPECT_EQ(flat.from[1].table, "S");
+  EXPECT_EQ(flat.where.size(), 2u);  // Y > 2 redirected + B = C spliced
+  // Output schema names survive.
+  EXPECT_EQ(flat.OutputColumns(), q.OutputColumns());
+
+  // Semantics: both forms evaluate identically.
+  Catalog catalog = TwoTableCatalog();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 30, 5, seed);
+    ExpectQueriesEquivalentOn(q, flat, db, &views);
+  }
+}
+
+TEST(FlattenTest, FlattensThroughStackedViews) {
+  ViewRegistry views = JoinViewRegistry();
+  ASSERT_OK(views.Register(ViewDef{
+      "VJ2", QueryBuilder()
+                 .From("VJ", {"X1", "Y1"})
+                 .Select("X1")
+                 .Select("Y1")
+                 .WhereConst("X1", CmpOp::kGe, Value::Int64(1))
+                 .BuildOrDie()}));
+  Query q = QueryBuilder().From("VJ2", {"P", "Q"}).Select("P").BuildOrDie();
+  int flattened = 0;
+  ASSERT_OK_AND_ASSIGN(Query flat, FlattenViews(q, views, nullptr, &flattened));
+  EXPECT_EQ(flattened, 2);
+  EXPECT_EQ(flat.from.size(), 2u);  // down to the base tables
+  Catalog catalog = TwoTableCatalog();
+  Database db = MakeRandomDatabase(catalog, 30, 5, 3);
+  ExpectQueriesEquivalentOn(q, flat, db, &views);
+}
+
+TEST(FlattenTest, LeavesAggregationViewsAlone) {
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{
+      "VA", QueryBuilder()
+                .From("R", {"A1", "B1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")
+                .BuildOrDie()}));
+  Query q = QueryBuilder().From("VA", {"X", "Y"}).Select("X").Select("Y").BuildOrDie();
+  int flattened = 0;
+  ASSERT_OK_AND_ASSIGN(Query flat, FlattenViews(q, views, nullptr, &flattened));
+  EXPECT_EQ(flattened, 0);
+  EXPECT_TRUE(flat == q);
+}
+
+TEST(FlattenTest, LeavesDistinctViewsAlone) {
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{
+      "VD",
+      QueryBuilder().From("R", {"A1", "B1"}).Distinct().Select("A1").BuildOrDie()}));
+  Query q = QueryBuilder().From("VD", {"X"}).Select("X").BuildOrDie();
+  ASSERT_OK_AND_ASSIGN(Query flat, FlattenViews(q, views));
+  EXPECT_TRUE(flat == q);
+}
+
+TEST(FlattenTest, PredicateFilterSkipsNamedViews) {
+  ViewRegistry views = JoinViewRegistry();
+  Query q = QueryBuilder().From("VJ", {"X", "Y"}).Select("X").BuildOrDie();
+  ASSERT_OK_AND_ASSIGN(
+      Query flat,
+      FlattenViews(q, views, [](const std::string&) { return false; }));
+  EXPECT_TRUE(flat == q);
+}
+
+TEST(FlattenTest, EnablesRewritingAfterMerge) {
+  // A query written over the virtual join view cannot be matched against a
+  // summary view of the base tables — until it is flattened.
+  ViewRegistry views = JoinViewRegistry();
+  ASSERT_OK(views.Register(ViewDef{
+      "SUMMARY", QueryBuilder()
+                     .From("R", {"A2", "B2"})
+                     .From("S", {"C2", "D2"})
+                     .Select("A2")
+                     .Select("D2")
+                     .SelectAgg(AggFn::kCount, "B2", "cnt")
+                     .WhereCols("B2", CmpOp::kEq, "C2")
+                     .GroupBy("A2")
+                     .GroupBy("D2")
+                     .BuildOrDie()}));
+  Query q = QueryBuilder()
+                .From("VJ", {"X", "Y"})
+                .Select("X")
+                .SelectAgg(AggFn::kCount, "Y", "n")
+                .GroupBy("X")
+                .BuildOrDie();
+  Rewriter rewriter(&views);
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "SUMMARY").status().code(),
+            StatusCode::kUnusable);
+  ASSERT_OK_AND_ASSIGN(Query flat, FlattenViews(q, views));
+  ASSERT_OK_AND_ASSIGN(Query rewritten,
+                       rewriter.RewriteUsingView(flat, "SUMMARY"));
+  Catalog catalog = TwoTableCatalog();
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 30, 4, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(OptimizerTest, PicksMaterializedSummary) {
+  ViewRegistry views = JoinViewRegistry();
+  ASSERT_OK(views.Register(ViewDef{
+      "SUMMARY", QueryBuilder()
+                     .From("R", {"A2", "B2"})
+                     .From("S", {"C2", "D2"})
+                     .Select("A2")
+                     .SelectAgg(AggFn::kCount, "B2", "cnt")
+                     .WhereCols("B2", CmpOp::kEq, "C2")
+                     .GroupBy("A2")
+                     .BuildOrDie()}));
+  Catalog catalog = TwoTableCatalog();
+  Database db = MakeRandomDatabase(catalog, 500, 20, 9);
+  {
+    Evaluator eval(&db, &views);
+    ASSERT_OK_AND_ASSIGN(Table summary, eval.MaterializeView("SUMMARY"));
+    db.Put("SUMMARY", std::move(summary));
+  }
+
+  // The query arrives written against the *virtual* view VJ.
+  Query q = QueryBuilder()
+                .From("VJ", {"X", "Y"})
+                .Select("X")
+                .SelectAgg(AggFn::kCount, "Y", "n")
+                .GroupBy("X")
+                .BuildOrDie();
+
+  Optimizer optimizer(&db, &views, &catalog);
+  ASSERT_OK_AND_ASSIGN(OptimizeResult plan, optimizer.Optimize(q));
+  EXPECT_EQ(plan.views_flattened, 1);
+  EXPECT_TRUE(plan.used_materialized_view);
+  EXPECT_EQ(plan.chosen.from.size(), 1u);
+  EXPECT_EQ(plan.chosen.from[0].table, "SUMMARY");
+  EXPECT_LT(plan.cost_chosen, plan.cost_original);
+
+  // Run() returns the same answer as direct evaluation.
+  ASSERT_OK_AND_ASSIGN(Table optimized, optimizer.Run(q));
+  Evaluator eval(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table direct, eval.Execute(q));
+  EXPECT_TRUE(MultisetEqual(optimized, direct))
+      << DescribeMultisetDifference(optimized, direct);
+}
+
+TEST(OptimizerTest, KeepsOriginalWhenNothingHelps) {
+  ViewRegistry views;
+  Catalog catalog = TwoTableCatalog();
+  Database db = MakeRandomDatabase(catalog, 100, 10, 1);
+  Query q = QueryBuilder().From("R", {"A1", "B1"}).Select("A1").BuildOrDie();
+  Optimizer optimizer(&db, &views, &catalog);
+  ASSERT_OK_AND_ASSIGN(OptimizeResult plan, optimizer.Optimize(q));
+  EXPECT_FALSE(plan.used_materialized_view);
+  EXPECT_EQ(plan.rewritings_considered, 0);
+  EXPECT_TRUE(plan.chosen == q);
+}
+
+}  // namespace
+}  // namespace aqv

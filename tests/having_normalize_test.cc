@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "reason/having_normalize.h"
+#include "tests/test_util.h"
+#include "workload/random_db.h"
+
+namespace aqv {
+namespace {
+
+TEST(HavingNormalizeTest, MovesGroupingColumnConditions) {
+  // Section 3.3: "A > 5 with A in Groups(Q) can be conjoined to Conds(Q)".
+  Query q = QueryBuilder()
+                .From("R", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kSum, "B")
+                .GroupBy("A")
+                .HavingCol("A", CmpOp::kGt, Value::Int64(5))
+                .HavingAgg(AggFn::kSum, "B", CmpOp::kLt, Value::Int64(100))
+                .BuildOrDie();
+  EXPECT_EQ(NormalizeHaving(&q), 1);
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where[0].lhs.column, "A");
+  ASSERT_EQ(q.having.size(), 1u);
+  EXPECT_TRUE(q.having[0].lhs.is_aggregate());
+}
+
+TEST(HavingNormalizeTest, MovesLoneMaxCondition) {
+  // "MAX(B) > 10, the only aggregation column" becomes WHERE B > 10.
+  Query q = QueryBuilder()
+                .From("R", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kMax, "B")
+                .GroupBy("A")
+                .HavingAgg(AggFn::kMax, "B", CmpOp::kGt, Value::Int64(10))
+                .BuildOrDie();
+  EXPECT_EQ(NormalizeHaving(&q), 1);
+  EXPECT_TRUE(q.having.empty());
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where[0].ToString(), "B > 10");
+}
+
+TEST(HavingNormalizeTest, MovesLoneMinConditionFlipped) {
+  Query q = QueryBuilder()
+                .From("R", {"A", "B"})
+                .Select("A")
+                .GroupBy("A")
+                .Having(Predicate{Operand::Constant(Value::Int64(10)), CmpOp::kGt,
+                                  Operand::Aggregate(AggFn::kMin, "B")})
+                .BuildOrDie();
+  EXPECT_EQ(NormalizeHaving(&q), 1);
+  EXPECT_TRUE(q.having.empty());
+  ASSERT_EQ(q.where.size(), 1u);
+}
+
+TEST(HavingNormalizeTest, KeepsMaxWhenOtherAggregatesPresent) {
+  // Moving MAX(B) > 10 would change COUNT(B); it must stay.
+  Query q = QueryBuilder()
+                .From("R", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kCount, "B")
+                .GroupBy("A")
+                .HavingAgg(AggFn::kMax, "B", CmpOp::kGt, Value::Int64(10))
+                .BuildOrDie();
+  EXPECT_EQ(NormalizeHaving(&q), 0);
+  EXPECT_EQ(q.having.size(), 1u);
+  EXPECT_TRUE(q.where.empty());
+}
+
+TEST(HavingNormalizeTest, KeepsWrongDirectionExtrema) {
+  // MAX(B) < 10 cannot move: filtering B < 10 would revive groups whose
+  // true max exceeds 10.
+  Query q = QueryBuilder()
+                .From("R", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kMax, "B")
+                .GroupBy("A")
+                .HavingAgg(AggFn::kMax, "B", CmpOp::kLt, Value::Int64(10))
+                .BuildOrDie();
+  EXPECT_EQ(NormalizeHaving(&q), 0);
+}
+
+TEST(HavingNormalizeTest, KeepsSumConditions) {
+  Query q = QueryBuilder()
+                .From("R", {"A", "B"})
+                .Select("A")
+                .GroupBy("A")
+                .HavingAgg(AggFn::kSum, "B", CmpOp::kGt, Value::Int64(10))
+                .BuildOrDie();
+  EXPECT_EQ(NormalizeHaving(&q), 0);
+}
+
+TEST(HavingNormalizeTest, Idempotent) {
+  Query q = QueryBuilder()
+                .From("R", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kMax, "B")
+                .GroupBy("A")
+                .HavingCol("A", CmpOp::kLe, Value::Int64(3))
+                .HavingAgg(AggFn::kMax, "B", CmpOp::kGe, Value::Int64(1))
+                .BuildOrDie();
+  EXPECT_GT(NormalizeHaving(&q), 0);
+  EXPECT_EQ(NormalizeHaving(&q), 0);
+}
+
+// Semantics check: normalization preserves the query's multiset of answers
+// over random data.
+class HavingNormalizeSemanticsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HavingNormalizeSemanticsTest, PreservesResults) {
+  std::mt19937_64 rng(GetParam());
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("R", {"A", "B"})));
+  Database db = MakeRandomDatabase(catalog, 60, 6, GetParam());
+
+  // Randomly pick one of the movable shapes.
+  QueryBuilder builder;
+  builder.From("R", {"A", "B"}).Select("A").GroupBy("A");
+  int shape = GetParam() % 3;
+  if (shape == 0) {
+    builder.SelectAgg(AggFn::kMax, "B")
+        .HavingAgg(AggFn::kMax, "B", CmpOp::kGt, Value::Int64(2));
+  } else if (shape == 1) {
+    builder.SelectAgg(AggFn::kMin, "B")
+        .HavingAgg(AggFn::kMin, "B", CmpOp::kLe, Value::Int64(3));
+  } else {
+    builder.SelectAgg(AggFn::kSum, "B")
+        .HavingCol("A", CmpOp::kGe, Value::Int64(2));
+  }
+  Query original = builder.BuildOrDie();
+  Query normalized = original;
+  NormalizeHaving(&normalized);
+  ExpectQueriesEquivalentOn(original, normalized, db, nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HavingNormalizeSemanticsTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace aqv

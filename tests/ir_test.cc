@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/query.h"
+#include "ir/validate.h"
+#include "ir/views.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+Query Example31Query() {
+  // Example 3.1's Q: SELECT A1, SUM(B1) FROM R1(A1,B1), R2(C1,D1)
+  // WHERE A1 = C1 AND B1 = 6 AND D1 = 6 GROUPBY A1.
+  return QueryBuilder()
+      .From("R1", {"A1", "B1"})
+      .From("R2", {"C1", "D1"})
+      .Select("A1")
+      .SelectAgg(AggFn::kSum, "B1")
+      .WhereCols("A1", CmpOp::kEq, "C1")
+      .WhereConst("B1", CmpOp::kEq, Value::Int64(6))
+      .WhereConst("D1", CmpOp::kEq, Value::Int64(6))
+      .GroupBy("A1")
+      .BuildOrDie();
+}
+
+TEST(QueryTest, Accessors) {
+  Query q = Example31Query();
+  EXPECT_EQ(q.AllColumns(), (std::set<std::string>{"A1", "B1", "C1", "D1"}));
+  EXPECT_EQ(q.ColSel(), (std::vector<std::string>{"A1"}));
+  EXPECT_EQ(q.AggSel(), (std::vector<std::string>{"B1"}));
+  EXPECT_FALSE(q.IsConjunctive());
+  EXPECT_TRUE(q.IsAggregation());
+}
+
+TEST(QueryTest, FindColumn) {
+  Query q = Example31Query();
+  auto loc = q.FindColumn("D1");
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->first, 1);
+  EXPECT_EQ(loc->second, 1);
+  EXPECT_FALSE(q.FindColumn("Z9").has_value());
+}
+
+TEST(QueryTest, AggregateTermsDeduplicated) {
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1")
+                .GroupBy("A1")
+                .HavingAgg(AggFn::kSum, "B1", CmpOp::kLt, Value::Int64(10))
+                .HavingAgg(AggFn::kCount, "B1", CmpOp::kGt, Value::Int64(1))
+                .BuildOrDie();
+  std::vector<Operand> terms = q.AggregateTerms();
+  ASSERT_EQ(terms.size(), 2u);  // SUM(B1) deduped with HAVING's; COUNT(B1)
+  EXPECT_EQ(terms[0].agg, AggFn::kSum);
+  EXPECT_EQ(terms[1].agg, AggFn::kCount);
+}
+
+TEST(QueryTest, RatioContributesTwoSumTerms) {
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "N1"})
+                .Select("A1")
+                .GroupBy("A1")
+                .BuildOrDie();
+  q.select.push_back(
+      SelectItem::MakeRatio(AggArg{"B1", "N1"}, AggArg{"N1", ""}, "avg_b"));
+  std::vector<Operand> terms = q.AggregateTerms();
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0].agg, AggFn::kSum);
+  EXPECT_EQ(terms[0].column, "B1");
+  EXPECT_EQ(terms[0].multiplier, "N1");
+  EXPECT_EQ(terms[1].column, "N1");
+}
+
+TEST(QueryTest, ConjunctiveDetection) {
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .Select("A1")
+                .BuildOrDie();
+  EXPECT_TRUE(q.IsConjunctive());
+}
+
+TEST(ValidateTest, RejectsEmptyClauses) {
+  Query q;
+  EXPECT_FALSE(ValidateQuery(q).ok());
+  q.from.push_back(TableRef{"R", {"A"}});
+  EXPECT_FALSE(ValidateQuery(q).ok());  // empty select
+}
+
+TEST(ValidateTest, RejectsDuplicateColumnNames) {
+  Query q;
+  q.from.push_back(TableRef{"R", {"A", "A"}});
+  q.select.push_back(SelectItem::MakeColumn("A"));
+  EXPECT_FALSE(ValidateQuery(q).ok());
+}
+
+TEST(ValidateTest, RejectsUnknownColumns) {
+  auto r = QueryBuilder().From("R", {"A"}).Select("B").Build();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ValidateTest, EnforcesGroupingRule) {
+  // Non-aggregate select column not in GROUP BY is rejected.
+  auto r = QueryBuilder()
+               .From("R", {"A", "B"})
+               .Select("A")
+               .SelectAgg(AggFn::kSum, "B")
+               .Build();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ValidateTest, RejectsHavingOnNonGrouped) {
+  Query q = QueryBuilder().From("R", {"A"}).Select("A").BuildOrDie();
+  q.having.push_back(Predicate{Operand::Column("A"), CmpOp::kEq,
+                               Operand::Constant(Value::Int64(1))});
+  EXPECT_FALSE(ValidateQuery(q).ok());
+}
+
+TEST(ValidateTest, HavingColumnsMustBeGroupingColumns) {
+  Query q = QueryBuilder()
+                .From("R", {"A", "B"})
+                .Select("A")
+                .SelectAgg(AggFn::kSum, "B")
+                .GroupBy("A")
+                .BuildOrDie();
+  q.having.push_back(Predicate{Operand::Column("B"), CmpOp::kEq,
+                               Operand::Constant(Value::Int64(1))});
+  EXPECT_FALSE(ValidateQuery(q).ok());
+}
+
+TEST(ValidateTest, AcceptsGlobalAggregate) {
+  auto r = QueryBuilder()
+               .From("R", {"A"})
+               .SelectAgg(AggFn::kCount, "A")
+               .Build();
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST(PrinterTest, RendersPaperNotation) {
+  EXPECT_EQ(ToSql(Example31Query()),
+            "SELECT A1, SUM(B1) AS SUM_B1 FROM R1(A1, B1), R2(C1, D1) "
+            "WHERE A1 = C1 AND B1 = 6 AND D1 = 6 GROUPBY A1");
+}
+
+TEST(PrinterTest, RendersScaledAggregateAndRatio) {
+  Query q = QueryBuilder()
+                .From("V", {"A1", "S1", "N1"})
+                .Select("A1")
+                .GroupBy("A1")
+                .BuildOrDie();
+  q.select.push_back(
+      SelectItem::MakeScaledAggregate(AggFn::kSum, AggArg{"S1", "N1"}, "t"));
+  q.select.push_back(
+      SelectItem::MakeRatio(AggArg{"S1", ""}, AggArg{"N1", ""}, "a"));
+  std::string sql = ToSql(q);
+  EXPECT_NE(sql.find("SUM(S1 * N1) AS t"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("SUM(S1) / SUM(N1) AS a"), std::string::npos) << sql;
+}
+
+TEST(ViewRegistryTest, RegisterAndGet) {
+  ViewRegistry reg;
+  ViewDef v{"V1", Example31Query()};
+  ASSERT_OK(reg.Register(v));
+  EXPECT_TRUE(reg.Has("V1"));
+  ASSERT_OK_AND_ASSIGN(const ViewDef* got, reg.Get("V1"));
+  EXPECT_EQ(got->name, "V1");
+  EXPECT_EQ(got->OutputColumns(),
+            (std::vector<std::string>{"A1", "SUM_B1"}));
+}
+
+TEST(ViewRegistryTest, RejectsDuplicatesAndInvalid) {
+  ViewRegistry reg;
+  ASSERT_OK(reg.Register(ViewDef{"V1", Example31Query()}));
+  EXPECT_FALSE(reg.Register(ViewDef{"V1", Example31Query()}).ok());
+  EXPECT_FALSE(reg.Register(ViewDef{"V2", Query{}}).ok());
+  EXPECT_FALSE(reg.Register(ViewDef{"", Example31Query()}).ok());
+}
+
+TEST(NameGeneratorTest, FreshAvoidsCollisions) {
+  NameGenerator gen;
+  gen.Reserve(std::set<std::string>{"A", "A_2"});
+  EXPECT_EQ(gen.Fresh("B"), "B");
+  EXPECT_EQ(gen.Fresh("A"), "A_3");
+  EXPECT_EQ(gen.Fresh("A"), "A_4");
+}
+
+TEST(OperandTest, OrderingAndEquality) {
+  Operand a = Operand::Column("A");
+  Operand b = Operand::Column("B");
+  Operand c5 = Operand::Constant(Value::Int64(5));
+  Operand agg = Operand::Aggregate(AggFn::kSum, "A");
+  Operand agg_scaled = Operand::Aggregate(AggFn::kSum, "A", "N");
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(agg == agg_scaled);
+  EXPECT_TRUE(a < b);
+  EXPECT_EQ(agg.ToString(), "SUM(A)");
+  EXPECT_EQ(agg_scaled.ToString(), "SUM(A * N)");
+  EXPECT_EQ(c5.ToString(), "5");
+}
+
+TEST(PredicateTest, ReferencedColumnsIncludeMultipliers) {
+  Predicate p{Operand::Aggregate(AggFn::kSum, "A", "N"), CmpOp::kLt,
+              Operand::Column("B")};
+  EXPECT_EQ(p.ReferencedColumns(), (std::vector<std::string>{"A", "N", "B"}));
+}
+
+TEST(CmpOpTest, FlipIsInvolution) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                   CmpOp::kGe}) {
+    EXPECT_EQ(FlipCmpOp(FlipCmpOp(op)), op);
+  }
+  EXPECT_EQ(FlipCmpOp(CmpOp::kLt), CmpOp::kGt);
+  EXPECT_EQ(FlipCmpOp(CmpOp::kLe), CmpOp::kGe);
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,302 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "maintain/incremental.h"
+#include "tests/test_util.h"
+#include "workload/random_db.h"
+
+namespace aqv {
+namespace {
+
+Row R(std::initializer_list<int64_t> vals) {
+  Row row;
+  for (int64_t v : vals) row.push_back(Value::Int64(v));
+  return row;
+}
+
+// Recompute-vs-maintain oracle: applies `delta` both ways and compares.
+void ExpectMaintainMatchesRecompute(const ViewDef& view, Database db,
+                                    const Delta& delta) {
+  ViewRegistry views;
+  ASSERT_OK(views.Register(view));
+  Evaluator eval_before(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table materialized,
+                       eval_before.MaterializeView(view.name));
+
+  ASSERT_OK_AND_ASSIGN(IncrementalMaintainer maintainer,
+                       IncrementalMaintainer::Create(view));
+  ASSERT_OK(maintainer.Apply(delta, db, &materialized));
+
+  ASSERT_OK(ApplyDeltaToBase(delta, &db));
+  Evaluator eval_after(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table recomputed, eval_after.MaterializeView(view.name));
+
+  EXPECT_TRUE(MultisetEqual(materialized, recomputed))
+      << "maintained:\n" << materialized.ToString() << "recomputed:\n"
+      << recomputed.ToString();
+}
+
+Database TwoTableDb() {
+  Database db;
+  Table r({"A", "B"});
+  r.AddRowOrDie(R({1, 10}));
+  r.AddRowOrDie(R({1, 20}));
+  r.AddRowOrDie(R({2, 30}));
+  db.Put("R", std::move(r));
+  Table s({"C", "D"});
+  s.AddRowOrDie(R({1, 5}));
+  s.AddRowOrDie(R({2, 6}));
+  db.Put("S", std::move(s));
+  return db;
+}
+
+ViewDef SumCountView() {
+  return ViewDef{"V", QueryBuilder()
+                          .From("R", {"A1", "B1"})
+                          .Select("A1")
+                          .SelectAgg(AggFn::kSum, "B1", "s")
+                          .SelectAgg(AggFn::kCount, "B1", "n")
+                          .GroupBy("A1")
+                          .BuildOrDie()};
+}
+
+TEST(MaintainTest, InsertIntoExistingGroup) {
+  Delta d;
+  d.inserts["R"] = {R({1, 7})};
+  ExpectMaintainMatchesRecompute(SumCountView(), TwoTableDb(), d);
+}
+
+TEST(MaintainTest, InsertCreatesNewGroup) {
+  Delta d;
+  d.inserts["R"] = {R({9, 1}), R({9, 2})};
+  ExpectMaintainMatchesRecompute(SumCountView(), TwoTableDb(), d);
+}
+
+TEST(MaintainTest, DeleteShrinksGroup) {
+  Delta d;
+  d.deletes["R"] = {R({1, 10})};
+  ExpectMaintainMatchesRecompute(SumCountView(), TwoTableDb(), d);
+}
+
+TEST(MaintainTest, DeleteKillsGroup) {
+  Delta d;
+  d.deletes["R"] = {R({2, 30})};
+  ExpectMaintainMatchesRecompute(SumCountView(), TwoTableDb(), d);
+}
+
+TEST(MaintainTest, MixedBatch) {
+  Delta d;
+  d.inserts["R"] = {R({2, 1}), R({3, 4})};
+  d.deletes["R"] = {R({1, 20})};
+  ExpectMaintainMatchesRecompute(SumCountView(), TwoTableDb(), d);
+}
+
+TEST(MaintainTest, ConjunctiveViewAppendsAndRemoves) {
+  ViewDef v{"V", QueryBuilder()
+                     .From("R", {"A1", "B1"})
+                     .Select("A1")
+                     .Select("B1")
+                     .WhereConst("B1", CmpOp::kGe, Value::Int64(15))
+                     .BuildOrDie()};
+  Delta d;
+  d.inserts["R"] = {R({5, 50}), R({5, 3})};  // the second fails the filter
+  d.deletes["R"] = {R({1, 20})};
+  ExpectMaintainMatchesRecompute(v, TwoTableDb(), d);
+}
+
+TEST(MaintainTest, JoinViewTelescopesBothTables) {
+  ViewDef v{"V", QueryBuilder()
+                     .From("R", {"A1", "B1"})
+                     .From("S", {"C1", "D1"})
+                     .Select("A1")
+                     .SelectAgg(AggFn::kSum, "D1", "s")
+                     .SelectAgg(AggFn::kCount, "D1", "n")
+                     .WhereCols("A1", CmpOp::kEq, "C1")
+                     .GroupBy("A1")
+                     .BuildOrDie()};
+  Delta d;
+  d.inserts["R"] = {R({1, 99})};
+  d.inserts["S"] = {R({1, 8}), R({2, 9})};
+  d.deletes["S"] = {R({2, 6})};
+  ExpectMaintainMatchesRecompute(v, TwoTableDb(), d);
+}
+
+TEST(MaintainTest, MinMaxAbsorbInserts) {
+  ViewDef v{"V", QueryBuilder()
+                     .From("R", {"A1", "B1"})
+                     .Select("A1")
+                     .SelectAgg(AggFn::kMin, "B1", "lo")
+                     .SelectAgg(AggFn::kMax, "B1", "hi")
+                     .SelectAgg(AggFn::kCount, "B1", "n")
+                     .GroupBy("A1")
+                     .BuildOrDie()};
+  Delta d;
+  d.inserts["R"] = {R({1, 5}), R({1, 100}), R({4, 7})};
+  ExpectMaintainMatchesRecompute(v, TwoTableDb(), d);
+}
+
+TEST(MaintainTest, DeleteOfNonExtremumIsFine) {
+  ViewDef v{"V", QueryBuilder()
+                     .From("R", {"A1", "B1"})
+                     .Select("A1")
+                     .SelectAgg(AggFn::kMax, "B1", "hi")
+                     .SelectAgg(AggFn::kCount, "B1", "n")
+                     .GroupBy("A1")
+                     .BuildOrDie()};
+  Delta d;
+  d.deletes["R"] = {R({1, 10})};  // max of group 1 is 20
+  ExpectMaintainMatchesRecompute(v, TwoTableDb(), d);
+}
+
+TEST(MaintainTest, DeleteOfExtremumRefused) {
+  ViewDef v{"V", QueryBuilder()
+                     .From("R", {"A1", "B1"})
+                     .Select("A1")
+                     .SelectAgg(AggFn::kMax, "B1", "hi")
+                     .SelectAgg(AggFn::kCount, "B1", "n")
+                     .GroupBy("A1")
+                     .BuildOrDie()};
+  Database db = TwoTableDb();
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Evaluator eval(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table materialized, eval.MaterializeView("V"));
+  Table untouched = materialized;
+
+  ASSERT_OK_AND_ASSIGN(IncrementalMaintainer maintainer,
+                       IncrementalMaintainer::Create(v));
+  Delta d;
+  d.deletes["R"] = {R({1, 20})};  // 20 is group 1's max
+  Status s = maintainer.Apply(d, db, &materialized);
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+  // The refusal left the materialization untouched.
+  EXPECT_TRUE(MultisetEqual(materialized, untouched));
+}
+
+TEST(MaintainTest, DeletesWithoutCountRefused) {
+  ViewDef v{"V", QueryBuilder()
+                     .From("R", {"A1", "B1"})
+                     .Select("A1")
+                     .SelectAgg(AggFn::kSum, "B1", "s")
+                     .GroupBy("A1")
+                     .BuildOrDie()};
+  Database db = TwoTableDb();
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Evaluator eval(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table materialized, eval.MaterializeView("V"));
+  ASSERT_OK_AND_ASSIGN(IncrementalMaintainer maintainer,
+                       IncrementalMaintainer::Create(v));
+  Delta d;
+  d.deletes["R"] = {R({1, 10})};
+  EXPECT_EQ(maintainer.Apply(d, db, &materialized).code(),
+            StatusCode::kUnsupported);
+  // Inserts-only still works without a COUNT output.
+  Delta ins;
+  ins.inserts["R"] = {R({1, 2})};
+  EXPECT_OK(maintainer.Apply(ins, db, &materialized));
+}
+
+TEST(MaintainTest, UnsupportedShapesRejectedAtCreate) {
+  // HAVING.
+  Query having = QueryBuilder()
+                     .From("R", {"A1", "B1"})
+                     .Select("A1")
+                     .SelectAgg(AggFn::kSum, "B1", "s")
+                     .GroupBy("A1")
+                     .HavingAgg(AggFn::kSum, "B1", CmpOp::kGt, Value::Int64(1))
+                     .BuildOrDie();
+  EXPECT_EQ(IncrementalMaintainer::Create(ViewDef{"V1", having}).status().code(),
+            StatusCode::kUnsupported);
+  // AVG output.
+  Query avg = QueryBuilder()
+                  .From("R", {"A1", "B1"})
+                  .Select("A1")
+                  .SelectAgg(AggFn::kAvg, "B1", "a")
+                  .GroupBy("A1")
+                  .BuildOrDie();
+  EXPECT_EQ(IncrementalMaintainer::Create(ViewDef{"V2", avg}).status().code(),
+            StatusCode::kUnsupported);
+  // DISTINCT.
+  Query distinct =
+      QueryBuilder().From("R", {"A1", "B1"}).Distinct().Select("A1").BuildOrDie();
+  EXPECT_EQ(
+      IncrementalMaintainer::Create(ViewDef{"V3", distinct}).status().code(),
+      StatusCode::kUnsupported);
+}
+
+TEST(MaintainTest, ApplyDeltaToBaseValidates) {
+  Database db = TwoTableDb();
+  Delta bad;
+  bad.deletes["R"] = {R({77, 77})};
+  EXPECT_FALSE(ApplyDeltaToBase(bad, &db).ok());
+  Delta unknown;
+  unknown.inserts["Nope"] = {R({1})};
+  EXPECT_EQ(ApplyDeltaToBase(unknown, &db).code(), StatusCode::kNotFound);
+}
+
+// Randomized oracle sweep: random base data, random insert/delete batches,
+// maintained contents must equal recomputation after every batch.
+class MaintainPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaintainPropertyTest, MatchesRecomputeAcrossBatches) {
+  std::mt19937_64 rng(GetParam());
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("R", {"A", "B"})));
+  ASSERT_OK(catalog.AddTable(TableDef("S", {"C", "D"})));
+  Database db = MakeRandomDatabase(catalog, 40, 5, GetParam());
+
+  ViewDef v{"V", QueryBuilder()
+                     .From("R", {"A1", "B1"})
+                     .From("S", {"C1", "D1"})
+                     .Select("A1")
+                     .SelectAgg(AggFn::kSum, "D1", "s")
+                     .SelectAgg(AggFn::kCount, "D1", "n")
+                     .WhereCols("B1", CmpOp::kEq, "C1")
+                     .GroupBy("A1")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Evaluator eval(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table materialized, eval.MaterializeView("V"));
+  ASSERT_OK_AND_ASSIGN(IncrementalMaintainer maintainer,
+                       IncrementalMaintainer::Create(v));
+
+  std::uniform_int_distribution<int64_t> val(0, 4);
+  for (int batch = 0; batch < 5; ++batch) {
+    Delta d;
+    for (const char* table : {"R", "S"}) {
+      int n_ins = static_cast<int>(rng() % 4);
+      for (int i = 0; i < n_ins; ++i) {
+        d.inserts[table].push_back({Value::Int64(val(rng)),
+                                    Value::Int64(val(rng))});
+      }
+      // Delete up to 2 random existing rows.
+      const Table* t = *db.Get(table);
+      int n_del = static_cast<int>(rng() % 3);
+      for (int i = 0; i < n_del && !t->rows().empty(); ++i) {
+        d.deletes[table].push_back(t->rows()[rng() % t->rows().size()]);
+      }
+      // Avoid deleting the same physical row twice in one batch.
+      if (d.deletes[table].size() == 2 &&
+          RowEq{}(d.deletes[table][0], d.deletes[table][1])) {
+        d.deletes[table].pop_back();
+      }
+    }
+    ASSERT_OK(maintainer.Apply(d, db, &materialized));
+    ASSERT_OK(ApplyDeltaToBase(d, &db));
+    Evaluator check(&db, &views);
+    ASSERT_OK_AND_ASSIGN(Table recomputed, check.MaterializeView("V"));
+    ASSERT_TRUE(MultisetEqual(materialized, recomputed))
+        << "batch " << batch << "\nmaintained:\n" << materialized.ToString()
+        << "recomputed:\n" << recomputed.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaintainPropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace aqv

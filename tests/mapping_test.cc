@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "rewrite/mapping.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+Query TwoTableQuery() {
+  return QueryBuilder()
+      .From("R1", {"A1", "B1"})
+      .From("R2", {"C1", "D1"})
+      .Select("A1")
+      .BuildOrDie();
+}
+
+Query TwoTableView() {
+  return QueryBuilder()
+      .From("R1", {"A2", "B2"})
+      .From("R2", {"C2", "D2"})
+      .Select("C2")
+      .Select("D2")
+      .WhereCols("A2", CmpOp::kEq, "C2")
+      .BuildOrDie();
+}
+
+TEST(MappingTest, Example31Mapping) {
+  Query q = TwoTableQuery();
+  Query v = TwoTableView();
+  std::vector<ColumnMapping> mappings = EnumerateColumnMappings(v, q, true);
+  ASSERT_EQ(mappings.size(), 1u);
+  const ColumnMapping& m = mappings[0];
+  EXPECT_TRUE(m.IsOneToOne());
+  EXPECT_EQ(m.MapColumn("A2"), "A1");
+  EXPECT_EQ(m.MapColumn("B2"), "B1");
+  EXPECT_EQ(m.MapColumn("C2"), "C1");
+  EXPECT_EQ(m.MapColumn("D2"), "D1");
+  EXPECT_EQ(m.MappedQueryColumns(),
+            (std::set<std::string>{"A1", "B1", "C1", "D1"}));
+}
+
+TEST(MappingTest, MapPredicate) {
+  Query q = TwoTableQuery();
+  Query v = TwoTableView();
+  ColumnMapping m = EnumerateColumnMappings(v, q, true)[0];
+  Predicate p{Operand::Column("A2"), CmpOp::kEq, Operand::Column("C2")};
+  EXPECT_EQ(m.MapPredicate(p).ToString(), "A1 = C1");
+  Predicate agg{Operand::Aggregate(AggFn::kSum, "B2", "D2"), CmpOp::kLt,
+                Operand::Constant(Value::Int64(5))};
+  EXPECT_EQ(m.MapPredicate(agg).ToString(), "SUM(B1 * D1) < 5");
+}
+
+TEST(MappingTest, NoMappingWhenTableMissing) {
+  Query q = TwoTableQuery();
+  Query v = QueryBuilder().From("R9", {"X"}).Select("X").BuildOrDie();
+  EXPECT_TRUE(EnumerateColumnMappings(v, q, true).empty());
+}
+
+TEST(MappingTest, ArityMismatchExcludesCandidate) {
+  Query q = TwoTableQuery();
+  Query v = QueryBuilder().From("R1", {"X", "Y", "Z"}).Select("X").BuildOrDie();
+  EXPECT_TRUE(EnumerateColumnMappings(v, q, true).empty());
+}
+
+TEST(MappingTest, SelfJoinEnumeratesPermutations) {
+  Query q = QueryBuilder()
+                .From("R", {"A1", "B1"})
+                .From("R", {"A2", "B2"})
+                .Select("A1")
+                .BuildOrDie();
+  Query v = QueryBuilder()
+                .From("R", {"X1", "Y1"})
+                .From("R", {"X2", "Y2"})
+                .Select("X1")
+                .BuildOrDie();
+  std::vector<ColumnMapping> one_to_one = EnumerateColumnMappings(v, q, true);
+  EXPECT_EQ(one_to_one.size(), 2u);  // the two bijections
+  std::vector<ColumnMapping> many = EnumerateColumnMappings(v, q, false);
+  EXPECT_EQ(many.size(), 4u);  // all assignments
+  int injective = 0;
+  for (const ColumnMapping& m : many) injective += m.IsOneToOne();
+  EXPECT_EQ(injective, 2);
+}
+
+TEST(MappingTest, LimitCapsEnumeration) {
+  Query q = QueryBuilder()
+                .From("R", {"A1"})
+                .From("R", {"A2"})
+                .From("R", {"A3"})
+                .Select("A1")
+                .BuildOrDie();
+  Query v = QueryBuilder()
+                .From("R", {"X1"})
+                .From("R", {"X2"})
+                .From("R", {"X3"})
+                .Select("X1")
+                .BuildOrDie();
+  EXPECT_EQ(EnumerateColumnMappings(v, q, true).size(), 6u);  // 3!
+  EXPECT_EQ(EnumerateColumnMappings(v, q, true, 4).size(), 4u);
+  EXPECT_EQ(EnumerateColumnMappings(v, q, false).size(), 27u);  // 3^3
+}
+
+TEST(MappingTest, MappedQueryTables) {
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .From("R2", {"C1", "D1"})
+                .From("R2", {"C2", "D2"})
+                .Select("A1")
+                .BuildOrDie();
+  Query v = QueryBuilder().From("R2", {"X", "Y"}).Select("X").BuildOrDie();
+  std::vector<ColumnMapping> mappings = EnumerateColumnMappings(v, q, true);
+  ASSERT_EQ(mappings.size(), 2u);
+  std::set<int> targets;
+  for (const ColumnMapping& m : mappings) {
+    for (int t : m.MappedQueryTables()) targets.insert(t);
+  }
+  EXPECT_EQ(targets, (std::set<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,226 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "rewrite/multiview.h"
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+#include "workload/random_db.h"
+
+namespace aqv {
+namespace {
+
+Catalog ThreeTableCatalog() {
+  Catalog c;
+  EXPECT_TRUE(c.AddTable(TableDef("R1", {"A", "B"})).ok());
+  EXPECT_TRUE(c.AddTable(TableDef("R2", {"C", "D"})).ok());
+  EXPECT_TRUE(c.AddTable(TableDef("R3", {"E", "F"})).ok());
+  return c;
+}
+
+// Q joins three tables; V1 covers R1, V2 covers R2.
+Query ThreeTableQuery() {
+  return QueryBuilder()
+      .From("R1", {"A1", "B1"})
+      .From("R2", {"C1", "D1"})
+      .From("R3", {"E1", "F1"})
+      .Select("A1")
+      .SelectAgg(AggFn::kSum, "F1", "s")
+      .WhereCols("B1", CmpOp::kEq, "C1")
+      .WhereCols("D1", CmpOp::kEq, "E1")
+      .GroupBy("A1")
+      .BuildOrDie();
+}
+
+ViewRegistry TwoViews() {
+  ViewRegistry views;
+  EXPECT_TRUE(views
+                  .Register(ViewDef{"V1", QueryBuilder()
+                                              .From("R1", {"A2", "B2"})
+                                              .Select("A2")
+                                              .Select("B2")
+                                              .BuildOrDie()})
+                  .ok());
+  EXPECT_TRUE(views
+                  .Register(ViewDef{"V2", QueryBuilder()
+                                              .From("R2", {"C2", "D2"})
+                                              .Select("C2")
+                                              .Select("D2")
+                                              .BuildOrDie()})
+                  .ok());
+  return views;
+}
+
+TEST(MultiViewTest, IterativeApplicationFoldsBothViews) {
+  Query q = ThreeTableQuery();
+  ViewRegistry views = TwoViews();
+  Rewriter rewriter(&views);
+  std::vector<std::string> used;
+  ASSERT_OK_AND_ASSIGN(Query rewritten,
+                       rewriter.RewriteIteratively(q, {"V1", "V2"}, &used));
+  EXPECT_EQ(used, (std::vector<std::string>{"V1", "V2"}));
+  std::vector<std::string> tables;
+  for (const TableRef& t : rewritten.from) tables.push_back(t.table);
+  std::sort(tables.begin(), tables.end());
+  EXPECT_EQ(tables, (std::vector<std::string>{"R3", "V1", "V2"}));
+
+  // Theorem 3.2 part 1 (soundness of the iterative procedure).
+  Catalog catalog = ThreeTableCatalog();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 30, 4, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(MultiViewTest, ChurchRosserOrderIndependence) {
+  // Theorem 3.2 part 2: the result is the same in any view order.
+  Query q = ThreeTableQuery();
+  ViewRegistry views = TwoViews();
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query forward,
+                       rewriter.RewriteIteratively(q, {"V1", "V2"}, nullptr));
+  ASSERT_OK_AND_ASSIGN(Query backward,
+                       rewriter.RewriteIteratively(q, {"V2", "V1"}, nullptr));
+  EXPECT_EQ(CanonicalQueryKey(forward), CanonicalQueryKey(backward));
+}
+
+TEST(MultiViewTest, UnusableViewsAreSkipped) {
+  Query q = ThreeTableQuery();
+  ViewRegistry views = TwoViews();
+  ASSERT_OK(views.Register(ViewDef{"V_bad", QueryBuilder()
+                                                .From("R3", {"E2", "F2"})
+                                                .Select("E2")
+                                                .WhereConst("F2", CmpOp::kEq,
+                                                            Value::Int64(0))
+                                                .BuildOrDie()}));
+  Rewriter rewriter(&views);
+  std::vector<std::string> used;
+  ASSERT_OK_AND_ASSIGN(
+      Query rewritten,
+      rewriter.RewriteIteratively(q, {"V_bad", "V1", "V2"}, &used));
+  EXPECT_EQ(used, (std::vector<std::string>{"V1", "V2"}));
+  (void)rewritten;
+}
+
+TEST(MultiViewTest, EnumerateAllRewritingsCoversSearchSpace) {
+  Query q = ThreeTableQuery();
+  ViewRegistry views = TwoViews();
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> all,
+                       rewriter.EnumerateAllRewritings(q, {"V1", "V2"}));
+  // Reachable states: {V1}, {V2}, {V1,V2} — 3 distinct rewritings.
+  EXPECT_EQ(all.size(), 3u);
+  Catalog catalog = ThreeTableCatalog();
+  Database db = MakeRandomDatabase(catalog, 25, 4, 11);
+  for (const Query& r : all) {
+    ExpectQueriesEquivalentOn(q, r, db, &views);
+  }
+}
+
+TEST(MultiViewTest, SameViewUsedTwice) {
+  // A self-join query folds the same view into both occurrences.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .From("R1", {"A2", "B2"})
+                .Select("A1")
+                .Select("A2")
+                .BuildOrDie();
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{"V1", QueryBuilder()
+                                             .From("R1", {"X", "Y"})
+                                             .Select("X")
+                                             .Select("Y")
+                                             .BuildOrDie()}));
+  Rewriter rewriter(&views);
+  std::vector<std::string> used;
+  ASSERT_OK_AND_ASSIGN(Query once,
+                       rewriter.RewriteIteratively(q, {"V1", "V1"}, &used));
+  EXPECT_EQ(used.size(), 2u);
+  int view_occurrences = 0;
+  for (const TableRef& t : once.from) view_occurrences += t.table == "V1";
+  EXPECT_EQ(view_occurrences, 2);
+  Catalog catalog = ThreeTableCatalog();
+  Database db = MakeRandomDatabase(catalog, 20, 4, 3);
+  ExpectQueriesEquivalentOn(q, once, db, &views);
+}
+
+
+TEST(MultiViewTest, AggregateViewThenConjunctiveView) {
+  // Folding an aggregation view introduces a scaled argument SUM(F1 * N);
+  // a later conjunctive fold over the other table must carry the scaled
+  // argument through (both its column and its multiplier).
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .From("R2", {"C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "D1", "s")
+                .WhereCols("A1", CmpOp::kEq, "C1")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{"VAGG", QueryBuilder()
+                                               .From("R1", {"A2", "B2"})
+                                               .Select("A2")
+                                               .SelectAgg(AggFn::kCount, "B2", "cnt")
+                                               .GroupBy("A2")
+                                               .BuildOrDie()}));
+  ASSERT_OK(views.Register(ViewDef{"VR2", QueryBuilder()
+                                              .From("R2", {"C2", "D2"})
+                                              .Select("C2")
+                                              .Select("D2")
+                                              .BuildOrDie()}));
+  Rewriter rewriter(&views);
+  std::vector<std::string> used;
+  ASSERT_OK_AND_ASSIGN(Query rewritten,
+                       rewriter.RewriteIteratively(q, {"VAGG", "VR2"}, &used));
+  ASSERT_EQ(used.size(), 2u);
+  // The SUM kept its multiplicity weighting through both folds.
+  EXPECT_FALSE(rewritten.select[1].arg.multiplier.empty());
+
+  Catalog catalog = ThreeTableCatalog();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 30, 4, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(MultiViewTest, CanonicalKeyNormalizesIrrelevantOrder) {
+  Query a = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .From("R2", {"C1", "D1"})
+                .Select("A1")
+                .WhereCols("A1", CmpOp::kEq, "C1")
+                .WhereConst("D1", CmpOp::kLt, Value::Int64(3))
+                .BuildOrDie();
+  Query b = QueryBuilder()
+                .From("R2", {"C1", "D1"})
+                .From("R1", {"A1", "B1"})
+                .Select("A1")
+                .WhereConst("D1", CmpOp::kLt, Value::Int64(3))
+                .WhereCols("C1", CmpOp::kEq, "A1")
+                .BuildOrDie();
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+  // Flipped inequalities normalize too.
+  Query c = a;
+  c.where[1] = Predicate{Operand::Constant(Value::Int64(3)), CmpOp::kGt,
+                         Operand::Column("D1")};
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(c));
+  // SELECT order is significant.
+  Query d = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .Select("B1")
+                .Select("A1")
+                .BuildOrDie();
+  Query e = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .Select("A1")
+                .Select("B1")
+                .BuildOrDie();
+  EXPECT_NE(CanonicalQueryKey(d), CanonicalQueryKey(e));
+}
+
+}  // namespace
+}  // namespace aqv

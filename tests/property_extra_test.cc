@@ -1,0 +1,218 @@
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "exec/operators.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "parser/parser.h"
+#include "rewrite/flatten.h"
+#include "rewrite/optimizer.h"
+#include "rewrite/rewriter.h"
+#include "rewrite/set_rewriter.h"
+#include "tests/test_util.h"
+#include "workload/random_query.h"
+
+namespace aqv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Printer/parser round-trip: ToSql(q) re-parses to exactly q, for every
+// query and view shape the generator can produce.
+// ---------------------------------------------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, GeneratedQueriesRoundTrip) {
+  RandomWorkloadGen gen(600 + GetParam());
+  for (int i = 0; i < 30; ++i) {
+    RandomPairConfig config;
+    config.query_aggregation = (i % 2) == 0;
+    config.view_aggregation = (i % 3) == 0;
+    config.allow_having = (i % 4) == 0;
+    config.equality_only = (i % 5) != 0;
+    QueryViewPair pair = gen.NextPair(config);
+    for (const Query* q : {&pair.query, &pair.view.query}) {
+      std::string sql = ToSql(*q);
+      Result<Query> reparsed = ParseQuery(sql);
+      ASSERT_TRUE(reparsed.ok()) << sql << "\n" << reparsed.status();
+      EXPECT_TRUE(*reparsed == *q) << "round trip changed:\n  " << sql
+                                   << "\n  " << ToSql(*reparsed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RoundTripTest, ::testing::Range(0, 5));
+
+// ---------------------------------------------------------------------------
+// Section 5 soundness sweep: random keyed self-join views answered via
+// many-to-1 mappings must be set-equivalent to the original query.
+// ---------------------------------------------------------------------------
+
+Catalog KeyedCatalog() {
+  Catalog c;
+  TableDef r("K", {"A", "B", "C"});
+  EXPECT_TRUE(r.AddKeyByName({"A"}).ok());
+  EXPECT_TRUE(c.AddTable(r).ok());
+  return c;
+}
+
+// Keyed random instance: A is unique, B/C random over a small domain.
+Database KeyedDatabase(int rows, int domain, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> dist(0, domain - 1);
+  Database db;
+  Table t({"A", "B", "C"});
+  for (int i = 0; i < rows; ++i) {
+    t.AddRowOrDie(
+        {Value::Int64(i), Value::Int64(dist(rng)), Value::Int64(dist(rng))});
+  }
+  db.Put("K", std::move(t));
+  return db;
+}
+
+class SetSemanticsSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetSemanticsSweepTest, ManyToOneRewritingsAreSetEquivalent) {
+  std::mt19937_64 rng(800 + GetParam());
+  Catalog catalog = KeyedCatalog();
+  const char* cols[] = {"B", "C"};
+  int usable = 0;
+  for (int i = 0; i < 20; ++i) {
+    // Query: SELECT A1 [, B1] FROM K(A1,B1,C1) [WHERE x op y].
+    QueryBuilder qb;
+    qb.From("K", {"A1", "B1", "C1"}).Select("A1");
+    if (rng() % 2) qb.Select("B1");
+    if (rng() % 2) {
+      qb.WhereCols(std::string(cols[rng() % 2]) + "1", CmpOp::kEq,
+                   std::string(cols[rng() % 2]) + "1");
+    }
+    Query q = qb.BuildOrDie();
+
+    // View: a self-join projecting keys (and maybe B columns).
+    QueryBuilder vb;
+    vb.From("K", {"A2", "B2", "C2"}).From("K", {"A3", "B3", "C3"});
+    vb.Select("A2").Select("A3").Select("B2");
+    if (rng() % 2) {
+      vb.WhereCols(std::string(cols[rng() % 2]) + "2", CmpOp::kEq,
+                   std::string(cols[rng() % 2]) + "3");
+    }
+    ViewDef v{"V", vb.BuildOrDie()};
+
+    ViewRegistry views;
+    ASSERT_OK(views.Register(v));
+    RewriteOptions options;
+    options.use_key_information = true;
+    Rewriter rewriter(&views, &catalog, options);
+    ASSERT_OK_AND_ASSIGN(std::vector<Rewriting> rewritings,
+                         rewriter.RewritingsUsingView(q, "V"));
+    if (rewritings.empty()) continue;
+    ++usable;
+
+    Database db = KeyedDatabase(25, 5, 900 + GetParam() * 100 + i);
+    for (const Rewriting& r : rewritings) {
+      // Under Section 5 both results are sets; compare them as sets.
+      Evaluator ea(&db, &views), eb(&db, &views);
+      ASSERT_OK_AND_ASSIGN(Table left, ea.Execute(q));
+      ASSERT_OK_AND_ASSIGN(Table right, eb.Execute(r.query));
+      std::vector<Row> ls = DistinctRows(left.rows());
+      std::vector<Row> rs = DistinctRows(right.rows());
+      Table lt(left.columns()), rt(right.columns());
+      for (Row& row : ls) lt.AddRowOrDie(std::move(row));
+      for (Row& row : rs) rt.AddRowOrDie(std::move(row));
+      EXPECT_TRUE(MultisetEqual(lt, rt))
+          << "Q:  " << ToSql(q) << "\nQ': " << ToSql(r.query) << "\n"
+          << DescribeMultisetDifference(lt, rt);
+    }
+  }
+  if (GetParam() == 0) {
+    EXPECT_GT(usable, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SetSemanticsSweepTest, ::testing::Range(0, 5));
+
+// ---------------------------------------------------------------------------
+// Flatten oracle sweep: random virtual-view queries evaluate identically
+// before and after the Section 7 merge.
+// ---------------------------------------------------------------------------
+
+class FlattenSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlattenSweepTest, FlattenPreservesSemantics) {
+  RandomWorkloadGen gen(1700 + GetParam());
+  RandomPairConfig config;
+  config.query_aggregation = false;
+  config.view_aggregation = false;
+  config.equality_only = false;
+  int flattened_total = 0;
+  for (int i = 0; i < 15; ++i) {
+    QueryViewPair pair = gen.NextPair(config);
+    ViewRegistry views;
+    ASSERT_OK(views.Register(pair.view));
+
+    // A fresh outer query over the view's outputs.
+    std::vector<std::string> outs;
+    for (size_t p = 0; p < pair.view.query.select.size(); ++p) {
+      outs.push_back("o" + std::to_string(p));
+    }
+    Query outer;
+    outer.from.push_back(TableRef{pair.view.name, outs});
+    outer.select.push_back(SelectItem::MakeColumn(outs[0]));
+    if (outs.size() > 1) {
+      outer.select.push_back(
+          SelectItem::MakeAggregate(AggFn::kCount, outs[1], "n"));
+      outer.group_by.push_back(outs[0]);
+    }
+
+    int flattened = 0;
+    ASSERT_OK_AND_ASSIGN(Query flat,
+                         FlattenViews(outer, views, nullptr, &flattened));
+    flattened_total += flattened;
+    Database db = gen.NextDatabase(12, 3);
+    ExpectQueriesEquivalentOn(outer, flat, db, &views);
+  }
+  EXPECT_GT(flattened_total, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FlattenSweepTest, ::testing::Range(0, 5));
+
+// ---------------------------------------------------------------------------
+// Optimizer never changes answers: for random pairs with the view
+// materialized, Optimizer::Run == direct evaluation.
+// ---------------------------------------------------------------------------
+
+class OptimizerSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerSweepTest, RunMatchesDirectEvaluation) {
+  RandomWorkloadGen gen(2600 + GetParam());
+  RandomPairConfig config;
+  config.query_aggregation = true;
+  config.view_aggregation = (GetParam() % 2) == 1;
+  for (int i = 0; i < 15; ++i) {
+    QueryViewPair pair = gen.NextPair(config);
+    ViewRegistry views;
+    ASSERT_OK(views.Register(pair.view));
+    Database db = gen.NextDatabase(15, 3);
+    {
+      Evaluator eval(&db, &views);
+      Result<Table> contents = eval.MaterializeView(pair.view.name);
+      ASSERT_TRUE(contents.ok());
+      db.Put(pair.view.name, *std::move(contents));
+    }
+    Optimizer optimizer(&db, &views, &gen.catalog());
+    Result<Table> optimized = optimizer.Run(pair.query);
+    ASSERT_TRUE(optimized.ok()) << optimized.status();
+    Evaluator eval(&db, &views);
+    ASSERT_OK_AND_ASSIGN(Table direct, eval.Execute(pair.query));
+    EXPECT_TRUE(MultisetEqual(*optimized, direct))
+        << "Q: " << ToSql(pair.query) << "\nV: " << ToSql(pair.view);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OptimizerSweepTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace aqv

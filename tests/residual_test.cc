@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "reason/closure.h"
+#include "reason/residual.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+Operand Col(const std::string& c) { return Operand::Column(c); }
+Operand Int(int64_t v) { return Operand::Constant(Value::Int64(v)); }
+Predicate P(Operand a, CmpOp op, Operand b) {
+  return Predicate{std::move(a), op, std::move(b)};
+}
+
+// Checks the defining property of condition C3: query ≡ view ∧ residual.
+void ExpectResidualCorrect(const std::vector<Predicate>& query,
+                           const std::vector<Predicate>& view,
+                           const std::vector<Predicate>& residual,
+                           const std::set<std::string>& allowed) {
+  std::vector<Predicate> combined = view;
+  combined.insert(combined.end(), residual.begin(), residual.end());
+  EXPECT_TRUE(Equivalent(query, combined));
+  for (const Predicate& p : residual) {
+    for (const std::string& c : p.ReferencedColumns()) {
+      EXPECT_TRUE(allowed.count(c) > 0) << "residual uses forbidden " << c;
+    }
+  }
+}
+
+TEST(ResidualTest, Example31) {
+  // Conds(Q) = {A1 = C1, B1 = 6, D1 = 6}; φ(Conds(V)) = {A1 = C1, B1 = D1};
+  // allowed = φ(Sel(V)) = {C1, D1}. Expected residual ≡ {D1 = 6}.
+  std::vector<Predicate> query = {P(Col("A1"), CmpOp::kEq, Col("C1")),
+                                  P(Col("B1"), CmpOp::kEq, Int(6)),
+                                  P(Col("D1"), CmpOp::kEq, Int(6))};
+  std::vector<Predicate> view = {P(Col("A1"), CmpOp::kEq, Col("C1")),
+                                 P(Col("B1"), CmpOp::kEq, Col("D1"))};
+  std::set<std::string> allowed = {"C1", "D1"};
+  ASSERT_OK_AND_ASSIGN(std::vector<Predicate> residual,
+                       ComputeResidual(query, view, allowed));
+  ExpectResidualCorrect(query, view, residual, allowed);
+  ASSERT_OK_AND_ASSIGN(ConstraintClosure rc, ConstraintClosure::Build(residual));
+  EXPECT_TRUE(rc.Implies(P(Col("D1"), CmpOp::kEq, Int(6))));
+}
+
+TEST(ResidualTest, ViewStrongerThanQueryIsUnusable) {
+  // The view enforces B = 1; the query does not.
+  std::vector<Predicate> query = {P(Col("A"), CmpOp::kEq, Int(2))};
+  std::vector<Predicate> view = {P(Col("B"), CmpOp::kEq, Int(1))};
+  Result<std::vector<Predicate>> r = ComputeResidual(query, view, {"A", "B"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnusable);
+}
+
+TEST(ResidualTest, QueryConstraintOnProjectedOutColumnIsUnusable) {
+  // The query constrains B, but B is not among the allowed columns (the
+  // view projected it out).
+  std::vector<Predicate> query = {P(Col("B"), CmpOp::kEq, Int(1))};
+  std::vector<Predicate> view = {};
+  Result<std::vector<Predicate>> r = ComputeResidual(query, view, {"A"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnusable);
+}
+
+TEST(ResidualTest, EqualityChainRescuesProjectedColumn) {
+  // Query constrains B = 1 and A = B; with A allowed, residual A = 1 works
+  // because the view enforces A = B.
+  std::vector<Predicate> query = {P(Col("B"), CmpOp::kEq, Int(1)),
+                                  P(Col("A"), CmpOp::kEq, Col("B"))};
+  std::vector<Predicate> view = {P(Col("A"), CmpOp::kEq, Col("B"))};
+  std::set<std::string> allowed = {"A"};
+  ASSERT_OK_AND_ASSIGN(std::vector<Predicate> residual,
+                       ComputeResidual(query, view, allowed));
+  ExpectResidualCorrect(query, view, residual, allowed);
+}
+
+TEST(ResidualTest, EmptyResidualWhenViewMatchesExactly) {
+  std::vector<Predicate> conds = {P(Col("A"), CmpOp::kEq, Col("B")),
+                                  P(Col("B"), CmpOp::kLt, Int(10))};
+  ASSERT_OK_AND_ASSIGN(std::vector<Predicate> residual,
+                       ComputeResidual(conds, conds, {}));
+  EXPECT_TRUE(residual.empty());
+}
+
+TEST(ResidualTest, InequalityResidual) {
+  std::vector<Predicate> query = {P(Col("A"), CmpOp::kLt, Int(10)),
+                                  P(Col("B"), CmpOp::kGe, Int(3))};
+  std::vector<Predicate> view = {P(Col("A"), CmpOp::kLt, Int(10))};
+  std::set<std::string> allowed = {"A", "B"};
+  ASSERT_OK_AND_ASSIGN(std::vector<Predicate> residual,
+                       ComputeResidual(query, view, allowed));
+  ExpectResidualCorrect(query, view, residual, allowed);
+}
+
+TEST(ResidualTest, UnsatisfiableQueryYieldsFalseResidual) {
+  std::vector<Predicate> query = {P(Col("A"), CmpOp::kLt, Col("A"))};
+  ASSERT_OK_AND_ASSIGN(std::vector<Predicate> residual,
+                       ComputeResidual(query, {}, {}));
+  EXPECT_FALSE(Satisfiable(residual));
+}
+
+TEST(ResidualTest, MinimizationDropsRedundantAtoms) {
+  std::vector<Predicate> conds = {P(Col("A"), CmpOp::kEq, Col("B")),
+                                  P(Col("B"), CmpOp::kEq, Col("C")),
+                                  P(Col("A"), CmpOp::kEq, Col("C"))};
+  std::vector<Predicate> minimized = MinimizeConditions(conds, {});
+  EXPECT_EQ(minimized.size(), 2u);
+  EXPECT_TRUE(Equivalent(conds, minimized));
+}
+
+TEST(ResidualTest, MinimizationAgainstBase) {
+  std::vector<Predicate> base = {P(Col("A"), CmpOp::kEq, Col("B"))};
+  std::vector<Predicate> conds = {P(Col("A"), CmpOp::kEq, Col("B")),
+                                  P(Col("B"), CmpOp::kLt, Int(5))};
+  std::vector<Predicate> minimized = MinimizeConditions(conds, base);
+  ASSERT_EQ(minimized.size(), 1u);
+  EXPECT_EQ(minimized[0].op, CmpOp::kLt);
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,485 @@
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+#include "workload/random_db.h"
+
+namespace aqv {
+namespace {
+
+Catalog PaperCatalog() {
+  Catalog c;
+  EXPECT_TRUE(c.AddTable(TableDef("R1", {"A", "B", "C", "D"})).ok());
+  EXPECT_TRUE(c.AddTable(TableDef("R2", {"E", "F"})).ok());
+  return c;
+}
+
+void ExpectEquivalentOnRandomData(const Query& q, const Query& rewritten,
+                                  const ViewRegistry& views, int rounds = 5,
+                                  int rows = 30, int domain = 4) {
+  Catalog catalog = PaperCatalog();
+  for (int seed = 0; seed < rounds; ++seed) {
+    Database db = MakeRandomDatabase(catalog, rows, domain, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Example 4.1 (coalescing subgroups): COUNT over coarser groups becomes a
+// SUM of the view's finer-grained COUNTs.
+// ---------------------------------------------------------------------------
+
+Query Example41Query() {
+  return QueryBuilder()
+      .From("R1", {"A1", "B1", "C1", "D1"})
+      .From("R2", {"E1", "F1"})
+      .Select("A1")
+      .Select("E1")
+      .SelectAgg(AggFn::kCount, "B1", "n")
+      .WhereCols("C1", CmpOp::kEq, "F1")
+      .WhereCols("B1", CmpOp::kEq, "D1")
+      .GroupBy("A1")
+      .GroupBy("E1")
+      .BuildOrDie();
+}
+
+ViewDef Example41View() {
+  return ViewDef{"V1", QueryBuilder()
+                           .From("R1", {"A2", "B2", "C2", "D2"})
+                           .Select("A2")
+                           .Select("C2")
+                           .SelectAgg(AggFn::kCount, "D2", "cnt")
+                           .WhereCols("B2", CmpOp::kEq, "D2")
+                           .GroupBy("A2")
+                           .GroupBy("C2")
+                           .BuildOrDie()};
+}
+
+TEST(AggregateRewriteTest, Example41CoalescingSubgroups) {
+  Query q = Example41Query();
+  ViewRegistry views;
+  ASSERT_OK(views.Register(Example41View()));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V1"));
+
+  // Q': SELECT A1, E1, SUM(N1) FROM V1(A1, C1, N1), R2(E1, F1)
+  //     WHERE C1 = F1 GROUPBY A1, E1.
+  ASSERT_EQ(rewritten.from.size(), 2u);
+  EXPECT_EQ(rewritten.from[0].table, "R2");
+  EXPECT_EQ(rewritten.from[1].table, "V1");
+  ASSERT_EQ(rewritten.select.size(), 3u);
+  EXPECT_EQ(rewritten.select[2].agg, AggFn::kSum);
+  ASSERT_EQ(rewritten.where.size(), 1u);
+  EXPECT_EQ(rewritten.where[0].ToString(), "C1 = F1");
+  EXPECT_EQ(rewritten.group_by, (std::vector<std::string>{"A1", "E1"}));
+  // The SUM's argument is the view's COUNT output.
+  EXPECT_EQ(rewritten.select[2].arg.column, rewritten.from[1].columns[2]);
+
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+// ---------------------------------------------------------------------------
+// Example 4.2 (recovery of lost multiplicities): V1 (no COUNT) is unusable;
+// V2 (with COUNT) is usable via multiplicity weighting.
+// ---------------------------------------------------------------------------
+
+Query Example42Query() {
+  return QueryBuilder()
+      .From("R1", {"A1", "B1", "C1", "D1"})
+      .From("R2", {"E1", "F1"})
+      .Select("A1")
+      .SelectAgg(AggFn::kSum, "E1", "s")
+      .GroupBy("A1")
+      .BuildOrDie();
+}
+
+TEST(AggregateRewriteTest, Example42ViewWithoutCountIsUnusable) {
+  Query q = Example42Query();
+  ViewDef v1{"V1", QueryBuilder()
+                       .From("R1", {"A2", "B2", "C2", "D2"})
+                       .Select("A2")
+                       .Select("B2")
+                       .SelectAgg(AggFn::kSum, "C2", "s")
+                       .GroupBy("A2")
+                       .GroupBy("B2")
+                       .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v1));
+  Rewriter rewriter(&views);
+  Result<Query> r = rewriter.RewriteUsingView(q, "V1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnusable);
+}
+
+TEST(AggregateRewriteTest, Example42CountColumnRecoversMultiplicities) {
+  Query q = Example42Query();
+  ViewDef v2{"V2", QueryBuilder()
+                       .From("R1", {"A3", "B3", "C3", "D3"})
+                       .Select("A3")
+                       .Select("B3")
+                       .SelectAgg(AggFn::kSum, "C3", "s")
+                       .SelectAgg(AggFn::kCount, "C3", "cnt")
+                       .GroupBy("A3")
+                       .GroupBy("B3")
+                       .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v2));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V2"));
+
+  // SUM(E1) is re-weighted by the view's COUNT column: SUM(E1 * N).
+  ASSERT_EQ(rewritten.select.size(), 2u);
+  EXPECT_EQ(rewritten.select[1].agg, AggFn::kSum);
+  EXPECT_EQ(rewritten.select[1].arg.column, "E1");
+  EXPECT_FALSE(rewritten.select[1].arg.multiplier.empty());
+
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+// ---------------------------------------------------------------------------
+// Example 4.3 = Example 4.1 checked via conditions; covered above.
+// Example 4.4: a query condition on an aggregated view column blocks use.
+// ---------------------------------------------------------------------------
+
+TEST(AggregateRewriteTest, Example44ConstrainedAggColumnIsUnusable) {
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .From("R2", {"E1", "F1"})
+                .Select("A1")
+                .Select("E1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .WhereCols("B1", CmpOp::kEq, "F1")
+                .GroupBy("A1")
+                .GroupBy("E1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .From("R2", {"E2", "F2"})
+                     .Select("A2")
+                     .Select("E2")
+                     .Select("F2")
+                     .SelectAgg(AggFn::kSum, "B2", "s")
+                     .GroupBy("A2")
+                     .GroupBy("E2")
+                     .GroupBy("F2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  Result<Query> r = rewriter.RewriteUsingView(q, "V");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnusable);
+}
+
+TEST(AggregateRewriteTest, Example44WithoutWhereIsUsable) {
+  // The same pair minus the blocking WHERE clause is usable.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .From("R2", {"E1", "F1"})
+                .Select("A1")
+                .Select("E1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")
+                .GroupBy("E1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .From("R2", {"E2", "F2"})
+                     .Select("A2")
+                     .Select("E2")
+                     .Select("F2")
+                     .SelectAgg(AggFn::kSum, "B2", "s")
+                     .GroupBy("A2")
+                     .GroupBy("E2")
+                     .GroupBy("F2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+// ---------------------------------------------------------------------------
+// Example 4.5: an aggregation view cannot answer a conjunctive query.
+// ---------------------------------------------------------------------------
+
+TEST(AggregateRewriteTest, Example45ConjunctiveQueryRefused) {
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .Select("B1")
+                .BuildOrDie();
+  ViewDef v{"V1", QueryBuilder()
+                      .From("R1", {"A2", "B2", "C2", "D2"})
+                      .Select("A2")
+                      .Select("B2")
+                      .SelectAgg(AggFn::kCount, "C2", "cnt")
+                      .GroupBy("A2")
+                      .GroupBy("B2")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  Result<Query> r = rewriter.RewriteUsingView(q, "V1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnusable);
+}
+
+// ---------------------------------------------------------------------------
+// Further Section 4 behaviours.
+// ---------------------------------------------------------------------------
+
+TEST(AggregateRewriteTest, SumOfSumsCoalesces) {
+  // Query sums a column the view already summed at finer granularity.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "D1", "s")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .SelectAgg(AggFn::kSum, "D2", "s")
+                     .GroupBy("A2")
+                     .GroupBy("B2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  EXPECT_EQ(rewritten.select[1].agg, AggFn::kSum);
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+TEST(AggregateRewriteTest, MinOfMinsAndMaxOfMaxes) {
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kMin, "C1", "lo")
+                .SelectAgg(AggFn::kMax, "D1", "hi")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .SelectAgg(AggFn::kMin, "C2", "lo")
+                     .SelectAgg(AggFn::kMax, "D2", "hi")
+                     .GroupBy("A2")
+                     .GroupBy("B2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+TEST(AggregateRewriteTest, MinOfWrongExtremumIsUnusable) {
+  // The view kept MAX(C) but the query wants MIN(C), and C is aggregated
+  // away — unusable.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kMin, "C1", "lo")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .SelectAgg(AggFn::kMax, "C2", "hi")
+                     .GroupBy("A2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "V").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(AggregateRewriteTest, MinOverGroupingColumnOfView) {
+  // MIN over a column the view grouped by: the plain output suffices.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kMin, "B1", "lo")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .SelectAgg(AggFn::kCount, "C2", "cnt")
+                     .GroupBy("A2")
+                     .GroupBy("B2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+TEST(AggregateRewriteTest, SumOverGroupingColumnNeedsCount) {
+  // SUM over a view grouping column: needs the COUNT column for weighting.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef with_count{"Vc", QueryBuilder()
+                               .From("R1", {"A2", "B2", "C2", "D2"})
+                               .Select("A2")
+                               .Select("B2")
+                               .SelectAgg(AggFn::kCount, "C2", "cnt")
+                               .GroupBy("A2")
+                               .GroupBy("B2")
+                               .BuildOrDie()};
+  ViewDef without_count{"Vn", QueryBuilder()
+                                  .From("R1", {"A3", "B3", "C3", "D3"})
+                                  .Select("A3")
+                                  .Select("B3")
+                                  .SelectAgg(AggFn::kMax, "C3", "hi")
+                                  .GroupBy("A3")
+                                  .GroupBy("B3")
+                                  .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(with_count));
+  ASSERT_OK(views.Register(without_count));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "Vc"));
+  EXPECT_FALSE(rewritten.select[1].arg.multiplier.empty());
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "Vn").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(AggregateRewriteTest, CountBecomesSumOfCounts) {
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kCount, "D1", "n")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .SelectAgg(AggFn::kCount, "D2", "cnt")
+                     .GroupBy("A2")
+                     .GroupBy("B2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  EXPECT_EQ(rewritten.select[1].agg, AggFn::kSum);
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+TEST(AggregateRewriteTest, AvgRecoveredAsRatio) {
+  // Section 4.4: AVG(D) through a view with SUM and COUNT becomes
+  // SUM(s)/SUM(n).
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kAvg, "D1", "avg_d")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .SelectAgg(AggFn::kSum, "D2", "s")
+                     .SelectAgg(AggFn::kCount, "D2", "cnt")
+                     .GroupBy("A2")
+                     .GroupBy("B2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  EXPECT_EQ(rewritten.select[1].kind, SelectItem::Kind::kRatio);
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+TEST(AggregateRewriteTest, SumRecoveredFromAvgTimesCount) {
+  // Section 4.4 the other way: the view kept AVG and COUNT; SUM = AVG*COUNT.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "D1", "s")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .SelectAgg(AggFn::kAvg, "D2", "a")
+                     .SelectAgg(AggFn::kCount, "D2", "cnt")
+                     .GroupBy("A2")
+                     .GroupBy("B2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  EXPECT_EQ(rewritten.select[1].agg, AggFn::kSum);
+  EXPECT_FALSE(rewritten.select[1].arg.multiplier.empty());
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+TEST(AggregateRewriteTest, ResidualOnViewGroupingColumnAllowed) {
+  // Extra query conditions on a view *grouping* column are fine (contrast
+  // with Example 4.4, where the condition touched an aggregated column).
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kCount, "B1", "n")
+                .WhereConst("B1", CmpOp::kEq, Value::Int64(2))
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .SelectAgg(AggFn::kCount, "C2", "cnt")
+                     .GroupBy("A2")
+                     .GroupBy("B2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  ASSERT_EQ(rewritten.where.size(), 1u);
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+TEST(AggregateRewriteTest, GlobalAggregateFromGroupedView) {
+  // A global COUNT over R1 from a grouped view with a COUNT column.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .SelectAgg(AggFn::kCount, "A1", "n")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .SelectAgg(AggFn::kCount, "B2", "cnt")
+                     .GroupBy("A2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+#include "workload/random_db.h"
+
+namespace aqv {
+namespace {
+
+// Example 3.1's query Q over R1(A,B), R2(C,D).
+Query Example31Query() {
+  return QueryBuilder()
+      .From("R1", {"A1", "B1"})
+      .From("R2", {"C1", "D1"})
+      .Select("A1")
+      .SelectAgg(AggFn::kSum, "B1", "s")
+      .WhereCols("A1", CmpOp::kEq, "C1")
+      .WhereConst("B1", CmpOp::kEq, Value::Int64(6))
+      .WhereConst("D1", CmpOp::kEq, Value::Int64(6))
+      .GroupBy("A1")
+      .BuildOrDie();
+}
+
+// Example 3.1's view V1.
+ViewDef Example31View() {
+  return ViewDef{"V1", QueryBuilder()
+                           .From("R1", {"A2", "B2"})
+                           .From("R2", {"C2", "D2"})
+                           .Select("C2")
+                           .Select("D2")
+                           .WhereCols("A2", CmpOp::kEq, "C2")
+                           .WhereCols("B2", CmpOp::kEq, "D2")
+                           .BuildOrDie()};
+}
+
+Catalog TwoTableCatalog() {
+  Catalog c;
+  EXPECT_TRUE(c.AddTable(TableDef("R1", {"A", "B"})).ok());
+  EXPECT_TRUE(c.AddTable(TableDef("R2", {"C", "D"})).ok());
+  return c;
+}
+
+TEST(ConjunctiveRewriteTest, Example31ProducesPaperRewriting) {
+  Query q = Example31Query();
+  ViewDef v = Example31View();
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V1"));
+
+  // Q': SELECT C1, SUM(D1) FROM V1(C1, D1) WHERE D1 = 6 GROUPBY C1.
+  ASSERT_EQ(rewritten.from.size(), 1u);
+  EXPECT_EQ(rewritten.from[0].table, "V1");
+  EXPECT_EQ(rewritten.from[0].columns, (std::vector<std::string>{"C1", "D1"}));
+  ASSERT_EQ(rewritten.select.size(), 2u);
+  EXPECT_EQ(rewritten.select[0].column, "C1");
+  EXPECT_EQ(rewritten.select[1].arg.column, "D1");
+  EXPECT_EQ(rewritten.group_by, (std::vector<std::string>{"C1"}));
+  ASSERT_EQ(rewritten.where.size(), 1u);
+  EXPECT_EQ(rewritten.where[0].ToString(), "D1 = 6");
+
+  // Multiset-equivalence over random data (Theorem 3.1 soundness).
+  Catalog catalog = TwoTableCatalog();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 40, 8, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(ConjunctiveRewriteTest, ConditionC2FailureWhenColumnProjectedOut) {
+  // The view projects out everything the query needs to group on.
+  Query q = Example31Query();
+  ViewDef v{"V2", QueryBuilder()
+                      .From("R1", {"A2", "B2"})
+                      .From("R2", {"C2", "D2"})
+                      .Select("D2")
+                      .WhereCols("A2", CmpOp::kEq, "C2")
+                      .WhereCols("B2", CmpOp::kEq, "D2")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  Result<Query> r = rewriter.RewriteUsingView(q, "V2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnusable);
+}
+
+TEST(ConjunctiveRewriteTest, ConditionC3FailureWhenViewStronger) {
+  // The view enforces B2 = 7, which the query does not entail.
+  Query q = Example31Query();
+  ViewDef v{"V3", QueryBuilder()
+                      .From("R1", {"A2", "B2"})
+                      .From("R2", {"C2", "D2"})
+                      .Select("C2")
+                      .Select("D2")
+                      .WhereConst("B2", CmpOp::kEq, Value::Int64(7))
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "V3").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(ConjunctiveRewriteTest, ConditionC3FailureWhenResidualNeedsHiddenColumn) {
+  // The view is weaker than the query (no B2 = D2), and B is projected out,
+  // so the missing condition cannot be re-enforced.
+  Query q = Example31Query();
+  ViewDef v{"V4", QueryBuilder()
+                      .From("R1", {"A2", "B2"})
+                      .From("R2", {"C2", "D2"})
+                      .Select("C2")
+                      .Select("D2")
+                      .WhereCols("A2", CmpOp::kEq, "C2")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  // B1 = 6 must be enforced; B1 is hidden. However D1 is selected and the
+  // query entails B1 = 6 only — not expressible. Unusable.
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "V4").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(ConjunctiveRewriteTest, WeakerViewUsableWhenResidualExpressible) {
+  // Like V4, but the view also selects B2, so B1 = 6 lands in the residual.
+  Query q = Example31Query();
+  ViewDef v{"V5", QueryBuilder()
+                      .From("R1", {"A2", "B2"})
+                      .From("R2", {"C2", "D2"})
+                      .Select("B2")
+                      .Select("C2")
+                      .Select("D2")
+                      .WhereCols("A2", CmpOp::kEq, "C2")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V5"));
+  EXPECT_EQ(rewritten.from.size(), 1u);
+  Catalog catalog = TwoTableCatalog();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 40, 8, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(ConjunctiveRewriteTest, PartialReplacementKeepsOtherTables) {
+  // View covers only R1; R2 stays in the rewritten FROM clause.
+  Query q = Example31Query();
+  ViewDef v{"V6", QueryBuilder()
+                      .From("R1", {"A2", "B2"})
+                      .Select("A2")
+                      .Select("B2")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V6"));
+  ASSERT_EQ(rewritten.from.size(), 2u);
+  EXPECT_EQ(rewritten.from[0].table, "R2");
+  EXPECT_EQ(rewritten.from[1].table, "V6");
+  Catalog catalog = TwoTableCatalog();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 40, 8, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(ConjunctiveRewriteTest, CountUsesAnyViewColumn) {
+  // COUNT(B1) with B1 projected out still works (step S4).
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kCount, "B1", "n")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V7", QueryBuilder()
+                      .From("R1", {"A2", "B2"})
+                      .Select("A2")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V7"));
+  EXPECT_EQ(rewritten.select[1].arg.column, "A1");
+  Catalog catalog = TwoTableCatalog();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 30, 5, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(ConjunctiveRewriteTest, SumRequiresTheColumn) {
+  // SUM(B1) with B1 projected out is unusable (condition C4 part 1).
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V8", QueryBuilder()
+                      .From("R1", {"A2", "B2"})
+                      .Select("A2")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "V8").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(ConjunctiveRewriteTest, EquivalentColumnSubstitutes) {
+  // Condition C2's "Conds(Q) implies A = φ(B_A)": the view selects D2 only,
+  // but the query equates B1 with D1, so D substitutes for B.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .From("R2", {"C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .WhereCols("B1", CmpOp::kEq, "D1")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V9", QueryBuilder()
+                      .From("R1", {"A2", "B2"})
+                      .From("R2", {"C2", "D2"})
+                      .Select("A2")
+                      .Select("D2")
+                      .WhereCols("B2", CmpOp::kEq, "D2")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V9"));
+  EXPECT_EQ(rewritten.select[1].arg.column, "D1");
+  Catalog catalog = TwoTableCatalog();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 40, 6, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(ConjunctiveRewriteTest, ConjunctiveQueryConjunctiveView) {
+  // The Section 3 conditions also cover plain conjunctive queries.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .From("R2", {"C1", "D1"})
+                .Select("A1")
+                .Select("D1")
+                .WhereCols("A1", CmpOp::kEq, "C1")
+                .BuildOrDie();
+  ViewDef v{"V10", QueryBuilder()
+                       .From("R1", {"A2", "B2"})
+                       .From("R2", {"C2", "D2"})
+                       .Select("A2")
+                       .Select("D2")
+                       .WhereCols("A2", CmpOp::kEq, "C2")
+                       .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V10"));
+  EXPECT_TRUE(rewritten.IsConjunctive());
+  Catalog catalog = TwoTableCatalog();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 40, 6, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(ConjunctiveRewriteTest, InequalityPredicatesStillSufficient) {
+  // Theorem 3.1: with inequality predicates the conditions stay sufficient.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kMin, "B1", "m")
+                .WhereConst("B1", CmpOp::kLt, Value::Int64(5))
+                .WhereConst("A1", CmpOp::kGe, Value::Int64(2))
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V11", QueryBuilder()
+                       .From("R1", {"A2", "B2"})
+                       .Select("A2")
+                       .Select("B2")
+                       .WhereConst("B2", CmpOp::kLt, Value::Int64(5))
+                       .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V11"));
+  Catalog catalog = TwoTableCatalog();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 40, 8, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(ConjunctiveRewriteTest, SelfJoinViewNeedsOneToOne) {
+  // Under multiset semantics a many-to-1 mapping is rejected (condition C1):
+  // with no keys declared, a self-join view is only usable via bijections.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .Select("A1")
+                .BuildOrDie();
+  ViewDef v{"V12", QueryBuilder()
+                       .From("R1", {"A2", "B2"})
+                       .From("R1", {"A3", "B3"})
+                       .Select("A2")
+                       .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  // The view has two R1 occurrences but the query has one: no 1-1 mapping.
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "V12").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(ConjunctiveRewriteTest, MultipleMappingsEnumerated) {
+  // A self-join query and a single-table view: the view can replace either
+  // occurrence.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .From("R1", {"A2", "B2"})
+                .Select("A1")
+                .Select("A2")
+                .BuildOrDie();
+  ViewDef v{"V13", QueryBuilder()
+                       .From("R1", {"X", "Y"})
+                       .Select("X")
+                       .Select("Y")
+                       .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(std::vector<Rewriting> rewritings,
+                       rewriter.RewritingsUsingView(q, "V13"));
+  EXPECT_EQ(rewritings.size(), 2u);
+  Catalog catalog = TwoTableCatalog();
+  Database db = MakeRandomDatabase(catalog, 30, 5, 1);
+  for (const Rewriting& r : rewritings) {
+    ExpectQueriesEquivalentOn(q, r.query, db, &views);
+  }
+}
+
+}  // namespace
+}  // namespace aqv

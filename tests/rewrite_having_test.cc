@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+#include "workload/random_db.h"
+
+namespace aqv {
+namespace {
+
+Catalog PaperCatalog() {
+  Catalog c;
+  EXPECT_TRUE(c.AddTable(TableDef("R1", {"A", "B", "C", "D"})).ok());
+  EXPECT_TRUE(c.AddTable(TableDef("R2", {"E", "F"})).ok());
+  return c;
+}
+
+void ExpectEquivalentOnRandomData(const Query& q, const Query& rewritten,
+                                  const ViewRegistry& views) {
+  Catalog catalog = PaperCatalog();
+  for (int seed = 0; seed < 5; ++seed) {
+    Database db = MakeRandomDatabase(catalog, 30, 4, seed);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(HavingRewriteTest, HavingSurvivesConjunctiveViewRewrite) {
+  // Section 3.3: the HAVING clause is carried over with renamed columns.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")
+                .HavingAgg(AggFn::kSum, "B1", CmpOp::kGt, Value::Int64(5))
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  ASSERT_EQ(rewritten.having.size(), 1u);
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+TEST(HavingRewriteTest, NormalizationEnablesUsability) {
+  // Q has HAVING A1 >= 2; the view enforces A2 >= 2 in its WHERE. Only the
+  // Section 3.3 move-around makes Conds(Q) entail φ(Conds(V)).
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")
+                .HavingCol("A1", CmpOp::kGe, Value::Int64(2))
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .WhereConst("A2", CmpOp::kGe, Value::Int64(2))
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+
+  RewriteOptions with_norm;
+  with_norm.normalize_having = true;
+  Rewriter rewriter(&views, nullptr, with_norm);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+
+  RewriteOptions without_norm;
+  without_norm.normalize_having = false;
+  Rewriter strict(&views, nullptr, without_norm);
+  EXPECT_EQ(strict.RewriteUsingView(q, "V").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(HavingRewriteTest, CountOnlyInHavingStillNeedsViewSupport) {
+  // Section 3.3 extension of C4 to aggregation columns in GConds(Q): a
+  // COUNT in HAVING is computable from any view column (step S4).
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .GroupBy("A1")
+                .HavingAgg(AggFn::kCount, "B1", CmpOp::kGe, Value::Int64(2))
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+TEST(HavingRewriteTest, SumOnlyInHavingNeedsColumn) {
+  // SUM in HAVING over a projected-out column: unusable.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .GroupBy("A1")
+                .HavingAgg(AggFn::kSum, "B1", CmpOp::kGe, Value::Int64(2))
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "V").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(HavingRewriteTest, AggregateViewHavingEntailedByQuery) {
+  // Section 4.3: both grouped on A; the view's HAVING SUM(B) > 2 is
+  // entailed by the query's HAVING SUM(B) > 5, and no coalescing occurs.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")
+                .HavingAgg(AggFn::kSum, "B1", CmpOp::kGt, Value::Int64(5))
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .SelectAgg(AggFn::kSum, "B2", "s")
+                     .SelectAgg(AggFn::kCount, "B2", "cnt")
+                     .GroupBy("A2")
+                     .HavingAgg(AggFn::kSum, "B2", CmpOp::kGt, Value::Int64(2))
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+TEST(HavingRewriteTest, AggregateViewHavingNotEntailedRefused) {
+  // The view discards groups with SUM(B) <= 10; the query wants SUM(B) > 5,
+  // so groups with 5 < SUM <= 10 would be missing.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .GroupBy("A1")
+                .HavingAgg(AggFn::kSum, "B1", CmpOp::kGt, Value::Int64(5))
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .SelectAgg(AggFn::kSum, "B2", "s")
+                     .GroupBy("A2")
+                     .HavingAgg(AggFn::kSum, "B2", CmpOp::kGt, Value::Int64(10))
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "V").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(HavingRewriteTest, AggregateViewHavingWithCoalescingRefused) {
+  // The view's HAVING holds per (A,B) subgroup; the query coalesces the B
+  // dimension, so discarded subgroups are needed — unusable (Section 4.3).
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kCount, "B1", "n")
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .SelectAgg(AggFn::kCount, "C2", "cnt")
+                     .GroupBy("A2")
+                     .GroupBy("B2")
+                     .HavingAgg(AggFn::kCount, "C2", CmpOp::kGt, Value::Int64(1))
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "V").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(HavingRewriteTest, ViewHavingOnGroupingColumnNormalizesAway) {
+  // The view's HAVING A2 >= 1 moves to its WHERE during normalization, so
+  // the view is usable whenever the query enforces A1 >= 1.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kCount, "B1", "n")
+                .WhereConst("A1", CmpOp::kGe, Value::Int64(1))
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .Select("B2")
+                     .SelectAgg(AggFn::kCount, "C2", "cnt")
+                     .GroupBy("A2")
+                     .GroupBy("B2")
+                     .HavingCol("A2", CmpOp::kGe, Value::Int64(1))
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V"));
+  ExpectEquivalentOnRandomData(q, rewritten, views);
+}
+
+TEST(HavingRewriteTest, ScaleSensitiveViewHavingWithJoinRefused) {
+  // The view's HAVING constrains a SUM, and the query joins another table:
+  // group contents are multiplied, so the identification is invalid.
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1", "D1"})
+                .From("R2", {"E1", "F1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .WhereCols("A1", CmpOp::kEq, "E1")
+                .GroupBy("A1")
+                .HavingAgg(AggFn::kSum, "B1", CmpOp::kGt, Value::Int64(5))
+                .BuildOrDie();
+  ViewDef v{"V", QueryBuilder()
+                     .From("R1", {"A2", "B2", "C2", "D2"})
+                     .Select("A2")
+                     .SelectAgg(AggFn::kSum, "B2", "s")
+                     .SelectAgg(AggFn::kCount, "B2", "cnt")
+                     .GroupBy("A2")
+                     .HavingAgg(AggFn::kSum, "B2", CmpOp::kGt, Value::Int64(5))
+                     .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "V").status().code(),
+            StatusCode::kUnusable);
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,226 @@
+#include <random>
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "rewrite/rewriter.h"
+#include "rewrite/set_rewriter.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+// R1(A,B,C) with key A, as in Example 5.1.
+Catalog KeyedCatalog() {
+  Catalog c;
+  TableDef r1("R1", {"A", "B", "C"});
+  EXPECT_TRUE(r1.AddKeyByName({"A"}).ok());
+  EXPECT_TRUE(c.AddTable(r1).ok());
+  TableDef r2("R2", {"D", "E"});
+  EXPECT_TRUE(c.AddTable(r2).ok());  // no key: a multiset table
+  return c;
+}
+
+// A keyed instance of R1 (distinct A values) and an unkeyed R2.
+Database KeyedDatabase(uint64_t seed, int rows, int domain) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> dist(0, domain - 1);
+  Database db;
+  Table r1({"A", "B", "C"});
+  for (int i = 0; i < rows; ++i) {
+    r1.AddRowOrDie({Value::Int64(i), Value::Int64(dist(rng)),
+                    Value::Int64(dist(rng))});
+  }
+  db.Put("R1", std::move(r1));
+  Table r2({"D", "E"});
+  for (int i = 0; i < rows; ++i) {
+    r2.AddRowOrDie({Value::Int64(dist(rng)), Value::Int64(dist(rng))});
+  }
+  db.Put("R2", std::move(r2));
+  return db;
+}
+
+TEST(SetAnalysisTest, DistinctIsAlwaysSet) {
+  Catalog c = KeyedCatalog();
+  Query q = QueryBuilder()
+                .From("R2", {"D1", "E1"})
+                .Distinct()
+                .Select("D1")
+                .BuildOrDie();
+  EXPECT_TRUE(IsSetQuery(q, c, nullptr));
+}
+
+TEST(SetAnalysisTest, KeyedProjectionIsSet) {
+  Catalog c = KeyedCatalog();
+  // Prop 5.1: selecting the key keeps the result a set.
+  Query with_key = QueryBuilder()
+                       .From("R1", {"A1", "B1", "C1"})
+                       .Select("A1")
+                       .Select("B1")
+                       .BuildOrDie();
+  EXPECT_TRUE(IsSetQuery(with_key, c, nullptr));
+  // Dropping the key loses set-ness.
+  Query without_key = QueryBuilder()
+                          .From("R1", {"A1", "B1", "C1"})
+                          .Select("B1")
+                          .BuildOrDie();
+  EXPECT_FALSE(IsSetQuery(without_key, c, nullptr));
+}
+
+TEST(SetAnalysisTest, UnkeyedTableIsNotSet) {
+  Catalog c = KeyedCatalog();
+  Query q = QueryBuilder()
+                .From("R2", {"D1", "E1"})
+                .Select("D1")
+                .Select("E1")
+                .BuildOrDie();
+  EXPECT_FALSE(IsSetQuery(q, c, nullptr));  // Prop 5.2
+}
+
+TEST(SetAnalysisTest, JoinNeedsBothKeys) {
+  Catalog c = KeyedCatalog();
+  // Self-join of R1: both occurrence keys must be selected.
+  Query both = QueryBuilder()
+                   .From("R1", {"A1", "B1", "C1"})
+                   .From("R1", {"A2", "B2", "C2"})
+                   .Select("A1")
+                   .Select("A2")
+                   .BuildOrDie();
+  EXPECT_TRUE(IsSetQuery(both, c, nullptr));
+  Query one = QueryBuilder()
+                  .From("R1", {"A1", "B1", "C1"})
+                  .From("R1", {"A2", "B2", "C2"})
+                  .Select("A1")
+                  .BuildOrDie();
+  EXPECT_FALSE(IsSetQuery(one, c, nullptr));
+}
+
+TEST(SetAnalysisTest, ForeignKeyJoinReducesKey) {
+  // Section 5.1's foreign-key-join rule: joining on the second table's key
+  // lets the first table's key alone key the result.
+  Catalog c = KeyedCatalog();
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1"})
+                .From("R1", {"A2", "B2", "C2"})
+                .Select("A1")
+                .WhereCols("B1", CmpOp::kEq, "A2")  // B1 references key A
+                .BuildOrDie();
+  EXPECT_TRUE(IsSetQuery(q, c, nullptr));
+}
+
+TEST(SetAnalysisTest, ConstantPinsColumn) {
+  Catalog c = KeyedCatalog();
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1"})
+                .Select("B1")
+                .WhereConst("A1", CmpOp::kEq, Value::Int64(7))
+                .BuildOrDie();
+  // A1 pinned by a constant: the selected closure covers the key.
+  EXPECT_TRUE(IsSetQuery(q, c, nullptr));
+}
+
+TEST(SetAnalysisTest, GroupedQueryWithAllGroupsSelectedIsSet) {
+  Catalog c = KeyedCatalog();
+  Query q = QueryBuilder()
+                .From("R2", {"D1", "E1"})
+                .Select("D1")
+                .SelectAgg(AggFn::kSum, "E1", "s")
+                .GroupBy("D1")
+                .BuildOrDie();
+  EXPECT_TRUE(IsSetQuery(q, c, nullptr));
+}
+
+TEST(SetRewriteTest, Example51ManyToOneMapping) {
+  // Example 5.1: Q: SELECT A1 FROM R1(A1,B1,C1) WHERE B1 = C1;
+  // V1: SELECT A2, A3 FROM R1(A2,B2,C2), R1(A3,B3,C3) WHERE B2 = C3.
+  Catalog catalog = KeyedCatalog();
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1"})
+                .Select("A1")
+                .WhereCols("B1", CmpOp::kEq, "C1")
+                .BuildOrDie();
+  ViewDef v{"V1", QueryBuilder()
+                      .From("R1", {"A2", "B2", "C2"})
+                      .From("R1", {"A3", "B3", "C3"})
+                      .Select("A2")
+                      .Select("A3")
+                      .WhereCols("B2", CmpOp::kEq, "C3")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+
+  // Without key information the view is not usable (the paper's closing
+  // observation in Example 5.1).
+  Rewriter no_keys(&views);
+  EXPECT_EQ(no_keys.RewriteUsingView(q, "V1").status().code(),
+            StatusCode::kUnusable);
+
+  // With keys, the many-to-1 mapping yields the paper's rewriting.
+  RewriteOptions options;
+  options.use_key_information = true;
+  Rewriter rewriter(&views, &catalog, options);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(q, "V1"));
+  ASSERT_EQ(rewritten.from.size(), 1u);
+  EXPECT_EQ(rewritten.from[0].table, "V1");
+  EXPECT_TRUE(rewritten.distinct);
+  ASSERT_EQ(rewritten.where.size(), 1u);
+  EXPECT_EQ(rewritten.where[0].op, CmpOp::kEq);
+
+  // Semantics over keyed data.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Database db = KeyedDatabase(seed, 30, 6);
+    ExpectQueriesEquivalentOn(q, rewritten, db, &views);
+  }
+}
+
+TEST(SetRewriteTest, ManyToOneRefusedWhenViewNotSet) {
+  // Same shapes, but the view projects out both keys, so its result is not
+  // provably a set; many-to-1 mappings stay forbidden.
+  Catalog catalog = KeyedCatalog();
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1"})
+                .Select("B1")
+                .Distinct()
+                .WhereCols("B1", CmpOp::kEq, "C1")
+                .BuildOrDie();
+  ViewDef v{"V2", QueryBuilder()
+                      .From("R1", {"A2", "B2", "C2"})
+                      .From("R1", {"A3", "B3", "C3"})
+                      .Select("B2")
+                      .Select("B3")
+                      .WhereCols("B2", CmpOp::kEq, "C3")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  RewriteOptions options;
+  options.use_key_information = true;
+  Rewriter rewriter(&views, &catalog, options);
+  EXPECT_EQ(rewriter.RewriteUsingView(q, "V2").status().code(),
+            StatusCode::kUnusable);
+}
+
+TEST(SetRewriteTest, OneToOneStillPreferredWhenAvailable) {
+  // When a 1-1 mapping exists it is returned first, without DISTINCT.
+  Catalog catalog = KeyedCatalog();
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1", "C1"})
+                .Select("A1")
+                .BuildOrDie();
+  ViewDef v{"V3", QueryBuilder()
+                      .From("R1", {"A2", "B2", "C2"})
+                      .Select("A2")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  RewriteOptions options;
+  options.use_key_information = true;
+  Rewriter rewriter(&views, &catalog, options);
+  ASSERT_OK_AND_ASSIGN(std::vector<Rewriting> rewritings,
+                       rewriter.RewritingsUsingView(q, "V3"));
+  ASSERT_FALSE(rewritings.empty());
+  EXPECT_TRUE(rewritings[0].mapping.IsOneToOne());
+  EXPECT_FALSE(rewritings[0].query.distinct);
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,122 @@
+// Robustness: malformed inputs must produce Status errors, never crashes;
+// cyclic view definitions are cut off; the parser survives fuzzed inputs.
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/builder.h"
+#include "parser/parser.h"
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+TEST(RobustnessTest, ParserSurvivesTruncations) {
+  const std::string full =
+      "SELECT A1, SUM(B1 * C1) AS s, SUM(B1) / SUM(C1) AS r "
+      "FROM R1(A1, B1, C1), R2(D1, E1) WHERE A1 = D1 AND B1 <> 'x' "
+      "GROUPBY A1 HAVING SUM(B1) >= 2.5";
+  // Every prefix must either parse or fail cleanly.
+  for (size_t len = 0; len <= full.size(); ++len) {
+    Result<Query> r = ParseQuery(full.substr(0, len));
+    if (len == full.size()) {
+      EXPECT_TRUE(r.ok()) << r.status();
+    }
+  }
+}
+
+TEST(RobustnessTest, ParserSurvivesMutations) {
+  const std::string base =
+      "SELECT A1, COUNT(B1) AS n FROM R1(A1, B1) WHERE A1 < 5 GROUPBY A1";
+  const char kNoise[] = "()=<>,.*/'\"xyz019 ";
+  std::mt19937_64 rng(4242);
+  int parsed = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = base;
+    int edits = 1 + static_cast<int>(rng() % 4);
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng() % mutated.size();
+      mutated[pos] = kNoise[rng() % (sizeof(kNoise) - 1)];
+    }
+    Result<Query> r = ParseQuery(mutated);  // must not crash
+    parsed += r.ok();
+  }
+  // Some mutations still parse (e.g. digit swaps); most fail cleanly.
+  EXPECT_GT(parsed, 0);
+  EXPECT_LT(parsed, 500);
+}
+
+TEST(RobustnessTest, CyclicViewDefinitionsCutOff) {
+  // V_a is defined over V_b and vice versa; materialization must terminate
+  // with an error rather than recursing forever. (Registration itself
+  // cannot catch it: each definition is valid in isolation.)
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{
+      "V_a", QueryBuilder().From("V_b", {"X1"}).Select("X1").BuildOrDie()}));
+  ASSERT_OK(views.Register(ViewDef{
+      "V_b", QueryBuilder().From("V_a", {"Y1"}).Select("Y1").BuildOrDie()}));
+  Database db;
+  Evaluator eval(&db, &views);
+  Result<Table> r = eval.MaterializeView("V_a");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RobustnessTest, SelfReferentialViewCutOff) {
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{
+      "V", QueryBuilder().From("V", {"X1"}).Select("X1").BuildOrDie()}));
+  Database db;
+  Evaluator eval(&db, &views);
+  EXPECT_FALSE(eval.MaterializeView("V").ok());
+}
+
+TEST(RobustnessTest, DeepButAcyclicViewChainWorks) {
+  // A chain of 10 stacked views is within the depth limit.
+  ViewRegistry views;
+  Database db;
+  Table t({"a"});
+  t.AddRowOrDie({Value::Int64(1)});
+  db.Put("T", std::move(t));
+  std::string below = "T";
+  for (int i = 0; i < 10; ++i) {
+    std::string name = "L" + std::to_string(i);
+    ASSERT_OK(views.Register(ViewDef{
+        name, QueryBuilder().From(below, {"X1"}).Select("X1").BuildOrDie()}));
+    below = name;
+  }
+  Evaluator eval(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table result, eval.MaterializeView("L9"));
+  EXPECT_EQ(result.num_rows(), 1u);
+}
+
+TEST(RobustnessTest, RewriterRejectsMalformedInputs) {
+  ViewRegistry views;
+  ASSERT_OK(views.Register(ViewDef{
+      "V", QueryBuilder().From("T", {"X1"}).Select("X1").BuildOrDie()}));
+  Rewriter rewriter(&views);
+  Query bad;  // empty query
+  EXPECT_FALSE(rewriter.RewritingsUsingView(bad, "V").ok());
+  Query q = QueryBuilder().From("T", {"A1"}).Select("A1").BuildOrDie();
+  EXPECT_EQ(rewriter.RewritingsUsingView(q, "NoSuchView").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RobustnessTest, EvaluatorDetectsArityDrift) {
+  // A view whose stored materialization has the wrong arity is rejected
+  // rather than read out of bounds.
+  Database db;
+  Table wrong({"only_one"});
+  wrong.AddRowOrDie({Value::Int64(1)});
+  db.Put("V", std::move(wrong));
+  Query q = QueryBuilder().From("V", {"A1", "B1"}).Select("A1").BuildOrDie();
+  Evaluator eval(&db, nullptr);
+  EXPECT_EQ(eval.Execute(q).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace aqv

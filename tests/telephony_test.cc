@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "ir/printer.h"
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+#include "workload/telephony.h"
+
+namespace aqv {
+namespace {
+
+TEST(TelephonyTest, WorkloadShape) {
+  TelephonyParams params;
+  params.num_calls = 5000;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+  ASSERT_OK_AND_ASSIGN(const Table* calls, w.db.Get("Calls"));
+  EXPECT_EQ(calls->num_rows(), 5000u);
+  ASSERT_OK_AND_ASSIGN(const Table* plans, w.db.Get("Calling_Plans"));
+  EXPECT_EQ(plans->num_rows(), static_cast<size_t>(params.num_plans));
+  EXPECT_TRUE(w.views.Has("V1"));
+}
+
+TEST(TelephonyTest, SummaryViewIsSmall) {
+  TelephonyParams params;
+  params.num_calls = 20000;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+  Evaluator eval(&w.db, &w.views);
+  ASSERT_OK_AND_ASSIGN(Table v1, eval.MaterializeView("V1"));
+  // At most plans x months x years groups.
+  EXPECT_LE(v1.num_rows(),
+            static_cast<size_t>(params.num_plans * 12 * params.num_years));
+  EXPECT_GT(v1.num_rows(), 0u);
+}
+
+TEST(TelephonyTest, Example11RewritingMatchesPaper) {
+  TelephonyParams params;
+  params.num_calls = 10000;
+  params.earnings_threshold = 1e5;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+
+  Rewriter rewriter(&w.views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(w.query, "V1"));
+
+  // Q' reads only the view.
+  ASSERT_EQ(rewritten.from.size(), 1u);
+  EXPECT_EQ(rewritten.from[0].table, "V1");
+  // WHERE Year = 1995.
+  ASSERT_EQ(rewritten.where.size(), 1u);
+  EXPECT_EQ(rewritten.where[0].rhs.constant, Value::Int64(1995));
+  // SUM over the view's Monthly_Earnings column, also in HAVING.
+  EXPECT_EQ(rewritten.select[2].agg, AggFn::kSum);
+  ASSERT_EQ(rewritten.having.size(), 1u);
+  EXPECT_TRUE(rewritten.having[0].lhs.is_aggregate());
+
+  // The rewriting computes the same answer as the original.
+  ExpectQueriesApproxEquivalentOn(w.query, rewritten, w.db, &w.views);
+}
+
+TEST(TelephonyTest, RewritingAgainstMaterializedViewIsEquivalent) {
+  // Materialize V1 into the database (the warehouse scenario) and compare.
+  TelephonyParams params;
+  params.num_calls = 8000;
+  params.earnings_threshold = 5e4;
+  params.seed = 7;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+  Evaluator eval(&w.db, &w.views);
+  ASSERT_OK_AND_ASSIGN(Table v1, eval.MaterializeView("V1"));
+  w.db.Put("V1", std::move(v1));
+
+  Rewriter rewriter(&w.views);
+  ASSERT_OK_AND_ASSIGN(Query rewritten, rewriter.RewriteUsingView(w.query, "V1"));
+  ExpectQueriesApproxEquivalentOn(w.query, rewritten, w.db, &w.views);
+}
+
+TEST(TelephonyTest, ThresholdControlsSelectivity) {
+  TelephonyParams params;
+  params.num_calls = 5000;
+  params.earnings_threshold = 1e12;  // everything qualifies
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+  Evaluator eval(&w.db, &w.views);
+  ASSERT_OK_AND_ASSIGN(Table all, eval.Execute(w.query));
+  EXPECT_EQ(all.num_rows(), static_cast<size_t>(params.num_plans));
+
+  params.earnings_threshold = 0;  // nothing qualifies
+  TelephonyWorkload none = MakeTelephonyWorkload(params);
+  Evaluator eval2(&none.db, &none.views);
+  ASSERT_OK_AND_ASSIGN(Table empty, eval2.Execute(none.query));
+  EXPECT_EQ(empty.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace aqv

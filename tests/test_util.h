@@ -1,0 +1,79 @@
+#ifndef AQV_TESTS_TEST_UTIL_H_
+#define AQV_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "exec/evaluator.h"
+#include "exec/table.h"
+#include "ir/printer.h"
+#include "ir/query.h"
+#include "ir/views.h"
+
+namespace aqv {
+
+#define ASSERT_OK(expr)                                          \
+  do {                                                           \
+    const ::aqv::Status& _s = (expr);                            \
+    ASSERT_TRUE(_s.ok()) << "status: " << _s.ToString();         \
+  } while (false)
+
+#define EXPECT_OK(expr)                                          \
+  do {                                                           \
+    const ::aqv::Status& _s = (expr);                            \
+    EXPECT_TRUE(_s.ok()) << "status: " << _s.ToString();         \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                              \
+  AQV_ASSIGN_OR_RETURN_IMPL_TEST(                                    \
+      AQV_ASSIGN_OR_RETURN_NAME(_test_result_, __LINE__), lhs, expr)
+
+#define AQV_ASSIGN_OR_RETURN_IMPL_TEST(tmp, lhs, expr)               \
+  auto tmp = (expr);                                                 \
+  ASSERT_TRUE(tmp.ok()) << "status: " << tmp.status().ToString();    \
+  lhs = std::move(tmp).value()
+
+/// Evaluates `a` and `b` against `db` (+`views`) and expects multiset-equal
+/// results — the Definition 2.2 check that drives every rewriting test.
+inline void ExpectQueriesEquivalentOn(const Query& a, const Query& b,
+                                      const Database& db,
+                                      const ViewRegistry* views) {
+  Evaluator eval_a(&db, views);
+  Evaluator eval_b(&db, views);
+  Result<Table> ra = eval_a.Execute(a);
+  ASSERT_TRUE(ra.ok()) << "evaluating " << ToSql(a) << ": "
+                       << ra.status().ToString();
+  Result<Table> rb = eval_b.Execute(b);
+  ASSERT_TRUE(rb.ok()) << "evaluating " << ToSql(b) << ": "
+                       << rb.status().ToString();
+  EXPECT_TRUE(MultisetEqual(*ra, *rb))
+      << "queries disagree:\n  Q:  " << ToSql(a) << "\n  Q': " << ToSql(b)
+      << "\n  " << DescribeMultisetDifference(*ra, *rb) << "\nleft:\n"
+      << ra->ToString() << "right:\n" << rb->ToString();
+}
+
+/// ExpectQueriesEquivalentOn with a floating-point tolerance, for workloads
+/// whose aggregates sum DOUBLE data (re-associated sums differ in the last
+/// bits).
+inline void ExpectQueriesApproxEquivalentOn(const Query& a, const Query& b,
+                                            const Database& db,
+                                            const ViewRegistry* views) {
+  Evaluator eval_a(&db, views);
+  Evaluator eval_b(&db, views);
+  Result<Table> ra = eval_a.Execute(a);
+  ASSERT_TRUE(ra.ok()) << "evaluating " << ToSql(a) << ": "
+                       << ra.status().ToString();
+  Result<Table> rb = eval_b.Execute(b);
+  ASSERT_TRUE(rb.ok()) << "evaluating " << ToSql(b) << ": "
+                       << rb.status().ToString();
+  EXPECT_TRUE(MultisetAlmostEqual(*ra, *rb))
+      << "queries disagree:\n  Q:  " << ToSql(a) << "\n  Q': " << ToSql(b)
+      << "\nleft:\n" << ra->ToString() << "right:\n" << rb->ToString();
+}
+
+}  // namespace aqv
+
+#endif  // AQV_TESTS_TEST_UTIL_H_

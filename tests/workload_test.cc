@@ -1,0 +1,181 @@
+// Coverage for the workload generators themselves plus a few cross-module
+// gaps: view-definition round trips, rewriting-enumeration caps, and cost
+// model monotonicity.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/validate.h"
+#include "parser/parser.h"
+#include "rewrite/cost.h"
+#include "rewrite/multiview.h"
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+#include "workload/random_db.h"
+#include "workload/random_query.h"
+#include "workload/telephony.h"
+
+namespace aqv {
+namespace {
+
+TEST(RandomWorkloadTest, PairsAreAlwaysValid) {
+  RandomWorkloadGen gen(123);
+  RandomPairConfig config;
+  for (int i = 0; i < 50; ++i) {
+    config.query_aggregation = i % 2;
+    config.view_aggregation = i % 3 == 0;
+    config.allow_having = i % 4 == 0;
+    QueryViewPair pair = gen.NextPair(config);
+    EXPECT_OK(ValidateQuery(pair.query));
+    EXPECT_OK(ValidateQuery(pair.view.query));
+    EXPECT_FALSE(pair.view.name.empty());
+  }
+}
+
+TEST(RandomWorkloadTest, DeterministicUnderSeed) {
+  RandomPairConfig config;
+  RandomWorkloadGen a(99), b(99);
+  for (int i = 0; i < 10; ++i) {
+    QueryViewPair pa = a.NextPair(config);
+    QueryViewPair pb = b.NextPair(config);
+    EXPECT_TRUE(pa.query == pb.query);
+    EXPECT_TRUE(pa.view.query == pb.view.query);
+  }
+}
+
+TEST(RandomWorkloadTest, DatabasesMatchSchemaAndDomain) {
+  RandomWorkloadGen gen(7);
+  Database db = gen.NextDatabase(20, 4);
+  for (const std::string& name : gen.catalog().TableNames()) {
+    ASSERT_OK_AND_ASSIGN(const Table* t, db.Get(name));
+    EXPECT_EQ(t->num_rows(), 20u);
+    for (const Row& row : t->rows()) {
+      for (const Value& v : row) {
+        ASSERT_EQ(v.type(), ValueType::kInt64);
+        EXPECT_GE(v.int64(), 0);
+        EXPECT_LT(v.int64(), 4);
+      }
+    }
+  }
+}
+
+TEST(RandomWorkloadTest, ViewAggregationConfigProducesGroupedViews) {
+  RandomWorkloadGen gen(31);
+  RandomPairConfig config;
+  config.view_aggregation = true;
+  int grouped = 0;
+  for (int i = 0; i < 20; ++i) {
+    grouped += gen.NextPair(config).view.query.IsAggregation();
+  }
+  EXPECT_EQ(grouped, 20);
+}
+
+TEST(TelephonyWorkloadTest, DeterministicUnderSeed) {
+  TelephonyParams params;
+  params.num_calls = 500;
+  TelephonyWorkload a = MakeTelephonyWorkload(params);
+  TelephonyWorkload b = MakeTelephonyWorkload(params);
+  ASSERT_OK_AND_ASSIGN(const Table* ca, a.db.Get("Calls"));
+  ASSERT_OK_AND_ASSIGN(const Table* cb, b.db.Get("Calls"));
+  EXPECT_TRUE(MultisetEqual(*ca, *cb));
+}
+
+TEST(TelephonyWorkloadTest, KeysDeclared) {
+  TelephonyParams params;
+  params.num_calls = 10;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+  for (const char* table : {"Customer", "Calling_Plans", "Calls"}) {
+    ASSERT_OK_AND_ASSIGN(const TableDef* def, w.catalog.GetTable(table));
+    EXPECT_TRUE(def->IsSet()) << table;
+  }
+}
+
+TEST(ViewRoundTripTest, CreateViewSqlRoundTrips) {
+  TelephonyParams params;
+  params.num_calls = 10;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+  ASSERT_OK_AND_ASSIGN(const ViewDef* v1, w.views.Get("V1"));
+  std::string sql = ToSql(*v1);
+  ASSERT_OK_AND_ASSIGN(ViewDef reparsed, ParseView(sql));
+  EXPECT_EQ(reparsed.name, v1->name);
+  EXPECT_TRUE(reparsed.query == v1->query) << sql;
+}
+
+TEST(EnumerationCapTest, MaxResultsRespected) {
+  // Width-4 chain query with per-table views reaches 15 rewritings; a cap
+  // of 6 stops early.
+  QueryBuilder qb;
+  ViewRegistry views;
+  std::vector<std::string> names;
+  for (int i = 0; i < 4; ++i) {
+    std::string t = "T" + std::to_string(i);
+    qb.From(t, {"A" + std::to_string(i), "B" + std::to_string(i)});
+    std::string name = "V" + std::to_string(i);
+    ASSERT_OK(views.Register(ViewDef{
+        name,
+        QueryBuilder().From(t, {"X", "Y"}).Select("X").Select("Y").BuildOrDie()}));
+    names.push_back(name);
+  }
+  qb.Select("A0");
+  Query q = qb.BuildOrDie();
+  Rewriter rewriter(&views);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> all,
+                       rewriter.EnumerateAllRewritings(q, names));
+  EXPECT_EQ(all.size(), 15u);
+  ASSERT_OK_AND_ASSIGN(std::vector<Query> capped,
+                       rewriter.EnumerateAllRewritings(q, names, 6));
+  EXPECT_EQ(capped.size(), 6u);
+  // All enumerated rewritings are pairwise distinct.
+  std::set<std::string> keys;
+  for (const Query& r : all) keys.insert(CanonicalQueryKey(r));
+  EXPECT_EQ(keys.size(), all.size());
+}
+
+TEST(CostModelTest, MonotoneInInputSize) {
+  CostModel model;
+  Query q = QueryBuilder().From("T", {"A1"}).Select("A1").BuildOrDie();
+  double prev = 0;
+  for (int rows : {10, 100, 1000}) {
+    Database db;
+    Table t({"a"});
+    for (int i = 0; i < rows; ++i) t.AddRowOrDie({Value::Int64(i)});
+    db.Put("T", std::move(t));
+    double cost = model.Estimate(q, db);
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(CostModelTest, FiltersReduceEstimatedCost) {
+  Database db;
+  Table t({"a", "b"});
+  for (int i = 0; i < 1000; ++i) {
+    t.AddRowOrDie({Value::Int64(i), Value::Int64(i)});
+  }
+  db.Put("T", std::move(t));
+  Table s({"c"});
+  for (int i = 0; i < 1000; ++i) s.AddRowOrDie({Value::Int64(i)});
+  db.Put("S", std::move(s));
+
+  CostModel model;
+  Query unfiltered = QueryBuilder()
+                         .From("T", {"A1", "B1"})
+                         .From("S", {"C1"})
+                         .Select("A1")
+                         .WhereCols("B1", CmpOp::kEq, "C1")
+                         .BuildOrDie();
+  Query filtered = QueryBuilder()
+                       .From("T", {"A1", "B1"})
+                       .From("S", {"C1"})
+                       .Select("A1")
+                       .WhereCols("B1", CmpOp::kEq, "C1")
+                       .WhereConst("A1", CmpOp::kLt, Value::Int64(10))
+                       .BuildOrDie();
+  EXPECT_LT(model.Estimate(filtered, db), model.Estimate(unfiltered, db));
+}
+
+}  // namespace
+}  // namespace aqv
