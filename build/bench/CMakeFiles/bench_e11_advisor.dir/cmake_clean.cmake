@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_advisor.dir/bench_e11_advisor.cc.o"
+  "CMakeFiles/bench_e11_advisor.dir/bench_e11_advisor.cc.o.d"
+  "bench_e11_advisor"
+  "bench_e11_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

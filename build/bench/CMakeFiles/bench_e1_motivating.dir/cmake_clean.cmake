@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_motivating.dir/bench_e1_motivating.cc.o"
+  "CMakeFiles/bench_e1_motivating.dir/bench_e1_motivating.cc.o.d"
+  "bench_e1_motivating"
+  "bench_e1_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_coalesce.dir/bench_e3_coalesce.cc.o"
+  "CMakeFiles/bench_e3_coalesce.dir/bench_e3_coalesce.cc.o.d"
+  "bench_e3_coalesce"
+  "bench_e3_coalesce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

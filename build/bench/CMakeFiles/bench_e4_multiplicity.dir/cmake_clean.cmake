@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_multiplicity.dir/bench_e4_multiplicity.cc.o"
+  "CMakeFiles/bench_e4_multiplicity.dir/bench_e4_multiplicity.cc.o.d"
+  "bench_e4_multiplicity"
+  "bench_e4_multiplicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_multiplicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

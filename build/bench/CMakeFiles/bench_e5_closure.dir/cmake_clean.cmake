@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_closure.dir/bench_e5_closure.cc.o"
+  "CMakeFiles/bench_e5_closure.dir/bench_e5_closure.cc.o.d"
+  "bench_e5_closure"
+  "bench_e5_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_multiview.dir/bench_e6_multiview.cc.o"
+  "CMakeFiles/bench_e6_multiview.dir/bench_e6_multiview.cc.o.d"
+  "bench_e6_multiview"
+  "bench_e6_multiview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_multiview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_keys.dir/bench_e7_keys.cc.o"
+  "CMakeFiles/bench_e7_keys.dir/bench_e7_keys.cc.o.d"
+  "bench_e7_keys"
+  "bench_e7_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

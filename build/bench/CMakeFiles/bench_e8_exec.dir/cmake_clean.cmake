@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_exec.dir/bench_e8_exec.cc.o"
+  "CMakeFiles/bench_e8_exec.dir/bench_e8_exec.cc.o.d"
+  "bench_e8_exec"
+  "bench_e8_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

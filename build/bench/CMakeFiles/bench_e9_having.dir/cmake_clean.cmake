@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_having.dir/bench_e9_having.cc.o"
+  "CMakeFiles/bench_e9_having.dir/bench_e9_having.cc.o.d"
+  "bench_e9_having"
+  "bench_e9_having.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_having.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqvsh.dir/aqvsh.cpp.o"
+  "CMakeFiles/aqvsh.dir/aqvsh.cpp.o.d"
+  "aqvsh"
+  "aqvsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqvsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aqvsh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_cache.dir/mobile_cache.cpp.o"
+  "CMakeFiles/mobile_cache.dir/mobile_cache.cpp.o.d"
+  "mobile_cache"
+  "mobile_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telephony_warehouse.dir/telephony_warehouse.cpp.o"
+  "CMakeFiles/telephony_warehouse.dir/telephony_warehouse.cpp.o.d"
+  "telephony_warehouse"
+  "telephony_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telephony_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_maintenance.dir/warehouse_maintenance.cpp.o"
+  "CMakeFiles/warehouse_maintenance.dir/warehouse_maintenance.cpp.o.d"
+  "warehouse_maintenance"
+  "warehouse_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/view_selection.cc" "src/CMakeFiles/aqv.dir/advisor/view_selection.cc.o" "gcc" "src/CMakeFiles/aqv.dir/advisor/view_selection.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/aqv.dir/base/status.cc.o" "gcc" "src/CMakeFiles/aqv.dir/base/status.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/CMakeFiles/aqv.dir/base/strings.cc.o" "gcc" "src/CMakeFiles/aqv.dir/base/strings.cc.o.d"
+  "/root/repo/src/base/value.cc" "src/CMakeFiles/aqv.dir/base/value.cc.o" "gcc" "src/CMakeFiles/aqv.dir/base/value.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/aqv.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/aqv.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/keys.cc" "src/CMakeFiles/aqv.dir/catalog/keys.cc.o" "gcc" "src/CMakeFiles/aqv.dir/catalog/keys.cc.o.d"
+  "/root/repo/src/exec/csv.cc" "src/CMakeFiles/aqv.dir/exec/csv.cc.o" "gcc" "src/CMakeFiles/aqv.dir/exec/csv.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/aqv.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/aqv.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/explain_plan.cc" "src/CMakeFiles/aqv.dir/exec/explain_plan.cc.o" "gcc" "src/CMakeFiles/aqv.dir/exec/explain_plan.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/aqv.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/aqv.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/aqv.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/aqv.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/planner.cc" "src/CMakeFiles/aqv.dir/exec/planner.cc.o" "gcc" "src/CMakeFiles/aqv.dir/exec/planner.cc.o.d"
+  "/root/repo/src/exec/table.cc" "src/CMakeFiles/aqv.dir/exec/table.cc.o" "gcc" "src/CMakeFiles/aqv.dir/exec/table.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/aqv.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/aqv.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/aqv.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/aqv.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/query.cc" "src/CMakeFiles/aqv.dir/ir/query.cc.o" "gcc" "src/CMakeFiles/aqv.dir/ir/query.cc.o.d"
+  "/root/repo/src/ir/validate.cc" "src/CMakeFiles/aqv.dir/ir/validate.cc.o" "gcc" "src/CMakeFiles/aqv.dir/ir/validate.cc.o.d"
+  "/root/repo/src/ir/views.cc" "src/CMakeFiles/aqv.dir/ir/views.cc.o" "gcc" "src/CMakeFiles/aqv.dir/ir/views.cc.o.d"
+  "/root/repo/src/maintain/incremental.cc" "src/CMakeFiles/aqv.dir/maintain/incremental.cc.o" "gcc" "src/CMakeFiles/aqv.dir/maintain/incremental.cc.o.d"
+  "/root/repo/src/parser/binder.cc" "src/CMakeFiles/aqv.dir/parser/binder.cc.o" "gcc" "src/CMakeFiles/aqv.dir/parser/binder.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/aqv.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/aqv.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/aqv.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/aqv.dir/parser/parser.cc.o.d"
+  "/root/repo/src/reason/closure.cc" "src/CMakeFiles/aqv.dir/reason/closure.cc.o" "gcc" "src/CMakeFiles/aqv.dir/reason/closure.cc.o.d"
+  "/root/repo/src/reason/having_normalize.cc" "src/CMakeFiles/aqv.dir/reason/having_normalize.cc.o" "gcc" "src/CMakeFiles/aqv.dir/reason/having_normalize.cc.o.d"
+  "/root/repo/src/reason/residual.cc" "src/CMakeFiles/aqv.dir/reason/residual.cc.o" "gcc" "src/CMakeFiles/aqv.dir/reason/residual.cc.o.d"
+  "/root/repo/src/rewrite/aggregate_rewriter.cc" "src/CMakeFiles/aqv.dir/rewrite/aggregate_rewriter.cc.o" "gcc" "src/CMakeFiles/aqv.dir/rewrite/aggregate_rewriter.cc.o.d"
+  "/root/repo/src/rewrite/conditions.cc" "src/CMakeFiles/aqv.dir/rewrite/conditions.cc.o" "gcc" "src/CMakeFiles/aqv.dir/rewrite/conditions.cc.o.d"
+  "/root/repo/src/rewrite/conjunctive_rewriter.cc" "src/CMakeFiles/aqv.dir/rewrite/conjunctive_rewriter.cc.o" "gcc" "src/CMakeFiles/aqv.dir/rewrite/conjunctive_rewriter.cc.o.d"
+  "/root/repo/src/rewrite/cost.cc" "src/CMakeFiles/aqv.dir/rewrite/cost.cc.o" "gcc" "src/CMakeFiles/aqv.dir/rewrite/cost.cc.o.d"
+  "/root/repo/src/rewrite/explain.cc" "src/CMakeFiles/aqv.dir/rewrite/explain.cc.o" "gcc" "src/CMakeFiles/aqv.dir/rewrite/explain.cc.o.d"
+  "/root/repo/src/rewrite/flatten.cc" "src/CMakeFiles/aqv.dir/rewrite/flatten.cc.o" "gcc" "src/CMakeFiles/aqv.dir/rewrite/flatten.cc.o.d"
+  "/root/repo/src/rewrite/mapping.cc" "src/CMakeFiles/aqv.dir/rewrite/mapping.cc.o" "gcc" "src/CMakeFiles/aqv.dir/rewrite/mapping.cc.o.d"
+  "/root/repo/src/rewrite/multiview.cc" "src/CMakeFiles/aqv.dir/rewrite/multiview.cc.o" "gcc" "src/CMakeFiles/aqv.dir/rewrite/multiview.cc.o.d"
+  "/root/repo/src/rewrite/optimizer.cc" "src/CMakeFiles/aqv.dir/rewrite/optimizer.cc.o" "gcc" "src/CMakeFiles/aqv.dir/rewrite/optimizer.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/CMakeFiles/aqv.dir/rewrite/rewriter.cc.o" "gcc" "src/CMakeFiles/aqv.dir/rewrite/rewriter.cc.o.d"
+  "/root/repo/src/rewrite/set_rewriter.cc" "src/CMakeFiles/aqv.dir/rewrite/set_rewriter.cc.o" "gcc" "src/CMakeFiles/aqv.dir/rewrite/set_rewriter.cc.o.d"
+  "/root/repo/src/workload/random_db.cc" "src/CMakeFiles/aqv.dir/workload/random_db.cc.o" "gcc" "src/CMakeFiles/aqv.dir/workload/random_db.cc.o.d"
+  "/root/repo/src/workload/random_query.cc" "src/CMakeFiles/aqv.dir/workload/random_query.cc.o" "gcc" "src/CMakeFiles/aqv.dir/workload/random_query.cc.o.d"
+  "/root/repo/src/workload/telephony.cc" "src/CMakeFiles/aqv.dir/workload/telephony.cc.o" "gcc" "src/CMakeFiles/aqv.dir/workload/telephony.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_plan_test.dir/explain_plan_test.cc.o"
+  "CMakeFiles/explain_plan_test.dir/explain_plan_test.cc.o.d"
+  "explain_plan_test"
+  "explain_plan_test.pdb"
+  "explain_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintain_test.dir/maintain_test.cc.o"
+  "CMakeFiles/maintain_test.dir/maintain_test.cc.o.d"
+  "maintain_test"
+  "maintain_test.pdb"
+  "maintain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

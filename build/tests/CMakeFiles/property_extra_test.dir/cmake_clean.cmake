@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_extra_test.dir/property_extra_test.cc.o"
+  "CMakeFiles/property_extra_test.dir/property_extra_test.cc.o.d"
+  "property_extra_test"
+  "property_extra_test.pdb"
+  "property_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_conjunctive_test.dir/rewrite_conjunctive_test.cc.o"
+  "CMakeFiles/rewrite_conjunctive_test.dir/rewrite_conjunctive_test.cc.o.d"
+  "rewrite_conjunctive_test"
+  "rewrite_conjunctive_test.pdb"
+  "rewrite_conjunctive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_conjunctive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_sets_test.dir/rewrite_sets_test.cc.o"
+  "CMakeFiles/rewrite_sets_test.dir/rewrite_sets_test.cc.o.d"
+  "rewrite_sets_test"
+  "rewrite_sets_test.pdb"
+  "rewrite_sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

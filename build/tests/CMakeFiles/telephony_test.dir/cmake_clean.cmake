@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telephony_test.dir/telephony_test.cc.o"
+  "CMakeFiles/telephony_test.dir/telephony_test.cc.o.d"
+  "telephony_test"
+  "telephony_test.pdb"
+  "telephony_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telephony_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

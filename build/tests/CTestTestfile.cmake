@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/closure_test[1]_include.cmake")
+include("/root/repo/build/tests/residual_test[1]_include.cmake")
+include("/root/repo/build/tests/having_normalize_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/mapping_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_conjunctive_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_having_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_sets_test[1]_include.cmake")
+include("/root/repo/build/tests/multiview_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_test[1]_include.cmake")
+include("/root/repo/build/tests/telephony_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/maintain_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/flatten_test[1]_include.cmake")
+include("/root/repo/build/tests/property_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
