@@ -1,6 +1,9 @@
-// aqvsh — a tiny interactive shell around the library, for poking at the
-// rewriter the way a downstream user would. Reads statements from stdin
-// (or a script passed as argv[1]); one statement per line, '#' comments.
+// aqvsh — a tiny interactive shell, for poking at the rewriter the way a
+// downstream user would. Since the service PR it is a thin REPL over
+// src/service's QueryService: every statement is dispatched through the
+// same thread-safe, plan-caching engine an embedding server would use.
+// Reads statements from stdin (or a script passed as argv[1]); one
+// statement per line, '#' comments.
 //
 //   CREATE TABLE R(A, B) [KEY(A)]
 //   INSERT INTO R VALUES (1, 2), (3, 4)
@@ -10,6 +13,7 @@
 //   SELECT ...                             -- optimized + executed
 //   EXPLAIN SELECT ...                     -- plan + rewrite decision
 //   WHY V SELECT ...                       -- per-mapping usability trace
+//   STATS                                  -- service runtime counters
 //   TABLES | VIEWS | HELP | QUIT
 //
 // Example session:
@@ -21,21 +25,10 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "base/strings.h"
-#include "catalog/catalog.h"
-#include "exec/evaluator.h"
-#include "exec/csv.h"
-#include "exec/explain_plan.h"
-#include "exec/table.h"
-#include "ir/printer.h"
-#include "parser/lexer.h"
-#include "parser/parser.h"
-#include "rewrite/explain.h"
-#include "rewrite/optimizer.h"
+#include "service/query_service.h"
 
 using namespace aqv;  // NOLINT: example brevity
 
@@ -52,34 +45,17 @@ class Shell {
     if (upper == "QUIT" || upper == "EXIT") return false;
     if (upper == "HELP") {
       Help();
-    } else if (upper == "TABLES") {
-      ListTables();
-    } else if (upper == "VIEWS") {
-      ListViews();
-    } else if (StartsWith(upper, "CREATE TABLE")) {
-      Report(CreateTable(trimmed));
-    } else if (StartsWith(upper, "CREATE MATERIALIZED VIEW")) {
-      Report(CreateView(
-          "CREATE " + trimmed.substr(std::string("CREATE MATERIALIZED ").size()),
-          /*materialized=*/true));
-    } else if (StartsWith(upper, "CREATE VIEW")) {
-      Report(CreateView(trimmed, /*materialized=*/false));
-    } else if (StartsWith(upper, "INSERT INTO")) {
-      Report(Insert(trimmed));
-    } else if (StartsWith(upper, "REFRESH")) {
-      Report(Refresh(Trim(trimmed.substr(7))));
-    } else if (StartsWith(upper, "EXPLAIN")) {
-      Report(Explain(Trim(trimmed.substr(7))));
-    } else if (StartsWith(upper, "WHY")) {
-      Report(Why(Trim(trimmed.substr(3))));
-    } else if (StartsWith(upper, "SELECT")) {
-      Report(Select(trimmed));
-    } else if (StartsWith(upper, "LOAD")) {
-      Report(Load(trimmed));
-    } else if (StartsWith(upper, "SAVE")) {
-      Report(Save(trimmed));
-    } else {
-      std::printf("?? unrecognized statement (try HELP)\n");
+      return true;
+    }
+    Result<StatementResult> result = service_.Execute(trimmed);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return true;
+    }
+    if (!result->message.empty()) std::printf("%s", result->message.c_str());
+    if (result->table.has_value()) {
+      std::printf("%s(%zu rows)\n", result->table->ToString(25).c_str(),
+                  result->table->num_rows());
     }
     return true;
   }
@@ -92,10 +68,6 @@ class Shell {
     return s.substr(b, e - b + 1);
   }
 
-  void Report(const Status& s) {
-    if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
-  }
-
   void Help() {
     std::printf(
         "statements:\n"
@@ -104,239 +76,10 @@ class Shell {
         "  CREATE [MATERIALIZED] VIEW V AS SELECT ...\n"
         "  REFRESH V | SELECT ... | EXPLAIN SELECT ... | WHY V SELECT ...\n"
         "  LOAD R FROM 'file.csv' | SAVE R TO 'file.csv'\n"
-        "  TABLES | VIEWS | HELP | QUIT\n");
+        "  STATS | TABLES | VIEWS | HELP | QUIT\n");
   }
 
-  void ListTables() {
-    for (const std::string& name : catalog_.TableNames()) {
-      const TableDef* def = *catalog_.GetTable(name);
-      Result<const Table*> t = db_.Get(name);
-      std::printf("  %s(%s) — %zu rows\n", name.c_str(),
-                  Join(def->columns(), ", ").c_str(),
-                  t.ok() ? (*t)->num_rows() : 0);
-    }
-  }
-
-  void ListViews() {
-    for (const std::string& name : views_.ViewNames()) {
-      const ViewDef* def = *views_.Get(name);
-      bool materialized = db_.Has(name);
-      std::printf("  %s [%s] AS %s\n", name.c_str(),
-                  materialized ? "materialized" : "virtual",
-                  ToSql(def->query).c_str());
-    }
-  }
-
-  Status CreateTable(const std::string& stmt) {
-    AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(stmt));
-    size_t i = 2;  // CREATE TABLE
-    if (tokens[i].kind != TokenKind::kIdentifier) {
-      return Status::InvalidArgument("expected a table name");
-    }
-    std::string name = tokens[i++].text;
-    if (tokens[i++].kind != TokenKind::kLParen) {
-      return Status::InvalidArgument("expected '(' after the table name");
-    }
-    std::vector<std::string> columns;
-    while (tokens[i].kind == TokenKind::kIdentifier) {
-      columns.push_back(tokens[i++].text);
-      if (tokens[i].kind == TokenKind::kComma) ++i;
-    }
-    if (tokens[i++].kind != TokenKind::kRParen) {
-      return Status::InvalidArgument("expected ')' after the column list");
-    }
-    TableDef def(name, columns);
-    if (tokens[i].IsKeyword("KEY")) {
-      ++i;
-      if (tokens[i++].kind != TokenKind::kLParen) {
-        return Status::InvalidArgument("expected '(' after KEY");
-      }
-      std::vector<std::string> key;
-      while (tokens[i].kind == TokenKind::kIdentifier) {
-        key.push_back(tokens[i++].text);
-        if (tokens[i].kind == TokenKind::kComma) ++i;
-      }
-      if (tokens[i++].kind != TokenKind::kRParen) {
-        return Status::InvalidArgument("expected ')' after the key columns");
-      }
-      AQV_RETURN_NOT_OK(def.AddKeyByName(key));
-    }
-    AQV_RETURN_NOT_OK(catalog_.AddTable(def));
-    db_.Put(name, Table(columns));
-    std::printf("table %s created\n", name.c_str());
-    return Status::OK();
-  }
-
-  Status Insert(const std::string& stmt) {
-    AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(stmt));
-    size_t i = 2;  // INSERT INTO
-    if (tokens[i].kind != TokenKind::kIdentifier) {
-      return Status::InvalidArgument("expected a table name");
-    }
-    std::string name = tokens[i++].text;
-    if (!tokens[i].IsKeyword("VALUES")) {
-      return Status::InvalidArgument("expected VALUES");
-    }
-    ++i;
-    AQV_ASSIGN_OR_RETURN(const Table* existing, db_.Get(name));
-    Table updated = *existing;
-    int inserted = 0;
-    while (tokens[i].kind == TokenKind::kLParen) {
-      ++i;
-      Row row;
-      while (tokens[i].kind != TokenKind::kRParen) {
-        switch (tokens[i].kind) {
-          case TokenKind::kInteger:
-            row.push_back(Value::Int64(tokens[i].int_value));
-            break;
-          case TokenKind::kFloat:
-            row.push_back(Value::Double(tokens[i].float_value));
-            break;
-          case TokenKind::kString:
-            row.push_back(Value::String(tokens[i].text));
-            break;
-          case TokenKind::kIdentifier:
-            if (tokens[i].IsKeyword("NULL")) {
-              row.push_back(Value::Null());
-              break;
-            }
-            [[fallthrough]];
-          default:
-            return Status::InvalidArgument("expected a literal in VALUES");
-        }
-        ++i;
-        if (tokens[i].kind == TokenKind::kComma) ++i;
-      }
-      ++i;  // ')'
-      AQV_RETURN_NOT_OK(updated.AddRow(std::move(row)));
-      ++inserted;
-      if (tokens[i].kind == TokenKind::kComma) ++i;
-    }
-    db_.Put(name, std::move(updated));
-    std::printf("%d row(s) inserted into %s\n", inserted, name.c_str());
-    return Status::OK();
-  }
-
-  Status CreateView(const std::string& stmt, bool materialized) {
-    AQV_ASSIGN_OR_RETURN(ViewDef view, ParseView(stmt, &catalog_));
-    std::string name = view.name;
-    AQV_RETURN_NOT_OK(views_.Register(std::move(view)));
-    if (materialized) {
-      AQV_RETURN_NOT_OK(Refresh(name));
-    } else {
-      std::printf("view %s registered (virtual)\n", name.c_str());
-    }
-    return Status::OK();
-  }
-
-  Status Refresh(const std::string& name) {
-    if (!views_.Has(name)) {
-      return Status::NotFound("no view named '" + name + "'");
-    }
-    // Recompute against the current base tables.
-    Database base = db_;
-    AQV_ASSIGN_OR_RETURN(const ViewDef* def, views_.Get(name));
-    Evaluator fresh(&base, &views_);
-    AQV_ASSIGN_OR_RETURN(Table contents, fresh.Execute(def->query));
-    std::printf("view %s materialized: %zu rows\n", name.c_str(),
-                contents.num_rows());
-    db_.Put(name, std::move(contents));
-    return Status::OK();
-  }
-
-  Status Select(const std::string& stmt) {
-    AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(stmt, &catalog_));
-    Optimizer optimizer(&db_, &views_, &catalog_, options_);
-    AQV_ASSIGN_OR_RETURN(OptimizeResult plan, optimizer.Optimize(query));
-    if (plan.used_materialized_view) {
-      std::printf("-- rewritten to use a materialized view:\n--   %s\n",
-                  ToSql(plan.chosen).c_str());
-    }
-    Evaluator eval(&db_, &views_);
-    AQV_ASSIGN_OR_RETURN(Table result, eval.Execute(plan.chosen));
-    std::printf("%s(%zu rows)\n", result.ToString(25).c_str(),
-                result.num_rows());
-    return Status::OK();
-  }
-
-  Status Explain(const std::string& select_stmt) {
-    AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(select_stmt, &catalog_));
-    Optimizer optimizer(&db_, &views_, &catalog_, options_);
-    AQV_ASSIGN_OR_RETURN(OptimizeResult plan, optimizer.Optimize(query));
-    std::printf("original:  %s\n", ToSql(query).c_str());
-    std::printf("chosen:    %s\n", ToSql(plan.chosen).c_str());
-    std::printf("cost:      %.0f -> %.0f (%d rewriting(s) considered)\n",
-                plan.cost_original, plan.cost_chosen,
-                plan.rewritings_considered);
-    AQV_ASSIGN_OR_RETURN(std::string tree,
-                         ExplainPlan(plan.chosen, db_, &views_));
-    std::printf("%s", tree.c_str());
-    return Status::OK();
-  }
-
-  Status Load(const std::string& stmt) {
-    // LOAD <table> FROM '<path>'
-    AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(stmt));
-    if (tokens.size() < 4 || tokens[1].kind != TokenKind::kIdentifier ||
-        !tokens[2].IsKeyword("FROM") || tokens[3].kind != TokenKind::kString) {
-      return Status::InvalidArgument("usage: LOAD R FROM 'file.csv'");
-    }
-    std::string name = tokens[1].text;
-    AQV_ASSIGN_OR_RETURN(Table loaded, ReadCsvFile(tokens[3].text));
-    if (!catalog_.HasTable(name)) {
-      AQV_RETURN_NOT_OK(catalog_.AddTable(TableDef(name, loaded.columns())));
-      std::printf("table %s created from the CSV header\n", name.c_str());
-    } else {
-      AQV_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(name));
-      if (def->num_columns() != loaded.num_columns()) {
-        return Status::InvalidArgument("CSV arity does not match table '" +
-                                       name + "'");
-      }
-    }
-    std::printf("%zu row(s) loaded into %s\n", loaded.num_rows(), name.c_str());
-    db_.Put(name, std::move(loaded));
-    return Status::OK();
-  }
-
-  Status Save(const std::string& stmt) {
-    // SAVE <table-or-view> TO '<path>'
-    AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(stmt));
-    if (tokens.size() < 4 || tokens[1].kind != TokenKind::kIdentifier ||
-        !tokens[2].IsKeyword("TO") || tokens[3].kind != TokenKind::kString) {
-      return Status::InvalidArgument("usage: SAVE R TO 'file.csv'");
-    }
-    Evaluator eval(&db_, &views_);
-    AQV_ASSIGN_OR_RETURN(Table contents, eval.MaterializeView(tokens[1].text));
-    AQV_RETURN_NOT_OK(WriteCsvFile(contents, tokens[3].text));
-    std::printf("%zu row(s) written to %s\n", contents.num_rows(),
-                tokens[3].text.c_str());
-    return Status::OK();
-  }
-
-  Status Why(const std::string& rest) {
-    // WHY <view> SELECT ...
-    size_t space = rest.find(' ');
-    if (space == std::string::npos) {
-      return Status::InvalidArgument("usage: WHY <view> SELECT ...");
-    }
-    std::string name = rest.substr(0, space);
-    AQV_ASSIGN_OR_RETURN(const ViewDef* view, views_.Get(name));
-    AQV_ASSIGN_OR_RETURN(Query query,
-                         ParseQuery(Trim(rest.substr(space + 1)), &catalog_));
-    AQV_ASSIGN_OR_RETURN(RewriteExplanation explanation,
-                         ExplainRewrite(query, *view, options_));
-    std::printf("%s", explanation.ToString().c_str());
-    return Status::OK();
-  }
-
-  Catalog catalog_;
-  Database db_;
-  ViewRegistry views_;
-  RewriteOptions options_ = [] {
-    RewriteOptions o;
-    o.use_key_information = true;
-    return o;
-  }();
+  QueryService service_;
 };
 
 }  // namespace

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verify in one invocation: configure, build, ctest.
+#
+#   scripts/check.sh                       # default build
+#   BUILD_DIR=build-tsan scripts/check.sh -DAQV_SANITIZE=thread
+#
+# Extra arguments are forwarded to the CMake configure step. Intended as the
+# single entry point for local verification and any future CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . "$@"
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"

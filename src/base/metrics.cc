@@ -1,0 +1,117 @@
+#include "base/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace aqv {
+
+namespace {
+
+/// Index of the bucket covering `micros`: 0 for 0, else 1 + floor(log2).
+int BucketIndex(uint64_t micros) {
+  if (micros == 0) return 0;
+  int idx = 64 - std::countl_zero(micros);  // 1 + floor(log2(micros))
+  return idx < LatencyHistogram::kNumBuckets
+             ? idx
+             : LatencyHistogram::kNumBuckets - 1;
+}
+
+/// Inclusive value range covered by bucket `i` (see BucketIndex).
+std::pair<double, double> BucketRange(int i) {
+  if (i == 0) return {0.0, 0.0};
+  double lo = i == 1 ? 1.0 : static_cast<double>(uint64_t{1} << (i - 1));
+  double hi = static_cast<double>(uint64_t{1} << i) - 1.0;
+  return {lo, hi};
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t micros) {
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::mean_micros() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_micros()) / n;
+}
+
+double LatencyHistogram::PercentileMicros(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based), then interpolate inside its bucket.
+  uint64_t rank = static_cast<uint64_t>(q * total);
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] >= rank) {
+      auto [lo, hi] = BucketRange(i);
+      double within = static_cast<double>(rank - seen) / counts[i];
+      return lo + (hi - lo) * within;
+    }
+    seen += counts[i];
+  }
+  return BucketRange(kNumBuckets - 1).second;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "%-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->value()));
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "%-32s count=%llu mean=%.1fus p50=%.1fus p99=%.1fus\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(hist->count()),
+                  hist->mean_micros(), hist->PercentileMicros(0.5),
+                  hist->PercentileMicros(0.99));
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace aqv

@@ -1,0 +1,79 @@
+#ifndef AQV_BASE_METRICS_H_
+#define AQV_BASE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace aqv {
+
+/// A monotonically increasing event counter safe for concurrent use.
+/// Increments are relaxed: counters order nothing, they only count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A lock-free latency histogram over microseconds with power-of-two
+/// buckets: bucket i counts samples in [2^(i-1), 2^i), bucket 0 counts
+/// sub-microsecond samples. Percentiles are recovered by linear
+/// interpolation within the bucket, so they are approximate (at worst a
+/// factor-of-two bucket wide) but never require locking on the record path.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(uint64_t micros);
+
+  uint64_t count() const;
+  uint64_t sum_micros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+  double mean_micros() const;
+
+  /// Approximate value at quantile `q` in (0, 1], e.g. 0.5 for p50. Returns
+  /// 0 when the histogram is empty.
+  double PercentileMicros(double q) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// Name -> metric registry. Metrics are created on first use and live as
+/// long as the registry, so callers may cache the returned references.
+/// Creation takes a mutex; the returned Counter/LatencyHistogram objects are
+/// themselves lock-free.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  LatencyHistogram& GetHistogram(const std::string& name);
+
+  /// Multi-line "name value" / "name count=.. mean=.. p50=.. p99=.." report,
+  /// sorted by metric name.
+  std::string Report() const;
+
+  /// Zeroes every registered metric (the metrics stay registered).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_BASE_METRICS_H_

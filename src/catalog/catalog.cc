@@ -77,6 +77,7 @@ Status Catalog::AddTable(TableDef table) {
   }
   std::string name = table.name();
   tables_.emplace(std::move(name), std::move(table));
+  ++version_;
   return Status::OK();
 }
 

@@ -71,8 +71,14 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Monotonic schema version, bumped by every successful AddTable. Plan
+  /// caches (src/service) read it to detect DDL cheaply; callers that share
+  /// a Catalog across threads must serialize access with their own latch.
+  uint64_t version() const { return version_; }
+
  private:
   std::map<std::string, TableDef> tables_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace aqv

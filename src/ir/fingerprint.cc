@@ -1,0 +1,69 @@
+#include "ir/fingerprint.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "ir/printer.h"
+
+namespace aqv {
+
+namespace {
+
+/// Orientation: put the canonically smaller operand on the left. Symmetric
+/// operators swap freely; ordered ones flip (`a < b` == `b > a`).
+Predicate OrientPredicate(Predicate p) {
+  if (p.rhs < p.lhs) {
+    std::swap(p.lhs, p.rhs);
+    p.op = FlipCmpOp(p.op);
+  }
+  return p;
+}
+
+bool PredicateLess(const Predicate& a, const Predicate& b) {
+  if (!(a.lhs == b.lhs)) return a.lhs < b.lhs;
+  if (a.op != b.op) return a.op < b.op;
+  if (!(a.rhs == b.rhs)) return a.rhs < b.rhs;
+  return false;
+}
+
+void NormalizeConjunction(std::vector<Predicate>* conjuncts) {
+  for (Predicate& p : *conjuncts) p = OrientPredicate(p);
+  std::sort(conjuncts->begin(), conjuncts->end(), PredicateLess);
+  conjuncts->erase(std::unique(conjuncts->begin(), conjuncts->end()),
+                   conjuncts->end());
+}
+
+}  // namespace
+
+Query CanonicalizeForCache(const Query& query) {
+  Query canon = query;
+  NormalizeConjunction(&canon.where);
+  NormalizeConjunction(&canon.having);
+  std::sort(canon.group_by.begin(), canon.group_by.end());
+  canon.group_by.erase(
+      std::unique(canon.group_by.begin(), canon.group_by.end()),
+      canon.group_by.end());
+  return canon;
+}
+
+std::string CanonicalCacheKey(const Query& query) {
+  // ToSql is an unambiguous rendering (it round-trips through the parser),
+  // so it serializes the canonical IR faithfully. Aliases are part of the
+  // output schema and are included by ToSql.
+  return ToSql(CanonicalizeForCache(query));
+}
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t QueryFingerprint(const Query& query) {
+  return Fnv1a64(CanonicalCacheKey(query));
+}
+
+}  // namespace aqv

@@ -1,0 +1,43 @@
+#ifndef AQV_IR_FINGERPRINT_H_
+#define AQV_IR_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ir/query.h"
+
+namespace aqv {
+
+/// Canonical fingerprinting of queries, used to key the service's
+/// rewrite-plan cache. Two textually different statements that normalize to
+/// the same IR (conjunct order, symmetric-predicate orientation, GROUPBY
+/// order) share a fingerprint and therefore a cached plan.
+///
+/// The normalization is deliberately conservative: it never identifies two
+/// queries with different semantics. Queries that are equivalent only up to
+/// FROM-occurrence renaming are treated as distinct (detecting that is a
+/// query-isomorphism test, not worth it on the lookup hot path).
+
+/// A semantics-preserving normal form of `query`:
+///   - WHERE and HAVING conjuncts sorted canonically,
+///   - symmetric predicates (=, <>) with operands in canonical order and
+///     ordered comparisons oriented by FlipCmpOp so `5 < A` and `A > 5`
+///     coincide,
+///   - GROUPBY columns sorted (grouping is order-insensitive).
+/// SELECT and FROM order are preserved: both affect the output schema.
+Query CanonicalizeForCache(const Query& query);
+
+/// Unambiguous serialization of the canonical form. Equal keys imply equal
+/// canonical IR, so a cache keyed by this string can never serve the wrong
+/// plan to a colliding query.
+std::string CanonicalCacheKey(const Query& query);
+
+/// 64-bit FNV-1a hash of CanonicalCacheKey, for cheap bucketing/telemetry.
+uint64_t QueryFingerprint(const Query& query);
+
+/// FNV-1a over an arbitrary string (exposed for tests and tools).
+uint64_t Fnv1a64(const std::string& bytes);
+
+}  // namespace aqv
+
+#endif  // AQV_IR_FINGERPRINT_H_

@@ -14,6 +14,7 @@ Status ViewRegistry::Register(ViewDef view) {
   AQV_RETURN_NOT_OK(ValidateQuery(view.query));
   std::string name = view.name;
   views_.emplace(std::move(name), std::move(view));
+  ++version_;
   return Status::OK();
 }
 

@@ -24,8 +24,13 @@ class ViewRegistry {
 
   std::vector<std::string> ViewNames() const;
 
+  /// Monotonic registry version, bumped by every successful Register. Plan
+  /// caches (src/service) read it to detect view DDL cheaply.
+  uint64_t version() const { return version_; }
+
  private:
   std::map<std::string, ViewDef> views_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace aqv

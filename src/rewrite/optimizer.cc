@@ -1,8 +1,36 @@
 #include "rewrite/optimizer.h"
 
+#include <algorithm>
+
 #include "rewrite/flatten.h"
 
 namespace aqv {
+
+namespace {
+
+/// FROM-clause names of `query`, expanded transitively through view
+/// definitions: a view in FROM (virtual or materialized) contributes both
+/// its own name and every table its definition reads, so invalidating on
+/// any base-table change is always sound.
+void CollectDependencies(const Query& query, const ViewRegistry& views,
+                         std::vector<std::string>* out) {
+  std::vector<std::string> pending;
+  for (const TableRef& ref : query.from) pending.push_back(ref.table);
+  while (!pending.empty()) {
+    std::string name = std::move(pending.back());
+    pending.pop_back();
+    if (std::find(out->begin(), out->end(), name) != out->end()) continue;
+    out->push_back(name);
+    Result<const ViewDef*> view = views.Get(name);
+    if (view.ok()) {
+      for (const TableRef& ref : (*view)->query.from) {
+        pending.push_back(ref.table);
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Result<OptimizeResult> Optimizer::Optimize(const Query& query) const {
   OptimizeResult out;
@@ -36,6 +64,13 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) const {
   out.chosen = ChooseCheapest(flat, candidates, *db_, model, &chosen_index);
   out.used_materialized_view = chosen_index >= 0;
   out.cost_chosen = model.Estimate(out.chosen, *db_);
+
+  CollectDependencies(flat, *views_, &out.dependencies);
+  CollectDependencies(out.chosen, *views_, &out.dependencies);
+  std::sort(out.dependencies.begin(), out.dependencies.end());
+  out.dependencies.erase(
+      std::unique(out.dependencies.begin(), out.dependencies.end()),
+      out.dependencies.end());
   return out;
 }
 

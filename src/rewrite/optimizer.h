@@ -23,6 +23,11 @@ struct OptimizeResult {
   int rewritings_considered = 0;
   int views_flattened = 0;  // Section 7 pre-pass merges
   bool used_materialized_view = false;
+  /// Every base table and materialized view the flattened original or the
+  /// chosen plan reads, sorted and deduplicated. A cached plan is only valid
+  /// while none of these change, so this is exactly the invalidation set the
+  /// service's rewrite-plan cache keys its hooks on.
+  std::vector<std::string> dependencies;
 };
 
 /// End-to-end facade tying the pieces together the way Section 6's

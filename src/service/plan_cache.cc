@@ -1,0 +1,61 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+
+namespace aqv {
+
+PlanCache::EntryPtr PlanCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  return it->second->second;
+}
+
+void PlanCache::Insert(const std::string& key, EntryPtr entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t PlanCache::InvalidateDependency(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const std::vector<std::string>& deps = it->second->dependencies;
+    if (std::binary_search(deps.begin(), deps.end(), name)) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+size_t PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = lru_.size();
+  index_.clear();
+  lru_.clear();
+  return dropped;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace aqv

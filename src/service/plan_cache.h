@@ -1,0 +1,79 @@
+#ifndef AQV_SERVICE_PLAN_CACHE_H_
+#define AQV_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ir/query.h"
+
+namespace aqv {
+
+/// A bounded, thread-safe LRU cache of optimized plans, keyed by the
+/// canonical query fingerprint string of ir/fingerprint.h. Keys are full
+/// canonical serializations (not just 64-bit hashes), so two distinct
+/// queries can never collide onto one entry.
+///
+/// Entries carry the invalidation set computed by the optimizer
+/// (OptimizeResult::dependencies). The owning service fires
+/// InvalidateDependency on INSERT/REFRESH of a table or view and Clear on
+/// DDL, so a stale rewrite is never served: any statement that could change
+/// a plan's validity or its result set drops the affected entries first,
+/// under the service's exclusive latch.
+///
+/// Entries are immutable once inserted and handed out as
+/// shared_ptr<const Entry>: a hit copies one pointer under the mutex (not a
+/// deep Query), keeping the critical section tiny on the hot path, and an
+/// entry evicted or invalidated mid-execution stays alive until its last
+/// reader drops it.
+class PlanCache {
+ public:
+  struct Entry {
+    Query plan;
+    bool used_materialized_view = false;
+    int rewritings_considered = 0;
+    double cost_original = 0;
+    double cost_chosen = 0;
+    /// Tables/views whose mutation invalidates this entry (sorted).
+    std::vector<std::string> dependencies;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the entry for `key` and promotes it to most-recently-used, or
+  /// nullptr on miss.
+  EntryPtr Lookup(const std::string& key);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the LRU entry when
+  /// over capacity. A zero-capacity cache stores nothing.
+  void Insert(const std::string& key, EntryPtr entry);
+
+  /// Drops every entry whose dependency set contains `name` (a base table
+  /// or view that was just mutated). Returns the number dropped.
+  size_t InvalidateDependency(const std::string& name);
+
+  /// Drops everything. Used on DDL: a new table or view can change the
+  /// optimizer's choice for any query, even ones whose inputs are untouched.
+  size_t Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<std::pair<std::string, EntryPtr>>;  // front = MRU
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList lru_;
+  std::unordered_map<std::string, LruList::iterator> index_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_SERVICE_PLAN_CACHE_H_

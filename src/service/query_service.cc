@@ -1,0 +1,455 @@
+#include "service/query_service.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "base/strings.h"
+#include "exec/csv.h"
+#include "exec/explain_plan.h"
+#include "ir/fingerprint.h"
+#include "ir/printer.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "rewrite/explain.h"
+#include "rewrite/optimizer.h"
+
+namespace aqv {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedMicros(Clock::time_point start) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   Clock::now() - start)
+                                   .count());
+}
+
+std::string TrimStatement(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  size_t e = s.find_last_not_of(" \t\r\n;");
+  if (b == std::string::npos || e == std::string::npos || e < b) return "";
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::string ServiceStats::ToString() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "statements          %llu\n"
+      "queries served      %llu\n"
+      "plan cache          %llu hit / %llu miss (%zu entries, %llu invalidated)\n"
+      "rewrites            %llu applied / %llu skipped\n"
+      "optimize latency    p50=%.1fus p99=%.1fus\n"
+      "execute latency     p50=%.1fus p99=%.1fus\n",
+      static_cast<unsigned long long>(statements),
+      static_cast<unsigned long long>(queries_served),
+      static_cast<unsigned long long>(plan_cache_hits),
+      static_cast<unsigned long long>(plan_cache_misses), plan_cache_size,
+      static_cast<unsigned long long>(plan_cache_invalidated),
+      static_cast<unsigned long long>(rewrites_applied),
+      static_cast<unsigned long long>(rewrites_skipped), optimize_p50_micros,
+      optimize_p99_micros, exec_p50_micros, exec_p99_micros);
+  return buf;
+}
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(options),
+      plan_cache_(options.enable_plan_cache ? options.plan_cache_capacity : 0),
+      statements_(metrics_.GetCounter("service.statements")),
+      queries_served_(metrics_.GetCounter("service.queries_served")),
+      cache_hits_(metrics_.GetCounter("service.plan_cache.hits")),
+      cache_misses_(metrics_.GetCounter("service.plan_cache.misses")),
+      cache_invalidated_(metrics_.GetCounter("service.plan_cache.invalidated")),
+      rewrites_applied_(metrics_.GetCounter("service.rewrites.applied")),
+      rewrites_skipped_(metrics_.GetCounter("service.rewrites.skipped")),
+      optimize_latency_(metrics_.GetHistogram("service.optimize_latency")),
+      exec_latency_(metrics_.GetHistogram("service.exec_latency")) {}
+
+Result<StatementResult> QueryService::Execute(const std::string& statement) {
+  std::string stmt = TrimStatement(statement);
+  if (stmt.empty() || stmt[0] == '#') return StatementResult{};
+  statements_.Increment();
+  return Dispatch(stmt, ToUpper(stmt));
+}
+
+Result<Table> QueryService::Select(const std::string& sql) {
+  AQV_ASSIGN_OR_RETURN(StatementResult result, Execute(sql));
+  if (!result.table.has_value()) {
+    return Status::InvalidArgument("not a SELECT statement: " + sql);
+  }
+  return *std::move(result.table);
+}
+
+Status QueryService::Bootstrap(Catalog catalog, Database db,
+                               ViewRegistry views) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  catalog_ = std::move(catalog);
+  db_ = std::move(db);
+  views_ = std::move(views);
+  cache_invalidated_.Increment(plan_cache_.Clear());
+  return Status::OK();
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats s;
+  s.statements = statements_.value();
+  s.queries_served = queries_served_.value();
+  s.plan_cache_hits = cache_hits_.value();
+  s.plan_cache_misses = cache_misses_.value();
+  s.plan_cache_invalidated = cache_invalidated_.value();
+  s.rewrites_applied = rewrites_applied_.value();
+  s.rewrites_skipped = rewrites_skipped_.value();
+  s.plan_cache_size = plan_cache_.size();
+  s.optimize_p50_micros = optimize_latency_.PercentileMicros(0.5);
+  s.optimize_p99_micros = optimize_latency_.PercentileMicros(0.99);
+  s.exec_p50_micros = exec_latency_.PercentileMicros(0.5);
+  s.exec_p99_micros = exec_latency_.PercentileMicros(0.99);
+  return s;
+}
+
+void QueryService::ResetStats() { metrics_.ResetAll(); }
+
+Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
+                                               const std::string& upper) {
+  if (upper == "STATS") {
+    StatementResult out;
+    out.message = Stats().ToString();
+    return out;
+  }
+  if (upper == "TABLES") return HandleListTables();
+  if (upper == "VIEWS") return HandleListViews();
+  if (StartsWith(upper, "CREATE TABLE")) return HandleCreateTable(stmt);
+  if (StartsWith(upper, "CREATE MATERIALIZED VIEW")) {
+    return HandleCreateView(
+        "CREATE " + stmt.substr(std::string("CREATE MATERIALIZED ").size()),
+        /*materialized=*/true);
+  }
+  if (StartsWith(upper, "CREATE VIEW")) {
+    return HandleCreateView(stmt, /*materialized=*/false);
+  }
+  if (StartsWith(upper, "INSERT INTO")) return HandleInsert(stmt);
+  if (StartsWith(upper, "REFRESH")) {
+    return HandleRefresh(TrimStatement(stmt.substr(7)));
+  }
+  if (StartsWith(upper, "EXPLAIN")) {
+    return HandleExplain(TrimStatement(stmt.substr(7)));
+  }
+  if (StartsWith(upper, "WHY")) return HandleWhy(TrimStatement(stmt.substr(3)));
+  if (StartsWith(upper, "SELECT")) return HandleSelect(stmt);
+  if (StartsWith(upper, "LOAD")) return HandleLoad(stmt);
+  if (StartsWith(upper, "SAVE")) return HandleSave(stmt);
+  return Status::InvalidArgument("unrecognized statement: " + stmt);
+}
+
+Result<PlanCache::EntryPtr> QueryService::PlanThroughCache(const Query& query,
+                                                           bool* cache_hit) {
+  *cache_hit = false;
+  std::string key;
+  if (options_.enable_plan_cache) {
+    key = CanonicalCacheKey(query);
+    if (PlanCache::EntryPtr cached = plan_cache_.Lookup(key)) {
+      *cache_hit = true;
+      cache_hits_.Increment();
+      return cached;
+    }
+  }
+  Clock::time_point start = Clock::now();
+  Optimizer optimizer(&db_, &views_, &catalog_, options_.rewrite);
+  AQV_ASSIGN_OR_RETURN(OptimizeResult plan, optimizer.Optimize(query));
+  optimize_latency_.Record(ElapsedMicros(start));
+  cache_misses_.Increment();
+
+  auto entry = std::make_shared<PlanCache::Entry>();
+  entry->plan = std::move(plan.chosen);
+  entry->used_materialized_view = plan.used_materialized_view;
+  entry->rewritings_considered = plan.rewritings_considered;
+  entry->cost_original = plan.cost_original;
+  entry->cost_chosen = plan.cost_chosen;
+  entry->dependencies = std::move(plan.dependencies);
+  // Inserted while still holding the shared latch (see the class comment):
+  // a writer's invalidation cannot interleave between optimize and insert.
+  if (options_.enable_plan_cache) plan_cache_.Insert(key, entry);
+  return PlanCache::EntryPtr(std::move(entry));
+}
+
+Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(stmt, &catalog_));
+  StatementResult out;
+  AQV_ASSIGN_OR_RETURN(PlanCache::EntryPtr entry,
+                       PlanThroughCache(query, &out.cache_hit));
+  out.used_materialized_view = entry->used_materialized_view;
+  if (entry->used_materialized_view) {
+    out.message = "-- rewritten to use a materialized view:\n--   " +
+                  ToSql(entry->plan) + "\n";
+    rewrites_applied_.Increment();
+  } else {
+    rewrites_skipped_.Increment();
+  }
+  Clock::time_point start = Clock::now();
+  Evaluator eval(&db_, &views_, options_.eval);
+  AQV_ASSIGN_OR_RETURN(Table result, eval.Execute(entry->plan));
+  exec_latency_.Record(ElapsedMicros(start));
+  queries_served_.Increment();
+  out.table = std::move(result);
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleExplain(
+    const std::string& select_stmt) {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(select_stmt, &catalog_));
+  StatementResult out;
+  AQV_ASSIGN_OR_RETURN(PlanCache::EntryPtr entry,
+                       PlanThroughCache(query, &out.cache_hit));
+  out.used_materialized_view = entry->used_materialized_view;
+  char buf[256];
+  out.message = "original:  " + ToSql(query) + "\n";
+  out.message += "chosen:    " + ToSql(entry->plan) + "\n";
+  std::snprintf(buf, sizeof(buf),
+                "cost:      %.0f -> %.0f (%d rewriting(s) considered%s)\n",
+                entry->cost_original, entry->cost_chosen,
+                entry->rewritings_considered,
+                out.cache_hit ? ", plan cache hit" : "");
+  out.message += buf;
+  AQV_ASSIGN_OR_RETURN(std::string tree,
+                       ExplainPlan(entry->plan, db_, &views_));
+  out.message += tree;
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleWhy(const std::string& rest) {
+  size_t space = rest.find(' ');
+  if (space == std::string::npos) {
+    return Status::InvalidArgument("usage: WHY <view> SELECT ...");
+  }
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  std::string name = rest.substr(0, space);
+  AQV_ASSIGN_OR_RETURN(const ViewDef* view, views_.Get(name));
+  AQV_ASSIGN_OR_RETURN(
+      Query query, ParseQuery(TrimStatement(rest.substr(space + 1)), &catalog_));
+  AQV_ASSIGN_OR_RETURN(RewriteExplanation explanation,
+                       ExplainRewrite(query, *view, options_.rewrite));
+  StatementResult out;
+  out.message = explanation.ToString();
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleSave(const std::string& stmt) {
+  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(stmt));
+  if (tokens.size() < 4 || tokens[1].kind != TokenKind::kIdentifier ||
+      !tokens[2].IsKeyword("TO") || tokens[3].kind != TokenKind::kString) {
+    return Status::InvalidArgument("usage: SAVE R TO 'file.csv'");
+  }
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  Evaluator eval(&db_, &views_);
+  AQV_ASSIGN_OR_RETURN(Table contents, eval.MaterializeView(tokens[1].text));
+  AQV_RETURN_NOT_OK(WriteCsvFile(contents, tokens[3].text));
+  StatementResult out;
+  out.message = std::to_string(contents.num_rows()) + " row(s) written to " +
+                tokens[3].text + "\n";
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleListTables() {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  StatementResult out;
+  for (const std::string& name : catalog_.TableNames()) {
+    const TableDef* def = *catalog_.GetTable(name);
+    Result<const Table*> t = db_.Get(name);
+    out.message += "  " + name + "(" + Join(def->columns(), ", ") + ") — " +
+                   std::to_string(t.ok() ? (*t)->num_rows() : 0) + " rows\n";
+  }
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleListViews() {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  StatementResult out;
+  for (const std::string& name : views_.ViewNames()) {
+    const ViewDef* def = *views_.Get(name);
+    bool materialized = db_.Has(name);
+    out.message += "  " + name + (materialized ? " [materialized] AS " : " [virtual] AS ") +
+                   ToSql(def->query) + "\n";
+  }
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleCreateTable(
+    const std::string& stmt) {
+  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(stmt));
+  size_t i = 2;  // CREATE TABLE
+  if (tokens[i].kind != TokenKind::kIdentifier) {
+    return Status::InvalidArgument("expected a table name");
+  }
+  std::string name = tokens[i++].text;
+  if (tokens[i++].kind != TokenKind::kLParen) {
+    return Status::InvalidArgument("expected '(' after the table name");
+  }
+  std::vector<std::string> columns;
+  while (tokens[i].kind == TokenKind::kIdentifier) {
+    columns.push_back(tokens[i++].text);
+    if (tokens[i].kind == TokenKind::kComma) ++i;
+  }
+  if (tokens[i++].kind != TokenKind::kRParen) {
+    return Status::InvalidArgument("expected ')' after the column list");
+  }
+  TableDef def(name, columns);
+  if (tokens[i].IsKeyword("KEY")) {
+    ++i;
+    if (tokens[i++].kind != TokenKind::kLParen) {
+      return Status::InvalidArgument("expected '(' after KEY");
+    }
+    std::vector<std::string> key;
+    while (tokens[i].kind == TokenKind::kIdentifier) {
+      key.push_back(tokens[i++].text);
+      if (tokens[i].kind == TokenKind::kComma) ++i;
+    }
+    if (tokens[i++].kind != TokenKind::kRParen) {
+      return Status::InvalidArgument("expected ')' after the key columns");
+    }
+    AQV_RETURN_NOT_OK(def.AddKeyByName(key));
+  }
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  AQV_RETURN_NOT_OK(catalog_.AddTable(def));
+  db_.Put(name, Table(columns));
+  // DDL hook: a new table can change any optimizer choice; drop everything.
+  cache_invalidated_.Increment(plan_cache_.Clear());
+  StatementResult out;
+  out.message = "table " + name + " created\n";
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleCreateView(const std::string& stmt,
+                                                       bool materialized) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  AQV_ASSIGN_OR_RETURN(ViewDef view, ParseView(stmt, &catalog_));
+  std::string name = view.name;
+  AQV_RETURN_NOT_OK(views_.Register(std::move(view)));
+  // DDL hook: a new view makes new rewritings possible for cached misses
+  // and can flip cost decisions, so the whole cache goes.
+  cache_invalidated_.Increment(plan_cache_.Clear());
+  StatementResult out;
+  if (materialized) {
+    AQV_ASSIGN_OR_RETURN(size_t rows, RefreshLocked(name));
+    out.message =
+        "view " + name + " materialized: " + std::to_string(rows) + " rows\n";
+  } else {
+    out.message = "view " + name + " registered (virtual)\n";
+  }
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleInsert(const std::string& stmt) {
+  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(stmt));
+  size_t i = 2;  // INSERT INTO
+  if (tokens[i].kind != TokenKind::kIdentifier) {
+    return Status::InvalidArgument("expected a table name");
+  }
+  std::string name = tokens[i++].text;
+  if (!tokens[i].IsKeyword("VALUES")) {
+    return Status::InvalidArgument("expected VALUES");
+  }
+  ++i;
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  AQV_ASSIGN_OR_RETURN(const Table* existing, db_.Get(name));
+  Table updated = *existing;
+  int inserted = 0;
+  while (tokens[i].kind == TokenKind::kLParen) {
+    ++i;
+    Row row;
+    while (tokens[i].kind != TokenKind::kRParen) {
+      switch (tokens[i].kind) {
+        case TokenKind::kInteger:
+          row.push_back(Value::Int64(tokens[i].int_value));
+          break;
+        case TokenKind::kFloat:
+          row.push_back(Value::Double(tokens[i].float_value));
+          break;
+        case TokenKind::kString:
+          row.push_back(Value::String(tokens[i].text));
+          break;
+        case TokenKind::kIdentifier:
+          if (tokens[i].IsKeyword("NULL")) {
+            row.push_back(Value::Null());
+            break;
+          }
+          [[fallthrough]];
+        default:
+          return Status::InvalidArgument("expected a literal in VALUES");
+      }
+      ++i;
+      if (tokens[i].kind == TokenKind::kComma) ++i;
+    }
+    ++i;  // ')'
+    AQV_RETURN_NOT_OK(updated.AddRow(std::move(row)));
+    ++inserted;
+    if (tokens[i].kind == TokenKind::kComma) ++i;
+  }
+  db_.Put(name, std::move(updated));
+  // Write hook: only plans reading `name` are stale.
+  cache_invalidated_.Increment(plan_cache_.InvalidateDependency(name));
+  StatementResult out;
+  out.message =
+      std::to_string(inserted) + " row(s) inserted into " + name + "\n";
+  return out;
+}
+
+Result<size_t> QueryService::RefreshLocked(const std::string& name) {
+  if (!views_.Has(name)) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  AQV_ASSIGN_OR_RETURN(const ViewDef* def, views_.Get(name));
+  Evaluator fresh(&db_, &views_);
+  AQV_ASSIGN_OR_RETURN(Table contents, fresh.Execute(def->query));
+  size_t rows = contents.num_rows();
+  db_.Put(name, std::move(contents));
+  // Write hook: the view's stored contents changed.
+  cache_invalidated_.Increment(plan_cache_.InvalidateDependency(name));
+  return rows;
+}
+
+Result<StatementResult> QueryService::HandleRefresh(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  AQV_ASSIGN_OR_RETURN(size_t rows, RefreshLocked(name));
+  StatementResult out;
+  out.message =
+      "view " + name + " materialized: " + std::to_string(rows) + " rows\n";
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
+  // LOAD <table> FROM '<path>'
+  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(stmt));
+  if (tokens.size() < 4 || tokens[1].kind != TokenKind::kIdentifier ||
+      !tokens[2].IsKeyword("FROM") || tokens[3].kind != TokenKind::kString) {
+    return Status::InvalidArgument("usage: LOAD R FROM 'file.csv'");
+  }
+  std::string name = tokens[1].text;
+  AQV_ASSIGN_OR_RETURN(Table loaded, ReadCsvFile(tokens[3].text));
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  StatementResult out;
+  if (!catalog_.HasTable(name)) {
+    AQV_RETURN_NOT_OK(catalog_.AddTable(TableDef(name, loaded.columns())));
+    out.message = "table " + name + " created from the CSV header\n";
+    cache_invalidated_.Increment(plan_cache_.Clear());  // DDL hook
+  } else {
+    AQV_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(name));
+    if (def->num_columns() != loaded.num_columns()) {
+      return Status::InvalidArgument("CSV arity does not match table '" + name +
+                                     "'");
+    }
+    cache_invalidated_.Increment(plan_cache_.InvalidateDependency(name));
+  }
+  out.message += std::to_string(loaded.num_rows()) + " row(s) loaded into " +
+                 name + "\n";
+  db_.Put(name, std::move(loaded));
+  return out;
+}
+
+}  // namespace aqv

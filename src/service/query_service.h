@@ -1,0 +1,152 @@
+#ifndef AQV_SERVICE_QUERY_SERVICE_H_
+#define AQV_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+
+#include "base/metrics.h"
+#include "base/result.h"
+#include "catalog/catalog.h"
+#include "exec/evaluator.h"
+#include "exec/table.h"
+#include "ir/views.h"
+#include "rewrite/rewriter.h"
+#include "service/plan_cache.h"
+
+namespace aqv {
+
+/// Construction-time knobs of a QueryService.
+struct ServiceOptions {
+  /// Maximum number of cached plans; 0 disables caching outright.
+  size_t plan_cache_capacity = 256;
+  /// Master switch for the rewrite-plan cache (the bench sweeps this).
+  bool enable_plan_cache = true;
+  RewriteOptions rewrite;
+  EvalOptions eval;
+
+  ServiceOptions() { rewrite.use_key_information = true; }
+};
+
+/// Outcome of one statement. `table` is set for SELECT; everything else
+/// reports through `message` (acks, EXPLAIN text, STATS report, listings).
+struct StatementResult {
+  std::string message;
+  std::optional<Table> table;
+  bool cache_hit = false;
+  bool used_materialized_view = false;
+};
+
+/// Point-in-time snapshot of the service's runtime counters, for embedders
+/// that want numbers rather than the STATS text.
+struct ServiceStats {
+  uint64_t statements = 0;         // statements accepted (all kinds)
+  uint64_t queries_served = 0;     // SELECTs executed to completion
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_invalidated = 0;  // entries dropped by write hooks
+  uint64_t rewrites_applied = 0;   // chosen plan uses a materialized view
+  uint64_t rewrites_skipped = 0;   // original plan kept
+  size_t plan_cache_size = 0;
+  double optimize_p50_micros = 0;
+  double optimize_p99_micros = 0;
+  double exec_p50_micros = 0;
+  double exec_p99_micros = 0;
+
+  std::string ToString() const;
+};
+
+/// An embeddable, thread-safe query service over the aqv library: it owns a
+/// Catalog, a Database and a ViewRegistry behind one reader/writer latch,
+/// executes the same statement dialect as examples/aqvsh.cpp, and caches
+/// optimized plans in a bounded LRU keyed by the canonical IR fingerprint
+/// (ir/fingerprint.h).
+///
+/// Concurrency contract:
+///   - Read statements (SELECT, EXPLAIN, WHY, SAVE, TABLES, VIEWS) take the
+///     latch shared and may run in parallel.
+///   - Write statements (CREATE TABLE/VIEW, INSERT, REFRESH, LOAD) take it
+///     exclusive, mutate, and fire the plan-cache invalidation hook before
+///     releasing: dependency-precise for INSERT/REFRESH/LOAD, full clear
+///     for DDL (new tables/views can change any plan choice).
+///   - A reader inserts a freshly optimized plan while still holding the
+///     shared latch, so a concurrent writer's invalidation is always
+///     ordered after the insert and no stale plan can linger.
+///
+/// Metrics are exposed three ways: the STATS statement (human-readable),
+/// Stats() (struct snapshot), and metrics() (the raw registry).
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = ServiceOptions{});
+
+  /// Parses and executes one statement (same dialect as aqvsh; see HELP
+  /// there). Thread-safe. Statement keywords are matched case-insensitively.
+  Result<StatementResult> Execute(const std::string& statement);
+
+  /// Typed convenience wrapper: Execute on a SELECT, returning the rows.
+  Result<Table> Select(const std::string& sql);
+
+  /// Replaces the service's catalog, database and view registry wholesale
+  /// (e.g. with a pre-built workload) and clears the plan cache.
+  Status Bootstrap(Catalog catalog, Database db, ViewRegistry views);
+
+  ServiceStats Stats() const;
+  void ResetStats();
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  Result<StatementResult> Dispatch(const std::string& stmt,
+                                   const std::string& upper);
+
+  // Read statements (caller documentation only: each takes latch_ shared).
+  Result<StatementResult> HandleSelect(const std::string& stmt);
+  Result<StatementResult> HandleExplain(const std::string& select_stmt);
+  Result<StatementResult> HandleWhy(const std::string& rest);
+  Result<StatementResult> HandleSave(const std::string& stmt);
+  Result<StatementResult> HandleListTables();
+  Result<StatementResult> HandleListViews();
+
+  // Write statements (each takes latch_ exclusive and fires invalidation).
+  Result<StatementResult> HandleCreateTable(const std::string& stmt);
+  Result<StatementResult> HandleCreateView(const std::string& stmt,
+                                           bool materialized);
+  Result<StatementResult> HandleInsert(const std::string& stmt);
+  Result<StatementResult> HandleRefresh(const std::string& name);
+  Result<StatementResult> HandleLoad(const std::string& stmt);
+
+  /// Optimizes `query` through the plan cache (lookup, else optimize and
+  /// insert). Caller must hold latch_ at least shared.
+  Result<PlanCache::EntryPtr> PlanThroughCache(const Query& query,
+                                               bool* cache_hit);
+
+  /// Recomputes the named view's contents into db_. Caller holds latch_
+  /// exclusive; fires the view's invalidation hook.
+  Result<size_t> RefreshLocked(const std::string& name);
+
+  ServiceOptions options_;
+
+  /// Guards catalog_, db_ and views_. The plan cache and metrics have their
+  /// own internal synchronization and are safe under either latch mode.
+  mutable std::shared_mutex latch_;
+  Catalog catalog_;
+  Database db_;
+  ViewRegistry views_;
+
+  PlanCache plan_cache_;
+
+  MetricsRegistry metrics_;
+  Counter& statements_;
+  Counter& queries_served_;
+  Counter& cache_hits_;
+  Counter& cache_misses_;
+  Counter& cache_invalidated_;
+  Counter& rewrites_applied_;
+  Counter& rewrites_skipped_;
+  LatencyHistogram& optimize_latency_;
+  LatencyHistogram& exec_latency_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_SERVICE_QUERY_SERVICE_H_

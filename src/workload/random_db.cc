@@ -17,6 +17,12 @@ Table MakeRandomTable(const TableDef& def, int rows, int domain,
   return t;
 }
 
+Table MakeRandomTable(const TableDef& def, int rows, int domain,
+                      uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return MakeRandomTable(def, rows, domain, &rng);
+}
+
 Database MakeRandomDatabase(const Catalog& catalog, int rows_per_table,
                             int domain, uint64_t seed) {
   std::mt19937_64 rng(seed);

@@ -15,6 +15,12 @@ namespace aqv {
 Table MakeRandomTable(const TableDef& def, int rows, int domain,
                       std::mt19937_64* rng);
 
+/// Same, from an explicit seed rather than a caller-owned generator. Every
+/// randomized bench/load-generator entry point takes its seed this way so a
+/// run is reproducible from its reported parameters alone.
+Table MakeRandomTable(const TableDef& def, int rows, int domain,
+                      uint64_t seed);
+
 /// Random contents for every table of `catalog`.
 Database MakeRandomDatabase(const Catalog& catalog, int rows_per_table,
                             int domain, uint64_t seed);

@@ -60,6 +60,17 @@ Database RandomWorkloadGen::NextDatabase(int rows_per_table, int domain) {
   return db;
 }
 
+Database RandomWorkloadGen::NextDatabase(int rows_per_table, int domain,
+                                         uint64_t seed) const {
+  std::mt19937_64 rng(seed);
+  Database db;
+  for (const std::string& name : catalog_.TableNames()) {
+    const TableDef* def = *catalog_.GetTable(name);
+    db.Put(name, MakeRandomTable(*def, rows_per_table, domain, &rng));
+  }
+  return db;
+}
+
 Query RandomWorkloadGen::RandomQuery(const RandomPairConfig& config) {
   const auto& schema = FixedSchema();
   Query q;

@@ -45,8 +45,18 @@ class RandomWorkloadGen {
   /// Generates the next query/view pair under `config`.
   QueryViewPair NextPair(const RandomPairConfig& config);
 
-  /// Random contents for the fixed schema.
+  /// Random contents for the fixed schema, drawn from the generator's own
+  /// stream (advances internal state; successive calls differ).
   Database NextDatabase(int rows_per_table, int domain);
+
+  /// Random contents for the fixed schema from an explicit `seed`,
+  /// independent of the generator's internal state. Use this when a bench
+  /// or service load test must be reproducible from its parameters alone.
+  Database NextDatabase(int rows_per_table, int domain, uint64_t seed) const;
+
+  /// Restarts the generator's internal stream at `seed`, as if freshly
+  /// constructed (pair numbering continues, so view names stay unique).
+  void Reseed(uint64_t seed) { rng_.seed(seed); }
 
  private:
   int Uniform(int lo, int hi);  // inclusive bounds

@@ -1,0 +1,371 @@
+// Tests for src/service: statement dispatch, rewrite-plan cache correctness
+// (hits serve the same rows as cold plans; INSERT/REFRESH/DDL invalidate),
+// and multi-threaded execution matching single-threaded results. The
+// concurrency tests are the TSan target for the latch discipline:
+//
+//   cmake -B build-tsan -S . -DAQV_SANITIZE=thread
+//   cmake --build build-tsan -j && ctest --test-dir build-tsan -R Service
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/table.h"
+#include "ir/fingerprint.h"
+#include "parser/parser.h"
+#include "service/query_service.h"
+#include "tests/test_util.h"
+#include "workload/telephony.h"
+
+namespace aqv {
+namespace {
+
+// The Example 1.1 query in shell syntax against the telephony catalog
+// (occurrence 1 = Calls, occurrence 2 = Calling_Plans).
+std::string TelephonyQuery(int year, double threshold) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "SELECT Plan_Id_2, Plan_Name_2, SUM(Charge_1) AS Total "
+                "FROM Calls, Calling_Plans "
+                "WHERE Plan_Id_1 = Plan_Id_2 AND Year_1 = %d "
+                "GROUPBY Plan_Id_2, Plan_Name_2 HAVING SUM(Charge_1) < %.1f",
+                year, threshold);
+  return buf;
+}
+
+std::unique_ptr<QueryService> MakeTelephonyService(
+    ServiceOptions options = ServiceOptions{}, int num_calls = 2000) {
+  TelephonyParams params;
+  params.num_calls = num_calls;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+  auto service = std::make_unique<QueryService>(options);
+  EXPECT_OK(service->Bootstrap(std::move(w.catalog), std::move(w.db),
+                               std::move(w.views)));
+  Result<StatementResult> refreshed = service->Execute("REFRESH V1");
+  EXPECT_OK(refreshed.status());
+  return service;
+}
+
+StatementResult ExecuteOrDie(QueryService& service, const std::string& stmt) {
+  Result<StatementResult> r = service.Execute(stmt);
+  EXPECT_TRUE(r.ok()) << "statement: " << stmt
+                      << "\nstatus: " << r.status().ToString();
+  return r.ok() ? *std::move(r) : StatementResult{};
+}
+
+TEST(ServiceStatementTest, DialectRoundTrip) {
+  QueryService service;
+  EXPECT_OK(service.Execute("CREATE TABLE R(A, B) KEY(A)").status());
+  EXPECT_OK(service.Execute("INSERT INTO R VALUES (1, 10), (2, 20)").status());
+
+  StatementResult rows = ExecuteOrDie(service, "SELECT A_1, B_1 FROM R");
+  ASSERT_TRUE(rows.table.has_value());
+  EXPECT_EQ(rows.table->num_rows(), 2u);
+
+  EXPECT_NE(ExecuteOrDie(service, "TABLES").message.find("R(A, B)"),
+            std::string::npos);
+  EXPECT_NE(ExecuteOrDie(service, "STATS").message.find("plan cache"),
+            std::string::npos);
+  EXPECT_FALSE(service.Execute("FROB R").ok());
+
+  // Comments and blank lines are accepted and do nothing.
+  EXPECT_OK(service.Execute("# a comment").status());
+  EXPECT_OK(service.Execute("   ").status());
+}
+
+TEST(ServicePlanCacheTest, HitReturnsSameRowsAsColdPlan) {
+  std::unique_ptr<QueryService> service = MakeTelephonyService();
+  std::string q = TelephonyQuery(1995, 1e9);
+
+  StatementResult cold = ExecuteOrDie(*service, q);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(cold.used_materialized_view);
+  ASSERT_TRUE(cold.table.has_value());
+
+  StatementResult warm = ExecuteOrDie(*service, q);
+  EXPECT_TRUE(warm.cache_hit);
+  ASSERT_TRUE(warm.table.has_value());
+  EXPECT_TRUE(MultisetEqual(*cold.table, *warm.table))
+      << DescribeMultisetDifference(*cold.table, *warm.table);
+
+  ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.plan_cache_misses, 1u);
+  EXPECT_EQ(stats.queries_served, 2u);
+  EXPECT_GE(stats.rewrites_applied, 2u);
+}
+
+TEST(ServicePlanCacheTest, CanonicalFingerprintNormalizesConjunctOrder) {
+  std::unique_ptr<QueryService> service = MakeTelephonyService();
+  StatementResult first = ExecuteOrDie(
+      *service,
+      "SELECT Plan_Id_2, SUM(Charge_1) AS Total FROM Calls, Calling_Plans "
+      "WHERE Plan_Id_1 = Plan_Id_2 AND Year_1 = 1995 GROUPBY Plan_Id_2");
+  EXPECT_FALSE(first.cache_hit);
+  // Same query: conjuncts reordered, both predicates mirrored.
+  StatementResult second = ExecuteOrDie(
+      *service,
+      "SELECT Plan_Id_2, SUM(Charge_1) AS Total FROM Calls, Calling_Plans "
+      "WHERE 1995 = Year_1 AND Plan_Id_2 = Plan_Id_1 GROUPBY Plan_Id_2");
+  EXPECT_TRUE(second.cache_hit);
+  ASSERT_TRUE(first.table.has_value() && second.table.has_value());
+  EXPECT_TRUE(MultisetEqual(*first.table, *second.table));
+}
+
+TEST(ServicePlanCacheTest, FingerprintDistinguishesDifferentQueries) {
+  ASSERT_OK_AND_ASSIGN(Query a,
+                       ParseQuery("SELECT A1 FROM R1(A1, B1) WHERE B1 = 1"));
+  ASSERT_OK_AND_ASSIGN(Query b,
+                       ParseQuery("SELECT A1 FROM R1(A1, B1) WHERE B1 = 2"));
+  ASSERT_OK_AND_ASSIGN(
+      Query a_mirrored, ParseQuery("SELECT A1 FROM R1(A1, B1) WHERE 1 = B1"));
+  EXPECT_NE(CanonicalCacheKey(a), CanonicalCacheKey(b));
+  EXPECT_EQ(CanonicalCacheKey(a), CanonicalCacheKey(a_mirrored));
+  EXPECT_EQ(QueryFingerprint(a), QueryFingerprint(a_mirrored));
+}
+
+TEST(ServicePlanCacheTest, InsertInvalidatesOnlyAffectedEntries) {
+  QueryService service;
+  EXPECT_OK(service.Execute("CREATE TABLE R(A, B)").status());
+  EXPECT_OK(service.Execute("CREATE TABLE S(C, D)").status());
+  EXPECT_OK(service.Execute("INSERT INTO R VALUES (1, 10), (1, 20)").status());
+  EXPECT_OK(service.Execute("INSERT INTO S VALUES (7, 70)").status());
+
+  std::string qr = "SELECT A_1, SUM(B_1) AS T FROM R GROUPBY A_1";
+  std::string qs = "SELECT C_1, SUM(D_1) AS T FROM S GROUPBY C_1";
+  ExecuteOrDie(service, qr);
+  ExecuteOrDie(service, qs);
+  EXPECT_TRUE(ExecuteOrDie(service, qr).cache_hit);
+  EXPECT_TRUE(ExecuteOrDie(service, qs).cache_hit);
+
+  EXPECT_OK(service.Execute("INSERT INTO R VALUES (1, 30)").status());
+
+  // R's entry was dropped and the fresh execution sees the new row ...
+  StatementResult after = ExecuteOrDie(service, qr);
+  EXPECT_FALSE(after.cache_hit);
+  ASSERT_TRUE(after.table.has_value());
+  ASSERT_EQ(after.table->num_rows(), 1u);
+  EXPECT_EQ(after.table->rows()[0][1], Value::Int64(60));
+  // ... while S's entry survived the unrelated INSERT.
+  EXPECT_TRUE(ExecuteOrDie(service, qs).cache_hit);
+  EXPECT_GE(service.Stats().plan_cache_invalidated, 1u);
+}
+
+TEST(ServicePlanCacheTest, RefreshInvalidatesViewDependents) {
+  std::unique_ptr<QueryService> service = MakeTelephonyService();
+  std::string q = TelephonyQuery(1995, 1e9);
+
+  StatementResult cold = ExecuteOrDie(*service, q);
+  EXPECT_TRUE(cold.used_materialized_view);
+  EXPECT_TRUE(ExecuteOrDie(*service, q).cache_hit);
+
+  // An INSERT into the base table drops the entry (its dependency set
+  // contains Calls via both the original and the view's definition).
+  EXPECT_OK(service
+                ->Execute("INSERT INTO Calls VALUES "
+                          "(990001, 5, 3, 14, 6, 1995, 4.5)")
+                .status());
+  StatementResult after_insert = ExecuteOrDie(*service, q);
+  EXPECT_FALSE(after_insert.cache_hit);
+
+  // Re-prime, then REFRESH V1: the view's stored contents changed, so the
+  // dependent entry is dropped again and the served rows pick up the new
+  // call through the refreshed summary.
+  EXPECT_TRUE(ExecuteOrDie(*service, q).cache_hit);
+  EXPECT_OK(service->Execute("REFRESH V1").status());
+  StatementResult after_refresh = ExecuteOrDie(*service, q);
+  EXPECT_FALSE(after_refresh.cache_hit);
+  EXPECT_TRUE(after_refresh.used_materialized_view);
+
+  // Ground truth: a cache-less service fed the same statements.
+  ServiceOptions no_cache;
+  no_cache.enable_plan_cache = false;
+  std::unique_ptr<QueryService> witness = MakeTelephonyService(no_cache);
+  EXPECT_OK(witness
+                ->Execute("INSERT INTO Calls VALUES "
+                          "(990001, 5, 3, 14, 6, 1995, 4.5)")
+                .status());
+  EXPECT_OK(witness->Execute("REFRESH V1").status());
+  StatementResult expected = ExecuteOrDie(*witness, q);
+  ASSERT_TRUE(expected.table.has_value() && after_refresh.table.has_value());
+  EXPECT_TRUE(MultisetAlmostEqual(*expected.table, *after_refresh.table))
+      << DescribeMultisetDifference(*expected.table, *after_refresh.table);
+  EXPECT_EQ(witness->Stats().plan_cache_hits, 0u);
+}
+
+TEST(ServicePlanCacheTest, DdlClearsWholeCache) {
+  QueryService service;
+  EXPECT_OK(service.Execute("CREATE TABLE R(A, B)").status());
+  EXPECT_OK(service.Execute("INSERT INTO R VALUES (1, 2), (3, 4)").status());
+  std::string q = "SELECT A_1 FROM R WHERE B_1 > 1";
+  ExecuteOrDie(service, q);
+  EXPECT_TRUE(ExecuteOrDie(service, q).cache_hit);
+
+  EXPECT_OK(service.Execute("CREATE TABLE Unrelated(X)").status());
+  EXPECT_FALSE(ExecuteOrDie(service, q).cache_hit);
+  EXPECT_EQ(service.Stats().plan_cache_size, 1u);
+}
+
+TEST(ServicePlanCacheTest, CreateMaterializedViewFlipsPlanToRewrite) {
+  QueryService service;
+  EXPECT_OK(service.Execute("CREATE TABLE Sales(Shop, Amount)").status());
+  // Integer amounts: SUM re-association is exact, so results must be equal.
+  EXPECT_OK(service
+                .Execute("INSERT INTO Sales VALUES (1, 10), (1, 11), (2, 20), "
+                         "(2, 21), (3, 30)")
+                .status());
+  std::string q =
+      "SELECT Shop_1, SUM(Amount_1) AS T FROM Sales GROUPBY Shop_1";
+  StatementResult base = ExecuteOrDie(service, q);
+  EXPECT_FALSE(base.used_materialized_view);
+  EXPECT_TRUE(ExecuteOrDie(service, q).cache_hit);
+
+  EXPECT_OK(service
+                .Execute("CREATE MATERIALIZED VIEW Totals AS SELECT Shop_1, "
+                         "SUM(Amount_1) AS T FROM Sales GROUPBY Shop_1")
+                .status());
+  StatementResult rewritten = ExecuteOrDie(service, q);
+  EXPECT_FALSE(rewritten.cache_hit);  // DDL cleared the cache
+  EXPECT_TRUE(rewritten.used_materialized_view);
+  ASSERT_TRUE(base.table.has_value() && rewritten.table.has_value());
+  EXPECT_TRUE(MultisetEqual(*base.table, *rewritten.table))
+      << DescribeMultisetDifference(*base.table, *rewritten.table);
+}
+
+TEST(ServicePlanCacheTest, LruEvictsLeastRecentlyUsed) {
+  ServiceOptions options;
+  options.plan_cache_capacity = 2;
+  QueryService service(options);
+  EXPECT_OK(service.Execute("CREATE TABLE R(A, B)").status());
+  EXPECT_OK(service.Execute("INSERT INTO R VALUES (1, 2)").status());
+
+  std::string q1 = "SELECT A_1 FROM R WHERE B_1 = 1";
+  std::string q2 = "SELECT A_1 FROM R WHERE B_1 = 2";
+  std::string q3 = "SELECT A_1 FROM R WHERE B_1 = 3";
+  ExecuteOrDie(service, q1);
+  ExecuteOrDie(service, q2);
+  ExecuteOrDie(service, q1);  // q1 now MRU
+  ExecuteOrDie(service, q3);  // evicts q2
+  EXPECT_EQ(service.Stats().plan_cache_size, 2u);
+  EXPECT_TRUE(ExecuteOrDie(service, q1).cache_hit);
+  EXPECT_FALSE(ExecuteOrDie(service, q2).cache_hit);
+}
+
+// N threads x M mixed statements. Shared read-only telephony SELECTs are
+// checked against single-threaded ground truth; each thread additionally
+// runs a private CREATE/INSERT/SELECT sequence (concurrent DDL + writes)
+// whose results are exactly predictable. Failures are collected and
+// asserted on the main thread.
+TEST(ServiceConcurrencyTest, MixedStatementsMatchSingleThreadedExecution) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 12;
+
+  std::unique_ptr<QueryService> service = MakeTelephonyService();
+  std::vector<std::string> pool = {
+      TelephonyQuery(1994, 1e9), TelephonyQuery(1995, 1e9),
+      TelephonyQuery(1996, 1e9), TelephonyQuery(1995, 500.0),
+      "SELECT Plan_Id_1, SUM(Charge_1) AS T FROM Calls GROUPBY Plan_Id_1",
+  };
+
+  // Ground truth, single-threaded, before any concurrency.
+  std::vector<Table> expected;
+  for (const std::string& q : pool) {
+    StatementResult r = ExecuteOrDie(*service, q);
+    ASSERT_TRUE(r.table.has_value()) << q;
+    expected.push_back(*std::move(r.table));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto fail = [&](const std::string& msg) {
+        errors[t] += msg + "\n";
+        failures.fetch_add(1);
+      };
+      // Private-table mixed statements (DDL + INSERT under contention).
+      std::string mine = "P" + std::to_string(t);
+      if (!service->Execute("CREATE TABLE " + mine + "(A, B)").ok()) {
+        fail("create " + mine);
+      }
+      int64_t sum = 0;
+      for (int round = 0; round < kRounds; ++round) {
+        int64_t v = t * 1000 + round;
+        sum += v;
+        if (!service
+                 ->Execute("INSERT INTO " + mine + " VALUES (1, " +
+                           std::to_string(v) + ")")
+                 .ok()) {
+          fail("insert " + mine);
+        }
+        // Shared read: must match the single-threaded ground truth.
+        const std::string& q = pool[(t + round) % pool.size()];
+        Result<StatementResult> shared = service->Execute(q);
+        if (!shared.ok() || !shared->table.has_value()) {
+          fail("shared select failed: " + q);
+        } else if (!MultisetAlmostEqual(expected[(t + round) % pool.size()],
+                                        *shared->table)) {
+          fail("shared select diverged: " + q);
+        }
+        // Private read: exactly predictable despite concurrent writers.
+        Result<StatementResult> own = service->Execute(
+            "SELECT A_1, SUM(B_1) AS T FROM " + mine + " GROUPBY A_1");
+        if (!own.ok() || !own->table.has_value() ||
+            own->table->num_rows() != 1 ||
+            !(own->table->rows()[0][1] == Value::Int64(sum))) {
+          fail("private select diverged on " + mine);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0) << [&] {
+    std::string all;
+    for (const std::string& e : errors) all += e;
+    return all;
+  }();
+
+  // Every statement was accounted for and the latch let readers overlap.
+  ServiceStats stats = service->Stats();
+  EXPECT_GE(stats.queries_served,
+            static_cast<uint64_t>(pool.size() + 2 * kThreads * kRounds));
+  EXPECT_GT(stats.plan_cache_hits, 0u);
+}
+
+// Pure reader concurrency over one cached plan: every hit must serve rows
+// identical to the cold plan's (exercises concurrent LRU promotion).
+TEST(ServiceConcurrencyTest, ParallelCacheHitsServeIdenticalRows) {
+  constexpr int kThreads = 8;
+  constexpr int kRepeats = 16;
+  std::unique_ptr<QueryService> service = MakeTelephonyService();
+  std::string q = TelephonyQuery(1995, 1e9);
+  StatementResult cold = ExecuteOrDie(*service, q);
+  ASSERT_TRUE(cold.table.has_value());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kRepeats; ++i) {
+        Result<StatementResult> r = service->Execute(q);
+        if (!r.ok() || !r->table.has_value() ||
+            !MultisetEqual(*cold.table, *r->table)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(service->Stats().plan_cache_hits,
+            static_cast<uint64_t>(kThreads * kRepeats));
+}
+
+}  // namespace
+}  // namespace aqv
