@@ -16,11 +16,23 @@
 // threads is the cache speedup (claimed >= 2x), and items_per_second rising
 // with threads at cache:1 is the latch scaling claim.
 //
-// Reproducible by construction: the workload seed is pinned in
-// TelephonyParams (satellite of the service PR), so two runs generate
-// identical databases and plans.
+// Reproducible by construction: the workload seed is pinned (and overridable
+// on the command line), so two runs generate identical databases and plans.
+//
+// This bench has its own main with workload flags on top of the standard
+// google-benchmark ones:
+//
+//   --threads=1,2,4,8     worker counts to sweep (comma-separated)
+//   --duration=SECONDS    min measuring time per series (benchmark MinTime)
+//   --seed=N              telephony workload seed (default 42)
+//   --cache_capacity=N    plan-cache capacity for the cache:1 service
+//
+// e.g. bench_e12_service --threads=4 --duration=2 --seed=7
+//        --benchmark_format=json
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -36,7 +48,11 @@ namespace aqv {
 namespace {
 
 constexpr int kNumCalls = 20000;
-constexpr uint64_t kWorkloadSeed = 42;
+
+// Flag-controlled workload knobs (set in main before any benchmark runs;
+// GetService builds lazily, so the flags are honored).
+uint64_t g_workload_seed = 42;
+size_t g_cache_capacity = 256;
 
 // The Example 1.1 query in shell syntax (occurrence 1 = Calls,
 // occurrence 2 = Calling_Plans), parameterized to make plans distinct.
@@ -86,11 +102,12 @@ QueryService* GetService(bool cache_enabled) {
 
   TelephonyParams params;
   params.num_calls = kNumCalls;
-  params.seed = kWorkloadSeed;
+  params.seed = g_workload_seed;
   TelephonyWorkload w = MakeTelephonyWorkload(params);
 
   ServiceOptions options;
   options.enable_plan_cache = cache_enabled;
+  options.plan_cache_capacity = g_cache_capacity;
   auto* service = new QueryService(options);
   CheckOrDie(
       service->Bootstrap(std::move(w.catalog), std::move(w.db),
@@ -141,17 +158,6 @@ void BM_E12_Service(benchmark::State& state) {
       stats.exec_p50_micros, benchmark::Counter::kAvgThreads);
 }
 
-BENCHMARK(BM_E12_Service)
-    ->ArgName("cache")
-    ->Arg(0)
-    ->Arg(1)
-    ->Threads(1)
-    ->Threads(2)
-    ->Threads(4)
-    ->Threads(8)
-    ->UseRealTime()
-    ->Unit(benchmark::kMicrosecond);
-
 // Closed-loop load generator: each worker models one client connection that
 // waits kThinkMicros between statements (network round-trip + client work),
 // the standard YCSB-style closed system. Aggregate throughput rising with
@@ -177,13 +183,6 @@ void BM_E12_ServiceClosedLoop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_E12_ServiceClosedLoop)
-    ->Threads(1)
-    ->Threads(2)
-    ->Threads(4)
-    ->Threads(8)
-    ->UseRealTime()
-    ->Unit(benchmark::kMicrosecond);
 
 // Planning-path microscope: the exact cost a warm hit saves per statement
 // (single-threaded, no execution variance): optimizer entry vs cache hit.
@@ -201,11 +200,90 @@ void BM_E12_ColdPlanVsWarmPlan(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_E12_ColdPlanVsWarmPlan)
-    ->ArgName("cache")
-    ->Arg(0)
-    ->Arg(1)
-    ->Unit(benchmark::kMicrosecond);
+
+// ---- Flag parsing + registration (custom main). ----
+
+// Consumes "--name=value" from a bench flag; returns nullptr if it is not
+// this flag (so unmatched argv entries fall through to google-benchmark).
+const char* FlagValue(const char* arg, const char* name) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return arg + len + 1;
+  }
+  return nullptr;
+}
+
+std::vector<int> ParseThreadList(const char* value) {
+  std::vector<int> threads;
+  const char* p = value;
+  while (*p != '\0') {
+    char* end = nullptr;
+    long t = std::strtol(p, &end, 10);
+    if (end == p || t <= 0) {
+      std::fprintf(stderr, "bad --threads list: %s\n", value);
+      std::exit(1);
+    }
+    threads.push_back(static_cast<int>(t));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (threads.empty()) threads = {1, 2, 4, 8};
+  return threads;
+}
+
+void RegisterAll(const std::vector<int>& threads, double duration_seconds) {
+  auto configure = [&](benchmark::internal::Benchmark* b) {
+    for (int t : threads) b->Threads(t);
+    if (duration_seconds > 0) b->MinTime(duration_seconds);
+    b->UseRealTime()->Unit(benchmark::kMicrosecond);
+  };
+  configure(benchmark::RegisterBenchmark("BM_E12_Service", BM_E12_Service)
+                ->ArgName("cache")
+                ->Arg(0)
+                ->Arg(1));
+  configure(benchmark::RegisterBenchmark("BM_E12_ServiceClosedLoop",
+                                         BM_E12_ServiceClosedLoop));
+  auto* plan = benchmark::RegisterBenchmark("BM_E12_ColdPlanVsWarmPlan",
+                                            BM_E12_ColdPlanVsWarmPlan)
+                   ->ArgName("cache")
+                   ->Arg(0)
+                   ->Arg(1)
+                   ->Unit(benchmark::kMicrosecond);
+  if (duration_seconds > 0) plan->MinTime(duration_seconds);
+}
 
 }  // namespace
 }  // namespace aqv
+
+int main(int argc, char** argv) {
+  std::vector<int> threads = {1, 2, 4, 8};
+  double duration_seconds = 0;
+
+  // Pull out our workload flags; everything else stays for benchmark's own
+  // parser (--benchmark_format=json etc.).
+  std::vector<char*> remaining;
+  remaining.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = aqv::FlagValue(argv[i], "--threads")) {
+      threads = aqv::ParseThreadList(v);
+    } else if (const char* v = aqv::FlagValue(argv[i], "--duration")) {
+      duration_seconds = std::atof(v);
+    } else if (const char* v = aqv::FlagValue(argv[i], "--seed")) {
+      aqv::g_workload_seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = aqv::FlagValue(argv[i], "--cache_capacity")) {
+      aqv::g_cache_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else {
+      remaining.push_back(argv[i]);
+    }
+  }
+  int remaining_argc = static_cast<int>(remaining.size());
+
+  aqv::RegisterAll(threads, duration_seconds);
+  benchmark::Initialize(&remaining_argc, remaining.data());
+  if (benchmark::ReportUnrecognizedArguments(remaining_argc,
+                                             remaining.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

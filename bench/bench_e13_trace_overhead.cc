@@ -1,0 +1,140 @@
+// Experiment E13 — observability overhead: what span tracing and the
+// slow-query log cost on the E12 service workload. The tentpole claim is
+// that *disabled* tracing is free (one relaxed atomic load per span site),
+// so serving throughput with the tracer off must stay within noise (<2%) of
+// the seed's untraced service. Enabled tracing pays for clock reads,
+// attribute strings and the ring-buffer mutex — reported here so users can
+// budget it before flipping TRACE ON in production.
+//
+// Series (items = statements served, single service instance per mode):
+//   E13/TraceOverhead/mode:0 — tracing disabled (the default serving path)
+//   E13/TraceOverhead/mode:1 — tracing enabled, spans into the global ring
+//   E13/TraceOverhead/mode:2 — tracing disabled + slow-query log armed with
+//                              a 1us threshold (worst case: every SELECT is
+//                              logged and fingerprinted)
+//
+// Headline: items_per_second(mode:0) vs the same series with the
+// instrumentation compiled in; mode:1/mode:0 is the enabled-tracing cost.
+// The trace_dropped counter shows ring churn at full load.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "base/trace.h"
+#include "bench/bench_util.h"
+#include "service/query_service.h"
+#include "workload/telephony.h"
+
+namespace aqv {
+namespace {
+
+constexpr int kNumCalls = 20000;
+constexpr uint64_t kWorkloadSeed = 42;
+
+// The E12 pool: Example 1.1 plan-earnings queries plus yearly summaries,
+// all rewritable against the two materialized views.
+const std::vector<std::string>& QueryPool() {
+  static const std::vector<std::string>* pool = [] {
+    auto* p = new std::vector<std::string>();
+    char buf[256];
+    for (int year = 1994; year <= 1996; ++year) {
+      for (double threshold : {200.0, 400.0, 800.0, 1e9}) {
+        std::snprintf(buf, sizeof(buf),
+                      "SELECT Plan_Id_2, Plan_Name_2, SUM(Charge_1) AS Total "
+                      "FROM Calls, Calling_Plans "
+                      "WHERE Plan_Id_1 = Plan_Id_2 AND Year_1 = %d "
+                      "GROUPBY Plan_Id_2, Plan_Name_2 "
+                      "HAVING SUM(Charge_1) < %.1f",
+                      year, threshold);
+        p->push_back(buf);
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "SELECT Plan_Id_1, SUM(Charge_1) AS Yearly FROM Calls "
+                    "WHERE Year_1 = %d GROUPBY Plan_Id_1",
+                    year);
+      p->push_back(buf);
+    }
+    return p;
+  }();
+  return *pool;
+}
+
+enum Mode { kTracingOff = 0, kTracingOn = 1, kSlowQueryLog = 2 };
+
+QueryService* GetService(int mode) {
+  static QueryService* services[3] = {nullptr, nullptr, nullptr};
+  QueryService*& slot = services[mode];
+  if (slot != nullptr) return slot;
+
+  TelephonyParams params;
+  params.num_calls = kNumCalls;
+  params.seed = kWorkloadSeed;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+
+  ServiceOptions options;
+  if (mode == kSlowQueryLog) options.slow_query_micros = 1;
+  auto* service = new QueryService(options);
+  CheckOrDie(service->Bootstrap(std::move(w.catalog), std::move(w.db),
+                                std::move(w.views)),
+             "bootstrap service");
+  CheckOrDie(service->Execute("REFRESH V1").status(), "materialize V1");
+  CheckOrDie(service
+                 ->Execute("CREATE MATERIALIZED VIEW V2 AS "
+                           "SELECT Plan_Id_1, Year_1, SUM(Charge_1) AS Yearly "
+                           "FROM Calls GROUPBY Plan_Id_1, Year_1")
+                 .status(),
+             "materialize V2");
+  slot = service;
+  return slot;
+}
+
+void BM_E13_TraceOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  QueryService* service = GetService(mode);
+  const std::vector<std::string>& pool = QueryPool();
+
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  if (mode == kTracingOn) {
+    tracer.Enable();
+  } else {
+    tracer.Disable();
+  }
+
+  size_t next = 0;
+  for (auto _ : state) {
+    const std::string& q = pool[next++ % pool.size()];
+    Result<StatementResult> r = service->Execute(q);
+    if (!r.ok()) {
+      tracer.Disable();
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->table);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (mode == kTracingOn) {
+    state.counters["trace_events"] =
+        benchmark::Counter(static_cast<double>(tracer.Snapshot().size()));
+    state.counters["trace_dropped"] =
+        benchmark::Counter(static_cast<double>(tracer.dropped()));
+  }
+  if (mode == kSlowQueryLog) {
+    state.counters["slow_queries"] = benchmark::Counter(
+        static_cast<double>(service->Stats().slow_queries));
+  }
+  tracer.Disable();
+  tracer.Clear();
+}
+
+BENCHMARK(BM_E13_TraceOverhead)
+    ->ArgName("mode")
+    ->Arg(kTracingOff)
+    ->Arg(kTracingOn)
+    ->Arg(kSlowQueryLog)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aqv

@@ -12,8 +12,12 @@
 //   REFRESH V                              -- recompute a materialized view
 //   SELECT ...                             -- optimized + executed
 //   EXPLAIN SELECT ...                     -- plan + rewrite decision
+//   EXPLAIN ANALYZE SELECT ...             -- executed plan + actual rows/times
 //   WHY V SELECT ...                       -- per-mapping usability trace
+//   TRACE ON|OFF|CLEAR|DUMP ['trace.json'] -- span tracing (Chrome/Perfetto)
 //   STATS                                  -- service runtime counters
+//   STATS PROM                             -- Prometheus text exposition
+//   SLOWLOG                                -- slow-query log (see ServiceOptions)
 //   TABLES | VIEWS | HELP | QUIT
 //
 // Example session:
@@ -75,8 +79,10 @@ class Shell {
         "  INSERT INTO R VALUES (1, 'x'), (2, 'y')\n"
         "  CREATE [MATERIALIZED] VIEW V AS SELECT ...\n"
         "  REFRESH V | SELECT ... | EXPLAIN SELECT ... | WHY V SELECT ...\n"
+        "  EXPLAIN ANALYZE SELECT ...       -- executes; actual rows + times\n"
+        "  TRACE ON|OFF|CLEAR|DUMP ['trace.json']\n"
         "  LOAD R FROM 'file.csv' | SAVE R TO 'file.csv'\n"
-        "  STATS | TABLES | VIEWS | HELP | QUIT\n");
+        "  STATS | STATS PROM | SLOWLOG | TABLES | VIEWS | HELP | QUIT\n");
   }
 
   QueryService service_;

@@ -1,6 +1,7 @@
 #include "base/metrics.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 namespace aqv {
@@ -29,6 +30,10 @@ std::pair<double, double> BucketRange(int i) {
 void LatencyHistogram::Record(uint64_t micros) {
   buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
   sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t cur = max_micros_.load(std::memory_order_relaxed);
+  while (micros > cur && !max_micros_.compare_exchange_weak(
+                             cur, micros, std::memory_order_relaxed)) {
+  }
 }
 
 uint64_t LatencyHistogram::count() const {
@@ -52,9 +57,11 @@ double LatencyHistogram::PercentileMicros(double q) const {
   if (total == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  // Rank of the q-th sample (1-based), then interpolate inside its bucket.
-  uint64_t rank = static_cast<uint64_t>(q * total);
+  // Nearest-rank (1-based, rounded up): the q-th sample exists for any
+  // count, so p99 of three samples is the third, not the second.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
   if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
     if (counts[i] == 0) continue;
@@ -71,12 +78,20 @@ double LatencyHistogram::PercentileMicros(double q) const {
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_micros_.store(0, std::memory_order_relaxed);
+  max_micros_.store(0, std::memory_order_relaxed);
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
@@ -96,13 +111,72 @@ std::string MetricsRegistry::Report() const {
                   static_cast<unsigned long long>(counter->value()));
     out += line;
   }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(line, sizeof(line), "%-32s %lld\n", name.c_str(),
+                  static_cast<long long>(gauge->value()));
+    out += line;
+  }
   for (const auto& [name, hist] : histograms_) {
+    std::snprintf(
+        line, sizeof(line),
+        "%-32s count=%llu mean=%.1fus p50=%.1fus p99=%.1fus max=%lluus\n",
+        name.c_str(), static_cast<unsigned long long>(hist->count()),
+        hist->mean_micros(), hist->PercentileMicros(0.5),
+        hist->PercentileMicros(0.99),
+        static_cast<unsigned long long>(hist->max_micros()));
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+/// "service.plan_cache.hits" -> "aqv_service_plan_cache_hits".
+std::string PromName(const std::string& name) {
+  std::string out = "aqv_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PromText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %llu\n", p.c_str(),
+                  static_cast<unsigned long long>(counter->value()));
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    std::snprintf(line, sizeof(line), "%s %lld\n", p.c_str(),
+                  static_cast<long long>(gauge->value()));
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " summary\n";
     std::snprintf(line, sizeof(line),
-                  "%-32s count=%llu mean=%.1fus p50=%.1fus p99=%.1fus\n",
-                  name.c_str(),
-                  static_cast<unsigned long long>(hist->count()),
-                  hist->mean_micros(), hist->PercentileMicros(0.5),
-                  hist->PercentileMicros(0.99));
+                  "%s{quantile=\"0.5\"} %.1f\n"
+                  "%s{quantile=\"0.99\"} %.1f\n"
+                  "%s{quantile=\"1\"} %llu\n",
+                  p.c_str(), hist->PercentileMicros(0.5), p.c_str(),
+                  hist->PercentileMicros(0.99), p.c_str(),
+                  static_cast<unsigned long long>(hist->max_micros()));
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_sum %llu\n%s_count %llu\n",
+                  p.c_str(),
+                  static_cast<unsigned long long>(hist->sum_micros()),
+                  p.c_str(), static_cast<unsigned long long>(hist->count()));
     out += line;
   }
   return out;
@@ -111,6 +185,7 @@ std::string MetricsRegistry::Report() const {
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
 }
 

@@ -24,6 +24,19 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// A point-in-time level (cache occupancy, configured capacity, queue
+/// depth). Unlike a Counter it may go down; updates are relaxed atomics.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// A lock-free latency histogram over microseconds with power-of-two
 /// buckets: bucket i counts samples in [2^(i-1), 2^i), bucket 0 counts
 /// sub-microsecond samples. Percentiles are recovered by linear
@@ -41,6 +54,12 @@ class LatencyHistogram {
   }
   double mean_micros() const;
 
+  /// Largest sample ever recorded (exact, not bucket-rounded) — the tail
+  /// value that pages you, reported alongside the approximate percentiles.
+  uint64_t max_micros() const {
+    return max_micros_.load(std::memory_order_relaxed);
+  }
+
   /// Approximate value at quantile `q` in (0, 1], e.g. 0.5 for p50. Returns
   /// 0 when the histogram is empty.
   double PercentileMicros(double q) const;
@@ -50,6 +69,7 @@ class LatencyHistogram {
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> sum_micros_{0};
+  std::atomic<uint64_t> max_micros_{0};
 };
 
 /// Name -> metric registry. Metrics are created on first use and live as
@@ -59,11 +79,17 @@ class LatencyHistogram {
 class MetricsRegistry {
  public:
   Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
   LatencyHistogram& GetHistogram(const std::string& name);
 
-  /// Multi-line "name value" / "name count=.. mean=.. p50=.. p99=.." report,
-  /// sorted by metric name.
+  /// Multi-line "name value" / "name count=.. mean=.. p50=.. p99=.. max=.."
+  /// report, sorted by metric name.
   std::string Report() const;
+
+  /// Prometheus text exposition format (one `# TYPE` line per metric;
+  /// histograms export as summaries with p50/p99/max quantiles plus _sum
+  /// and _count). Names are prefixed "aqv_" and sanitized to [a-z0-9_].
+  std::string PromText() const;
 
   /// Zeroes every registered metric (the metrics stay registered).
   void ResetAll();
@@ -71,6 +97,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
 };
 

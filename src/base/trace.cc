@@ -1,0 +1,173 @@
+#include "base/trace.h"
+
+#include <cstdio>
+#include <thread>
+
+namespace aqv {
+
+namespace {
+
+// The innermost live span on this thread; new spans parent under it. Plain
+// thread_local (not atomic): only this thread reads or writes it.
+thread_local uint64_t tls_current_span = 0;
+
+uint64_t CurrentThreadId() {
+  thread_local const uint64_t id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return id;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives all threads
+  return *tracer;
+}
+
+uint64_t Tracer::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[total_ % capacity_] = std::move(event);
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_) {
+    out = ring_;
+  } else {
+    // Oldest entry is the next overwrite slot.
+    size_t start = total_ % capacity_;
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(start + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  total_ = 0;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendJsonEscaped(&out, e.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"aqv\",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,"
+                  "\"pid\":1,\"tid\":%llu,\"args\":{",
+                  static_cast<unsigned long long>(e.start_micros),
+                  static_cast<unsigned long long>(e.duration_micros),
+                  // Perfetto wants small-ish tids; fold the hash.
+                  static_cast<unsigned long long>(e.thread_id % 1000000));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "\"span\":%llu,\"parent\":%llu",
+                  static_cast<unsigned long long>(e.span_id),
+                  static_cast<unsigned long long>(e.parent_id));
+    out += buf;
+    for (const auto& [key, value] : e.attributes) {
+      out += ",\"";
+      AppendJsonEscaped(&out, key);
+      out += "\":\"";
+      AppendJsonEscaped(&out, value);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+TraceSpan::TraceSpan(std::string_view name, Tracer& tracer) {
+  if (!tracer.enabled()) return;  // the whole disabled-path cost
+  tracer_ = &tracer;
+  active_ = true;
+  event_.name = name;
+  event_.span_id = tracer.NextSpanId();
+  event_.parent_id = tls_current_span;
+  event_.thread_id = CurrentThreadId();
+  event_.start_micros = tracer.NowMicros();
+  saved_parent_ = tls_current_span;
+  tls_current_span = event_.span_id;
+}
+
+void TraceSpan::AddAttr(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  event_.attributes.emplace_back(std::string(key), std::string(value));
+}
+
+void TraceSpan::AddAttr(std::string_view key, uint64_t value) {
+  if (!active_) return;
+  event_.attributes.emplace_back(std::string(key), std::to_string(value));
+}
+
+void TraceSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  event_.duration_micros = tracer_->NowMicros() - event_.start_micros;
+  tls_current_span = saved_parent_;
+  tracer_->Record(std::move(event_));
+}
+
+}  // namespace aqv

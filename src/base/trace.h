@@ -1,0 +1,121 @@
+#ifndef AQV_BASE_TRACE_H_
+#define AQV_BASE_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aqv {
+
+/// One completed span: a named, timed section of work with key=value
+/// attributes. Spans form a forest per thread via parent_id (0 = root);
+/// start/duration are microseconds on the tracer's monotonic clock.
+struct TraceEvent {
+  std::string name;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  uint64_t thread_id = 0;        // hashed std::thread::id, stable per thread
+  uint64_t start_micros = 0;     // since the tracer's epoch
+  uint64_t duration_micros = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// A process-wide span recorder. Completed spans land in a bounded ring
+/// buffer (oldest overwritten first) guarded by a mutex; the *disabled* hot
+/// path is a single relaxed atomic load in the TraceSpan constructor —
+/// no clock read, no allocation, no lock.
+///
+/// Use the global instance (`Tracer::Global()`) unless a test wants an
+/// isolated buffer. Enable/Disable may race freely with recording threads:
+/// a span started while enabled records even if tracing is disabled before
+/// it finishes (the ring is bounded, so late records are harmless).
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  static Tracer& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since this tracer's construction (monotonic clock).
+  uint64_t NowMicros() const;
+
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Appends a completed span, overwriting the oldest when full.
+  void Record(TraceEvent event);
+
+  /// Recorded spans, oldest first (at most `capacity()` of them).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Spans lost to ring overwrite since the last Clear.
+  uint64_t dropped() const;
+
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+  /// The buffered spans as Chrome trace_event JSON ("X" complete events),
+  /// loadable in chrome://tracing and Perfetto. Attributes become "args".
+  std::string ChromeTraceJson() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<TraceEvent> ring_;  // ring_[total_ % capacity_] is next slot
+  uint64_t total_ = 0;            // spans ever recorded since Clear
+};
+
+/// RAII span guard. Construction checks the tracer's enabled flag once: if
+/// tracing is off the object is inert (every other call is a no-op on a
+/// bool). If on, the guard stamps the start time, links itself under the
+/// thread's current span, and records into the ring on End()/destruction.
+///
+///   TraceSpan span("optimize");
+///   if (span.active()) span.AddAttr("views", view_count);
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, Tracer& tracer = Tracer::Global());
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when tracing was enabled at construction; guard attribute
+  /// formatting with this to keep the disabled path allocation-free.
+  bool active() const { return active_; }
+
+  void AddAttr(std::string_view key, std::string_view value);
+  void AddAttr(std::string_view key, uint64_t value);
+  void AddAttr(std::string_view key, int value) {
+    AddAttr(key, static_cast<uint64_t>(value));
+  }
+
+  /// Records the span now (idempotent; the destructor is then a no-op).
+  /// Lets sequential stages share one scope without artificial blocks.
+  void End();
+
+ private:
+  Tracer* tracer_ = nullptr;
+  bool active_ = false;
+  uint64_t saved_parent_ = 0;
+  TraceEvent event_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_BASE_TRACE_H_

@@ -1,12 +1,34 @@
 #include "exec/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "base/strings.h"
 #include "exec/operators.h"
 #include "exec/planner.h"
 #include "ir/validate.h"
 
 namespace aqv {
+
+namespace {
+
+using ProfClock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(ProfClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(ProfClock::now() -
+                                                            start)
+          .count());
+}
+
+std::string PredicateList(const std::vector<Predicate>& preds) {
+  std::vector<std::string> parts;
+  parts.reserve(preds.size());
+  for (const Predicate& p : preds) parts.push_back(p.ToString());
+  return Join(parts, " AND ");
+}
+
+}  // namespace
 
 Result<const Table*> Evaluator::InputTable(const std::string& name, int depth) {
   // Stored contents win: this is how a materialized view is served.
@@ -21,7 +43,22 @@ Result<const Table*> Evaluator::InputTable(const std::string& name, int depth) {
                                        name + "'");
       }
       AQV_ASSIGN_OR_RETURN(const ViewDef* def, views_->Get(name));
-      AQV_ASSIGN_OR_RETURN(Table t, ExecuteInternal(def->query, depth + 1));
+      const bool prof = (profile_ != nullptr && depth == 0);
+      ProfClock::time_point t0;
+      if (prof) t0 = ProfClock::now();
+      // Suspend profiling across the nested block: its internal stages
+      // belong to the view, which surfaces as one Materialize operator.
+      PlanProfile* saved = profile_;
+      profile_ = nullptr;
+      Result<Table> computed = ExecuteInternal(def->query, depth + 1);
+      profile_ = saved;
+      AQV_RETURN_NOT_OK(computed.status());
+      Table t = *std::move(computed);
+      if (prof) {
+        profile_->ops.push_back(OperatorProfile{
+            "Materialize " + name + " [virtual]", 0, t.num_rows(),
+            MicrosSince(t0)});
+      }
       ++stats_.views_materialized;
       it = view_cache_.emplace(name, std::move(t)).first;
     }
@@ -31,7 +68,13 @@ Result<const Table*> Evaluator::InputTable(const std::string& name, int depth) {
 }
 
 Result<Table> Evaluator::Execute(const Query& query) {
-  return ExecuteInternal(query, 0);
+  if (profile_ == nullptr) return ExecuteInternal(query, 0);
+  profile_->ops.clear();
+  profile_->total_micros = 0;
+  ProfClock::time_point t0 = ProfClock::now();
+  Result<Table> result = ExecuteInternal(query, 0);
+  profile_->total_micros = MicrosSince(t0);
+  return result;
 }
 
 Result<Table> Evaluator::MaterializeView(const std::string& name) {
@@ -60,6 +103,28 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
     stats_.peak_intermediate_rows = std::max(stats_.peak_intermediate_rows, rows);
   };
 
+  // Profiling applies to the top-level block only; `prof` gates every clock
+  // read and label construction so an unprofiled Execute pays nothing.
+  const bool prof = (profile_ != nullptr && depth == 0);
+  ProfClock::time_point op_start;
+  auto op_begin = [&]() {
+    if (prof) op_start = ProfClock::now();
+  };
+  auto op_end = [&](std::string label, size_t rows_in, size_t rows_out) {
+    if (prof) {
+      profile_->ops.push_back(OperatorProfile{std::move(label), rows_in,
+                                              rows_out, MicrosSince(op_start)});
+    }
+  };
+  // Mirrors explain_plan's describe_input: table name, stored cardinality
+  // (the cost model's input estimate), pushed-down filter.
+  auto input_label = [&](size_t t, const std::vector<Predicate>& filters) {
+    std::string s = query.from[t].table + " [" +
+                    std::to_string(inputs[t]->num_rows()) + " rows]";
+    if (!filters.empty()) s += " filter(" + PredicateList(filters) + ")";
+    return s;
+  };
+
   // ---- Join phase: produce `joined` rows under `layout`. ----
   std::vector<Row> joined;
   ColumnIndexMap layout;
@@ -71,25 +136,40 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
       for (size_t j = 0; j < query.from[i].columns.size(); ++j) {
         layout[query.from[i].columns[j]] = offset++;
       }
+      op_begin();
       if (i == 0) {
         joined = inputs[0]->rows();
+        op_end("Scan " + input_label(0, {}), inputs[0]->num_rows(),
+               joined.size());
       } else {
+        size_t before = joined.size();
         joined = CartesianProduct(joined, inputs[i]->rows());
+        op_end("CartesianProduct with " + input_label(i, {}), before,
+               joined.size());
       }
       note_rows(joined.size());
     }
+    op_begin();
+    size_t before = joined.size();
     joined = FilterRows(joined, query.where, layout);
+    if (!query.where.empty()) {
+      op_end("Filter(" + PredicateList(query.where) + ")", before,
+             joined.size());
+    }
   } else {
     PredicateClassification cls = ClassifyPredicates(query);
 
     // Per-input filtered scans.
     std::vector<std::vector<Row>> scans(n);
+    std::vector<uint64_t> scan_micros(n, 0);
     for (size_t i = 0; i < n; ++i) {
       ColumnIndexMap scan_layout;
       for (size_t j = 0; j < query.from[i].columns.size(); ++j) {
         scan_layout[query.from[i].columns[j]] = static_cast<int>(j);
       }
+      op_begin();
       scans[i] = FilterRows(inputs[i]->rows(), cls.single_table[i], scan_layout);
+      if (prof) scan_micros[i] = MicrosSince(op_start);
     }
 
     std::vector<size_t> sizes(n);
@@ -114,11 +194,23 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
           multi_applied[k] = true;
         }
       }
-      if (!ready.empty()) joined = FilterRows(joined, ready, layout);
+      if (!ready.empty()) {
+        op_begin();
+        size_t before = joined.size();
+        joined = FilterRows(joined, ready, layout);
+        op_end("Filter(" + PredicateList(ready) + ")", before, joined.size());
+      }
     };
 
     for (size_t step = 0; step < order.size(); ++step) {
       int t = order[step];
+      // The input's filtered scan, with its stored cardinality (= the cost
+      // model's estimate) in the label and the scan actuals measured above.
+      if (prof) {
+        profile_->ops.push_back(OperatorProfile{
+            "Scan " + input_label(t, cls.single_table[t]),
+            inputs[t]->num_rows(), scans[t].size(), scan_micros[t]});
+      }
       if (step == 0) {
         joined = scans[t];
         for (size_t j = 0; j < query.from[t].columns.size(); ++j) {
@@ -132,6 +224,7 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
 
       // Keys: every unused equi edge connecting t to the bound set.
       std::vector<std::pair<int, int>> keys;  // (joined ordinal, scan ordinal)
+      std::vector<std::string> key_names;
       for (size_t k = 0; k < cls.equi_joins.size(); ++k) {
         if (edge_used[k]) continue;
         const auto& e = cls.equi_joins[k];
@@ -148,12 +241,20 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
         auto loc = query.FindColumn(new_col);
         keys.emplace_back(layout.at(bound_col), loc->second);
         edge_used[k] = true;
+        if (prof) key_names.push_back(e.left_column + " = " + e.right_column);
       }
 
+      op_begin();
+      size_t before = joined.size();
       if (keys.empty()) {
         joined = CartesianProduct(joined, scans[t]);
+        op_end("CartesianProduct with " + query.from[t].table, before,
+               joined.size());
       } else {
         joined = HashJoin(joined, scans[t], keys);
+        op_end("HashJoin(" + Join(key_names, ", ") + ") with " +
+                   query.from[t].table,
+               before, joined.size());
       }
       int offset = static_cast<int>(layout.size());
       for (size_t j = 0; j < query.from[t].columns.size(); ++j) {
@@ -173,11 +274,23 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
       leftover.push_back(Predicate{Operand::Column(e.left_column), CmpOp::kEq,
                                    Operand::Column(e.right_column)});
     }
-    if (!leftover.empty()) joined = FilterRows(joined, leftover, layout);
+    if (!leftover.empty()) {
+      op_begin();
+      size_t before = joined.size();
+      joined = FilterRows(joined, leftover, layout);
+      op_end("Filter(" + PredicateList(leftover) + ")", before, joined.size());
+    }
   }
 
   // ---- Projection / aggregation phase. ----
   Table out(query.OutputColumns());
+
+  auto select_label = [&]() {
+    std::vector<std::string> items;
+    for (const SelectItem& s : query.select) items.push_back(s.ToString());
+    return std::string(query.distinct ? "ProjectDistinct(" : "Project(") +
+           Join(items, ", ") + ")";
+  };
 
   if (query.IsConjunctive()) {
     std::vector<int> ordinals;
@@ -185,8 +298,11 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
     for (const SelectItem& s : query.select) {
       ordinals.push_back(layout.at(s.column));
     }
+    op_begin();
+    size_t proj_in = joined.size();
     std::vector<Row> rows = ProjectRows(joined, ordinals);
     if (query.distinct) rows = DistinctRows(rows);
+    op_end(select_label(), proj_in, rows.size());
     *out.mutable_rows() = std::move(rows);
     return out;
   }
@@ -206,7 +322,18 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
     specs.push_back(AggSpec{term.agg, layout.at(term.column), mult});
   }
 
+  op_begin();
+  size_t agg_in = joined.size();
   std::vector<Row> grouped = GroupAggregate(joined, group_ordinals, specs);
+  if (prof) {
+    std::vector<std::string> aggs;
+    for (const Operand& term : agg_terms) aggs.push_back(term.ToString());
+    op_end("HashAggregate(groups: " +
+               (query.group_by.empty() ? std::string("<global>")
+                                       : Join(query.group_by, ", ")) +
+               "; aggregates: " + Join(aggs, ", ") + ")",
+           agg_in, grouped.size());
+  }
   note_rows(grouped.size());
 
   // Layout of the grouped rows: grouping columns then one synthetic column
@@ -243,11 +370,21 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
       }
       having.push_back(std::move(p));
     }
+    op_begin();
+    size_t having_in = grouped.size();
     grouped = FilterRows(grouped, having, group_layout);
+    if (prof) {
+      std::vector<std::string> conds;
+      for (const Predicate& p : query.having) conds.push_back(p.ToString());
+      op_end("Having(" + Join(conds, " AND ") + ")", having_in,
+             grouped.size());
+    }
   }
 
   // Final projection. Ratio items divide two SUM positions, so this is a
   // custom loop rather than ProjectRows.
+  op_begin();
+  size_t proj_in = grouped.size();
   std::vector<Row> rows;
   rows.reserve(grouped.size());
   for (const Row& g : grouped) {
@@ -280,6 +417,7 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
     rows.push_back(std::move(projected));
   }
   if (query.distinct) rows = DistinctRows(rows);
+  op_end(select_label(), proj_in, rows.size());
   *out.mutable_rows() = std::move(rows);
   return out;
 }

@@ -1,8 +1,10 @@
 #ifndef AQV_EXEC_EVALUATOR_H_
 #define AQV_EXEC_EVALUATOR_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "base/result.h"
 #include "exec/table.h"
@@ -10,6 +12,27 @@
 #include "ir/views.h"
 
 namespace aqv {
+
+/// One executed operator of a profiled query: the label matches the
+/// EXPLAIN plan rendering ("Scan R [100 rows] filter(...)", "HashJoin(...)
+/// with S [10 rows]", "HashAggregate(...)", ...); rows and micros are
+/// actuals observed during execution. Scan labels keep the "[N rows]"
+/// stored-cardinality annotation — the number the cost model estimates
+/// from — so EXPLAIN ANALYZE shows estimate and actual side by side.
+struct OperatorProfile {
+  std::string label;
+  size_t rows_in = 0;
+  size_t rows_out = 0;
+  uint64_t micros = 0;
+};
+
+/// Per-operator runtime profile of one top-level Execute call (the data
+/// behind EXPLAIN ANALYZE). Nested blocks are not expanded: a registered
+/// view computed on demand appears as a single "Materialize" operator.
+struct PlanProfile {
+  std::vector<OperatorProfile> ops;
+  uint64_t total_micros = 0;
+};
 
 /// Evaluation knobs. The default plan pushes single-table filters below the
 /// joins and uses greedy left-deep hash equi-joins; the reference plan is a
@@ -47,6 +70,12 @@ class Evaluator {
   const EvalStats& stats() const { return stats_; }
   void ClearViewCache() { view_cache_.clear(); }
 
+  /// Attaches a per-operator profile collector to subsequent Execute calls
+  /// (top-level stages only). `profile` must outlive the Evaluator or be
+  /// detached with set_profile(nullptr); it is cleared on each Execute.
+  /// Null (the default) disables collection — and its timing overhead.
+  void set_profile(PlanProfile* profile) { profile_ = profile; }
+
  private:
   static constexpr int kMaxViewDepth = 16;
 
@@ -58,6 +87,7 @@ class Evaluator {
   EvalOptions options_;
   std::map<std::string, Table> view_cache_;
   EvalStats stats_;
+  PlanProfile* profile_ = nullptr;
 };
 
 }  // namespace aqv

@@ -1,5 +1,6 @@
 #include "exec/explain_plan.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "base/strings.h"
@@ -106,6 +107,27 @@ Result<std::string> ExplainPlan(const Query& query, const Database& db,
     out += std::string(query.distinct ? "ProjectDistinct(" : "Project(") +
            Join(items, ", ") + ")\n";
   }
+  return out;
+}
+
+std::string RenderAnalyzedPlan(const PlanProfile& profile) {
+  // Pad labels so the actuals line up in a column; cap the pad so one very
+  // long predicate list doesn't push everything off-screen.
+  size_t width = 0;
+  for (const OperatorProfile& op : profile.ops) {
+    width = std::max(width, op.label.size());
+  }
+  width = std::min<size_t>(width, 72);
+
+  std::string out;
+  for (const OperatorProfile& op : profile.ops) {
+    out += op.label;
+    if (op.label.size() < width) out += std::string(width - op.label.size(), ' ');
+    out += "  (actual rows=" + std::to_string(op.rows_in) + " -> " +
+           std::to_string(op.rows_out) + ", " + std::to_string(op.micros) +
+           " us)\n";
+  }
+  out += "total: " + std::to_string(profile.total_micros) + " us\n";
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "base/result.h"
+#include "exec/evaluator.h"
 #include "exec/table.h"
 #include "ir/query.h"
 #include "ir/views.h"
@@ -21,6 +22,15 @@ namespace aqv {
 /// Purely advisory: nothing is executed or materialized.
 Result<std::string> ExplainPlan(const Query& query, const Database& db,
                                 const ViewRegistry* views = nullptr);
+
+/// Renders a PlanProfile recorded by an Evaluator (see
+/// Evaluator::set_profile) as the EXPLAIN ANALYZE operator tree: one line
+/// per executed operator with the actual input/output row counts and wall
+/// time next to the label's stored-cardinality estimates, plus a total
+/// footer. Unlike ExplainPlan this reflects the plan that actually ran —
+/// the Evaluator orders joins by post-filter scan sizes, which can differ
+/// from the advisory plan derived from stored cardinalities.
+std::string RenderAnalyzedPlan(const PlanProfile& profile);
 
 }  // namespace aqv
 

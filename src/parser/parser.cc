@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "base/strings.h"
+#include "base/trace.h"
 #include "ir/validate.h"
 #include "parser/binder.h"
 #include "parser/lexer.h"
@@ -207,6 +208,9 @@ Result<RawItem> Parser::ParseSelectItem() {
 }
 
 Status Parser::ParseFrom(Query* query, BindingScope* scope) {
+  // FROM is where occurrences bind against the catalog (the Section 2
+  // per-occurrence renaming), so this span is the "bind" stage.
+  TraceSpan span("bind");
   while (true) {
     if (Peek().kind != TokenKind::kIdentifier) {
       return Status::InvalidArgument("expected a table name at offset " +
@@ -448,7 +452,9 @@ Result<ViewDef> Parser::ParseViewStatement() {
 }  // namespace
 
 Result<Query> ParseQuery(std::string_view sql, const Catalog* catalog) {
+  TraceSpan span("parse");
   AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  if (span.active()) span.AddAttr("tokens", static_cast<int>(tokens.size()));
   Parser parser(std::move(tokens), catalog);
   return parser.ParseQueryBlock();
 }

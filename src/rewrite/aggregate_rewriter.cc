@@ -2,6 +2,7 @@
 #include <string>
 #include <utility>
 
+#include "base/trace.h"
 #include "ir/validate.h"
 #include "reason/having_normalize.h"
 #include "reason/residual.h"
@@ -237,6 +238,8 @@ Status CheckViewHavingUsable(const RewriteContext& ctx,
 
 Result<Query> RewriteWithAggregateView(const Query& query, const ViewDef& view,
                                        const ColumnMapping& mapping) {
+  TraceSpan span("rewrite.aggregate");
+  if (span.active()) span.AddAttr("view", view.name);
   if (view.query.IsConjunctive()) {
     return Status::InvalidArgument(
         "RewriteWithAggregateView requires an aggregation view");

@@ -1,5 +1,6 @@
 #include <string>
 
+#include "base/trace.h"
 #include "ir/validate.h"
 #include "reason/residual.h"
 #include "rewrite/conditions.h"
@@ -58,6 +59,8 @@ Result<AggArg> ReplaceAggArg(const RewriteContext& ctx, AggFn fn,
 Result<Query> RewriteWithConjunctiveView(const Query& query,
                                          const ViewDef& view,
                                          const ColumnMapping& mapping) {
+  TraceSpan span("rewrite.conjunctive");
+  if (span.active()) span.AddAttr("view", view.name);
   if (!view.query.IsConjunctive()) {
     return Status::InvalidArgument(
         "RewriteWithConjunctiveView requires a conjunctive view");

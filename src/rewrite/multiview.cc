@@ -4,10 +4,14 @@
 #include <vector>
 
 #include "base/strings.h"
+#include "base/trace.h"
 
 namespace aqv {
 
 std::string CanonicalQueryKey(const Query& query) {
+  // One span per candidate dedup-key build: in a traced enumeration this
+  // shows how much of the search loop goes to canonicalization.
+  TraceSpan span("rewrite.canonical_key");
   std::vector<std::string> from;
   for (const TableRef& t : query.from) from.push_back(t.ToString());
   std::sort(from.begin(), from.end());

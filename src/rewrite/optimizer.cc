@@ -1,7 +1,9 @@
 #include "rewrite/optimizer.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "base/trace.h"
 #include "rewrite/flatten.h"
 
 namespace aqv {
@@ -33,16 +35,22 @@ void CollectDependencies(const Query& query, const ViewRegistry& views,
 }  // namespace
 
 Result<OptimizeResult> Optimizer::Optimize(const Query& query) const {
+  TraceSpan optimize_span("optimize");
   OptimizeResult out;
 
   // Section 7 pre-pass: merge virtual view references; keep materialized
   // ones (scanning them is the point of this library).
+  TraceSpan flatten_span("flatten");
   AQV_ASSIGN_OR_RETURN(
       Query flat,
       FlattenViews(
           query, *views_,
           [this](const std::string& name) { return !db_->Has(name); },
           &out.views_flattened));
+  if (flatten_span.active()) {
+    flatten_span.AddAttr("views_flattened", out.views_flattened);
+  }
+  flatten_span.End();
 
   CostModel model;
   out.cost_original = model.Estimate(flat, *db_);
@@ -53,17 +61,38 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) const {
     if (db_->Has(name)) materialized.push_back(name);
   }
   std::vector<Query> candidates;
-  if (!materialized.empty()) {
-    Rewriter rewriter(views_, catalog_, options_);
-    AQV_ASSIGN_OR_RETURN(candidates,
-                         rewriter.EnumerateAllRewritings(flat, materialized));
+  {
+    TraceSpan enumerate_span("enumerate_rewritings");
+    if (!materialized.empty()) {
+      Rewriter rewriter(views_, catalog_, options_);
+      AQV_ASSIGN_OR_RETURN(candidates,
+                           rewriter.EnumerateAllRewritings(flat, materialized));
+    }
+    if (enumerate_span.active()) {
+      enumerate_span.AddAttr("materialized_views",
+                             static_cast<int>(materialized.size()));
+      enumerate_span.AddAttr("candidates", static_cast<int>(candidates.size()));
+    }
   }
   out.rewritings_considered = static_cast<int>(candidates.size());
 
+  TraceSpan cost_span("cost");
   int chosen_index = -1;
   out.chosen = ChooseCheapest(flat, candidates, *db_, model, &chosen_index);
   out.used_materialized_view = chosen_index >= 0;
   out.cost_chosen = model.Estimate(out.chosen, *db_);
+  cost_span.End();
+
+  if (optimize_span.active()) {
+    char buf[48];
+    optimize_span.AddAttr("candidates", out.rewritings_considered);
+    optimize_span.AddAttr("used_materialized_view",
+                          out.used_materialized_view ? "1" : "0");
+    std::snprintf(buf, sizeof(buf), "%.0f", out.cost_original);
+    optimize_span.AddAttr("cost_original", buf);
+    std::snprintf(buf, sizeof(buf), "%.0f", out.cost_chosen);
+    optimize_span.AddAttr("cost_chosen", buf);
+  }
 
   CollectDependencies(flat, *views_, &out.dependencies);
   CollectDependencies(out.chosen, *views_, &out.dependencies);

@@ -1,14 +1,46 @@
 #include "rewrite/rewriter.h"
 
+#include <cctype>
 #include <deque>
 #include <set>
 
+#include "base/trace.h"
 #include "ir/validate.h"
 #include "reason/having_normalize.h"
 #include "rewrite/multiview.h"
 #include "rewrite/set_rewriter.h"
 
 namespace aqv {
+
+std::string RejectConditionToken(const Status& status) {
+  if (status.code() != StatusCode::kUnusable) return "";
+  const std::string& m = status.message();
+  // First "C<digits>['...]" mention wins ("conditions C2/C4" names C2 as
+  // the primary failure).
+  for (size_t i = 0; i + 1 < m.size(); ++i) {
+    if (m[i] == 'C' && std::isdigit(static_cast<unsigned char>(m[i + 1])) &&
+        (i == 0 || !std::isalnum(static_cast<unsigned char>(m[i - 1])))) {
+      size_t j = i + 1;
+      while (j < m.size() && std::isdigit(static_cast<unsigned char>(m[j]))) {
+        ++j;
+      }
+      if (j < m.size() && m[j] == '\'') ++j;
+      return m.substr(i, j - i);
+    }
+  }
+  // Section-level rejections ("Section 4.5") become "S4.5".
+  size_t pos = m.find("Section ");
+  if (pos != std::string::npos) {
+    size_t j = pos + 8;
+    std::string num;
+    while (j < m.size() &&
+           (std::isdigit(static_cast<unsigned char>(m[j])) || m[j] == '.')) {
+      num += m[j++];
+    }
+    if (!num.empty()) return "S" + num;
+  }
+  return "other";
+}
 
 Result<Query> RewriteWithViewMapping(const Query& query, const ViewDef& view,
                                      const ColumnMapping& mapping,
@@ -23,6 +55,9 @@ Result<Query> RewriteWithViewMapping(const Query& query, const ViewDef& view,
 
 Result<std::vector<Rewriting>> Rewriter::RewritingsUsingView(
     const Query& query, const std::string& view_name) const {
+  TraceSpan view_span("rewrite.view");
+  if (view_span.active()) view_span.AddAttr("view", view_name);
+
   AQV_RETURN_NOT_OK(ValidateQuery(query));
   AQV_ASSIGN_OR_RETURN(const ViewDef* view, views_->Get(view_name));
 
@@ -31,15 +66,36 @@ Result<std::vector<Rewriting>> Rewriter::RewritingsUsingView(
 
   std::vector<Rewriting> rewritings;
   std::set<std::string> seen;
+  int attempts = 0;
+
+  // One span per candidate (view, mapping) attempt: accepted=1 for usable
+  // mappings, else reject=<condition> naming the C1–C4/C2'–C4' check that
+  // killed it — the per-candidate signal an optimizer developer tunes by.
+  auto note_attempt = [&](TraceSpan& attempt, const Result<Query>& rewritten,
+                          const char* mode) {
+    if (!attempt.active()) return;
+    attempt.AddAttr("view", view_name);
+    attempt.AddAttr("mode", mode);
+    if (rewritten.ok()) {
+      attempt.AddAttr("accepted", "1");
+    } else {
+      attempt.AddAttr("reject", RejectConditionToken(rewritten.status()));
+      attempt.AddAttr("detail", rewritten.status().message());
+    }
+    attempt.End();
+  };
 
   // Multiset semantics: 1-1 mappings (condition C1).
   for (const ColumnMapping& mapping :
        EnumerateColumnMappings(view->query, q, /*one_to_one=*/true,
                                options_.max_mappings)) {
+    ++attempts;
+    TraceSpan attempt("rewrite.attempt");
     Result<Query> rewritten =
         view->query.IsConjunctive()
             ? RewriteWithConjunctiveView(q, *view, mapping)
             : RewriteWithAggregateView(q, *view, mapping);
+    note_attempt(attempt, rewritten, "multiset");
     if (!rewritten.ok()) {
       if (rewritten.status().code() == StatusCode::kUnusable) continue;
       return rewritten.status();
@@ -59,7 +115,10 @@ Result<std::vector<Rewriting>> Rewriter::RewritingsUsingView(
          EnumerateColumnMappings(view->query, q, /*one_to_one=*/false,
                                  options_.max_mappings)) {
       if (mapping.IsOneToOne()) continue;  // already handled above
+      ++attempts;
+      TraceSpan attempt("rewrite.attempt");
       Result<Query> rewritten = RewriteWithSetView(q, *view, mapping);
+      note_attempt(attempt, rewritten, "set");
       if (!rewritten.ok()) {
         if (rewritten.status().code() == StatusCode::kUnusable) continue;
         return rewritten.status();
@@ -71,6 +130,10 @@ Result<std::vector<Rewriting>> Rewriter::RewritingsUsingView(
     }
   }
 
+  if (view_span.active()) {
+    view_span.AddAttr("attempts", attempts);
+    view_span.AddAttr("accepted", static_cast<int>(rewritings.size()));
+  }
   return rewritings;
 }
 

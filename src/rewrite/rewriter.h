@@ -26,6 +26,13 @@ struct RewriteOptions {
   int max_mappings = kDefaultMappingLimit;
 };
 
+/// Short token naming the paper condition behind a kUnusable status, for
+/// trace attributes and logs: "C1", "C2", "C2'", "C4'", ... from the
+/// condition the message cites, "S4.3"/"S4.5" for section-level
+/// rejections, "other" when the message names no condition, and "" for OK
+/// or non-kUnusable statuses.
+std::string RejectConditionToken(const Status& status);
+
 /// One rewriting of a query using one view occurrence.
 struct Rewriting {
   Query query;          // Q', multiset-equivalent to the input query

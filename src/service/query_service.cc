@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <utility>
 
 #include "base/strings.h"
+#include "base/trace.h"
 #include "exec/csv.h"
 #include "exec/explain_plan.h"
 #include "ir/fingerprint.h"
@@ -37,23 +39,29 @@ std::string TrimStatement(const std::string& s) {
 }  // namespace
 
 std::string ServiceStats::ToString() const {
-  char buf[640];
+  char buf[832];
   std::snprintf(
       buf, sizeof(buf),
       "statements          %llu\n"
       "queries served      %llu\n"
-      "plan cache          %llu hit / %llu miss (%zu entries, %llu invalidated)\n"
+      "plan cache          %llu hit / %llu miss (%.1f%% hit rate, "
+      "%zu/%zu entries, %llu invalidated)\n"
       "rewrites            %llu applied / %llu skipped\n"
-      "optimize latency    p50=%.1fus p99=%.1fus\n"
-      "execute latency     p50=%.1fus p99=%.1fus\n",
+      "slow queries        %llu\n"
+      "optimize latency    p50=%.1fus p99=%.1fus max=%lluus\n"
+      "execute latency     p50=%.1fus p99=%.1fus max=%lluus\n",
       static_cast<unsigned long long>(statements),
       static_cast<unsigned long long>(queries_served),
       static_cast<unsigned long long>(plan_cache_hits),
-      static_cast<unsigned long long>(plan_cache_misses), plan_cache_size,
+      static_cast<unsigned long long>(plan_cache_misses),
+      plan_cache_hit_rate * 100.0, plan_cache_size, plan_cache_capacity,
       static_cast<unsigned long long>(plan_cache_invalidated),
       static_cast<unsigned long long>(rewrites_applied),
-      static_cast<unsigned long long>(rewrites_skipped), optimize_p50_micros,
-      optimize_p99_micros, exec_p50_micros, exec_p99_micros);
+      static_cast<unsigned long long>(rewrites_skipped),
+      static_cast<unsigned long long>(slow_queries), optimize_p50_micros,
+      optimize_p99_micros,
+      static_cast<unsigned long long>(optimize_max_micros), exec_p50_micros,
+      exec_p99_micros, static_cast<unsigned long long>(exec_max_micros));
   return buf;
 }
 
@@ -67,13 +75,24 @@ QueryService::QueryService(ServiceOptions options)
       cache_invalidated_(metrics_.GetCounter("service.plan_cache.invalidated")),
       rewrites_applied_(metrics_.GetCounter("service.rewrites.applied")),
       rewrites_skipped_(metrics_.GetCounter("service.rewrites.skipped")),
+      slow_queries_(metrics_.GetCounter("service.slow_queries")),
+      cache_size_gauge_(metrics_.GetGauge("service.plan_cache.size")),
+      cache_capacity_gauge_(metrics_.GetGauge("service.plan_cache.capacity")),
       optimize_latency_(metrics_.GetHistogram("service.optimize_latency")),
-      exec_latency_(metrics_.GetHistogram("service.exec_latency")) {}
+      exec_latency_(metrics_.GetHistogram("service.exec_latency")) {
+  cache_capacity_gauge_.Set(static_cast<int64_t>(plan_cache_.capacity()));
+}
 
 Result<StatementResult> QueryService::Execute(const std::string& statement) {
   std::string stmt = TrimStatement(statement);
   if (stmt.empty() || stmt[0] == '#') return StatementResult{};
   statements_.Increment();
+  // Root span of the statement lifecycle: parse/bind, rewrite enumeration,
+  // costing, cache lookup and execution all nest under it.
+  TraceSpan span("statement");
+  if (span.active()) {
+    span.AddAttr("sql", stmt.size() <= 120 ? stmt : stmt.substr(0, 120));
+  }
   return Dispatch(stmt, ToUpper(stmt));
 }
 
@@ -104,23 +123,64 @@ ServiceStats QueryService::Stats() const {
   s.plan_cache_invalidated = cache_invalidated_.value();
   s.rewrites_applied = rewrites_applied_.value();
   s.rewrites_skipped = rewrites_skipped_.value();
+  s.slow_queries = slow_queries_.value();
   s.plan_cache_size = plan_cache_.size();
+  s.plan_cache_capacity = plan_cache_.capacity();
+  uint64_t lookups = s.plan_cache_hits + s.plan_cache_misses;
+  s.plan_cache_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(s.plan_cache_hits) /
+                         static_cast<double>(lookups);
   s.optimize_p50_micros = optimize_latency_.PercentileMicros(0.5);
   s.optimize_p99_micros = optimize_latency_.PercentileMicros(0.99);
+  s.optimize_max_micros = optimize_latency_.max_micros();
   s.exec_p50_micros = exec_latency_.PercentileMicros(0.5);
   s.exec_p99_micros = exec_latency_.PercentileMicros(0.99);
+  s.exec_max_micros = exec_latency_.max_micros();
   return s;
 }
 
-void QueryService::ResetStats() { metrics_.ResetAll(); }
+void QueryService::ResetStats() {
+  metrics_.ResetAll();
+  cache_capacity_gauge_.Set(static_cast<int64_t>(plan_cache_.capacity()));
+  std::lock_guard<std::mutex> lock(slow_log_mutex_);
+  slow_log_.clear();
+}
+
+std::string QueryService::StatsPromText() {
+  cache_size_gauge_.Set(static_cast<int64_t>(plan_cache_.size()));
+  return metrics_.PromText();
+}
+
+std::vector<SlowQueryRecord> QueryService::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(slow_log_mutex_);
+  return std::vector<SlowQueryRecord>(slow_log_.begin(), slow_log_.end());
+}
+
+void QueryService::RecordSlowQuery(SlowQueryRecord record) {
+  slow_queries_.Increment();
+  std::lock_guard<std::mutex> lock(slow_log_mutex_);
+  slow_log_.push_back(std::move(record));
+  while (slow_log_.size() > options_.slow_query_log_capacity &&
+         !slow_log_.empty()) {
+    slow_log_.pop_front();
+  }
+}
 
 Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
                                                const std::string& upper) {
+  if (upper == "STATS PROM") {
+    StatementResult out;
+    out.message = StatsPromText();
+    return out;
+  }
   if (upper == "STATS") {
     StatementResult out;
     out.message = Stats().ToString();
     return out;
   }
+  if (upper == "SLOWLOG") return HandleSlowLog();
+  if (StartsWith(upper, "TRACE")) return HandleTrace(stmt);
   if (upper == "TABLES") return HandleListTables();
   if (upper == "VIEWS") return HandleListViews();
   if (StartsWith(upper, "CREATE TABLE")) return HandleCreateTable(stmt);
@@ -136,6 +196,9 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
   if (StartsWith(upper, "REFRESH")) {
     return HandleRefresh(TrimStatement(stmt.substr(7)));
   }
+  if (StartsWith(upper, "EXPLAIN ANALYZE")) {
+    return HandleExplainAnalyze(TrimStatement(stmt.substr(15)));
+  }
   if (StartsWith(upper, "EXPLAIN")) {
     return HandleExplain(TrimStatement(stmt.substr(7)));
   }
@@ -146,13 +209,17 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
   return Status::InvalidArgument("unrecognized statement: " + stmt);
 }
 
-Result<PlanCache::EntryPtr> QueryService::PlanThroughCache(const Query& query,
-                                                           bool* cache_hit) {
+Result<PlanCache::EntryPtr> QueryService::PlanThroughCache(
+    const Query& query, bool* cache_hit, uint64_t* optimize_micros) {
   *cache_hit = false;
+  if (optimize_micros != nullptr) *optimize_micros = 0;
   std::string key;
   if (options_.enable_plan_cache) {
+    TraceSpan lookup("plan_cache.lookup");
     key = CanonicalCacheKey(query);
-    if (PlanCache::EntryPtr cached = plan_cache_.Lookup(key)) {
+    PlanCache::EntryPtr cached = plan_cache_.Lookup(key);
+    if (lookup.active()) lookup.AddAttr("hit", cached ? "1" : "0");
+    if (cached) {
       *cache_hit = true;
       cache_hits_.Increment();
       return cached;
@@ -161,7 +228,9 @@ Result<PlanCache::EntryPtr> QueryService::PlanThroughCache(const Query& query,
   Clock::time_point start = Clock::now();
   Optimizer optimizer(&db_, &views_, &catalog_, options_.rewrite);
   AQV_ASSIGN_OR_RETURN(OptimizeResult plan, optimizer.Optimize(query));
-  optimize_latency_.Record(ElapsedMicros(start));
+  uint64_t elapsed = ElapsedMicros(start);
+  if (optimize_micros != nullptr) *optimize_micros = elapsed;
+  optimize_latency_.Record(elapsed);
   cache_misses_.Increment();
 
   auto entry = std::make_shared<PlanCache::Entry>();
@@ -178,11 +247,15 @@ Result<PlanCache::EntryPtr> QueryService::PlanThroughCache(const Query& query,
 }
 
 Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
+  Clock::time_point stmt_start = Clock::now();
   std::shared_lock<std::shared_mutex> lock(latch_);
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(stmt, &catalog_));
+  uint64_t parse_micros = ElapsedMicros(stmt_start);
   StatementResult out;
-  AQV_ASSIGN_OR_RETURN(PlanCache::EntryPtr entry,
-                       PlanThroughCache(query, &out.cache_hit));
+  uint64_t optimize_micros = 0;
+  AQV_ASSIGN_OR_RETURN(
+      PlanCache::EntryPtr entry,
+      PlanThroughCache(query, &out.cache_hit, &optimize_micros));
   out.used_materialized_view = entry->used_materialized_view;
   if (entry->used_materialized_view) {
     out.message = "-- rewritten to use a materialized view:\n--   " +
@@ -192,11 +265,30 @@ Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
     rewrites_skipped_.Increment();
   }
   Clock::time_point start = Clock::now();
-  Evaluator eval(&db_, &views_, options_.eval);
-  AQV_ASSIGN_OR_RETURN(Table result, eval.Execute(entry->plan));
-  exec_latency_.Record(ElapsedMicros(start));
+  uint64_t exec_micros = 0;
+  {
+    TraceSpan exec_span("execute");
+    Evaluator eval(&db_, &views_, options_.eval);
+    AQV_ASSIGN_OR_RETURN(Table result, eval.Execute(entry->plan));
+    exec_micros = ElapsedMicros(start);
+    if (exec_span.active()) exec_span.AddAttr("rows", result.num_rows());
+    out.table = std::move(result);
+  }
+  exec_latency_.Record(exec_micros);
   queries_served_.Increment();
-  out.table = std::move(result);
+  uint64_t total_micros = ElapsedMicros(stmt_start);
+  if (options_.slow_query_micros > 0 &&
+      total_micros >= options_.slow_query_micros) {
+    SlowQueryRecord record;
+    record.statement = stmt;
+    record.fingerprint = QueryFingerprint(query);
+    record.parse_micros = parse_micros;
+    record.optimize_micros = optimize_micros;
+    record.exec_micros = exec_micros;
+    record.total_micros = total_micros;
+    record.cache_hit = out.cache_hit;
+    RecordSlowQuery(std::move(record));
+  }
   return out;
 }
 
@@ -220,6 +312,104 @@ Result<StatementResult> QueryService::HandleExplain(
   AQV_ASSIGN_OR_RETURN(std::string tree,
                        ExplainPlan(entry->plan, db_, &views_));
   out.message += tree;
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleExplainAnalyze(
+    const std::string& select_stmt) {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(select_stmt, &catalog_));
+  StatementResult out;
+  AQV_ASSIGN_OR_RETURN(PlanCache::EntryPtr entry,
+                       PlanThroughCache(query, &out.cache_hit));
+  out.used_materialized_view = entry->used_materialized_view;
+  char buf[256];
+  out.message = "original:  " + ToSql(query) + "\n";
+  out.message += "chosen:    " + ToSql(entry->plan) + "\n";
+  std::snprintf(buf, sizeof(buf),
+                "cost:      %.0f -> %.0f (%d rewriting(s) considered%s)\n",
+                entry->cost_original, entry->cost_chosen,
+                entry->rewritings_considered,
+                out.cache_hit ? ", plan cache hit" : "");
+  out.message += buf;
+  // Execute the chosen plan with the per-operator profile attached; the
+  // rendered tree shows actual rows and wall time next to the stored
+  // cardinalities the cost model estimated from.
+  PlanProfile profile;
+  Clock::time_point start = Clock::now();
+  Evaluator eval(&db_, &views_, options_.eval);
+  eval.set_profile(&profile);
+  AQV_ASSIGN_OR_RETURN(Table result, eval.Execute(entry->plan));
+  exec_latency_.Record(ElapsedMicros(start));
+  queries_served_.Increment();
+  out.message += RenderAnalyzedPlan(profile);
+  out.message +=
+      "result: " + std::to_string(result.num_rows()) + " row(s)\n";
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleTrace(const std::string& stmt) {
+  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(stmt));
+  Tracer& tracer = Tracer::Global();
+  StatementResult out;
+  if (tokens.size() >= 2 && tokens[1].IsKeyword("ON")) {
+    tracer.Enable();
+    out.message = "tracing enabled\n";
+    return out;
+  }
+  if (tokens.size() >= 2 && tokens[1].IsKeyword("OFF")) {
+    tracer.Disable();
+    out.message = "tracing disabled\n";
+    return out;
+  }
+  if (tokens.size() >= 2 && tokens[1].IsKeyword("CLEAR")) {
+    tracer.Clear();
+    out.message = "trace buffer cleared\n";
+    return out;
+  }
+  if (tokens.size() >= 2 && tokens[1].IsKeyword("DUMP")) {
+    size_t events = tracer.Snapshot().size();
+    uint64_t dropped = tracer.dropped();
+    std::string json = tracer.ChromeTraceJson();
+    if (tokens.size() >= 3 && tokens[2].kind == TokenKind::kString) {
+      std::ofstream file(tokens[2].text, std::ios::trunc);
+      if (!file) {
+        return Status::InvalidArgument("cannot open '" + tokens[2].text +
+                                       "' for writing");
+      }
+      file << json;
+      out.message = std::to_string(events) + " event(s) written to " +
+                    tokens[2].text + " (" + std::to_string(dropped) +
+                    " dropped); load in chrome://tracing or ui.perfetto.dev\n";
+    } else {
+      out.message = std::move(json);
+    }
+    return out;
+  }
+  return Status::InvalidArgument("usage: TRACE ON|OFF|CLEAR|DUMP ['file.json']");
+}
+
+Result<StatementResult> QueryService::HandleSlowLog() const {
+  StatementResult out;
+  std::vector<SlowQueryRecord> records = SlowQueries();
+  if (records.empty()) {
+    out.message = "slow query log is empty\n";
+    return out;
+  }
+  char buf[160];
+  for (const SlowQueryRecord& r : records) {
+    std::snprintf(buf, sizeof(buf),
+                  "fp=%016llx total=%lluus parse=%lluus optimize=%lluus "
+                  "exec=%lluus%s  ",
+                  static_cast<unsigned long long>(r.fingerprint),
+                  static_cast<unsigned long long>(r.total_micros),
+                  static_cast<unsigned long long>(r.parse_micros),
+                  static_cast<unsigned long long>(r.optimize_micros),
+                  static_cast<unsigned long long>(r.exec_micros),
+                  r.cache_hit ? " [cache hit]" : "");
+    out.message += buf;
+    out.message += r.statement + "\n";
+  }
   return out;
 }
 

@@ -2,9 +2,12 @@
 #define AQV_SERVICE_QUERY_SERVICE_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "base/metrics.h"
 #include "base/result.h"
@@ -23,6 +26,11 @@ struct ServiceOptions {
   size_t plan_cache_capacity = 256;
   /// Master switch for the rewrite-plan cache (the bench sweeps this).
   bool enable_plan_cache = true;
+  /// SELECTs slower than this end up in the slow-query log (statement,
+  /// fingerprint, parse/optimize/execute breakdown; see SLOWLOG). 0 disables.
+  uint64_t slow_query_micros = 0;
+  /// Bound on the slow-query log; older entries are dropped first.
+  size_t slow_query_log_capacity = 64;
   RewriteOptions rewrite;
   EvalOptions eval;
 
@@ -48,13 +56,31 @@ struct ServiceStats {
   uint64_t plan_cache_invalidated = 0;  // entries dropped by write hooks
   uint64_t rewrites_applied = 0;   // chosen plan uses a materialized view
   uint64_t rewrites_skipped = 0;   // original plan kept
+  uint64_t slow_queries = 0;       // SELECTs over ServiceOptions::slow_query_micros
   size_t plan_cache_size = 0;
+  size_t plan_cache_capacity = 0;  // configured bound (0 = caching disabled)
+  double plan_cache_hit_rate = 0;  // hits / (hits + misses), 0 when no lookups
   double optimize_p50_micros = 0;
   double optimize_p99_micros = 0;
+  uint64_t optimize_max_micros = 0;
   double exec_p50_micros = 0;
   double exec_p99_micros = 0;
+  uint64_t exec_max_micros = 0;
 
   std::string ToString() const;
+};
+
+/// One SELECT that exceeded ServiceOptions::slow_query_micros: the statement
+/// text, its canonical fingerprint (ir/fingerprint.h) for grouping repeats,
+/// and the per-stage wall-time breakdown.
+struct SlowQueryRecord {
+  std::string statement;
+  uint64_t fingerprint = 0;
+  uint64_t parse_micros = 0;
+  uint64_t optimize_micros = 0;  // 0 on a plan-cache hit
+  uint64_t exec_micros = 0;
+  uint64_t total_micros = 0;
+  bool cache_hit = false;
 };
 
 /// An embeddable, thread-safe query service over the aqv library: it owns a
@@ -95,6 +121,15 @@ class QueryService {
   void ResetStats();
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// Prometheus text exposition of the service metrics (also available as
+  /// the STATS PROM statement). Point-in-time gauges (plan-cache size /
+  /// capacity) are refreshed on each call.
+  std::string StatsPromText();
+
+  /// Snapshot of the slow-query log, oldest first (see
+  /// ServiceOptions::slow_query_micros and the SLOWLOG statement).
+  std::vector<SlowQueryRecord> SlowQueries() const;
+
  private:
   Result<StatementResult> Dispatch(const std::string& stmt,
                                    const std::string& upper);
@@ -102,6 +137,9 @@ class QueryService {
   // Read statements (caller documentation only: each takes latch_ shared).
   Result<StatementResult> HandleSelect(const std::string& stmt);
   Result<StatementResult> HandleExplain(const std::string& select_stmt);
+  Result<StatementResult> HandleExplainAnalyze(const std::string& select_stmt);
+  Result<StatementResult> HandleTrace(const std::string& stmt);
+  Result<StatementResult> HandleSlowLog() const;
   Result<StatementResult> HandleWhy(const std::string& rest);
   Result<StatementResult> HandleSave(const std::string& stmt);
   Result<StatementResult> HandleListTables();
@@ -116,9 +154,14 @@ class QueryService {
   Result<StatementResult> HandleLoad(const std::string& stmt);
 
   /// Optimizes `query` through the plan cache (lookup, else optimize and
-  /// insert). Caller must hold latch_ at least shared.
+  /// insert). Caller must hold latch_ at least shared. `optimize_micros`
+  /// (optional) receives the optimizer wall time — 0 on a cache hit.
   Result<PlanCache::EntryPtr> PlanThroughCache(const Query& query,
-                                               bool* cache_hit);
+                                               bool* cache_hit,
+                                               uint64_t* optimize_micros = nullptr);
+
+  /// Appends to the bounded slow-query log (thread-safe).
+  void RecordSlowQuery(SlowQueryRecord record);
 
   /// Recomputes the named view's contents into db_. Caller holds latch_
   /// exclusive; fires the view's invalidation hook.
@@ -135,6 +178,11 @@ class QueryService {
 
   PlanCache plan_cache_;
 
+  /// Bounded slow-query log; its own lock so recording never contends with
+  /// the data latch.
+  mutable std::mutex slow_log_mutex_;
+  std::deque<SlowQueryRecord> slow_log_;
+
   MetricsRegistry metrics_;
   Counter& statements_;
   Counter& queries_served_;
@@ -143,6 +191,9 @@ class QueryService {
   Counter& cache_invalidated_;
   Counter& rewrites_applied_;
   Counter& rewrites_skipped_;
+  Counter& slow_queries_;
+  Gauge& cache_size_gauge_;
+  Gauge& cache_capacity_gauge_;
   LatencyHistogram& optimize_latency_;
   LatencyHistogram& exec_latency_;
 };

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/trace.h"
 #include "exec/table.h"
 #include "ir/fingerprint.h"
 #include "parser/parser.h"
@@ -336,6 +337,163 @@ TEST(ServiceConcurrencyTest, MixedStatementsMatchSingleThreadedExecution) {
   EXPECT_GE(stats.queries_served,
             static_cast<uint64_t>(pool.size() + 2 * kThreads * kRounds));
   EXPECT_GT(stats.plan_cache_hits, 0u);
+}
+
+TEST(ServiceObservabilityTest, ExplainAnalyzeShowsActualRowsAndTimings) {
+  std::unique_ptr<QueryService> service = MakeTelephonyService();
+  StatementResult r =
+      ExecuteOrDie(*service, "EXPLAIN ANALYZE " + TelephonyQuery(1995, 1e9));
+  EXPECT_FALSE(r.table.has_value());  // analyze reports, it does not return rows
+  // Cost estimates and the executed operator tree with actuals, side by side.
+  EXPECT_NE(r.message.find("cost:"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("rewriting(s) considered"), std::string::npos);
+  EXPECT_NE(r.message.find("(actual rows="), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find(" us)"), std::string::npos);
+  EXPECT_NE(r.message.find(" rows]"), std::string::npos);  // stored-cardinality estimate
+  EXPECT_NE(r.message.find("HashAggregate("), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("Having("), std::string::npos);
+  EXPECT_NE(r.message.find("total: "), std::string::npos);
+  EXPECT_NE(r.message.find("result: "), std::string::npos);
+  // The analyzed SELECT executed for real.
+  EXPECT_EQ(service->Stats().queries_served, 1u);
+}
+
+TEST(ServiceObservabilityTest, ExplainAnalyzeMatchesPlainSelectRows) {
+  QueryService service;
+  EXPECT_OK(service.Execute("CREATE TABLE R(A, B)").status());
+  EXPECT_OK(service.Execute("INSERT INTO R VALUES (1, 2), (1, 4), (2, 8)")
+                .status());
+  std::string q = "SELECT A_1, SUM(B_1) AS T FROM R GROUPBY A_1";
+  StatementResult rows = ExecuteOrDie(service, q);
+  ASSERT_TRUE(rows.table.has_value());
+  StatementResult analyzed = ExecuteOrDie(service, "EXPLAIN ANALYZE " + q);
+  EXPECT_NE(analyzed.message.find("result: " +
+                                  std::to_string(rows.table->num_rows()) +
+                                  " row(s)"),
+            std::string::npos)
+      << analyzed.message;
+}
+
+TEST(ServiceObservabilityTest, TraceDumpEmitsChromeTraceJson) {
+  std::unique_ptr<QueryService> service = MakeTelephonyService();
+  ExecuteOrDie(*service, "TRACE ON");
+  ASSERT_TRUE(Tracer::Global().enabled());
+  Tracer::Global().Clear();
+  ExecuteOrDie(*service, TelephonyQuery(1995, 1e9));
+  StatementResult dump = ExecuteOrDie(*service, "TRACE DUMP");
+  ExecuteOrDie(*service, "TRACE OFF");
+  EXPECT_FALSE(Tracer::Global().enabled());
+
+  const std::string& json = dump.message;
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // The statement lifecycle is covered end to end.
+  for (const char* span : {"\"name\":\"statement\"", "\"name\":\"parse\"",
+                           "\"name\":\"bind\"", "\"name\":\"optimize\"",
+                           "\"name\":\"rewrite.attempt\"", "\"name\":\"cost\"",
+                           "\"name\":\"plan_cache.lookup\"",
+                           "\"name\":\"execute\""}) {
+    EXPECT_NE(json.find(span), std::string::npos) << "missing span " << span;
+  }
+  ExecuteOrDie(*service, "TRACE CLEAR");
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+  EXPECT_FALSE(service->Execute("TRACE SIDEWAYS").ok());
+}
+
+TEST(ServiceObservabilityTest, StatsReportHitRateCapacityAndMax) {
+  ServiceOptions options;
+  options.plan_cache_capacity = 32;
+  QueryService service(options);
+  EXPECT_OK(service.Execute("CREATE TABLE R(A, B)").status());
+  EXPECT_OK(service.Execute("INSERT INTO R VALUES (1, 2)").status());
+  std::string q = "SELECT A_1 FROM R WHERE B_1 = 2";
+  ExecuteOrDie(service, q);
+  ExecuteOrDie(service, q);
+  ExecuteOrDie(service, q);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.plan_cache_hits, 2u);
+  EXPECT_EQ(stats.plan_cache_misses, 1u);
+  EXPECT_NEAR(stats.plan_cache_hit_rate, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.plan_cache_capacity, 32u);
+  EXPECT_GE(stats.exec_max_micros, 0u);
+
+  std::string text = ExecuteOrDie(service, "STATS").message;
+  EXPECT_NE(text.find("% hit rate"), std::string::npos) << text;
+  EXPECT_NE(text.find("1/32 entries"), std::string::npos) << text;
+  EXPECT_NE(text.find("max="), std::string::npos) << text;
+}
+
+TEST(ServiceObservabilityTest, StatsPromExposesPrometheusText) {
+  QueryService service;
+  EXPECT_OK(service.Execute("CREATE TABLE R(A)").status());
+  EXPECT_OK(service.Execute("INSERT INTO R VALUES (1)").status());
+  ExecuteOrDie(service, "SELECT A_1 FROM R");
+
+  std::string text = ExecuteOrDie(service, "STATS PROM").message;
+  EXPECT_EQ(text, service.StatsPromText());
+  EXPECT_NE(text.find("# TYPE aqv_service_statements counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqv_service_queries_served 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE aqv_service_plan_cache_size gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqv_service_plan_cache_capacity 256\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqv_service_exec_latency{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqv_service_exec_latency_count 1\n"),
+            std::string::npos);
+}
+
+TEST(ServiceObservabilityTest, SlowQueryLogCapturesBreakdown) {
+  ServiceOptions options;
+  options.slow_query_micros = 1;  // everything is slow
+  options.slow_query_log_capacity = 4;
+  QueryService service(options);
+  EXPECT_OK(service.Execute("CREATE TABLE R(A, B)").status());
+  EXPECT_OK(service.Execute("INSERT INTO R VALUES (1, 2), (3, 4)").status());
+
+  for (int i = 0; i < 6; ++i) {
+    ExecuteOrDie(service,
+                 "SELECT A_1 FROM R WHERE B_1 = " + std::to_string(i));
+  }
+  std::vector<SlowQueryRecord> log = service.SlowQueries();
+  ASSERT_EQ(log.size(), 4u);  // bounded, oldest dropped
+  EXPECT_NE(log.back().statement.find("B_1 = 5"), std::string::npos);
+  EXPECT_EQ(service.Stats().slow_queries, 6u);
+  for (const SlowQueryRecord& r : log) {
+    EXPECT_NE(r.fingerprint, 0u);
+    EXPECT_GE(r.total_micros, 1u);
+    EXPECT_GE(r.total_micros,
+              r.exec_micros);  // breakdown is within the total
+  }
+  // Repeats of one fingerprint group: same statement twice -> same fp.
+  ExecuteOrDie(service, "SELECT A_1 FROM R WHERE B_1 = 99");
+  ExecuteOrDie(service, "SELECT A_1 FROM R WHERE 99 = B_1");  // mirrored
+  log = service.SlowQueries();
+  ASSERT_GE(log.size(), 2u);
+  EXPECT_EQ(log[log.size() - 1].fingerprint, log[log.size() - 2].fingerprint);
+  EXPECT_TRUE(log.back().cache_hit);  // canonical key matched the mirror
+
+  std::string text = ExecuteOrDie(service, "SLOWLOG").message;
+  EXPECT_NE(text.find("fp="), std::string::npos) << text;
+  EXPECT_NE(text.find("exec="), std::string::npos);
+  EXPECT_NE(text.find("B_1 = 99"), std::string::npos);
+
+  service.ResetStats();
+  EXPECT_TRUE(service.SlowQueries().empty());
+  EXPECT_NE(ExecuteOrDie(service, "SLOWLOG").message.find("empty"),
+            std::string::npos);
+}
+
+TEST(ServiceObservabilityTest, NoSlowLoggingWhenDisabled) {
+  QueryService service;  // slow_query_micros = 0
+  EXPECT_OK(service.Execute("CREATE TABLE R(A)").status());
+  EXPECT_OK(service.Execute("INSERT INTO R VALUES (1)").status());
+  ExecuteOrDie(service, "SELECT A_1 FROM R");
+  EXPECT_TRUE(service.SlowQueries().empty());
+  EXPECT_EQ(service.Stats().slow_queries, 0u);
 }
 
 // Pure reader concurrency over one cached plan: every hit must serve rows

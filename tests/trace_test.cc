@@ -1,0 +1,250 @@
+// Tests for the base/trace span tracer: ring-buffer bounds, span nesting,
+// the disabled fast path, Chrome trace_event JSON, concurrent recording,
+// and the rewrite-attempt instrumentation's reject-condition attributes.
+
+#include "base/trace.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "rewrite/rewriter.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+const TraceEvent* FindEvent(const std::vector<TraceEvent>& events,
+                            const std::string& name) {
+  for (const TraceEvent& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string AttrOrEmpty(const TraceEvent& e, const std::string& key) {
+  for (const auto& [k, v] : e.attributes) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer tracer(16);
+  ASSERT_FALSE(tracer.enabled());
+  {
+    TraceSpan span("work", tracer);
+    EXPECT_FALSE(span.active());
+    span.AddAttr("ignored", "value");  // no-op on an inert span
+  }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TraceTest, RecordsNestedSpansWithParentIds) {
+  Tracer tracer(16);
+  tracer.Enable();
+  {
+    TraceSpan outer("outer", tracer);
+    ASSERT_TRUE(outer.active());
+    outer.AddAttr("k", "v");
+    {
+      TraceSpan inner("inner", tracer);
+      ASSERT_TRUE(inner.active());
+    }
+  }
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);  // inner ends (and records) first
+  const TraceEvent* outer = FindEvent(events, "outer");
+  const TraceEvent* inner = FindEvent(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  EXPECT_NE(inner->span_id, outer->span_id);
+  EXPECT_EQ(inner->thread_id, outer->thread_id);
+  EXPECT_GE(outer->duration_micros, inner->duration_micros);
+  EXPECT_EQ(AttrOrEmpty(*outer, "k"), "v");
+}
+
+TEST(TraceTest, EndIsIdempotent) {
+  Tracer tracer(16);
+  tracer.Enable();
+  TraceSpan span("once", tracer);
+  span.End();
+  span.End();
+  EXPECT_EQ(tracer.Snapshot().size(), 1u);
+}
+
+TEST(TraceTest, SiblingSpansShareTheRestoredParent) {
+  Tracer tracer(16);
+  tracer.Enable();
+  {
+    TraceSpan parent("parent", tracer);
+    { TraceSpan a("a", tracer); }
+    { TraceSpan b("b", tracer); }
+  }
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  const TraceEvent* parent = FindEvent(events, "parent");
+  const TraceEvent* a = FindEvent(events, "a");
+  const TraceEvent* b = FindEvent(events, "b");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->parent_id, parent->span_id);
+  EXPECT_EQ(b->parent_id, parent->span_id);
+}
+
+TEST(TraceTest, RingBufferOverwritesOldestAndCountsDropped) {
+  Tracer tracer(4);
+  tracer.Enable();
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("span" + std::to_string(i), tracer);
+  }
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // Oldest first: the survivors are the last four recorded.
+  EXPECT_EQ(events[0].name, "span6");
+  EXPECT_EQ(events[3].name, "span9");
+}
+
+TEST(TraceTest, ClearResetsBufferAndDroppedCount) {
+  Tracer tracer(2);
+  tracer.Enable();
+  for (int i = 0; i < 5; ++i) TraceSpan span("s", tracer);
+  ASSERT_EQ(tracer.dropped(), 3u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+  { TraceSpan span("after", tracer); }
+  EXPECT_EQ(tracer.Snapshot().size(), 1u);
+}
+
+TEST(TraceTest, ChromeTraceJsonShape) {
+  Tracer tracer(16);
+  tracer.Enable();
+  {
+    TraceSpan span("quoted\"name", tracer);
+    span.AddAttr("path", "a\\b");
+    span.AddAttr("n", 42);
+  }
+  std::string json = tracer.ChromeTraceJson();
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"aqv\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"quoted\\\"name\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":\"42\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(TraceTest, EmptyTracerProducesValidEmptyJson) {
+  Tracer tracer(4);
+  std::string json = tracer.ChromeTraceJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("]}"), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\""), std::string::npos);  // no events
+}
+
+TEST(TraceTest, ConcurrentRecordingStaysBounded) {
+  Tracer tracer(64);
+  tracer.Enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("t" + std::to_string(t), tracer);
+        if (span.active()) span.AddAttr("i", i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  EXPECT_EQ(events.size(), 64u);
+  EXPECT_EQ(tracer.dropped(),
+            static_cast<uint64_t>(kThreads * kSpansPerThread - 64));
+}
+
+TEST(TraceTest, RejectConditionTokenParsesConditionNames) {
+  EXPECT_EQ(RejectConditionToken(Status::OK()), "");
+  EXPECT_EQ(RejectConditionToken(Status::InvalidArgument("condition C1")), "");
+  EXPECT_EQ(RejectConditionToken(Status::Unusable("condition C1: not 1-1")),
+            "C1");
+  EXPECT_EQ(RejectConditionToken(
+                Status::Unusable("cannot replace 'B' (conditions C2/C4)")),
+            "C2");
+  EXPECT_EQ(RejectConditionToken(
+                Status::Unusable("condition C4' 1(a): SUM needs SUM")),
+            "C4'");
+  EXPECT_EQ(RejectConditionToken(
+                Status::Unusable("grouped view, conjunctive query (Section 4.5)")),
+            "S4.5");
+  EXPECT_EQ(RejectConditionToken(Status::Unusable("no token here")), "other");
+}
+
+// The tentpole acceptance check: a traced rewrite attempt against a view
+// that fails condition C2 (the view projects out a column the query needs)
+// carries the rejecting condition as a span attribute.
+TEST(TraceTest, RewriteAttemptSpanCarriesRejectCondition) {
+  // Example 3.1's query; the view projects out everything but D2, so strict
+  // replacement of the query's grouping column fails (conditions C2/C4).
+  Query q = QueryBuilder()
+                .From("R1", {"A1", "B1"})
+                .From("R2", {"C1", "D1"})
+                .Select("A1")
+                .SelectAgg(AggFn::kSum, "B1", "s")
+                .WhereCols("A1", CmpOp::kEq, "C1")
+                .WhereConst("B1", CmpOp::kEq, Value::Int64(6))
+                .WhereConst("D1", CmpOp::kEq, Value::Int64(6))
+                .GroupBy("A1")
+                .BuildOrDie();
+  ViewDef v{"V2", QueryBuilder()
+                      .From("R1", {"A2", "B2"})
+                      .From("R2", {"C2", "D2"})
+                      .Select("D2")
+                      .WhereCols("A2", CmpOp::kEq, "C2")
+                      .WhereCols("B2", CmpOp::kEq, "D2")
+                      .BuildOrDie()};
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Rewriter rewriter(&views);
+
+  // The rewriter instruments through the global tracer.
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  Result<std::vector<Rewriting>> r = rewriter.RewritingsUsingView(q, "V2");
+  tracer.Disable();
+  ASSERT_OK(r.status());
+  EXPECT_TRUE(r->empty());
+
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  const TraceEvent* view_span = FindEvent(events, "rewrite.view");
+  ASSERT_NE(view_span, nullptr);
+  EXPECT_EQ(AttrOrEmpty(*view_span, "view"), "V2");
+  EXPECT_EQ(AttrOrEmpty(*view_span, "accepted"), "0");
+
+  bool saw_c2_reject = false;
+  for (const TraceEvent& e : events) {
+    if (e.name != "rewrite.attempt") continue;
+    EXPECT_EQ(AttrOrEmpty(e, "view"), "V2");
+    EXPECT_EQ(AttrOrEmpty(e, "accepted"), "");  // every mapping fails
+    std::string reject = AttrOrEmpty(e, "reject");
+    EXPECT_FALSE(reject.empty());
+    if (reject == "C2") saw_c2_reject = true;
+  }
+  EXPECT_TRUE(saw_c2_reject);
+  tracer.Clear();
+}
+
+}  // namespace
+}  // namespace aqv
