@@ -19,6 +19,19 @@
 // Reproducible by construction: the workload seed is pinned (and overridable
 // on the command line), so two runs generate identical databases and plans.
 //
+// Experiment E14 — striped latching under a write-heavy mix (PR 3). The
+// BM_E12_ServiceWriteMix series adds writer traffic: each worker flips a
+// deterministic per-thread coin and either runs a pool SELECT or REFRESHes
+// its *private* materialized view (constant-cost write: the view reads one
+// small private table, so the work does not grow over the run). The sweep
+// crosses
+//
+//   write_pct  — percent of statements that are writes (0, 20, 50);
+//   stripes    — ServiceOptions::latch_stripes; stripes:1 *is* the global
+//                reader/writer latch the stripes replaced (every name maps
+//                to one stripe), so stripes:1 vs stripes:16 at equal
+//                write_pct/threads is the before/after of the PR.
+//
 // This bench has its own main with workload flags on top of the standard
 // google-benchmark ones:
 //
@@ -26,6 +39,8 @@
 //   --duration=SECONDS    min measuring time per series (benchmark MinTime)
 //   --seed=N              telephony workload seed (default 42)
 //   --cache_capacity=N    plan-cache capacity for the cache:1 service
+//   --write_pct=0,20,50   write percentages for the write-mix sweep
+//   --stripes=1,16        latch stripe counts for the write-mix sweep
 //
 // e.g. bench_e12_service --threads=4 --duration=2 --seed=7
 //        --benchmark_format=json
@@ -33,7 +48,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +70,10 @@ constexpr int kNumCalls = 20000;
 // GetService builds lazily, so the flags are honored).
 uint64_t g_workload_seed = 42;
 size_t g_cache_capacity = 256;
+std::vector<int> g_write_pcts = {0, 20, 50};
+std::vector<int> g_stripe_counts = {1, 16};
+// Number of per-thread private write targets (set to max worker count).
+int g_mix_slots = 8;
 
 // The Example 1.1 query in shell syntax (occurrence 1 = Calls,
 // occurrence 2 = Calling_Plans), parameterized to make plans distinct.
@@ -125,6 +146,102 @@ QueryService* GetService(bool cache_enabled) {
              "materialize V2");
   slot = service;
   return slot;
+}
+
+// One service per stripe count for the E14 write-mix sweep. On top of the
+// telephony warehouse, each worker slot t gets a small private table PT<t>
+// and a materialized view PV<t> over it: REFRESH PV<t> is then a
+// constant-cost write whose footprint (PV<t> exclusive, PT<t> shared) is
+// disjoint from the pool SELECTs' footprints (Calls/Calling_Plans/V1/V2),
+// modulo stripe-hash collisions. With stripes=1 every footprint lands on
+// the single stripe — the pre-PR global latch — so writers serialize the
+// whole service; with 16 stripes they only serialize against themselves.
+QueryService* GetMixService(size_t stripes) {
+  static std::mutex mu;
+  static auto* services = new std::map<size_t, QueryService*>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = services->find(stripes);
+  if (it != services->end()) return it->second;
+
+  TelephonyParams params;
+  params.num_calls = kNumCalls;
+  params.seed = g_workload_seed;
+  TelephonyWorkload w = MakeTelephonyWorkload(params);
+
+  ServiceOptions options;
+  options.enable_plan_cache = true;
+  options.plan_cache_capacity = g_cache_capacity;
+  options.latch_stripes = stripes;
+  auto* service = new QueryService(options);
+  CheckOrDie(
+      service->Bootstrap(std::move(w.catalog), std::move(w.db),
+                         std::move(w.views)),
+      "bootstrap mix service");
+  CheckOrDie(service->Execute("REFRESH V1").status(), "materialize V1");
+  CheckOrDie(service
+                 ->Execute("CREATE MATERIALIZED VIEW V2 AS "
+                           "SELECT Plan_Id_1, Year_1, SUM(Charge_1) AS Yearly "
+                           "FROM Calls GROUPBY Plan_Id_1, Year_1")
+                 .status(),
+             "materialize V2");
+  for (int t = 0; t < g_mix_slots; ++t) {
+    std::string pt = "PT" + std::to_string(t);
+    std::string pv = "PV" + std::to_string(t);
+    CheckOrDie(service->Execute("CREATE TABLE " + pt + "(K, V)").status(),
+               "create private table");
+    for (int row = 0; row < 8; ++row) {
+      CheckOrDie(service
+                     ->Execute("INSERT INTO " + pt + " VALUES (" +
+                               std::to_string(row % 4) + ", " +
+                               std::to_string(row) + ")")
+                     .status(),
+                 "seed private table");
+    }
+    CheckOrDie(service
+                   ->Execute("CREATE MATERIALIZED VIEW " + pv +
+                             " AS SELECT K_1, SUM(V_1) AS S FROM " + pt +
+                             " GROUPBY K_1")
+                   .status(),
+               "create private view");
+  }
+  (*services)[stripes] = service;
+  return service;
+}
+
+// E14: mixed read/write traffic. Each iteration flips a deterministic
+// per-thread coin: with probability write_pct it REFRESHes the thread's
+// private view (a write — exclusive stripe on PV<t>), otherwise it runs
+// the next pool SELECT (shared stripes). items = statements served.
+void BM_E12_ServiceWriteMix(benchmark::State& state) {
+  const int write_pct = static_cast<int>(state.range(0));
+  const size_t stripes = static_cast<size_t>(state.range(1));
+  QueryService* service = GetMixService(stripes);
+  const std::vector<std::string>& pool = QueryPool();
+
+  const int slot = state.thread_index() % g_mix_slots;
+  const std::string refresh = "REFRESH PV" + std::to_string(slot);
+  size_t next = static_cast<size_t>(state.thread_index()) * 3;
+  // Per-thread LCG: deterministic mix, no shared RNG state.
+  uint64_t lcg = 0x9e3779b97f4a7c15ULL * (state.thread_index() + 1);
+  uint64_t writes = 0;
+  for (auto _ : state) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const bool is_write = static_cast<int>((lcg >> 33) % 100) < write_pct;
+    const std::string& q = is_write ? refresh : pool[next++ % pool.size()];
+    Result<StatementResult> r = service->Execute(q);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    if (is_write) ++writes;
+    benchmark::DoNotOptimize(r->message);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["write_frac"] = benchmark::Counter(
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(writes) / state.iterations(),
+      benchmark::Counter::kAvgThreads);
 }
 
 void BM_E12_Service(benchmark::State& state) {
@@ -213,21 +330,25 @@ const char* FlagValue(const char* arg, const char* name) {
   return nullptr;
 }
 
-std::vector<int> ParseThreadList(const char* value) {
-  std::vector<int> threads;
+// Comma-separated non-negative integer list, e.g. "1,2,4,8".
+std::vector<int> ParseIntList(const char* flag, const char* value) {
+  std::vector<int> out;
   const char* p = value;
   while (*p != '\0') {
     char* end = nullptr;
     long t = std::strtol(p, &end, 10);
-    if (end == p || t <= 0) {
-      std::fprintf(stderr, "bad --threads list: %s\n", value);
+    if (end == p || t < 0) {
+      std::fprintf(stderr, "bad %s list: %s\n", flag, value);
       std::exit(1);
     }
-    threads.push_back(static_cast<int>(t));
+    out.push_back(static_cast<int>(t));
     p = (*end == ',') ? end + 1 : end;
   }
-  if (threads.empty()) threads = {1, 2, 4, 8};
-  return threads;
+  if (out.empty()) {
+    std::fprintf(stderr, "empty %s list\n", flag);
+    std::exit(1);
+  }
+  return out;
 }
 
 void RegisterAll(const std::vector<int>& threads, double duration_seconds) {
@@ -249,6 +370,14 @@ void RegisterAll(const std::vector<int>& threads, double duration_seconds) {
                    ->Arg(1)
                    ->Unit(benchmark::kMicrosecond);
   if (duration_seconds > 0) plan->MinTime(duration_seconds);
+
+  auto* mix = benchmark::RegisterBenchmark("BM_E12_ServiceWriteMix",
+                                           BM_E12_ServiceWriteMix)
+                  ->ArgNames({"write_pct", "stripes"});
+  for (int s : g_stripe_counts) {
+    for (int w : g_write_pcts) mix->Args({w, s});
+  }
+  configure(mix);
 }
 
 }  // namespace
@@ -264,18 +393,25 @@ int main(int argc, char** argv) {
   remaining.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (const char* v = aqv::FlagValue(argv[i], "--threads")) {
-      threads = aqv::ParseThreadList(v);
+      threads = aqv::ParseIntList("--threads", v);
     } else if (const char* v = aqv::FlagValue(argv[i], "--duration")) {
       duration_seconds = std::atof(v);
     } else if (const char* v = aqv::FlagValue(argv[i], "--seed")) {
       aqv::g_workload_seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
     } else if (const char* v = aqv::FlagValue(argv[i], "--cache_capacity")) {
       aqv::g_cache_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = aqv::FlagValue(argv[i], "--write_pct")) {
+      aqv::g_write_pcts = aqv::ParseIntList("--write_pct", v);
+    } else if (const char* v = aqv::FlagValue(argv[i], "--stripes")) {
+      aqv::g_stripe_counts = aqv::ParseIntList("--stripes", v);
     } else {
       remaining.push_back(argv[i]);
     }
   }
   int remaining_argc = static_cast<int>(remaining.size());
+  for (int t : threads) {
+    if (t > aqv::g_mix_slots) aqv::g_mix_slots = t;
+  }
 
   aqv::RegisterAll(threads, duration_seconds);
   benchmark::Initialize(&remaining_argc, remaining.data());

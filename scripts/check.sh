@@ -3,9 +3,12 @@
 #
 #   scripts/check.sh                       # default build
 #   BUILD_DIR=build-tsan scripts/check.sh -DAQV_SANITIZE=thread
+#   CTEST_ARGS="-LE stress" scripts/check.sh        # skip stress tests
+#   CTEST_ARGS="-L stress" scripts/check.sh         # only stress tests
 #
-# Extra arguments are forwarded to the CMake configure step. Intended as the
-# single entry point for local verification and any future CI.
+# Extra arguments are forwarded to the CMake configure step; CTEST_ARGS is
+# forwarded to ctest (e.g. label selection). Intended as the single entry
+# point for local verification and any future CI.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,4 +17,5 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S . "$@"
 cmake --build "$BUILD_DIR" -j"$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+# shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" ${CTEST_ARGS:-}

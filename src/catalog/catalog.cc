@@ -76,8 +76,8 @@ Status Catalog::AddTable(TableDef table) {
     }
   }
   std::string name = table.name();
+  table.schema_epoch_ = ++version_;
   tables_.emplace(std::move(name), std::move(table));
-  ++version_;
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef AQV_CATALOG_CATALOG_H_
 #define AQV_CATALOG_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -50,11 +51,20 @@ class TableDef {
   /// True if the table is guaranteed duplicate-free (i.e., has a key).
   bool IsSet() const { return !keys_.empty(); }
 
+  /// Catalog::version() at which this table was registered (0 until it is
+  /// added to a catalog). Together with Database::VersionOf this tags every
+  /// table with a (schema epoch, data epoch) pair, so a pinned snapshot can
+  /// report exactly which state it reads.
+  uint64_t schema_epoch() const { return schema_epoch_; }
+
  private:
+  friend class Catalog;
+
   std::string name_;
   std::vector<std::string> columns_;
   std::vector<std::vector<int>> keys_;
   std::vector<FunctionalDependency> fds_;
+  uint64_t schema_epoch_ = 0;
 };
 
 /// Name -> schema registry for base tables. Views are registered separately

@@ -31,9 +31,19 @@ std::string PredicateList(const std::vector<Predicate>& preds) {
 }  // namespace
 
 Result<const Table*> Evaluator::InputTable(const std::string& name, int depth) {
-  // Stored contents win: this is how a materialized view is served.
-  if (db_ != nullptr && db_->Has(name)) {
-    return db_->Get(name);
+  // Stored contents win: this is how a materialized view is served. Take
+  // shared ownership of the version read first, so a concurrent writer
+  // replacing it (copy-on-write Put) cannot free the rows mid-execution;
+  // every read of `name` within this Evaluator sees that same version.
+  if (db_ != nullptr) {
+    auto it = pinned_.find(name);
+    if (it != pinned_.end()) return it->second.get();
+    TablePtr pinned = db_->GetShared(name);
+    if (pinned != nullptr) {
+      const Table* raw = pinned.get();
+      pinned_.emplace(name, std::move(pinned));
+      return raw;
+    }
   }
   if (views_ != nullptr && views_->Has(name)) {
     auto it = view_cache_.find(name);

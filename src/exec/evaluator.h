@@ -68,7 +68,10 @@ class Evaluator {
   Result<Table> MaterializeView(const std::string& name);
 
   const EvalStats& stats() const { return stats_; }
-  void ClearViewCache() { view_cache_.clear(); }
+  void ClearViewCache() {
+    view_cache_.clear();
+    pinned_.clear();
+  }
 
   /// Attaches a per-operator profile collector to subsequent Execute calls
   /// (top-level stages only). `profile` must outlive the Evaluator or be
@@ -86,6 +89,10 @@ class Evaluator {
   const ViewRegistry* views_;
   EvalOptions options_;
   std::map<std::string, Table> view_cache_;
+  /// Stored-table versions read so far: pinning the shared_ptr makes every
+  /// read of one name repeatable within this Evaluator and keeps the rows
+  /// alive even if a writer replaces the stored version mid-execution.
+  std::map<std::string, TablePtr> pinned_;
   EvalStats stats_;
   PlanProfile* profile_ = nullptr;
 };

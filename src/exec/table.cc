@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <unordered_map>
 
@@ -54,23 +55,96 @@ std::string Table::ToString(size_t max_rows) const {
   return os.str();
 }
 
+Database::Database(const Database& other) {
+  std::shared_lock<std::shared_mutex> lock(other.mu_);
+  tables_ = other.tables_;
+  epoch_ = other.epoch_;
+}
+
+Database::Database(Database&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  tables_ = std::move(other.tables_);
+  epoch_ = other.epoch_;
+}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  std::map<std::string, Versioned> copy;
+  uint64_t epoch;
+  {
+    std::shared_lock<std::shared_mutex> lock(other.mu_);
+    copy = other.tables_;
+    epoch = other.epoch_;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  tables_ = std::move(copy);
+  epoch_ = epoch;
+  return *this;
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this == &other) return *this;
+  std::map<std::string, Versioned> taken;
+  uint64_t epoch;
+  {
+    std::unique_lock<std::shared_mutex> lock(other.mu_);
+    taken = std::move(other.tables_);
+    epoch = other.epoch_;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  tables_ = std::move(taken);
+  epoch_ = epoch;
+  return *this;
+}
+
 void Database::Put(std::string name, Table table) {
-  tables_[std::move(name)] = std::move(table);
+  Put(std::move(name), std::make_shared<const Table>(std::move(table)));
+}
+
+void Database::Put(std::string name, TablePtr table) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Versioned& slot = tables_[std::move(name)];
+  slot.table = std::move(table);
+  slot.version = ++epoch_;
+}
+
+bool Database::Has(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tables_.count(name) > 0;
 }
 
 Result<const Table*> Database::Get(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' not in database");
   }
-  return &it->second;
+  return it->second.table.get();
+}
+
+TablePtr Database::GetShared(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.table;
 }
 
 std::vector<std::string> Database::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
-  for (const auto& [name, table] : tables_) names.push_back(name);
+  for (const auto& [name, versioned] : tables_) names.push_back(name);
   return names;
+}
+
+uint64_t Database::epoch() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return epoch_;
+}
+
+uint64_t Database::VersionOf(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? 0 : it->second.version;
 }
 
 namespace {

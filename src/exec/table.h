@@ -1,7 +1,10 @@
 #ifndef AQV_EXEC_TABLE_H_
 #define AQV_EXEC_TABLE_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -43,21 +46,74 @@ class Table {
   std::vector<Row> rows_;
 };
 
+/// An immutable stored table version. Once a Table is Put into a Database it
+/// is never mutated again: writers replace the whole pointer (copy-on-write),
+/// so any holder of a TablePtr — a pinned snapshot, an in-flight evaluator —
+/// keeps reading the version it started with.
+using TablePtr = std::shared_ptr<const Table>;
+
 /// A database instance: base-table name -> contents. Materialized view
 /// contents may also be stored here under the view's name, in which case the
 /// evaluator uses the stored contents instead of recomputing the view.
+///
+/// Storage is a *table-version vector*: each name maps to an immutable
+/// TablePtr plus the database epoch at which it was last replaced. Every Put
+/// bumps the epoch, and Snapshot() pins the whole vector by copying the
+/// shared pointers — O(#tables), no row copies — giving multi-statement
+/// readers one consistent state while writers keep replacing versions.
+///
+/// The name->version map itself is guarded by an internal shared_mutex, so
+/// a Put of table A is safe against a concurrent Get of table B without any
+/// external latch. What the internal lock does NOT provide is cross-call
+/// consistency: a raw pointer obtained from Get stays valid only while the
+/// stored version is not replaced (hold the owning service's table latch, or
+/// use GetShared / Snapshot to take shared ownership).
 class Database {
  public:
-  /// Stores `table` under `name`, replacing any previous contents.
-  void Put(std::string name, Table table);
+  Database() = default;
+  Database(const Database& other);
+  Database(Database&& other) noexcept;
+  Database& operator=(const Database& other);
+  Database& operator=(Database&& other) noexcept;
 
-  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+  /// Stores `table` under `name` as a new immutable version, replacing any
+  /// previous contents and bumping the epoch.
+  void Put(std::string name, Table table);
+  void Put(std::string name, TablePtr table);
+
+  bool Has(const std::string& name) const;
   Result<const Table*> Get(const std::string& name) const;
+
+  /// Shared ownership of the current version of `name` (nullptr if absent):
+  /// the returned table stays alive and unchanged even if a writer replaces
+  /// the stored version afterwards.
+  TablePtr GetShared(const std::string& name) const;
 
   std::vector<std::string> TableNames() const;
 
+  /// Monotonic write counter: bumped by every Put. Two Database states with
+  /// equal epochs obtained from the same instance are identical.
+  uint64_t epoch() const;
+
+  /// Epoch at which `name` was last Put (0 if absent).
+  uint64_t VersionOf(const std::string& name) const;
+
+  /// A pinned copy of the current table-version vector: shares all row
+  /// storage with this instance (shared_ptr copies only). Writers replacing
+  /// versions in the source leave the snapshot untouched.
+  Database Snapshot() const { return Database(*this); }
+
  private:
-  std::map<std::string, Table> tables_;
+  struct Versioned {
+    TablePtr table;
+    uint64_t version = 0;
+  };
+
+  /// Guards the name->version map and the epoch, not table contents (those
+  /// are immutable once stored).
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Versioned> tables_;
+  uint64_t epoch_ = 0;
 };
 
 /// True if `a` and `b` contain the same multiset of rows (column names are

@@ -8,16 +8,10 @@
 
 namespace aqv {
 
-namespace {
-
-/// FROM-clause names of `query`, expanded transitively through view
-/// definitions: a view in FROM (virtual or materialized) contributes both
-/// its own name and every table its definition reads, so invalidating on
-/// any base-table change is always sound.
-void CollectDependencies(const Query& query, const ViewRegistry& views,
+void CollectDependencies(const std::vector<std::string>& seeds,
+                         const ViewRegistry& views,
                          std::vector<std::string>* out) {
-  std::vector<std::string> pending;
-  for (const TableRef& ref : query.from) pending.push_back(ref.table);
+  std::vector<std::string> pending = seeds;
   while (!pending.empty()) {
     std::string name = std::move(pending.back());
     pending.pop_back();
@@ -32,7 +26,13 @@ void CollectDependencies(const Query& query, const ViewRegistry& views,
   }
 }
 
-}  // namespace
+void CollectQueryDependencies(const Query& query, const ViewRegistry& views,
+                              std::vector<std::string>* out) {
+  std::vector<std::string> seeds;
+  seeds.reserve(query.from.size());
+  for (const TableRef& ref : query.from) seeds.push_back(ref.table);
+  CollectDependencies(seeds, views, out);
+}
 
 Result<OptimizeResult> Optimizer::Optimize(const Query& query) const {
   TraceSpan optimize_span("optimize");
@@ -94,8 +94,8 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) const {
     optimize_span.AddAttr("cost_chosen", buf);
   }
 
-  CollectDependencies(flat, *views_, &out.dependencies);
-  CollectDependencies(out.chosen, *views_, &out.dependencies);
+  CollectQueryDependencies(flat, *views_, &out.dependencies);
+  CollectQueryDependencies(out.chosen, *views_, &out.dependencies);
   std::sort(out.dependencies.begin(), out.dependencies.end());
   out.dependencies.erase(
       std::unique(out.dependencies.begin(), out.dependencies.end()),

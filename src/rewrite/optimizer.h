@@ -30,6 +30,18 @@ struct OptimizeResult {
   std::vector<std::string> dependencies;
 };
 
+/// Appends `seeds` and every name transitively reachable from them through
+/// view definitions (a view contributes its own name and every table its
+/// defining query reads). This is the dependency extraction behind both the
+/// plan cache's invalidation sets and the service's latch footprints.
+void CollectDependencies(const std::vector<std::string>& seeds,
+                         const ViewRegistry& views,
+                         std::vector<std::string>* out);
+
+/// CollectDependencies seeded with the FROM-clause names of `query`.
+void CollectQueryDependencies(const Query& query, const ViewRegistry& views,
+                              std::vector<std::string>* out);
+
 /// End-to-end facade tying the pieces together the way Section 6's
 /// cost-based integration sketch suggests:
 ///

@@ -1,0 +1,107 @@
+#ifndef AQV_SERVICE_LATCH_MANAGER_H_
+#define AQV_SERVICE_LATCH_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aqv {
+
+/// Two-level latching for the query service, replacing the single global
+/// reader/writer latch of PR 1:
+///
+///   level 0 — one `ddl` shared_mutex. Every statement acquires it: shared
+///     for anything that only reads or writes *rows* (SELECT, EXPLAIN,
+///     INSERT, REFRESH, ...), exclusive for statements that change the
+///     *schema* (CREATE TABLE/VIEW, LOAD, Bootstrap). Holding it shared
+///     freezes the catalog and view registry, which is what makes it safe
+///     to parse/bind a statement before knowing which tables it touches.
+///
+///   level 1 — `stripe_count` shared_mutexes, each covering the tables and
+///     materialized views whose names hash onto it. After binding, a
+///     statement acquires the stripes covering its footprint: shared for
+///     reads, exclusive for the names it writes. Writes to table A no
+///     longer block statements touching only table B (unless the two names
+///     collide onto one stripe).
+///
+/// Deadlock freedom: every acquirer takes level 0 before level 1 and locks
+/// its stripes in ascending index order (exclusive before shared on a tied
+/// index); DDL takes level 0 exclusive and needs no stripes at all. All
+/// orders are consistent with one global total order, so no cycle can form.
+class LatchManager {
+ public:
+  static constexpr size_t kDefaultStripes = 16;
+
+  explicit LatchManager(size_t stripe_count = kDefaultStripes);
+
+  LatchManager(const LatchManager&) = delete;
+  LatchManager& operator=(const LatchManager&) = delete;
+
+  /// RAII ownership of one statement's latches. Movable; releases stripes
+  /// in descending order, then the ddl latch, on destruction or Release().
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept;
+    Guard& operator=(Guard&& other) noexcept;
+    ~Guard() { Release(); }
+
+    void Release();
+
+    /// Number of level-1 stripes this guard holds.
+    size_t stripes_held() const { return stripes_.size(); }
+    /// True if any held stripe (or the ddl latch) is exclusive.
+    bool exclusive() const;
+
+   private:
+    friend class LatchManager;
+
+    enum class DdlMode : uint8_t { kNone, kShared, kExclusive };
+
+    LatchManager* mgr_ = nullptr;
+    DdlMode ddl_ = DdlMode::kNone;
+    /// (stripe index, exclusive), strictly ascending by index.
+    std::vector<std::pair<uint32_t, bool>> stripes_;
+  };
+
+  /// Level 0 shared — the pre-bind phase of every non-DDL statement. The
+  /// caller parses/binds under this, then adds stripes with Acquire*.
+  Guard StatementShared();
+
+  /// Level 0 exclusive: total exclusivity, for schema changes. No stripes
+  /// are needed (or taken) — nothing else can be running.
+  Guard Ddl();
+
+  /// Adds the stripes covering `names`, all shared, to `g` (which must hold
+  /// the ddl latch shared and no stripes yet).
+  void AcquireShared(Guard* g, const std::vector<std::string>& names);
+
+  /// Adds the stripes covering `writes` exclusive and `reads` shared. A
+  /// stripe named by both sides is taken exclusive.
+  void AcquireWrite(Guard* g, const std::vector<std::string>& writes,
+                    const std::vector<std::string>& reads);
+
+  /// Adds every stripe, shared — the snapshot pin: waits out all in-flight
+  /// writers, so the pinned table-version vector is transactionally
+  /// consistent, then releases quickly.
+  void AcquireAllShared(Guard* g);
+
+  size_t stripe_count() const { return stripe_count_; }
+
+  /// Stripe index covering `name` (stable hash, any thread).
+  uint32_t StripeOf(const std::string& name) const;
+
+ private:
+  void AcquireStripes(Guard* g, std::vector<std::pair<uint32_t, bool>> want);
+
+  size_t stripe_count_;
+  std::shared_mutex ddl_;
+  std::unique_ptr<std::shared_mutex[]> stripes_;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_SERVICE_LATCH_MANAGER_H_

@@ -1,5 +1,6 @@
 #include "service/query_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -39,7 +40,7 @@ std::string TrimStatement(const std::string& s) {
 }  // namespace
 
 std::string ServiceStats::ToString() const {
-  char buf[832];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "statements          %llu\n"
@@ -47,6 +48,8 @@ std::string ServiceStats::ToString() const {
       "plan cache          %llu hit / %llu miss (%.1f%% hit rate, "
       "%zu/%zu entries, %llu invalidated)\n"
       "rewrites            %llu applied / %llu skipped\n"
+      "snapshots           %llu pinned / %llu reads\n"
+      "latch stripes       %zu\n"
       "slow queries        %llu\n"
       "optimize latency    p50=%.1fus p99=%.1fus max=%lluus\n"
       "execute latency     p50=%.1fus p99=%.1fus max=%lluus\n",
@@ -58,6 +61,8 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(plan_cache_invalidated),
       static_cast<unsigned long long>(rewrites_applied),
       static_cast<unsigned long long>(rewrites_skipped),
+      static_cast<unsigned long long>(snapshots_pinned),
+      static_cast<unsigned long long>(snapshot_reads), latch_stripes,
       static_cast<unsigned long long>(slow_queries), optimize_p50_micros,
       optimize_p99_micros,
       static_cast<unsigned long long>(optimize_max_micros), exec_p50_micros,
@@ -67,6 +72,7 @@ std::string ServiceStats::ToString() const {
 
 QueryService::QueryService(ServiceOptions options)
     : options_(options),
+      latches_(options.latch_stripes),
       plan_cache_(options.enable_plan_cache ? options.plan_cache_capacity : 0),
       statements_(metrics_.GetCounter("service.statements")),
       queries_served_(metrics_.GetCounter("service.queries_served")),
@@ -76,6 +82,8 @@ QueryService::QueryService(ServiceOptions options)
       rewrites_applied_(metrics_.GetCounter("service.rewrites.applied")),
       rewrites_skipped_(metrics_.GetCounter("service.rewrites.skipped")),
       slow_queries_(metrics_.GetCounter("service.slow_queries")),
+      snapshots_pinned_(metrics_.GetCounter("service.snapshots.pinned")),
+      snapshot_reads_(metrics_.GetCounter("service.snapshots.reads")),
       cache_size_gauge_(metrics_.GetGauge("service.plan_cache.size")),
       cache_capacity_gauge_(metrics_.GetGauge("service.plan_cache.capacity")),
       optimize_latency_(metrics_.GetHistogram("service.optimize_latency")),
@@ -87,8 +95,8 @@ Result<StatementResult> QueryService::Execute(const std::string& statement) {
   std::string stmt = TrimStatement(statement);
   if (stmt.empty() || stmt[0] == '#') return StatementResult{};
   statements_.Increment();
-  // Root span of the statement lifecycle: parse/bind, rewrite enumeration,
-  // costing, cache lookup and execution all nest under it.
+  // Root span of the statement lifecycle: parse/bind, latch acquisition,
+  // rewrite enumeration, costing, cache lookup and execution nest under it.
   TraceSpan span("statement");
   if (span.active()) {
     span.AddAttr("sql", stmt.size() <= 120 ? stmt : stmt.substr(0, 120));
@@ -104,9 +112,46 @@ Result<Table> QueryService::Select(const std::string& sql) {
   return *std::move(result.table);
 }
 
+ServiceSnapshotPtr QueryService::PinSnapshot() {
+  TraceSpan span("snapshot_pin");
+  LatchManager::Guard guard = latches_.StatementShared();
+  // Every stripe shared: waits out in-flight writers, so the version vector
+  // copied below is a transactionally consistent cut across all tables.
+  latches_.AcquireAllShared(&guard);
+  auto snap = std::make_shared<ServiceSnapshot>();
+  snap->catalog = catalog_;
+  snap->views = views_;
+  snap->db = db_.Snapshot();
+  snap->epoch = snap->db.epoch();
+  snapshots_pinned_.Increment();
+  if (span.active()) {
+    span.AddAttr("stripes", static_cast<uint64_t>(guard.stripes_held()));
+    span.AddAttr("epoch", snap->epoch);
+  }
+  return snap;
+}
+
+Result<Table> QueryService::Select(const std::string& sql,
+                                   const ServiceSnapshot& snapshot) {
+  std::string stmt = TrimStatement(sql);
+  if (stmt.empty()) {
+    return Status::InvalidArgument("not a SELECT statement: " + sql);
+  }
+  statements_.Increment();
+  TraceSpan span("statement");
+  if (span.active()) {
+    span.AddAttr("sql", stmt.size() <= 120 ? stmt : stmt.substr(0, 120));
+  }
+  AQV_ASSIGN_OR_RETURN(StatementResult result, SelectOnSnapshot(stmt, snapshot));
+  if (!result.table.has_value()) {
+    return Status::InvalidArgument("not a SELECT statement: " + sql);
+  }
+  return *std::move(result.table);
+}
+
 Status QueryService::Bootstrap(Catalog catalog, Database db,
                                ViewRegistry views) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  LatchManager::Guard guard = latches_.Ddl();
   catalog_ = std::move(catalog);
   db_ = std::move(db);
   views_ = std::move(views);
@@ -124,8 +169,11 @@ ServiceStats QueryService::Stats() const {
   s.rewrites_applied = rewrites_applied_.value();
   s.rewrites_skipped = rewrites_skipped_.value();
   s.slow_queries = slow_queries_.value();
+  s.snapshots_pinned = snapshots_pinned_.value();
+  s.snapshot_reads = snapshot_reads_.value();
   s.plan_cache_size = plan_cache_.size();
   s.plan_cache_capacity = plan_cache_.capacity();
+  s.latch_stripes = latches_.stripe_count();
   uint64_t lookups = s.plan_cache_hits + s.plan_cache_misses;
   s.plan_cache_hit_rate =
       lookups == 0 ? 0.0
@@ -167,6 +215,45 @@ void QueryService::RecordSlowQuery(SlowQueryRecord record) {
   }
 }
 
+ServiceSnapshotPtr QueryService::ThreadSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  auto it = thread_snapshots_.find(std::this_thread::get_id());
+  return it == thread_snapshots_.end() ? nullptr : it->second;
+}
+
+Result<StatementResult> QueryService::HandleBeginSnapshot() {
+  std::thread::id tid = std::this_thread::get_id();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    if (thread_snapshots_.count(tid) > 0) {
+      return Status::InvalidArgument(
+          "a snapshot is already open on this thread; COMMIT it first");
+    }
+  }
+  ServiceSnapshotPtr snap = PinSnapshot();
+  StatementResult out;
+  out.message = "snapshot pinned at epoch " + std::to_string(snap->epoch) +
+                " (" + std::to_string(snap->db.TableNames().size()) +
+                " tables)\n";
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  thread_snapshots_[tid] = std::move(snap);
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleCommit() {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  auto it = thread_snapshots_.find(std::this_thread::get_id());
+  if (it == thread_snapshots_.end()) {
+    return Status::InvalidArgument(
+        "no open snapshot on this thread (BEGIN SNAPSHOT first)");
+  }
+  uint64_t epoch = it->second->epoch;
+  thread_snapshots_.erase(it);
+  StatementResult out;
+  out.message = "snapshot at epoch " + std::to_string(epoch) + " released\n";
+  return out;
+}
+
 Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
                                                const std::string& upper) {
   if (upper == "STATS PROM") {
@@ -181,8 +268,21 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
   }
   if (upper == "SLOWLOG") return HandleSlowLog();
   if (StartsWith(upper, "TRACE")) return HandleTrace(stmt);
+  if (upper == "BEGIN SNAPSHOT" || upper == "BEGIN") {
+    return HandleBeginSnapshot();
+  }
+  if (upper == "COMMIT") return HandleCommit();
   if (upper == "TABLES") return HandleListTables();
   if (upper == "VIEWS") return HandleListViews();
+  // Writes and DDL are rejected while the calling thread has an open
+  // snapshot: the pin is read-only by construction.
+  bool is_write = StartsWith(upper, "CREATE ") ||
+                  StartsWith(upper, "INSERT INTO") ||
+                  StartsWith(upper, "REFRESH") || StartsWith(upper, "LOAD");
+  if (is_write && ThreadSnapshot() != nullptr) {
+    return Status::InvalidArgument(
+        "writes are not allowed inside BEGIN SNAPSHOT; COMMIT first");
+  }
   if (StartsWith(upper, "CREATE TABLE")) return HandleCreateTable(stmt);
   if (StartsWith(upper, "CREATE MATERIALIZED VIEW")) {
     return HandleCreateView(
@@ -207,6 +307,38 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
   if (StartsWith(upper, "LOAD")) return HandleLoad(stmt);
   if (StartsWith(upper, "SAVE")) return HandleSave(stmt);
   return Status::InvalidArgument("unrecognized statement: " + stmt);
+}
+
+std::vector<std::string> QueryService::SelectFootprint(
+    const Query& query) const {
+  std::vector<std::string> deps;
+  CollectQueryDependencies(query, views_, &deps);
+  // Base-table leaves of the query's closure.
+  std::vector<std::string> base;
+  for (const std::string& n : deps) {
+    if (!views_.Has(n)) base.push_back(n);
+  }
+  // The rewriter can only substitute a materialized view whose base tables
+  // all appear among the query's; include each such view's whole closure so
+  // a cached plan's dependency set — closure(original) ∪ closure(chosen) —
+  // is always covered by the held stripes, whatever plan wins.
+  for (const std::string& view : views_.ViewNames()) {
+    if (!db_.Has(view)) continue;
+    std::vector<std::string> closure;
+    CollectDependencies({view}, views_, &closure);
+    bool subset = true;
+    for (const std::string& n : closure) {
+      if (views_.Has(n)) continue;
+      if (std::find(base.begin(), base.end(), n) == base.end()) {
+        subset = false;
+        break;
+      }
+    }
+    if (subset) deps.insert(deps.end(), closure.begin(), closure.end());
+  }
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  return deps;
 }
 
 Result<PlanCache::EntryPtr> QueryService::PlanThroughCache(
@@ -240,17 +372,82 @@ Result<PlanCache::EntryPtr> QueryService::PlanThroughCache(
   entry->cost_original = plan.cost_original;
   entry->cost_chosen = plan.cost_chosen;
   entry->dependencies = std::move(plan.dependencies);
-  // Inserted while still holding the shared latch (see the class comment):
-  // a writer's invalidation cannot interleave between optimize and insert.
+  // Inserted while still holding the footprint stripes shared (see the class
+  // comment): the entry's dependencies are a subset of the footprint, so a
+  // writer's invalidation — which needs the written stripe exclusive —
+  // cannot interleave between optimize and insert.
   if (options_.enable_plan_cache) plan_cache_.Insert(key, entry);
   return PlanCache::EntryPtr(std::move(entry));
 }
 
-Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
+Result<StatementResult> QueryService::SelectOnSnapshot(
+    const std::string& stmt, const ServiceSnapshot& snap) {
   Clock::time_point stmt_start = Clock::now();
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  TraceSpan span("snapshot_read");
+  if (span.active()) span.AddAttr("epoch", snap.epoch);
+  AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(stmt, &snap.catalog));
+  uint64_t parse_micros = ElapsedMicros(stmt_start);
+  StatementResult out;
+  // Always a fresh optimize: the plan cache tracks current state (and its
+  // invalidation hooks fire on current-state writes), not the pinned epoch.
+  Clock::time_point opt_start = Clock::now();
+  Optimizer optimizer(&snap.db, &snap.views, &snap.catalog, options_.rewrite);
+  AQV_ASSIGN_OR_RETURN(OptimizeResult plan, optimizer.Optimize(query));
+  uint64_t optimize_micros = ElapsedMicros(opt_start);
+  optimize_latency_.Record(optimize_micros);
+  out.used_materialized_view = plan.used_materialized_view;
+  if (plan.used_materialized_view) {
+    out.message = "-- rewritten to use a materialized view:\n--   " +
+                  ToSql(plan.chosen) + "\n";
+    rewrites_applied_.Increment();
+  } else {
+    rewrites_skipped_.Increment();
+  }
+  Clock::time_point start = Clock::now();
+  uint64_t exec_micros = 0;
+  {
+    TraceSpan exec_span("execute");
+    Evaluator eval(&snap.db, &snap.views, options_.eval);
+    AQV_ASSIGN_OR_RETURN(Table result, eval.Execute(plan.chosen));
+    exec_micros = ElapsedMicros(start);
+    if (exec_span.active()) exec_span.AddAttr("rows", result.num_rows());
+    out.table = std::move(result);
+  }
+  exec_latency_.Record(exec_micros);
+  queries_served_.Increment();
+  snapshot_reads_.Increment();
+  uint64_t total_micros = ElapsedMicros(stmt_start);
+  if (options_.slow_query_micros > 0 &&
+      total_micros >= options_.slow_query_micros) {
+    SlowQueryRecord record;
+    record.statement = stmt;
+    record.fingerprint = QueryFingerprint(query);
+    record.parse_micros = parse_micros;
+    record.optimize_micros = optimize_micros;
+    record.exec_micros = exec_micros;
+    record.total_micros = total_micros;
+    record.cache_hit = false;
+    RecordSlowQuery(std::move(record));
+  }
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
+  if (ServiceSnapshotPtr snap = ThreadSnapshot()) {
+    return SelectOnSnapshot(stmt, *snap);
+  }
+  Clock::time_point stmt_start = Clock::now();
+  LatchManager::Guard guard = latches_.StatementShared();
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(stmt, &catalog_));
   uint64_t parse_micros = ElapsedMicros(stmt_start);
+  {
+    TraceSpan latch_span("latch");
+    latches_.AcquireShared(&guard, SelectFootprint(query));
+    if (latch_span.active()) {
+      latch_span.AddAttr("stripes", static_cast<uint64_t>(guard.stripes_held()));
+      latch_span.AddAttr("epoch", db_.epoch());
+    }
+  }
   StatementResult out;
   uint64_t optimize_micros = 0;
   AQV_ASSIGN_OR_RETURN(
@@ -294,8 +491,9 @@ Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
 
 Result<StatementResult> QueryService::HandleExplain(
     const std::string& select_stmt) {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  LatchManager::Guard guard = latches_.StatementShared();
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(select_stmt, &catalog_));
+  latches_.AcquireShared(&guard, SelectFootprint(query));
   StatementResult out;
   AQV_ASSIGN_OR_RETURN(PlanCache::EntryPtr entry,
                        PlanThroughCache(query, &out.cache_hit));
@@ -317,8 +515,9 @@ Result<StatementResult> QueryService::HandleExplain(
 
 Result<StatementResult> QueryService::HandleExplainAnalyze(
     const std::string& select_stmt) {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  LatchManager::Guard guard = latches_.StatementShared();
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(select_stmt, &catalog_));
+  latches_.AcquireShared(&guard, SelectFootprint(query));
   StatementResult out;
   AQV_ASSIGN_OR_RETURN(PlanCache::EntryPtr entry,
                        PlanThroughCache(query, &out.cache_hit));
@@ -418,7 +617,9 @@ Result<StatementResult> QueryService::HandleWhy(const std::string& rest) {
   if (space == std::string::npos) {
     return Status::InvalidArgument("usage: WHY <view> SELECT ...");
   }
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  // No row data is read: the ddl latch (shared) freezes views_ and catalog_,
+  // which is all the rewrite explanation needs.
+  LatchManager::Guard guard = latches_.StatementShared();
   std::string name = rest.substr(0, space);
   AQV_ASSIGN_OR_RETURN(const ViewDef* view, views_.Get(name));
   AQV_ASSIGN_OR_RETURN(
@@ -436,7 +637,10 @@ Result<StatementResult> QueryService::HandleSave(const std::string& stmt) {
       !tokens[2].IsKeyword("TO") || tokens[3].kind != TokenKind::kString) {
     return Status::InvalidArgument("usage: SAVE R TO 'file.csv'");
   }
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  LatchManager::Guard guard = latches_.StatementShared();
+  std::vector<std::string> footprint;
+  CollectDependencies({tokens[1].text}, views_, &footprint);
+  latches_.AcquireShared(&guard, footprint);
   Evaluator eval(&db_, &views_);
   AQV_ASSIGN_OR_RETURN(Table contents, eval.MaterializeView(tokens[1].text));
   AQV_RETURN_NOT_OK(WriteCsvFile(contents, tokens[3].text));
@@ -447,7 +651,9 @@ Result<StatementResult> QueryService::HandleSave(const std::string& stmt) {
 }
 
 Result<StatementResult> QueryService::HandleListTables() {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  LatchManager::Guard guard = latches_.StatementShared();
+  // All stripes shared: the row counts below come from one consistent cut.
+  latches_.AcquireAllShared(&guard);
   StatementResult out;
   for (const std::string& name : catalog_.TableNames()) {
     const TableDef* def = *catalog_.GetTable(name);
@@ -459,7 +665,7 @@ Result<StatementResult> QueryService::HandleListTables() {
 }
 
 Result<StatementResult> QueryService::HandleListViews() {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  LatchManager::Guard guard = latches_.StatementShared();
   StatementResult out;
   for (const std::string& name : views_.ViewNames()) {
     const ViewDef* def = *views_.Get(name);
@@ -505,7 +711,7 @@ Result<StatementResult> QueryService::HandleCreateTable(
     }
     AQV_RETURN_NOT_OK(def.AddKeyByName(key));
   }
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  LatchManager::Guard guard = latches_.Ddl();
   AQV_RETURN_NOT_OK(catalog_.AddTable(def));
   db_.Put(name, Table(columns));
   // DDL hook: a new table can change any optimizer choice; drop everything.
@@ -517,7 +723,7 @@ Result<StatementResult> QueryService::HandleCreateTable(
 
 Result<StatementResult> QueryService::HandleCreateView(const std::string& stmt,
                                                        bool materialized) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  LatchManager::Guard guard = latches_.Ddl();
   AQV_ASSIGN_OR_RETURN(ViewDef view, ParseView(stmt, &catalog_));
   std::string name = view.name;
   AQV_RETURN_NOT_OK(views_.Register(std::move(view)));
@@ -526,7 +732,7 @@ Result<StatementResult> QueryService::HandleCreateView(const std::string& stmt,
   cache_invalidated_.Increment(plan_cache_.Clear());
   StatementResult out;
   if (materialized) {
-    AQV_ASSIGN_OR_RETURN(size_t rows, RefreshLocked(name));
+    AQV_ASSIGN_OR_RETURN(size_t rows, RefreshLatched(name));
     out.message =
         "view " + name + " materialized: " + std::to_string(rows) + " rows\n";
   } else {
@@ -546,7 +752,8 @@ Result<StatementResult> QueryService::HandleInsert(const std::string& stmt) {
     return Status::InvalidArgument("expected VALUES");
   }
   ++i;
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  LatchManager::Guard guard = latches_.StatementShared();
+  latches_.AcquireWrite(&guard, {name}, {});
   AQV_ASSIGN_OR_RETURN(const Table* existing, db_.Get(name));
   Table updated = *existing;
   int inserted = 0;
@@ -590,7 +797,7 @@ Result<StatementResult> QueryService::HandleInsert(const std::string& stmt) {
   return out;
 }
 
-Result<size_t> QueryService::RefreshLocked(const std::string& name) {
+Result<size_t> QueryService::RefreshLatched(const std::string& name) {
   if (!views_.Has(name)) {
     return Status::NotFound("no view named '" + name + "'");
   }
@@ -605,8 +812,16 @@ Result<size_t> QueryService::RefreshLocked(const std::string& name) {
 }
 
 Result<StatementResult> QueryService::HandleRefresh(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
-  AQV_ASSIGN_OR_RETURN(size_t rows, RefreshLocked(name));
+  LatchManager::Guard guard = latches_.StatementShared();
+  if (!views_.Has(name)) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  // The view itself is written; everything its definition reads (its
+  // transitive closure) is read.
+  std::vector<std::string> reads;
+  CollectDependencies({name}, views_, &reads);
+  latches_.AcquireWrite(&guard, {name}, reads);
+  AQV_ASSIGN_OR_RETURN(size_t rows, RefreshLatched(name));
   StatementResult out;
   out.message =
       "view " + name + " materialized: " + std::to_string(rows) + " rows\n";
@@ -622,8 +837,28 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
   }
   std::string name = tokens[1].text;
   AQV_ASSIGN_OR_RETURN(Table loaded, ReadCsvFile(tokens[3].text));
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  size_t loaded_rows = loaded.num_rows();
   StatementResult out;
+  {
+    // Fast path: the table exists, so this is a row write, not DDL.
+    LatchManager::Guard guard = latches_.StatementShared();
+    if (catalog_.HasTable(name)) {
+      AQV_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(name));
+      if (def->num_columns() != loaded.num_columns()) {
+        return Status::InvalidArgument("CSV arity does not match table '" +
+                                       name + "'");
+      }
+      latches_.AcquireWrite(&guard, {name}, {});
+      db_.Put(name, std::move(loaded));
+      cache_invalidated_.Increment(plan_cache_.InvalidateDependency(name));
+      out.message = std::to_string(loaded_rows) + " row(s) loaded into " +
+                    name + "\n";
+      return out;
+    }
+  }
+  // The table is new: schema change. Re-check under the ddl latch — another
+  // thread may have created it between the two acquisitions.
+  LatchManager::Guard guard = latches_.Ddl();
   if (!catalog_.HasTable(name)) {
     AQV_RETURN_NOT_OK(catalog_.AddTable(TableDef(name, loaded.columns())));
     out.message = "table " + name + " created from the CSV header\n";
@@ -636,8 +871,8 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
     }
     cache_invalidated_.Increment(plan_cache_.InvalidateDependency(name));
   }
-  out.message += std::to_string(loaded.num_rows()) + " row(s) loaded into " +
-                 name + "\n";
+  out.message += std::to_string(loaded_rows) + " row(s) loaded into " + name +
+                 "\n";
   db_.Put(name, std::move(loaded));
   return out;
 }

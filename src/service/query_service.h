@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "base/metrics.h"
@@ -16,6 +18,7 @@
 #include "exec/table.h"
 #include "ir/views.h"
 #include "rewrite/rewriter.h"
+#include "service/latch_manager.h"
 #include "service/plan_cache.h"
 
 namespace aqv {
@@ -26,6 +29,10 @@ struct ServiceOptions {
   size_t plan_cache_capacity = 256;
   /// Master switch for the rewrite-plan cache (the bench sweeps this).
   bool enable_plan_cache = true;
+  /// Number of per-table latch stripes. 1 degenerates to the pre-stripe
+  /// global reader/writer latch (the bench's baseline); more stripes let
+  /// writes to disjoint tables proceed in parallel.
+  size_t latch_stripes = LatchManager::kDefaultStripes;
   /// SELECTs slower than this end up in the slow-query log (statement,
   /// fingerprint, parse/optimize/execute breakdown; see SLOWLOG). 0 disables.
   uint64_t slow_query_micros = 0;
@@ -46,6 +53,21 @@ struct StatementResult {
   bool used_materialized_view = false;
 };
 
+/// A transactionally consistent, immutable copy of the service's state:
+/// the catalog and view registry by value, and the database as a pinned
+/// table-version vector — copying a Database shares the per-table row
+/// storage (shared_ptr<const Table>), so the pin is cheap and later writes
+/// through the service (which replace whole version pointers) never touch
+/// it. `epoch` is the database's version counter at pin time; two snapshots
+/// with equal epochs saw identical contents.
+struct ServiceSnapshot {
+  Catalog catalog;
+  ViewRegistry views;
+  Database db;
+  uint64_t epoch = 0;
+};
+using ServiceSnapshotPtr = std::shared_ptr<const ServiceSnapshot>;
+
 /// Point-in-time snapshot of the service's runtime counters, for embedders
 /// that want numbers rather than the STATS text.
 struct ServiceStats {
@@ -57,8 +79,11 @@ struct ServiceStats {
   uint64_t rewrites_applied = 0;   // chosen plan uses a materialized view
   uint64_t rewrites_skipped = 0;   // original plan kept
   uint64_t slow_queries = 0;       // SELECTs over ServiceOptions::slow_query_micros
+  uint64_t snapshots_pinned = 0;   // BEGIN SNAPSHOT + PinSnapshot() calls
+  uint64_t snapshot_reads = 0;     // SELECTs served from a pinned snapshot
   size_t plan_cache_size = 0;
   size_t plan_cache_capacity = 0;  // configured bound (0 = caching disabled)
+  size_t latch_stripes = 0;        // configured stripe count
   double plan_cache_hit_rate = 0;  // hits / (hits + misses), 0 when no lookups
   double optimize_p50_micros = 0;
   double optimize_p99_micros = 0;
@@ -84,21 +109,36 @@ struct SlowQueryRecord {
 };
 
 /// An embeddable, thread-safe query service over the aqv library: it owns a
-/// Catalog, a Database and a ViewRegistry behind one reader/writer latch,
-/// executes the same statement dialect as examples/aqvsh.cpp, and caches
-/// optimized plans in a bounded LRU keyed by the canonical IR fingerprint
-/// (ir/fingerprint.h).
+/// Catalog, a Database and a ViewRegistry behind a striped per-table latch
+/// manager (service/latch_manager.h), executes the same statement dialect as
+/// examples/aqvsh.cpp, and caches optimized plans in a bounded LRU keyed by
+/// the canonical IR fingerprint (ir/fingerprint.h).
 ///
-/// Concurrency contract:
-///   - Read statements (SELECT, EXPLAIN, WHY, SAVE, TABLES, VIEWS) take the
-///     latch shared and may run in parallel.
-///   - Write statements (CREATE TABLE/VIEW, INSERT, REFRESH, LOAD) take it
-///     exclusive, mutate, and fire the plan-cache invalidation hook before
-///     releasing: dependency-precise for INSERT/REFRESH/LOAD, full clear
-///     for DDL (new tables/views can change any plan choice).
-///   - A reader inserts a freshly optimized plan while still holding the
-///     shared latch, so a concurrent writer's invalidation is always
-///     ordered after the insert and no stale plan can linger.
+/// Concurrency contract (see also README "Concurrency contract"):
+///   - Every statement first takes the ddl latch: shared for row reads and
+///     row writes, exclusive for schema changes (CREATE TABLE/VIEW, LOAD
+///     into a new table, Bootstrap). Holding it shared freezes the catalog
+///     and view registry, so statements parse/bind before knowing their
+///     footprint.
+///   - After binding, a statement acquires the latch stripes covering its
+///     footprint — the transitive closure of its FROM names through view
+///     definitions, plus every materialized view the rewriter could
+///     substitute (those whose base tables are a subset of the query's).
+///     SELECT/EXPLAIN take their stripes shared; INSERT/REFRESH/LOAD take
+///     the written name exclusive. Writes to disjoint stripes run in
+///     parallel.
+///   - Deadlock freedom: ddl before stripes, stripes in ascending index
+///     order — one global acquisition order, so no cycle can form.
+///   - The plan-cache ordering invariant survives sharding because a cached
+///     entry's dependency set is always a subset of the statement's
+///     footprint: a reader inserts a freshly optimized plan while still
+///     holding its stripes shared, so a writer's invalidation (which needs
+///     the written stripe exclusive) is always ordered after the insert.
+///   - BEGIN SNAPSHOT (or PinSnapshot()) briefly holds every stripe shared,
+///     waiting out in-flight writers, then copies the state — cheap, since
+///     table storage is copy-on-write shared_ptrs. Reads on the snapshot
+///     run latch-free against a single epoch; writes never block on open
+///     snapshots and snapshots never see them.
 ///
 /// Metrics are exposed three ways: the STATS statement (human-readable),
 /// Stats() (struct snapshot), and metrics() (the raw registry).
@@ -108,10 +148,28 @@ class QueryService {
 
   /// Parses and executes one statement (same dialect as aqvsh; see HELP
   /// there). Thread-safe. Statement keywords are matched case-insensitively.
+  ///
+  /// Beyond the aqvsh dialect, BEGIN SNAPSHOT pins a snapshot for the
+  /// calling thread — subsequent SELECTs on that thread read the pinned
+  /// epoch, latch-free, until COMMIT releases it. Writes and DDL are
+  /// rejected on a thread with an open snapshot.
   Result<StatementResult> Execute(const std::string& statement);
 
   /// Typed convenience wrapper: Execute on a SELECT, returning the rows.
   Result<Table> Select(const std::string& sql);
+
+  /// Pins the current state into an immutable snapshot: briefly holds every
+  /// stripe shared (waiting out in-flight writers), then copies the catalog,
+  /// views and table-version vector. Thread-safe; the snapshot is
+  /// independent of the BEGIN SNAPSHOT statement dialect and may be shared
+  /// across threads.
+  ServiceSnapshotPtr PinSnapshot();
+
+  /// Executes a SELECT against a pinned snapshot: plans fresh (the plan
+  /// cache tracks current state, not the snapshot's) and reads only the
+  /// pinned table versions. Takes no service latches; any number of threads
+  /// may read one snapshot concurrently.
+  Result<Table> Select(const std::string& sql, const ServiceSnapshot& snapshot);
 
   /// Replaces the service's catalog, database and view registry wholesale
   /// (e.g. with a pre-built workload) and clears the plan cache.
@@ -134,7 +192,7 @@ class QueryService {
   Result<StatementResult> Dispatch(const std::string& stmt,
                                    const std::string& upper);
 
-  // Read statements (caller documentation only: each takes latch_ shared).
+  // Row-read statements: ddl shared + footprint stripes shared.
   Result<StatementResult> HandleSelect(const std::string& stmt);
   Result<StatementResult> HandleExplain(const std::string& select_stmt);
   Result<StatementResult> HandleExplainAnalyze(const std::string& select_stmt);
@@ -145,17 +203,34 @@ class QueryService {
   Result<StatementResult> HandleListTables();
   Result<StatementResult> HandleListViews();
 
-  // Write statements (each takes latch_ exclusive and fires invalidation).
+  // Row-write statements: ddl shared + written stripes exclusive.
+  Result<StatementResult> HandleInsert(const std::string& stmt);
+  Result<StatementResult> HandleRefresh(const std::string& name);
+  // Schema-change statements: ddl exclusive (LOAD only when the table is new).
   Result<StatementResult> HandleCreateTable(const std::string& stmt);
   Result<StatementResult> HandleCreateView(const std::string& stmt,
                                            bool materialized);
-  Result<StatementResult> HandleInsert(const std::string& stmt);
-  Result<StatementResult> HandleRefresh(const std::string& name);
   Result<StatementResult> HandleLoad(const std::string& stmt);
 
+  // Snapshot statement dialect (per calling thread).
+  Result<StatementResult> HandleBeginSnapshot();
+  Result<StatementResult> HandleCommit();
+  /// The snapshot pinned by BEGIN SNAPSHOT on the calling thread, or null.
+  ServiceSnapshotPtr ThreadSnapshot() const;
+  /// SELECT against `snap` with full metrics/slow-log accounting.
+  Result<StatementResult> SelectOnSnapshot(const std::string& stmt,
+                                           const ServiceSnapshot& snap);
+
+  /// The latch footprint of `query`: its transitive FROM closure plus every
+  /// materialized view the rewriter could substitute into it (and that
+  /// view's own closure). Caller must hold the ddl latch (any mode) —
+  /// catalog, views and database table-set are frozen while computing.
+  std::vector<std::string> SelectFootprint(const Query& query) const;
+
   /// Optimizes `query` through the plan cache (lookup, else optimize and
-  /// insert). Caller must hold latch_ at least shared. `optimize_micros`
-  /// (optional) receives the optimizer wall time — 0 on a cache hit.
+  /// insert). Caller must hold the ddl latch shared plus the query's
+  /// footprint stripes (at least shared). `optimize_micros` (optional)
+  /// receives the optimizer wall time — 0 on a cache hit.
   Result<PlanCache::EntryPtr> PlanThroughCache(const Query& query,
                                                bool* cache_hit,
                                                uint64_t* optimize_micros = nullptr);
@@ -163,23 +238,32 @@ class QueryService {
   /// Appends to the bounded slow-query log (thread-safe).
   void RecordSlowQuery(SlowQueryRecord record);
 
-  /// Recomputes the named view's contents into db_. Caller holds latch_
-  /// exclusive; fires the view's invalidation hook.
-  Result<size_t> RefreshLocked(const std::string& name);
+  /// Recomputes the named view's contents into db_. Caller holds latches
+  /// covering the view (exclusive) and its dependencies (at least shared);
+  /// fires the view's invalidation hook.
+  Result<size_t> RefreshLatched(const std::string& name);
 
   ServiceOptions options_;
 
-  /// Guards catalog_, db_ and views_. The plan cache and metrics have their
-  /// own internal synchronization and are safe under either latch mode.
-  mutable std::shared_mutex latch_;
+  /// Striped per-table latching over catalog_, db_ and views_ (see the
+  /// class comment). The plan cache and metrics have their own internal
+  /// synchronization and are safe under any latch mode; Database guards its
+  /// own map structure, so snapshot reads need no service latch at all.
+  mutable LatchManager latches_;
   Catalog catalog_;
   Database db_;
   ViewRegistry views_;
 
   PlanCache plan_cache_;
 
+  /// BEGIN SNAPSHOT bookkeeping: which threads have a pinned snapshot open.
+  /// Entries are erased on COMMIT; a thread that exits without COMMIT leaks
+  /// its (cheap, storage-sharing) pin until the service dies.
+  mutable std::mutex snapshot_mutex_;
+  std::unordered_map<std::thread::id, ServiceSnapshotPtr> thread_snapshots_;
+
   /// Bounded slow-query log; its own lock so recording never contends with
-  /// the data latch.
+  /// the data latches.
   mutable std::mutex slow_log_mutex_;
   std::deque<SlowQueryRecord> slow_log_;
 
@@ -192,6 +276,8 @@ class QueryService {
   Counter& rewrites_applied_;
   Counter& rewrites_skipped_;
   Counter& slow_queries_;
+  Counter& snapshots_pinned_;
+  Counter& snapshot_reads_;
   Gauge& cache_size_gauge_;
   Gauge& cache_capacity_gauge_;
   LatencyHistogram& optimize_latency_;

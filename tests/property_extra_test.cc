@@ -26,7 +26,9 @@ namespace {
 class RoundTripTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(RoundTripTest, GeneratedQueriesRoundTrip) {
-  RandomWorkloadGen gen(600 + GetParam());
+  uint64_t seed = TestSeed(600 + GetParam());
+  SCOPED_TRACE(SeedTrace(seed));
+  RandomWorkloadGen gen(seed);
   for (int i = 0; i < 30; ++i) {
     RandomPairConfig config;
     config.query_aggregation = (i % 2) == 0;
@@ -76,7 +78,9 @@ Database KeyedDatabase(int rows, int domain, uint64_t seed) {
 class SetSemanticsSweepTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(SetSemanticsSweepTest, ManyToOneRewritingsAreSetEquivalent) {
-  std::mt19937_64 rng(800 + GetParam());
+  uint64_t seed = TestSeed(800 + GetParam());
+  SCOPED_TRACE(SeedTrace(seed));
+  std::mt19937_64 rng(seed);
   Catalog catalog = KeyedCatalog();
   const char* cols[] = {"B", "C"};
   int usable = 0;
@@ -142,7 +146,9 @@ INSTANTIATE_TEST_SUITE_P(Sweep, SetSemanticsSweepTest, ::testing::Range(0, 5));
 class FlattenSweepTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(FlattenSweepTest, FlattenPreservesSemantics) {
-  RandomWorkloadGen gen(1700 + GetParam());
+  uint64_t seed = TestSeed(1700 + GetParam());
+  SCOPED_TRACE(SeedTrace(seed));
+  RandomWorkloadGen gen(seed);
   RandomPairConfig config;
   config.query_aggregation = false;
   config.view_aggregation = false;
@@ -187,7 +193,9 @@ INSTANTIATE_TEST_SUITE_P(Sweep, FlattenSweepTest, ::testing::Range(0, 5));
 class OptimizerSweepTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(OptimizerSweepTest, RunMatchesDirectEvaluation) {
-  RandomWorkloadGen gen(2600 + GetParam());
+  uint64_t seed = TestSeed(2600 + GetParam());
+  SCOPED_TRACE(SeedTrace(seed));
+  RandomWorkloadGen gen(seed);
   RandomPairConfig config;
   config.query_aggregation = true;
   config.view_aggregation = (GetParam() % 2) == 1;

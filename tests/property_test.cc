@@ -16,6 +16,7 @@ namespace {
 // Q', Q and Q' evaluate to the same multiset on random databases.
 void RunSoundnessSweep(const RandomPairConfig& config, uint64_t seed,
                        int pairs, int dbs_per_pair, int* usable_count) {
+  SCOPED_TRACE(SeedTrace(seed));
   RandomWorkloadGen gen(seed);
   for (int i = 0; i < pairs; ++i) {
     QueryViewPair pair = gen.NextPair(config);
@@ -47,7 +48,7 @@ TEST_P(SoundnessTest, AggregationQueryConjunctiveView) {
   config.query_aggregation = true;
   config.view_aggregation = false;
   int usable = 0;
-  RunSoundnessSweep(config, 1000 + GetParam(), 40, 2, &usable);
+  RunSoundnessSweep(config, TestSeed(1000 + GetParam()), 40, 2, &usable);
   // The generator is biased towards usable pairs; make sure the sweep is
   // not vacuous.
   if (GetParam() == 0) {
@@ -60,7 +61,7 @@ TEST_P(SoundnessTest, ConjunctiveQueryConjunctiveView) {
   config.query_aggregation = false;
   config.view_aggregation = false;
   int usable = 0;
-  RunSoundnessSweep(config, 2000 + GetParam(), 40, 2, &usable);
+  RunSoundnessSweep(config, TestSeed(2000 + GetParam()), 40, 2, &usable);
   if (GetParam() == 0) {
     EXPECT_GT(usable, 0);
   }
@@ -71,7 +72,7 @@ TEST_P(SoundnessTest, AggregationQueryAggregationView) {
   config.query_aggregation = true;
   config.view_aggregation = true;
   int usable = 0;
-  RunSoundnessSweep(config, 3000 + GetParam(), 40, 2, &usable);
+  RunSoundnessSweep(config, TestSeed(3000 + GetParam()), 40, 2, &usable);
   if (GetParam() == 0) {
     EXPECT_GT(usable, 0);
   }
@@ -83,7 +84,7 @@ TEST_P(SoundnessTest, WithInequalities) {
   config.view_aggregation = false;
   config.equality_only = false;
   int usable = 0;
-  RunSoundnessSweep(config, 4000 + GetParam(), 40, 2, &usable);
+  RunSoundnessSweep(config, TestSeed(4000 + GetParam()), 40, 2, &usable);
   (void)usable;
 }
 
@@ -93,7 +94,7 @@ TEST_P(SoundnessTest, WithHaving) {
   config.view_aggregation = false;
   config.allow_having = true;
   int usable = 0;
-  RunSoundnessSweep(config, 5000 + GetParam(), 40, 2, &usable);
+  RunSoundnessSweep(config, TestSeed(5000 + GetParam()), 40, 2, &usable);
   (void)usable;
 }
 
@@ -106,8 +107,10 @@ TEST(ChurchRosserPropertyTest, BothOrdersAgree) {
   config.query_aggregation = true;
   config.view_aggregation = false;
   int checked = 0;
+  uint64_t base = TestSeed(700);
   for (int i = 0; i < 60 && checked < 10; ++i) {
-    RandomWorkloadGen gen(700 + i);
+    SCOPED_TRACE(SeedTrace(base + i));
+    RandomWorkloadGen gen(base + i);
     QueryViewPair p1 = gen.NextPair(config);
     ViewDef v2 = gen.NextPair(config).view;  // independent second view
     v2.name = "W";
@@ -150,8 +153,10 @@ TEST(CompletenessSpotCheck, RefusedFullCoverViewsHaveWitnesses) {
   config.max_query_tables = 1;
   config.max_predicates = 2;
   int refused = 0, witnessed = 0;
+  uint64_t base = TestSeed(9000);
   for (int i = 0; i < 80; ++i) {
-    RandomWorkloadGen gen(9000 + i);
+    SCOPED_TRACE(SeedTrace(base + i));
+    RandomWorkloadGen gen(base + i);
     QueryViewPair pair = gen.NextPair(config);
     ViewRegistry views;
     ASSERT_OK(views.Register(pair.view));

@@ -1,0 +1,240 @@
+// Concurrency stress for the striped-latch query service (PR 3): M writer
+// threads append to private tables while N reader threads pin snapshots —
+// half through the BEGIN SNAPSHOT / COMMIT statement dialect, half through
+// the typed PinSnapshot()/Select(sql, snapshot) API — and verify that every
+// read inside one snapshot comes from a single epoch:
+//
+//   - stability: two full passes over all tables inside one snapshot agree
+//     exactly (a concurrent writer can never tear a pinned read);
+//   - integrity: each table's pinned contents are a prefix of its writer's
+//     append sequence (A = 0..n-1 exactly once, B = writer id);
+//   - monotonicity: a reader's successive snapshots never lose rows, and
+//     typed snapshots' epochs never decrease;
+//   - read-only: writes and DDL inside BEGIN SNAPSHOT are rejected.
+//
+// Run under AQV_SANITIZE=thread in CI (ctest label "stress"); TSan covers
+// the data-race half of the contract, these assertions the logical half.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/table.h"
+#include "service/query_service.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+constexpr int kWriters = 4;
+constexpr int kReaders = 4;
+constexpr int kInsertsPerWriter = 100;
+
+std::string TableName(int w) { return "W" + std::to_string(w); }
+
+std::unique_ptr<QueryService> MakeStressService() {
+  auto service = std::make_unique<QueryService>();
+  for (int w = 0; w < kWriters; ++w) {
+    Result<StatementResult> r =
+        service->Execute("CREATE TABLE " + TableName(w) + "(A, B)");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+  return service;
+}
+
+/// Checks that `t` is a prefix of writer `w`'s append sequence: rows are
+/// (0, w) .. (n-1, w) as a bag. Returns an empty string when consistent.
+std::string CheckPrefix(const Table& t, int w) {
+  std::vector<bool> seen(t.num_rows(), false);
+  for (const Row& row : t.rows()) {
+    if (row.size() != 2) return "row arity != 2";
+    if (!(row[1] == Value::Int64(w))) {
+      return "foreign row in " + TableName(w) + ": B=" + row[1].ToString();
+    }
+    if (!row[0].is_numeric()) return "non-numeric A";
+    int64_t a = static_cast<int64_t>(row[0].AsDouble());
+    if (a < 0 || a >= static_cast<int64_t>(t.num_rows())) {
+      return "torn table " + TableName(w) + ": A=" + std::to_string(a) +
+             " outside prefix of " + std::to_string(t.num_rows()) + " rows";
+    }
+    if (seen[static_cast<size_t>(a)]) {
+      return "duplicate A=" + std::to_string(a) + " in " + TableName(w);
+    }
+    seen[static_cast<size_t>(a)] = true;
+  }
+  return "";
+}
+
+TEST(ServiceStressTest, SnapshotReadersSeeSingleEpochWhileWritersRun) {
+  std::unique_ptr<QueryService> service = MakeStressService();
+  std::atomic<int> writers_running{kWriters};
+  std::atomic<int> failures{0};
+  std::vector<std::string> errors(kWriters + kReaders);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kInsertsPerWriter; ++i) {
+        Result<StatementResult> r = service->Execute(
+            "INSERT INTO " + TableName(w) + " VALUES (" + std::to_string(i) +
+            ", " + std::to_string(w) + ")");
+        if (!r.ok()) {
+          errors[w] += "insert failed: " + r.status().ToString() + "\n";
+          failures.fetch_add(1);
+          break;
+        }
+      }
+      writers_running.fetch_sub(1);
+    });
+  }
+
+  for (int rdr = 0; rdr < kReaders; ++rdr) {
+    threads.emplace_back([&, rdr] {
+      const bool use_dialect = (rdr % 2) == 0;
+      auto fail = [&](const std::string& msg) {
+        errors[kWriters + rdr] += msg + "\n";
+        failures.fetch_add(1);
+      };
+      auto read_all = [&](const ServiceSnapshot* snap,
+                          std::vector<Table>* out) -> bool {
+        for (int w = 0; w < kWriters; ++w) {
+          std::string sql = "SELECT A_1, B_1 FROM " + TableName(w);
+          Result<Table> t = snap != nullptr ? service->Select(sql, *snap)
+                                            : service->Select(sql);
+          if (!t.ok()) {
+            fail("snapshot select failed: " + t.status().ToString());
+            return false;
+          }
+          out->push_back(*std::move(t));
+        }
+        return true;
+      };
+
+      std::vector<size_t> prev_counts(kWriters, 0);
+      uint64_t prev_epoch = 0;
+      bool rejected_write_checked = false;
+      // Keep pinning until the writers are done, then one final snapshot
+      // that must observe every table complete.
+      while (true) {
+        bool final_round = writers_running.load() == 0;
+        ServiceSnapshotPtr snap;
+        if (use_dialect) {
+          Result<StatementResult> begin = service->Execute("BEGIN SNAPSHOT");
+          if (!begin.ok()) {
+            fail("BEGIN SNAPSHOT failed: " + begin.status().ToString());
+            break;
+          }
+        } else {
+          snap = service->PinSnapshot();
+          if (snap->epoch < prev_epoch) {
+            fail("epoch went backwards: " + std::to_string(snap->epoch) +
+                 " < " + std::to_string(prev_epoch));
+          }
+          prev_epoch = snap->epoch;
+        }
+
+        std::vector<Table> pass1, pass2;
+        if (!read_all(snap.get(), &pass1) || !read_all(snap.get(), &pass2)) {
+          break;
+        }
+        for (int w = 0; w < kWriters; ++w) {
+          if (!MultisetEqual(pass1[w], pass2[w])) {
+            fail("unstable snapshot read of " + TableName(w) + ": " +
+                 DescribeMultisetDifference(pass1[w], pass2[w]));
+          }
+          std::string integrity = CheckPrefix(pass1[w], w);
+          if (!integrity.empty()) fail(integrity);
+          if (pass1[w].num_rows() < prev_counts[w]) {
+            fail("rows lost across snapshots of " + TableName(w) + ": " +
+                 std::to_string(pass1[w].num_rows()) + " < " +
+                 std::to_string(prev_counts[w]));
+          }
+          prev_counts[w] = pass1[w].num_rows();
+        }
+
+        if (use_dialect) {
+          if (!rejected_write_checked) {
+            rejected_write_checked = true;
+            if (service->Execute("INSERT INTO W0 VALUES (0, 0)").ok()) {
+              fail("write inside BEGIN SNAPSHOT was not rejected");
+            }
+          }
+          Result<StatementResult> commit = service->Execute("COMMIT");
+          if (!commit.ok()) {
+            fail("COMMIT failed: " + commit.status().ToString());
+            break;
+          }
+        }
+        if (final_round) {
+          for (int w = 0; w < kWriters; ++w) {
+            if (pass1[w].num_rows() != kInsertsPerWriter) {
+              fail("final snapshot of " + TableName(w) + " saw " +
+                   std::to_string(pass1[w].num_rows()) + "/" +
+                   std::to_string(kInsertsPerWriter) + " rows");
+            }
+          }
+          break;
+        }
+      }
+    });
+  }
+
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0) << [&] {
+    std::string all;
+    for (const std::string& e : errors) all += e;
+    return all;
+  }();
+
+  ServiceStats stats = service->Stats();
+  EXPECT_GT(stats.snapshots_pinned, 0u);
+  EXPECT_GT(stats.snapshot_reads, 0u);
+  EXPECT_EQ(stats.latch_stripes, LatchManager::kDefaultStripes);
+}
+
+// Deterministic rules of the BEGIN SNAPSHOT / COMMIT statement dialect.
+TEST(ServiceSnapshotDialectTest, BeginCommitStatementRules) {
+  QueryService service;
+  ASSERT_OK(service.Execute("CREATE TABLE R(A, B)").status());
+  EXPECT_FALSE(service.Execute("COMMIT").ok());  // nothing to commit
+  ASSERT_OK(service.Execute("BEGIN SNAPSHOT").status());
+  EXPECT_FALSE(service.Execute("BEGIN SNAPSHOT").ok());  // no nesting
+  // The pin is read-only: row writes and DDL are rejected until COMMIT.
+  EXPECT_FALSE(service.Execute("INSERT INTO R VALUES (1, 2)").ok());
+  EXPECT_FALSE(service.Execute("CREATE TABLE S(A)").ok());
+  EXPECT_FALSE(service.Execute("REFRESH V").ok());
+  ASSERT_OK(service.Execute("COMMIT").status());
+  EXPECT_FALSE(service.Execute("COMMIT").ok());  // already released
+  EXPECT_OK(service.Execute("INSERT INTO R VALUES (1, 2)").status());
+}
+
+// A pinned snapshot keeps answering from its epoch while another thread
+// writes; COMMIT returns the thread to live reads.
+TEST(ServiceSnapshotDialectTest, SnapshotIsolatesFromConcurrentWrites) {
+  QueryService service;
+  ASSERT_OK(service.Execute("CREATE TABLE R(A, B)").status());
+  ASSERT_OK(service.Execute("INSERT INTO R VALUES (1, 1)").status());
+  ASSERT_OK(service.Execute("BEGIN SNAPSHOT").status());
+
+  std::thread writer([&] {
+    Result<StatementResult> r =
+        service.Execute("INSERT INTO R VALUES (2, 2)");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  });
+  writer.join();
+
+  ASSERT_OK_AND_ASSIGN(Table pinned, service.Select("SELECT A_1, B_1 FROM R"));
+  EXPECT_EQ(pinned.num_rows(), 1u);  // the write landed after the pin
+  ASSERT_OK(service.Execute("COMMIT").status());
+  ASSERT_OK_AND_ASSIGN(Table live, service.Select("SELECT A_1, B_1 FROM R"));
+  EXPECT_EQ(live.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace aqv

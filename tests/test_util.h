@@ -1,6 +1,8 @@
 #ifndef AQV_TESTS_TEST_UTIL_H_
 #define AQV_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -35,6 +37,25 @@ namespace aqv {
   auto tmp = (expr);                                                 \
   ASSERT_TRUE(tmp.ok()) << "status: " << tmp.status().ToString();    \
   lhs = std::move(tmp).value()
+
+/// Seed for a randomized test: `default_seed` unless the AQV_TEST_SEED
+/// environment variable overrides it. Pair with SeedTrace so every failure
+/// of a randomized sweep prints the exact seed that replays it:
+///
+///   uint64_t seed = TestSeed(1000 + GetParam());
+///   SCOPED_TRACE(SeedTrace(seed));
+///
+/// Replay: AQV_TEST_SEED=<n> ./property_test --gtest_filter=<failing test>.
+inline uint64_t TestSeed(uint64_t default_seed) {
+  const char* env = std::getenv("AQV_TEST_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+/// The failure annotation naming a randomized test's seed (see TestSeed).
+inline std::string SeedTrace(uint64_t seed) {
+  return "replay with AQV_TEST_SEED=" + std::to_string(seed);
+}
 
 /// Evaluates `a` and `b` against `db` (+`views`) and expects multiset-equal
 /// results — the Definition 2.2 check that drives every rewriting test.
