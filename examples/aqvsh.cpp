@@ -18,6 +18,8 @@
 //   STATS                                  -- service runtime counters
 //   STATS PROM                             -- Prometheus text exposition
 //   SLOWLOG                                -- slow-query log (see ServiceOptions)
+//   FAILPOINT [LIST]                       -- armed fault-injection sites
+//   FAILPOINT <name> error(10) | CLEAR     -- arm / disarm failpoints
 //   TABLES | VIEWS | HELP | QUIT
 //
 // Example session:
@@ -82,6 +84,8 @@ class Shell {
         "  EXPLAIN ANALYZE SELECT ...       -- executes; actual rows + times\n"
         "  TRACE ON|OFF|CLEAR|DUMP ['trace.json']\n"
         "  LOAD R FROM 'file.csv' | SAVE R TO 'file.csv'\n"
+        "  FAILPOINT [LIST] | FAILPOINT <name> <spec> | FAILPOINT CLEAR\n"
+        "    spec: off | error[(P[,N])] | delay(U[,P[,N]])  (P=pct, U=usec)\n"
         "  STATS | STATS PROM | SLOWLOG | TABLES | VIEWS | HELP | QUIT\n");
   }
 

@@ -5,6 +5,7 @@
 #   BUILD_DIR=build-tsan scripts/check.sh -DAQV_SANITIZE=thread
 #   CTEST_ARGS="-LE stress" scripts/check.sh        # skip stress tests
 #   CTEST_ARGS="-L stress" scripts/check.sh         # only stress tests
+#   CTEST_ARGS="-L chaos" scripts/check.sh          # only fault-injection tests
 #
 # Extra arguments are forwarded to the CMake configure step; CTEST_ARGS is
 # forwarded to ctest (e.g. label selection). Intended as the single entry

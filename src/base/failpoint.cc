@@ -1,0 +1,212 @@
+#include "base/failpoint.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace aqv {
+
+namespace {
+
+constexpr uint64_t kDefaultSeed = 0x5eedf41175ULL;
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t EnvSeed() {
+  const char* env = std::getenv("AQV_TEST_SEED");
+  if (env == nullptr || *env == '\0') return kDefaultSeed;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+/// Parses "action" or "action(a[,b[,c]])" into the action name and up to
+/// three non-negative integer args. Whitespace is not allowed.
+bool SplitSpec(const std::string& spec, std::string* action,
+               std::vector<uint64_t>* args) {
+  size_t lparen = spec.find('(');
+  if (lparen == std::string::npos) {
+    *action = spec;
+    return !action->empty();
+  }
+  if (spec.back() != ')') return false;
+  *action = spec.substr(0, lparen);
+  std::string inner = spec.substr(lparen + 1, spec.size() - lparen - 2);
+  if (action->empty() || inner.empty()) return false;
+  size_t pos = 0;
+  while (pos <= inner.size()) {
+    size_t comma = inner.find(',', pos);
+    std::string tok = inner.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (tok.empty()) return false;
+    for (char c : tok) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    }
+    args->push_back(std::strtoull(tok.c_str(), nullptr, 10));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return args->size() <= 3;
+}
+
+}  // namespace
+
+FailpointRegistry::FailpointRegistry() : seed_(EnvSeed()) {
+  // AQV_FAILPOINTS="name=spec;name=spec": arm from the environment so a
+  // chaos CI job (or a crashed-run repro) needs no code changes. Malformed
+  // entries are skipped — env-driven arming must never take the process
+  // down before main().
+  const char* env = std::getenv("AQV_FAILPOINTS");
+  if (env == nullptr) return;
+  std::string all(env);
+  size_t pos = 0;
+  while (pos < all.size()) {
+    size_t semi = all.find(';', pos);
+    std::string entry = all.substr(
+        pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    size_t eq = entry.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      Set(entry.substr(0, eq), entry.substr(eq + 1));
+    }
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+uint64_t FailpointRegistry::SeedFor(uint64_t base_seed,
+                                    const std::string& name) {
+  // Distinct stream per site: arming/removing one failpoint never perturbs
+  // another's draw sequence, so chaos schedules stay seed-stable.
+  return base_seed ^ HashName(name);
+}
+
+Status FailpointRegistry::Set(const std::string& name,
+                              const std::string& spec) {
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint name must not be empty");
+  }
+  std::string action;
+  std::vector<uint64_t> args;
+  if (!SplitSpec(spec, &action, &args)) {
+    return Status::InvalidArgument("malformed failpoint spec '" + spec +
+                                   "' (see failpoint.h for the grammar)");
+  }
+
+  Failpoint fp;
+  fp.spec = spec;
+  if (action == "off") {
+    if (!args.empty()) {
+      return Status::InvalidArgument("'off' takes no arguments");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failpoints_.erase(name) > 0) {
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return Status::OK();
+  }
+  if (action == "error") {
+    fp.action = Action::kError;
+    fp.probability_pct =
+        args.size() >= 1 ? static_cast<uint32_t>(args[0]) : 100;
+    fp.max_fires = args.size() >= 2 ? args[1] : 0;
+    if (args.size() > 2 || fp.probability_pct > 100) {
+      return Status::InvalidArgument("usage: error[(percent[,max_fires])]");
+    }
+  } else if (action == "delay") {
+    fp.action = Action::kDelay;
+    if (args.empty()) {
+      return Status::InvalidArgument("usage: delay(micros[,percent[,max_fires]])");
+    }
+    fp.delay_micros = args[0];
+    fp.probability_pct =
+        args.size() >= 2 ? static_cast<uint32_t>(args[1]) : 100;
+    fp.max_fires = args.size() >= 3 ? args[2] : 0;
+    if (fp.probability_pct > 100) {
+      return Status::InvalidArgument("delay percent must be 0..100");
+    }
+  } else {
+    return Status::InvalidArgument("unknown failpoint action '" + action +
+                                   "' (expected off, error or delay)");
+  }
+
+  fp.rng_state = SeedFor(seed_, name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = failpoints_.insert_or_assign(name, std::move(fp));
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FailpointRegistry::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(failpoints_.size(), std::memory_order_relaxed);
+  failpoints_.clear();
+}
+
+void FailpointRegistry::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  for (auto& [name, fp] : failpoints_) {
+    fp.rng_state = SeedFor(seed, name);
+    fp.evaluations = 0;
+    fp.fires = 0;
+  }
+}
+
+std::vector<FailpointRegistry::Info> FailpointRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Info> out;
+  out.reserve(failpoints_.size());
+  for (const auto& [name, fp] : failpoints_) {
+    out.push_back(Info{name, fp.spec, fp.evaluations, fp.fires});
+  }
+  return out;
+}
+
+Status FailpointRegistry::Evaluate(const char* name) {
+  uint64_t delay_micros = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = failpoints_.find(name);
+    if (it == failpoints_.end()) return Status::OK();
+    Failpoint& fp = it->second;
+    ++fp.evaluations;
+    if (fp.max_fires > 0 && fp.fires >= fp.max_fires) return Status::OK();
+    if (fp.probability_pct < 100 &&
+        SplitMix64(&fp.rng_state) % 100 >= fp.probability_pct) {
+      return Status::OK();
+    }
+    ++fp.fires;
+    if (fp.action == Action::kError) {
+      return Status::Unavailable("injected failpoint '" + std::string(name) +
+                                 "' (" + fp.spec + ")");
+    }
+    delay_micros = fp.delay_micros;
+  }
+  // Sleep outside the lock so a delay failpoint never serializes other
+  // sites (or FAILPOINT statements) behind it.
+  if (delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+  }
+  return Status::OK();
+}
+
+}  // namespace aqv

@@ -1,0 +1,145 @@
+#ifndef AQV_BASE_FAILPOINT_H_
+#define AQV_BASE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace aqv {
+
+/// Deterministic fault injection for robustness testing, in the spirit of
+/// etcd's gofail / RocksDB's sync points, with the same cost discipline as
+/// base/trace.h: when no failpoint is armed, a site costs exactly one
+/// relaxed atomic load. Sites are named strings compiled into the code
+/// (`AQV_FAILPOINT("exec.operator")`); what each site does is configured at
+/// runtime via a spec:
+///
+///   off              disarm the failpoint
+///   error            inject a kUnavailable Status on every evaluation
+///   error(P)         inject with probability P percent (0..100)
+///   error(P,N)       as error(P), but stop firing after N injections
+///   delay(U)         sleep U microseconds on every evaluation
+///   delay(U,P)       sleep U microseconds with probability P percent
+///   delay(U,P,N)     as delay(U,P), at most N times
+///
+/// Probabilistic triggers draw from a per-failpoint splitmix64 stream
+/// seeded from the registry seed (AQV_TEST_SEED when set, else a fixed
+/// default) xor the site-name hash, so a chaos run replays exactly from
+/// its seed regardless of which other failpoints are armed.
+///
+/// Activation paths:
+///   - programmatic: FailpointRegistry::Global().Set("name", "error(10)");
+///   - environment:  AQV_FAILPOINTS="exec.operator=error(5);parse=delay(100)"
+///     parsed on first Global() access (malformed entries are ignored);
+///   - service statement: FAILPOINT <name> <spec> | FAILPOINT LIST |
+///     FAILPOINT CLEAR (see service/query_service.cc).
+///
+/// Injected errors are Status::Unavailable with a message beginning
+/// "injected failpoint", so callers (and the graceful-degradation layer)
+/// can tell injected faults from organic ones in logs.
+class FailpointRegistry {
+ public:
+  /// One armed failpoint's configuration and counters.
+  struct Info {
+    std::string name;
+    std::string spec;          // canonical re-rendering of the armed spec
+    uint64_t evaluations = 0;  // times the site was reached while armed
+    uint64_t fires = 0;        // times it actually injected (error or delay)
+  };
+
+  FailpointRegistry();
+
+  /// The process-wide registry used by AQV_FAILPOINT. First access parses
+  /// AQV_FAILPOINTS and seeds from AQV_TEST_SEED.
+  static FailpointRegistry& Global();
+
+  /// Arms (or re-arms) `name` with `spec`; "off" disarms. Returns
+  /// kInvalidArgument on a malformed spec (the failpoint is left unchanged).
+  Status Set(const std::string& name, const std::string& spec);
+
+  /// Disarms every failpoint.
+  void ClearAll();
+
+  /// Reseeds every armed (and future) probabilistic stream. Chaos tests
+  /// call this so a replayed AQV_TEST_SEED reproduces the fault schedule.
+  void Reseed(uint64_t seed);
+
+  /// Armed failpoints, sorted by name.
+  std::vector<Info> List() const;
+
+  /// Fast path: false (one relaxed load) unless at least one failpoint is
+  /// armed anywhere in the process.
+  bool any_armed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Slow path, called via AQV_FAILPOINT only when any_armed(): applies
+  /// `name`'s spec if armed. Returns the injected error, or OK (possibly
+  /// after an injected delay).
+  Status Evaluate(const char* name);
+
+ private:
+  enum class Action : uint8_t { kError, kDelay };
+
+  struct Failpoint {
+    Action action = Action::kError;
+    uint64_t delay_micros = 0;
+    uint32_t probability_pct = 100;  // fire chance per evaluation
+    uint64_t max_fires = 0;          // 0 = unlimited
+    uint64_t rng_state = 0;          // splitmix64 stream, advanced per draw
+    uint64_t evaluations = 0;
+    uint64_t fires = 0;
+    std::string spec;
+  };
+
+  static uint64_t SeedFor(uint64_t base_seed, const std::string& name);
+
+  uint64_t seed_;
+  std::atomic<uint64_t> armed_count_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, Failpoint> failpoints_;
+};
+
+/// Evaluates the named failpoint site: a no-op (one relaxed atomic load)
+/// unless some failpoint is armed; returns the injected Status out of the
+/// enclosing function when the site fires an error. Use only in functions
+/// returning Status or Result<T>.
+#define AQV_FAILPOINT(name)                                               \
+  do {                                                                    \
+    if (::aqv::FailpointRegistry::Global().any_armed()) {                 \
+      ::aqv::Status _aqv_fp_status =                                      \
+          ::aqv::FailpointRegistry::Global().Evaluate(name);              \
+      if (!_aqv_fp_status.ok()) return _aqv_fp_status;                    \
+    }                                                                     \
+  } while (false)
+
+/// RAII arming for tests: arms `name` with `spec` on construction (aborting
+/// the test via the returned status being checked is the caller's job —
+/// Set failures leave the scope inert), disarms on destruction.
+class FailpointScope {
+ public:
+  FailpointScope(std::string name, const std::string& spec)
+      : name_(std::move(name)) {
+    armed_ = FailpointRegistry::Global().Set(name_, spec).ok();
+  }
+  ~FailpointScope() {
+    if (armed_) FailpointRegistry::Global().Set(name_, "off");
+  }
+  FailpointScope(const FailpointScope&) = delete;
+  FailpointScope& operator=(const FailpointScope&) = delete;
+
+  bool armed() const { return armed_; }
+
+ private:
+  std::string name_;
+  bool armed_ = false;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_BASE_FAILPOINT_H_

@@ -131,15 +131,25 @@ std::string MetricsRegistry::Report() const {
 
 namespace {
 
-/// "service.plan_cache.hits" -> "aqv_service_plan_cache_hits".
+/// "service.plan_cache.hits" -> "aqv_service_plan_cache_hits". A trailing
+/// Prometheus label block ('{...}') is kept verbatim — only the base name
+/// is sanitized — so labeled metrics like `service.errors_total{code="x"}`
+/// export as `aqv_service_errors_total{code="x"}`.
 std::string PromName(const std::string& name) {
+  size_t labels = name.find('{');
   std::string out = "aqv_";
-  for (char c : name) {
+  for (char c : name.substr(0, labels)) {
     bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
               (c >= '0' && c <= '9');
     out += ok ? c : '_';
   }
+  if (labels != std::string::npos) out += name.substr(labels);
   return out;
+}
+
+/// The metric name without its label block ("aqv_x{a="1"}" -> "aqv_x").
+std::string PromBase(const std::string& prom_name) {
+  return prom_name.substr(0, prom_name.find('{'));
 }
 
 }  // namespace
@@ -148,9 +158,16 @@ std::string MetricsRegistry::PromText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char line[256];
+  // Labeled series of one metric family share a single # TYPE line; the
+  // map is name-sorted, so a family's series are adjacent.
+  std::string last_family;
   for (const auto& [name, counter] : counters_) {
     std::string p = PromName(name);
-    out += "# TYPE " + p + " counter\n";
+    std::string family = PromBase(p);
+    if (family != last_family) {
+      out += "# TYPE " + family + " counter\n";
+      last_family = family;
+    }
     std::snprintf(line, sizeof(line), "%s %llu\n", p.c_str(),
                   static_cast<unsigned long long>(counter->value()));
     out += line;
@@ -178,6 +195,17 @@ std::string MetricsRegistry::PromText() const {
                   static_cast<unsigned long long>(hist->sum_micros()),
                   p.c_str(), static_cast<unsigned long long>(hist->count()));
     out += line;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second->value());
   }
   return out;
 }

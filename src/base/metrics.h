@@ -7,6 +7,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace aqv {
 
@@ -86,10 +88,18 @@ class MetricsRegistry {
   /// report, sorted by metric name.
   std::string Report() const;
 
-  /// Prometheus text exposition format (one `# TYPE` line per metric;
-  /// histograms export as summaries with p50/p99/max quantiles plus _sum
-  /// and _count). Names are prefixed "aqv_" and sanitized to [a-z0-9_].
+  /// Prometheus text exposition format (one `# TYPE` line per metric
+  /// family; histograms export as summaries with p50/p99/max quantiles plus
+  /// _sum and _count). Names are prefixed "aqv_" and sanitized to
+  /// [a-z0-9_], except that a trailing label block — as in
+  /// `service.errors_total{code="unavailable"}` — is exported verbatim.
   std::string PromText() const;
+
+  /// (name, value) of every counter whose name starts with `prefix`,
+  /// sorted by name. Lets embedders enumerate dynamically labeled families
+  /// (per-status-code error counters) without parsing the Prom text.
+  std::vector<std::pair<std::string, uint64_t>> CounterValues(
+      const std::string& prefix) const;
 
   /// Zeroes every registered metric (the metrics stay registered).
   void ResetAll();

@@ -18,6 +18,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "unsupported";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -19,6 +19,9 @@ enum class StatusCode {
   kUnsatisfiable,     // a condition set is provably unsatisfiable
   kUnsupported,       // outside the dialect handled by this library
   kInternal,          // invariant violation; indicates a bug
+  kResourceExhausted, // a statement exceeded its row budget (ExecContext)
+  kDeadlineExceeded,  // a statement exceeded its deadline or was cancelled
+  kUnavailable,       // transient: admission rejection, injected fault
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "not found"...).
@@ -57,6 +60,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "base/failpoint.h"
 #include "base/strings.h"
 #include "exec/operators.h"
 #include "exec/planner.h"
@@ -93,6 +94,8 @@ Result<Table> Evaluator::MaterializeView(const std::string& name) {
 }
 
 Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
+  AQV_FAILPOINT("exec.operator");
+  if (ctx_ != nullptr && !ctx_->CheckNow()) return ctx_->status();
   AQV_RETURN_NOT_OK(ValidateQuery(query));
 
   // ---- Bind FROM entries to stored tables / materialized views. ----
@@ -153,7 +156,7 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
                joined.size());
       } else {
         size_t before = joined.size();
-        joined = CartesianProduct(joined, inputs[i]->rows());
+        joined = CartesianProduct(joined, inputs[i]->rows(), ctx_);
         op_end("CartesianProduct with " + input_label(i, {}), before,
                joined.size());
       }
@@ -161,7 +164,7 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
     }
     op_begin();
     size_t before = joined.size();
-    joined = FilterRows(joined, query.where, layout);
+    joined = FilterRows(joined, query.where, layout, ctx_);
     if (!query.where.empty()) {
       op_end("Filter(" + PredicateList(query.where) + ")", before,
              joined.size());
@@ -178,7 +181,8 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
         scan_layout[query.from[i].columns[j]] = static_cast<int>(j);
       }
       op_begin();
-      scans[i] = FilterRows(inputs[i]->rows(), cls.single_table[i], scan_layout);
+      scans[i] = FilterRows(inputs[i]->rows(), cls.single_table[i], scan_layout,
+                            ctx_);
       if (prof) scan_micros[i] = MicrosSince(op_start);
     }
 
@@ -207,7 +211,7 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
       if (!ready.empty()) {
         op_begin();
         size_t before = joined.size();
-        joined = FilterRows(joined, ready, layout);
+        joined = FilterRows(joined, ready, layout, ctx_);
         op_end("Filter(" + PredicateList(ready) + ")", before, joined.size());
       }
     };
@@ -257,11 +261,11 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
       op_begin();
       size_t before = joined.size();
       if (keys.empty()) {
-        joined = CartesianProduct(joined, scans[t]);
+        joined = CartesianProduct(joined, scans[t], ctx_);
         op_end("CartesianProduct with " + query.from[t].table, before,
                joined.size());
       } else {
-        joined = HashJoin(joined, scans[t], keys);
+        joined = HashJoin(joined, scans[t], keys, ctx_);
         op_end("HashJoin(" + Join(key_names, ", ") + ") with " +
                    query.from[t].table,
                before, joined.size());
@@ -287,10 +291,14 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
     if (!leftover.empty()) {
       op_begin();
       size_t before = joined.size();
-      joined = FilterRows(joined, leftover, layout);
+      joined = FilterRows(joined, leftover, layout, ctx_);
       op_end("Filter(" + PredicateList(leftover) + ")", before, joined.size());
     }
   }
+
+  // A tripped limit leaves partial join output; discard it and surface the
+  // violation rather than aggregating over truncated input.
+  if (ctx_ != nullptr && !ctx_->ok()) return ctx_->status();
 
   // ---- Projection / aggregation phase. ----
   Table out(query.OutputColumns());
@@ -310,9 +318,10 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
     }
     op_begin();
     size_t proj_in = joined.size();
-    std::vector<Row> rows = ProjectRows(joined, ordinals);
-    if (query.distinct) rows = DistinctRows(rows);
+    std::vector<Row> rows = ProjectRows(joined, ordinals, ctx_);
+    if (query.distinct) rows = DistinctRows(rows, ctx_);
     op_end(select_label(), proj_in, rows.size());
+    if (ctx_ != nullptr && !ctx_->ok()) return ctx_->status();
     *out.mutable_rows() = std::move(rows);
     return out;
   }
@@ -334,7 +343,7 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
 
   op_begin();
   size_t agg_in = joined.size();
-  std::vector<Row> grouped = GroupAggregate(joined, group_ordinals, specs);
+  std::vector<Row> grouped = GroupAggregate(joined, group_ordinals, specs, ctx_);
   if (prof) {
     std::vector<std::string> aggs;
     for (const Operand& term : agg_terms) aggs.push_back(term.ToString());
@@ -382,7 +391,7 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
     }
     op_begin();
     size_t having_in = grouped.size();
-    grouped = FilterRows(grouped, having, group_layout);
+    grouped = FilterRows(grouped, having, group_layout, ctx_);
     if (prof) {
       std::vector<std::string> conds;
       for (const Predicate& p : query.having) conds.push_back(p.ToString());
@@ -398,6 +407,7 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
   std::vector<Row> rows;
   rows.reserve(grouped.size());
   for (const Row& g : grouped) {
+    if (ctx_ != nullptr && !ctx_->TickRows()) break;
     Row projected;
     projected.reserve(query.select.size());
     for (const SelectItem& s : query.select) {
@@ -426,8 +436,9 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
     }
     rows.push_back(std::move(projected));
   }
-  if (query.distinct) rows = DistinctRows(rows);
+  if (query.distinct) rows = DistinctRows(rows, ctx_);
   op_end(select_label(), proj_in, rows.size());
+  if (ctx_ != nullptr && !ctx_->ok()) return ctx_->status();
   *out.mutable_rows() = std::move(rows);
   return out;
 }

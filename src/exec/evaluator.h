@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "base/exec_context.h"
 #include "base/result.h"
 #include "exec/table.h"
 #include "ir/query.h"
@@ -79,6 +80,13 @@ class Evaluator {
   /// Null (the default) disables collection — and its timing overhead.
   void set_profile(PlanProfile* profile) { profile_ = profile; }
 
+  /// Attaches per-statement resource governance (deadline, row budget,
+  /// cancel) to subsequent Execute calls, including nested view
+  /// materialization. When a limit trips mid-operator, Execute discards the
+  /// partial output and returns the context's status. `ctx` must outlive
+  /// the Evaluator or be detached with set_context(nullptr).
+  void set_context(ExecContext* ctx) { ctx_ = ctx; }
+
  private:
   static constexpr int kMaxViewDepth = 16;
 
@@ -95,6 +103,7 @@ class Evaluator {
   std::map<std::string, TablePtr> pinned_;
   EvalStats stats_;
   PlanProfile* profile_ = nullptr;
+  ExecContext* ctx_ = nullptr;
 };
 
 }  // namespace aqv

@@ -58,11 +58,12 @@ Value NumericProduct(const Value& a, const Value& b) {
 
 std::vector<Row> FilterRows(const std::vector<Row>& rows,
                             const std::vector<Predicate>& preds,
-                            const ColumnIndexMap& layout) {
+                            const ColumnIndexMap& layout, ExecContext* ctx) {
   if (preds.empty()) return rows;
   std::vector<Row> out;
   out.reserve(rows.size());
   for (const Row& row : rows) {
+    if (ctx != nullptr && !ctx->TickRows()) break;
     bool keep = true;
     for (const Predicate& p : preds) {
       if (!EvalScalarPredicate(p, row, layout)) {
@@ -103,7 +104,8 @@ bool ExtractKey(const Row& row, const std::vector<int>& ordinals, Row* key) {
 
 std::vector<Row> HashJoin(const std::vector<Row>& left,
                           const std::vector<Row>& right,
-                          const std::vector<std::pair<int, int>>& keys) {
+                          const std::vector<std::pair<int, int>>& keys,
+                          ExecContext* ctx) {
   std::vector<int> left_keys, right_keys;
   left_keys.reserve(keys.size());
   right_keys.reserve(keys.size());
@@ -123,16 +125,19 @@ std::vector<Row> HashJoin(const std::vector<Row>& left,
   hash_table.reserve(build.size());
   Row key;
   for (const Row& row : build) {
+    if (ctx != nullptr && !ctx->TickRows()) return {};
     if (!ExtractKey(row, build_ordinals, &key)) continue;
     hash_table[key].push_back(&row);
   }
 
   std::vector<Row> out;
   for (const Row& probe_row : probe) {
+    if (ctx != nullptr && !ctx->TickRows()) break;
     if (!ExtractKey(probe_row, probe_ordinals, &key)) continue;
     auto it = hash_table.find(key);
     if (it == hash_table.end()) continue;
     for (const Row* build_row : it->second) {
+      if (ctx != nullptr && !ctx->TickRows()) break;
       const Row& l = build_left ? *build_row : probe_row;
       const Row& r = build_left ? probe_row : *build_row;
       Row combined;
@@ -146,11 +151,15 @@ std::vector<Row> HashJoin(const std::vector<Row>& left,
 }
 
 std::vector<Row> CartesianProduct(const std::vector<Row>& left,
-                                  const std::vector<Row>& right) {
+                                  const std::vector<Row>& right,
+                                  ExecContext* ctx) {
   std::vector<Row> out;
-  out.reserve(left.size() * right.size());
+  if (ctx == nullptr || !ctx->limited()) {
+    out.reserve(left.size() * right.size());
+  }
   for (const Row& l : left) {
     for (const Row& r : right) {
+      if (ctx != nullptr && !ctx->TickRows()) return out;
       Row combined;
       combined.reserve(l.size() + r.size());
       combined.insert(combined.end(), l.begin(), l.end());
@@ -163,7 +172,8 @@ std::vector<Row> CartesianProduct(const std::vector<Row>& left,
 
 std::vector<Row> GroupAggregate(const std::vector<Row>& rows,
                                 const std::vector<int>& group_cols,
-                                const std::vector<AggSpec>& aggs) {
+                                const std::vector<AggSpec>& aggs,
+                                ExecContext* ctx) {
   // Group key -> (first group row's key values, accumulators).
   struct GroupState {
     Row key;
@@ -181,6 +191,7 @@ std::vector<Row> GroupAggregate(const std::vector<Row>& rows,
 
   Row key;
   for (const Row& row : rows) {
+    if (ctx != nullptr && !ctx->TickRows()) break;
     key.clear();
     key.reserve(group_cols.size());
     for (int o : group_cols) key.push_back(CanonicalKey(row[o]));
@@ -225,21 +236,25 @@ std::vector<Row> GroupAggregate(const std::vector<Row>& rows,
   return out;
 }
 
-std::vector<Row> DistinctRows(const std::vector<Row>& rows) {
+std::vector<Row> DistinctRows(const std::vector<Row>& rows,
+                              ExecContext* ctx) {
   std::unordered_set<Row, RowHash, RowEq> seen;
   seen.reserve(rows.size());
   std::vector<Row> out;
   for (const Row& row : rows) {
+    if (ctx != nullptr && !ctx->TickRows()) break;
     if (seen.insert(row).second) out.push_back(row);
   }
   return out;
 }
 
 std::vector<Row> ProjectRows(const std::vector<Row>& rows,
-                             const std::vector<int>& ordinals) {
+                             const std::vector<int>& ordinals,
+                             ExecContext* ctx) {
   std::vector<Row> out;
   out.reserve(rows.size());
   for (const Row& row : rows) {
+    if (ctx != nullptr && !ctx->TickRows()) break;
     Row projected;
     projected.reserve(ordinals.size());
     for (int o : ordinals) projected.push_back(row[o]);

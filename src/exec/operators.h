@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/exec_context.h"
 #include "base/value.h"
 #include "exec/expression.h"
 #include "ir/query.h"
@@ -43,11 +44,18 @@ struct AggSpec {
 /// INT64 * INT64 stays INT64.
 Value NumericProduct(const Value& a, const Value& b);
 
+/// All operators accept an optional ExecContext. When given, they charge
+/// one row per input (or output, for generating operators like the cross
+/// product) row processed and stop early once a limit trips; the caller
+/// must then check ctx->ok() and discard the partial output. With ctx ==
+/// nullptr (or an unlimited context) behaviour is unchanged.
+
 /// Rows satisfying the conjunction `preds` (each scalar), resolved against
 /// `layout`.
 std::vector<Row> FilterRows(const std::vector<Row>& rows,
                             const std::vector<Predicate>& preds,
-                            const ColumnIndexMap& layout);
+                            const ColumnIndexMap& layout,
+                            ExecContext* ctx = nullptr);
 
 /// Hash equi-join of `left` and `right` on the given (left ordinal, right
 /// ordinal) key pairs. Output rows are left ++ right. Rows with a NULL key
@@ -55,11 +63,15 @@ std::vector<Row> FilterRows(const std::vector<Row>& rows,
 /// INT64/DOUBLE).
 std::vector<Row> HashJoin(const std::vector<Row>& left,
                           const std::vector<Row>& right,
-                          const std::vector<std::pair<int, int>>& keys);
+                          const std::vector<std::pair<int, int>>& keys,
+                          ExecContext* ctx = nullptr);
 
-/// Full Cartesian product; output rows are left ++ right.
+/// Full Cartesian product; output rows are left ++ right. Charges one row
+/// per *output* row, so an exploding product trips the budget while it is
+/// being produced, not after.
 std::vector<Row> CartesianProduct(const std::vector<Row>& left,
-                                  const std::vector<Row>& right);
+                                  const std::vector<Row>& right,
+                                  ExecContext* ctx = nullptr);
 
 /// Hash grouping: partitions `rows` by the values at `group_cols` and
 /// computes `aggs` within each group. Output rows are
@@ -68,14 +80,17 @@ std::vector<Row> CartesianProduct(const std::vector<Row>& left,
 /// input (COUNT(...) over an empty table is 0).
 std::vector<Row> GroupAggregate(const std::vector<Row>& rows,
                                 const std::vector<int>& group_cols,
-                                const std::vector<AggSpec>& aggs);
+                                const std::vector<AggSpec>& aggs,
+                                ExecContext* ctx = nullptr);
 
 /// Removes duplicate rows (SELECT DISTINCT).
-std::vector<Row> DistinctRows(const std::vector<Row>& rows);
+std::vector<Row> DistinctRows(const std::vector<Row>& rows,
+                              ExecContext* ctx = nullptr);
 
 /// Projects each row to the given ordinals.
 std::vector<Row> ProjectRows(const std::vector<Row>& rows,
-                             const std::vector<int>& ordinals);
+                             const std::vector<int>& ordinals,
+                             ExecContext* ctx = nullptr);
 
 }  // namespace aqv
 

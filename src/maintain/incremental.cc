@@ -38,7 +38,7 @@ Status ApplyDeltaToBase(const Delta& delta, Database* db) {
         --it->second;
         continue;
       }
-      updated.AddRowOrDie(row);
+      AQV_RETURN_NOT_OK(updated.AddRow(row));
     }
     for (const auto& [row, remaining] : to_remove) {
       if (remaining > 0) {
@@ -235,9 +235,13 @@ Status IncrementalMaintainer::Apply(const Delta& delta, const Database& before,
     }
     Table result(materialized->columns());
     for (size_t r = 0; r < new_rows.size(); ++r) {
-      if (!removed[r]) result.AddRowOrDie(std::move(new_rows[r]));
+      if (!removed[r]) {
+        AQV_RETURN_NOT_OK(result.AddRow(std::move(new_rows[r])));
+      }
     }
-    for (Row& row : appended) result.AddRowOrDie(std::move(row));
+    for (Row& row : appended) {
+      AQV_RETURN_NOT_OK(result.AddRow(std::move(row)));
+    }
     *materialized = std::move(result);
     return Status::OK();
   }
@@ -427,9 +431,13 @@ Status IncrementalMaintainer::Apply(const Delta& delta, const Database& before,
 
   Table result(materialized->columns());
   for (size_t r = 0; r < rows.size(); ++r) {
-    if (!dead[r]) result.AddRowOrDie(std::move(rows[r]));
+    if (!dead[r]) {
+      AQV_RETURN_NOT_OK(result.AddRow(std::move(rows[r])));
+    }
   }
-  for (Row& row : added) result.AddRowOrDie(std::move(row));
+  for (Row& row : added) {
+    AQV_RETURN_NOT_OK(result.AddRow(std::move(row)));
+  }
   *materialized = std::move(result);
   return Status::OK();
 }

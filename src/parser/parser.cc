@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/failpoint.h"
 #include "base/strings.h"
 #include "base/trace.h"
 #include "ir/validate.h"
@@ -452,6 +453,7 @@ Result<ViewDef> Parser::ParseViewStatement() {
 }  // namespace
 
 Result<Query> ParseQuery(std::string_view sql, const Catalog* catalog) {
+  AQV_FAILPOINT("parse");
   TraceSpan span("parse");
   AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   if (span.active()) span.AddAttr("tokens", static_cast<int>(tokens.size()));

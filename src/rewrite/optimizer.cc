@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "base/failpoint.h"
 #include "base/trace.h"
 #include "rewrite/flatten.h"
 
@@ -34,7 +35,9 @@ void CollectQueryDependencies(const Query& query, const ViewRegistry& views,
   CollectDependencies(seeds, views, out);
 }
 
-Result<OptimizeResult> Optimizer::Optimize(const Query& query) const {
+Result<OptimizeResult> Optimizer::Optimize(const Query& query,
+                                           ExecContext* ctx) const {
+  AQV_FAILPOINT("optimizer.optimize");
   TraceSpan optimize_span("optimize");
   OptimizeResult out;
 
@@ -55,23 +58,37 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query) const {
   CostModel model;
   out.cost_original = model.Estimate(flat, *db_);
 
-  // Candidate rewritings over the materialized views.
+  // Candidate rewritings over the materialized views, minus quarantined
+  // ones (repeated failures; the service clears quarantine on REFRESH).
+  const std::vector<std::string>& quarantined = options_.quarantined_views;
   std::vector<std::string> materialized;
   for (const std::string& name : views_->ViewNames()) {
-    if (db_->Has(name)) materialized.push_back(name);
+    if (!db_->Has(name)) continue;
+    if (std::find(quarantined.begin(), quarantined.end(), name) !=
+        quarantined.end()) {
+      continue;
+    }
+    materialized.push_back(name);
   }
   std::vector<Query> candidates;
   {
     TraceSpan enumerate_span("enumerate_rewritings");
     if (!materialized.empty()) {
       Rewriter rewriter(views_, catalog_, options_);
-      AQV_ASSIGN_OR_RETURN(candidates,
-                           rewriter.EnumerateAllRewritings(flat, materialized));
+      AQV_ASSIGN_OR_RETURN(
+          candidates,
+          rewriter.EnumerateAllRewritings(flat, materialized,
+                                          /*max_results=*/64, ctx,
+                                          &out.failed_views));
     }
     if (enumerate_span.active()) {
       enumerate_span.AddAttr("materialized_views",
                              static_cast<int>(materialized.size()));
       enumerate_span.AddAttr("candidates", static_cast<int>(candidates.size()));
+      if (!out.failed_views.empty()) {
+        enumerate_span.AddAttr("failed_views",
+                               static_cast<int>(out.failed_views.size()));
+      }
     }
   }
   out.rewritings_considered = static_cast<int>(candidates.size());

@@ -23,6 +23,11 @@ struct OptimizeResult {
   int rewritings_considered = 0;
   int views_flattened = 0;  // Section 7 pre-pass merges
   bool used_materialized_view = false;
+  /// Views skipped during enumeration because their rewriting attempt
+  /// failed with a real error (graceful degradation; the plan is still
+  /// correct, just potentially not the cheapest). The service charges these
+  /// toward quarantine.
+  std::vector<std::string> failed_views;
   /// Every base table and materialized view the flattened original or the
   /// chosen plan reads, sorted and deduplicated. A cached plan is only valid
   /// while none of these change, so this is exactly the invalidation set the
@@ -62,8 +67,12 @@ class Optimizer {
             RewriteOptions options = RewriteOptions{})
       : db_(db), views_(views), catalog_(catalog), options_(options) {}
 
-  /// Picks the cheapest equivalent plan for `query`.
-  Result<OptimizeResult> Optimize(const Query& query) const;
+  /// Picks the cheapest equivalent plan for `query`. When `ctx` carries a
+  /// deadline, candidate enumeration cuts off gracefully at the limit
+  /// (fewer candidates, never an error); views listed in
+  /// RewriteOptions::quarantined_views are excluded from candidacy.
+  Result<OptimizeResult> Optimize(const Query& query,
+                                  ExecContext* ctx = nullptr) const;
 
   /// Optimize + execute.
   Result<Table> Run(const Query& query) const;

@@ -4,6 +4,7 @@
 #include <deque>
 #include <set>
 
+#include "base/failpoint.h"
 #include "base/trace.h"
 #include "ir/validate.h"
 #include "reason/having_normalize.h"
@@ -166,20 +167,42 @@ Result<Query> Rewriter::RewriteIteratively(
 
 Result<std::vector<Query>> Rewriter::EnumerateAllRewritings(
     const Query& query, const std::vector<std::string>& view_names,
-    int max_results) const {
+    int max_results, ExecContext* ctx,
+    std::vector<std::string>* failed_views) const {
   std::vector<Query> results;
   std::set<std::string> seen;
+  std::set<std::string> failed;
   seen.insert(CanonicalQueryKey(query));
 
   std::deque<Query> frontier;
   frontier.push_back(query);
   while (!frontier.empty() &&
          static_cast<int>(results.size()) < max_results) {
+    // Deadline/cancel cutoff: a rewriting found is a rewriting the cost
+    // model can still price, so stop enumerating and keep what we have.
+    if (ctx != nullptr && !ctx->CheckNow()) break;
     Query current = std::move(frontier.front());
     frontier.pop_front();
     for (const std::string& name : view_names) {
-      AQV_ASSIGN_OR_RETURN(std::vector<Rewriting> step,
-                           RewritingsUsingView(current, name));
+      if (failed.count(name) > 0) continue;
+      Status injected = Status::OK();
+      if (FailpointRegistry::Global().any_armed()) {
+        injected = FailpointRegistry::Global().Evaluate("rewrite.enumerate");
+      }
+      Result<std::vector<Rewriting>> attempt =
+          injected.ok() ? RewritingsUsingView(current, name)
+                        : Result<std::vector<Rewriting>>(injected);
+      if (!attempt.ok() &&
+          attempt.status().code() != StatusCode::kUnusable &&
+          failed_views != nullptr) {
+        // Degrade: this view's rewriting machinery is failing, so drop it
+        // from the search and let the caller record/quarantine it. The
+        // other views (and the unrewritten query) are unaffected.
+        if (failed.insert(name).second) failed_views->push_back(name);
+        continue;
+      }
+      AQV_RETURN_NOT_OK(attempt.status());
+      std::vector<Rewriting> step = *std::move(attempt);
       for (Rewriting& r : step) {
         if (!seen.insert(CanonicalQueryKey(r.query)).second) continue;
         results.push_back(r.query);

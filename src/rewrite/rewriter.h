@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "base/exec_context.h"
 #include "base/result.h"
 #include "catalog/catalog.h"
 #include "ir/query.h"
@@ -24,6 +25,10 @@ struct RewriteOptions {
 
   /// Backstop on mapping enumeration per (query, view) pair.
   int max_mappings = kDefaultMappingLimit;
+
+  /// Views excluded from rewrite candidacy (service-level quarantine after
+  /// repeated rewrite-time failures; cleared by a successful REFRESH).
+  std::vector<std::string> quarantined_views;
 };
 
 /// Short token naming the paper condition behind a kUnusable status, for
@@ -93,9 +98,18 @@ class Rewriter {
   /// substitutions over `view_names` (views may be used repeatedly), up to
   /// `max_results`. By Theorem 3.2 this enumerates all rewritings for
   /// equality-only predicates. The input query itself is not included.
+  ///
+  /// Governance and degradation: when `ctx` carries a deadline/cancel flag,
+  /// enumeration cuts off gracefully at the limit and returns the
+  /// candidates found so far. When `failed_views` is non-null, a view whose
+  /// rewriting attempt fails with a real error (not kUnusable — including
+  /// an injected "rewrite.enumerate" fault) is skipped and its name
+  /// recorded there instead of failing the whole enumeration; with a null
+  /// `failed_views` such errors propagate as before.
   Result<std::vector<Query>> EnumerateAllRewritings(
       const Query& query, const std::vector<std::string>& view_names,
-      int max_results = 64) const;
+      int max_results = 64, ExecContext* ctx = nullptr,
+      std::vector<std::string>* failed_views = nullptr) const;
 
   const RewriteOptions& options() const { return options_; }
 

@@ -54,6 +54,10 @@ class PlanCache {
   /// over capacity. A zero-capacity cache stores nothing.
   void Insert(const std::string& key, EntryPtr entry);
 
+  /// Drops the entry for `key` if present (a cached plan that just failed
+  /// mid-execution; the next statement re-optimizes). Returns 1 or 0.
+  size_t Erase(const std::string& key);
+
   /// Drops every entry whose dependency set contains `name` (a base table
   /// or view that was just mutated). Returns the number dropped.
   size_t InvalidateDependency(const std::string& name);

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "base/failpoint.h"
 #include "base/strings.h"
 #include "base/trace.h"
 #include "exec/csv.h"
@@ -40,7 +41,7 @@ std::string TrimStatement(const std::string& s) {
 }  // namespace
 
 std::string ServiceStats::ToString() const {
-  char buf[1024];
+  char buf[1280];
   std::snprintf(
       buf, sizeof(buf),
       "statements          %llu\n"
@@ -67,7 +68,22 @@ std::string ServiceStats::ToString() const {
       optimize_p99_micros,
       static_cast<unsigned long long>(optimize_max_micros), exec_p50_micros,
       exec_p99_micros, static_cast<unsigned long long>(exec_max_micros));
-  return buf;
+  std::string out = buf;
+  out += "admission rejects   " + std::to_string(admission_rejects) + "\n";
+  out += "degraded fallbacks  " + std::to_string(degraded_fallbacks) + "\n";
+  if (!errors_by_code.empty()) {
+    out += "errors              ";
+    for (size_t i = 0; i < errors_by_code.size(); ++i) {
+      if (i > 0) out += " ";
+      out += errors_by_code[i].first + "=" +
+             std::to_string(errors_by_code[i].second);
+    }
+    out += "\n";
+  }
+  if (!quarantined_views.empty()) {
+    out += "quarantined views   " + Join(quarantined_views, ", ") + "\n";
+  }
+  return out;
 }
 
 QueryService::QueryService(ServiceOptions options)
@@ -84,6 +100,9 @@ QueryService::QueryService(ServiceOptions options)
       slow_queries_(metrics_.GetCounter("service.slow_queries")),
       snapshots_pinned_(metrics_.GetCounter("service.snapshots.pinned")),
       snapshot_reads_(metrics_.GetCounter("service.snapshots.reads")),
+      admission_rejects_(metrics_.GetCounter("service.admission_rejects_total")),
+      degraded_fallbacks_(
+          metrics_.GetCounter("service.degraded_fallbacks_total")),
       cache_size_gauge_(metrics_.GetGauge("service.plan_cache.size")),
       cache_capacity_gauge_(metrics_.GetGauge("service.plan_cache.capacity")),
       optimize_latency_(metrics_.GetHistogram("service.optimize_latency")),
@@ -91,17 +110,114 @@ QueryService::QueryService(ServiceOptions options)
   cache_capacity_gauge_.Set(static_cast<int64_t>(plan_cache_.capacity()));
 }
 
+namespace {
+
+/// True for introspection statements that bypass admission control: an
+/// operator must be able to inspect (and disarm failpoints on) a server
+/// that is rejecting data statements as busy.
+bool IsControlStatement(const std::string& upper) {
+  return upper == "STATS" || upper == "STATS PROM" || upper == "SLOWLOG" ||
+         upper == "TABLES" || upper == "VIEWS" || upper == "COMMIT" ||
+         StartsWith(upper, "TRACE") || StartsWith(upper, "FAILPOINT");
+}
+
+}  // namespace
+
 Result<StatementResult> QueryService::Execute(const std::string& statement) {
+  if (options_.max_statement_bytes > 0 &&
+      statement.size() > options_.max_statement_bytes) {
+    Status overlong = Status::InvalidArgument(
+        "statement is " + std::to_string(statement.size()) +
+        " bytes, over the " + std::to_string(options_.max_statement_bytes) +
+        "-byte limit");
+    RecordError(overlong);
+    return overlong;
+  }
   std::string stmt = TrimStatement(statement);
   if (stmt.empty() || stmt[0] == '#') return StatementResult{};
   statements_.Increment();
-  // Root span of the statement lifecycle: parse/bind, latch acquisition,
-  // rewrite enumeration, costing, cache lookup and execution nest under it.
-  TraceSpan span("statement");
-  if (span.active()) {
-    span.AddAttr("sql", stmt.size() <= 120 ? stmt : stmt.substr(0, 120));
+  std::string upper = ToUpper(stmt);
+  const bool admitted = !IsControlStatement(upper);
+  if (admitted) {
+    Status slot = AdmitStatement();
+    if (!slot.ok()) {
+      RecordError(slot);
+      return slot;
+    }
   }
-  return Dispatch(stmt, ToUpper(stmt));
+  Result<StatementResult> result = [&]() -> Result<StatementResult> {
+    // Root span of the statement lifecycle: parse/bind, latch acquisition,
+    // rewrite enumeration, costing, cache lookup and execution nest under it.
+    TraceSpan span("statement");
+    if (span.active()) {
+      span.AddAttr("sql", stmt.size() <= 120 ? stmt : stmt.substr(0, 120));
+    }
+    return Dispatch(stmt, upper);
+  }();
+  if (admitted) ReleaseStatement();
+  if (!result.ok()) RecordError(result.status());
+  return result;
+}
+
+Status QueryService::AdmitStatement() {
+  if (options_.max_concurrent_statements == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  auto has_slot = [this] {
+    return inflight_statements_ < options_.max_concurrent_statements;
+  };
+  if (!has_slot() &&
+      !admission_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.admission_wait_micros),
+          has_slot)) {
+    admission_rejects_.Increment();
+    return Status::Unavailable(
+        "SERVER_BUSY: " + std::to_string(inflight_statements_) +
+        " statement(s) in flight (limit " +
+        std::to_string(options_.max_concurrent_statements) + "); retry later");
+  }
+  ++inflight_statements_;
+  return Status::OK();
+}
+
+void QueryService::ReleaseStatement() {
+  if (options_.max_concurrent_statements == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    --inflight_statements_;
+  }
+  admission_cv_.notify_one();
+}
+
+void QueryService::RecordError(const Status& status) {
+  if (status.ok()) return;
+  std::string code = StatusCodeToString(status.code());
+  for (char& c : code) {
+    if (c == ' ') c = '_';
+  }
+  metrics_.GetCounter("service.errors_total{code=\"" + code + "\"}")
+      .Increment();
+}
+
+void QueryService::ChargeViewFailure(const std::string& view) {
+  if (options_.view_quarantine_threshold == 0) return;
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  ++view_failures_[view];
+}
+
+std::vector<std::string> QueryService::QuarantinedViews() const {
+  std::vector<std::string> out;
+  if (options_.view_quarantine_threshold == 0) return out;
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  for (const auto& [name, failures] : view_failures_) {
+    if (failures >= options_.view_quarantine_threshold) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void QueryService::ClearViewFailures(const std::string& view) {
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  view_failures_.erase(view);
 }
 
 Result<Table> QueryService::Select(const std::string& sql) {
@@ -171,6 +287,16 @@ ServiceStats QueryService::Stats() const {
   s.slow_queries = slow_queries_.value();
   s.snapshots_pinned = snapshots_pinned_.value();
   s.snapshot_reads = snapshot_reads_.value();
+  s.admission_rejects = admission_rejects_.value();
+  s.degraded_fallbacks = degraded_fallbacks_.value();
+  const std::string kErrorPrefix = "service.errors_total{code=\"";
+  for (auto& [name, value] : metrics_.CounterValues(kErrorPrefix)) {
+    // Strip the family prefix and the trailing '"}' to recover the token.
+    std::string code = name.substr(kErrorPrefix.size());
+    if (code.size() >= 2) code.resize(code.size() - 2);
+    s.errors_by_code.emplace_back(std::move(code), value);
+  }
+  s.quarantined_views = QuarantinedViews();
   s.plan_cache_size = plan_cache_.size();
   s.plan_cache_capacity = plan_cache_.capacity();
   s.latch_stripes = latches_.stripe_count();
@@ -268,6 +394,7 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
   }
   if (upper == "SLOWLOG") return HandleSlowLog();
   if (StartsWith(upper, "TRACE")) return HandleTrace(stmt);
+  if (StartsWith(upper, "FAILPOINT")) return HandleFailpoint(stmt);
   if (upper == "BEGIN SNAPSHOT" || upper == "BEGIN") {
     return HandleBeginSnapshot();
   }
@@ -342,7 +469,8 @@ std::vector<std::string> QueryService::SelectFootprint(
 }
 
 Result<PlanCache::EntryPtr> QueryService::PlanThroughCache(
-    const Query& query, bool* cache_hit, uint64_t* optimize_micros) {
+    const Query& query, bool* cache_hit, uint64_t* optimize_micros,
+    ExecContext* ctx, bool* degraded) {
   *cache_hit = false;
   if (optimize_micros != nullptr) *optimize_micros = 0;
   std::string key;
@@ -358,14 +486,38 @@ Result<PlanCache::EntryPtr> QueryService::PlanThroughCache(
     }
   }
   Clock::time_point start = Clock::now();
-  Optimizer optimizer(&db_, &views_, &catalog_, options_.rewrite);
-  AQV_ASSIGN_OR_RETURN(OptimizeResult plan, optimizer.Optimize(query));
+  RewriteOptions rewrite = options_.rewrite;
+  rewrite.quarantined_views = QuarantinedViews();
+  Optimizer optimizer(&db_, &views_, &catalog_, rewrite);
+  Result<OptimizeResult> optimized = optimizer.Optimize(query, ctx);
   uint64_t elapsed = ElapsedMicros(start);
   if (optimize_micros != nullptr) *optimize_micros = elapsed;
   optimize_latency_.Record(elapsed);
   cache_misses_.Increment();
 
   auto entry = std::make_shared<PlanCache::Entry>();
+  if (!optimized.ok()) {
+    const Status& s = optimized.status();
+    bool resource = s.code() == StatusCode::kDeadlineExceeded ||
+                    s.code() == StatusCode::kResourceExhausted;
+    if (resource || !options_.degrade_on_failure) return s;
+    // Degrade: the optimizer itself failed (e.g. an injected
+    // "optimizer.optimize" fault), so serve the unrewritten query. The
+    // entry is NOT inserted into the cache — the next statement gets a
+    // fresh optimization attempt rather than a pinned degraded plan.
+    degraded_fallbacks_.Increment();
+    if (degraded != nullptr) *degraded = true;
+    entry->plan = query;
+    CollectQueryDependencies(query, views_, &entry->dependencies);
+    std::sort(entry->dependencies.begin(), entry->dependencies.end());
+    entry->dependencies.erase(
+        std::unique(entry->dependencies.begin(), entry->dependencies.end()),
+        entry->dependencies.end());
+    return PlanCache::EntryPtr(std::move(entry));
+  }
+  OptimizeResult plan = *std::move(optimized);
+  // Views skipped for per-view rewrite failures count toward quarantine.
+  for (const std::string& view : plan.failed_views) ChargeViewFailure(view);
   entry->plan = std::move(plan.chosen);
   entry->used_materialized_view = plan.used_materialized_view;
   entry->rewritings_considered = plan.rewritings_considered;
@@ -383,6 +535,13 @@ Result<PlanCache::EntryPtr> QueryService::PlanThroughCache(
 Result<StatementResult> QueryService::SelectOnSnapshot(
     const std::string& stmt, const ServiceSnapshot& snap) {
   Clock::time_point stmt_start = Clock::now();
+  ExecContext ctx;
+  if (options_.statement_deadline_micros > 0) {
+    ctx.set_deadline_after_micros(options_.statement_deadline_micros);
+  }
+  if (options_.statement_row_budget > 0) {
+    ctx.set_row_budget(options_.statement_row_budget);
+  }
   TraceSpan span("snapshot_read");
   if (span.active()) span.AddAttr("epoch", snap.epoch);
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(stmt, &snap.catalog));
@@ -392,7 +551,20 @@ Result<StatementResult> QueryService::SelectOnSnapshot(
   // invalidation hooks fire on current-state writes), not the pinned epoch.
   Clock::time_point opt_start = Clock::now();
   Optimizer optimizer(&snap.db, &snap.views, &snap.catalog, options_.rewrite);
-  AQV_ASSIGN_OR_RETURN(OptimizeResult plan, optimizer.Optimize(query));
+  Result<OptimizeResult> optimized = optimizer.Optimize(query, &ctx);
+  OptimizeResult plan;
+  if (optimized.ok()) {
+    plan = *std::move(optimized);
+  } else {
+    const Status& s = optimized.status();
+    bool resource = s.code() == StatusCode::kDeadlineExceeded ||
+                    s.code() == StatusCode::kResourceExhausted;
+    if (resource || !options_.degrade_on_failure) return s;
+    // Degrade: serve the unrewritten query against the snapshot.
+    degraded_fallbacks_.Increment();
+    out.degraded = true;
+    plan.chosen = query;
+  }
   uint64_t optimize_micros = ElapsedMicros(opt_start);
   optimize_latency_.Record(optimize_micros);
   out.used_materialized_view = plan.used_materialized_view;
@@ -408,10 +580,30 @@ Result<StatementResult> QueryService::SelectOnSnapshot(
   {
     TraceSpan exec_span("execute");
     Evaluator eval(&snap.db, &snap.views, options_.eval);
-    AQV_ASSIGN_OR_RETURN(Table result, eval.Execute(plan.chosen));
+    eval.set_context(&ctx);
+    Result<Table> result = eval.Execute(plan.chosen);
+    if (!result.ok()) {
+      const Status& s = result.status();
+      bool resource = s.code() == StatusCode::kDeadlineExceeded ||
+                      s.code() == StatusCode::kResourceExhausted;
+      if (resource || !options_.degrade_on_failure ||
+          !plan.used_materialized_view) {
+        return s;
+      }
+      degraded_fallbacks_.Increment();
+      ctx.ResetForRetry();
+      Evaluator retry(&snap.db, &snap.views, options_.eval);
+      retry.set_context(&ctx);
+      result = retry.Execute(query);
+      AQV_RETURN_NOT_OK(result.status());
+      out.degraded = true;
+      out.used_materialized_view = false;
+      out.message += "-- degraded: plan failed (" + s.ToString() +
+                     "); retried on the unrewritten query\n";
+    }
     exec_micros = ElapsedMicros(start);
-    if (exec_span.active()) exec_span.AddAttr("rows", result.num_rows());
-    out.table = std::move(result);
+    if (exec_span.active()) exec_span.AddAttr("rows", result->num_rows());
+    out.table = *std::move(result);
   }
   exec_latency_.Record(exec_micros);
   queries_served_.Increment();
@@ -437,6 +629,16 @@ Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
     return SelectOnSnapshot(stmt, *snap);
   }
   Clock::time_point stmt_start = Clock::now();
+  // The statement's governance context: the deadline covers parse through
+  // execution (including a degraded retry); the row budget is per
+  // execution attempt.
+  ExecContext ctx;
+  if (options_.statement_deadline_micros > 0) {
+    ctx.set_deadline_after_micros(options_.statement_deadline_micros);
+  }
+  if (options_.statement_row_budget > 0) {
+    ctx.set_row_budget(options_.statement_row_budget);
+  }
   LatchManager::Guard guard = latches_.StatementShared();
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(stmt, &catalog_));
   uint64_t parse_micros = ElapsedMicros(stmt_start);
@@ -452,7 +654,8 @@ Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
   uint64_t optimize_micros = 0;
   AQV_ASSIGN_OR_RETURN(
       PlanCache::EntryPtr entry,
-      PlanThroughCache(query, &out.cache_hit, &optimize_micros));
+      PlanThroughCache(query, &out.cache_hit, &optimize_micros, &ctx,
+                       &out.degraded));
   out.used_materialized_view = entry->used_materialized_view;
   if (entry->used_materialized_view) {
     out.message = "-- rewritten to use a materialized view:\n--   " +
@@ -466,10 +669,42 @@ Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
   {
     TraceSpan exec_span("execute");
     Evaluator eval(&db_, &views_, options_.eval);
-    AQV_ASSIGN_OR_RETURN(Table result, eval.Execute(entry->plan));
+    eval.set_context(&ctx);
+    Result<Table> result = eval.Execute(entry->plan);
+    if (!result.ok()) {
+      const Status& s = result.status();
+      bool resource = s.code() == StatusCode::kDeadlineExceeded ||
+                      s.code() == StatusCode::kResourceExhausted;
+      // A tripped deadline/budget is the governance verdict, not a plan
+      // defect — surface it as-is (the RAII latch guard releases
+      // everything). A real failure of a rewritten or cached plan degrades:
+      // drop the cached entry, charge its views toward quarantine and retry
+      // once on the unrewritten query under the same deadline.
+      bool plan_differs = entry->used_materialized_view || out.cache_hit;
+      if (resource || !options_.degrade_on_failure || !plan_differs) {
+        return s;
+      }
+      if (options_.enable_plan_cache) {
+        cache_invalidated_.Increment(
+            plan_cache_.Erase(CanonicalCacheKey(query)));
+      }
+      for (const TableRef& ref : entry->plan.from) {
+        if (views_.Has(ref.table)) ChargeViewFailure(ref.table);
+      }
+      degraded_fallbacks_.Increment();
+      ctx.ResetForRetry();
+      Evaluator retry(&db_, &views_, options_.eval);
+      retry.set_context(&ctx);
+      result = retry.Execute(query);
+      AQV_RETURN_NOT_OK(result.status());
+      out.degraded = true;
+      out.used_materialized_view = false;
+      out.message += "-- degraded: plan failed (" + s.ToString() +
+                     "); retried on the unrewritten query\n";
+    }
     exec_micros = ElapsedMicros(start);
-    if (exec_span.active()) exec_span.AddAttr("rows", result.num_rows());
-    out.table = std::move(result);
+    if (exec_span.active()) exec_span.AddAttr("rows", result->num_rows());
+    out.table = *std::move(result);
   }
   exec_latency_.Record(exec_micros);
   queries_served_.Increment();
@@ -586,6 +821,44 @@ Result<StatementResult> QueryService::HandleTrace(const std::string& stmt) {
     return out;
   }
   return Status::InvalidArgument("usage: TRACE ON|OFF|CLEAR|DUMP ['file.json']");
+}
+
+Result<StatementResult> QueryService::HandleFailpoint(const std::string& stmt) {
+  // FAILPOINT LIST | FAILPOINT CLEAR | FAILPOINT <name> <spec>
+  // (names and specs are case-sensitive; see base/failpoint.h for the
+  // spec grammar).
+  std::string rest = TrimStatement(stmt.substr(std::string("FAILPOINT").size()));
+  std::string upper = ToUpper(rest);
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  StatementResult out;
+  if (rest.empty() || upper == "LIST") {
+    std::vector<FailpointRegistry::Info> armed = registry.List();
+    if (armed.empty()) {
+      out.message = "no failpoints armed\n";
+      return out;
+    }
+    for (const FailpointRegistry::Info& info : armed) {
+      out.message += "  " + info.name + " " + info.spec + " (evaluated " +
+                     std::to_string(info.evaluations) + ", fired " +
+                     std::to_string(info.fires) + ")\n";
+    }
+    return out;
+  }
+  if (upper == "CLEAR") {
+    registry.ClearAll();
+    out.message = "all failpoints cleared\n";
+    return out;
+  }
+  size_t space = rest.find_first_of(" \t");
+  if (space == std::string::npos) {
+    return Status::InvalidArgument(
+        "usage: FAILPOINT <name> <spec> | FAILPOINT LIST | FAILPOINT CLEAR");
+  }
+  std::string name = rest.substr(0, space);
+  std::string spec = TrimStatement(rest.substr(space));
+  AQV_RETURN_NOT_OK(registry.Set(name, spec));
+  out.message = "failpoint " + name + " = " + spec + "\n";
+  return out;
 }
 
 Result<StatementResult> QueryService::HandleSlowLog() const {
@@ -755,6 +1028,9 @@ Result<StatementResult> QueryService::HandleInsert(const std::string& stmt) {
   LatchManager::Guard guard = latches_.StatementShared();
   latches_.AcquireWrite(&guard, {name}, {});
   AQV_ASSIGN_OR_RETURN(const Table* existing, db_.Get(name));
+  // Copy-on-write: the version swap below publishes `updated` atomically;
+  // a fault injected here must leave the stored version untouched.
+  AQV_FAILPOINT("table.cow_copy");
   Table updated = *existing;
   int inserted = 0;
   while (tokens[i].kind == TokenKind::kLParen) {
@@ -798,6 +1074,7 @@ Result<StatementResult> QueryService::HandleInsert(const std::string& stmt) {
 }
 
 Result<size_t> QueryService::RefreshLatched(const std::string& name) {
+  AQV_FAILPOINT("service.refresh");
   if (!views_.Has(name)) {
     return Status::NotFound("no view named '" + name + "'");
   }
@@ -808,6 +1085,9 @@ Result<size_t> QueryService::RefreshLatched(const std::string& name) {
   db_.Put(name, std::move(contents));
   // Write hook: the view's stored contents changed.
   cache_invalidated_.Increment(plan_cache_.InvalidateDependency(name));
+  // A freshly materialized view gets a clean slate: REFRESH is the
+  // operator's way out of quarantine.
+  ClearViewFailures(name);
   return rows;
 }
 

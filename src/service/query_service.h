@@ -1,6 +1,7 @@
 #ifndef AQV_SERVICE_QUERY_SERVICE_H_
 #define AQV_SERVICE_QUERY_SERVICE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -9,8 +10,10 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "base/exec_context.h"
 #include "base/metrics.h"
 #include "base/result.h"
 #include "catalog/catalog.h"
@@ -38,6 +41,35 @@ struct ServiceOptions {
   uint64_t slow_query_micros = 0;
   /// Bound on the slow-query log; older entries are dropped first.
   size_t slow_query_log_capacity = 64;
+
+  // ---- Resource governance (see README "Resource limits & degradation").
+  /// Per-SELECT deadline, microseconds from statement start; 0 disables.
+  /// Exceeding it returns kDeadlineExceeded with all latches released.
+  uint64_t statement_deadline_micros = 0;
+  /// Per-SELECT budget on rows processed across all operators (the work and
+  /// intermediate-size proxy); 0 disables. Exceeding it returns
+  /// kResourceExhausted.
+  size_t statement_row_budget = 0;
+  /// Admission control: statements allowed in flight at once; 0 = unlimited.
+  /// Over-limit statements wait up to `admission_wait_micros`, then fail
+  /// with kUnavailable ("SERVER_BUSY"). Introspection statements (STATS,
+  /// TRACE, FAILPOINT, SLOWLOG, TABLES, VIEWS) bypass admission so a busy
+  /// server stays inspectable.
+  size_t max_concurrent_statements = 0;
+  uint64_t admission_wait_micros = 50000;
+  /// Hard cap on statement text length in bytes; longer statements are
+  /// rejected with kInvalidArgument before parsing. 0 disables.
+  size_t max_statement_bytes = 1 << 20;
+  /// Rewrite-time failures before a materialized view is quarantined from
+  /// rewrite candidacy (visible in STATS, cleared by a successful REFRESH);
+  /// 0 disables quarantine.
+  uint32_t view_quarantine_threshold = 3;
+  /// Graceful degradation: when a rewritten or cached plan fails
+  /// mid-execution (or the optimizer itself fails), retry once on the
+  /// unrewritten query and record the event instead of failing the
+  /// statement.
+  bool degrade_on_failure = true;
+
   RewriteOptions rewrite;
   EvalOptions eval;
 
@@ -51,6 +83,9 @@ struct StatementResult {
   std::optional<Table> table;
   bool cache_hit = false;
   bool used_materialized_view = false;
+  /// The statement succeeded on a degraded path: its rewritten/cached plan
+  /// (or the optimizer) failed and the unrewritten query was retried.
+  bool degraded = false;
 };
 
 /// A transactionally consistent, immutable copy of the service's state:
@@ -81,6 +116,13 @@ struct ServiceStats {
   uint64_t slow_queries = 0;       // SELECTs over ServiceOptions::slow_query_micros
   uint64_t snapshots_pinned = 0;   // BEGIN SNAPSHOT + PinSnapshot() calls
   uint64_t snapshot_reads = 0;     // SELECTs served from a pinned snapshot
+  uint64_t admission_rejects = 0;  // statements rejected SERVER_BUSY
+  uint64_t degraded_fallbacks = 0; // retries on the unrewritten plan
+  /// Failed statements by status-code token ("invalid_argument",
+  /// "deadline_exceeded", ...), sorted by token.
+  std::vector<std::pair<std::string, uint64_t>> errors_by_code;
+  /// Materialized views currently excluded from rewrite candidacy.
+  std::vector<std::string> quarantined_views;
   size_t plan_cache_size = 0;
   size_t plan_cache_capacity = 0;  // configured bound (0 = caching disabled)
   size_t latch_stripes = 0;        // configured stripe count
@@ -197,6 +239,7 @@ class QueryService {
   Result<StatementResult> HandleExplain(const std::string& select_stmt);
   Result<StatementResult> HandleExplainAnalyze(const std::string& select_stmt);
   Result<StatementResult> HandleTrace(const std::string& stmt);
+  Result<StatementResult> HandleFailpoint(const std::string& stmt);
   Result<StatementResult> HandleSlowLog() const;
   Result<StatementResult> HandleWhy(const std::string& rest);
   Result<StatementResult> HandleSave(const std::string& stmt);
@@ -230,10 +273,28 @@ class QueryService {
   /// Optimizes `query` through the plan cache (lookup, else optimize and
   /// insert). Caller must hold the ddl latch shared plus the query's
   /// footprint stripes (at least shared). `optimize_micros` (optional)
-  /// receives the optimizer wall time — 0 on a cache hit.
-  Result<PlanCache::EntryPtr> PlanThroughCache(const Query& query,
-                                               bool* cache_hit,
-                                               uint64_t* optimize_micros = nullptr);
+  /// receives the optimizer wall time — 0 on a cache hit. `ctx` (optional)
+  /// bounds candidate enumeration by the statement deadline. When the
+  /// optimizer itself fails and degradation is enabled, returns an
+  /// uncached entry holding the unrewritten query and sets `*degraded`.
+  Result<PlanCache::EntryPtr> PlanThroughCache(
+      const Query& query, bool* cache_hit,
+      uint64_t* optimize_micros = nullptr, ExecContext* ctx = nullptr,
+      bool* degraded = nullptr);
+
+  /// Admission control (ServiceOptions::max_concurrent_statements): blocks
+  /// up to admission_wait_micros for a slot, then kUnavailable.
+  Status AdmitStatement();
+  void ReleaseStatement();
+
+  /// Bumps service.errors_total{code="<token>"} for a failed statement.
+  void RecordError(const Status& status);
+
+  /// Quarantine bookkeeping: failure charging, candidacy exclusion list
+  /// (names over the threshold, sorted), and the REFRESH-time reset.
+  void ChargeViewFailure(const std::string& view);
+  std::vector<std::string> QuarantinedViews() const;
+  void ClearViewFailures(const std::string& view);
 
   /// Appends to the bounded slow-query log (thread-safe).
   void RecordSlowQuery(SlowQueryRecord record);
@@ -267,6 +328,18 @@ class QueryService {
   mutable std::mutex slow_log_mutex_;
   std::deque<SlowQueryRecord> slow_log_;
 
+  /// Admission control state (its own lock, taken before any data latch and
+  /// released by RAII in Execute, so a rejected or finished statement can
+  /// never strand a slot).
+  std::mutex admission_mutex_;
+  std::condition_variable admission_cv_;
+  size_t inflight_statements_ = 0;
+
+  /// Per-view rewrite-failure counts behind quarantine (own lock; touched
+  /// only on failure paths and REFRESH).
+  mutable std::mutex quarantine_mutex_;
+  std::unordered_map<std::string, uint32_t> view_failures_;
+
   MetricsRegistry metrics_;
   Counter& statements_;
   Counter& queries_served_;
@@ -278,6 +351,8 @@ class QueryService {
   Counter& slow_queries_;
   Counter& snapshots_pinned_;
   Counter& snapshot_reads_;
+  Counter& admission_rejects_;
+  Counter& degraded_fallbacks_;
   Gauge& cache_size_gauge_;
   Gauge& cache_capacity_gauge_;
   LatencyHistogram& optimize_latency_;
