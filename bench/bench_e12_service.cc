@@ -43,6 +43,21 @@
 // unarmed AQV_FAILPOINT site directly, the disabled check costs about a
 // nanosecond, i.e. well under 2% of any statement's service time.
 //
+// Experiment E17 — the transactional write path (PR 5). Two series:
+//
+//   BM_E17_InsertThroughput/batch_rows:B  — insert a fixed number of rows
+//       into a fresh service holding a maintainable materialized view,
+//       B tuples per INSERT statement. batch_rows:1 is the single-row
+//       write path (one COW copy + one maintenance pass per row);
+//       batch_rows:10000 is one statement. items = rows, so
+//       items_per_second(batch) / items_per_second(single) is the batching
+//       speedup (claimed >= 10x).
+//   BM_E17_MaintainVsRecompute/base_rows:N/recompute:R — one 100-row INSERT
+//       against a base table of N rows whose dependent view is either
+//       incrementally maintainable (R=0, SUM/COUNT) or outside the
+//       maintainer's dialect (R=1, AVG forces a full recompute). The gap
+//       widening with N is the maintenance-vs-recompute crossover.
+//
 // This bench has its own main with workload flags on top of the standard
 // google-benchmark ones:
 //
@@ -52,11 +67,13 @@
 //   --cache_capacity=N    plan-cache capacity for the cache:1 service
 //   --write_pct=0,20,50   write percentages for the write-mix sweep
 //   --stripes=1,16        latch stripe counts for the write-mix sweep
+//   --batch_rows=1,100,10000  tuples-per-statement sweep for E17
 //   --chaos               arm failpoints for the whole sweep (E16)
 //
 // e.g. bench_e12_service --threads=4 --duration=2 --seed=7
 //        --benchmark_format=json
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -87,6 +104,9 @@ std::vector<int> g_write_pcts = {0, 20, 50};
 std::vector<int> g_stripe_counts = {1, 16};
 // Number of per-thread private write targets (set to max worker count).
 int g_mix_slots = 8;
+// E17: tuples-per-INSERT-statement sweep; total rows per iteration is the
+// largest entry, so the series are directly comparable (items = rows).
+std::vector<int> g_batch_rows = {1, 100, 10000};
 // E16: run the sweep with failpoints armed (see ArmChaos in main).
 bool g_chaos = false;
 
@@ -363,6 +383,113 @@ void BM_E12_ColdPlanVsWarmPlan(benchmark::State& state) {
   ReportChaosErrors(state, chaos_errors);
 }
 
+// E17: batched-insert throughput through the maintained write path. Each
+// iteration builds a FRESH service (paused timing) with a maintainable
+// SUM/COUNT view over the target table, then inserts the same total row
+// count as batch_rows-tuple statements. Single-row pays one COW publication
+// and one maintenance pass per row — O(table) copies each time — while a
+// batch pays them once per statement.
+void BM_E17_InsertThroughput(benchmark::State& state) {
+  const int batch_rows = static_cast<int>(state.range(0));
+  const int total_rows =
+      *std::max_element(g_batch_rows.begin(), g_batch_rows.end());
+  uint64_t chaos_errors = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    QueryService service;
+    CheckOrDie(service.Execute("CREATE TABLE E17(A, B)").status(),
+               "create E17");
+    CheckOrDie(service
+                   .Execute("CREATE MATERIALIZED VIEW E17V AS SELECT A_1, "
+                            "SUM(B_1) AS S, COUNT(B_1) AS N FROM E17 "
+                            "GROUPBY A_1")
+                   .status(),
+               "create E17V");
+    // Pre-render the statements: timing covers the service, not snprintf.
+    std::vector<std::string> stmts;
+    for (int done = 0; done < total_rows;) {
+      int n = std::min(batch_rows, total_rows - done);
+      std::string sql = "INSERT INTO E17 VALUES ";
+      for (int r = 0; r < n; ++r) {
+        if (r > 0) sql += ", ";
+        sql += "(" + std::to_string((done + r) % 16) + ", " +
+               std::to_string(done + r) + ")";
+      }
+      done += n;
+      stmts.push_back(std::move(sql));
+    }
+    state.ResumeTiming();
+    for (const std::string& sql : stmts) {
+      Result<StatementResult> r = service.Execute(sql);
+      if (!r.ok()) {
+        if (!TolerateChaos(state, r.status(), &chaos_errors)) return;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * total_rows);
+  ReportChaosErrors(state, chaos_errors);
+}
+
+// E17: incremental maintenance vs forced full recompute, as the base table
+// grows. Maintenance work scales with the delta; recompute scales with the
+// base, so the per-statement gap is the crossover argument for the
+// maintainer's dialect. Fixed iteration count: each iteration grows the
+// table by only 100 rows, so the base size stays ~N for the whole series.
+void BM_E17_MaintainVsRecompute(benchmark::State& state) {
+  const int base_rows = static_cast<int>(state.range(0));
+  const bool recompute = state.range(1) != 0;
+  constexpr int kDeltaRows = 100;
+
+  QueryService service;
+  CheckOrDie(service.Execute("CREATE TABLE M(A, B)").status(), "create M");
+  {
+    // Seed the base in big batches (not timed).
+    for (int done = 0; done < base_rows;) {
+      int n = std::min(1000, base_rows - done);
+      std::string sql = "INSERT INTO M VALUES ";
+      for (int r = 0; r < n; ++r) {
+        if (r > 0) sql += ", ";
+        sql += "(" + std::to_string((done + r) % 16) + ", " +
+               std::to_string(done + r) + ")";
+      }
+      done += n;
+      CheckOrDie(service.Execute(sql).status(), "seed M");
+    }
+  }
+  // SUM/COUNT is inside the incremental dialect; AVG forces the write path
+  // onto the full-recompute fallback.
+  CheckOrDie(service
+                 .Execute(recompute
+                              ? "CREATE MATERIALIZED VIEW MV AS SELECT A_1, "
+                                "AVG(B_1) AS X FROM M GROUPBY A_1"
+                              : "CREATE MATERIALIZED VIEW MV AS SELECT A_1, "
+                                "SUM(B_1) AS X, COUNT(B_1) AS N FROM M "
+                                "GROUPBY A_1")
+                 .status(),
+             "create MV");
+
+  std::string delta = "INSERT INTO M VALUES ";
+  for (int r = 0; r < kDeltaRows; ++r) {
+    if (r > 0) delta += ", ";
+    delta += "(" + std::to_string(r % 16) + ", " + std::to_string(r) + ")";
+  }
+  uint64_t chaos_errors = 0;
+  for (auto _ : state) {
+    Result<StatementResult> r = service.Execute(delta);
+    if (!r.ok()) {
+      if (!TolerateChaos(state, r.status(), &chaos_errors)) return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kDeltaRows);
+  ReportChaosErrors(state, chaos_errors);
+  ServiceStats stats = service.Stats();
+  state.counters["maintain_p50_us"] = benchmark::Counter(
+      stats.maintain_p50_micros, benchmark::Counter::kAvgThreads);
+  state.counters["views_recomputed"] = benchmark::Counter(
+      static_cast<double>(stats.views_recomputed),
+      benchmark::Counter::kAvgThreads);
+}
+
 // E16: the cost of one *disabled* failpoint site — the price every wired
 // call path pays in a production (no-chaos) process. The helper is a real
 // Status-returning function so the measured code is exactly what a wired
@@ -394,6 +521,7 @@ void ArmChaos() {
   CheckOrDie(reg.Set("plan_cache.insert", "error(5)"), "arm insert");
   CheckOrDie(reg.Set("exec.operator", "error(2)"), "arm exec");
   CheckOrDie(reg.Set("table.cow_copy", "error(5)"), "arm cow");
+  CheckOrDie(reg.Set("maintain.apply", "error(5)"), "arm maintain");
   reg.Reseed(g_workload_seed);
 }
 
@@ -458,6 +586,23 @@ void RegisterAll(const std::vector<int>& threads, double duration_seconds) {
   }
   configure(mix);
 
+  auto* insert = benchmark::RegisterBenchmark("BM_E17_InsertThroughput",
+                                              BM_E17_InsertThroughput)
+                     ->ArgName("batch_rows")
+                     ->Unit(benchmark::kMillisecond)
+                     ->UseRealTime();
+  for (int b : g_batch_rows) insert->Arg(b);
+
+  auto* crossover = benchmark::RegisterBenchmark("BM_E17_MaintainVsRecompute",
+                                                 BM_E17_MaintainVsRecompute)
+                        ->ArgNames({"base_rows", "recompute"})
+                        ->Unit(benchmark::kMicrosecond)
+                        ->UseRealTime()
+                        ->Iterations(50);
+  for (int base : {1000, 8000, 64000}) {
+    crossover->Args({base, 0})->Args({base, 1});
+  }
+
   benchmark::RegisterBenchmark("BM_E16_DisabledFailpointCheck",
                                BM_E16_DisabledFailpointCheck)
       ->Unit(benchmark::kNanosecond);
@@ -487,6 +632,8 @@ int main(int argc, char** argv) {
       aqv::g_write_pcts = aqv::ParseIntList("--write_pct", v);
     } else if (const char* v = aqv::FlagValue(argv[i], "--stripes")) {
       aqv::g_stripe_counts = aqv::ParseIntList("--stripes", v);
+    } else if (const char* v = aqv::FlagValue(argv[i], "--batch_rows")) {
+      aqv::g_batch_rows = aqv::ParseIntList("--batch_rows", v);
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       aqv::g_chaos = true;
     } else {

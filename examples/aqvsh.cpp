@@ -6,7 +6,8 @@
 // statement per line, '#' comments.
 //
 //   CREATE TABLE R(A, B) [KEY(A)]
-//   INSERT INTO R VALUES (1, 2), (3, 4)
+//   INSERT INTO R VALUES (1, 2), (3, 4)    -- maintains dependent views
+//   BEGIN WRITE ... COMMIT | ROLLBACK      -- batch INSERTs, one publication
 //   CREATE VIEW V AS SELECT ...            -- virtual view
 //   CREATE MATERIALIZED VIEW V AS SELECT ...
 //   REFRESH V                              -- recompute a materialized view
@@ -78,7 +79,9 @@ class Shell {
     std::printf(
         "statements:\n"
         "  CREATE TABLE R(A, B) [KEY(A)]\n"
-        "  INSERT INTO R VALUES (1, 'x'), (2, 'y')\n"
+        "  INSERT INTO R VALUES (1, 'x'), (-2, NULL)  -- maintains dependent views\n"
+        "  BEGIN WRITE | COMMIT | ROLLBACK  -- buffer INSERTs, apply as one batch\n"
+        "  BEGIN SNAPSHOT | COMMIT          -- pin reads to one epoch\n"
         "  CREATE [MATERIALIZED] VIEW V AS SELECT ...\n"
         "  REFRESH V | SELECT ... | EXPLAIN SELECT ... | WHY V SELECT ...\n"
         "  EXPLAIN ANALYZE SELECT ...       -- executes; actual rows + times\n"

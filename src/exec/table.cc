@@ -108,6 +108,17 @@ void Database::Put(std::string name, TablePtr table) {
   slot.version = ++epoch_;
 }
 
+void Database::PutAll(std::vector<std::pair<std::string, TablePtr>> tables) {
+  if (tables.empty()) return;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const uint64_t version = ++epoch_;
+  for (auto& [name, table] : tables) {
+    Versioned& slot = tables_[std::move(name)];
+    slot.table = std::move(table);
+    slot.version = version;
+  }
+}
+
 bool Database::Has(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return tables_.count(name) > 0;

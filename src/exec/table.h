@@ -81,6 +81,14 @@ class Database {
   void Put(std::string name, Table table);
   void Put(std::string name, TablePtr table);
 
+  /// Atomically stores every (name, table) pair as new immutable versions at
+  /// ONE shared epoch: the epoch is bumped once and all entries get that
+  /// version. Because Snapshot()/readers copy the version vector under the
+  /// same lock, they observe either none or all of the batch — never a state
+  /// where (say) a base table has advanced but a view maintained from the
+  /// same write has not.
+  void PutAll(std::vector<std::pair<std::string, TablePtr>> tables);
+
   bool Has(const std::string& name) const;
   Result<const Table*> Get(const std::string& name) const;
 

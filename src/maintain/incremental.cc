@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "base/failpoint.h"
 #include "exec/evaluator.h"
 #include "exec/expression.h"
 #include "exec/operators.h"
@@ -182,8 +183,17 @@ IncrementalMaintainer::DeltaCoreRows(const Delta& delta,
   return out;
 }
 
+Result<Table> IncrementalMaintainer::ApplyToCopy(
+    const Delta& delta, const Database& before,
+    const Table& materialized) const {
+  Table copy = materialized;
+  AQV_RETURN_NOT_OK(Apply(delta, before, &copy));
+  return copy;
+}
+
 Status IncrementalMaintainer::Apply(const Delta& delta, const Database& before,
                                     Table* materialized) const {
+  AQV_FAILPOINT("maintain.apply");
   if (delta.empty()) return Status::OK();
   const Query& q = view_.query;
 
@@ -384,16 +394,37 @@ Status IncrementalMaintainer::Apply(const Delta& delta, const Database& before,
     }
 
     Row& row = rows[it->second];
-    // MIN/MAX first: a delete touching the extremum forces recomputation.
+    // MIN/MAX first: a delete touching the extremum forces recomputation —
+    // unless the same batch inserts a covering value into the group (>= the
+    // extremum for MAX, <= for MIN). Every surviving old value is bounded by
+    // the old extremum, so the covering insert dominates and the ordinary
+    // merge below yields the correct new extremum.
     for (size_t p = 0; p < width; ++p) {
       const SelectItem& s = q.select[p];
       if (s.kind != SelectItem::Kind::kAggregate) continue;
       if (s.agg != AggFn::kMin && s.agg != AggFn::kMax) continue;
+      bool extremum_deleted = false;
       for (const Value& v : u.deleted[p]) {
         if (!v.is_null() && v.Compare(row[p]) == 0) {
-          return Status::Unsupported(
-              "a delete removes the current extremum of a group; recompute");
+          extremum_deleted = true;
+          break;
         }
+      }
+      if (!extremum_deleted) continue;
+      bool covered = false;
+      const std::vector<Value>& inserted =
+          s.agg == AggFn::kMax ? u.maxs[p] : u.mins[p];
+      for (const Value& v : inserted) {
+        if (v.is_null()) continue;
+        int cmp = v.Compare(row[p]);
+        if (s.agg == AggFn::kMax ? cmp >= 0 : cmp <= 0) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return Status::Unsupported(
+            "a delete removes the current extremum of a group; recompute");
       }
     }
     for (size_t p = 0; p < width; ++p) {

@@ -56,6 +56,14 @@ class IncrementalMaintainer {
   Status Apply(const Delta& delta, const Database& before,
                Table* materialized) const;
 
+  /// Apply() against a copy: returns the maintained contents as a new Table
+  /// and never mutates `materialized`. This is the write path's entry point —
+  /// the service stages the result and publishes it together with the base
+  /// tables in one epoch, so a refusal or fault mid-maintenance leaves the
+  /// published state untouched.
+  Result<Table> ApplyToCopy(const Delta& delta, const Database& before,
+                            const Table& materialized) const;
+
   const ViewDef& view() const { return view_; }
 
  private:

@@ -90,6 +90,14 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
           t.kind = TokenKind::kSlash;
           ++i;
           break;
+        case '-':
+          t.kind = TokenKind::kMinus;
+          ++i;
+          break;
+        case '+':
+          t.kind = TokenKind::kPlus;
+          ++i;
+          break;
         case '=':
           t.kind = TokenKind::kEq;
           ++i;

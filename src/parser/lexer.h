@@ -22,6 +22,8 @@ enum class TokenKind {
   kDot,
   kStar,
   kSlash,
+  kMinus,  // sign prefix on numeric literals
+  kPlus,
   kEq,   // =
   kNe,   // <> or !=
   kLt,

@@ -290,6 +290,22 @@ Status Parser::ParseFrom(Query* query, BindingScope* scope) {
 }
 
 Result<Operand> Parser::ParseOperand(const BindingScope& scope) {
+  // Optional sign prefix on numeric constants (`WHERE A_1 > -5`).
+  if (Peek().kind == TokenKind::kMinus || Peek().kind == TokenKind::kPlus) {
+    bool negate = Next().kind == TokenKind::kMinus;
+    const Token& num = Peek();
+    if (num.kind == TokenKind::kInteger) {
+      int64_t v = Next().int_value;
+      return Operand::Constant(Value::Int64(negate ? -v : v));
+    }
+    if (num.kind == TokenKind::kFloat) {
+      double v = Next().float_value;
+      return Operand::Constant(Value::Double(negate ? -v : v));
+    }
+    return Status::InvalidArgument(
+        "expected a numeric constant after the sign at offset " +
+        std::to_string(num.offset));
+  }
   const Token& t = Peek();
   switch (t.kind) {
     case TokenKind::kInteger: {
@@ -465,6 +481,109 @@ Result<ViewDef> ParseView(std::string_view sql, const Catalog* catalog) {
   AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens), catalog);
   return parser.ParseViewStatement();
+}
+
+Result<InsertStatement> ParseInsert(std::string_view sql) {
+  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  size_t pos = 0;
+  auto peek = [&]() -> const Token& {
+    return pos < tokens.size() ? tokens[pos] : tokens.back();
+  };
+  auto next = [&]() -> const Token& {
+    const Token& t = peek();
+    if (pos + 1 < tokens.size()) ++pos;
+    return t;
+  };
+  auto consume_keyword = [&](std::string_view kw) {
+    if (peek().IsKeyword(kw)) {
+      next();
+      return true;
+    }
+    return false;
+  };
+  auto parse_literal = [&]() -> Result<Value> {
+    bool negate = false;
+    if (peek().kind == TokenKind::kMinus || peek().kind == TokenKind::kPlus) {
+      negate = next().kind == TokenKind::kMinus;
+      if (peek().kind != TokenKind::kInteger &&
+          peek().kind != TokenKind::kFloat) {
+        return Status::InvalidArgument(
+            "expected a numeric literal after the sign at offset " +
+            std::to_string(peek().offset));
+      }
+    }
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        int64_t v = next().int_value;
+        return Value::Int64(negate ? -v : v);
+      }
+      case TokenKind::kFloat: {
+        double v = next().float_value;
+        return Value::Double(negate ? -v : v);
+      }
+      case TokenKind::kString:
+        return Value::String(next().text);
+      case TokenKind::kIdentifier:
+        if (t.IsKeyword("NULL")) {
+          next();
+          return Value::Null();
+        }
+        [[fallthrough]];
+      default:
+        return Status::InvalidArgument("expected a literal at offset " +
+                                       std::to_string(t.offset));
+    }
+  };
+
+  if (!consume_keyword("INSERT") || !consume_keyword("INTO")) {
+    return Status::InvalidArgument("expected INSERT INTO");
+  }
+  InsertStatement out;
+  if (peek().kind != TokenKind::kIdentifier) {
+    return Status::InvalidArgument("expected a table name at offset " +
+                                   std::to_string(peek().offset));
+  }
+  out.table = next().text;
+  if (!consume_keyword("VALUES")) {
+    return Status::InvalidArgument("expected VALUES at offset " +
+                                   std::to_string(peek().offset));
+  }
+  if (peek().kind != TokenKind::kLParen) {
+    return Status::InvalidArgument(
+        "expected at least one (tuple) after VALUES at offset " +
+        std::to_string(peek().offset));
+  }
+  while (true) {
+    next();  // '('
+    Row row;
+    while (true) {
+      AQV_ASSIGN_OR_RETURN(Value v, parse_literal());
+      row.push_back(std::move(v));
+      if (peek().kind == TokenKind::kComma) {
+        next();
+        continue;
+      }
+      break;
+    }
+    if (peek().kind != TokenKind::kRParen) {
+      return Status::InvalidArgument("expected ')' at offset " +
+                                     std::to_string(peek().offset));
+    }
+    next();
+    out.rows.push_back(std::move(row));
+    if (peek().kind != TokenKind::kComma) break;
+    next();
+    if (peek().kind != TokenKind::kLParen) {
+      return Status::InvalidArgument("expected '(' at offset " +
+                                     std::to_string(peek().offset));
+    }
+  }
+  if (peek().kind != TokenKind::kEnd) {
+    return Status::InvalidArgument("unexpected trailing input at offset " +
+                                   std::to_string(peek().offset));
+  }
+  return out;
 }
 
 }  // namespace aqv

@@ -31,6 +31,18 @@ Result<Query> ParseQuery(std::string_view sql, const Catalog* catalog = nullptr)
 /// Parses `CREATE VIEW name AS <query>`.
 Result<ViewDef> ParseView(std::string_view sql, const Catalog* catalog = nullptr);
 
+/// A parsed multi-row `INSERT INTO table VALUES (lit, ...), (lit, ...)`.
+struct InsertStatement {
+  std::string table;
+  std::vector<Row> rows;
+};
+
+/// Parses a multi-row INSERT. A literal is an optionally signed integer or
+/// float, a quoted string, or NULL. At least one tuple is required, and any
+/// trailing input after the last tuple is an error (it used to be silently
+/// ignored). Arity against the table's schema is the caller's check.
+Result<InsertStatement> ParseInsert(std::string_view sql);
+
 }  // namespace aqv
 
 #endif  // AQV_PARSER_PARSER_H_

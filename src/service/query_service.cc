@@ -69,6 +69,15 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(optimize_max_micros), exec_p50_micros,
       exec_p99_micros, static_cast<unsigned long long>(exec_max_micros));
   std::string out = buf;
+  out += "rows inserted       " + std::to_string(rows_inserted) + "\n";
+  out += "view maintenance    " + std::to_string(views_maintained) +
+         " maintained / " + std::to_string(views_recomputed) + " recomputed\n";
+  char mbuf[128];
+  std::snprintf(mbuf, sizeof(mbuf),
+                "maintain latency    p50=%.1fus p99=%.1fus max=%lluus\n",
+                maintain_p50_micros, maintain_p99_micros,
+                static_cast<unsigned long long>(maintain_max_micros));
+  out += mbuf;
   out += "admission rejects   " + std::to_string(admission_rejects) + "\n";
   out += "degraded fallbacks  " + std::to_string(degraded_fallbacks) + "\n";
   if (!errors_by_code.empty()) {
@@ -103,10 +112,16 @@ QueryService::QueryService(ServiceOptions options)
       admission_rejects_(metrics_.GetCounter("service.admission_rejects_total")),
       degraded_fallbacks_(
           metrics_.GetCounter("service.degraded_fallbacks_total")),
+      rows_inserted_(metrics_.GetCounter("service.rows_inserted_total")),
+      views_maintained_(
+          metrics_.GetCounter("service.views_maintained_total")),
+      views_recomputed_(
+          metrics_.GetCounter("service.views_recomputed_total")),
       cache_size_gauge_(metrics_.GetGauge("service.plan_cache.size")),
       cache_capacity_gauge_(metrics_.GetGauge("service.plan_cache.capacity")),
       optimize_latency_(metrics_.GetHistogram("service.optimize_latency")),
-      exec_latency_(metrics_.GetHistogram("service.exec_latency")) {
+      exec_latency_(metrics_.GetHistogram("service.exec_latency")),
+      maintain_latency_(metrics_.GetHistogram("service.maintain_latency")) {
   cache_capacity_gauge_.Set(static_cast<int64_t>(plan_cache_.capacity()));
 }
 
@@ -118,7 +133,8 @@ namespace {
 bool IsControlStatement(const std::string& upper) {
   return upper == "STATS" || upper == "STATS PROM" || upper == "SLOWLOG" ||
          upper == "TABLES" || upper == "VIEWS" || upper == "COMMIT" ||
-         StartsWith(upper, "TRACE") || StartsWith(upper, "FAILPOINT");
+         upper == "ROLLBACK" || StartsWith(upper, "TRACE") ||
+         StartsWith(upper, "FAILPOINT");
 }
 
 }  // namespace
@@ -201,15 +217,34 @@ void QueryService::RecordError(const Status& status) {
 void QueryService::ChargeViewFailure(const std::string& view) {
   if (options_.view_quarantine_threshold == 0) return;
   std::lock_guard<std::mutex> lock(quarantine_mutex_);
-  ++view_failures_[view];
+  ViewFailureRecord& rec = view_failures_[view];
+  ++rec.failures;
+  if (rec.failures >= options_.view_quarantine_threshold &&
+      rec.quarantined_at == 0) {
+    // Stamp the cooldown clock when the threshold is first crossed.
+    rec.quarantined_at = statements_.value();
+  }
 }
 
 std::vector<std::string> QueryService::QuarantinedViews() const {
   std::vector<std::string> out;
   if (options_.view_quarantine_threshold == 0) return out;
+  const uint64_t now = statements_.value();
   std::lock_guard<std::mutex> lock(quarantine_mutex_);
-  for (const auto& [name, failures] : view_failures_) {
-    if (failures >= options_.view_quarantine_threshold) out.push_back(name);
+  for (auto it = view_failures_.begin(); it != view_failures_.end();) {
+    const ViewFailureRecord& rec = it->second;
+    if (rec.failures >= options_.view_quarantine_threshold) {
+      // Cooldown sweep: enough statements have passed since quarantine, so
+      // the view re-enters candidacy with a clean slate (fresh failures can
+      // re-quarantine it).
+      if (options_.quarantine_cooldown_statements > 0 &&
+          now >= rec.quarantined_at + options_.quarantine_cooldown_statements) {
+        it = view_failures_.erase(it);
+        continue;
+      }
+      out.push_back(it->first);
+    }
+    ++it;
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -289,6 +324,9 @@ ServiceStats QueryService::Stats() const {
   s.snapshot_reads = snapshot_reads_.value();
   s.admission_rejects = admission_rejects_.value();
   s.degraded_fallbacks = degraded_fallbacks_.value();
+  s.rows_inserted = rows_inserted_.value();
+  s.views_maintained = views_maintained_.value();
+  s.views_recomputed = views_recomputed_.value();
   const std::string kErrorPrefix = "service.errors_total{code=\"";
   for (auto& [name, value] : metrics_.CounterValues(kErrorPrefix)) {
     // Strip the family prefix and the trailing '"}' to recover the token.
@@ -311,6 +349,9 @@ ServiceStats QueryService::Stats() const {
   s.exec_p50_micros = exec_latency_.PercentileMicros(0.5);
   s.exec_p99_micros = exec_latency_.PercentileMicros(0.99);
   s.exec_max_micros = exec_latency_.max_micros();
+  s.maintain_p50_micros = maintain_latency_.PercentileMicros(0.5);
+  s.maintain_p99_micros = maintain_latency_.PercentileMicros(0.99);
+  s.maintain_max_micros = maintain_latency_.max_micros();
   return s;
 }
 
@@ -349,6 +390,11 @@ ServiceSnapshotPtr QueryService::ThreadSnapshot() const {
 
 Result<StatementResult> QueryService::HandleBeginSnapshot() {
   std::thread::id tid = std::this_thread::get_id();
+  if (ThreadHasWriteBatch()) {
+    return Status::InvalidArgument(
+        "a write batch is open on this thread; COMMIT or ROLLBACK it before "
+        "BEGIN SNAPSHOT");
+  }
   {
     std::lock_guard<std::mutex> lock(snapshot_mutex_);
     if (thread_snapshots_.count(tid) > 0) {
@@ -366,12 +412,79 @@ Result<StatementResult> QueryService::HandleBeginSnapshot() {
   return out;
 }
 
+bool QueryService::ThreadHasWriteBatch() const {
+  std::lock_guard<std::mutex> lock(write_batch_mutex_);
+  return write_batches_.count(std::this_thread::get_id()) > 0;
+}
+
+Result<StatementResult> QueryService::HandleBeginWrite() {
+  if (ThreadSnapshot() != nullptr) {
+    return Status::InvalidArgument(
+        "a snapshot is open on this thread; COMMIT it before BEGIN WRITE");
+  }
+  std::lock_guard<std::mutex> lock(write_batch_mutex_);
+  auto [it, opened] = write_batches_.try_emplace(std::this_thread::get_id());
+  (void)it;
+  if (!opened) {
+    return Status::InvalidArgument(
+        "a write batch is already open on this thread; COMMIT or ROLLBACK "
+        "it first");
+  }
+  StatementResult out;
+  out.message = "write batch opened; INSERTs buffer on this thread until "
+                "COMMIT\n";
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleRollback() {
+  std::lock_guard<std::mutex> lock(write_batch_mutex_);
+  auto it = write_batches_.find(std::this_thread::get_id());
+  if (it == write_batches_.end()) {
+    return Status::InvalidArgument(
+        "no open write batch on this thread (BEGIN WRITE first)");
+  }
+  size_t rows = 0;
+  for (const auto& [table, buffered] : it->second.inserts) {
+    rows += buffered.size();
+  }
+  write_batches_.erase(it);
+  StatementResult out;
+  out.message =
+      "write batch discarded (" + std::to_string(rows) + " buffered row(s))\n";
+  return out;
+}
+
 Result<StatementResult> QueryService::HandleCommit() {
+  // An open write batch takes precedence; BEGIN WRITE and BEGIN SNAPSHOT
+  // are mutually exclusive per thread, so at most one of the two branches
+  // has anything to commit.
+  std::optional<Delta> batch;
+  {
+    std::lock_guard<std::mutex> lock(write_batch_mutex_);
+    auto it = write_batches_.find(std::this_thread::get_id());
+    if (it != write_batches_.end()) {
+      batch = std::move(it->second);
+      // Erase up front: a failed apply discards the batch (nothing was
+      // published), rather than leaving it open to fail every retry.
+      write_batches_.erase(it);
+    }
+  }
+  if (batch.has_value()) {
+    AQV_ASSIGN_OR_RETURN(WriteApplied applied, ApplyWriteDelta(*batch));
+    StatementResult out;
+    out.message = std::to_string(applied.rows) + " row(s) committed into " +
+                  std::to_string(applied.tables) + " table(s); " +
+                  std::to_string(applied.views_maintained) +
+                  " view(s) maintained, " +
+                  std::to_string(applied.views_recomputed) + " recomputed\n";
+    return out;
+  }
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   auto it = thread_snapshots_.find(std::this_thread::get_id());
   if (it == thread_snapshots_.end()) {
     return Status::InvalidArgument(
-        "no open snapshot on this thread (BEGIN SNAPSHOT first)");
+        "nothing to commit on this thread (BEGIN SNAPSHOT or BEGIN WRITE "
+        "first)");
   }
   uint64_t epoch = it->second->epoch;
   thread_snapshots_.erase(it);
@@ -395,10 +508,12 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
   if (upper == "SLOWLOG") return HandleSlowLog();
   if (StartsWith(upper, "TRACE")) return HandleTrace(stmt);
   if (StartsWith(upper, "FAILPOINT")) return HandleFailpoint(stmt);
+  if (upper == "BEGIN WRITE") return HandleBeginWrite();
   if (upper == "BEGIN SNAPSHOT" || upper == "BEGIN") {
     return HandleBeginSnapshot();
   }
   if (upper == "COMMIT") return HandleCommit();
+  if (upper == "ROLLBACK") return HandleRollback();
   if (upper == "TABLES") return HandleListTables();
   if (upper == "VIEWS") return HandleListViews();
   // Writes and DDL are rejected while the calling thread has an open
@@ -409,6 +524,13 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
   if (is_write && ThreadSnapshot() != nullptr) {
     return Status::InvalidArgument(
         "writes are not allowed inside BEGIN SNAPSHOT; COMMIT first");
+  }
+  // Inside a write batch only INSERT (buffered) and reads are allowed: DDL,
+  // REFRESH and LOAD would have to either see or ignore the uncommitted
+  // rows, and neither is coherent.
+  if (is_write && !StartsWith(upper, "INSERT INTO") && ThreadHasWriteBatch()) {
+    return Status::InvalidArgument(
+        "only INSERT may run inside BEGIN WRITE; COMMIT or ROLLBACK first");
   }
   if (StartsWith(upper, "CREATE TABLE")) return HandleCreateTable(stmt);
   if (StartsWith(upper, "CREATE MATERIALIZED VIEW")) {
@@ -1015,62 +1137,221 @@ Result<StatementResult> QueryService::HandleCreateView(const std::string& stmt,
 }
 
 Result<StatementResult> QueryService::HandleInsert(const std::string& stmt) {
-  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(stmt));
-  size_t i = 2;  // INSERT INTO
-  if (tokens[i].kind != TokenKind::kIdentifier) {
-    return Status::InvalidArgument("expected a table name");
-  }
-  std::string name = tokens[i++].text;
-  if (!tokens[i].IsKeyword("VALUES")) {
-    return Status::InvalidArgument("expected VALUES");
-  }
-  ++i;
-  LatchManager::Guard guard = latches_.StatementShared();
-  latches_.AcquireWrite(&guard, {name}, {});
-  AQV_ASSIGN_OR_RETURN(const Table* existing, db_.Get(name));
-  // Copy-on-write: the version swap below publishes `updated` atomically;
-  // a fault injected here must leave the stored version untouched.
-  AQV_FAILPOINT("table.cow_copy");
-  Table updated = *existing;
-  int inserted = 0;
-  while (tokens[i].kind == TokenKind::kLParen) {
-    ++i;
-    Row row;
-    while (tokens[i].kind != TokenKind::kRParen) {
-      switch (tokens[i].kind) {
-        case TokenKind::kInteger:
-          row.push_back(Value::Int64(tokens[i].int_value));
-          break;
-        case TokenKind::kFloat:
-          row.push_back(Value::Double(tokens[i].float_value));
-          break;
-        case TokenKind::kString:
-          row.push_back(Value::String(tokens[i].text));
-          break;
-        case TokenKind::kIdentifier:
-          if (tokens[i].IsKeyword("NULL")) {
-            row.push_back(Value::Null());
-            break;
-          }
-          [[fallthrough]];
-        default:
-          return Status::InvalidArgument("expected a literal in VALUES");
-      }
-      ++i;
-      if (tokens[i].kind == TokenKind::kComma) ++i;
+  AQV_ASSIGN_OR_RETURN(InsertStatement insert, ParseInsert(stmt));
+  const size_t rows = insert.rows.size();
+  {
+    // An open BEGIN WRITE batch on this thread buffers the rows; COMMIT
+    // validates and applies them all at once.
+    std::lock_guard<std::mutex> lock(write_batch_mutex_);
+    auto it = write_batches_.find(std::this_thread::get_id());
+    if (it != write_batches_.end()) {
+      std::vector<Row>& buffered = it->second.inserts[insert.table];
+      for (Row& row : insert.rows) buffered.push_back(std::move(row));
+      StatementResult out;
+      out.message = std::to_string(rows) + " row(s) buffered into " +
+                    insert.table + " (COMMIT to apply)\n";
+      return out;
     }
-    ++i;  // ')'
-    AQV_RETURN_NOT_OK(updated.AddRow(std::move(row)));
-    ++inserted;
-    if (tokens[i].kind == TokenKind::kComma) ++i;
   }
-  db_.Put(name, std::move(updated));
-  // Write hook: only plans reading `name` are stale.
-  cache_invalidated_.Increment(plan_cache_.InvalidateDependency(name));
+  Delta delta;
+  delta.inserts[insert.table] = std::move(insert.rows);
+  AQV_ASSIGN_OR_RETURN(WriteApplied applied, ApplyWriteDelta(delta));
+  (void)applied;
   StatementResult out;
   out.message =
-      std::to_string(inserted) + " row(s) inserted into " + name + "\n";
+      std::to_string(rows) + " row(s) inserted into " + insert.table + "\n";
   return out;
+}
+
+Result<std::vector<QueryService::DependentView>>
+QueryService::DependentViewsOf(const std::vector<std::string>& tables) const {
+  std::vector<DependentView> dependents;
+  for (const std::string& view : views_.ViewNames()) {
+    // Only stored (materialized) views need write-path maintenance; virtual
+    // views are recomputed on every read anyway.
+    if (!db_.Has(view)) continue;
+    std::vector<std::string> closure;
+    CollectDependencies({view}, views_, &closure);
+    bool touched = false;
+    for (const std::string& t : tables) {
+      if (std::find(closure.begin(), closure.end(), t) != closure.end()) {
+        touched = true;
+        break;
+      }
+    }
+    if (touched) dependents.push_back({view, std::move(closure)});
+  }
+  // Upstream-first order: a dependent defined over another dependent must
+  // refresh after its input. The registry rejects cyclic definitions, so
+  // this terminates.
+  std::vector<DependentView> ordered;
+  std::vector<std::string> placed;
+  auto is_pending = [&](const std::string& name) {
+    if (std::find(placed.begin(), placed.end(), name) != placed.end()) {
+      return false;
+    }
+    for (const DependentView& d : dependents) {
+      if (d.name == name) return true;
+    }
+    return false;
+  };
+  while (ordered.size() < dependents.size()) {
+    bool progressed = false;
+    for (const DependentView& d : dependents) {
+      if (std::find(placed.begin(), placed.end(), d.name) != placed.end()) {
+        continue;
+      }
+      bool ready = true;
+      for (const std::string& n : d.closure) {
+        if (n != d.name && is_pending(n)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      ordered.push_back(d);
+      placed.push_back(d.name);
+      progressed = true;
+    }
+    if (!progressed) {
+      return Status::Internal("cyclic materialized-view dependencies");
+    }
+  }
+  return ordered;
+}
+
+Status QueryService::RecomputeViewInto(const std::string& name,
+                                       Database* staging) {
+  AQV_ASSIGN_OR_RETURN(const ViewDef* def, views_.Get(name));
+  Evaluator fresh(staging, &views_);
+  AQV_ASSIGN_OR_RETURN(Table contents, fresh.Execute(def->query));
+  staging->Put(name, std::move(contents));
+  return Status::OK();
+}
+
+Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
+    const Delta& delta) {
+  WriteApplied applied;
+  if (delta.empty()) return applied;
+  TraceSpan span("write_apply");
+  LatchManager::Guard guard = latches_.StatementShared();
+
+  // Validate targets and collect the written table names.
+  std::vector<std::string> written;
+  auto add_target = [&](const std::string& name) -> Status {
+    if (views_.Has(name)) {
+      return Status::InvalidArgument("cannot INSERT into view '" + name +
+                                     "'; write its base tables");
+    }
+    if (!db_.Has(name)) {
+      return Status::NotFound("table '" + name + "' not in database");
+    }
+    if (std::find(written.begin(), written.end(), name) == written.end()) {
+      written.push_back(name);
+    }
+    return Status::OK();
+  };
+  for (const auto& [name, rows] : delta.inserts) {
+    AQV_RETURN_NOT_OK(add_target(name));
+    applied.rows += rows.size();
+  }
+  for (const auto& [name, rows] : delta.deletes) {
+    AQV_RETURN_NOT_OK(add_target(name));
+  }
+  applied.tables = written.size();
+
+  AQV_ASSIGN_OR_RETURN(std::vector<DependentView> dependents,
+                       DependentViewsOf(written));
+
+  // Latch footprint: written tables and every dependent view exclusive,
+  // the dependents' closures (the tables a recompute reads) shared.
+  std::vector<std::string> writes = written;
+  std::vector<std::string> reads;
+  for (const DependentView& d : dependents) {
+    writes.push_back(d.name);
+    reads.insert(reads.end(), d.closure.begin(), d.closure.end());
+  }
+  std::sort(writes.begin(), writes.end());
+  writes.erase(std::unique(writes.begin(), writes.end()), writes.end());
+  std::sort(reads.begin(), reads.end());
+  reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+  latches_.AcquireWrite(&guard, writes, reads);
+  if (span.active()) {
+    span.AddAttr("tables", static_cast<uint64_t>(written.size()));
+    span.AddAttr("dependents", static_cast<uint64_t>(dependents.size()));
+  }
+
+  // One COW copy per written table, however many rows the batch carries; a
+  // fault injected here must leave the published state untouched.
+  AQV_FAILPOINT("table.cow_copy");
+  Database staging = db_.Snapshot();
+  AQV_RETURN_NOT_OK(ApplyDeltaToBase(delta, &staging));
+
+  // Bring every dependent view up to date in the staging state: fold the
+  // delta in where the maintainer supports the view's shape, recompute from
+  // the staged bases otherwise. db_ still holds the pre-delta state the
+  // maintainer differences against.
+  Clock::time_point maintain_start = Clock::now();
+  std::vector<std::string> recomputed;
+  for (const DependentView& d : dependents) {
+    AQV_ASSIGN_OR_RETURN(const ViewDef* def, views_.Get(d.name));
+    bool maintained = false;
+    // The delta names base tables only, so the maintainer's telescoped
+    // differencing sees no change for a view reading another view — those
+    // must be recomputed, not silently no-opped.
+    bool base_only = true;
+    for (const TableRef& ref : def->query.from) {
+      if (views_.Has(ref.table)) {
+        base_only = false;
+        break;
+      }
+    }
+    if (base_only) {
+      Result<IncrementalMaintainer> maintainer =
+          IncrementalMaintainer::Create(*def);
+      if (maintainer.ok()) {
+        AQV_ASSIGN_OR_RETURN(const Table* current, db_.Get(d.name));
+        Result<Table> fresh = maintainer->ApplyToCopy(delta, db_, *current);
+        if (fresh.ok()) {
+          staging.Put(d.name, *std::move(fresh));
+          maintained = true;
+        } else if (fresh.status().code() != StatusCode::kUnsupported) {
+          return fresh.status();
+        }
+      } else if (maintainer.status().code() != StatusCode::kUnsupported) {
+        return maintainer.status();
+      }
+    }
+    if (maintained) {
+      ++applied.views_maintained;
+    } else {
+      AQV_RETURN_NOT_OK(RecomputeViewInto(d.name, &staging));
+      ++applied.views_recomputed;
+      recomputed.push_back(d.name);
+    }
+  }
+  if (!dependents.empty()) {
+    maintain_latency_.Record(ElapsedMicros(maintain_start));
+  }
+
+  // Publish base tables and views as ONE version swap at a single epoch:
+  // snapshot readers see either the whole write or none of it.
+  std::vector<std::pair<std::string, TablePtr>> publish;
+  publish.reserve(writes.size());
+  for (const std::string& name : writes) {
+    publish.emplace_back(name, staging.GetShared(name));
+  }
+  db_.PutAll(std::move(publish));
+  for (const std::string& name : writes) {
+    cache_invalidated_.Increment(plan_cache_.InvalidateDependency(name));
+  }
+  // A recomputed view's contents are as fresh as a REFRESH would make them,
+  // so it gets the same clean quarantine slate.
+  for (const std::string& name : recomputed) ClearViewFailures(name);
+  rows_inserted_.Increment(applied.rows);
+  views_maintained_.Increment(applied.views_maintained);
+  views_recomputed_.Increment(applied.views_recomputed);
+  return applied;
 }
 
 Result<size_t> QueryService::RefreshLatched(const std::string& name) {
@@ -1119,6 +1400,41 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
   AQV_ASSIGN_OR_RETURN(Table loaded, ReadCsvFile(tokens[3].text));
   size_t loaded_rows = loaded.num_rows();
   StatementResult out;
+  // Replacing a table wholesale invalidates every dependent materialized
+  // view with no delta to fold, so all of them are recomputed and published
+  // with the new contents at one epoch (same freshness contract as INSERT).
+  auto replace_with_dependents = [&](LatchManager::Guard* guard,
+                                     bool latched) -> Status {
+    AQV_ASSIGN_OR_RETURN(std::vector<DependentView> dependents,
+                         DependentViewsOf({name}));
+    if (latched) {
+      std::vector<std::string> lwrites{name};
+      std::vector<std::string> lreads;
+      for (const DependentView& d : dependents) {
+        lwrites.push_back(d.name);
+        lreads.insert(lreads.end(), d.closure.begin(), d.closure.end());
+      }
+      latches_.AcquireWrite(guard, lwrites, lreads);
+    }
+    Database staging = db_.Snapshot();
+    staging.Put(name, std::move(loaded));
+    for (const DependentView& d : dependents) {
+      AQV_RETURN_NOT_OK(RecomputeViewInto(d.name, &staging));
+    }
+    std::vector<std::pair<std::string, TablePtr>> publish;
+    publish.emplace_back(name, staging.GetShared(name));
+    for (const DependentView& d : dependents) {
+      publish.emplace_back(d.name, staging.GetShared(d.name));
+    }
+    db_.PutAll(std::move(publish));
+    cache_invalidated_.Increment(plan_cache_.InvalidateDependency(name));
+    for (const DependentView& d : dependents) {
+      cache_invalidated_.Increment(plan_cache_.InvalidateDependency(d.name));
+      ClearViewFailures(d.name);
+    }
+    views_recomputed_.Increment(dependents.size());
+    return Status::OK();
+  };
   {
     // Fast path: the table exists, so this is a row write, not DDL.
     LatchManager::Guard guard = latches_.StatementShared();
@@ -1128,9 +1444,7 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
         return Status::InvalidArgument("CSV arity does not match table '" +
                                        name + "'");
       }
-      latches_.AcquireWrite(&guard, {name}, {});
-      db_.Put(name, std::move(loaded));
-      cache_invalidated_.Increment(plan_cache_.InvalidateDependency(name));
+      AQV_RETURN_NOT_OK(replace_with_dependents(&guard, /*latched=*/true));
       out.message = std::to_string(loaded_rows) + " row(s) loaded into " +
                     name + "\n";
       return out;
@@ -1143,17 +1457,20 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
     AQV_RETURN_NOT_OK(catalog_.AddTable(TableDef(name, loaded.columns())));
     out.message = "table " + name + " created from the CSV header\n";
     cache_invalidated_.Increment(plan_cache_.Clear());  // DDL hook
-  } else {
-    AQV_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(name));
-    if (def->num_columns() != loaded.num_columns()) {
-      return Status::InvalidArgument("CSV arity does not match table '" + name +
-                                     "'");
-    }
-    cache_invalidated_.Increment(plan_cache_.InvalidateDependency(name));
+    out.message += std::to_string(loaded_rows) + " row(s) loaded into " +
+                   name + "\n";
+    db_.Put(name, std::move(loaded));
+    return out;
   }
+  AQV_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(name));
+  if (def->num_columns() != loaded.num_columns()) {
+    return Status::InvalidArgument("CSV arity does not match table '" + name +
+                                   "'");
+  }
+  // Ddl() is totally exclusive; no stripes needed.
+  AQV_RETURN_NOT_OK(replace_with_dependents(&guard, /*latched=*/false));
   out.message += std::to_string(loaded_rows) + " row(s) loaded into " + name +
                  "\n";
-  db_.Put(name, std::move(loaded));
   return out;
 }
 

@@ -20,6 +20,7 @@
 #include "exec/evaluator.h"
 #include "exec/table.h"
 #include "ir/views.h"
+#include "maintain/incremental.h"
 #include "rewrite/rewriter.h"
 #include "service/latch_manager.h"
 #include "service/plan_cache.h"
@@ -64,6 +65,13 @@ struct ServiceOptions {
   /// rewrite candidacy (visible in STATS, cleared by a successful REFRESH);
   /// 0 disables quarantine.
   uint32_t view_quarantine_threshold = 3;
+  /// Auto-unquarantine cooldown: a quarantined view re-enters rewrite
+  /// candidacy (with a clean failure slate) once this many statements have
+  /// been accepted since it crossed the threshold. The write path refreshes
+  /// views itself now, so without a cooldown a transient fault could strand
+  /// a view out of candidacy forever on a deployment that never runs a
+  /// manual REFRESH. 0 keeps quarantine permanent until REFRESH.
+  uint64_t quarantine_cooldown_statements = 4096;
   /// Graceful degradation: when a rewritten or cached plan fails
   /// mid-execution (or the optimizer itself fails), retry once on the
   /// unrewritten query and record the event instead of failing the
@@ -118,6 +126,9 @@ struct ServiceStats {
   uint64_t snapshot_reads = 0;     // SELECTs served from a pinned snapshot
   uint64_t admission_rejects = 0;  // statements rejected SERVER_BUSY
   uint64_t degraded_fallbacks = 0; // retries on the unrewritten plan
+  uint64_t rows_inserted = 0;      // rows applied by INSERT/COMMIT batches
+  uint64_t views_maintained = 0;   // write-path incremental maintenances
+  uint64_t views_recomputed = 0;   // write-path full recomputes (fallback)
   /// Failed statements by status-code token ("invalid_argument",
   /// "deadline_exceeded", ...), sorted by token.
   std::vector<std::pair<std::string, uint64_t>> errors_by_code;
@@ -133,6 +144,9 @@ struct ServiceStats {
   double exec_p50_micros = 0;
   double exec_p99_micros = 0;
   uint64_t exec_max_micros = 0;
+  double maintain_p50_micros = 0;  // per-statement view-maintenance wall time
+  double maintain_p99_micros = 0;
+  uint64_t maintain_max_micros = 0;
 
   std::string ToString() const;
 };
@@ -195,6 +209,14 @@ class QueryService {
   /// calling thread — subsequent SELECTs on that thread read the pinned
   /// epoch, latch-free, until COMMIT releases it. Writes and DDL are
   /// rejected on a thread with an open snapshot.
+  ///
+  /// BEGIN WRITE opens a per-thread write batch: subsequent INSERTs buffer
+  /// rows instead of applying them, COMMIT applies the whole batch through
+  /// the transactional write path (one COW copy per table, dependent views
+  /// maintained, everything published at one epoch), and ROLLBACK discards
+  /// it. Only INSERT (and SELECT, which reads committed state) may run
+  /// inside a batch; a failed COMMIT discards the batch with nothing
+  /// published.
   Result<StatementResult> Execute(const std::string& statement);
 
   /// Typed convenience wrapper: Execute on a SELECT, returning the rows.
@@ -246,20 +268,62 @@ class QueryService {
   Result<StatementResult> HandleListTables();
   Result<StatementResult> HandleListViews();
 
-  // Row-write statements: ddl shared + written stripes exclusive.
+  // Row-write statements: ddl shared + written stripes (and those of every
+  // dependent materialized view) exclusive.
   Result<StatementResult> HandleInsert(const std::string& stmt);
   Result<StatementResult> HandleRefresh(const std::string& name);
+
+  /// What one ApplyWriteDelta call changed, for acks and metrics.
+  struct WriteApplied {
+    size_t rows = 0;              // rows inserted across all tables
+    size_t tables = 0;            // base tables written
+    size_t views_maintained = 0;  // dependents folded incrementally
+    size_t views_recomputed = 0;  // dependents fully recomputed (fallback)
+  };
+
+  /// The transactional write path shared by single-statement INSERT and
+  /// BEGIN WRITE..COMMIT: validates the delta, grows the latch footprint to
+  /// every dependent materialized view, copies each written base table once
+  /// (however many rows the delta carries), brings every dependent view
+  /// up to date — incrementally via IncrementalMaintainer where the view
+  /// shape allows, by full recompute otherwise — and publishes base tables
+  /// plus views as ONE COW version swap at a single epoch (Database::PutAll),
+  /// so snapshot readers never observe a table/view mismatch. Any failure
+  /// before the swap leaves the published state untouched.
+  Result<WriteApplied> ApplyWriteDelta(const Delta& delta);
+
+  /// A materialized view whose stored contents must follow writes to any
+  /// table in `closure`.
+  struct DependentView {
+    std::string name;
+    std::vector<std::string> closure;  // the view's transitive FROM closure
+  };
+
+  /// Materialized (stored) views whose definition closure touches any of
+  /// `tables`, ordered upstream-first so views defined over other dependent
+  /// views refresh after their inputs. Caller holds the ddl latch.
+  Result<std::vector<DependentView>> DependentViewsOf(
+      const std::vector<std::string>& tables) const;
+
+  /// Recomputes `name`'s definition against `staging` (which holds the
+  /// post-write base tables and any already-refreshed upstream views) and
+  /// stores the result there. Caller holds latches covering the recompute.
+  Status RecomputeViewInto(const std::string& name, Database* staging);
   // Schema-change statements: ddl exclusive (LOAD only when the table is new).
   Result<StatementResult> HandleCreateTable(const std::string& stmt);
   Result<StatementResult> HandleCreateView(const std::string& stmt,
                                            bool materialized);
   Result<StatementResult> HandleLoad(const std::string& stmt);
 
-  // Snapshot statement dialect (per calling thread).
+  // Snapshot / write-batch statement dialect (per calling thread).
   Result<StatementResult> HandleBeginSnapshot();
+  Result<StatementResult> HandleBeginWrite();
   Result<StatementResult> HandleCommit();
+  Result<StatementResult> HandleRollback();
   /// The snapshot pinned by BEGIN SNAPSHOT on the calling thread, or null.
   ServiceSnapshotPtr ThreadSnapshot() const;
+  /// True if the calling thread has an open BEGIN WRITE batch.
+  bool ThreadHasWriteBatch() const;
   /// SELECT against `snap` with full metrics/slow-log accounting.
   Result<StatementResult> SelectOnSnapshot(const std::string& stmt,
                                            const ServiceSnapshot& snap);
@@ -335,10 +399,22 @@ class QueryService {
   std::condition_variable admission_cv_;
   size_t inflight_statements_ = 0;
 
+  /// BEGIN WRITE bookkeeping: per-thread buffered deltas, applied atomically
+  /// by COMMIT and discarded by ROLLBACK. Mutually exclusive with an open
+  /// snapshot on the same thread.
+  mutable std::mutex write_batch_mutex_;
+  std::unordered_map<std::thread::id, Delta> write_batches_;
+
   /// Per-view rewrite-failure counts behind quarantine (own lock; touched
-  /// only on failure paths and REFRESH).
+  /// only on failure paths, REFRESH, and the cooldown sweep). `quarantined_at`
+  /// is the accepted-statement count when `failures` crossed the threshold;
+  /// QuarantinedViews() lazily erases records whose cooldown has elapsed.
+  struct ViewFailureRecord {
+    uint32_t failures = 0;
+    uint64_t quarantined_at = 0;  // 0 = not (yet) quarantined
+  };
   mutable std::mutex quarantine_mutex_;
-  std::unordered_map<std::string, uint32_t> view_failures_;
+  mutable std::unordered_map<std::string, ViewFailureRecord> view_failures_;
 
   MetricsRegistry metrics_;
   Counter& statements_;
@@ -353,10 +429,14 @@ class QueryService {
   Counter& snapshot_reads_;
   Counter& admission_rejects_;
   Counter& degraded_fallbacks_;
+  Counter& rows_inserted_;
+  Counter& views_maintained_;
+  Counter& views_recomputed_;
   Gauge& cache_size_gauge_;
   Gauge& cache_capacity_gauge_;
   LatencyHistogram& optimize_latency_;
   LatencyHistogram& exec_latency_;
+  LatencyHistogram& maintain_latency_;
 };
 
 }  // namespace aqv

@@ -58,6 +58,32 @@ TEST(DatabaseTest, PutGet) {
   EXPECT_EQ(db.Get("U").status().code(), StatusCode::kNotFound);
 }
 
+TEST(DatabaseTest, PutAllPublishesEveryEntryAtOneEpoch) {
+  Database db;
+  db.Put("T", Table({"A"}));
+  db.Put("V", Table({"S"}));
+  const uint64_t before = db.epoch();
+
+  Table t({"A"});
+  t.AddRowOrDie(R({1}));
+  Table v({"S"});
+  v.AddRowOrDie(R({1}));
+  db.PutAll({{"T", std::make_shared<const Table>(std::move(t))},
+             {"V", std::make_shared<const Table>(std::move(v))}});
+
+  // One epoch bump for the whole batch, shared by every entry: a snapshot
+  // can never see T advanced without V.
+  EXPECT_EQ(db.epoch(), before + 1);
+  EXPECT_EQ(db.VersionOf("T"), before + 1);
+  EXPECT_EQ(db.VersionOf("V"), before + 1);
+  ASSERT_OK_AND_ASSIGN(const Table* stored, db.Get("T"));
+  EXPECT_EQ(stored->num_rows(), 1u);
+
+  // Empty batch: no epoch bump.
+  db.PutAll({});
+  EXPECT_EQ(db.epoch(), before + 1);
+}
+
 TEST(ExpressionTest, EvalCmpSemantics) {
   EXPECT_TRUE(EvalCmp(Value::Int64(1), CmpOp::kLt, Value::Double(1.5)));
   EXPECT_TRUE(EvalCmp(Value::Int64(2), CmpOp::kEq, Value::Double(2.0)));

@@ -235,6 +235,7 @@ TEST_F(FailpointTest, InjectedSitesFailStatementsCleanly) {
       {"optimizer.optimize", SalesQuery()},
       {"exec.operator", SalesQuery()},
       {"table.cow_copy", "INSERT INTO Sales VALUES (4, 40)"},
+      {"maintain.apply", "INSERT INTO Sales VALUES (4, 40)"},
       {"service.refresh", "REFRESH Totals"},
   };
   for (const SiteCase& c : cases) {
@@ -356,6 +357,46 @@ TEST_F(FailpointTest, RepeatedRewriteFailuresQuarantineTheView) {
   ASSERT_OK(back.status());
   EXPECT_FALSE(back->cache_hit);
   EXPECT_TRUE(back->used_materialized_view);
+}
+
+TEST_F(FailpointTest, QuarantineCooldownAutoClears) {
+  ServiceOptions options;
+  options.quarantine_cooldown_statements = 4;
+  std::unique_ptr<QueryService> service = MakeSalesService(options);
+  {
+    FailpointScope scope("rewrite.enumerate", "error");
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_OK(service->Execute(SalesQuery(i)).status());
+    }
+  }
+  ASSERT_EQ(service->Stats().quarantined_views.size(), 1u);
+
+  // No REFRESH: after `quarantine_cooldown_statements` further statements
+  // the view re-enters candidacy on its own.
+  for (int i = 10; i < 16; ++i) {
+    ASSERT_OK(service->Execute(SalesQuery(i)).status());
+  }
+  EXPECT_TRUE(service->Stats().quarantined_views.empty());
+  Result<StatementResult> back = service->Execute(
+      "SELECT Shop_1, SUM(Amount_1) AS T FROM Sales GROUPBY Shop_1");
+  ASSERT_OK(back.status());
+  EXPECT_TRUE(back->used_materialized_view);
+
+  // Cooldown 0 keeps the PR-4 behavior: quarantine is permanent until
+  // REFRESH.
+  ServiceOptions permanent;
+  permanent.quarantine_cooldown_statements = 0;
+  std::unique_ptr<QueryService> strict = MakeSalesService(permanent);
+  {
+    FailpointScope scope("rewrite.enumerate", "error");
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_OK(strict->Execute(SalesQuery(i)).status());
+    }
+  }
+  for (int i = 10; i < 30; ++i) {
+    ASSERT_OK(strict->Execute(SalesQuery(i)).status());
+  }
+  EXPECT_EQ(strict->Stats().quarantined_views.size(), 1u);
 }
 
 TEST_F(FailpointTest, AdmissionControlRejectsOverLimitStatements) {

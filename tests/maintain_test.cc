@@ -176,6 +176,96 @@ TEST(MaintainTest, DeleteOfExtremumRefused) {
   EXPECT_TRUE(MultisetEqual(materialized, untouched));
 }
 
+TEST(MaintainTest, ExtremumDeleteCoveredByBatchInsertMaintains) {
+  // A delete ties the group extremum, but the SAME batch inserts a covering
+  // value (>= for MAX): every surviving old value is bounded by the old
+  // extremum, so the covering insert is the new extremum — no recompute.
+  ViewDef vmax{"V", QueryBuilder()
+                        .From("R", {"A1", "B1"})
+                        .Select("A1")
+                        .SelectAgg(AggFn::kMax, "B1", "hi")
+                        .SelectAgg(AggFn::kCount, "B1", "n")
+                        .GroupBy("A1")
+                        .BuildOrDie()};
+  Delta d;
+  d.deletes["R"] = {R({1, 20})};  // 20 is group 1's max
+  d.inserts["R"] = {R({1, 25})};  // 25 covers it
+  ExpectMaintainMatchesRecompute(vmax, TwoTableDb(), d);
+
+  // Equal value covers too: the inserted copy replaces the deleted one.
+  Delta tie;
+  tie.deletes["R"] = {R({1, 20})};
+  tie.inserts["R"] = {R({1, 20})};
+  ExpectMaintainMatchesRecompute(vmax, TwoTableDb(), tie);
+
+  // MIN mirror: delete the minimum, insert something smaller.
+  ViewDef vmin{"V", QueryBuilder()
+                        .From("R", {"A1", "B1"})
+                        .Select("A1")
+                        .SelectAgg(AggFn::kMin, "B1", "lo")
+                        .SelectAgg(AggFn::kCount, "B1", "n")
+                        .GroupBy("A1")
+                        .BuildOrDie()};
+  Delta dmin;
+  dmin.deletes["R"] = {R({1, 10})};  // 10 is group 1's min
+  dmin.inserts["R"] = {R({1, 3})};
+  ExpectMaintainMatchesRecompute(vmin, TwoTableDb(), dmin);
+}
+
+TEST(MaintainTest, ExtremumDeleteWithNonCoveringInsertStillRefused) {
+  ViewDef v{"V", QueryBuilder()
+                     .From("R", {"A1", "B1"})
+                     .Select("A1")
+                     .SelectAgg(AggFn::kMax, "B1", "hi")
+                     .SelectAgg(AggFn::kCount, "B1", "n")
+                     .GroupBy("A1")
+                     .BuildOrDie()};
+  Database db = TwoTableDb();
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Evaluator eval(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table materialized, eval.MaterializeView("V"));
+  ASSERT_OK_AND_ASSIGN(IncrementalMaintainer maintainer,
+                       IncrementalMaintainer::Create(v));
+  // The insert (15) is below the deleted max (20): the new extremum is not
+  // derivable from the summary, so the maintainer must still refuse.
+  Delta d;
+  d.deletes["R"] = {R({1, 20})};
+  d.inserts["R"] = {R({1, 15})};
+  EXPECT_EQ(maintainer.Apply(d, db, &materialized).code(),
+            StatusCode::kUnsupported);
+  // A covering insert into a DIFFERENT group does not rescue the delete.
+  Delta other_group;
+  other_group.deletes["R"] = {R({1, 20})};
+  other_group.inserts["R"] = {R({2, 99})};
+  EXPECT_EQ(maintainer.Apply(other_group, db, &materialized).code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(MaintainTest, ApplyToCopyLeavesInputUntouched) {
+  ViewDef v = SumCountView();
+  Database db = TwoTableDb();
+  ViewRegistry views;
+  ASSERT_OK(views.Register(v));
+  Evaluator eval(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table materialized, eval.MaterializeView("V"));
+  Table original = materialized;
+  ASSERT_OK_AND_ASSIGN(IncrementalMaintainer maintainer,
+                       IncrementalMaintainer::Create(v));
+  Delta d;
+  d.inserts["R"] = {R({1, 7}), R({9, 1})};
+  ASSERT_OK_AND_ASSIGN(Table maintained,
+                       maintainer.ApplyToCopy(d, db, materialized));
+  // The input is untouched; the returned copy matches a recompute.
+  EXPECT_TRUE(MultisetEqual(materialized, original));
+  ASSERT_OK(ApplyDeltaToBase(d, &db));
+  Evaluator after(&db, &views);
+  ASSERT_OK_AND_ASSIGN(Table recomputed, after.MaterializeView("V"));
+  EXPECT_TRUE(MultisetEqual(maintained, recomputed))
+      << "maintained:\n" << maintained.ToString() << "recomputed:\n"
+      << recomputed.ToString();
+}
+
 TEST(MaintainTest, DeletesWithoutCountRefused) {
   ViewDef v{"V", QueryBuilder()
                      .From("R", {"A1", "B1"})

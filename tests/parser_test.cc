@@ -158,5 +158,51 @@ TEST(ParserTest, TelephonyExampleParses) {
   EXPECT_EQ(q.select[2].arg.column, "Charge_1");
 }
 
+TEST(ParserTest, SignedConstantsInWhere) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q, ParseQuery("SELECT A1 FROM R1(A1, B1) WHERE A1 > -5 AND "
+                          "B1 <= +2.5"));
+  EXPECT_EQ(q.where[0].rhs.constant, Value::Int64(-5));
+  EXPECT_EQ(q.where[1].rhs.constant, Value::Double(2.5));
+  // A sign must be followed by a number, not a column or string.
+  EXPECT_FALSE(ParseQuery("SELECT A1 FROM R1(A1, B1) WHERE A1 > -B1").ok());
+  EXPECT_FALSE(ParseQuery("SELECT A1 FROM R1(A1, B1) WHERE A1 > -'x'").ok());
+}
+
+TEST(ParseInsertTest, MultiRowTuplesWithAllLiteralKinds) {
+  ASSERT_OK_AND_ASSIGN(
+      InsertStatement insert,
+      ParseInsert("INSERT INTO T VALUES (1, 2.5, 'x', NULL), (-3, +4.5, "
+                  "'y', 7)"));
+  EXPECT_EQ(insert.table, "T");
+  ASSERT_EQ(insert.rows.size(), 2u);
+  EXPECT_EQ(insert.rows[0],
+            (Row{Value::Int64(1), Value::Double(2.5), Value::String("x"),
+                 Value::Null()}));
+  EXPECT_EQ(insert.rows[1],
+            (Row{Value::Int64(-3), Value::Double(4.5), Value::String("y"),
+                 Value::Int64(7)}));
+}
+
+TEST(ParseInsertTest, RejectsDegenerateStatements) {
+  // Zero tuples used to be acked as "0 row(s) inserted".
+  Result<InsertStatement> empty = ParseInsert("INSERT INTO T VALUES");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().message().find("at least one"), std::string::npos);
+  // Trailing garbage after the last tuple used to be silently ignored.
+  EXPECT_FALSE(ParseInsert("INSERT INTO T VALUES (1) garbage").ok());
+  EXPECT_FALSE(ParseInsert("INSERT INTO T VALUES (1), (2) (3)").ok());
+  // Structural errors.
+  EXPECT_FALSE(ParseInsert("INSERT INTO T VALUES (1,").ok());
+  EXPECT_FALSE(ParseInsert("INSERT INTO T VALUES ()").ok());
+  EXPECT_FALSE(ParseInsert("INSERT INTO T VALUES (1), ").ok());
+  EXPECT_FALSE(ParseInsert("INSERT INTO T (1)").ok());
+  EXPECT_FALSE(ParseInsert("INSERT T VALUES (1)").ok());
+  // A bare sign or a sign on a non-number is not a literal.
+  EXPECT_FALSE(ParseInsert("INSERT INTO T VALUES (-)").ok());
+  EXPECT_FALSE(ParseInsert("INSERT INTO T VALUES (-'x')").ok());
+  EXPECT_FALSE(ParseInsert("INSERT INTO T VALUES (A)").ok());
+}
+
 }  // namespace
 }  // namespace aqv

@@ -25,7 +25,9 @@
 #include <gtest/gtest.h>
 
 #include "base/failpoint.h"
+#include "exec/evaluator.h"
 #include "exec/table.h"
+#include "parser/parser.h"
 #include "service/query_service.h"
 #include "tests/test_util.h"
 
@@ -221,12 +223,22 @@ TEST(ServiceChaosStressTest, InjectedFaultsNeverTearStateOrWedgeService) {
     ASSERT_OK(
         service->Execute("CREATE TABLE " + TableName(w) + "(A, B)").status());
   }
+  // PR 5: a materialized view over W0 pulls the write path's maintenance
+  // sites into the chaos run. A maintain.apply fault must fail the INSERT
+  // cleanly with nothing published — the atomicity audit below covers W0
+  // like every other table.
+  ASSERT_OK(service
+                ->Execute("CREATE MATERIALIZED VIEW W0V AS SELECT A_1, "
+                          "SUM(B_1) AS S, COUNT(B_1) AS N FROM W0 "
+                          "GROUPBY A_1")
+                .status());
 
   struct DisarmOnExit {
     ~DisarmOnExit() { FailpointRegistry::Global().ClearAll(); }
   } disarm;
   FailpointRegistry& reg = FailpointRegistry::Global();
   ASSERT_OK(reg.Set("table.cow_copy", "error(15)"));
+  ASSERT_OK(reg.Set("maintain.apply", "error(10)"));
   ASSERT_OK(reg.Set("exec.operator", "error(10)"));
   ASSERT_OK(reg.Set("plan_cache.lookup", "error(20)"));
   ASSERT_OK(reg.Set("plan_cache.insert", "error(20)"));
@@ -324,6 +336,132 @@ TEST(ServiceChaosStressTest, InjectedFaultsNeverTearStateOrWedgeService) {
     if (code == "unavailable") unavailable = count;
   }
   EXPECT_GT(unavailable, 0u) << stats.ToString();
+}
+
+// Write-path freshness under concurrency (PR 5): writer threads INSERT into
+// one shared table with a materialized SUM/COUNT view over it — single-row
+// statements, multi-row statements, and BEGIN WRITE..COMMIT batches — while
+// reader threads pin snapshots and verify, inside every snapshot:
+//
+//   - epoch coupling: VersionOf(T) <= VersionOf(TV) — the batched PutAll
+//     can never publish the base table ahead of its dependent view;
+//   - freshness: the STORED view contents in the snapshot equal the
+//     aggregate recomputed from the snapshot's own base table by a plain
+//     evaluator (no optimizer, no rewriting, no circularity);
+//
+// and, after the dust settles, the live view holds the full aggregate with
+// no REFRESH ever issued.
+TEST(ServiceWriteStressTest, MaintainedViewStaysCoupledToItsBaseTable) {
+  constexpr int kWriteWriters = 3;
+  constexpr int kSnapshotReaders = 3;
+  constexpr int kStatementsPerWriter = 60;  // 5 rows per 3 statements
+
+  auto service = std::make_unique<QueryService>();
+  ASSERT_OK(service->Execute("CREATE TABLE T(A, B)").status());
+  ASSERT_OK(service
+                ->Execute("CREATE MATERIALIZED VIEW TV AS SELECT A_1, "
+                          "SUM(B_1) AS S, COUNT(B_1) AS N FROM T GROUPBY A_1")
+                .status());
+  // The reader's oracle, evaluated directly against each snapshot's base
+  // table (paper notation binds the columns without the catalog).
+  ASSERT_OK_AND_ASSIGN(
+      Query aggregate,
+      ParseQuery("SELECT A1, SUM(B1) AS S, COUNT(B1) AS N FROM T(A1, B1) "
+                 "GROUPBY A1"));
+
+  std::atomic<int> writers_running{kWriteWriters};
+  std::atomic<int> failures{0};
+  std::vector<std::string> errors(kWriteWriters + kSnapshotReaders);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriteWriters + kSnapshotReaders);
+  for (int w = 0; w < kWriteWriters; ++w) {
+    threads.emplace_back([&, w] {
+      auto run = [&](const std::string& stmt) {
+        Result<StatementResult> r = service->Execute(stmt);
+        if (!r.ok()) {
+          errors[w] += "write failed: " + r.status().ToString() + "\n";
+          failures.fetch_add(1);
+        }
+      };
+      for (int i = 0; i < kStatementsPerWriter; ++i) {
+        std::string a = std::to_string(i % 4);
+        std::string b = std::to_string(w * 100000 + i);
+        switch (i % 3) {
+          case 0:
+            run("INSERT INTO T VALUES (" + a + ", " + b + ")");
+            break;
+          case 1:
+            run("INSERT INTO T VALUES (" + a + ", " + b + "), (" +
+                std::to_string((i + 1) % 4) + ", " + b + ")");
+            break;
+          case 2:
+            run("BEGIN WRITE");
+            run("INSERT INTO T VALUES (" + a + ", " + b + ")");
+            run("INSERT INTO T VALUES (" + std::to_string((i + 2) % 4) +
+                ", " + b + ")");
+            run("COMMIT");
+            break;
+        }
+      }
+      writers_running.fetch_sub(1);
+    });
+  }
+  for (int rdr = 0; rdr < kSnapshotReaders; ++rdr) {
+    threads.emplace_back([&, rdr] {
+      auto fail = [&](const std::string& msg) {
+        errors[kWriteWriters + rdr] += msg + "\n";
+        failures.fetch_add(1);
+      };
+      bool final_round = false;
+      while (!final_round) {
+        final_round = writers_running.load() == 0;
+        ServiceSnapshotPtr snap = service->PinSnapshot();
+        if (snap->db.VersionOf("T") > snap->db.VersionOf("TV")) {
+          fail("snapshot holds T at epoch " +
+               std::to_string(snap->db.VersionOf("T")) +
+               " but dependent view TV at older epoch " +
+               std::to_string(snap->db.VersionOf("TV")));
+        }
+        TablePtr stored = snap->db.GetShared("TV");
+        if (stored == nullptr) {
+          fail("snapshot lost the stored view TV");
+          break;
+        }
+        Evaluator eval(&snap->db);
+        Result<Table> want = eval.Execute(aggregate);
+        if (!want.ok()) {
+          fail("snapshot recompute failed: " + want.status().ToString());
+          break;
+        }
+        if (!MultisetEqual(*stored, *want)) {
+          fail("stored view diverged from its snapshot's base table:\n" +
+               DescribeMultisetDifference(*stored, *want));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0) << [&] {
+    std::string all;
+    for (const std::string& e : errors) all += e;
+    return all;
+  }();
+
+  // Final audit, still with no REFRESH: every acked row is aggregated.
+  ServiceSnapshotPtr fin = service->PinSnapshot();
+  Evaluator eval(&fin->db);
+  ASSERT_OK_AND_ASSIGN(Table want, eval.Execute(aggregate));
+  TablePtr stored = fin->db.GetShared("TV");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_TRUE(MultisetEqual(*stored, want))
+      << DescribeMultisetDifference(*stored, want);
+  size_t total = 0;
+  for (const Row& row : want.rows()) total += static_cast<size_t>(
+      row[2].int64());
+  EXPECT_EQ(total, static_cast<size_t>(kWriteWriters * kStatementsPerWriter /
+                                       3 * 5));
+  EXPECT_GE(service->Stats().views_maintained, 1u);
 }
 
 // Deterministic rules of the BEGIN SNAPSHOT / COMMIT statement dialect.

@@ -525,5 +525,171 @@ TEST(ServiceConcurrencyTest, ParallelCacheHitsServeIdenticalRows) {
             static_cast<uint64_t>(kThreads * kRepeats));
 }
 
+// A service with Sales(Shop, Amount) and a maintainable materialized
+// summary over it, for the write-path tests.
+std::unique_ptr<QueryService> MakeSalesService() {
+  auto service = std::make_unique<QueryService>();
+  EXPECT_OK(service->Execute("CREATE TABLE Sales(Shop, Amount)").status());
+  EXPECT_OK(service
+                ->Execute("INSERT INTO Sales VALUES (1, 10), (1, 20), (2, 30)")
+                .status());
+  EXPECT_OK(service
+                ->Execute("CREATE MATERIALIZED VIEW Totals AS "
+                          "SELECT Shop_1, SUM(Amount_1) AS T, "
+                          "COUNT(Amount_1) AS N FROM Sales GROUPBY Shop_1")
+                .status());
+  return service;
+}
+
+int64_t SumForShop(const Table& t, int64_t shop) {
+  for (const Row& row : t.rows()) {
+    if (row[0] == Value::Int64(shop)) return row[1].int64();
+  }
+  return -1;
+}
+
+TEST(ServiceWritePathTest, InsertMaintainsDependentViewsWithoutRefresh) {
+  std::unique_ptr<QueryService> service = MakeSalesService();
+  const std::string q =
+      "SELECT Shop_1, SUM(Amount_1) AS T FROM Sales GROUPBY Shop_1";
+  StatementResult cold = ExecuteOrDie(*service, q);
+  EXPECT_TRUE(cold.used_materialized_view);
+  ASSERT_TRUE(cold.table.has_value());
+  EXPECT_EQ(SumForShop(*cold.table, 1), 30);
+
+  // The regression this PR fixes: INSERT with NO explicit REFRESH. The
+  // rewritten query must see the new rows through the maintained view.
+  EXPECT_OK(
+      service->Execute("INSERT INTO Sales VALUES (1, 5), (3, 7)").status());
+  StatementResult warm = ExecuteOrDie(*service, q);
+  EXPECT_TRUE(warm.used_materialized_view);
+  ASSERT_TRUE(warm.table.has_value());
+  EXPECT_EQ(SumForShop(*warm.table, 1), 35);
+  EXPECT_EQ(SumForShop(*warm.table, 3), 7);
+  EXPECT_GE(service->Stats().views_maintained, 1u);
+  EXPECT_EQ(service->Stats().views_recomputed, 0u);
+  EXPECT_EQ(service->Stats().rows_inserted, 5u);  // 3 seed rows + 2
+}
+
+TEST(ServiceWritePathTest, UnmaintainableViewFallsBackToRecompute) {
+  std::unique_ptr<QueryService> service = MakeSalesService();
+  // AVG views are outside the maintainer's dialect: the write path must
+  // recompute them instead of leaving them stale.
+  ASSERT_OK(service
+                ->Execute("CREATE MATERIALIZED VIEW Averages AS "
+                          "SELECT Shop_1, AVG(Amount_1) AS A FROM Sales "
+                          "GROUPBY Shop_1")
+                .status());
+  EXPECT_OK(service->Execute("INSERT INTO Sales VALUES (2, 50)").status());
+  EXPECT_GE(service->Stats().views_recomputed, 1u);
+  // The stored contents are fresh: read the view's name directly.
+  ASSERT_OK_AND_ASSIGN(
+      Table averages,
+      service->Select("SELECT Shop_1, AVG(Amount_1) AS A FROM Sales "
+                      "GROUPBY Shop_1"));
+  for (const Row& row : averages.rows()) {
+    if (row[0] == Value::Int64(2)) {
+      EXPECT_EQ(row[1], Value::Double(40.0));
+    }
+  }
+}
+
+TEST(ServiceWritePathTest, WritePublishesTablesAndViewsAtOneEpoch) {
+  std::unique_ptr<QueryService> service = MakeSalesService();
+  EXPECT_OK(service->Execute("INSERT INTO Sales VALUES (2, 1)").status());
+  ServiceSnapshotPtr snap = service->PinSnapshot();
+  // The batched COW publication gives base table and dependent view the
+  // SAME version: a snapshot can never hold Sales newer than Totals.
+  EXPECT_EQ(snap->db.VersionOf("Sales"), snap->db.VersionOf("Totals"));
+  EXPECT_OK(service->Execute("INSERT INTO Sales VALUES (2, 2)").status());
+  EXPECT_EQ(snap->db.VersionOf("Sales"), snap->db.VersionOf("Totals"));
+}
+
+TEST(ServiceWritePathTest, BeginWriteBuffersAndCommitsAtomically) {
+  std::unique_ptr<QueryService> service = MakeSalesService();
+  ASSERT_OK_AND_ASSIGN(StatementResult opened,
+                       service->Execute("BEGIN WRITE"));
+  EXPECT_NE(opened.message.find("write batch opened"), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(StatementResult buffered,
+                       service->Execute("INSERT INTO Sales VALUES (1, 100)"));
+  EXPECT_NE(buffered.message.find("buffered"), std::string::npos);
+  EXPECT_OK(
+      service->Execute("INSERT INTO Sales VALUES (4, 1), (4, 2)").status());
+
+  // Reads inside the batch see committed state only.
+  ASSERT_OK_AND_ASSIGN(
+      Table mid, service->Select("SELECT Shop_1, SUM(Amount_1) AS T "
+                                 "FROM Sales GROUPBY Shop_1"));
+  EXPECT_EQ(SumForShop(mid, 1), 30);
+  EXPECT_EQ(SumForShop(mid, 4), -1);
+  // Non-INSERT writes are rejected inside the batch.
+  EXPECT_FALSE(service->Execute("REFRESH Totals").ok());
+  EXPECT_FALSE(service->Execute("CREATE TABLE Other(X)").ok());
+  EXPECT_FALSE(service->Execute("BEGIN SNAPSHOT").ok());
+
+  ASSERT_OK_AND_ASSIGN(StatementResult committed, service->Execute("COMMIT"));
+  EXPECT_NE(committed.message.find("3 row(s) committed"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(
+      Table after, service->Select("SELECT Shop_1, SUM(Amount_1) AS T "
+                                   "FROM Sales GROUPBY Shop_1"));
+  EXPECT_EQ(SumForShop(after, 1), 130);
+  EXPECT_EQ(SumForShop(after, 4), 3);
+  // The batch is gone: a second COMMIT has nothing to commit.
+  EXPECT_FALSE(service->Execute("COMMIT").ok());
+}
+
+TEST(ServiceWritePathTest, RollbackDiscardsAndFailedCommitPublishesNothing) {
+  std::unique_ptr<QueryService> service = MakeSalesService();
+  ASSERT_OK(service->Execute("BEGIN WRITE").status());
+  ASSERT_OK(service->Execute("INSERT INTO Sales VALUES (9, 9)").status());
+  ASSERT_OK_AND_ASSIGN(StatementResult dropped, service->Execute("ROLLBACK"));
+  EXPECT_NE(dropped.message.find("discarded"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(
+      Table t, service->Select("SELECT Shop_1, SUM(Amount_1) AS T "
+                               "FROM Sales GROUPBY Shop_1"));
+  EXPECT_EQ(SumForShop(t, 9), -1);
+  EXPECT_FALSE(service->Execute("ROLLBACK").ok());  // nothing open
+
+  // A batch naming an unknown table fails at COMMIT; nothing lands and the
+  // batch is discarded rather than wedged open.
+  ASSERT_OK(service->Execute("BEGIN WRITE").status());
+  ASSERT_OK(service->Execute("INSERT INTO Sales VALUES (9, 9)").status());
+  ASSERT_OK(service->Execute("INSERT INTO Nope VALUES (1)").status());
+  EXPECT_EQ(service->Execute("COMMIT").status().code(), StatusCode::kNotFound);
+  ASSERT_OK_AND_ASSIGN(
+      Table t2, service->Select("SELECT Shop_1, SUM(Amount_1) AS T "
+                                "FROM Sales GROUPBY Shop_1"));
+  EXPECT_EQ(SumForShop(t2, 9), -1);
+  EXPECT_FALSE(service->Execute("COMMIT").ok());
+}
+
+TEST(ServiceWritePathTest, InsertHardeningRejectsDegenerates) {
+  std::unique_ptr<QueryService> service = MakeSalesService();
+  // Zero tuples and trailing garbage used to be silently accepted.
+  EXPECT_FALSE(service->Execute("INSERT INTO Sales VALUES").ok());
+  EXPECT_FALSE(service->Execute("INSERT INTO Sales VALUES (5, 5) junk").ok());
+  // Arity is validated against the table.
+  EXPECT_FALSE(service->Execute("INSERT INTO Sales VALUES (1)").ok());
+  // Views and unknown tables are not insert targets.
+  EXPECT_FALSE(service->Execute("INSERT INTO Totals VALUES (1, 2, 3)").ok());
+  EXPECT_EQ(service->Execute("INSERT INTO Nope VALUES (1)").status().code(),
+            StatusCode::kNotFound);
+  // Negative literals used to be rejected outright; now they round-trip.
+  ASSERT_OK(service->Execute("INSERT INTO Sales VALUES (5, -7)").status());
+  ASSERT_OK_AND_ASSIGN(
+      Table t, service->Select("SELECT Shop_1, SUM(Amount_1) AS T "
+                               "FROM Sales WHERE Shop_1 > -9 GROUPBY Shop_1"));
+  EXPECT_EQ(SumForShop(t, 5), -7);
+  // Nothing from the failed statements landed.
+  ASSERT_OK_AND_ASSIGN(Table sales, service->Select("SELECT Shop_1, "
+                                                    "COUNT(Amount_1) AS N "
+                                                    "FROM Sales GROUPBY "
+                                                    "Shop_1"));
+  int64_t total = 0;
+  for (const Row& row : sales.rows()) total += row[1].int64();
+  EXPECT_EQ(total, 4);  // 3 seed rows + the one negative insert
+}
+
 }  // namespace
 }  // namespace aqv

@@ -17,15 +17,18 @@
 
 namespace aqv {
 
+// _s is a copy, not a reference: `expr` is often `SomeResult().status()`,
+// whose referent dies with the temporary Result at the end of the
+// declaration — a reference would dangle on the next line.
 #define ASSERT_OK(expr)                                          \
   do {                                                           \
-    const ::aqv::Status& _s = (expr);                            \
+    const ::aqv::Status _s = (expr);                             \
     ASSERT_TRUE(_s.ok()) << "status: " << _s.ToString();         \
   } while (false)
 
 #define EXPECT_OK(expr)                                          \
   do {                                                           \
-    const ::aqv::Status& _s = (expr);                            \
+    const ::aqv::Status _s = (expr);                             \
     EXPECT_TRUE(_s.ok()) << "status: " << _s.ToString();         \
   } while (false)
 
