@@ -1,0 +1,147 @@
+// Experiment E18 — the durable storage subsystem (PR 6). Two questions:
+//
+//   1. What does durability cost at the commit point? The WAL append +
+//      fsync sits immediately before the in-memory PutAll publication,
+//      so the per-commit overhead is the append (cheap) plus the fsync
+//      (the physical floor of durable commit latency).
+//
+//        BM_E18_CommitLatency/storage:0  — in-memory service (no WAL)
+//        BM_E18_CommitLatency/storage:1/fsync:0  — WAL append, no fsync
+//        BM_E18_CommitLatency/storage:1/fsync:1  — full durable commit
+//
+//      items = committed INSERT statements, one row each, maintaining a
+//      dependent SUM view (the realistic write path, not a raw append).
+//
+//   2. How does recovery time scale with the WAL length? Setup builds a
+//      db with a checkpoint and then N un-checkpointed commits; each
+//      iteration constructs a QueryService over those files, which runs
+//      the full recovery path (meta-page pick, checkpoint load, WAL
+//      replay, stale-view recompute). Recovery is read-only, so every
+//      iteration replays the identical N records.
+//
+//        BM_E18_RecoveryTime/wal_commits:N    items = replayed commits
+//
+// Raw output: bench/e18_durability.json (gitignored with the other bench
+// artifacts), e.g.
+//
+//   build/bench/bench_e18_durability --benchmark_format=json
+//       --benchmark_out=bench/e18_durability.json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "service/query_service.h"
+
+namespace aqv {
+namespace {
+
+std::string BenchPath() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  return dir + "/aqv_bench_e18.db";
+}
+
+void RemoveDb(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+std::unique_ptr<QueryService> FreshService(bool durable, bool fsync) {
+  ServiceOptions options;
+  if (durable) {
+    options.storage_path = BenchPath();
+    options.storage_fsync_wal = fsync;
+  }
+  auto service = std::make_unique<QueryService>(options);
+  CheckOrDie(service->storage_status(), "open storage");
+  CheckOrDie(service->Execute("CREATE TABLE Calls(Id, Charge)").status(),
+             "create table");
+  CheckOrDie(service
+                 ->Execute("CREATE MATERIALIZED VIEW Revenue AS "
+                           "SELECT SUM(Charge_1) FROM Calls")
+                 .status(),
+             "create view");
+  return service;
+}
+
+void BM_E18_CommitLatency(benchmark::State& state) {
+  const bool durable = state.range(0) != 0;
+  const bool fsync = state.range(1) != 0;
+  RemoveDb(BenchPath());
+  auto service = FreshService(durable, fsync);
+  int64_t id = 0;
+  for (auto _ : state) {
+    std::string stmt = "INSERT INTO Calls VALUES (" + std::to_string(id) +
+                       ", " + std::to_string(id % 97) + ")";
+    ++id;
+    auto result = service->Execute(stmt);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (durable) {
+    ServiceStats stats = service->Stats();
+    state.counters["wal_bytes_per_commit"] = benchmark::Counter(
+        static_cast<double>(stats.storage_wal_bytes) /
+        static_cast<double>(stats.storage_wal_records > 0
+                                ? stats.storage_wal_records
+                                : 1));
+    state.counters["wal_fsyncs"] =
+        static_cast<double>(stats.storage_wal_fsyncs);
+  }
+  service.reset();
+  RemoveDb(BenchPath());
+}
+BENCHMARK(BM_E18_CommitLatency)
+    ->ArgNames({"storage", "fsync"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_E18_RecoveryTime(benchmark::State& state) {
+  const int64_t wal_commits = state.range(0);
+  RemoveDb(BenchPath());
+  {
+    // fsync off while building the fixture: we only need the bytes on
+    // disk for replay, and the build is not what is being measured.
+    auto service = FreshService(/*durable=*/true, /*fsync=*/false);
+    CheckOrDie(service->Execute("CHECKPOINT").status(), "checkpoint");
+    for (int64_t i = 0; i < wal_commits; ++i) {
+      std::string stmt = "INSERT INTO Calls VALUES (" + std::to_string(i) +
+                         ", " + std::to_string(i % 97) + ")";
+      CheckOrDie(service->Execute(stmt).status(), "fixture insert");
+    }
+  }
+
+  ServiceOptions options;
+  options.storage_path = BenchPath();
+  uint64_t replayed = 0;
+  int64_t recovery_ms = 0;
+  for (auto _ : state) {
+    QueryService service(options);
+    CheckOrDie(service.storage_status(), "recover");
+    ServiceStats stats = service.Stats();
+    replayed = stats.storage_wal_replayed;
+    recovery_ms = stats.storage_recovery_ms;
+    benchmark::DoNotOptimize(replayed);
+  }
+  if (replayed != static_cast<uint64_t>(wal_commits)) {
+    state.SkipWithError("replayed commit count mismatch");
+  }
+  state.SetItemsProcessed(state.iterations() * wal_commits);
+  state.counters["recovery_ms"] = static_cast<double>(recovery_ms);
+  RemoveDb(BenchPath());
+}
+BENCHMARK(BM_E18_RecoveryTime)
+    ->ArgName("wal_commits")
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aqv

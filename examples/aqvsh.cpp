@@ -3,7 +3,10 @@
 // src/service's QueryService: every statement is dispatched through the
 // same thread-safe, plan-caching engine an embedding server would use.
 // Reads statements from stdin (or a script passed as argv[1]); one
-// statement per line, '#' comments.
+// statement per line, '#' comments. With --db FILE the service runs on
+// the durable storage engine: committed INSERTs are WAL-logged, CHECKPOINT
+// persists a consistent image, and a restart recovers tables, views,
+// catalog, and plan cache from FILE.
 //
 //   CREATE TABLE R(A, B) [KEY(A)]
 //   INSERT INTO R VALUES (1, 2), (3, 4)    -- maintains dependent views
@@ -33,6 +36,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "base/strings.h"
 #include "service/query_service.h"
@@ -43,6 +47,14 @@ namespace {
 
 class Shell {
  public:
+  explicit Shell(ServiceOptions options) : service_(std::move(options)) {}
+
+  // True when --db was given but the storage engine failed to open/recover.
+  bool storage_failed() const {
+    return !service_.storage_status().ok();
+  }
+  Status storage_status() const { return service_.storage_status(); }
+
   // Executes one statement; returns false on QUIT.
   bool Execute(const std::string& line) {
     std::string trimmed = Trim(line);
@@ -77,6 +89,8 @@ class Shell {
 
   void Help() {
     std::printf(
+        "usage: aqvsh [--db FILE] [script]\n"
+        "  --db FILE  durable mode: WAL-logged commits, crash recovery on start\n"
         "statements:\n"
         "  CREATE TABLE R(A, B) [KEY(A)]\n"
         "  INSERT INTO R VALUES (1, 'x'), (-2, NULL)  -- maintains dependent views\n"
@@ -89,6 +103,8 @@ class Shell {
         "  LOAD R FROM 'file.csv' | SAVE R TO 'file.csv'\n"
         "  FAILPOINT [LIST] | FAILPOINT <name> <spec> | FAILPOINT CLEAR\n"
         "    spec: off | error[(P[,N])] | delay(U[,P[,N]])  (P=pct, U=usec)\n"
+        "  CHECKPOINT                       -- flush pages + truncate WAL "
+        "(--db only)\n"
         "  STATS | STATS PROM | SLOWLOG | TABLES | VIEWS | HELP | QUIT\n");
   }
 
@@ -98,19 +114,42 @@ class Shell {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ServiceOptions options;
+  std::string script;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--db") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--db requires a file argument\n");
+        return 1;
+      }
+      options.storage_path = argv[++i];
+    } else if (arg.rfind("--db=", 0) == 0) {
+      options.storage_path = arg.substr(5);
+    } else {
+      script = arg;
+    }
+  }
+
   std::istream* in = &std::cin;
   std::ifstream file;
-  bool interactive = argc <= 1;
+  bool interactive = script.empty();
   if (!interactive) {
-    file.open(argv[1]);
+    file.open(script);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", script.c_str());
       return 1;
     }
     in = &file;
   }
 
-  Shell shell;
+  Shell shell(options);
+  if (!options.storage_path.empty() && shell.storage_failed()) {
+    std::fprintf(stderr, "cannot open db %s: %s\n",
+                 options.storage_path.c_str(),
+                 shell.storage_status().ToString().c_str());
+    return 1;
+  }
   std::string line;
   if (interactive) std::printf("aqvsh — type HELP for statements\n");
   while (true) {

@@ -20,3 +20,9 @@ cmake -B "$BUILD_DIR" -S . "$@"
 cmake --build "$BUILD_DIR" -j"$JOBS"
 # shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" ${CTEST_ARGS:-}
+
+# The storage suites write db/WAL files under the system temp dir (and ad-hoc
+# aqvsh --db sessions sometimes leave them in the tree); sweep them so
+# repeated runs always start from fresh databases.
+rm -f /tmp/aqv_*.db /tmp/aqv_*.db.wal /tmp/aqv_bench_e18.db* \
+      ./*.aqvdb ./*.aqvdb.wal 2>/dev/null || true

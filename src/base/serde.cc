@@ -1,0 +1,109 @@
+#include "base/serde.h"
+
+namespace aqv {
+
+void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutDoubleBits(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(out, bits);
+}
+
+void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutVarint64(out, s.size());
+  out->append(s.data(), s.size());
+}
+
+Result<uint32_t> ByteReader::ReadFixed32() {
+  if (remaining() < 4) {
+    return Status::InvalidArgument("serde: truncated fixed32");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadFixed64() {
+  if (remaining() < 8) {
+    return Status::InvalidArgument("serde: truncated fixed64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadVarint64() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (empty()) return Status::InvalidArgument("serde: truncated varint");
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  return Status::InvalidArgument("serde: varint over 64 bits");
+}
+
+Result<double> ByteReader::ReadDoubleBits() {
+  AQV_ASSIGN_OR_RETURN(uint64_t bits, ReadFixed64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string_view> ByteReader::ReadLengthPrefixed() {
+  AQV_ASSIGN_OR_RETURN(uint64_t len, ReadVarint64());
+  return ReadBytes(len);
+}
+
+Result<std::string_view> ByteReader::ReadBytes(size_t n) {
+  if (remaining() < n) {
+    return Status::InvalidArgument("serde: truncated byte range (want " +
+                                   std::to_string(n) + ", have " +
+                                   std::to_string(remaining()) + ")");
+  }
+  std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+uint64_t Checksum64(std::string_view data) {
+  return Checksum64(data.data(), data.size());
+}
+
+uint64_t Checksum64(const char* data, size_t size) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace aqv

@@ -1,0 +1,66 @@
+#ifndef AQV_BASE_SERDE_H_
+#define AQV_BASE_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace aqv {
+
+/// Little-endian binary encoding primitives shared by the durable-storage
+/// formats (slotted page records, the WAL, catalog/plan-cache images). The
+/// writers append to a std::string; the reader walks a string_view with
+/// bounds checks and reports truncation as kInvalidArgument, so a torn or
+/// corrupt byte stream surfaces as a clean Status instead of UB.
+///
+/// Integers use fixed-width little-endian for u32/u64 and LEB128 varints
+/// where sizes dominate (row arities, string lengths); doubles are the raw
+/// IEEE-754 bit pattern. None of the formats are host-endian-dependent on
+/// the platforms this library targets (little-endian Linux/x86/ARM).
+
+void PutFixed32(std::string* out, uint32_t v);
+void PutFixed64(std::string* out, uint64_t v);
+void PutVarint64(std::string* out, uint64_t v);
+void PutDoubleBits(std::string* out, double v);
+/// Varint length prefix + raw bytes.
+void PutLengthPrefixed(std::string* out, std::string_view s);
+
+/// Sequential bounds-checked reader over an immutable byte range. Each Read*
+/// advances the cursor; a short buffer fails with kInvalidArgument and
+/// leaves the cursor unspecified (callers abandon the reader on error).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+  size_t position() const { return pos_; }
+
+  Result<uint32_t> ReadFixed32();
+  Result<uint64_t> ReadFixed64();
+  Result<uint64_t> ReadVarint64();
+  Result<double> ReadDoubleBits();
+  /// Reads a varint length prefix, then that many raw bytes (viewing into
+  /// the underlying buffer — valid only while it lives).
+  Result<std::string_view> ReadLengthPrefixed();
+  /// Reads exactly `n` raw bytes.
+  Result<std::string_view> ReadBytes(size_t n);
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit checksum over a byte range — the integrity check stamped
+/// into page headers and WAL records. Not cryptographic; it exists to catch
+/// torn writes and bit rot, mirroring ir/fingerprint.h's choice of hash.
+uint64_t Checksum64(std::string_view data);
+uint64_t Checksum64(const char* data, size_t size);
+
+}  // namespace aqv
+
+#endif  // AQV_BASE_SERDE_H_

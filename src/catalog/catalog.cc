@@ -100,4 +100,78 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
+namespace {
+
+void PutOrdinals(const std::vector<int>& ordinals, std::string* out) {
+  PutVarint64(out, ordinals.size());
+  for (int o : ordinals) PutVarint64(out, static_cast<uint64_t>(o));
+}
+
+Result<std::vector<int>> ReadOrdinals(ByteReader* reader) {
+  AQV_ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint64());
+  std::vector<int> ordinals;
+  ordinals.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    AQV_ASSIGN_OR_RETURN(uint64_t o, reader->ReadVarint64());
+    ordinals.push_back(static_cast<int>(o));
+  }
+  return ordinals;
+}
+
+}  // namespace
+
+void Catalog::SerializeTo(std::string* out) const {
+  PutFixed64(out, version_);
+  PutVarint64(out, tables_.size());
+  for (const auto& [name, def] : tables_) {
+    PutLengthPrefixed(out, name);
+    PutVarint64(out, def.columns().size());
+    for (const std::string& c : def.columns()) PutLengthPrefixed(out, c);
+    PutVarint64(out, def.keys().size());
+    for (const auto& key : def.keys()) PutOrdinals(key, out);
+    PutVarint64(out, def.fds().size());
+    for (const auto& fd : def.fds()) {
+      PutOrdinals(fd.lhs, out);
+      PutOrdinals(fd.rhs, out);
+    }
+    PutFixed64(out, def.schema_epoch());
+  }
+}
+
+Status Catalog::DeserializeFrom(ByteReader* reader) {
+  std::map<std::string, TableDef> tables;
+  AQV_ASSIGN_OR_RETURN(uint64_t version, reader->ReadFixed64());
+  AQV_ASSIGN_OR_RETURN(uint64_t num_tables, reader->ReadVarint64());
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    AQV_ASSIGN_OR_RETURN(std::string_view name, reader->ReadLengthPrefixed());
+    AQV_ASSIGN_OR_RETURN(uint64_t num_columns, reader->ReadVarint64());
+    std::vector<std::string> columns;
+    columns.reserve(num_columns);
+    for (uint64_t i = 0; i < num_columns; ++i) {
+      AQV_ASSIGN_OR_RETURN(std::string_view c, reader->ReadLengthPrefixed());
+      columns.emplace_back(c);
+    }
+    TableDef def(std::string(name), std::move(columns));
+    // Fields are restored directly: replaying AddKey here would append its
+    // derived key->all-columns FD a second time (it is already in fds_).
+    AQV_ASSIGN_OR_RETURN(uint64_t num_keys, reader->ReadVarint64());
+    for (uint64_t i = 0; i < num_keys; ++i) {
+      AQV_ASSIGN_OR_RETURN(std::vector<int> key, ReadOrdinals(reader));
+      def.keys_.push_back(std::move(key));
+    }
+    AQV_ASSIGN_OR_RETURN(uint64_t num_fds, reader->ReadVarint64());
+    for (uint64_t i = 0; i < num_fds; ++i) {
+      AQV_ASSIGN_OR_RETURN(std::vector<int> lhs, ReadOrdinals(reader));
+      AQV_ASSIGN_OR_RETURN(std::vector<int> rhs, ReadOrdinals(reader));
+      def.fds_.push_back(FunctionalDependency{std::move(lhs), std::move(rhs)});
+    }
+    AQV_ASSIGN_OR_RETURN(uint64_t schema_epoch, reader->ReadFixed64());
+    def.schema_epoch_ = schema_epoch;
+    tables.emplace(def.name(), std::move(def));
+  }
+  tables_ = std::move(tables);
+  version_ = version;
+  return Status::OK();
+}
+
 }  // namespace aqv

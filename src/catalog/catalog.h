@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/serde.h"
 #include "base/status.h"
 
 namespace aqv {
@@ -85,6 +86,17 @@ class Catalog {
   /// caches (src/service) read it to detect DDL cheaply; callers that share
   /// a Catalog across threads must serialize access with their own latch.
   uint64_t version() const { return version_; }
+
+  /// Appends a self-contained byte encoding of the whole catalog — every
+  /// TableDef with its columns, keys, FDs and schema epoch, plus version_ —
+  /// to `*out`. The storage engine packs this into checkpoint pages.
+  void SerializeTo(std::string* out) const;
+
+  /// Reconstructs the catalog serialized by SerializeTo, replacing this
+  /// instance's contents. Keys and FDs are restored verbatim (NOT re-derived
+  /// via AddKey, which would double the key->all-columns FDs on every
+  /// round-trip).
+  Status DeserializeFrom(ByteReader* reader);
 
  private:
   std::map<std::string, TableDef> tables_;

@@ -237,4 +237,73 @@ std::string DescribeMultisetDifference(const Table& a, const Table& b) {
   return "";
 }
 
+namespace {
+
+// Zigzag folds the sign bit into the low bit so small negative ints encode
+// as short varints.
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+void EncodeValue(const Value& value, std::string* out) {
+  out->push_back(static_cast<char>(value.type()));
+  switch (value.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutVarint64(out, ZigzagEncode(value.int64()));
+      break;
+    case ValueType::kDouble:
+      PutDoubleBits(out, value.dbl());
+      break;
+    case ValueType::kString:
+      PutLengthPrefixed(out, value.str());
+      break;
+  }
+}
+
+Result<Value> DecodeValue(ByteReader* reader) {
+  AQV_ASSIGN_OR_RETURN(std::string_view tag, reader->ReadBytes(1));
+  switch (static_cast<ValueType>(tag[0])) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64: {
+      AQV_ASSIGN_OR_RETURN(uint64_t bits, reader->ReadVarint64());
+      return Value::Int64(ZigzagDecode(bits));
+    }
+    case ValueType::kDouble: {
+      AQV_ASSIGN_OR_RETURN(double d, reader->ReadDoubleBits());
+      return Value::Double(d);
+    }
+    case ValueType::kString: {
+      AQV_ASSIGN_OR_RETURN(std::string_view s, reader->ReadLengthPrefixed());
+      return Value::String(std::string(s));
+    }
+  }
+  return Status::InvalidArgument("corrupt value encoding: unknown type tag " +
+                                 std::to_string(static_cast<int>(tag[0])));
+}
+
+void EncodeRow(const Row& row, std::string* out) {
+  PutVarint64(out, row.size());
+  for (const Value& value : row) EncodeValue(value, out);
+}
+
+Result<Row> DecodeRow(ByteReader* reader) {
+  AQV_ASSIGN_OR_RETURN(uint64_t arity, reader->ReadVarint64());
+  Row row;
+  row.reserve(arity);
+  for (uint64_t i = 0; i < arity; ++i) {
+    AQV_ASSIGN_OR_RETURN(Value value, DecodeValue(reader));
+    row.push_back(std::move(value));
+  }
+  return row;
+}
+
 }  // namespace aqv

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/serde.h"
 #include "base/value.h"
 
 namespace aqv {
@@ -132,6 +133,21 @@ bool MultisetEqual(const Table& a, const Table& b);
 /// Human-readable explanation of the first difference found by
 /// MultisetEqual, or "" if equal. Used in test failure messages.
 std::string DescribeMultisetDifference(const Table& a, const Table& b);
+
+/// Appends the wire encoding of `value` to `*out`: a type tag byte followed
+/// by the payload (varint-zigzag for INT64, IEEE bits for DOUBLE,
+/// length-prefixed bytes for STRING, nothing for NULL). The encoding is the
+/// unit the storage layer packs into slotted-page records and WAL deltas.
+void EncodeValue(const Value& value, std::string* out);
+
+/// Decodes one value previously written by EncodeValue.
+Result<Value> DecodeValue(ByteReader* reader);
+
+/// Appends the wire encoding of `row`: varint arity, then each value.
+void EncodeRow(const Row& row, std::string* out);
+
+/// Decodes one row previously written by EncodeRow.
+Result<Row> DecodeRow(ByteReader* reader);
 
 /// MultisetEqual with a relative tolerance on numeric values. Needed when
 /// comparing a query against its rewriting over DOUBLE data: re-associating

@@ -85,4 +85,13 @@ size_t PlanCache::size() const {
   return lru_.size();
 }
 
+std::vector<std::pair<std::string, PlanCache::EntryPtr>> PlanCache::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, EntryPtr>> out;
+  out.reserve(lru_.size());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) out.push_back(*it);
+  return out;
+}
+
 }  // namespace aqv

@@ -69,6 +69,11 @@ class PlanCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
+  /// Every (key, entry) pair, least-recently-used first: re-Inserting them
+  /// in order reproduces the recency order. The storage layer persists this
+  /// across restarts so a recovered service starts with a warm cache.
+  std::vector<std::pair<std::string, EntryPtr>> Snapshot() const;
+
  private:
   using LruList = std::list<std::pair<std::string, EntryPtr>>;  // front = MRU
 

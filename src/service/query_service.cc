@@ -92,6 +92,27 @@ std::string ServiceStats::ToString() const {
   if (!quarantined_views.empty()) {
     out += "quarantined views   " + Join(quarantined_views, ", ") + "\n";
   }
+  if (storage_attached) {
+    char sbuf[512];
+    std::snprintf(
+        sbuf, sizeof(sbuf),
+        "storage pages       %llu read / %llu written\n"
+        "storage wal         %llu bytes / %llu records / %llu fsyncs\n"
+        "storage checkpoints %llu (checkpoint seq %llu, last commit seq "
+        "%llu)\n"
+        "storage recovery    %llu records replayed, %lldms\n",
+        static_cast<unsigned long long>(storage_pages_read),
+        static_cast<unsigned long long>(storage_pages_written),
+        static_cast<unsigned long long>(storage_wal_bytes),
+        static_cast<unsigned long long>(storage_wal_records),
+        static_cast<unsigned long long>(storage_wal_fsyncs),
+        static_cast<unsigned long long>(storage_checkpoints),
+        static_cast<unsigned long long>(storage_checkpoint_seq),
+        static_cast<unsigned long long>(storage_last_commit_seq),
+        static_cast<unsigned long long>(storage_wal_replayed),
+        static_cast<long long>(storage_recovery_ms));
+    out += sbuf;
+  }
   return out;
 }
 
@@ -123,6 +144,112 @@ QueryService::QueryService(ServiceOptions options)
       exec_latency_(metrics_.GetHistogram("service.exec_latency")),
       maintain_latency_(metrics_.GetHistogram("service.maintain_latency")) {
   cache_capacity_gauge_.Set(static_cast<int64_t>(plan_cache_.capacity()));
+  if (!options_.storage_path.empty()) {
+    storage_status_ = AttachStorage();
+    if (!storage_status_.ok()) {
+      // The service still constructs (empty, in-memory) so the caller can
+      // read storage_status(), fix the cause and retry with a fresh
+      // instance; recovery never writes, so retrying is always safe.
+      storage_.reset();
+    }
+  }
+}
+
+Status QueryService::AttachStorage() {
+  StorageOptions sopts;
+  sopts.path = options_.storage_path;
+  sopts.buffer_pool_pages = options_.storage_buffer_pages;
+  sopts.fsync_wal = options_.storage_fsync_wal;
+  AQV_ASSIGN_OR_RETURN(std::unique_ptr<StorageEngine> engine,
+                       StorageEngine::Open(std::move(sopts), &metrics_));
+  RecoveredState& rec = engine->recovered();
+
+  LatchManager::Guard guard = latches_.Ddl();
+  catalog_ = std::move(rec.catalog);
+  views_ = std::move(rec.views);
+  db_ = std::move(rec.db);
+  storage_ = std::move(engine);
+
+  // Recompute every stale view (checkpoint contents predate the replayed
+  // WAL tail, or were never written), upstream-first so a view over another
+  // stale view reads refreshed inputs.
+  std::vector<std::string> pending = rec.stale_views;
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      std::vector<std::string> closure;
+      CollectDependencies({*it}, views_, &closure);
+      bool ready = true;
+      for (const std::string& n : closure) {
+        if (n != *it &&
+            std::find(pending.begin(), pending.end(), n) != pending.end()) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) {
+        ++it;
+        continue;
+      }
+      AQV_RETURN_NOT_OK(RecomputeViewInto(*it, &db_));
+      it = pending.erase(it);
+      progressed = true;
+    }
+    if (!progressed) {
+      return Status::Internal("cyclic stale-view dependencies at recovery");
+    }
+  }
+
+  // Warm the plan cache from the persisted images — but only if the
+  // re-registered schema matches the versions the images were saved under;
+  // any drift (a view that failed to re-parse, a format change) means the
+  // cached plans can no longer be trusted and the cache starts cold.
+  if (rec.plan_catalog_version == catalog_.version() &&
+      rec.plan_views_version == views_.version()) {
+    for (const PlanImage& image : rec.plans) {
+      Result<Query> plan = ParseQuery(image.plan_sql);
+      if (!plan.ok()) continue;  // drop just this image
+      auto entry = std::make_shared<PlanCache::Entry>();
+      entry->plan = *std::move(plan);
+      entry->used_materialized_view = image.used_materialized_view;
+      entry->rewritings_considered = image.rewritings_considered;
+      entry->cost_original = image.cost_original;
+      entry->cost_chosen = image.cost_chosen;
+      entry->dependencies = image.dependencies;
+      plan_cache_.Insert(image.key, std::move(entry));
+    }
+  }
+
+  storage_pages_read_ = &metrics_.GetCounter("storage.pages_read");
+  storage_pages_written_ = &metrics_.GetCounter("storage.pages_written");
+  storage_wal_bytes_ = &metrics_.GetCounter("storage.wal_bytes");
+  storage_wal_records_ = &metrics_.GetCounter("storage.wal_records");
+  storage_wal_fsyncs_ = &metrics_.GetCounter("storage.wal_fsyncs");
+  storage_checkpoints_ = &metrics_.GetCounter("storage.checkpoints");
+  storage_wal_replayed_ = &metrics_.GetCounter("storage.wal_replayed");
+  storage_recovery_ms_ = &metrics_.GetGauge("storage.recovery_ms");
+  return Status::OK();
+}
+
+std::vector<PlanImage> QueryService::CollectPlanImages() const {
+  std::vector<PlanImage> images;
+  for (auto& [key, entry] : plan_cache_.Snapshot()) {
+    PlanImage image;
+    image.key = key;
+    image.plan_sql = ToSql(entry->plan);
+    image.used_materialized_view = entry->used_materialized_view;
+    image.rewritings_considered = entry->rewritings_considered;
+    image.cost_original = entry->cost_original;
+    image.cost_chosen = entry->cost_chosen;
+    image.dependencies = entry->dependencies;
+    images.push_back(std::move(image));
+  }
+  return images;
+}
+
+Status QueryService::CheckpointIfDurable() {
+  if (storage_ == nullptr) return Status::OK();
+  return storage_->Checkpoint(catalog_, views_, db_, CollectPlanImages());
 }
 
 namespace {
@@ -307,7 +434,9 @@ Status QueryService::Bootstrap(Catalog catalog, Database db,
   db_ = std::move(db);
   views_ = std::move(views);
   cache_invalidated_.Increment(plan_cache_.Clear());
-  return Status::OK();
+  // A bootstrap is wholesale DDL: checkpoint it so a crash right after
+  // recovers the installed workload, not the pre-bootstrap file.
+  return CheckpointIfDurable();
 }
 
 ServiceStats QueryService::Stats() const {
@@ -352,6 +481,19 @@ ServiceStats QueryService::Stats() const {
   s.maintain_p50_micros = maintain_latency_.PercentileMicros(0.5);
   s.maintain_p99_micros = maintain_latency_.PercentileMicros(0.99);
   s.maintain_max_micros = maintain_latency_.max_micros();
+  if (storage_ != nullptr) {
+    s.storage_attached = true;
+    s.storage_pages_read = storage_pages_read_->value();
+    s.storage_pages_written = storage_pages_written_->value();
+    s.storage_wal_bytes = storage_wal_bytes_->value();
+    s.storage_wal_records = storage_wal_records_->value();
+    s.storage_wal_fsyncs = storage_wal_fsyncs_->value();
+    s.storage_checkpoints = storage_checkpoints_->value();
+    s.storage_wal_replayed = storage_wal_replayed_->value();
+    s.storage_recovery_ms = storage_recovery_ms_->value();
+    s.storage_last_commit_seq = storage_->last_commit_seq();
+    s.storage_checkpoint_seq = storage_->checkpoint_seq();
+  }
   return s;
 }
 
@@ -516,6 +658,7 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
   if (upper == "ROLLBACK") return HandleRollback();
   if (upper == "TABLES") return HandleListTables();
   if (upper == "VIEWS") return HandleListViews();
+  if (upper == "CHECKPOINT") return HandleCheckpoint();
   // Writes and DDL are rejected while the calling thread has an open
   // snapshot: the pin is read-only by construction.
   bool is_write = StartsWith(upper, "CREATE ") ||
@@ -1111,6 +1254,9 @@ Result<StatementResult> QueryService::HandleCreateTable(
   db_.Put(name, Table(columns));
   // DDL hook: a new table can change any optimizer choice; drop everything.
   cache_invalidated_.Increment(plan_cache_.Clear());
+  // The WAL logs row deltas, not DDL: durability of the new table comes
+  // from checkpointing at the DDL point, under the same exclusive latch.
+  AQV_RETURN_NOT_OK(CheckpointIfDurable());
   StatementResult out;
   out.message = "table " + name + " created\n";
   return out;
@@ -1133,6 +1279,8 @@ Result<StatementResult> QueryService::HandleCreateView(const std::string& stmt,
   } else {
     out.message = "view " + name + " registered (virtual)\n";
   }
+  // View DDL is durable via checkpoint, like CREATE TABLE.
+  AQV_RETURN_NOT_OK(CheckpointIfDurable());
   return out;
 }
 
@@ -1334,6 +1482,16 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
     maintain_latency_.Record(ElapsedMicros(maintain_start));
   }
 
+  // The durability point: the delta is WAL-appended and fsynced BEFORE the
+  // in-memory publication, so a commit the client saw acknowledged always
+  // survives a crash. A commit that fails here publishes nothing — and if
+  // the record still reached disk intact (a crash after the write, before
+  // the ack), recovery replays it atomically; the client simply never
+  // learned its fate, which is the usual commit-ack contract.
+  if (storage_ != nullptr) {
+    AQV_RETURN_NOT_OK(storage_->LogCommit(delta));
+  }
+
   // Publish base tables and views as ONE version swap at a single epoch:
   // snapshot readers see either the whole write or none of it.
   std::vector<std::pair<std::string, TablePtr>> publish;
@@ -1352,6 +1510,25 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
   views_maintained_.Increment(applied.views_maintained);
   views_recomputed_.Increment(applied.views_recomputed);
   return applied;
+}
+
+Result<StatementResult> QueryService::HandleCheckpoint() {
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument(
+        "no durable storage attached (set ServiceOptions::storage_path, or "
+        "start aqvsh with --db FILE)");
+  }
+  // The engine needs a quiesced database: the captured commit sequence must
+  // match the captured data, so no commit may land between them. The
+  // exclusive ddl latch waits out every in-flight statement.
+  LatchManager::Guard guard = latches_.Ddl();
+  AQV_RETURN_NOT_OK(CheckpointIfDurable());
+  StatementResult out;
+  out.message = "checkpoint complete at commit seq " +
+                std::to_string(storage_->checkpoint_seq()) + " (" +
+                std::to_string(db_.TableNames().size()) +
+                " stored table(s), wal truncated)\n";
+  return out;
 }
 
 Result<size_t> QueryService::RefreshLatched(const std::string& name) {
@@ -1416,10 +1593,24 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
       }
       latches_.AcquireWrite(guard, lwrites, lreads);
     }
+    // WAL-log the replacement as delete-all + insert-all: replay applies
+    // the inserts then removes one occurrence per old row, landing exactly
+    // on the loaded contents. This keeps LOAD-over-existing-table durable
+    // without a checkpoint (which would need full quiescence, and this
+    // path holds only the table's own stripes).
+    Delta replacement;
+    if (storage_ != nullptr) {
+      AQV_ASSIGN_OR_RETURN(const Table* current, db_.Get(name));
+      replacement.deletes[name] = current->rows();
+      replacement.inserts[name] = loaded.rows();
+    }
     Database staging = db_.Snapshot();
     staging.Put(name, std::move(loaded));
     for (const DependentView& d : dependents) {
       AQV_RETURN_NOT_OK(RecomputeViewInto(d.name, &staging));
+    }
+    if (storage_ != nullptr) {
+      AQV_RETURN_NOT_OK(storage_->LogCommit(replacement));
     }
     std::vector<std::pair<std::string, TablePtr>> publish;
     publish.emplace_back(name, staging.GetShared(name));
@@ -1460,6 +1651,8 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
     out.message += std::to_string(loaded_rows) + " row(s) loaded into " +
                    name + "\n";
     db_.Put(name, std::move(loaded));
+    // New table + its contents: DDL, so durability comes from a checkpoint.
+    AQV_RETURN_NOT_OK(CheckpointIfDurable());
     return out;
   }
   AQV_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(name));

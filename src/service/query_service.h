@@ -24,6 +24,7 @@
 #include "rewrite/rewriter.h"
 #include "service/latch_manager.h"
 #include "service/plan_cache.h"
+#include "storage/storage_engine.h"
 
 namespace aqv {
 
@@ -77,6 +78,20 @@ struct ServiceOptions {
   /// unrewritten query and record the event instead of failing the
   /// statement.
   bool degrade_on_failure = true;
+
+  // ---- Durable storage (see README "Durability contract").
+  /// Path of the database file; empty (the default) keeps the service fully
+  /// in-memory — no WAL, no checkpoints, no recovery. When set, the service
+  /// opens (or creates) the file at construction, recovers the last
+  /// consistent commit, and from then on every committed write epoch is
+  /// WAL-logged before publication. The WAL lives at storage_path + ".wal".
+  std::string storage_path;
+  /// Buffer-pool capacity for checkpoint/recovery page I/O, in 8 KiB pages.
+  size_t storage_buffer_pages = 64;
+  /// fsync the WAL at every commit (the durability guarantee). Turning it
+  /// off trades the last few commits for commit latency; the E18 bench
+  /// quantifies the gap.
+  bool storage_fsync_wal = true;
 
   RewriteOptions rewrite;
   EvalOptions eval;
@@ -147,6 +162,19 @@ struct ServiceStats {
   double maintain_p50_micros = 0;  // per-statement view-maintenance wall time
   double maintain_p99_micros = 0;
   uint64_t maintain_max_micros = 0;
+
+  // ---- Durable storage (zero / false when no storage_path is configured).
+  bool storage_attached = false;
+  uint64_t storage_pages_read = 0;
+  uint64_t storage_pages_written = 0;
+  uint64_t storage_wal_bytes = 0;     // bytes appended since start
+  uint64_t storage_wal_records = 0;   // commits logged since start
+  uint64_t storage_wal_fsyncs = 0;
+  uint64_t storage_checkpoints = 0;
+  uint64_t storage_wal_replayed = 0;  // commits replayed by recovery
+  int64_t storage_recovery_ms = 0;    // wall time of the last recovery
+  uint64_t storage_last_commit_seq = 0;
+  uint64_t storage_checkpoint_seq = 0;
 
   std::string ToString() const;
 };
@@ -243,6 +271,17 @@ class QueryService {
   void ResetStats();
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// Outcome of opening ServiceOptions::storage_path at construction: OK
+  /// when storage is attached and recovery succeeded (or no path was
+  /// configured). On failure the service still constructs — in-memory and
+  /// empty — so the caller can inspect this, fix the cause (e.g. disarm an
+  /// injected recovery fault) and build a fresh service to retry; recovery
+  /// itself never writes, so retrying is always safe.
+  Status storage_status() const { return storage_status_; }
+
+  /// True when a durable storage engine is attached and healthy.
+  bool storage_attached() const { return storage_ != nullptr; }
+
   /// Prometheus text exposition of the service metrics (also available as
   /// the STATS PROM statement). Point-in-time gauges (plan-cache size /
   /// capacity) are refreshed on each call.
@@ -272,6 +311,26 @@ class QueryService {
   // dependent materialized view) exclusive.
   Result<StatementResult> HandleInsert(const std::string& stmt);
   Result<StatementResult> HandleRefresh(const std::string& name);
+
+  /// CHECKPOINT: flushes a full shadow-paged checkpoint and truncates the
+  /// WAL, under the exclusive ddl latch (the engine requires a quiesced
+  /// database so the captured commit sequence matches the captured data).
+  Result<StatementResult> HandleCheckpoint();
+
+  /// Opens ServiceOptions::storage_path and installs the recovered state:
+  /// catalog, views, base tables, surviving view contents (stale ones
+  /// recomputed upstream-first), and the persisted plan cache when the
+  /// schema versions still match. Called from the constructor only.
+  Status AttachStorage();
+
+  /// Auto-checkpoint after a schema change (storage attached only): the WAL
+  /// logs row deltas, not DDL, so durability of CREATE TABLE / CREATE VIEW /
+  /// LOAD-new-table / Bootstrap comes from checkpointing at the DDL point.
+  /// Caller must hold the exclusive ddl latch.
+  Status CheckpointIfDurable();
+
+  /// The plan cache as storage images (LRU first; see PlanCache::Snapshot).
+  std::vector<PlanImage> CollectPlanImages() const;
 
   /// What one ApplyWriteDelta call changed, for acks and metrics.
   struct WriteApplied {
@@ -381,6 +440,13 @@ class QueryService {
 
   PlanCache plan_cache_;
 
+  /// Durable storage engine (null when ServiceOptions::storage_path is
+  /// empty or opening it failed; see storage_status()). The engine carries
+  /// its own mutex — LogCommit from disjoint-table writers is ordered
+  /// there, under whatever stripes each writer holds.
+  std::unique_ptr<StorageEngine> storage_;
+  Status storage_status_;
+
   /// BEGIN SNAPSHOT bookkeeping: which threads have a pinned snapshot open.
   /// Entries are erased on COMMIT; a thread that exits without COMMIT leaks
   /// its (cheap, storage-sharing) pin until the service dies.
@@ -437,6 +503,17 @@ class QueryService {
   LatencyHistogram& optimize_latency_;
   LatencyHistogram& exec_latency_;
   LatencyHistogram& maintain_latency_;
+
+  /// Storage metric handles, valid only while storage_ is set (they live in
+  /// metrics_ and are shared with the engine, which bumps them).
+  Counter* storage_pages_read_ = nullptr;
+  Counter* storage_pages_written_ = nullptr;
+  Counter* storage_wal_bytes_ = nullptr;
+  Counter* storage_wal_records_ = nullptr;
+  Counter* storage_wal_fsyncs_ = nullptr;
+  Counter* storage_checkpoints_ = nullptr;
+  Counter* storage_wal_replayed_ = nullptr;
+  Gauge* storage_recovery_ms_ = nullptr;
 };
 
 }  // namespace aqv

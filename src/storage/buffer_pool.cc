@@ -1,0 +1,146 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+namespace aqv {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(std::max<size_t>(capacity, 2)) {
+  frames_.reserve(capacity_);
+}
+
+void BufferPool::Touch(size_t frame_index) {
+  auto it = lru_pos_.find(frame_index);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_front(frame_index);
+  lru_pos_[frame_index] = lru_.begin();
+}
+
+Status BufferPool::FlushFrame(Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  frame->page.UpdateChecksum();
+  AQV_RETURN_NOT_OK(disk_->WritePage(frame->page_id, frame->page));
+  frame->dirty = false;
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::VictimFrame() {
+  if (frames_.size() < capacity_) {
+    frames_.push_back(std::make_unique<Frame>());
+    return frames_.size() - 1;
+  }
+  // Walk from least- to most-recently-used looking for an unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    Frame* frame = frames_[*it].get();
+    if (frame->pins > 0) continue;
+    AQV_RETURN_NOT_OK(FlushFrame(frame));
+    page_to_frame_.erase(frame->page_id);
+    frame->in_use = false;
+    ++evictions_;
+    return *it;
+  }
+  return Status::ResourceExhausted(
+      "buffer pool: all " + std::to_string(capacity_) + " frames pinned");
+}
+
+Result<Page*> BufferPool::FetchPage(uint32_t page_id) {
+  auto it = page_to_frame_.find(page_id);
+  if (it != page_to_frame_.end()) {
+    ++hits_;
+    Frame* frame = frames_[it->second].get();
+    ++frame->pins;
+    Touch(it->second);
+    return &frame->page;
+  }
+  ++misses_;
+  AQV_ASSIGN_OR_RETURN(size_t index, VictimFrame());
+  Frame* frame = frames_[index].get();
+  AQV_RETURN_NOT_OK(disk_->ReadPage(page_id, &frame->page));
+  frame->page_id = page_id;
+  frame->pins = 1;
+  frame->dirty = false;
+  frame->in_use = true;
+  page_to_frame_[page_id] = index;
+  Touch(index);
+  return &frame->page;
+}
+
+Result<Page*> BufferPool::NewPage(uint32_t page_id) {
+  auto it = page_to_frame_.find(page_id);
+  if (it != page_to_frame_.end()) {
+    // Re-initializing a cached page id (shadow reuse across checkpoints).
+    Frame* frame = frames_[it->second].get();
+    if (frame->pins > 0) {
+      return Status::Internal("NewPage over pinned page " +
+                              std::to_string(page_id));
+    }
+    frame->page.Init(page_id);
+    frame->pins = 1;
+    frame->dirty = true;
+    Touch(it->second);
+    return &frame->page;
+  }
+  AQV_ASSIGN_OR_RETURN(size_t index, VictimFrame());
+  Frame* frame = frames_[index].get();
+  frame->page.Init(page_id);
+  frame->page_id = page_id;
+  frame->pins = 1;
+  frame->dirty = true;
+  frame->in_use = true;
+  page_to_frame_[page_id] = index;
+  Touch(index);
+  return &frame->page;
+}
+
+void BufferPool::Unpin(uint32_t page_id, bool dirty) {
+  auto it = page_to_frame_.find(page_id);
+  if (it == page_to_frame_.end()) return;
+  Frame* frame = frames_[it->second].get();
+  if (frame->pins > 0) --frame->pins;
+  frame->dirty = frame->dirty || dirty;
+}
+
+Status BufferPool::FlushPage(uint32_t page_id) {
+  auto it = page_to_frame_.find(page_id);
+  if (it == page_to_frame_.end()) return Status::OK();
+  return FlushFrame(frames_[it->second].get());
+}
+
+Status BufferPool::FlushAll() {
+  // Deterministic page-id order, so a kill between two flushes is
+  // reproducible from the failpoint seed.
+  std::vector<std::pair<uint32_t, size_t>> dirty;
+  for (const auto& [page_id, index] : page_to_frame_) {
+    if (frames_[index]->dirty) dirty.emplace_back(page_id, index);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (const auto& [page_id, index] : dirty) {
+    (void)page_id;
+    AQV_RETURN_NOT_OK(FlushFrame(frames_[index].get()));
+  }
+  return Status::OK();
+}
+
+void BufferPool::Reset() {
+  for (auto& frame : frames_) {
+    if (frame->pins == 0) {
+      frame->in_use = false;
+      frame->dirty = false;
+    }
+  }
+  std::vector<uint32_t> drop;
+  for (const auto& [page_id, index] : page_to_frame_) {
+    if (!frames_[index]->in_use) drop.push_back(page_id);
+  }
+  for (uint32_t page_id : drop) {
+    auto it = page_to_frame_.find(page_id);
+    auto pos = lru_pos_.find(it->second);
+    if (pos != lru_pos_.end()) {
+      lru_.erase(pos->second);
+      lru_pos_.erase(pos);
+    }
+    page_to_frame_.erase(it);
+  }
+}
+
+}  // namespace aqv

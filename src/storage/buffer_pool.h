@@ -1,0 +1,90 @@
+#ifndef AQV_STORAGE_BUFFER_POOL_H_
+#define AQV_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace aqv {
+
+/// A fixed-capacity cache of pages between the storage engine and the disk
+/// manager, with pin/unpin reference counting, dirty tracking and LRU
+/// replacement. Checkpoints stream table rows through it (NewPage →
+/// InsertRecord → Unpin(dirty) → FlushAll) so writing a database larger
+/// than the pool works in bounded memory; recovery reads table pages back
+/// through FetchPage with the same bound.
+///
+/// Pinned pages are never evicted: a FetchPage/NewPage that finds every
+/// frame pinned fails with kResourceExhausted rather than evicting a page
+/// someone still points at. Eviction of a dirty frame writes it out first
+/// (checksum stamped), so no acknowledged record is ever silently dropped.
+///
+/// Thread-compatibility: the owning engine serializes access (checkpoint
+/// and recovery run under the engine mutex), so the pool itself is
+/// lock-free-by-exclusion rather than internally synchronized.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  /// Pins and returns the page at `page_id`, reading it from disk on a
+  /// miss. The pointer stays valid until the matching Unpin.
+  Result<Page*> FetchPage(uint32_t page_id);
+
+  /// Pins and returns a freshly initialized (empty) page for `page_id`
+  /// without reading disk; the frame starts dirty.
+  Result<Page*> NewPage(uint32_t page_id);
+
+  /// Releases one pin; `dirty` marks the frame as needing a flush.
+  void Unpin(uint32_t page_id, bool dirty);
+
+  /// Writes the frame for `page_id` if dirty (checksum stamped first).
+  Status FlushPage(uint32_t page_id);
+
+  /// Writes every dirty frame. Does NOT fsync — the engine calls
+  /// DiskManager::Sync() at its durability barriers.
+  Status FlushAll();
+
+  /// Drops every (non-pinned) frame without writing; recovery uses this to
+  /// forget pages of an aborted load. Dirty frames are discarded.
+  void Reset();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Frame {
+    Page page;
+    uint32_t page_id = 0;
+    int pins = 0;
+    bool dirty = false;
+    bool in_use = false;
+  };
+
+  /// Frees an unpinned frame (flushing it if dirty) and returns its index,
+  /// or kResourceExhausted when every frame is pinned.
+  Result<size_t> VictimFrame();
+  Status FlushFrame(Frame* frame);
+  void Touch(size_t frame_index);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unordered_map<uint32_t, size_t> page_to_frame_;
+  std::list<size_t> lru_;  // front = most recently used
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_STORAGE_BUFFER_POOL_H_

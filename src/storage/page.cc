@@ -1,0 +1,100 @@
+#include "storage/page.h"
+
+#include "base/serde.h"
+
+namespace aqv {
+
+uint16_t Page::GetU16(size_t off) const {
+  return static_cast<uint16_t>(
+      static_cast<unsigned char>(data_[off]) |
+      (static_cast<unsigned char>(data_[off + 1]) << 8));
+}
+
+uint32_t Page::GetU32(size_t off) const {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t Page::GetU64(size_t off) const {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void Page::PutU16(size_t off, uint16_t v) {
+  data_[off] = static_cast<char>(v & 0xff);
+  data_[off + 1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+void Page::PutU32(size_t off, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    data_[off + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void Page::PutU64(size_t off, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    data_[off + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void Page::Init(uint32_t page_id) {
+  std::memset(data_, 0, kPageSize);
+  PutU32(8, page_id);
+  PutU16(12, 0);
+  PutU16(14, static_cast<uint16_t>(kPageSize));
+}
+
+size_t Page::FreeSpace() const {
+  size_t slot_top = kHeaderSize + slot_count() * kSlotSize;
+  size_t start = record_start();
+  return start > slot_top ? start - slot_top : 0;
+}
+
+std::optional<uint16_t> Page::InsertRecord(std::string_view record) {
+  if (record.size() > kMaxRecordSize) return std::nullopt;
+  if (record.size() + kSlotSize > FreeSpace()) return std::nullopt;
+  uint16_t slot = slot_count();
+  uint16_t off = static_cast<uint16_t>(record_start() - record.size());
+  std::memcpy(data_ + off, record.data(), record.size());
+  size_t slot_off = kHeaderSize + slot * kSlotSize;
+  PutU16(slot_off, off);
+  PutU16(slot_off + 2, static_cast<uint16_t>(record.size()));
+  PutU16(12, static_cast<uint16_t>(slot + 1));
+  PutU16(14, off);
+  return slot;
+}
+
+Result<std::string_view> Page::GetRecord(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::InvalidArgument(
+        "page " + std::to_string(page_id()) + ": slot " +
+        std::to_string(slot) + " out of range (" +
+        std::to_string(slot_count()) + " slots)");
+  }
+  size_t slot_off = kHeaderSize + slot * kSlotSize;
+  uint16_t off = GetU16(slot_off);
+  uint16_t len = GetU16(slot_off + 2);
+  if (off < kHeaderSize || static_cast<size_t>(off) + len > kPageSize) {
+    return Status::InvalidArgument("page " + std::to_string(page_id()) +
+                                   ": corrupt slot " + std::to_string(slot));
+  }
+  return std::string_view(data_ + off, len);
+}
+
+void Page::UpdateChecksum() {
+  PutU64(0, Checksum64(data_ + 8, kPageSize - 8));
+}
+
+bool Page::VerifyChecksum() const {
+  return GetU64(0) == Checksum64(data_ + 8, kPageSize - 8);
+}
+
+}  // namespace aqv

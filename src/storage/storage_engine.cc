@@ -1,0 +1,607 @@
+#include "storage/storage_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "base/failpoint.h"
+#include "base/serde.h"
+#include "base/trace.h"
+#include "ir/printer.h"
+#include "parser/parser.h"
+
+namespace aqv {
+
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x4d565141;  // "AQVM"
+constexpr uint32_t kDirMagic = 0x44565141;   // "AQVD"
+constexpr uint32_t kFormatVersion = 1;
+
+using Clock = std::chrono::steady_clock;
+
+/// Parsed contents of a meta-page record.
+struct MetaRecord {
+  uint64_t generation = 0;
+  uint64_t commit_seq = 0;
+  uint64_t blob_size = 0;
+  std::vector<uint32_t> directory_pages;
+};
+
+void EncodeMeta(const MetaRecord& meta, std::string* out) {
+  PutFixed32(out, kMetaMagic);
+  PutFixed32(out, kFormatVersion);
+  PutFixed64(out, meta.generation);
+  PutFixed64(out, meta.commit_seq);
+  PutFixed64(out, meta.blob_size);
+  PutVarint64(out, meta.directory_pages.size());
+  for (uint32_t id : meta.directory_pages) PutFixed32(out, id);
+}
+
+Result<MetaRecord> DecodeMeta(std::string_view record) {
+  ByteReader reader(record);
+  AQV_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadFixed32());
+  if (magic != kMetaMagic) {
+    return Status::InvalidArgument("meta page has wrong magic");
+  }
+  AQV_ASSIGN_OR_RETURN(uint32_t format, reader.ReadFixed32());
+  if (format != kFormatVersion) {
+    return Status::Unsupported("db file format " + std::to_string(format) +
+                               " is newer than this binary");
+  }
+  MetaRecord meta;
+  AQV_ASSIGN_OR_RETURN(meta.generation, reader.ReadFixed64());
+  AQV_ASSIGN_OR_RETURN(meta.commit_seq, reader.ReadFixed64());
+  AQV_ASSIGN_OR_RETURN(meta.blob_size, reader.ReadFixed64());
+  AQV_ASSIGN_OR_RETURN(uint64_t pages, reader.ReadVarint64());
+  meta.directory_pages.reserve(pages);
+  for (uint64_t i = 0; i < pages; ++i) {
+    AQV_ASSIGN_OR_RETURN(uint32_t id, reader.ReadFixed32());
+    meta.directory_pages.push_back(id);
+  }
+  return meta;
+}
+
+/// One stored table in the directory: schema plus where its rows live.
+struct TableEntry {
+  std::string name;
+  std::vector<std::string> columns;
+  uint64_t row_count = 0;
+  std::vector<uint32_t> pages;
+};
+
+/// Base tables a view reads, transitively through other views.
+std::set<std::string> ViewClosure(const ViewRegistry& views,
+                                  const std::string& name) {
+  std::set<std::string> closure;
+  std::vector<std::string> stack = {name};
+  while (!stack.empty()) {
+    std::string current = std::move(stack.back());
+    stack.pop_back();
+    Result<const ViewDef*> def = views.Get(current);
+    if (!def.ok()) continue;
+    for (const TableRef& ref : (*def)->query.from) {
+      if (!closure.insert(ref.table).second) continue;
+      if (views.Has(ref.table)) stack.push_back(ref.table);
+    }
+  }
+  return closure;
+}
+
+}  // namespace
+
+void EncodeDelta(const Delta& delta, std::string* out) {
+  auto encode_side =
+      [out](const std::map<std::string, std::vector<Row>>& side) {
+        PutVarint64(out, side.size());
+        for (const auto& [table, rows] : side) {
+          PutLengthPrefixed(out, table);
+          PutVarint64(out, rows.size());
+          for (const Row& row : rows) EncodeRow(row, out);
+        }
+      };
+  encode_side(delta.inserts);
+  encode_side(delta.deletes);
+}
+
+Result<Delta> DecodeDelta(ByteReader* reader) {
+  Delta delta;
+  auto decode_side =
+      [reader](std::map<std::string, std::vector<Row>>* side) -> Status {
+    AQV_ASSIGN_OR_RETURN(uint64_t tables, reader->ReadVarint64());
+    for (uint64_t t = 0; t < tables; ++t) {
+      AQV_ASSIGN_OR_RETURN(std::string_view name,
+                           reader->ReadLengthPrefixed());
+      AQV_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarint64());
+      std::vector<Row>& rows = (*side)[std::string(name)];
+      rows.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        AQV_ASSIGN_OR_RETURN(Row row, DecodeRow(reader));
+        rows.push_back(std::move(row));
+      }
+    }
+    return Status::OK();
+  };
+  AQV_RETURN_NOT_OK(decode_side(&delta.inserts));
+  AQV_RETURN_NOT_OK(decode_side(&delta.deletes));
+  return delta;
+}
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    StorageOptions options, MetricsRegistry* metrics) {
+  auto engine =
+      std::unique_ptr<StorageEngine>(new StorageEngine(std::move(options)));
+  AQV_ASSIGN_OR_RETURN(engine->disk_, DiskManager::Open(engine->options_.path));
+  engine->pool_ = std::make_unique<BufferPool>(
+      engine->disk_.get(), engine->options_.buffer_pool_pages);
+  if (metrics != nullptr) {
+    engine->disk_->SetMetrics(&metrics->GetCounter("storage.pages_read"),
+                              &metrics->GetCounter("storage.pages_written"));
+    engine->recoveries_ = &metrics->GetCounter("storage.recoveries");
+    engine->checkpoints_ = &metrics->GetCounter("storage.checkpoints");
+    engine->wal_replayed_ = &metrics->GetCounter("storage.wal_replayed");
+    engine->recovery_ms_ = &metrics->GetGauge("storage.recovery_ms");
+  }
+  AQV_RETURN_NOT_OK(engine->Recover(metrics));
+  return engine;
+}
+
+Status StorageEngine::Recover(MetricsRegistry* metrics) {
+  TraceSpan span("storage.recovery");
+  Clock::time_point start = Clock::now();
+
+  // Pick the live checkpoint: of the two meta pages, the checksummed,
+  // well-formed record with the highest generation wins. A fresh file (or
+  // one whose first checkpoint died mid-write) has none — empty database.
+  std::optional<MetaRecord> live;
+  for (uint32_t meta_id = 0; meta_id <= 1; ++meta_id) {
+    if (meta_id >= disk_->page_count()) continue;
+    Page page;
+    if (!disk_->ReadPage(meta_id, &page).ok()) continue;
+    if (!page.VerifyChecksum() || page.slot_count() < 1) continue;
+    Result<std::string_view> record = page.GetRecord(0);
+    if (!record.ok()) continue;
+    Result<MetaRecord> meta = DecodeMeta(*record);
+    if (!meta.ok() || meta->generation == 0) continue;
+    if (!live.has_value() || meta->generation > live->generation) {
+      live = *std::move(meta);
+    }
+  }
+
+  if (live.has_value()) {
+    generation_ = live->generation;
+    checkpoint_seq_ = live->commit_seq;
+    last_seq_ = live->commit_seq;
+    recovered_.from_checkpoint = true;
+
+    // Reassemble the directory blob from its page chain.
+    std::string blob;
+    blob.reserve(live->blob_size);
+    for (uint32_t page_id : live->directory_pages) {
+      AQV_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+      if (!page->VerifyChecksum()) {
+        pool_->Unpin(page_id, false);
+        return Status::Unavailable("directory page " +
+                                   std::to_string(page_id) +
+                                   " failed its checksum");
+      }
+      Result<std::string_view> chunk = page->GetRecord(0);
+      if (!chunk.ok()) {
+        pool_->Unpin(page_id, false);
+        return chunk.status();
+      }
+      blob.append(chunk->data(), chunk->size());
+      pool_->Unpin(page_id, false);
+    }
+    if (blob.size() != live->blob_size) {
+      return Status::Unavailable("directory blob truncated: expected " +
+                                 std::to_string(live->blob_size) + " bytes, " +
+                                 "got " + std::to_string(blob.size()));
+    }
+    live_pages_.insert(live->directory_pages.begin(),
+                       live->directory_pages.end());
+    AQV_RETURN_NOT_OK(LoadCheckpoint(blob));
+  }
+
+  AQV_RETURN_NOT_OK(ReplayWal());
+
+  // Open the writer last: ReplayWal measured the clean prefix, and opening
+  // with it trims any torn tail before the first new append.
+  AQV_ASSIGN_OR_RETURN(
+      wal_, LogWriter::Open(options_.path + ".wal", options_.fsync_wal,
+                            wal_valid_prefix_));
+  if (metrics != nullptr) {
+    wal_->SetMetrics(&metrics->GetCounter("storage.wal_bytes"),
+                     &metrics->GetCounter("storage.wal_fsyncs"),
+                     &metrics->GetCounter("storage.wal_records"));
+  }
+
+  recovered_.last_commit_seq = last_seq_;
+  uint64_t elapsed_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start)
+          .count());
+  if (recovery_ms_ != nullptr) {
+    recovery_ms_->Set(static_cast<int64_t>(elapsed_ms));
+  }
+  if (recoveries_ != nullptr) recoveries_->Increment();
+  if (span.active()) {
+    span.AddAttr("replayed_commits", recovered_.replayed_commits);
+    span.AddAttr("stale_views",
+                 static_cast<uint64_t>(recovered_.stale_views.size()));
+    span.AddAttr("from_checkpoint",
+                 recovered_.from_checkpoint ? "true" : "false");
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::LoadCheckpoint(const std::string& blob) {
+  ByteReader reader(blob);
+  AQV_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadFixed32());
+  if (magic != kDirMagic) {
+    return Status::Unavailable("directory blob has wrong magic");
+  }
+
+  AQV_ASSIGN_OR_RETURN(std::string_view catalog_image,
+                       reader.ReadLengthPrefixed());
+  ByteReader catalog_reader(catalog_image);
+  AQV_RETURN_NOT_OK(recovered_.catalog.DeserializeFrom(&catalog_reader));
+
+  // Views travel as their CREATE VIEW SQL; the printed form names every
+  // occurrence column explicitly, so re-parsing needs no catalog.
+  AQV_ASSIGN_OR_RETURN(uint64_t num_views, reader.ReadVarint64());
+  for (uint64_t i = 0; i < num_views; ++i) {
+    AQV_ASSIGN_OR_RETURN(std::string_view sql, reader.ReadLengthPrefixed());
+    AQV_ASSIGN_OR_RETURN(ViewDef view, ParseView(sql));
+    AQV_RETURN_NOT_OK(recovered_.views.Register(std::move(view)));
+  }
+
+  AQV_ASSIGN_OR_RETURN(recovered_.plan_catalog_version, reader.ReadFixed64());
+  AQV_ASSIGN_OR_RETURN(recovered_.plan_views_version, reader.ReadFixed64());
+  AQV_ASSIGN_OR_RETURN(uint64_t num_plans, reader.ReadVarint64());
+  for (uint64_t i = 0; i < num_plans; ++i) {
+    PlanImage plan;
+    AQV_ASSIGN_OR_RETURN(std::string_view key, reader.ReadLengthPrefixed());
+    plan.key.assign(key);
+    AQV_ASSIGN_OR_RETURN(std::string_view sql, reader.ReadLengthPrefixed());
+    plan.plan_sql.assign(sql);
+    AQV_ASSIGN_OR_RETURN(std::string_view flags, reader.ReadBytes(1));
+    plan.used_materialized_view = flags[0] != 0;
+    AQV_ASSIGN_OR_RETURN(uint64_t considered, reader.ReadVarint64());
+    plan.rewritings_considered = static_cast<int>(considered);
+    AQV_ASSIGN_OR_RETURN(plan.cost_original, reader.ReadDoubleBits());
+    AQV_ASSIGN_OR_RETURN(plan.cost_chosen, reader.ReadDoubleBits());
+    AQV_ASSIGN_OR_RETURN(uint64_t num_deps, reader.ReadVarint64());
+    plan.dependencies.reserve(num_deps);
+    for (uint64_t d = 0; d < num_deps; ++d) {
+      AQV_ASSIGN_OR_RETURN(std::string_view dep, reader.ReadLengthPrefixed());
+      plan.dependencies.emplace_back(dep);
+    }
+    recovered_.plans.push_back(std::move(plan));
+  }
+
+  AQV_ASSIGN_OR_RETURN(uint64_t num_tables, reader.ReadVarint64());
+  std::vector<TableEntry> entries;
+  entries.reserve(num_tables);
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    TableEntry entry;
+    AQV_ASSIGN_OR_RETURN(std::string_view name, reader.ReadLengthPrefixed());
+    entry.name.assign(name);
+    AQV_ASSIGN_OR_RETURN(uint64_t num_columns, reader.ReadVarint64());
+    entry.columns.reserve(num_columns);
+    for (uint64_t c = 0; c < num_columns; ++c) {
+      AQV_ASSIGN_OR_RETURN(std::string_view column,
+                           reader.ReadLengthPrefixed());
+      entry.columns.emplace_back(column);
+    }
+    AQV_ASSIGN_OR_RETURN(entry.row_count, reader.ReadVarint64());
+    AQV_ASSIGN_OR_RETURN(uint64_t num_pages, reader.ReadVarint64());
+    entry.pages.reserve(num_pages);
+    for (uint64_t p = 0; p < num_pages; ++p) {
+      AQV_ASSIGN_OR_RETURN(uint32_t id, reader.ReadFixed32());
+      entry.pages.push_back(id);
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  // Materialize every stored table, publishing the whole batch at one
+  // epoch — recovery lands on a single consistent state, never a torn one.
+  std::vector<std::pair<std::string, TablePtr>> publish;
+  publish.reserve(entries.size());
+  for (const TableEntry& entry : entries) {
+    AQV_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                         ReadRows(entry.pages, entry.row_count));
+    Table table(entry.columns);
+    for (Row& row : rows) {
+      AQV_RETURN_NOT_OK(table.AddRow(std::move(row)));
+    }
+    live_pages_.insert(entry.pages.begin(), entry.pages.end());
+    publish.emplace_back(entry.name,
+                         std::make_shared<const Table>(std::move(table)));
+  }
+  recovered_.db.PutAll(std::move(publish));
+  return Status::OK();
+}
+
+Status StorageEngine::ReplayWal() {
+  AQV_ASSIGN_OR_RETURN(WalContents wal, ReadLog(options_.path + ".wal"));
+  wal_valid_prefix_ = wal.valid_bytes;
+
+  std::set<std::string> touched;
+  for (const std::string& payload : wal.payloads) {
+    ByteReader reader(payload);
+    AQV_ASSIGN_OR_RETURN(uint64_t seq, reader.ReadFixed64());
+    // Records the live checkpoint already folded in (a crash between the
+    // meta flip and the WAL truncate leaves them behind) replay as no-ops.
+    if (seq <= checkpoint_seq_) continue;
+    AQV_FAILPOINT("recovery.replay");
+    AQV_ASSIGN_OR_RETURN(Delta delta, DecodeDelta(&reader));
+    AQV_RETURN_NOT_OK(ApplyDeltaToBase(delta, &recovered_.db));
+    for (const auto& [table, rows] : delta.inserts) touched.insert(table);
+    for (const auto& [table, rows] : delta.deletes) touched.insert(table);
+    last_seq_ = std::max(last_seq_, seq);
+    ++recovered_.replayed_commits;
+    if (wal_replayed_ != nullptr) wal_replayed_->Increment();
+  }
+
+  // A stored view whose closure meets a replayed table still holds its
+  // pre-replay checkpoint contents; one never checkpointed has none at all.
+  // Either way the service must recompute it before first use.
+  for (const std::string& view : recovered_.views.ViewNames()) {
+    bool stale = !recovered_.db.Has(view);
+    if (!stale && !touched.empty()) {
+      std::set<std::string> closure = ViewClosure(recovered_.views, view);
+      for (const std::string& table : touched) {
+        if (closure.count(table) > 0) {
+          stale = true;
+          break;
+        }
+      }
+    }
+    if (stale) recovered_.stale_views.push_back(view);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> StorageEngine::ReadRows(
+    const std::vector<uint32_t>& pages, size_t expected_rows) {
+  std::vector<Row> rows;
+  rows.reserve(expected_rows);
+  for (uint32_t page_id : pages) {
+    AQV_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+    if (!page->VerifyChecksum()) {
+      pool_->Unpin(page_id, false);
+      return Status::Unavailable("data page " + std::to_string(page_id) +
+                                 " failed its checksum");
+    }
+    Status status = Status::OK();
+    for (uint16_t slot = 0; slot < page->slot_count(); ++slot) {
+      Result<std::string_view> record = page->GetRecord(slot);
+      if (!record.ok()) {
+        status = record.status();
+        break;
+      }
+      ByteReader reader(*record);
+      Result<Row> row = DecodeRow(&reader);
+      if (!row.ok()) {
+        status = row.status();
+        break;
+      }
+      rows.push_back(*std::move(row));
+    }
+    pool_->Unpin(page_id, false);
+    AQV_RETURN_NOT_OK(status);
+  }
+  if (rows.size() != expected_rows) {
+    return Status::Unavailable(
+        "stored table holds " + std::to_string(rows.size()) +
+        " rows where the directory promised " + std::to_string(expected_rows));
+  }
+  return rows;
+}
+
+uint32_t StorageEngine::AllocatePage() {
+  if (!free_pool_.empty()) {
+    uint32_t id = *free_pool_.begin();
+    free_pool_.erase(free_pool_.begin());
+    return id;
+  }
+  return next_page_++;
+}
+
+Status StorageEngine::WriteRows(const std::vector<Row>& rows,
+                                std::vector<uint32_t>* pages) {
+  Page* current = nullptr;
+  uint32_t current_id = 0;
+  std::string encoded;
+  for (const Row& row : rows) {
+    encoded.clear();
+    EncodeRow(row, &encoded);
+    if (encoded.size() > Page::kMaxRecordSize) {
+      if (current != nullptr) pool_->Unpin(current_id, true);
+      return Status::Unsupported(
+          "row of " + std::to_string(encoded.size()) +
+          " encoded bytes exceeds the page record limit of " +
+          std::to_string(Page::kMaxRecordSize));
+    }
+    if (current == nullptr || !current->InsertRecord(encoded).has_value()) {
+      if (current != nullptr) pool_->Unpin(current_id, true);
+      current_id = AllocatePage();
+      AQV_ASSIGN_OR_RETURN(current, pool_->NewPage(current_id));
+      pages->push_back(current_id);
+      if (!current->InsertRecord(encoded).has_value()) {
+        pool_->Unpin(current_id, true);
+        return Status::Internal("fresh page rejected a record that fits");
+      }
+    }
+  }
+  if (current != nullptr) pool_->Unpin(current_id, true);
+  return Status::OK();
+}
+
+Status StorageEngine::Checkpoint(const Catalog& catalog,
+                                 const ViewRegistry& views, const Database& db,
+                                 const std::vector<PlanImage>& plans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span("storage.checkpoint");
+  if (wal_ == nullptr || wal_->failed()) {
+    return Status::Unavailable(
+        "storage is fail-stopped after a wal error; restart to recover");
+  }
+
+  // Shadow allocation setup: anything the live checkpoint does not
+  // reference is fair game, including pages orphaned by earlier failed
+  // attempts.
+  next_page_ = std::max<uint32_t>(2, disk_->page_count());
+  free_pool_.clear();
+  for (uint32_t id = 2; id < next_page_; ++id) {
+    if (live_pages_.count(id) == 0) free_pool_.insert(id);
+  }
+
+  // 1. Stream every stored table's rows into shadow pages.
+  std::vector<TableEntry> entries;
+  std::vector<std::string> names = db.TableNames();
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    AQV_ASSIGN_OR_RETURN(const Table* table, db.Get(name));
+    TableEntry entry;
+    entry.name = name;
+    entry.columns = table->columns();
+    entry.row_count = table->num_rows();
+    AQV_RETURN_NOT_OK(WriteRows(table->rows(), &entry.pages));
+    entries.push_back(std::move(entry));
+  }
+
+  // 2. Build the directory blob.
+  std::string blob;
+  PutFixed32(&blob, kDirMagic);
+  std::string catalog_image;
+  catalog.SerializeTo(&catalog_image);
+  PutLengthPrefixed(&blob, catalog_image);
+  std::vector<std::string> view_names = views.ViewNames();
+  PutVarint64(&blob, view_names.size());
+  for (const std::string& name : view_names) {
+    AQV_ASSIGN_OR_RETURN(const ViewDef* def, views.Get(name));
+    PutLengthPrefixed(&blob, ToSql(*def));
+  }
+  PutFixed64(&blob, catalog.version());
+  PutFixed64(&blob, views.version());
+  PutVarint64(&blob, plans.size());
+  for (const PlanImage& plan : plans) {
+    PutLengthPrefixed(&blob, plan.key);
+    PutLengthPrefixed(&blob, plan.plan_sql);
+    blob.push_back(plan.used_materialized_view ? '\x01' : '\x00');
+    PutVarint64(&blob, static_cast<uint64_t>(plan.rewritings_considered));
+    PutDoubleBits(&blob, plan.cost_original);
+    PutDoubleBits(&blob, plan.cost_chosen);
+    PutVarint64(&blob, plan.dependencies.size());
+    for (const std::string& dep : plan.dependencies) {
+      PutLengthPrefixed(&blob, dep);
+    }
+  }
+  PutVarint64(&blob, entries.size());
+  for (const TableEntry& entry : entries) {
+    PutLengthPrefixed(&blob, entry.name);
+    PutVarint64(&blob, entry.columns.size());
+    for (const std::string& c : entry.columns) PutLengthPrefixed(&blob, c);
+    PutVarint64(&blob, entry.row_count);
+    PutVarint64(&blob, entry.pages.size());
+    for (uint32_t id : entry.pages) PutFixed32(&blob, id);
+  }
+
+  // 3. Chunk the blob across directory pages.
+  MetaRecord meta;
+  meta.generation = generation_ + 1;
+  meta.commit_seq = last_seq_;
+  meta.blob_size = blob.size();
+  for (size_t off = 0; off < blob.size(); off += Page::kMaxRecordSize) {
+    size_t len = std::min(Page::kMaxRecordSize, blob.size() - off);
+    uint32_t page_id = AllocatePage();
+    AQV_ASSIGN_OR_RETURN(Page * page, pool_->NewPage(page_id));
+    if (!page->InsertRecord(std::string_view(blob).substr(off, len))
+             .has_value()) {
+      pool_->Unpin(page_id, true);
+      return Status::Internal("directory chunk rejected by a fresh page");
+    }
+    pool_->Unpin(page_id, true);
+    meta.directory_pages.push_back(page_id);
+  }
+  // 4. Make every shadow page durable before the meta flip.
+  std::string meta_record;
+  EncodeMeta(meta, &meta_record);
+  if (meta_record.size() > Page::kMaxRecordSize) {
+    return Status::ResourceExhausted(
+        "checkpoint directory spans too many pages for one meta record");
+  }
+  AQV_RETURN_NOT_OK(pool_->FlushAll());
+  AQV_RETURN_NOT_OK(disk_->Sync());
+
+  // 5. The commit point: stamp the OTHER meta page with generation+1 and
+  // fsync. Before this instant the previous checkpoint is intact; after
+  // it the new one is live.
+  Page meta_page;
+  uint32_t meta_id = static_cast<uint32_t>(meta.generation % 2);
+  meta_page.Init(meta_id);
+  if (!meta_page.InsertRecord(meta_record).has_value()) {
+    return Status::Internal("meta record rejected by a fresh meta page");
+  }
+  meta_page.UpdateChecksum();
+  AQV_RETURN_NOT_OK(disk_->WritePage(meta_id, meta_page));
+  AQV_RETURN_NOT_OK(disk_->Sync());
+
+  generation_ = meta.generation;
+  checkpoint_seq_ = meta.commit_seq;
+  live_pages_.clear();
+  live_pages_.insert(meta.directory_pages.begin(),
+                     meta.directory_pages.end());
+  for (const TableEntry& entry : entries) {
+    live_pages_.insert(entry.pages.begin(), entry.pages.end());
+  }
+  if (checkpoints_ != nullptr) checkpoints_->Increment();
+  if (span.active()) {
+    span.AddAttr("generation", generation_);
+    span.AddAttr("tables", static_cast<uint64_t>(entries.size()));
+    span.AddAttr("pages", static_cast<uint64_t>(live_pages_.size()));
+  }
+
+  // 6. The WAL's history is folded into the checkpoint; drop it. A failure
+  // here (including an injected wal.truncate) is survivable — replay skips
+  // records at or below checkpoint_seq_ — but is still reported so the
+  // chaos harness sees the injection.
+  return wal_->Truncate();
+}
+
+Status StorageEngine::LogCommit(const Delta& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) {
+    return Status::Unavailable("storage engine has no wal attached");
+  }
+  std::string payload;
+  PutFixed64(&payload, last_seq_ + 1);
+  EncodeDelta(delta, &payload);
+  AQV_RETURN_NOT_OK(wal_->AppendCommit(payload));
+  ++last_seq_;
+  return Status::OK();
+}
+
+uint64_t StorageEngine::last_commit_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_seq_;
+}
+
+uint64_t StorageEngine::checkpoint_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_seq_;
+}
+
+uint64_t StorageEngine::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ == nullptr ? 0 : wal_->size_bytes();
+}
+
+bool StorageEngine::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ != nullptr && wal_->failed();
+}
+
+}  // namespace aqv

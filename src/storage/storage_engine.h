@@ -1,0 +1,188 @@
+#ifndef AQV_STORAGE_STORAGE_ENGINE_H_
+#define AQV_STORAGE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/metrics.h"
+#include "base/result.h"
+#include "catalog/catalog.h"
+#include "exec/table.h"
+#include "ir/views.h"
+#include "maintain/incremental.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/wal.h"
+
+namespace aqv {
+
+/// Durable image of one plan-cache entry. The plan itself travels as SQL
+/// text (ToSql/ParseQuery round-trip exactly), so the on-disk format never
+/// chases the Query struct.
+struct PlanImage {
+  std::string key;
+  std::string plan_sql;
+  bool used_materialized_view = false;
+  int rewritings_considered = 0;
+  double cost_original = 0;
+  double cost_chosen = 0;
+  std::vector<std::string> dependencies;
+};
+
+/// Everything recovery reconstructs from the db file and WAL: the state the
+/// service resumes from after a crash or clean restart.
+struct RecoveredState {
+  Catalog catalog;
+  ViewRegistry views;
+  /// Base tables and stored view contents at the recovered epoch: the
+  /// checkpoint image with every pending WAL commit replayed on top.
+  Database db;
+  /// Stored views whose contents must be recomputed before first use:
+  /// their dependency closure intersects a WAL-replayed table (the
+  /// checkpointed contents are pre-replay), or their pages were never
+  /// checkpointed.
+  std::vector<std::string> stale_views;
+  std::vector<PlanImage> plans;
+  /// Catalog/view-registry versions at checkpoint time, guarding the plan
+  /// images: a mismatch after re-registration means DDL drifted and the
+  /// cache must be discarded.
+  uint64_t plan_catalog_version = 0;
+  uint64_t plan_views_version = 0;
+  uint64_t last_commit_seq = 0;
+  uint64_t replayed_commits = 0;
+  /// False when the db file held no valid checkpoint (fresh database).
+  bool from_checkpoint = false;
+};
+
+/// Serializes `delta` (the WAL commit payload body) / parses it back.
+/// Exposed for tests and the durability bench.
+void EncodeDelta(const Delta& delta, std::string* out);
+Result<Delta> DecodeDelta(ByteReader* reader);
+
+struct StorageOptions {
+  std::string path;               // db file; WAL lives at path + ".wal"
+  size_t buffer_pool_pages = 64;  // page cache capacity (8 KiB pages)
+  bool fsync_wal = true;          // fsync on every commit (off: bench only)
+};
+
+/// The durability subsystem: a shadow-paged single-file checkpoint plus a
+/// write-ahead log that makes every PutAll epoch a durable commit.
+///
+/// ## On-disk layout
+///
+/// The db file is an array of 8 KiB slotted pages. Pages 0 and 1 are meta
+/// pages written alternately (ping-pong by generation); whichever holds the
+/// checksummed record with the highest generation is the live checkpoint.
+/// The meta record points at a chain of directory pages; the directory blob
+/// holds the serialized catalog, view definitions (as SQL), plan images,
+/// and for every stored table its schema and data page ids. Data pages pack
+/// one encoded row per slot record.
+///
+/// ## Crash safety
+///
+/// Checkpoints are shadow-paged: data and directory pages are allocated
+/// only from page ids the live meta does NOT reference, all of them are
+/// written and fsynced, and only then is the other meta page stamped with
+/// generation+1 and fsynced. A kill anywhere before that second fsync
+/// leaves the previous checkpoint fully intact — the new pages are orphaned
+/// garbage reclaimed by the next successful checkpoint.
+///
+/// The WAL carries one record per committed write epoch, appended and
+/// fsynced BEFORE the in-memory publication, so an acknowledged commit is
+/// always recoverable. Checkpoint success truncates the WAL; replay skips
+/// records at or below the checkpoint's commit sequence, so a kill between
+/// the meta flip and the truncate double-applies nothing.
+///
+/// Failpoints: `page.flush` (each page write), `wal.append` (torn record),
+/// `wal.fsync` (written-not-durable), `wal.truncate`, `recovery.replay`
+/// (each replayed commit).
+///
+/// All entry points are serialized by one internal mutex: commits from
+/// disjoint-table writers (the service's striped latches allow those to
+/// race) are ordered here, which is sound because disjoint-table deltas
+/// commute under replay.
+class StorageEngine {
+ public:
+  /// Opens (creating if needed) the db file and WAL, and runs recovery:
+  /// picks the live checkpoint, loads it, replays the WAL tail. Read-only
+  /// with respect to the files, so a failed recovery (an injected
+  /// `recovery.replay`, a corrupt directory) can simply be retried.
+  static Result<std::unique_ptr<StorageEngine>> Open(StorageOptions options,
+                                                     MetricsRegistry* metrics);
+
+  /// The state recovered by Open. The service consumes this once at
+  /// attach time (moves out of it).
+  RecoveredState& recovered() { return recovered_; }
+
+  /// Appends `delta` to the WAL as the next commit and makes it durable.
+  /// Call at the PutAll commit point, after validation, before publication.
+  /// On ANY failure the WAL is fail-stopped: every later LogCommit refuses
+  /// with kUnavailable until the process restarts and recovers.
+  Status LogCommit(const Delta& delta);
+
+  /// Writes a full shadow-paged checkpoint of (catalog, views, db, plans)
+  /// and truncates the WAL. Must be called with the database quiesced (the
+  /// service holds every table latch exclusively). On failure before the
+  /// meta flip the previous checkpoint remains live and the engine stays
+  /// usable; a failure during WAL truncation leaves a stale-but-skipped
+  /// log tail.
+  Status Checkpoint(const Catalog& catalog, const ViewRegistry& views,
+                    const Database& db, const std::vector<PlanImage>& plans);
+
+  /// Sequence of the last logged commit (recovered ones included).
+  uint64_t last_commit_seq() const;
+  /// Sequence captured by the last successful checkpoint.
+  uint64_t checkpoint_seq() const;
+  /// Current WAL size in bytes.
+  uint64_t wal_bytes() const;
+  /// True once a WAL failure has fail-stopped the engine.
+  bool failed() const;
+
+  const std::string& path() const { return options_.path; }
+
+ private:
+  explicit StorageEngine(StorageOptions options)
+      : options_(std::move(options)) {}
+
+  Status Recover(MetricsRegistry* metrics);
+  Status LoadCheckpoint(const std::string& directory_blob);
+  Status ReplayWal();
+
+  /// Allocates a page id no live checkpoint page uses (reusing freed ids
+  /// before extending the file).
+  uint32_t AllocatePage();
+
+  /// Packs `rows` into freshly allocated pages; appends their ids.
+  Status WriteRows(const std::vector<Row>& rows, std::vector<uint32_t>* pages);
+  Result<std::vector<Row>> ReadRows(const std::vector<uint32_t>& pages,
+                                    size_t expected_rows);
+
+  StorageOptions options_;
+  mutable std::mutex mu_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LogWriter> wal_;
+
+  RecoveredState recovered_;
+
+  uint64_t generation_ = 0;      // of the live meta page
+  uint64_t last_seq_ = 0;        // last logged commit sequence
+  uint64_t checkpoint_seq_ = 0;  // commit seq captured by live checkpoint
+  uint64_t wal_valid_prefix_ = 0;  // clean wal bytes found by recovery
+  std::set<uint32_t> live_pages_;  // pages the live checkpoint references
+  std::set<uint32_t> free_pool_;   // allocatable ids below the file end
+  uint32_t next_page_ = 2;         // first never-allocated id
+
+  Counter* recoveries_ = nullptr;
+  Counter* checkpoints_ = nullptr;
+  Counter* wal_replayed_ = nullptr;
+  Gauge* recovery_ms_ = nullptr;
+};
+
+}  // namespace aqv
+
+#endif  // AQV_STORAGE_STORAGE_ENGINE_H_

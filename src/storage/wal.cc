@@ -1,0 +1,163 @@
+#include "storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "base/failpoint.h"
+#include "base/serde.h"
+
+namespace aqv {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Unavailable(what + " '" + path + "': " +
+                             std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LogWriter>> LogWriter::Open(
+    const std::string& path, bool fsync_on_commit,
+    uint64_t valid_prefix_bytes) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("cannot open wal file", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("cannot stat wal file", path);
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size > valid_prefix_bytes) {
+    // Chop the torn tail a crash mid-append left behind.
+    if (::ftruncate(fd, static_cast<off_t>(valid_prefix_bytes)) != 0) {
+      ::close(fd);
+      return ErrnoStatus("cannot trim torn wal tail of", path);
+    }
+    size = valid_prefix_bytes;
+  }
+  return std::unique_ptr<LogWriter>(
+      new LogWriter(path, fd, size, fsync_on_commit));
+}
+
+LogWriter::~LogWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status LogWriter::WriteAll(const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd_, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("cannot append to wal", path_);
+    }
+    done += static_cast<size_t>(n);
+  }
+  offset_ += size;
+  return Status::OK();
+}
+
+Status LogWriter::AppendCommit(std::string_view payload) {
+  if (failed_) {
+    return Status::Unavailable(
+        "wal writer failed earlier; restart and recover before committing");
+  }
+  std::string record;
+  record.reserve(kRecordHeaderSize + payload.size());
+  PutFixed32(&record, kRecordMagic);
+  PutFixed32(&record, static_cast<uint32_t>(payload.size()));
+  PutFixed64(&record, Checksum64(payload));
+  record.append(payload.data(), payload.size());
+
+  // Simulate a kill mid-pwrite: persist a strict prefix of the record, then
+  // fire the failpoint. On injection the file ends in a torn record that
+  // ReadLog must drop — the exact state a real crash leaves behind.
+  size_t prefix = record.size() / 2;
+  Status torn = [&]() -> Status {
+    AQV_RETURN_NOT_OK(WriteAll(record.data(), prefix));
+    AQV_FAILPOINT("wal.append");
+    return WriteAll(record.data() + prefix, record.size() - prefix);
+  }();
+  if (!torn.ok()) {
+    failed_ = true;
+    return torn;
+  }
+
+  // The record is fully written but not yet durable: a failure here models
+  // a crash after pwrite and before fsync — the commit was never
+  // acknowledged, yet may still survive. The differential oracle accepts
+  // either outcome, as long as recovery applies it atomically or not at all.
+  Status synced = [&]() -> Status {
+    AQV_FAILPOINT("wal.fsync");
+    if (fsync_on_commit_ && ::fsync(fd_) != 0) {
+      return ErrnoStatus("cannot fsync wal", path_);
+    }
+    return Status::OK();
+  }();
+  if (!synced.ok()) {
+    failed_ = true;
+    return synced;
+  }
+
+  if (wal_bytes_ != nullptr) wal_bytes_->Increment(record.size());
+  if (wal_records_ != nullptr) wal_records_->Increment();
+  if (fsync_on_commit_ && wal_fsyncs_ != nullptr) wal_fsyncs_->Increment();
+  return Status::OK();
+}
+
+Status LogWriter::Truncate() {
+  AQV_FAILPOINT("wal.truncate");
+  if (::ftruncate(fd_, 0) != 0) {
+    return ErrnoStatus("cannot truncate wal", path_);
+  }
+  offset_ = 0;
+  return Status::OK();
+}
+
+Result<WalContents> ReadLog(const std::string& path) {
+  WalContents contents_out;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return contents_out;  // no log yet: empty history
+    return ErrnoStatus("cannot open wal file", path);
+  }
+  std::string contents;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("cannot read wal file", path);
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // Walk records until the tail tears: a short header, bad magic, a length
+  // that runs past EOF, or a checksum mismatch all mean "crash mid-append"
+  // — everything from there on is discarded, never an error.
+  ByteReader reader(contents);
+  while (reader.remaining() >= LogWriter::kRecordHeaderSize) {
+    auto magic = reader.ReadFixed32();
+    auto len = reader.ReadFixed32();
+    auto checksum = reader.ReadFixed64();
+    if (!magic.ok() || !len.ok() || !checksum.ok()) break;
+    if (*magic != LogWriter::kRecordMagic) break;
+    if (*len > reader.remaining()) break;
+    auto payload = reader.ReadBytes(*len);
+    if (!payload.ok()) break;
+    if (Checksum64(*payload) != *checksum) break;
+    contents_out.payloads.emplace_back(payload->data(), payload->size());
+    contents_out.valid_bytes = reader.position();
+  }
+  return contents_out;
+}
+
+}  // namespace aqv

@@ -1,0 +1,452 @@
+// Crash-recovery chaos for the durable storage subsystem: a QueryService
+// over a real db file is killed at every storage failpoint — torn WAL
+// appends, unsynced commits, mid-checkpoint page flushes, WAL-truncate
+// failures, faults during replay itself — and then recovered, with the
+// result checked differentially against an in-test oracle of acknowledged
+// writes.
+//
+// The durability contract under test (README "Durability contract"):
+//   - every ACKNOWLEDGED commit survives a crash;
+//   - a commit that failed (or was in flight) either vanishes entirely or
+//     survives atomically — never a partial row set; so the recovered
+//     table equals `acked` or `acked + pending`, nothing else;
+//   - recovered stored views are consistent with the recovered base
+//     tables (REFRESH after recovery is a no-op on contents);
+//   - CHECKPOINT + restart recovers with zero WAL replay;
+//   - recovery itself is read-only, so a recovery that dies on an
+//     injected fault can simply be retried.
+//
+// The kill is simulated, not SIGKILL: every storage failpoint fires with
+// the on-disk state a real kill at that instant leaves behind (wal.append
+// tears the record mid-write, wal.fsync leaves it written-but-unsynced,
+// page.flush aborts a shadow checkpoint between page writes), the WAL
+// fail-stops so the "doomed" process can write nothing more, and the
+// service object is destroyed without any shutdown flush. Recovery then
+// sees exactly the bytes a crash would have left.
+//
+// Randomized sweeps are seeded (AQV_TEST_SEED) and print their seed on
+// failure for replay.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/failpoint.h"
+#include "exec/csv.h"
+#include "exec/table.h"
+#include "service/query_service.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+std::string FreshPath(const std::string& stem) {
+  std::string path = ::testing::TempDir() + "/aqv_" + stem;
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  return path;
+}
+
+std::unique_ptr<QueryService> MakeService(const std::string& db_path) {
+  ServiceOptions options;
+  options.storage_path = db_path;
+  options.storage_buffer_pages = 8;  // small pool: exercise eviction
+  return std::make_unique<QueryService>(options);
+}
+
+// Rows of `table`, sorted, for order-insensitive comparison.
+std::vector<Row> SortedRows(const Table& table) {
+  std::vector<Row> rows = table.rows();
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
+  return rows;
+}
+
+std::vector<Row> Sorted(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
+  return rows;
+}
+
+// The in-test oracle: per-table multisets of acknowledged rows, plus the
+// rows of the single in-flight commit a crash may or may not have
+// preserved.
+struct Oracle {
+  std::map<std::string, std::vector<Row>> acked;
+  std::map<std::string, std::vector<Row>> pending;
+
+  void Ack(const std::string& table, const std::vector<Row>& rows) {
+    auto& dst = acked[table];
+    dst.insert(dst.end(), rows.begin(), rows.end());
+  }
+  void SetPending(const std::string& table, const std::vector<Row>& rows) {
+    pending.clear();
+    pending[table] = rows;
+  }
+};
+
+// INSERT statement for integer rows.
+std::string InsertSql(const std::string& table,
+                      const std::vector<Row>& rows) {
+  std::string sql = "INSERT INTO " + table + " VALUES ";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += "(";
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      if (j > 0) sql += ", ";
+      sql += rows[i][j].ToString();
+    }
+    sql += ")";
+  }
+  return sql;
+}
+
+// Checks one recovered table against the oracle: its contents must be
+// exactly `acked`, or exactly `acked + pending` (the unacknowledged
+// commit survived atomically). Returns true iff the pending rows made it.
+bool CheckTable(const QueryService& unused, const Table& recovered,
+                const Oracle& oracle, const std::string& table) {
+  (void)unused;
+  std::vector<Row> got = SortedRows(recovered);
+  std::vector<Row> want_acked;
+  auto it = oracle.acked.find(table);
+  if (it != oracle.acked.end()) want_acked = it->second;
+
+  std::vector<Row> want_with_pending = want_acked;
+  auto pit = oracle.pending.find(table);
+  if (pit != oracle.pending.end()) {
+    want_with_pending.insert(want_with_pending.end(), pit->second.begin(),
+                             pit->second.end());
+  }
+  std::vector<Row> acked_sorted = Sorted(std::move(want_acked));
+  if (got == acked_sorted) return false;
+  std::vector<Row> pending_sorted = Sorted(std::move(want_with_pending));
+  EXPECT_EQ(got, pending_sorted)
+      << "table " << table << ": recovered contents match neither the acked "
+      << "rows nor acked+pending (partial commit?) — got " << got.size()
+      << " rows, acked " << acked_sorted.size() << ", acked+pending "
+      << pending_sorted.size();
+  return true;
+}
+
+// Recovered-view self-consistency: REFRESH (a full recompute from the
+// recovered bases) must not change the stored contents.
+void CheckViewConsistent(QueryService* service, const std::string& view) {
+  ServiceSnapshotPtr before = service->PinSnapshot();
+  ASSERT_OK_AND_ASSIGN(const Table* stored, before->db.Get(view));
+  Table stored_copy = *stored;
+  ASSERT_OK(service->Execute("REFRESH " + view).status());
+  ServiceSnapshotPtr after = service->PinSnapshot();
+  ASSERT_OK_AND_ASSIGN(const Table* refreshed, after->db.Get(view));
+  EXPECT_TRUE(MultisetEqual(stored_copy, *refreshed))
+      << "view " << view
+      << " recovered stale relative to the recovered base tables:\n"
+      << DescribeMultisetDifference(stored_copy, *refreshed);
+}
+
+// The base schema + view every test below starts from.
+void Bootstrap(QueryService* service, Oracle* oracle) {
+  ASSERT_OK(service->Execute("CREATE TABLE R(A, B) KEY(A)").status());
+  ASSERT_OK(service->Execute("CREATE TABLE S(C, D)").status());
+  ASSERT_OK(service
+                ->Execute("CREATE MATERIALIZED VIEW VSum AS "
+                          "SELECT A_1, SUM(B_1) FROM R GROUPBY A_1")
+                .status());
+  std::vector<Row> r0 = {{Value::Int64(1), Value::Int64(10)},
+                         {Value::Int64(2), Value::Int64(20)}};
+  std::vector<Row> s0 = {{Value::Int64(7), Value::Int64(70)}};
+  ASSERT_OK(service->Execute(InsertSql("R", r0)).status());
+  ASSERT_OK(service->Execute(InsertSql("S", s0)).status());
+  oracle->Ack("R", r0);
+  oracle->Ack("S", s0);
+}
+
+void CheckRecovered(QueryService* service, Oracle* oracle) {
+  ASSERT_TRUE(service->storage_attached())
+      << service->storage_status().ToString();
+  ServiceSnapshotPtr snap = service->PinSnapshot();
+  for (const auto& [table, rows] : oracle->acked) {
+    (void)rows;
+    ASSERT_TRUE(snap->db.Has(table)) << "table " << table << " lost";
+    ASSERT_OK_AND_ASSIGN(const Table* got, snap->db.Get(table));
+    if (CheckTable(*service, *got, *oracle, table)) {
+      // The pending commit survived: fold it into the oracle.
+      auto it = oracle->pending.find(table);
+      if (it != oracle->pending.end()) oracle->Ack(table, it->second);
+    }
+  }
+  oracle->pending.clear();
+  CheckViewConsistent(service, "VSum");
+}
+
+// ---------------------------------------------------------------------
+// Deterministic kill-at-failpoint matrix.
+// ---------------------------------------------------------------------
+
+// Crash while appending the WAL record: the record is torn mid-write, so
+// the commit must vanish; everything acknowledged before it survives.
+TEST(RecoveryTest, KillAtWalAppend) {
+  std::string path = FreshPath("kill_wal_append.db");
+  Oracle oracle;
+  auto service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(Bootstrap(service.get(), &oracle));
+
+  std::vector<Row> doomed = {{Value::Int64(3), Value::Int64(30)}};
+  {
+    FailpointScope fp("wal.append", "error");
+    ASSERT_TRUE(fp.armed());
+    EXPECT_FALSE(service->Execute(InsertSql("R", doomed)).ok());
+  }
+  oracle.SetPending("R", doomed);
+  // Fail-stop: the doomed service can commit nothing more before the
+  // "kill" — exactly what a dead process can write.
+  EXPECT_FALSE(service->Execute("INSERT INTO R VALUES (99, 99)").ok());
+  service.reset();  // the crash
+
+  service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(CheckRecovered(service.get(), &oracle));
+  // A torn record can never replay: the pending rows must NOT be there.
+  ServiceSnapshotPtr snap = service->PinSnapshot();
+  ASSERT_OK_AND_ASSIGN(const Table* r, snap->db.Get("R"));
+  EXPECT_EQ(r->num_rows(), oracle.acked["R"].size());
+}
+
+// Crash after the record is fully written but before the fsync: the
+// commit was never acknowledged, but recovery may legitimately find the
+// intact record and replay it — atomically or not at all.
+TEST(RecoveryTest, KillAtWalFsync) {
+  std::string path = FreshPath("kill_wal_fsync.db");
+  Oracle oracle;
+  auto service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(Bootstrap(service.get(), &oracle));
+
+  std::vector<Row> doomed = {{Value::Int64(4), Value::Int64(40)},
+                             {Value::Int64(5), Value::Int64(50)}};
+  {
+    FailpointScope fp("wal.fsync", "error");
+    ASSERT_TRUE(fp.armed());
+    EXPECT_FALSE(service->Execute(InsertSql("R", doomed)).ok());
+  }
+  oracle.SetPending("R", doomed);
+  service.reset();
+
+  service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(CheckRecovered(service.get(), &oracle));
+  // Either zero or both pending rows — CheckRecovered already rejected
+  // any in-between; writes work again after recovery.
+  std::vector<Row> more = {{Value::Int64(6), Value::Int64(60)}};
+  ASSERT_OK(service->Execute(InsertSql("R", more)).status());
+  oracle.Ack("R", more);
+  ASSERT_NO_FATAL_FAILURE(CheckRecovered(service.get(), &oracle));
+}
+
+// Crash between two page writes of a shadow checkpoint: the previous
+// checkpoint stays live and the whole WAL tail replays on top of it.
+TEST(RecoveryTest, KillAtPageFlushDuringCheckpoint) {
+  std::string path = FreshPath("kill_page_flush.db");
+  Oracle oracle;
+  auto service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(Bootstrap(service.get(), &oracle));
+
+  std::vector<Row> extra = {{Value::Int64(8), Value::Int64(80)}};
+  ASSERT_OK(service->Execute(InsertSql("S", extra)).status());
+  oracle.Ack("S", extra);
+
+  {
+    // Fire on the 3rd page write, mid-stream through the shadow set.
+    FailpointScope fp("page.flush", "error(100,1)");
+    ASSERT_TRUE(fp.armed());
+    EXPECT_FALSE(service->Execute("CHECKPOINT").ok());
+  }
+  service.reset();
+
+  service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(CheckRecovered(service.get(), &oracle));
+}
+
+// Crash after the checkpoint's meta flip but before the WAL truncate:
+// replay must skip every record the checkpoint already covers (no
+// double-applied rows).
+TEST(RecoveryTest, KillAtWalTruncateAfterCheckpoint) {
+  std::string path = FreshPath("kill_wal_truncate.db");
+  Oracle oracle;
+  auto service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(Bootstrap(service.get(), &oracle));
+
+  {
+    FailpointScope fp("wal.truncate", "error");
+    ASSERT_TRUE(fp.armed());
+    // The checkpoint itself committed (meta flipped); only the truncate
+    // failed, so the statement reports the failure.
+    EXPECT_FALSE(service->Execute("CHECKPOINT").ok());
+  }
+  service.reset();
+
+  service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(CheckRecovered(service.get(), &oracle));
+  // The stale WAL records were skipped by sequence, not replayed twice.
+  EXPECT_EQ(service->Stats().storage_wal_replayed, 0u);
+}
+
+// A fault during replay fails recovery — but recovery never writes, so
+// disarming the fault and reopening succeeds on the same files.
+TEST(RecoveryTest, RecoveryReplayFaultIsRetryable) {
+  std::string path = FreshPath("kill_recovery_replay.db");
+  Oracle oracle;
+  auto service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(Bootstrap(service.get(), &oracle));
+  service.reset();
+
+  {
+    FailpointScope fp("recovery.replay", "error");
+    ASSERT_TRUE(fp.armed());
+    auto failed = MakeService(path);
+    EXPECT_FALSE(failed->storage_attached());
+    EXPECT_FALSE(failed->storage_status().ok());
+  }
+  service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(CheckRecovered(service.get(), &oracle));
+  EXPECT_GT(service->Stats().storage_wal_replayed, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Acceptance-path round trips.
+// ---------------------------------------------------------------------
+
+TEST(RecoveryTest, CheckpointRestartRecoversWithZeroReplay) {
+  std::string path = FreshPath("ckpt_zero_replay.db");
+  Oracle oracle;
+  auto service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(Bootstrap(service.get(), &oracle));
+  ASSERT_OK(service->Execute("CHECKPOINT").status());
+  service.reset();
+
+  service = MakeService(path);
+  EXPECT_EQ(service->Stats().storage_wal_replayed, 0u);
+  ASSERT_NO_FATAL_FAILURE(CheckRecovered(service.get(), &oracle));
+}
+
+TEST(RecoveryTest, PlanCacheSurvivesRestart) {
+  std::string path = FreshPath("plan_cache_restart.db");
+  Oracle oracle;
+  auto service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(Bootstrap(service.get(), &oracle));
+
+  const std::string query =
+      "SELECT A_1, SUM(B_1) FROM R WHERE A_1 = 1 GROUPBY A_1";
+  ASSERT_OK_AND_ASSIGN(StatementResult first, service->Execute(query));
+  EXPECT_FALSE(first.cache_hit);
+  ASSERT_OK(service->Execute("CHECKPOINT").status());
+  service.reset();
+
+  service = MakeService(path);
+  ASSERT_OK_AND_ASSIGN(StatementResult warm, service->Execute(query));
+  EXPECT_TRUE(warm.cache_hit) << "persisted plan cache was not restored";
+  EXPECT_TRUE(MultisetEqual(*first.table, *warm.table));
+}
+
+TEST(RecoveryTest, LoadReplaceSurvivesCrashWithoutCheckpoint) {
+  std::string path = FreshPath("load_replace.db");
+  Oracle oracle;
+  auto service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(Bootstrap(service.get(), &oracle));
+
+  // Replace R wholesale via LOAD: logged as one delete-all+insert-all WAL
+  // delta (no checkpoint on this path), so it must replay exactly.
+  Table replacement({"A", "B"});
+  replacement.AddRowOrDie({Value::Int64(100), Value::Int64(1000)});
+  replacement.AddRowOrDie({Value::Int64(200), Value::Int64(2000)});
+  std::string csv = ::testing::TempDir() + "/aqv_load_replace.csv";
+  ASSERT_OK(WriteCsvFile(replacement, csv));
+  ASSERT_OK(service->Execute("LOAD R FROM '" + csv + "'").status());
+  oracle.acked["R"] = replacement.rows();
+  service.reset();
+
+  service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(CheckRecovered(service.get(), &oracle));
+  std::remove(csv.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Randomized kill-recover chaos sweep (seeded; replay with AQV_TEST_SEED).
+// ---------------------------------------------------------------------
+
+TEST(RecoveryTest, RandomizedKillRecoverSweep) {
+  const uint64_t seed = TestSeed(20260808);
+  SCOPED_TRACE(SeedTrace(seed));
+  std::mt19937_64 rng(seed);
+
+  std::string path = FreshPath("chaos_sweep.db");
+  Oracle oracle;
+  auto service = MakeService(path);
+  ASSERT_NO_FATAL_FAILURE(Bootstrap(service.get(), &oracle));
+
+  const std::vector<std::string> tables = {"R", "S"};
+  const std::vector<std::string> faults = {"wal.append", "wal.fsync",
+                                           "page.flush"};
+  int64_t next_key = 1000;
+
+  for (int round = 0; round < 12 && !HasFatalFailure(); ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    // A burst of acknowledged work: inserts, the odd checkpoint.
+    int ops = 1 + static_cast<int>(rng() % 4);
+    for (int op = 0; op < ops; ++op) {
+      if (rng() % 5 == 0) {
+        ASSERT_OK(service->Execute("CHECKPOINT").status());
+        continue;
+      }
+      const std::string& table = tables[rng() % tables.size()];
+      std::vector<Row> rows;
+      int n = 1 + static_cast<int>(rng() % 3);
+      for (int i = 0; i < n; ++i) {
+        rows.push_back({Value::Int64(next_key++),
+                        Value::Int64(static_cast<int64_t>(rng() % 1000))});
+      }
+      ASSERT_OK(service->Execute(InsertSql(table, rows)).status());
+      oracle.Ack(table, rows);
+    }
+
+    // Kill: two thirds of rounds die at a random storage failpoint with a
+    // commit in flight, the rest crash between statements.
+    if (rng() % 3 != 2) {
+      const std::string& fault = faults[rng() % faults.size()];
+      FailpointScope fp(fault, "error");
+      ASSERT_TRUE(fp.armed());
+      if (fault == "page.flush") {
+        EXPECT_FALSE(service->Execute("CHECKPOINT").ok());
+      } else {
+        const std::string& table = tables[rng() % tables.size()];
+        std::vector<Row> doomed = {
+            {Value::Int64(next_key++),
+             Value::Int64(static_cast<int64_t>(rng() % 1000))}};
+        EXPECT_FALSE(service->Execute(InsertSql(table, doomed)).ok());
+        oracle.SetPending(table, doomed);
+      }
+    }
+    service.reset();
+
+    // Occasionally the first recovery attempt itself dies (the fault only
+    // fires when the WAL tail is non-empty); either way the retry below
+    // must succeed on the same (read-only-so-far) files.
+    if (rng() % 4 == 0) {
+      FailpointScope fp("recovery.replay", "error");
+      auto maybe_failed = MakeService(path);
+      if (maybe_failed->storage_attached()) {
+        // It can only have attached by replaying nothing.
+        EXPECT_EQ(maybe_failed->Stats().storage_wal_replayed, 0u);
+      }
+    }
+    service = MakeService(path);
+    ASSERT_NO_FATAL_FAILURE(CheckRecovered(service.get(), &oracle));
+  }
+}
+
+}  // namespace
+}  // namespace aqv

@@ -1,0 +1,602 @@
+// Unit tests for the durable-storage building blocks: the serde
+// primitives, slotted pages, the disk manager, the buffer pool, the WAL
+// (including torn-tail handling), the row/delta codecs, the catalog
+// image round-trip, and the StorageEngine checkpoint/recover cycle in
+// isolation from the query service. Crash-at-failpoint chaos lives in
+// recovery_test.cc.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/failpoint.h"
+#include "base/serde.h"
+#include "catalog/catalog.h"
+#include "exec/table.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "storage/storage_engine.h"
+#include "storage/wal.h"
+#include "tests/test_util.h"
+
+namespace aqv {
+namespace {
+
+// A per-test db path under gtest's temp dir, with any previous run's
+// files removed so every test starts from a fresh (empty) database.
+std::string FreshPath(const std::string& stem) {
+  std::string path = ::testing::TempDir() + "/aqv_" + stem;
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  return path;
+}
+
+// ---------------------------------------------------------------- serde
+
+TEST(SerdeTest, FixedAndVarintRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeefu);
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  PutVarint64(&buf, 0);
+  PutVarint64(&buf, 127);
+  PutVarint64(&buf, 128);
+  PutVarint64(&buf, UINT64_MAX);
+  PutDoubleBits(&buf, -2.5);
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+
+  ByteReader r(buf);
+  ASSERT_OK_AND_ASSIGN(uint32_t f32, r.ReadFixed32());
+  EXPECT_EQ(f32, 0xdeadbeefu);
+  ASSERT_OK_AND_ASSIGN(uint64_t f64, r.ReadFixed64());
+  EXPECT_EQ(f64, 0x0123456789abcdefull);
+  for (uint64_t want : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                        UINT64_MAX}) {
+    ASSERT_OK_AND_ASSIGN(uint64_t v, r.ReadVarint64());
+    EXPECT_EQ(v, want);
+  }
+  ASSERT_OK_AND_ASSIGN(double d, r.ReadDoubleBits());
+  EXPECT_EQ(d, -2.5);
+  ASSERT_OK_AND_ASSIGN(std::string_view s, r.ReadLengthPrefixed());
+  EXPECT_EQ(s, "hello");
+  ASSERT_OK_AND_ASSIGN(std::string_view empty, r.ReadLengthPrefixed());
+  EXPECT_EQ(empty, "");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SerdeTest, TruncationIsInvalidArgumentNotUb) {
+  std::string buf;
+  PutFixed64(&buf, 42);
+  ByteReader r(std::string_view(buf).substr(0, 3));
+  EXPECT_EQ(r.ReadFixed64().status().code(), StatusCode::kInvalidArgument);
+
+  std::string lp;
+  PutLengthPrefixed(&lp, "abcdef");
+  ByteReader r2(std::string_view(lp).substr(0, 4));  // length says 6
+  EXPECT_EQ(r2.ReadLengthPrefixed().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerdeTest, ChecksumDetectsSingleBitFlip) {
+  std::string data = "the quick brown fox";
+  uint64_t sum = Checksum64(data);
+  data[3] ^= 1;
+  EXPECT_NE(Checksum64(data), sum);
+}
+
+// ----------------------------------------------------------------- page
+
+TEST(PageTest, InsertAndGetRecords) {
+  Page page;
+  page.Init(7);
+  EXPECT_EQ(page.page_id(), 7u);
+  EXPECT_EQ(page.slot_count(), 0u);
+
+  auto s0 = page.InsertRecord("alpha");
+  auto s1 = page.InsertRecord("");
+  auto s2 = page.InsertRecord("gamma-gamma");
+  ASSERT_TRUE(s0 && s1 && s2);
+  EXPECT_EQ(page.slot_count(), 3u);
+  ASSERT_OK_AND_ASSIGN(std::string_view r0, page.GetRecord(*s0));
+  ASSERT_OK_AND_ASSIGN(std::string_view r1, page.GetRecord(*s1));
+  ASSERT_OK_AND_ASSIGN(std::string_view r2, page.GetRecord(*s2));
+  EXPECT_EQ(r0, "alpha");
+  EXPECT_EQ(r1, "");
+  EXPECT_EQ(r2, "gamma-gamma");
+  EXPECT_FALSE(page.GetRecord(3).ok());
+}
+
+TEST(PageTest, RejectsRecordThatCannotFit) {
+  Page page;
+  page.Init(1);
+  std::string big(Page::kMaxRecordSize, 'x');
+  ASSERT_TRUE(page.InsertRecord(big).has_value());  // exactly fills the page
+  EXPECT_FALSE(page.InsertRecord("y").has_value());
+
+  Page page2;
+  page2.Init(2);
+  std::string too_big(Page::kMaxRecordSize + 1, 'x');
+  EXPECT_FALSE(page2.InsertRecord(too_big).has_value());
+}
+
+TEST(PageTest, FillsUntilFullThenRefuses) {
+  Page page;
+  page.Init(3);
+  std::string rec(100, 'r');
+  size_t inserted = 0;
+  while (page.InsertRecord(rec).has_value()) ++inserted;
+  // 100 bytes of record + 4 of slot each; the page must be near-full.
+  EXPECT_GT(inserted, (Page::kPageSize - Page::kHeaderSize) / 110);
+  EXPECT_LT(page.FreeSpace(), rec.size() + Page::kSlotSize);
+  // Existing records are intact after the failed insert.
+  ASSERT_OK_AND_ASSIGN(std::string_view r0, page.GetRecord(0));
+  EXPECT_EQ(r0, rec);
+}
+
+TEST(PageTest, ChecksumRoundTripAndCorruptionDetection) {
+  Page page;
+  page.Init(9);
+  ASSERT_TRUE(page.InsertRecord("payload").has_value());
+  page.UpdateChecksum();
+  EXPECT_TRUE(page.VerifyChecksum());
+  page.data()[Page::kPageSize - 1] ^= 0x40;  // rot inside the record area
+  EXPECT_FALSE(page.VerifyChecksum());
+}
+
+// --------------------------------------------------------- disk manager
+
+TEST(DiskManagerTest, WriteReadRoundTripAndEofIsNotFound) {
+  std::string path = FreshPath("disk_test.db");
+  ASSERT_OK_AND_ASSIGN(auto disk, DiskManager::Open(path));
+
+  Page page;
+  page.Init(4);
+  ASSERT_TRUE(page.InsertRecord("persist me").has_value());
+  page.UpdateChecksum();
+  ASSERT_OK(disk->WritePage(4, page));
+  ASSERT_OK(disk->Sync());
+  EXPECT_EQ(disk->page_count(), 5u);  // file extended through page 4
+
+  Page back;
+  ASSERT_OK(disk->ReadPage(4, &back));
+  EXPECT_TRUE(back.VerifyChecksum());
+  ASSERT_OK_AND_ASSIGN(std::string_view rec, back.GetRecord(0));
+  EXPECT_EQ(rec, "persist me");
+
+  EXPECT_EQ(disk->ReadPage(99, &back).code(), StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------------- buffer pool
+
+TEST(BufferPoolTest, EvictionWritesDirtyPagesBack) {
+  std::string path = FreshPath("pool_test.db");
+  ASSERT_OK_AND_ASSIGN(auto disk, DiskManager::Open(path));
+  BufferPool pool(disk.get(), 2);
+
+  // Three dirty pages through a 2-frame pool: page 0 must be evicted (and
+  // thereby flushed) to make room.
+  for (uint32_t id = 0; id < 3; ++id) {
+    ASSERT_OK_AND_ASSIGN(Page * p, pool.NewPage(id));
+    ASSERT_TRUE(p->InsertRecord("row-" + std::to_string(id)).has_value());
+    pool.Unpin(id, /*dirty=*/true);
+  }
+  EXPECT_GE(pool.evictions(), 1u);
+
+  // Page 0 went to disk; fetching it back re-reads the flushed contents.
+  ASSERT_OK_AND_ASSIGN(Page * p0, pool.FetchPage(0));
+  ASSERT_OK_AND_ASSIGN(std::string_view rec, p0->GetRecord(0));
+  EXPECT_EQ(rec, "row-0");
+  pool.Unpin(0, false);
+
+  ASSERT_OK(pool.FlushAll());
+  ASSERT_OK(disk->Sync());
+}
+
+TEST(BufferPoolTest, AllFramesPinnedIsResourceExhausted) {
+  std::string path = FreshPath("pool_pin_test.db");
+  ASSERT_OK_AND_ASSIGN(auto disk, DiskManager::Open(path));
+  BufferPool pool(disk.get(), 2);
+
+  ASSERT_OK(pool.NewPage(0).status());
+  ASSERT_OK(pool.NewPage(1).status());
+  EXPECT_EQ(pool.NewPage(2).status().code(), StatusCode::kResourceExhausted);
+  pool.Unpin(0, true);
+  ASSERT_OK(pool.NewPage(2).status());  // a free frame again
+  pool.Unpin(1, true);
+  pool.Unpin(2, true);
+}
+
+TEST(BufferPoolTest, FetchHitDoesNotTouchDisk) {
+  std::string path = FreshPath("pool_hit_test.db");
+  ASSERT_OK_AND_ASSIGN(auto disk, DiskManager::Open(path));
+  BufferPool pool(disk.get(), 4);
+  ASSERT_OK_AND_ASSIGN(Page * p, pool.NewPage(0));
+  ASSERT_TRUE(p->InsertRecord("cached").has_value());
+  pool.Unpin(0, true);
+
+  uint64_t misses_before = pool.misses();
+  ASSERT_OK_AND_ASSIGN(Page * again, pool.FetchPage(0));
+  EXPECT_EQ(pool.misses(), misses_before);
+  EXPECT_GE(pool.hits(), 1u);
+  ASSERT_OK_AND_ASSIGN(std::string_view rec, again->GetRecord(0));
+  EXPECT_EQ(rec, "cached");
+  pool.Unpin(0, false);
+}
+
+// ------------------------------------------------------------------ wal
+
+TEST(WalTest, AppendReadRoundTrip) {
+  std::string path = FreshPath("wal_test.wal");
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal, LogWriter::Open(path, /*fsync=*/true));
+    ASSERT_OK(wal->AppendCommit("commit-1"));
+    ASSERT_OK(wal->AppendCommit("commit-2"));
+    ASSERT_OK(wal->AppendCommit(std::string(1000, 'z')));
+  }
+  ASSERT_OK_AND_ASSIGN(WalContents contents, ReadLog(path));
+  ASSERT_EQ(contents.payloads.size(), 3u);
+  EXPECT_EQ(contents.payloads[0], "commit-1");
+  EXPECT_EQ(contents.payloads[1], "commit-2");
+  EXPECT_EQ(contents.payloads[2], std::string(1000, 'z'));
+  EXPECT_EQ(contents.valid_bytes,
+            3 * LogWriter::kRecordHeaderSize + 8 + 8 + 1000);
+}
+
+TEST(WalTest, MissingFileReadsAsEmpty) {
+  ASSERT_OK_AND_ASSIGN(WalContents contents,
+                       ReadLog(FreshPath("wal_missing.wal")));
+  EXPECT_TRUE(contents.payloads.empty());
+  EXPECT_EQ(contents.valid_bytes, 0u);
+}
+
+TEST(WalTest, TornTailIsDroppedNotFatal) {
+  std::string path = FreshPath("wal_torn.wal");
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal, LogWriter::Open(path, true));
+    ASSERT_OK(wal->AppendCommit("good"));
+    // The wal.append failpoint fires after a partial prefix of the record
+    // hits the file — the on-disk state of a kill mid-pwrite.
+    FailpointScope torn("wal.append", "error");
+    ASSERT_TRUE(torn.armed());
+    EXPECT_EQ(wal->AppendCommit("torn-away").code(),
+              StatusCode::kUnavailable);
+  }
+  ASSERT_OK_AND_ASSIGN(WalContents contents, ReadLog(path));
+  ASSERT_EQ(contents.payloads.size(), 1u);
+  EXPECT_EQ(contents.payloads[0], "good");
+}
+
+TEST(WalTest, FailStopAfterInjectedFailure) {
+  std::string path = FreshPath("wal_failstop.wal");
+  ASSERT_OK_AND_ASSIGN(auto wal, LogWriter::Open(path, true));
+  {
+    FailpointScope fp("wal.fsync", "error");
+    ASSERT_TRUE(fp.armed());
+    EXPECT_FALSE(wal->AppendCommit("unacked").ok());
+  }
+  // Failpoint disarmed, but the writer stays poisoned: appending after a
+  // possibly-torn tail would hide the new record from ReadLog.
+  EXPECT_TRUE(wal->failed());
+  EXPECT_EQ(wal->AppendCommit("after").code(), StatusCode::kUnavailable);
+}
+
+TEST(WalTest, ReopenWithValidPrefixTruncatesTornTail) {
+  std::string path = FreshPath("wal_reopen.wal");
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal, LogWriter::Open(path, true));
+    ASSERT_OK(wal->AppendCommit("first"));
+    FailpointScope torn("wal.append", "error");
+    EXPECT_FALSE(wal->AppendCommit("torn").ok());
+  }
+  ASSERT_OK_AND_ASSIGN(WalContents before, ReadLog(path));
+  ASSERT_EQ(before.payloads.size(), 1u);
+
+  // Reopen at the clean prefix (what recovery does), then keep appending:
+  // the torn bytes are chopped, so the new record is visible.
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto wal, LogWriter::Open(path, true, before.valid_bytes));
+    ASSERT_OK(wal->AppendCommit("second"));
+  }
+  ASSERT_OK_AND_ASSIGN(WalContents after, ReadLog(path));
+  ASSERT_EQ(after.payloads.size(), 2u);
+  EXPECT_EQ(after.payloads[0], "first");
+  EXPECT_EQ(after.payloads[1], "second");
+}
+
+TEST(WalTest, TruncateEmptiesTheLog) {
+  std::string path = FreshPath("wal_trunc.wal");
+  ASSERT_OK_AND_ASSIGN(auto wal, LogWriter::Open(path, true));
+  ASSERT_OK(wal->AppendCommit("doomed"));
+  EXPECT_GT(wal->size_bytes(), 0u);
+  ASSERT_OK(wal->Truncate());
+  EXPECT_EQ(wal->size_bytes(), 0u);
+  ASSERT_OK_AND_ASSIGN(WalContents contents, ReadLog(path));
+  EXPECT_TRUE(contents.payloads.empty());
+  // Truncate failure must not poison the writer (replay skips stale
+  // records by sequence anyway).
+  {
+    FailpointScope fp("wal.truncate", "error");
+    ASSERT_OK(wal->AppendCommit("kept"));
+    EXPECT_FALSE(wal->Truncate().ok());
+  }
+  EXPECT_FALSE(wal->failed());
+  ASSERT_OK(wal->AppendCommit("still-works"));
+}
+
+// ------------------------------------------------------------ row codec
+
+TEST(RowCodecTest, AllValueTypesRoundTrip) {
+  Row row = {Value::Null(), Value::Int64(-5), Value::Int64(int64_t{1} << 40),
+             Value::Double(3.25), Value::String("text ' with\nnoise"),
+             Value::String("")};
+  std::string buf;
+  EncodeRow(row, &buf);
+  ByteReader r(buf);
+  ASSERT_OK_AND_ASSIGN(Row back, DecodeRow(&r));
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(back, row);
+}
+
+TEST(RowCodecTest, CorruptTypeTagFails) {
+  std::string buf;
+  EncodeRow({Value::Int64(1)}, &buf);
+  buf[1] = static_cast<char>(0x7f);  // clobber the value's type tag
+  ByteReader r(buf);
+  EXPECT_FALSE(DecodeRow(&r).ok());
+}
+
+// ---------------------------------------------------------- delta codec
+
+TEST(DeltaCodecTest, InsertsAndDeletesRoundTrip) {
+  Delta delta;
+  delta.inserts["R"] = {{Value::Int64(1), Value::String("a")},
+                        {Value::Int64(2), Value::Null()}};
+  delta.inserts["S"] = {{Value::Double(4.5)}};
+  delta.deletes["R"] = {{Value::Int64(9), Value::String("gone")}};
+  std::string buf;
+  EncodeDelta(delta, &buf);
+  ByteReader r(buf);
+  ASSERT_OK_AND_ASSIGN(Delta back, DecodeDelta(&r));
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(back.inserts, delta.inserts);
+  EXPECT_EQ(back.deletes, delta.deletes);
+}
+
+// -------------------------------------------------------- catalog image
+
+TEST(CatalogImageTest, RoundTripPreservesKeysFdsAndVersion) {
+  Catalog catalog;
+  TableDef r("R", {"A", "B", "C"});
+  ASSERT_OK(r.AddKey({0}));
+  ASSERT_OK(r.AddFunctionalDependency({1}, {2}));
+  ASSERT_OK(catalog.AddTable(r));
+  ASSERT_OK(catalog.AddTable(TableDef("S", {"X"})));
+
+  std::string buf;
+  catalog.SerializeTo(&buf);
+  Catalog back;
+  ByteReader reader(buf);
+  ASSERT_OK(back.DeserializeFrom(&reader));
+
+  EXPECT_EQ(back.version(), catalog.version());
+  ASSERT_OK_AND_ASSIGN(const TableDef* rb, back.GetTable("R"));
+  EXPECT_EQ(rb->columns(), (std::vector<std::string>{"A", "B", "C"}));
+  ASSERT_EQ(rb->keys().size(), 1u);
+  EXPECT_EQ(rb->keys()[0], (std::vector<int>{0}));
+  // Exactly the original FDs — the key-derived FD must not be re-derived
+  // (doubled) on load.
+  ASSERT_OK_AND_ASSIGN(const TableDef* ro, catalog.GetTable("R"));
+  EXPECT_EQ(rb->fds().size(), ro->fds().size());
+  EXPECT_TRUE(back.HasTable("S"));
+
+  // Serialize the deserialized catalog again: byte-identical images.
+  std::string buf2;
+  back.SerializeTo(&buf2);
+  EXPECT_EQ(buf, buf2);
+}
+
+// -------------------------------------------------------- storage engine
+
+Delta OneTableDelta(const std::string& table, int64_t from, int64_t count) {
+  Delta d;
+  for (int64_t i = 0; i < count; ++i) {
+    d.inserts[table].push_back(
+        {Value::Int64(from + i), Value::Double((from + i) * 2.0)});
+  }
+  return d;
+}
+
+TEST(StorageEngineTest, FreshFileRecoversEmpty) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_fresh.db");
+  ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+  EXPECT_FALSE(engine->recovered().from_checkpoint);
+  EXPECT_EQ(engine->recovered().replayed_commits, 0u);
+  EXPECT_EQ(engine->last_commit_seq(), 0u);
+}
+
+TEST(StorageEngineTest, CheckpointThenRecoverWithZeroReplay) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_ckpt.db");
+
+  Catalog catalog;
+  TableDef r("R", {"A", "B"});
+  ASSERT_OK(r.AddKey({0}));
+  ASSERT_OK(catalog.AddTable(r));
+  Database db;
+  Table rt({"A", "B"});
+  rt.AddRowOrDie({Value::Int64(1), Value::Double(2.0)});
+  rt.AddRowOrDie({Value::Int64(3), Value::Double(4.0)});
+  db.Put("R", std::move(rt));
+  ViewRegistry views;
+
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+    ASSERT_OK(engine->LogCommit(OneTableDelta("R", 1, 1)));
+    ASSERT_OK(engine->Checkpoint(catalog, views, db, {}));
+    EXPECT_EQ(engine->checkpoint_seq(), 1u);
+    EXPECT_EQ(engine->wal_bytes(), 0u);  // truncated by the checkpoint
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+    RecoveredState& rec = engine->recovered();
+    EXPECT_TRUE(rec.from_checkpoint);
+    EXPECT_EQ(rec.replayed_commits, 0u);
+    EXPECT_EQ(rec.last_commit_seq, 1u);
+    EXPECT_TRUE(rec.catalog.HasTable("R"));
+    ASSERT_OK_AND_ASSIGN(const Table* rb, rec.db.Get("R"));
+    EXPECT_EQ(rb->num_rows(), 2u);
+  }
+}
+
+TEST(StorageEngineTest, WalReplayOnTopOfCheckpoint) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_replay.db");
+
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("R", {"A", "B"})));
+  Database db;
+  db.Put("R", Table({"A", "B"}));
+  ViewRegistry views;
+
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+    ASSERT_OK(engine->Checkpoint(catalog, views, db, {}));
+    // Two commits after the checkpoint, never checkpointed.
+    ASSERT_OK(engine->LogCommit(OneTableDelta("R", 10, 2)));
+    ASSERT_OK(engine->LogCommit(OneTableDelta("R", 20, 3)));
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+    RecoveredState& rec = engine->recovered();
+    EXPECT_EQ(rec.replayed_commits, 2u);
+    EXPECT_EQ(rec.last_commit_seq, 2u);
+    ASSERT_OK_AND_ASSIGN(const Table* rb, rec.db.Get("R"));
+    EXPECT_EQ(rb->num_rows(), 5u);
+  }
+}
+
+TEST(StorageEngineTest, MultiPageTableSurvivesRestart) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_big.db");
+  opts.buffer_pool_pages = 4;  // force eviction traffic during checkpoint
+
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("Big", {"A", "B"})));
+  Database db;
+  Table big({"A", "B"});
+  // ~2000 rows with fat strings: far more than 4 pages worth of data.
+  for (int64_t i = 0; i < 2000; ++i) {
+    big.AddRowOrDie(
+        {Value::Int64(i), Value::String(std::string(64, 'a' + (i % 26)))});
+  }
+  db.Put("Big", big);
+  ViewRegistry views;
+
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+    ASSERT_OK(engine->Checkpoint(catalog, views, db, {}));
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+    ASSERT_OK_AND_ASSIGN(const Table* back, engine->recovered().db.Get("Big"));
+    EXPECT_TRUE(MultisetEqual(*back, big));
+  }
+}
+
+TEST(StorageEngineTest, RepeatedCheckpointsReuseFileSpace) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_reuse.db");
+
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("R", {"A", "B"})));
+  Database db;
+  Table rt({"A", "B"});
+  for (int64_t i = 0; i < 100; ++i) {
+    rt.AddRowOrDie({Value::Int64(i), Value::Double(i * 1.0)});
+  }
+  db.Put("R", std::move(rt));
+  ViewRegistry views;
+
+  ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+  ASSERT_OK(engine->Checkpoint(catalog, views, db, {}));
+  ASSERT_OK_AND_ASSIGN(auto disk, DiskManager::Open(opts.path));
+  uint32_t pages_after_first = disk->page_count();
+  disk.reset();
+
+  // The same contents checkpointed repeatedly: shadow pages must come from
+  // the previous generations' freed ids, not extend the file every time.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_OK(engine->Checkpoint(catalog, views, db, {}));
+  }
+  ASSERT_OK_AND_ASSIGN(auto disk2, DiskManager::Open(opts.path));
+  EXPECT_LE(disk2->page_count(), 2 * pages_after_first + 2);
+}
+
+TEST(StorageEngineTest, FailedCheckpointKeepsPreviousOneLive) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_ckpt_fail.db");
+
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("R", {"A", "B"})));
+  Database db1;
+  Table t1({"A", "B"});
+  t1.AddRowOrDie({Value::Int64(1), Value::Double(1.0)});
+  db1.Put("R", std::move(t1));
+  ViewRegistry views;
+
+  ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+  ASSERT_OK(engine->Checkpoint(catalog, views, db1, {}));
+
+  // A second checkpoint dies mid page-flush: the first must stay live.
+  Database db2;
+  Table t2({"A", "B"});
+  t2.AddRowOrDie({Value::Int64(2), Value::Double(2.0)});
+  db2.Put("R", std::move(t2));
+  {
+    FailpointScope fp("page.flush", "error(100,1)");
+    ASSERT_TRUE(fp.armed());
+    EXPECT_FALSE(engine->Checkpoint(catalog, views, db2, {}).ok());
+  }
+  engine.reset();
+
+  ASSERT_OK_AND_ASSIGN(auto recovered, StorageEngine::Open(opts, nullptr));
+  ASSERT_OK_AND_ASSIGN(const Table* back, recovered->recovered().db.Get("R"));
+  ASSERT_EQ(back->num_rows(), 1u);
+  EXPECT_EQ(back->rows()[0][0], Value::Int64(1));
+}
+
+TEST(StorageEngineTest, LogCommitFailStopsUntilReopen) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_failstop.db");
+  ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+  // Checkpoint the (empty) table first — the service always checkpoints at
+  // CREATE TABLE, so every WAL delta references a checkpointed table.
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("R", {"A", "B"})));
+  Database db;
+  db.Put("R", Table({"A", "B"}));
+  ASSERT_OK(engine->Checkpoint(catalog, ViewRegistry{}, db, {}));
+  ASSERT_OK(engine->LogCommit(OneTableDelta("R", 1, 1)));
+  {
+    FailpointScope fp("wal.append", "error");
+    EXPECT_FALSE(engine->LogCommit(OneTableDelta("R", 2, 1)).ok());
+  }
+  EXPECT_TRUE(engine->failed());
+  EXPECT_EQ(engine->LogCommit(OneTableDelta("R", 3, 1)).code(),
+            StatusCode::kUnavailable);
+  engine.reset();
+
+  // Reopen recovers the one acknowledged commit and accepts writes again.
+  ASSERT_OK_AND_ASSIGN(auto reopened, StorageEngine::Open(opts, nullptr));
+  EXPECT_EQ(reopened->recovered().replayed_commits, 1u);
+  EXPECT_FALSE(reopened->failed());
+  ASSERT_OK(reopened->LogCommit(OneTableDelta("R", 2, 1)));
+}
+
+}  // namespace
+}  // namespace aqv
