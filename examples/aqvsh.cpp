@@ -21,6 +21,9 @@
 //   TRACE ON|OFF|CLEAR|DUMP ['trace.json'] -- span tracing (Chrome/Perfetto)
 //   STATS                                  -- service runtime counters
 //   STATS PROM                             -- Prometheus text exposition
+//   STATS HISTORY [JSON] [n]               -- sampled telemetry windows
+//   STATS ATTRIBUTION [n]                  -- per-fingerprint cost breakdown
+//   MONITOR [n]                            -- cut a window now + recent rates
 //   SLOWLOG                                -- slow-query log (see ServiceOptions)
 //   FAILPOINT [LIST]                       -- armed fault-injection sites
 //   FAILPOINT <name> error(10) | CLEAR     -- arm / disarm failpoints
@@ -105,6 +108,9 @@ class Shell {
         "    spec: off | error[(P[,N])] | delay(U[,P[,N]])  (P=pct, U=usec)\n"
         "  CHECKPOINT                       -- flush pages + truncate WAL "
         "(--db only)\n"
+        "  STATS HISTORY [JSON] [n]         -- sampled telemetry windows\n"
+        "  STATS ATTRIBUTION [n]            -- per-fingerprint cost breakdown\n"
+        "  MONITOR [n]                      -- cut a window now + recent rates\n"
         "  STATS | STATS PROM | SLOWLOG | TABLES | VIEWS | HELP | QUIT\n");
   }
 
@@ -115,6 +121,10 @@ class Shell {
 
 int main(int argc, char** argv) {
   ServiceOptions options;
+  // Interactive shells want STATS HISTORY to have data without opting in;
+  // the sampler is one thread cutting a window every 250 ms (see E19 for
+  // its measured overhead).
+  options.telemetry_interval_micros = 250'000;
   std::string script;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "base/query_stats.h"
 #include "base/status.h"
 
 namespace aqv {
@@ -101,6 +102,14 @@ class ExecContext {
   /// Rows charged so far (monotonic across operators).
   size_t rows_charged() const { return rows_charged_; }
 
+  /// Optional per-statement cost attribution sink. The owner (the service
+  /// handler) hangs its QueryStats here so stages that only see the
+  /// context — the evaluator, the storage commit path — can contribute
+  /// phase times and work counters. Must outlive the statement; never
+  /// touched by TickRows, so the hot path is unaffected.
+  void set_stats(QueryStats* stats) { stats_ = stats; }
+  QueryStats* stats() const { return stats_; }
+
   /// Resets the violation and row accounting but keeps the configured
   /// limits — except that a tripped row budget stays tripped only through
   /// its counter, so a degraded retry gets a fresh budget against the same
@@ -120,6 +129,7 @@ class ExecContext {
   size_t rows_charged_ = 0;
   size_t stride_ = 0;
   Status status_;
+  QueryStats* stats_ = nullptr;
 };
 
 }  // namespace aqv

@@ -75,10 +75,49 @@ double LatencyHistogram::PercentileMicros(double q) const {
   return BucketRange(kNumBuckets - 1).second;
 }
 
+std::vector<uint64_t> LatencyHistogram::BucketCounts() const {
+  std::vector<uint64_t> out(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+uint64_t LatencyHistogram::BucketUpperMicros(int i) {
+  if (i <= 0) return 0;
+  if (i >= 63) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_micros_.store(0, std::memory_order_relaxed);
   max_micros_.store(0, std::memory_order_relaxed);
+}
+
+std::string PromLabeledName(const std::string& family, const std::string& key,
+                            const std::string& value) {
+  std::string out = family;
+  out += '{';
+  out += key;
+  out += "=\"";
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += "\"}";
+  return out;
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
@@ -100,6 +139,12 @@ LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<LatencyHistogram>();
   return *slot;
+}
+
+void MetricsRegistry::SetHelp(const std::string& family,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[family] = help;
 }
 
 std::string MetricsRegistry::Report() const {
@@ -152,48 +197,86 @@ std::string PromBase(const std::string& prom_name) {
   return prom_name.substr(0, prom_name.find('{'));
 }
 
+/// HELP text must escape backslash and newline per the text format.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string MetricsRegistry::PromText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char line[256];
-  // Labeled series of one metric family share a single # TYPE line; the
-  // map is name-sorted, so a family's series are adjacent.
+  // Emits the family header (# HELP then # TYPE) once per family; labeled
+  // series of one family are adjacent because the maps are name-sorted.
+  // Families without registered help self-describe with the internal
+  // dotted name, so every family always carries both header lines.
   std::string last_family;
+  auto header = [&](const std::string& name, const std::string& family,
+                    const char* type) {
+    if (family == last_family) return;
+    last_family = family;
+    std::string dotted = name.substr(0, name.find('{'));
+    auto it = help_.find(dotted);
+    std::string help = it != help_.end() ? it->second : "aqv metric " + dotted;
+    out += "# HELP " + family + " " + EscapeHelp(help) + "\n";
+    out += "# TYPE " + family + " " + type + "\n";
+  };
   for (const auto& [name, counter] : counters_) {
     std::string p = PromName(name);
-    std::string family = PromBase(p);
-    if (family != last_family) {
-      out += "# TYPE " + family + " counter\n";
-      last_family = family;
-    }
+    header(name, PromBase(p), "counter");
     std::snprintf(line, sizeof(line), "%s %llu\n", p.c_str(),
                   static_cast<unsigned long long>(counter->value()));
     out += line;
   }
   for (const auto& [name, gauge] : gauges_) {
     std::string p = PromName(name);
-    out += "# TYPE " + p + " gauge\n";
+    header(name, PromBase(p), "gauge");
     std::snprintf(line, sizeof(line), "%s %lld\n", p.c_str(),
                   static_cast<long long>(gauge->value()));
     out += line;
   }
   for (const auto& [name, hist] : histograms_) {
     std::string p = PromName(name);
-    out += "# TYPE " + p + " summary\n";
+    header(name, PromBase(p), "histogram");
+    // Native histogram exposition: cumulative counts at each power-of-two
+    // upper bound. le values are the *inclusive* integer bucket bounds
+    // (0, 1, 3, 7, ...), exact for integer-microsecond samples. Empty
+    // trailing buckets are collapsed into the +Inf series to bound output.
+    std::vector<uint64_t> counts = hist->BucketCounts();
+    int last_nonempty = -1;
+    uint64_t total = 0;
+    for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      if (counts[i] != 0) last_nonempty = i;
+      total += counts[i];
+    }
+    uint64_t cumulative = 0;
+    for (int i = 0; i <= last_nonempty && i < LatencyHistogram::kNumBuckets - 1;
+         ++i) {
+      cumulative += counts[i];
+      std::snprintf(line, sizeof(line), "%s_bucket{le=\"%llu\"} %llu\n",
+                    p.c_str(),
+                    static_cast<unsigned long long>(
+                        LatencyHistogram::BucketUpperMicros(i)),
+                    static_cast<unsigned long long>(cumulative));
+      out += line;
+    }
     std::snprintf(line, sizeof(line),
-                  "%s{quantile=\"0.5\"} %.1f\n"
-                  "%s{quantile=\"0.99\"} %.1f\n"
-                  "%s{quantile=\"1\"} %llu\n",
-                  p.c_str(), hist->PercentileMicros(0.5), p.c_str(),
-                  hist->PercentileMicros(0.99), p.c_str(),
-                  static_cast<unsigned long long>(hist->max_micros()));
-    out += line;
-    std::snprintf(line, sizeof(line), "%s_sum %llu\n%s_count %llu\n",
-                  p.c_str(),
+                  "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n%s_count %llu\n",
+                  p.c_str(), static_cast<unsigned long long>(total), p.c_str(),
                   static_cast<unsigned long long>(hist->sum_micros()),
-                  p.c_str(), static_cast<unsigned long long>(hist->count()));
+                  p.c_str(), static_cast<unsigned long long>(total));
     out += line;
   }
   return out;
@@ -208,6 +291,29 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues(
     out.emplace_back(it->first, it->second->value());
   }
   return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::Hist h;
+    h.name = name;
+    h.count = hist->count();
+    h.sum_micros = hist->sum_micros();
+    h.max_micros = hist->max_micros();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
 }
 
 void MetricsRegistry::ResetAll() {

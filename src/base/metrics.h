@@ -56,6 +56,17 @@ class LatencyHistogram {
   }
   double mean_micros() const;
 
+  /// Relaxed snapshot of every bucket count, index-aligned with
+  /// BucketUpperMicros. Used by the Prometheus exposition and the
+  /// telemetry sampler; not a consistent cut (buckets may be mid-update)
+  /// but each bucket value is monotone, so cumulative sums stay monotone.
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// Inclusive upper bound in microseconds of bucket `i`: 0 for bucket 0,
+  /// else 2^i - 1 (samples are integer micros, so this is exact). The last
+  /// bucket absorbs everything larger and has no finite bound.
+  static uint64_t BucketUpperMicros(int i);
+
   /// Largest sample ever recorded (exact, not bucket-rounded) — the tail
   /// value that pages you, reported alongside the approximate percentiles.
   uint64_t max_micros() const {
@@ -74,6 +85,31 @@ class LatencyHistogram {
   std::atomic<uint64_t> max_micros_{0};
 };
 
+/// Registry-internal metric name for one series of a labeled family, with
+/// the label value escaped per the Prometheus text format (backslash,
+/// double-quote, and newline). Example:
+///   PromLabeledName("service.errors_total", "code", "bad\"value")
+///     -> service.errors_total{code="bad\"value"}
+/// Build labeled names through this so PromText can emit the stored label
+/// block verbatim and still be parseable.
+std::string PromLabeledName(const std::string& family, const std::string& key,
+                            const std::string& value);
+
+/// Point-in-time copy of every registered metric, taken under the registry
+/// mutex with relaxed value reads. This is what the telemetry sampler
+/// diffs between windows.
+struct MetricsSnapshot {
+  struct Hist {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum_micros = 0;
+    uint64_t max_micros = 0;
+  };
+  std::vector<std::pair<std::string, uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, int64_t>> gauges;     // name-sorted
+  std::vector<Hist> histograms;                            // name-sorted
+};
+
 /// Name -> metric registry. Metrics are created on first use and live as
 /// long as the registry, so callers may cache the returned references.
 /// Creation takes a mutex; the returned Counter/LatencyHistogram objects are
@@ -84,15 +120,21 @@ class MetricsRegistry {
   Gauge& GetGauge(const std::string& name);
   LatencyHistogram& GetHistogram(const std::string& name);
 
+  /// Attach Prometheus `# HELP` text to a metric family (the name before
+  /// any label block). Families without registered help export their own
+  /// dotted name as help text.
+  void SetHelp(const std::string& family, const std::string& help);
+
   /// Multi-line "name value" / "name count=.. mean=.. p50=.. p99=.. max=.."
   /// report, sorted by metric name.
   std::string Report() const;
 
-  /// Prometheus text exposition format (one `# TYPE` line per metric
-  /// family; histograms export as summaries with p50/p99/max quantiles plus
-  /// _sum and _count). Names are prefixed "aqv_" and sanitized to
-  /// [a-z0-9_], except that a trailing label block — as in
-  /// `service.errors_total{code="unavailable"}` — is exported verbatim.
+  /// Prometheus text exposition format: `# HELP` + `# TYPE` per metric
+  /// family; histograms export natively as cumulative `_bucket{le="..."}`
+  /// series over the power-of-two bucket bounds plus `_sum`/`_count`.
+  /// Names are prefixed "aqv_" and sanitized to [a-z0-9_], except that a
+  /// trailing label block — as in `service.errors_total{code="x"}` — is
+  /// exported verbatim (escape values via PromLabeledName at creation).
   std::string PromText() const;
 
   /// (name, value) of every counter whose name starts with `prefix`,
@@ -100,6 +142,9 @@ class MetricsRegistry {
   /// (per-status-code error counters) without parsing the Prom text.
   std::vector<std::pair<std::string, uint64_t>> CounterValues(
       const std::string& prefix) const;
+
+  /// Snapshot of all registered metrics (see MetricsSnapshot).
+  MetricsSnapshot Snapshot() const;
 
   /// Zeroes every registered metric (the metrics stay registered).
   void ResetAll();
@@ -109,6 +154,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 }  // namespace aqv

@@ -1,0 +1,243 @@
+#include "base/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace aqv {
+
+namespace {
+
+uint64_t SteadyMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int64_t UnixMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Metric names may carry Prometheus label blocks (quotes, backslashes),
+/// so JSON keys must be escaped like any other string.
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+uint64_t TelemetryWindow::CounterDelta(const std::string& name) const {
+  auto it = std::lower_bound(
+      counter_deltas.begin(), counter_deltas.end(), name,
+      [](const auto& p, const std::string& n) { return p.first < n; });
+  return it != counter_deltas.end() && it->first == name ? it->second : 0;
+}
+
+int64_t TelemetryWindow::GaugeValue(const std::string& name) const {
+  auto it = std::lower_bound(
+      gauge_values.begin(), gauge_values.end(), name,
+      [](const auto& p, const std::string& n) { return p.first < n; });
+  return it != gauge_values.end() && it->first == name ? it->second : 0;
+}
+
+const TelemetryWindow::Hist* TelemetryWindow::Histogram(
+    const std::string& name) const {
+  auto it = std::lower_bound(
+      histograms.begin(), histograms.end(), name,
+      [](const Hist& h, const std::string& n) { return h.name < n; });
+  return it != histograms.end() && it->name == name ? &*it : nullptr;
+}
+
+TelemetryRecorder::TelemetryRecorder(MetricsRegistry* registry,
+                                     TelemetryOptions options)
+    : registry_(registry), options_(options) {
+  ring_.resize(options_.capacity == 0 ? 1 : options_.capacity);
+  // Prime the delta baseline so the first window reports only activity
+  // after recorder construction, not lifetime-cumulative values.
+  MetricsSnapshot snap = registry_->Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, v] : snap.counters) last_counters_[name] = v;
+  for (const auto& h : snap.histograms) {
+    last_hists_[h.name] = {h.count, h.sum_micros};
+  }
+  window_start_micros_ = SteadyMicros();
+}
+
+TelemetryRecorder::~TelemetryRecorder() { Stop(); }
+
+void TelemetryRecorder::Start() {
+  if (options_.interval_micros == 0 ||
+      running_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_relaxed);
+  sampler_ = std::thread([this] { SamplerLoop(); });
+}
+
+void TelemetryRecorder::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void TelemetryRecorder::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::microseconds(options_.interval_micros),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+TelemetryWindowPtr TelemetryRecorder::SampleNow() {
+  // Snapshot outside mu_ would race concurrent SampleNow callers on the
+  // baseline maps; the registry lock nests inside mu_ and nothing takes
+  // them in the other order.
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap = registry_->Snapshot();
+
+  auto w = std::make_shared<TelemetryWindow>();
+  w->seq = next_seq_;
+  w->start_micros = window_start_micros_;
+  w->end_micros = SteadyMicros();
+  if (w->end_micros <= w->start_micros) w->end_micros = w->start_micros + 1;
+  w->unix_millis = UnixMillis();
+
+  w->counter_deltas.reserve(snap.counters.size());
+  for (const auto& [name, v] : snap.counters) {
+    uint64_t& last = last_counters_[name];
+    uint64_t delta = v >= last ? v - last : v;  // reset-aware
+    last = v;
+    if (delta != 0) w->counter_deltas.emplace_back(name, delta);
+  }
+  w->gauge_values.assign(snap.gauges.begin(), snap.gauges.end());
+  w->histograms.reserve(snap.histograms.size());
+  for (const auto& h : snap.histograms) {
+    auto& last = last_hists_[h.name];
+    TelemetryWindow::Hist out;
+    out.name = h.name;
+    out.delta_count = h.count >= last.first ? h.count - last.first : h.count;
+    out.delta_sum_micros =
+        h.sum_micros >= last.second ? h.sum_micros - last.second : h.sum_micros;
+    out.max_micros = h.max_micros;
+    last = {h.count, h.sum_micros};
+    if (out.delta_count != 0) w->histograms.push_back(std::move(out));
+  }
+
+  size_t slot = next_seq_ % ring_.size();
+  if (ring_[slot] != nullptr) {
+    windows_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring_[slot] = w;
+  ++next_seq_;
+  window_start_micros_ = w->end_micros;
+  windows_sampled_.fetch_add(1, std::memory_order_relaxed);
+  return w;
+}
+
+std::vector<TelemetryWindowPtr> TelemetryRecorder::History(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t available = next_seq_ < ring_.size()
+                         ? static_cast<size_t>(next_seq_)
+                         : ring_.size();
+  size_t take = n == 0 || n > available ? available : n;
+  std::vector<TelemetryWindowPtr> out;
+  out.reserve(take);
+  for (uint64_t seq = next_seq_ - take; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TelemetryRecorder::HistoryJson(size_t n) const {
+  std::vector<TelemetryWindowPtr> windows = History(n);
+  std::string out = "[";
+  char buf[128];
+  bool first_window = true;
+  for (const auto& w : windows) {
+    if (!first_window) out += ",";
+    first_window = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"seq\":%llu,\"unix_millis\":%lld,\"duration_micros\":%llu",
+                  static_cast<unsigned long long>(w->seq),
+                  static_cast<long long>(w->unix_millis),
+                  static_cast<unsigned long long>(w->duration_micros()));
+    out += buf;
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, delta] : w->counter_deltas) {
+      if (!first) out += ",";
+      first = false;
+      AppendJsonString(&out, name);
+      std::snprintf(buf, sizeof(buf), ":%llu",
+                    static_cast<unsigned long long>(delta));
+      out += buf;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : w->gauge_values) {
+      if (!first) out += ",";
+      first = false;
+      AppendJsonString(&out, name);
+      std::snprintf(buf, sizeof(buf), ":%lld", static_cast<long long>(v));
+      out += buf;
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& h : w->histograms) {
+      if (!first) out += ",";
+      first = false;
+      AppendJsonString(&out, h.name);
+      std::snprintf(buf, sizeof(buf),
+                    ":{\"count\":%llu,\"sum_micros\":%llu,\"max_micros\":%llu}",
+                    static_cast<unsigned long long>(h.delta_count),
+                    static_cast<unsigned long long>(h.delta_sum_micros),
+                    static_cast<unsigned long long>(h.max_micros));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace aqv

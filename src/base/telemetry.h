@@ -1,0 +1,132 @@
+#ifndef AQV_BASE_TELEMETRY_H_
+#define AQV_BASE_TELEMETRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/metrics.h"
+
+namespace aqv {
+
+/// One sampling window: the change in every registered metric between two
+/// consecutive sampler ticks. Counters and histogram count/sum are
+/// delta-encoded (what happened *during* this window); gauges and histogram
+/// max are point-in-time levels. Windows are immutable once published.
+struct TelemetryWindow {
+  uint64_t seq = 0;          // monotone window number since recorder start
+  int64_t unix_millis = 0;   // wall-clock stamp at window close
+  uint64_t start_micros = 0;  // window open, recorder steady clock
+  uint64_t end_micros = 0;    // window close, recorder steady clock
+
+  std::vector<std::pair<std::string, uint64_t>> counter_deltas;  // sorted
+  std::vector<std::pair<std::string, int64_t>> gauge_values;     // sorted
+
+  struct Hist {
+    std::string name;
+    uint64_t delta_count = 0;       // samples recorded during the window
+    uint64_t delta_sum_micros = 0;  // their summed latency
+    uint64_t max_micros = 0;        // lifetime max as of window close
+  };
+  std::vector<Hist> histograms;  // sorted
+
+  uint64_t duration_micros() const { return end_micros - start_micros; }
+
+  /// Delta of the named counter in this window (0 if absent).
+  uint64_t CounterDelta(const std::string& name) const;
+  /// Level of the named gauge at window close (0 if absent).
+  int64_t GaugeValue(const std::string& name) const;
+  /// Histogram deltas for `name` (nullptr if absent).
+  const Hist* Histogram(const std::string& name) const;
+};
+
+using TelemetryWindowPtr = std::shared_ptr<const TelemetryWindow>;
+
+struct TelemetryOptions {
+  /// Sampler thread tick interval. 0 disables the background thread;
+  /// windows can still be cut on demand via SampleNow() (MONITOR does).
+  uint64_t interval_micros = 250'000;
+  /// Ring capacity in windows; the oldest window is dropped (and counted)
+  /// once full. 240 windows at 250 ms is one minute of history.
+  size_t capacity = 240;
+};
+
+/// Time-series recorder over a MetricsRegistry: a background sampler cuts a
+/// delta-encoded TelemetryWindow per tick into a bounded ring, turning
+/// lifetime-cumulative counters into queryable curves (throughput dips,
+/// cache-hit drift, fsync spikes).
+///
+/// Concurrency: the metric *record* hot path (query threads bumping relaxed
+/// atomics) never touches the recorder and stays lock-free. Window
+/// publication swaps shared_ptrs in the ring under a small mutex held only
+/// by the sampler tick and History() readers — both rare and O(capacity) —
+/// never by statement execution. Readers receive immutable snapshots, so a
+/// window stays valid after eviction for as long as a reader holds it.
+class TelemetryRecorder {
+ public:
+  TelemetryRecorder(MetricsRegistry* registry, TelemetryOptions options);
+  ~TelemetryRecorder();
+
+  TelemetryRecorder(const TelemetryRecorder&) = delete;
+  TelemetryRecorder& operator=(const TelemetryRecorder&) = delete;
+
+  /// Starts the background sampler (no-op when interval is 0 or already
+  /// running). The first window opens at the time of this call.
+  void Start();
+  /// Stops and joins the sampler thread. Idempotent; the ring survives.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  /// Cuts one window right now (also what the sampler thread calls each
+  /// tick). Returns the freshly published window.
+  TelemetryWindowPtr SampleNow();
+
+  /// The most recent `n` windows, oldest first (all retained windows when
+  /// n is 0 or exceeds the ring).
+  std::vector<TelemetryWindowPtr> History(size_t n = 0) const;
+
+  /// History as a JSON array (oldest first), the export artifact format.
+  std::string HistoryJson(size_t n = 0) const;
+
+  uint64_t windows_sampled() const {
+    return windows_sampled_.load(std::memory_order_relaxed);
+  }
+  uint64_t windows_dropped() const {
+    return windows_dropped_.load(std::memory_order_relaxed);
+  }
+  const TelemetryOptions& options() const { return options_; }
+
+ private:
+  void SamplerLoop();
+
+  MetricsRegistry* const registry_;
+  const TelemetryOptions options_;
+
+  mutable std::mutex mu_;  // ring + delta baseline; see class comment
+  std::vector<TelemetryWindowPtr> ring_;  // ring_[seq % capacity]
+  uint64_t next_seq_ = 0;
+  uint64_t window_start_micros_ = 0;  // open edge of the current window
+  // Cumulative values at the previous tick, for delta encoding.
+  std::map<std::string, uint64_t> last_counters_;
+  std::map<std::string, std::pair<uint64_t, uint64_t>> last_hists_;
+
+  std::atomic<uint64_t> windows_sampled_{0};
+  std::atomic<uint64_t> windows_dropped_{0};
+
+  std::mutex thread_mu_;  // guards cv_ wakeups only
+  std::condition_variable cv_;
+  std::thread sampler_;
+  std::atomic<bool> running_{false};
+  bool stop_requested_ = false;  // under thread_mu_
+};
+
+}  // namespace aqv
+
+#endif  // AQV_BASE_TELEMETRY_H_

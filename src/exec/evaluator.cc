@@ -79,12 +79,23 @@ Result<const Table*> Evaluator::InputTable(const std::string& name, int depth) {
 }
 
 Result<Table> Evaluator::Execute(const Query& query) {
-  if (profile_ == nullptr) return ExecuteInternal(query, 0);
-  profile_->ops.clear();
-  profile_->total_micros = 0;
-  ProfClock::time_point t0 = ProfClock::now();
-  Result<Table> result = ExecuteInternal(query, 0);
-  profile_->total_micros = MicrosSince(t0);
+  // Rows this call charges against the context become the statement's
+  // rows_processed attribution; the delta keeps repeated Execute calls on
+  // one context (degraded retries) from double-counting earlier work.
+  size_t rows_before =
+      ctx_ != nullptr && ctx_->stats() != nullptr ? ctx_->rows_charged() : 0;
+  Result<Table> result = [&]() -> Result<Table> {
+    if (profile_ == nullptr) return ExecuteInternal(query, 0);
+    profile_->ops.clear();
+    profile_->total_micros = 0;
+    ProfClock::time_point t0 = ProfClock::now();
+    Result<Table> r = ExecuteInternal(query, 0);
+    profile_->total_micros = MicrosSince(t0);
+    return r;
+  }();
+  if (ctx_ != nullptr && ctx_->stats() != nullptr) {
+    ctx_->stats()->rows_processed += ctx_->rows_charged() - rows_before;
+  }
   return result;
 }
 

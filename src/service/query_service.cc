@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <utility>
@@ -112,7 +113,29 @@ std::string ServiceStats::ToString() const {
         static_cast<unsigned long long>(storage_wal_replayed),
         static_cast<long long>(storage_recovery_ms));
     out += sbuf;
+    std::snprintf(
+        sbuf, sizeof(sbuf),
+        "storage pool        %llu hits / %llu misses\n"
+        "storage fsync       p50=%.1fus p99=%.1fus max=%lluus\n"
+        "storage checkpoint  p99=%.1fus\n"
+        "recovery phases     replay=%lldms view-recompute=%lldms\n",
+        static_cast<unsigned long long>(storage_pool_hits),
+        static_cast<unsigned long long>(storage_pool_misses),
+        storage_fsync_p50_micros, storage_fsync_p99_micros,
+        static_cast<unsigned long long>(storage_fsync_max_micros),
+        storage_checkpoint_p99_micros,
+        static_cast<long long>(storage_recovery_replay_ms),
+        static_cast<long long>(storage_recovery_recompute_ms));
+    out += sbuf;
   }
+  char obuf[160];
+  std::snprintf(obuf, sizeof(obuf),
+                "trace dropped spans %llu\n"
+                "telemetry           %llu window(s) sampled, %llu dropped\n",
+                static_cast<unsigned long long>(trace_dropped_spans),
+                static_cast<unsigned long long>(telemetry_windows),
+                static_cast<unsigned long long>(telemetry_dropped));
+  out += obuf;
   return out;
 }
 
@@ -144,6 +167,27 @@ QueryService::QueryService(ServiceOptions options)
       exec_latency_(metrics_.GetHistogram("service.exec_latency")),
       maintain_latency_(metrics_.GetHistogram("service.maintain_latency")) {
   cache_capacity_gauge_.Set(static_cast<int64_t>(plan_cache_.capacity()));
+  metrics_.SetHelp("service.statements", "Statements accepted (all kinds)");
+  metrics_.SetHelp("service.queries_served", "SELECTs executed to completion");
+  metrics_.SetHelp("service.errors_total",
+                   "Failed statements by status-code token");
+  metrics_.SetHelp("service.exec_latency",
+                   "SELECT execution wall time, microseconds");
+  metrics_.SetHelp("service.optimize_latency",
+                   "Rewrite-search wall time per planned statement, "
+                   "microseconds");
+  metrics_.SetHelp("service.maintain_latency",
+                   "Write-path view maintenance wall time, microseconds");
+  metrics_.SetHelp("trace.dropped_spans",
+                   "Spans lost to trace-ring overflow since the last clear");
+  metrics_.SetHelp("telemetry.windows_sampled",
+                   "Telemetry windows cut since service start");
+  metrics_.SetHelp("telemetry.windows_dropped",
+                   "Telemetry windows evicted from the history ring");
+  metrics_.SetHelp("storage.wal_fsync_latency",
+                   "WAL fsync wall time per commit, microseconds");
+  metrics_.SetHelp("storage.checkpoint_latency",
+                   "Full shadow-paged checkpoint duration, microseconds");
   if (!options_.storage_path.empty()) {
     storage_status_ = AttachStorage();
     if (!storage_status_.ok()) {
@@ -153,6 +197,11 @@ QueryService::QueryService(ServiceOptions options)
       storage_.reset();
     }
   }
+  TelemetryOptions topts;
+  topts.interval_micros = options_.telemetry_interval_micros;
+  topts.capacity = options_.telemetry_history_capacity;
+  telemetry_ = std::make_unique<TelemetryRecorder>(&metrics_, topts);
+  telemetry_->Start();  // no-op when the interval is 0
 }
 
 Status QueryService::AttachStorage() {
@@ -172,7 +221,11 @@ Status QueryService::AttachStorage() {
 
   // Recompute every stale view (checkpoint contents predate the replayed
   // WAL tail, or were never written), upstream-first so a view over another
-  // stale view reads refreshed inputs.
+  // stale view reads refreshed inputs. This is the second recovery phase —
+  // WAL replay happened inside StorageEngine::Open — and is timed
+  // separately so E18-style analysis can tell log-bound from compute-bound
+  // recoveries apart.
+  Clock::time_point recompute_start = Clock::now();
   std::vector<std::string> pending = rec.stale_views;
   while (!pending.empty()) {
     bool progressed = false;
@@ -199,6 +252,8 @@ Status QueryService::AttachStorage() {
       return Status::Internal("cyclic stale-view dependencies at recovery");
     }
   }
+  metrics_.GetGauge("storage.recovery_recompute_ms")
+      .Set(static_cast<int64_t>(ElapsedMicros(recompute_start) / 1000));
 
   // Warm the plan cache from the persisted images — but only if the
   // re-registered schema matches the versions the images were saved under;
@@ -228,6 +283,14 @@ Status QueryService::AttachStorage() {
   storage_checkpoints_ = &metrics_.GetCounter("storage.checkpoints");
   storage_wal_replayed_ = &metrics_.GetCounter("storage.wal_replayed");
   storage_recovery_ms_ = &metrics_.GetGauge("storage.recovery_ms");
+  storage_pool_hits_ = &metrics_.GetCounter("storage.pool_hits");
+  storage_pool_misses_ = &metrics_.GetCounter("storage.pool_misses");
+  storage_fsync_latency_ = &metrics_.GetHistogram("storage.wal_fsync_latency");
+  storage_checkpoint_latency_ =
+      &metrics_.GetHistogram("storage.checkpoint_latency");
+  storage_recovery_replay_ms_ = &metrics_.GetGauge("storage.recovery_replay_ms");
+  storage_recovery_recompute_ms_ =
+      &metrics_.GetGauge("storage.recovery_recompute_ms");
   return Status::OK();
 }
 
@@ -258,10 +321,11 @@ namespace {
 /// operator must be able to inspect (and disarm failpoints on) a server
 /// that is rejecting data statements as busy.
 bool IsControlStatement(const std::string& upper) {
-  return upper == "STATS" || upper == "STATS PROM" || upper == "SLOWLOG" ||
-         upper == "TABLES" || upper == "VIEWS" || upper == "COMMIT" ||
-         upper == "ROLLBACK" || StartsWith(upper, "TRACE") ||
-         StartsWith(upper, "FAILPOINT");
+  return upper == "STATS" || StartsWith(upper, "STATS ") ||
+         upper == "MONITOR" || StartsWith(upper, "MONITOR ") ||
+         upper == "SLOWLOG" || upper == "TABLES" || upper == "VIEWS" ||
+         upper == "COMMIT" || upper == "ROLLBACK" ||
+         StartsWith(upper, "TRACE") || StartsWith(upper, "FAILPOINT");
 }
 
 }  // namespace
@@ -493,7 +557,19 @@ ServiceStats QueryService::Stats() const {
     s.storage_recovery_ms = storage_recovery_ms_->value();
     s.storage_last_commit_seq = storage_->last_commit_seq();
     s.storage_checkpoint_seq = storage_->checkpoint_seq();
+    s.storage_pool_hits = storage_pool_hits_->value();
+    s.storage_pool_misses = storage_pool_misses_->value();
+    s.storage_fsync_p50_micros = storage_fsync_latency_->PercentileMicros(0.5);
+    s.storage_fsync_p99_micros = storage_fsync_latency_->PercentileMicros(0.99);
+    s.storage_fsync_max_micros = storage_fsync_latency_->max_micros();
+    s.storage_checkpoint_p99_micros =
+        storage_checkpoint_latency_->PercentileMicros(0.99);
+    s.storage_recovery_replay_ms = storage_recovery_replay_ms_->value();
+    s.storage_recovery_recompute_ms = storage_recovery_recompute_ms_->value();
   }
+  s.trace_dropped_spans = Tracer::Global().dropped();
+  s.telemetry_windows = telemetry_->windows_sampled();
+  s.telemetry_dropped = telemetry_->windows_dropped();
   return s;
 }
 
@@ -506,6 +582,15 @@ void QueryService::ResetStats() {
 
 std::string QueryService::StatsPromText() {
   cache_size_gauge_.Set(static_cast<int64_t>(plan_cache_.size()));
+  // Pull-model metrics refreshed at scrape time: trace-ring overflow (so a
+  // truncated Chrome trace is detectable from the exposition alone) and the
+  // telemetry recorder's own accounting.
+  metrics_.GetGauge("trace.dropped_spans")
+      .Set(static_cast<int64_t>(Tracer::Global().dropped()));
+  metrics_.GetGauge("telemetry.windows_sampled")
+      .Set(static_cast<int64_t>(telemetry_->windows_sampled()));
+  metrics_.GetGauge("telemetry.windows_dropped")
+      .Set(static_cast<int64_t>(telemetry_->windows_dropped()));
   return metrics_.PromText();
 }
 
@@ -522,6 +607,60 @@ void QueryService::RecordSlowQuery(SlowQueryRecord record) {
          !slow_log_.empty()) {
     slow_log_.pop_front();
   }
+}
+
+void QueryService::MaybeRecordSlowStatement(const std::string& stmt,
+                                            const QueryStats& qs) {
+  if (options_.slow_query_micros == 0 ||
+      qs.total_micros < options_.slow_query_micros) {
+    return;
+  }
+  SlowQueryRecord record;
+  record.statement = stmt;
+  record.fingerprint = qs.fingerprint;
+  record.epoch = qs.epoch;
+  record.parse_micros = qs.parse_micros;
+  record.optimize_micros = qs.optimize_micros;
+  record.exec_micros = qs.exec_micros;
+  record.maintain_micros = qs.maintain_micros;
+  record.wal_commit_micros = qs.wal_commit_micros;
+  record.total_micros = qs.total_micros;
+  record.cache_hit = qs.cache_hit;
+  RecordSlowQuery(std::move(record));
+}
+
+void QueryService::RecordStatementProfile(const std::string& stmt,
+                                          const QueryStats& qs) {
+  if (options_.attribution_capacity == 0 || qs.fingerprint == 0) return;
+  std::lock_guard<std::mutex> lock(profile_mutex_);
+  auto it = profiles_.find(qs.fingerprint);
+  if (it == profiles_.end()) {
+    if (profiles_.size() >= options_.attribution_capacity) {
+      ++profile_overflow_;
+      return;
+    }
+    it = profiles_.emplace(qs.fingerprint, FingerprintProfile{}).first;
+    it->second.fingerprint = qs.fingerprint;
+    it->second.example = stmt.size() <= 200 ? stmt : stmt.substr(0, 200);
+  }
+  FingerprintProfile& p = it->second;
+  ++p.count;
+  if (qs.cache_hit) ++p.cache_hits;
+  p.totals.Add(qs);
+}
+
+std::vector<FingerprintProfile> QueryService::FingerprintProfiles() const {
+  std::vector<FingerprintProfile> out;
+  {
+    std::lock_guard<std::mutex> lock(profile_mutex_);
+    out.reserve(profiles_.size());
+    for (const auto& [fp, profile] : profiles_) out.push_back(profile);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FingerprintProfile& a, const FingerprintProfile& b) {
+              return a.totals.total_micros > b.totals.total_micros;
+            });
+  return out;
 }
 
 ServiceSnapshotPtr QueryService::ThreadSnapshot() const {
@@ -612,7 +751,16 @@ Result<StatementResult> QueryService::HandleCommit() {
     }
   }
   if (batch.has_value()) {
-    AQV_ASSIGN_OR_RETURN(WriteApplied applied, ApplyWriteDelta(*batch));
+    Clock::time_point stmt_start = Clock::now();
+    QueryStats qs;
+    AQV_ASSIGN_OR_RETURN(WriteApplied applied, ApplyWriteDelta(*batch, &qs));
+    uint64_t apply_micros = ElapsedMicros(stmt_start);
+    uint64_t attributed = qs.maintain_micros + qs.wal_commit_micros;
+    qs.exec_micros = apply_micros > attributed ? apply_micros - attributed : 0;
+    qs.rows_processed += applied.rows;
+    qs.epoch = db_.epoch();
+    qs.total_micros = apply_micros;
+    MaybeRecordSlowStatement("COMMIT", qs);
     StatementResult out;
     out.message = std::to_string(applied.rows) + " row(s) committed into " +
                   std::to_string(applied.tables) + " table(s); " +
@@ -641,6 +789,15 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
     StatementResult out;
     out.message = StatsPromText();
     return out;
+  }
+  if (StartsWith(upper, "STATS HISTORY")) {
+    return HandleStatsHistory(TrimStatement(stmt.substr(13)));
+  }
+  if (StartsWith(upper, "STATS ATTRIBUTION")) {
+    return HandleAttribution(TrimStatement(stmt.substr(17)));
+  }
+  if (StartsWith(upper, "MONITOR")) {
+    return HandleMonitor(TrimStatement(stmt.substr(7)));
   }
   if (upper == "STATS") {
     StatementResult out;
@@ -801,6 +958,8 @@ Result<StatementResult> QueryService::SelectOnSnapshot(
     const std::string& stmt, const ServiceSnapshot& snap) {
   Clock::time_point stmt_start = Clock::now();
   ExecContext ctx;
+  QueryStats qs;
+  ctx.set_stats(&qs);
   if (options_.statement_deadline_micros > 0) {
     ctx.set_deadline_after_micros(options_.statement_deadline_micros);
   }
@@ -810,7 +969,7 @@ Result<StatementResult> QueryService::SelectOnSnapshot(
   TraceSpan span("snapshot_read");
   if (span.active()) span.AddAttr("epoch", snap.epoch);
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(stmt, &snap.catalog));
-  uint64_t parse_micros = ElapsedMicros(stmt_start);
+  qs.parse_micros = ElapsedMicros(stmt_start);
   StatementResult out;
   // Always a fresh optimize: the plan cache tracks current state (and its
   // invalidation hooks fire on current-state writes), not the pinned epoch.
@@ -873,19 +1032,14 @@ Result<StatementResult> QueryService::SelectOnSnapshot(
   exec_latency_.Record(exec_micros);
   queries_served_.Increment();
   snapshot_reads_.Increment();
-  uint64_t total_micros = ElapsedMicros(stmt_start);
-  if (options_.slow_query_micros > 0 &&
-      total_micros >= options_.slow_query_micros) {
-    SlowQueryRecord record;
-    record.statement = stmt;
-    record.fingerprint = QueryFingerprint(query);
-    record.parse_micros = parse_micros;
-    record.optimize_micros = optimize_micros;
-    record.exec_micros = exec_micros;
-    record.total_micros = total_micros;
-    record.cache_hit = false;
-    RecordSlowQuery(std::move(record));
-  }
+  qs.optimize_micros = optimize_micros;
+  qs.exec_micros = exec_micros;
+  qs.total_micros = ElapsedMicros(stmt_start);
+  qs.fingerprint = QueryFingerprint(query);
+  qs.epoch = snap.epoch;
+  qs.degraded = out.degraded;
+  MaybeRecordSlowStatement(stmt, qs);
+  RecordStatementProfile(stmt, qs);
   return out;
 }
 
@@ -896,8 +1050,12 @@ Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
   Clock::time_point stmt_start = Clock::now();
   // The statement's governance context: the deadline covers parse through
   // execution (including a degraded retry); the row budget is per
-  // execution attempt.
+  // execution attempt. The attribution object rides on the context so the
+  // evaluator (rows) and any stage that only sees the context can
+  // contribute.
   ExecContext ctx;
+  QueryStats qs;
+  ctx.set_stats(&qs);
   if (options_.statement_deadline_micros > 0) {
     ctx.set_deadline_after_micros(options_.statement_deadline_micros);
   }
@@ -906,10 +1064,12 @@ Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
   }
   LatchManager::Guard guard = latches_.StatementShared();
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(stmt, &catalog_));
-  uint64_t parse_micros = ElapsedMicros(stmt_start);
+  qs.parse_micros = ElapsedMicros(stmt_start);
   {
     TraceSpan latch_span("latch");
+    Clock::time_point latch_start = Clock::now();
     latches_.AcquireShared(&guard, SelectFootprint(query));
+    qs.latch_micros = ElapsedMicros(latch_start);
     if (latch_span.active()) {
       latch_span.AddAttr("stripes", static_cast<uint64_t>(guard.stripes_held()));
       latch_span.AddAttr("epoch", db_.epoch());
@@ -917,10 +1077,14 @@ Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
   }
   StatementResult out;
   uint64_t optimize_micros = 0;
+  Clock::time_point plan_start = Clock::now();
   AQV_ASSIGN_OR_RETURN(
       PlanCache::EntryPtr entry,
       PlanThroughCache(query, &out.cache_hit, &optimize_micros, &ctx,
                        &out.degraded));
+  // Attributed optimize time includes the cache probe, so a hit is cheap
+  // but not free in the breakdown (optimize_micros alone is 0 on a hit).
+  qs.optimize_micros = ElapsedMicros(plan_start);
   out.used_materialized_view = entry->used_materialized_view;
   if (entry->used_materialized_view) {
     out.message = "-- rewritten to use a materialized view:\n--   " +
@@ -973,19 +1137,14 @@ Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
   }
   exec_latency_.Record(exec_micros);
   queries_served_.Increment();
-  uint64_t total_micros = ElapsedMicros(stmt_start);
-  if (options_.slow_query_micros > 0 &&
-      total_micros >= options_.slow_query_micros) {
-    SlowQueryRecord record;
-    record.statement = stmt;
-    record.fingerprint = QueryFingerprint(query);
-    record.parse_micros = parse_micros;
-    record.optimize_micros = optimize_micros;
-    record.exec_micros = exec_micros;
-    record.total_micros = total_micros;
-    record.cache_hit = out.cache_hit;
-    RecordSlowQuery(std::move(record));
-  }
+  qs.exec_micros = exec_micros;
+  qs.total_micros = ElapsedMicros(stmt_start);
+  qs.fingerprint = QueryFingerprint(query);
+  qs.epoch = db_.epoch();
+  qs.cache_hit = out.cache_hit;
+  qs.degraded = out.degraded;
+  MaybeRecordSlowStatement(stmt, qs);
+  RecordStatementProfile(stmt, qs);
   return out;
 }
 
@@ -1015,14 +1174,23 @@ Result<StatementResult> QueryService::HandleExplain(
 
 Result<StatementResult> QueryService::HandleExplainAnalyze(
     const std::string& select_stmt) {
+  Clock::time_point stmt_start = Clock::now();
+  ExecContext ctx;
+  QueryStats qs;
+  ctx.set_stats(&qs);
   LatchManager::Guard guard = latches_.StatementShared();
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(select_stmt, &catalog_));
+  qs.parse_micros = ElapsedMicros(stmt_start);
+  Clock::time_point latch_start = Clock::now();
   latches_.AcquireShared(&guard, SelectFootprint(query));
+  qs.latch_micros = ElapsedMicros(latch_start);
   StatementResult out;
+  Clock::time_point plan_start = Clock::now();
   AQV_ASSIGN_OR_RETURN(PlanCache::EntryPtr entry,
                        PlanThroughCache(query, &out.cache_hit));
+  qs.optimize_micros = ElapsedMicros(plan_start);
   out.used_materialized_view = entry->used_materialized_view;
-  char buf[256];
+  char buf[512];
   out.message = "original:  " + ToSql(query) + "\n";
   out.message += "chosen:    " + ToSql(entry->plan) + "\n";
   std::snprintf(buf, sizeof(buf),
@@ -1038,12 +1206,49 @@ Result<StatementResult> QueryService::HandleExplainAnalyze(
   Clock::time_point start = Clock::now();
   Evaluator eval(&db_, &views_, options_.eval);
   eval.set_profile(&profile);
+  eval.set_context(&ctx);
   AQV_ASSIGN_OR_RETURN(Table result, eval.Execute(entry->plan));
-  exec_latency_.Record(ElapsedMicros(start));
+  qs.exec_micros = ElapsedMicros(start);
+  exec_latency_.Record(qs.exec_micros);
   queries_served_.Increment();
+  qs.fingerprint = QueryFingerprint(query);
+  qs.epoch = db_.epoch();
+  qs.cache_hit = out.cache_hit;
   out.message += RenderAnalyzedPlan(profile);
   out.message +=
       "result: " + std::to_string(result.num_rows()) + " row(s)\n";
+  // Per-statement attribution: disjoint phase times against the measured
+  // wall clock (their sum accounts for all but dispatch overhead — E19
+  // checks the gap stays within 10%), plus the I/O the statement caused.
+  qs.total_micros = ElapsedMicros(stmt_start);
+  uint64_t phases = qs.PhaseSumMicros();
+  std::snprintf(
+      buf, sizeof(buf),
+      "attribution: wall=%lluus phases=%lluus (%.1f%%) parse=%lluus "
+      "latch=%lluus rewrite=%lluus exec=%lluus maintain=%lluus "
+      "wal_commit=%lluus\n"
+      "counters:    rows=%llu epoch=%llu cache_hit=%d pool_hits=%llu "
+      "pool_misses=%llu pages_read=%llu pages_written=%llu wal_bytes=%llu\n",
+      static_cast<unsigned long long>(qs.total_micros),
+      static_cast<unsigned long long>(phases),
+      qs.total_micros == 0 ? 0.0
+                           : 100.0 * static_cast<double>(phases) /
+                                 static_cast<double>(qs.total_micros),
+      static_cast<unsigned long long>(qs.parse_micros),
+      static_cast<unsigned long long>(qs.latch_micros),
+      static_cast<unsigned long long>(qs.optimize_micros),
+      static_cast<unsigned long long>(qs.exec_micros),
+      static_cast<unsigned long long>(qs.maintain_micros),
+      static_cast<unsigned long long>(qs.wal_commit_micros),
+      static_cast<unsigned long long>(qs.rows_processed),
+      static_cast<unsigned long long>(qs.epoch), qs.cache_hit ? 1 : 0,
+      static_cast<unsigned long long>(qs.buffer_pool_hits),
+      static_cast<unsigned long long>(qs.buffer_pool_misses),
+      static_cast<unsigned long long>(qs.pages_read),
+      static_cast<unsigned long long>(qs.pages_written),
+      static_cast<unsigned long long>(qs.wal_bytes));
+  out.message += buf;
+  RecordStatementProfile(select_stmt, qs);
   return out;
 }
 
@@ -1133,19 +1338,181 @@ Result<StatementResult> QueryService::HandleSlowLog() const {
     out.message = "slow query log is empty\n";
     return out;
   }
-  char buf[160];
+  char buf[240];
   for (const SlowQueryRecord& r : records) {
     std::snprintf(buf, sizeof(buf),
-                  "fp=%016llx total=%lluus parse=%lluus optimize=%lluus "
-                  "exec=%lluus%s  ",
+                  "fp=%016llx epoch=%llu total=%lluus parse=%lluus "
+                  "optimize=%lluus exec=%lluus maintain=%lluus "
+                  "wal_commit=%lluus [cache %s]  ",
                   static_cast<unsigned long long>(r.fingerprint),
+                  static_cast<unsigned long long>(r.epoch),
                   static_cast<unsigned long long>(r.total_micros),
                   static_cast<unsigned long long>(r.parse_micros),
                   static_cast<unsigned long long>(r.optimize_micros),
                   static_cast<unsigned long long>(r.exec_micros),
-                  r.cache_hit ? " [cache hit]" : "");
+                  static_cast<unsigned long long>(r.maintain_micros),
+                  static_cast<unsigned long long>(r.wal_commit_micros),
+                  r.cache_hit ? "hit" : "miss");
     out.message += buf;
     out.message += r.statement + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Optional trailing count in a statement tail ("", "5", "JSON 5").
+/// Returns `fallback` when absent or unparsable.
+size_t ParseCountArg(const std::string& rest, size_t fallback) {
+  if (rest.empty()) return fallback;
+  size_t pos = rest.find_last_of(" \t");
+  std::string tail = pos == std::string::npos ? rest : rest.substr(pos + 1);
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(tail.c_str(), &end, 10);
+  if (end == tail.c_str() || *end != '\0') return fallback;
+  return static_cast<size_t>(n);
+}
+
+/// One line per telemetry window: the rates and latency means an operator
+/// scans for dips and spikes. Shared by STATS HISTORY and MONITOR.
+std::string RenderWindowLine(const TelemetryWindow& w) {
+  uint64_t stmts = w.CounterDelta("service.statements");
+  uint64_t selects = w.CounterDelta("service.queries_served");
+  uint64_t hits = w.CounterDelta("service.plan_cache.hits");
+  uint64_t misses = w.CounterDelta("service.plan_cache.misses");
+  uint64_t inserted = w.CounterDelta("service.rows_inserted_total");
+  uint64_t fsyncs = w.CounterDelta("storage.wal_fsyncs");
+  double hit_pct = hits + misses == 0
+                       ? 0.0
+                       : 100.0 * static_cast<double>(hits) /
+                             static_cast<double>(hits + misses);
+  const TelemetryWindow::Hist* exec = w.Histogram("service.exec_latency");
+  const TelemetryWindow::Hist* maintain =
+      w.Histogram("service.maintain_latency");
+  auto mean = [](const TelemetryWindow::Hist* h) {
+    return h == nullptr || h->delta_count == 0
+               ? 0.0
+               : static_cast<double>(h->delta_sum_micros) /
+                     static_cast<double>(h->delta_count);
+  };
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "[%4llu] t=%lldms dur=%.1fms stmts=%llu sel=%llu hit=%.1f%% "
+      "ins=%llu exec(n=%llu mean=%.0fus) maintain(n=%llu mean=%.0fus) "
+      "fsync=%llu\n",
+      static_cast<unsigned long long>(w.seq),
+      static_cast<long long>(w.unix_millis),
+      static_cast<double>(w.duration_micros()) / 1000.0,
+      static_cast<unsigned long long>(stmts),
+      static_cast<unsigned long long>(selects), hit_pct,
+      static_cast<unsigned long long>(inserted),
+      static_cast<unsigned long long>(exec ? exec->delta_count : 0),
+      mean(exec),
+      static_cast<unsigned long long>(maintain ? maintain->delta_count : 0),
+      mean(maintain), static_cast<unsigned long long>(fsyncs));
+  return buf;
+}
+
+}  // namespace
+
+Result<StatementResult> QueryService::HandleStatsHistory(
+    const std::string& rest) {
+  std::string upper = ToUpper(rest);
+  bool json = StartsWith(upper, "JSON");
+  size_t n = ParseCountArg(rest, 0);
+  StatementResult out;
+  if (json) {
+    out.message = telemetry_->HistoryJson(n) + "\n";
+    return out;
+  }
+  std::vector<TelemetryWindowPtr> windows = telemetry_->History(n);
+  char buf[200];
+  std::snprintf(
+      buf, sizeof(buf),
+      "telemetry: %zu window(s) (interval=%lluus capacity=%zu sampled=%llu "
+      "dropped=%llu sampler %s)\n",
+      windows.size(),
+      static_cast<unsigned long long>(telemetry_->options().interval_micros),
+      telemetry_->options().capacity,
+      static_cast<unsigned long long>(telemetry_->windows_sampled()),
+      static_cast<unsigned long long>(telemetry_->windows_dropped()),
+      telemetry_->running() ? "running" : "stopped");
+  out.message = buf;
+  if (windows.empty()) {
+    out.message +=
+        "no windows sampled yet (set "
+        "ServiceOptions::telemetry_interval_micros or run MONITOR to cut "
+        "one on demand)\n";
+    return out;
+  }
+  for (const auto& w : windows) out.message += RenderWindowLine(*w);
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleMonitor(const std::string& rest) {
+  size_t n = ParseCountArg(rest, 10);
+  if (n == 0) n = 10;
+  // A MONITOR is a demand sample: it closes the current window so the
+  // dashboard always ends "now", with or without a background sampler.
+  telemetry_->SampleNow();
+  std::vector<TelemetryWindowPtr> windows = telemetry_->History(n);
+  uint64_t stmts = 0, selects = 0, micros = 0;
+  for (const auto& w : windows) {
+    stmts += w->CounterDelta("service.statements");
+    selects += w->CounterDelta("service.queries_served");
+    micros += w->duration_micros();
+  }
+  double secs = micros == 0 ? 0.0 : static_cast<double>(micros) / 1e6;
+  char buf[240];
+  std::snprintf(
+      buf, sizeof(buf),
+      "MONITOR — last %zu window(s), %.2fs: %llu statement(s) (%.0f/s), "
+      "%llu SELECT(s) (%.0f/s)%s\n",
+      windows.size(), secs, static_cast<unsigned long long>(stmts),
+      secs == 0.0 ? 0.0 : static_cast<double>(stmts) / secs,
+      static_cast<unsigned long long>(selects),
+      secs == 0.0 ? 0.0 : static_cast<double>(selects) / secs,
+      telemetry_->running() ? "" : " [sampler off: windows cut on demand]");
+  StatementResult out;
+  out.message = buf;
+  for (const auto& w : windows) out.message += RenderWindowLine(*w);
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleAttribution(
+    const std::string& rest) const {
+  size_t n = ParseCountArg(rest, 20);
+  if (n == 0) n = 20;
+  std::vector<FingerprintProfile> profiles = FingerprintProfiles();
+  uint64_t overflow;
+  {
+    std::lock_guard<std::mutex> lock(profile_mutex_);
+    overflow = profile_overflow_;
+  }
+  StatementResult out;
+  out.message = "attribution: " + std::to_string(profiles.size()) +
+                " fingerprint(s) tracked, " + std::to_string(overflow) +
+                " overflow\n";
+  if (profiles.size() > n) profiles.resize(n);
+  char buf[320];
+  for (const FingerprintProfile& p : profiles) {
+    const QueryStats& t = p.totals;
+    std::snprintf(
+        buf, sizeof(buf),
+        "fp=%016llx n=%llu cache_hits=%llu total=%lluus optimize=%lluus "
+        "exec=%lluus maintain=%lluus wal=%lluus rows=%llu  ",
+        static_cast<unsigned long long>(p.fingerprint),
+        static_cast<unsigned long long>(p.count),
+        static_cast<unsigned long long>(p.cache_hits),
+        static_cast<unsigned long long>(t.total_micros),
+        static_cast<unsigned long long>(t.optimize_micros),
+        static_cast<unsigned long long>(t.exec_micros),
+        static_cast<unsigned long long>(t.maintain_micros),
+        static_cast<unsigned long long>(t.wal_commit_micros),
+        static_cast<unsigned long long>(t.rows_processed));
+    out.message += buf;
+    out.message += p.example + "\n";
   }
   return out;
 }
@@ -1285,7 +1652,10 @@ Result<StatementResult> QueryService::HandleCreateView(const std::string& stmt,
 }
 
 Result<StatementResult> QueryService::HandleInsert(const std::string& stmt) {
+  Clock::time_point stmt_start = Clock::now();
+  QueryStats qs;
   AQV_ASSIGN_OR_RETURN(InsertStatement insert, ParseInsert(stmt));
+  qs.parse_micros = ElapsedMicros(stmt_start);
   const size_t rows = insert.rows.size();
   {
     // An open BEGIN WRITE batch on this thread buffers the rows; COMMIT
@@ -1303,8 +1673,17 @@ Result<StatementResult> QueryService::HandleInsert(const std::string& stmt) {
   }
   Delta delta;
   delta.inserts[insert.table] = std::move(insert.rows);
-  AQV_ASSIGN_OR_RETURN(WriteApplied applied, ApplyWriteDelta(delta));
-  (void)applied;
+  Clock::time_point exec_start = Clock::now();
+  AQV_ASSIGN_OR_RETURN(WriteApplied applied, ApplyWriteDelta(delta, &qs));
+  // The write's "exec" phase is apply minus the attributed sub-phases so
+  // the phases stay disjoint and their sum tracks the wall clock.
+  uint64_t apply_micros = ElapsedMicros(exec_start);
+  uint64_t attributed = qs.maintain_micros + qs.wal_commit_micros;
+  qs.exec_micros = apply_micros > attributed ? apply_micros - attributed : 0;
+  qs.rows_processed += applied.rows;
+  qs.epoch = db_.epoch();
+  qs.total_micros = ElapsedMicros(stmt_start);
+  MaybeRecordSlowStatement(stmt, qs);  // fingerprint 0: writes aggregate only
   StatementResult out;
   out.message =
       std::to_string(rows) + " row(s) inserted into " + insert.table + "\n";
@@ -1378,7 +1757,7 @@ Status QueryService::RecomputeViewInto(const std::string& name,
 }
 
 Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
-    const Delta& delta) {
+    const Delta& delta, QueryStats* stats) {
   WriteApplied applied;
   if (delta.empty()) return applied;
   TraceSpan span("write_apply");
@@ -1478,9 +1857,11 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
       recomputed.push_back(d.name);
     }
   }
+  uint64_t maintain_micros = ElapsedMicros(maintain_start);
   if (!dependents.empty()) {
-    maintain_latency_.Record(ElapsedMicros(maintain_start));
+    maintain_latency_.Record(maintain_micros);
   }
+  if (stats != nullptr) stats->maintain_micros += maintain_micros;
 
   // The durability point: the delta is WAL-appended and fsynced BEFORE the
   // in-memory publication, so a commit the client saw acknowledged always
@@ -1489,7 +1870,7 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
   // the ack), recovery replays it atomically; the client simply never
   // learned its fate, which is the usual commit-ack contract.
   if (storage_ != nullptr) {
-    AQV_RETURN_NOT_OK(storage_->LogCommit(delta));
+    AQV_RETURN_NOT_OK(storage_->LogCommit(delta, stats));
   }
 
   // Publish base tables and views as ONE version swap at a single epoch:

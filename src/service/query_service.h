@@ -15,7 +15,9 @@
 
 #include "base/exec_context.h"
 #include "base/metrics.h"
+#include "base/query_stats.h"
 #include "base/result.h"
+#include "base/telemetry.h"
 #include "catalog/catalog.h"
 #include "exec/evaluator.h"
 #include "exec/table.h"
@@ -92,6 +94,22 @@ struct ServiceOptions {
   /// off trades the last few commits for commit latency; the E18 bench
   /// quantifies the gap.
   bool storage_fsync_wal = true;
+
+  // ---- Time-series telemetry (see README "Observability").
+  /// Background sampler interval for the telemetry recorder: every tick
+  /// snapshots all registered metrics into a delta-encoded window queryable
+  /// via STATS HISTORY / MONITOR. 0 (the default) disables the sampler
+  /// thread — MONITOR still cuts windows on demand, so the surface works
+  /// without a resident thread.
+  uint64_t telemetry_interval_micros = 0;
+  /// Telemetry ring capacity in windows; oldest windows are dropped (and
+  /// counted) once full.
+  size_t telemetry_history_capacity = 240;
+  /// Bound on per-fingerprint cost-attribution aggregates (STATS
+  /// ATTRIBUTION, FingerprintProfiles()); new fingerprints past the bound
+  /// are counted as overflow instead of tracked. 0 disables attribution
+  /// aggregation entirely.
+  size_t attribution_capacity = 512;
 
   RewriteOptions rewrite;
   EvalOptions eval;
@@ -175,19 +193,37 @@ struct ServiceStats {
   int64_t storage_recovery_ms = 0;    // wall time of the last recovery
   uint64_t storage_last_commit_seq = 0;
   uint64_t storage_checkpoint_seq = 0;
+  uint64_t storage_pool_hits = 0;      // buffer-pool hits (checkpoint/recovery I/O)
+  uint64_t storage_pool_misses = 0;
+  double storage_fsync_p50_micros = 0;  // WAL fsync latency distribution
+  double storage_fsync_p99_micros = 0;
+  uint64_t storage_fsync_max_micros = 0;
+  double storage_checkpoint_p99_micros = 0;  // full-checkpoint duration
+  int64_t storage_recovery_replay_ms = 0;    // WAL-replay phase of recovery
+  int64_t storage_recovery_recompute_ms = 0;  // stale-view recompute phase
+
+  // ---- Observability of the observability (PR 7).
+  uint64_t trace_dropped_spans = 0;    // spans lost to trace-ring overflow
+  uint64_t telemetry_windows = 0;      // windows sampled since start
+  uint64_t telemetry_dropped = 0;      // windows evicted from the ring
 
   std::string ToString() const;
 };
 
-/// One SELECT that exceeded ServiceOptions::slow_query_micros: the statement
-/// text, its canonical fingerprint (ir/fingerprint.h) for grouping repeats,
-/// and the per-stage wall-time breakdown.
+/// One statement that exceeded ServiceOptions::slow_query_micros: the
+/// statement text, its canonical fingerprint (ir/fingerprint.h) for grouping
+/// repeats and joining against plan-cache stats, the database epoch it ran
+/// against, and the per-stage wall-time breakdown (write stages are 0 for
+/// SELECTs and vice versa).
 struct SlowQueryRecord {
   std::string statement;
-  uint64_t fingerprint = 0;
+  uint64_t fingerprint = 0;  // 0 for write statements
+  uint64_t epoch = 0;        // database epoch the statement ran against
   uint64_t parse_micros = 0;
   uint64_t optimize_micros = 0;  // 0 on a plan-cache hit
   uint64_t exec_micros = 0;
+  uint64_t maintain_micros = 0;    // view maintenance (writes)
+  uint64_t wal_commit_micros = 0;  // WAL append + fsync (writes, durable)
   uint64_t total_micros = 0;
   bool cache_hit = false;
 };
@@ -291,6 +327,15 @@ class QueryService {
   /// ServiceOptions::slow_query_micros and the SLOWLOG statement).
   std::vector<SlowQueryRecord> SlowQueries() const;
 
+  /// The time-series recorder behind STATS HISTORY / MONITOR. Always
+  /// constructed; its background thread runs only when
+  /// ServiceOptions::telemetry_interval_micros is nonzero.
+  TelemetryRecorder& telemetry() { return *telemetry_; }
+
+  /// Per-fingerprint cost-attribution aggregates, heaviest total wall time
+  /// first — the advisor's ranking signal (also STATS ATTRIBUTION).
+  std::vector<FingerprintProfile> FingerprintProfiles() const;
+
  private:
   Result<StatementResult> Dispatch(const std::string& stmt,
                                    const std::string& upper);
@@ -302,6 +347,14 @@ class QueryService {
   Result<StatementResult> HandleTrace(const std::string& stmt);
   Result<StatementResult> HandleFailpoint(const std::string& stmt);
   Result<StatementResult> HandleSlowLog() const;
+  /// STATS HISTORY [JSON] [n]: the last n telemetry windows (default all),
+  /// oldest first, as a text table or the JSON artifact.
+  Result<StatementResult> HandleStatsHistory(const std::string& rest);
+  /// MONITOR [n]: cuts a window now and renders a dashboard over the last
+  /// n windows (throughput, cache hit rate, latency means, WAL activity).
+  Result<StatementResult> HandleMonitor(const std::string& rest);
+  /// STATS ATTRIBUTION [n]: top-n per-fingerprint cost aggregates.
+  Result<StatementResult> HandleAttribution(const std::string& rest) const;
   Result<StatementResult> HandleWhy(const std::string& rest);
   Result<StatementResult> HandleSave(const std::string& stmt);
   Result<StatementResult> HandleListTables();
@@ -349,7 +402,8 @@ class QueryService {
   /// plus views as ONE COW version swap at a single epoch (Database::PutAll),
   /// so snapshot readers never observe a table/view mismatch. Any failure
   /// before the swap leaves the published state untouched.
-  Result<WriteApplied> ApplyWriteDelta(const Delta& delta);
+  Result<WriteApplied> ApplyWriteDelta(const Delta& delta,
+                                       QueryStats* stats = nullptr);
 
   /// A materialized view whose stored contents must follow writes to any
   /// table in `closure`.
@@ -422,6 +476,15 @@ class QueryService {
   /// Appends to the bounded slow-query log (thread-safe).
   void RecordSlowQuery(SlowQueryRecord record);
 
+  /// Folds one statement's QueryStats into its fingerprint aggregate
+  /// (thread-safe; bounded by ServiceOptions::attribution_capacity).
+  void RecordStatementProfile(const std::string& stmt, const QueryStats& qs);
+
+  /// Builds the slow-log record for a statement from its attribution and
+  /// appends it when over the threshold (no-op when slow_query_micros is 0
+  /// or the statement was fast enough).
+  void MaybeRecordSlowStatement(const std::string& stmt, const QueryStats& qs);
+
   /// Recomputes the named view's contents into db_. Caller holds latches
   /// covering the view (exclusive) and its dependencies (at least shared);
   /// fires the view's invalidation hook.
@@ -482,6 +545,13 @@ class QueryService {
   mutable std::mutex quarantine_mutex_;
   mutable std::unordered_map<std::string, ViewFailureRecord> view_failures_;
 
+  /// Per-fingerprint cost attribution (own lock; one map update per SELECT,
+  /// never under a data latch). Bounded by attribution_capacity; overflow
+  /// fingerprints are counted, not tracked.
+  mutable std::mutex profile_mutex_;
+  std::unordered_map<uint64_t, FingerprintProfile> profiles_;
+  uint64_t profile_overflow_ = 0;  // under profile_mutex_
+
   MetricsRegistry metrics_;
   Counter& statements_;
   Counter& queries_served_;
@@ -514,6 +584,17 @@ class QueryService {
   Counter* storage_checkpoints_ = nullptr;
   Counter* storage_wal_replayed_ = nullptr;
   Gauge* storage_recovery_ms_ = nullptr;
+  Counter* storage_pool_hits_ = nullptr;
+  Counter* storage_pool_misses_ = nullptr;
+  LatencyHistogram* storage_fsync_latency_ = nullptr;
+  LatencyHistogram* storage_checkpoint_latency_ = nullptr;
+  Gauge* storage_recovery_replay_ms_ = nullptr;
+  Gauge* storage_recovery_recompute_ms_ = nullptr;
+
+  /// Time-series recorder over metrics_ (always constructed; see
+  /// ServiceOptions::telemetry_interval_micros). Declared after metrics_ so
+  /// it is destroyed — and its sampler joined — before the registry.
+  std::unique_ptr<TelemetryRecorder> telemetry_;
 };
 
 }  // namespace aqv

@@ -141,6 +141,12 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     engine->checkpoints_ = &metrics->GetCounter("storage.checkpoints");
     engine->wal_replayed_ = &metrics->GetCounter("storage.wal_replayed");
     engine->recovery_ms_ = &metrics->GetGauge("storage.recovery_ms");
+    engine->recovery_replay_ms_ =
+        &metrics->GetGauge("storage.recovery_replay_ms");
+    engine->checkpoint_latency_ =
+        &metrics->GetHistogram("storage.checkpoint_latency");
+    engine->pool_hits_ = &metrics->GetCounter("storage.pool_hits");
+    engine->pool_misses_ = &metrics->GetCounter("storage.pool_misses");
   }
   AQV_RETURN_NOT_OK(engine->Recover(metrics));
   return engine;
@@ -203,7 +209,18 @@ Status StorageEngine::Recover(MetricsRegistry* metrics) {
     AQV_RETURN_NOT_OK(LoadCheckpoint(blob));
   }
 
+  // Replay is timed separately from whole-recovery: the service's recovery
+  // report splits the WAL-replay phase from the view-recompute phase it
+  // runs afterwards, so slow restarts can be blamed on the right stage.
+  Clock::time_point replay_start = Clock::now();
   AQV_RETURN_NOT_OK(ReplayWal());
+  if (recovery_replay_ms_ != nullptr) {
+    recovery_replay_ms_->Set(static_cast<int64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              replay_start)
+            .count()));
+  }
+  SyncPoolCounters();
 
   // Open the writer last: ReplayWal measured the clean prefix, and opening
   // with it trims any torn tail before the first new append.
@@ -213,7 +230,8 @@ Status StorageEngine::Recover(MetricsRegistry* metrics) {
   if (metrics != nullptr) {
     wal_->SetMetrics(&metrics->GetCounter("storage.wal_bytes"),
                      &metrics->GetCounter("storage.wal_fsyncs"),
-                     &metrics->GetCounter("storage.wal_records"));
+                     &metrics->GetCounter("storage.wal_records"),
+                     &metrics->GetHistogram("storage.wal_fsync_latency"));
   }
 
   recovered_.last_commit_seq = last_seq_;
@@ -444,6 +462,7 @@ Status StorageEngine::Checkpoint(const Catalog& catalog,
                                  const std::vector<PlanImage>& plans) {
   std::lock_guard<std::mutex> lock(mu_);
   TraceSpan span("storage.checkpoint");
+  Clock::time_point checkpoint_start = Clock::now();
   if (wal_ == nullptr || wal_->failed()) {
     return Status::Unavailable(
         "storage is fail-stopped after a wal error; restart to recover");
@@ -558,6 +577,15 @@ Status StorageEngine::Checkpoint(const Catalog& catalog,
     live_pages_.insert(entry.pages.begin(), entry.pages.end());
   }
   if (checkpoints_ != nullptr) checkpoints_->Increment();
+  // Completed checkpoints only: a failed attempt leaves no flipped meta,
+  // so timing it would pollute the duration curve with partial work.
+  if (checkpoint_latency_ != nullptr) {
+    checkpoint_latency_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - checkpoint_start)
+            .count()));
+  }
+  SyncPoolCounters();
   if (span.active()) {
     span.AddAttr("generation", generation_);
     span.AddAttr("tables", static_cast<uint64_t>(entries.size()));
@@ -571,7 +599,7 @@ Status StorageEngine::Checkpoint(const Catalog& catalog,
   return wal_->Truncate();
 }
 
-Status StorageEngine::LogCommit(const Delta& delta) {
+Status StorageEngine::LogCommit(const Delta& delta, QueryStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
   if (wal_ == nullptr) {
     return Status::Unavailable("storage engine has no wal attached");
@@ -579,9 +607,33 @@ Status StorageEngine::LogCommit(const Delta& delta) {
   std::string payload;
   PutFixed64(&payload, last_seq_ + 1);
   EncodeDelta(delta, &payload);
-  AQV_RETURN_NOT_OK(wal_->AppendCommit(payload));
+  Clock::time_point commit_start = Clock::now();
+  Status appended = wal_->AppendCommit(payload);
+  if (stats != nullptr) {
+    // Charged even on failure: the statement paid for the attempt.
+    stats->wal_commit_micros += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              commit_start)
+            .count());
+    if (appended.ok()) stats->wal_bytes += wal_->last_record_bytes();
+  }
+  AQV_RETURN_NOT_OK(appended);
   ++last_seq_;
   return Status::OK();
+}
+
+void StorageEngine::SyncPoolCounters() {
+  if (pool_ == nullptr) return;
+  uint64_t hits = pool_->hits();
+  uint64_t misses = pool_->misses();
+  if (pool_hits_ != nullptr && hits > pool_hits_synced_) {
+    pool_hits_->Increment(hits - pool_hits_synced_);
+  }
+  if (pool_misses_ != nullptr && misses > pool_misses_synced_) {
+    pool_misses_->Increment(misses - pool_misses_synced_);
+  }
+  pool_hits_synced_ = hits;
+  pool_misses_synced_ = misses;
 }
 
 uint64_t StorageEngine::last_commit_seq() const {

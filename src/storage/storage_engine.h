@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/metrics.h"
+#include "base/query_stats.h"
 #include "base/result.h"
 #include "catalog/catalog.h"
 #include "exec/table.h"
@@ -122,7 +123,9 @@ class StorageEngine {
   /// Call at the PutAll commit point, after validation, before publication.
   /// On ANY failure the WAL is fail-stopped: every later LogCommit refuses
   /// with kUnavailable until the process restarts and recovers.
-  Status LogCommit(const Delta& delta);
+  /// When `stats` is non-null the commit's append+fsync time and record
+  /// bytes are charged to it (per-statement cost attribution).
+  Status LogCommit(const Delta& delta, QueryStats* stats = nullptr);
 
   /// Writes a full shadow-paged checkpoint of (catalog, views, db, plans)
   /// and truncates the WAL. Must be called with the database quiesced (the
@@ -151,6 +154,12 @@ class StorageEngine {
   Status Recover(MetricsRegistry* metrics);
   Status LoadCheckpoint(const std::string& directory_blob);
   Status ReplayWal();
+
+  /// Publishes the buffer pool's cumulative hit/miss totals into the
+  /// registry counters. The pool itself is metrics-free (its counters are
+  /// plain fields under mu_), so the engine syncs the delta since the last
+  /// sync after each batch of pool traffic. Caller holds mu_.
+  void SyncPoolCounters();
 
   /// Allocates a page id no live checkpoint page uses (reusing freed ids
   /// before extending the file).
@@ -181,6 +190,12 @@ class StorageEngine {
   Counter* checkpoints_ = nullptr;
   Counter* wal_replayed_ = nullptr;
   Gauge* recovery_ms_ = nullptr;
+  Gauge* recovery_replay_ms_ = nullptr;     // WAL-replay phase of recovery
+  LatencyHistogram* checkpoint_latency_ = nullptr;
+  Counter* pool_hits_ = nullptr;
+  Counter* pool_misses_ = nullptr;
+  uint64_t pool_hits_synced_ = 0;    // pool totals already published
+  uint64_t pool_misses_synced_ = 0;
 };
 
 }  // namespace aqv

@@ -1,6 +1,7 @@
 #include "storage/wal.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <fcntl.h>
@@ -94,8 +95,15 @@ Status LogWriter::AppendCommit(std::string_view payload) {
   // either outcome, as long as recovery applies it atomically or not at all.
   Status synced = [&]() -> Status {
     AQV_FAILPOINT("wal.fsync");
-    if (fsync_on_commit_ && ::fsync(fd_) != 0) {
-      return ErrnoStatus("cannot fsync wal", path_);
+    if (fsync_on_commit_) {
+      auto start = std::chrono::steady_clock::now();
+      if (::fsync(fd_) != 0) return ErrnoStatus("cannot fsync wal", path_);
+      if (fsync_latency_ != nullptr) {
+        fsync_latency_->Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+      }
     }
     return Status::OK();
   }();
@@ -104,6 +112,7 @@ Status LogWriter::AppendCommit(std::string_view payload) {
     return synced;
   }
 
+  last_record_bytes_ = record.size();
   if (wal_bytes_ != nullptr) wal_bytes_->Increment(record.size());
   if (wal_records_ != nullptr) wal_records_->Increment();
   if (fsync_on_commit_ && wal_fsyncs_ != nullptr) wal_fsyncs_->Increment();

@@ -68,13 +68,20 @@ class LogWriter {
 
   bool failed() const { return failed_; }
 
-  /// Attaches counters for appended bytes and fsyncs (may be null).
+  /// Attaches counters for appended bytes and fsyncs, plus a latency
+  /// histogram fed the duration of every commit fsync (each may be null).
   void SetMetrics(Counter* wal_bytes, Counter* wal_fsyncs,
-                  Counter* wal_records) {
+                  Counter* wal_records,
+                  LatencyHistogram* fsync_latency = nullptr) {
     wal_bytes_ = wal_bytes;
     wal_fsyncs_ = wal_fsyncs;
     wal_records_ = wal_records;
+    fsync_latency_ = fsync_latency;
   }
+
+  /// Bytes the record framing added to the last successful AppendCommit
+  /// (header + payload) — what per-statement attribution charges.
+  uint64_t last_record_bytes() const { return last_record_bytes_; }
 
  private:
   LogWriter(std::string path, int fd, uint64_t offset, bool fsync_on_commit)
@@ -90,9 +97,11 @@ class LogWriter {
   uint64_t offset_ = 0;
   bool fsync_on_commit_ = true;
   bool failed_ = false;
+  uint64_t last_record_bytes_ = 0;
   Counter* wal_bytes_ = nullptr;
   Counter* wal_fsyncs_ = nullptr;
   Counter* wal_records_ = nullptr;
+  LatencyHistogram* fsync_latency_ = nullptr;
 };
 
 /// What ReadLog recovered: the intact record payloads plus the byte length

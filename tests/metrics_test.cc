@@ -6,6 +6,7 @@
 #include "base/metrics.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -138,8 +139,8 @@ TEST(MetricsRegistryTest, PromTextExposition) {
   registry.GetCounter("svc.requests-total").Increment(3);
   registry.GetGauge("svc.queue_depth").Set(5);
   LatencyHistogram& h = registry.GetHistogram("svc.latency");
-  h.Record(10);
-  h.Record(200);
+  h.Record(10);   // [8, 16)  -> inclusive upper bound le="15"
+  h.Record(200);  // [128, 256) -> le="255"
 
   std::string text = registry.PromText();
   // Names are prefixed and sanitized to [a-z0-9_].
@@ -149,14 +150,101 @@ TEST(MetricsRegistryTest, PromTextExposition) {
   EXPECT_NE(text.find("# TYPE aqv_svc_queue_depth gauge\n"),
             std::string::npos);
   EXPECT_NE(text.find("aqv_svc_queue_depth 5\n"), std::string::npos);
-  EXPECT_NE(text.find("# TYPE aqv_svc_latency summary\n"), std::string::npos);
-  EXPECT_NE(text.find("aqv_svc_latency{quantile=\"0.5\"}"), std::string::npos);
-  EXPECT_NE(text.find("aqv_svc_latency{quantile=\"0.99\"}"),
+  // Histograms export natively: cumulative buckets at the power-of-two
+  // inclusive bounds, the empty tail collapsed into +Inf.
+  EXPECT_NE(text.find("# TYPE aqv_svc_latency histogram\n"),
             std::string::npos);
-  EXPECT_NE(text.find("aqv_svc_latency{quantile=\"1\"} 200\n"),
+  EXPECT_NE(text.find("aqv_svc_latency_bucket{le=\"7\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqv_svc_latency_bucket{le=\"15\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqv_svc_latency_bucket{le=\"127\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqv_svc_latency_bucket{le=\"255\"} 2\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("aqv_svc_latency_bucket{le=\"511\"}"),
+            std::string::npos);  // tail collapsed
+  EXPECT_NE(text.find("aqv_svc_latency_bucket{le=\"+Inf\"} 2\n"),
             std::string::npos);
   EXPECT_NE(text.find("aqv_svc_latency_sum 210\n"), std::string::npos);
   EXPECT_NE(text.find("aqv_svc_latency_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PromTextEmitsHelpOncePerFamily) {
+  MetricsRegistry registry;
+  registry.SetHelp("reqs_total", "requests served by the service");
+  registry.GetCounter("reqs_total").Increment();
+  registry.GetCounter("other").Increment();
+  std::string text = registry.PromText();
+  EXPECT_NE(
+      text.find("# HELP aqv_reqs_total requests served by the service\n"),
+      std::string::npos);
+  // A family without registered help still self-describes.
+  EXPECT_NE(text.find("# HELP aqv_other "), std::string::npos);
+  // Exactly one HELP and one TYPE line per family.
+  size_t first = text.find("# TYPE aqv_reqs_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE aqv_reqs_total counter", first + 1),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PromBucketsAreCumulativeAndMonotone) {
+  MetricsRegistry registry;
+  LatencyHistogram& h = registry.GetHistogram("lat");
+  // Spread samples over many buckets, including duplicates.
+  for (uint64_t v : {0u, 1u, 2u, 3u, 900u, 900u, 5000u, 70000u}) h.Record(v);
+  std::string text = registry.PromText();
+
+  // Parse every le bucket in order and check cumulative counts never
+  // decrease and end at the +Inf total.
+  std::vector<uint64_t> cumulative;
+  size_t pos = 0;
+  const std::string needle = "aqv_lat_bucket{le=\"";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    size_t value_at = text.find("} ", pos);
+    ASSERT_NE(value_at, std::string::npos);
+    cumulative.push_back(std::strtoull(text.c_str() + value_at + 2,
+                                       nullptr, 10));
+    pos = value_at;
+  }
+  ASSERT_GE(cumulative.size(), 3u);  // at least a few buckets plus +Inf
+  for (size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]) << "bucket " << i;
+  }
+  EXPECT_EQ(cumulative.back(), 8u);  // +Inf == _count
+  EXPECT_NE(text.find("aqv_lat_count 8\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PromLabeledNameEscapesLabelValues) {
+  // Label values with quotes, backslashes, and newlines must be escaped at
+  // name-construction time; the exposition emits label blocks verbatim.
+  std::string name = PromLabeledName("fp.hits", "site", "a\"b\\c\nd");
+  EXPECT_EQ(name, "fp.hits{site=\"a\\\"b\\\\c\\nd\"}");
+
+  MetricsRegistry registry;
+  registry.GetCounter(name).Increment(2);
+  std::string text = registry.PromText();
+  EXPECT_NE(text.find("aqv_fp_hits{site=\"a\\\"b\\\\c\\nd\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(LatencyHistogramTest, BucketUpperBoundsAndTopBucket) {
+  // Inclusive integer upper bounds: 0, 1, 3, 7, ... (2^i - 1).
+  EXPECT_EQ(LatencyHistogram::BucketUpperMicros(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketUpperMicros(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketUpperMicros(4), 15u);
+  EXPECT_EQ(LatencyHistogram::BucketUpperMicros(8), 255u);
+
+  // A sample beyond the last finite bucket lands in the top bucket and the
+  // percentile stays finite (clamped to the max sample, never overflowing).
+  LatencyHistogram h;
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_micros(), UINT64_MAX);
+  double p99 = h.PercentileMicros(0.99);
+  EXPECT_GT(p99, 0.0);
+  std::vector<uint64_t> counts = h.BucketCounts();
+  EXPECT_EQ(counts.back(), 1u);
 }
 
 TEST(MetricsRegistryTest, ConcurrentRegistrationAndUse) {

@@ -440,10 +440,15 @@ TEST(ServiceObservabilityTest, StatsPromExposesPrometheusText) {
             std::string::npos);
   EXPECT_NE(text.find("aqv_service_plan_cache_capacity 256\n"),
             std::string::npos);
-  EXPECT_NE(text.find("aqv_service_exec_latency{quantile=\"0.99\"}"),
+  EXPECT_NE(text.find("# TYPE aqv_service_exec_latency histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqv_service_exec_latency_bucket{le=\"+Inf\"} 1\n"),
             std::string::npos);
   EXPECT_NE(text.find("aqv_service_exec_latency_count 1\n"),
             std::string::npos);
+  // Every family carries HELP, and the trace-drop counter is exported.
+  EXPECT_NE(text.find("# HELP aqv_service_statements "), std::string::npos);
+  EXPECT_NE(text.find("aqv_trace_dropped_spans 0\n"), std::string::npos);
 }
 
 TEST(ServiceObservabilityTest, SlowQueryLogCapturesBreakdown) {
@@ -461,12 +466,14 @@ TEST(ServiceObservabilityTest, SlowQueryLogCapturesBreakdown) {
   std::vector<SlowQueryRecord> log = service.SlowQueries();
   ASSERT_EQ(log.size(), 4u);  // bounded, oldest dropped
   EXPECT_NE(log.back().statement.find("B_1 = 5"), std::string::npos);
-  EXPECT_EQ(service.Stats().slow_queries, 6u);
+  // 6 slow SELECTs plus the slow INSERT (writes log too, fingerprint 0).
+  EXPECT_EQ(service.Stats().slow_queries, 7u);
   for (const SlowQueryRecord& r : log) {
     EXPECT_NE(r.fingerprint, 0u);
     EXPECT_GE(r.total_micros, 1u);
     EXPECT_GE(r.total_micros,
               r.exec_micros);  // breakdown is within the total
+    EXPECT_GT(r.epoch, 0u);    // records the epoch the statement saw
   }
   // Repeats of one fingerprint group: same statement twice -> same fp.
   ExecuteOrDie(service, "SELECT A_1 FROM R WHERE B_1 = 99");

@@ -1,0 +1,200 @@
+// Tests for base/telemetry: delta-encoded window sampling over a
+// MetricsRegistry, the bounded ring with drop accounting, the background
+// sampler thread (start/stop lifecycle, monotone windows), and the JSON
+// history export.
+
+#include "base/telemetry.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/metrics.h"
+
+namespace aqv {
+namespace {
+
+TelemetryOptions ManualOptions(size_t capacity = 16) {
+  TelemetryOptions opts;
+  opts.interval_micros = 0;  // no background thread; SampleNow() drives
+  opts.capacity = capacity;
+  return opts;
+}
+
+TEST(TelemetryRecorderTest, WindowsAreDeltaEncoded) {
+  MetricsRegistry registry;
+  Counter& reqs = registry.GetCounter("svc.requests");
+  Counter& idle = registry.GetCounter("svc.idle");
+  Gauge& depth = registry.GetGauge("svc.depth");
+  LatencyHistogram& lat = registry.GetHistogram("svc.latency");
+  reqs.Increment(5);  // pre-recorder activity must not leak into window 0
+
+  TelemetryRecorder recorder(&registry, ManualOptions());
+  reqs.Increment(3);
+  depth.Set(7);
+  lat.Record(100);
+  lat.Record(50);
+  TelemetryWindowPtr w0 = recorder.SampleNow();
+
+  EXPECT_EQ(w0->seq, 0u);
+  EXPECT_EQ(w0->CounterDelta("svc.requests"), 3u);  // not 8: baseline primed
+  EXPECT_EQ(w0->CounterDelta("svc.idle"), 0u);      // zero deltas dropped
+  EXPECT_EQ(w0->GaugeValue("svc.depth"), 7);
+  const TelemetryWindow::Hist* h = w0->Histogram("svc.latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->delta_count, 2u);
+  EXPECT_EQ(h->delta_sum_micros, 150u);
+  EXPECT_EQ(h->max_micros, 100u);
+
+  // A quiet second window: the counter that moved before is absent now.
+  depth.Set(2);
+  TelemetryWindowPtr w1 = recorder.SampleNow();
+  EXPECT_EQ(w1->seq, 1u);
+  EXPECT_EQ(w1->CounterDelta("svc.requests"), 0u);
+  EXPECT_EQ(w1->Histogram("svc.latency"), nullptr);
+  EXPECT_EQ(w1->GaugeValue("svc.depth"), 2);
+  EXPECT_GE(w1->start_micros, w0->end_micros);
+}
+
+TEST(TelemetryRecorderTest, RingEvictsOldestAndCountsDrops) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("ticks");
+  TelemetryRecorder recorder(&registry, ManualOptions(/*capacity=*/4));
+  for (int i = 0; i < 10; ++i) {
+    c.Increment();
+    recorder.SampleNow();
+  }
+  EXPECT_EQ(recorder.windows_sampled(), 10u);
+  EXPECT_EQ(recorder.windows_dropped(), 6u);
+
+  std::vector<TelemetryWindowPtr> history = recorder.History();
+  ASSERT_EQ(history.size(), 4u);
+  // Oldest first, consecutive, ending at the newest window.
+  for (size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(history[i]->seq, 6u + i);
+  }
+  // History(n) trims from the old end.
+  std::vector<TelemetryWindowPtr> last2 = recorder.History(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2[0]->seq, 8u);
+  EXPECT_EQ(last2[1]->seq, 9u);
+
+  // A held window stays valid after eviction.
+  TelemetryWindowPtr pinned = history[0];
+  for (int i = 0; i < 8; ++i) recorder.SampleNow();
+  EXPECT_EQ(pinned->seq, 6u);
+  EXPECT_EQ(pinned->CounterDelta("ticks"), 1u);
+}
+
+TEST(TelemetryRecorderTest, BackgroundSamplerCutsMonotoneWindows) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("work");
+  TelemetryOptions opts;
+  opts.interval_micros = 2000;  // 2 ms ticks
+  opts.capacity = 64;
+  TelemetryRecorder recorder(&registry, opts);
+  recorder.Start();
+  EXPECT_TRUE(recorder.running());
+
+  // Drive some metric traffic while waiting for at least 5 windows.
+  for (int spin = 0; spin < 500 && recorder.windows_sampled() < 5; ++spin) {
+    c.Increment();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  recorder.Stop();
+  EXPECT_FALSE(recorder.running());
+
+  std::vector<TelemetryWindowPtr> history = recorder.History();
+  ASSERT_GE(history.size(), 5u);
+  for (size_t i = 1; i < history.size(); ++i) {
+    EXPECT_EQ(history[i]->seq, history[i - 1]->seq + 1);
+    EXPECT_EQ(history[i]->start_micros, history[i - 1]->end_micros)
+        << "windows must tile the timeline";
+    EXPECT_GT(history[i]->end_micros, history[i]->start_micros);
+    EXPECT_GE(history[i]->unix_millis, history[i - 1]->unix_millis);
+  }
+  // Deltas across all windows account for every increment that landed
+  // before the final window closed (no double counting, no loss).
+  uint64_t total = 0;
+  for (const auto& w : history) total += w->CounterDelta("work");
+  EXPECT_LE(total, c.value());
+
+  // Stop is idempotent and Start works again after it.
+  recorder.Stop();
+  recorder.Start();
+  EXPECT_TRUE(recorder.running());
+  recorder.Stop();
+}
+
+TEST(TelemetryRecorderTest, StartIsNoOpWhenIntervalZero) {
+  MetricsRegistry registry;
+  TelemetryRecorder recorder(&registry, ManualOptions());
+  recorder.Start();
+  EXPECT_FALSE(recorder.running());  // no thread without an interval
+  recorder.SampleNow();              // on-demand sampling still works
+  EXPECT_EQ(recorder.windows_sampled(), 1u);
+}
+
+TEST(TelemetryRecorderTest, HistoryJsonEscapesNamesAndNestsDeltas) {
+  MetricsRegistry registry;
+  TelemetryRecorder recorder(&registry, ManualOptions());
+  // A labeled metric name carries quotes and backslashes into the JSON key.
+  registry.GetCounter(PromLabeledName("errs", "code", "q\"b\\s")).Increment(2);
+  registry.GetGauge("depth").Set(-3);
+  registry.GetHistogram("lat").Record(10);
+  recorder.SampleNow();
+  std::string json = recorder.HistoryJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"seq\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"unix_millis\":"), std::string::npos);
+  EXPECT_NE(json.find("\"duration_micros\":"), std::string::npos);
+  // The stored name is errs{code="q\"b\\s"}; JSON-escaping doubles every
+  // backslash and escapes the quotes.
+  EXPECT_NE(json.find("\"errs{code=\\\"q\\\\\\\"b\\\\\\\\s\\\"}\":2"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"depth\":-3"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\":{\"count\":1,\"sum_micros\":10"),
+            std::string::npos);
+
+  // An empty history is a well-formed empty array.
+  MetricsRegistry empty_registry;
+  TelemetryRecorder empty(&empty_registry, ManualOptions());
+  EXPECT_EQ(empty.HistoryJson(), "[]");
+}
+
+TEST(TelemetryRecorderTest, ConcurrentSamplersAndReadersAreSafe) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("spin");
+  TelemetryRecorder recorder(&registry, ManualOptions(/*capacity=*/8));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        c.Increment();
+        recorder.SampleNow();
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 200; ++i) {
+      std::vector<TelemetryWindowPtr> h = recorder.History();
+      for (const auto& w : h) {
+        ASSERT_NE(w, nullptr);
+        (void)w->CounterDelta("spin");
+      }
+    }
+  });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(recorder.windows_sampled(), 400u);
+  // Every increment is attributed to exactly one window overall; with the
+  // ring evicting we can only check the invariant on sampled counts.
+  EXPECT_EQ(recorder.windows_dropped(), 400u - 8u);
+}
+
+}  // namespace
+}  // namespace aqv
