@@ -1,0 +1,100 @@
+#ifndef AQV_EXEC_COLUMN_BATCH_H_
+#define AQV_EXEC_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/value.h"
+
+namespace aqv {
+
+/// Rows per processing batch: vectorized operators charge the ExecContext
+/// and re-check deadlines/cancellation at this granularity, so governance
+/// fires *inside* a long scan instead of after it. 1024 equals
+/// ExecContext::kCheckStride, meaning one deadline check per batch.
+inline constexpr size_t kBatchRows = 1024;
+
+/// Storage class of one column in a ColumnarTable.
+///
+///   kInt64 / kDouble — contiguous typed arrays (null slots hold 0).
+///   kString          — dictionary-encoded: per-row int32 codes into a
+///                      per-column dictionary (null slots hold -1).
+///   kMixed           — the column held more than one non-null type (or a
+///                      type the typed layouts can't carry); values are kept
+///                      as tagged `Value`s. Mixed columns still support
+///                      ValueAt/gather, but operators treat them as
+///                      non-vectorizable and fall back to the row engine.
+enum class ColumnType : uint8_t { kInt64, kDouble, kString, kMixed };
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// One typed column of a ColumnarTable: a validity bitmap plus exactly one
+/// of the payload vectors, chosen by `type`. A set bit in `null_words`
+/// means the row is NULL. `has_nulls` short-circuits the bitmap probe for
+/// the (common) all-valid case.
+struct Column {
+  ColumnType type = ColumnType::kInt64;
+  bool has_nulls = false;
+  std::vector<uint64_t> null_words;  // ceil(rows/64) words; bit set = NULL
+
+  std::vector<int64_t> i64;        // kInt64
+  std::vector<double> f64;         // kDouble
+  std::vector<int32_t> codes;      // kString: dictionary codes, -1 at NULLs
+  std::vector<std::string> dict;   // kString: code -> string
+  std::vector<Value> mixed;        // kMixed: full tagged values
+
+  bool IsNull(size_t row) const {
+    return has_nulls && ((null_words[row >> 6] >> (row & 63)) & 1) != 0;
+  }
+
+  /// The row's value as a tagged Value (works for every ColumnType).
+  Value ValueAt(size_t row) const;
+};
+
+/// A columnar image of a row table: per-column typed arrays sharing one row
+/// count. Built once from `Table` rows (see Table::columnar() for the cached
+/// path) and immutable afterwards, so concurrent readers of a published
+/// table version can share it freely.
+///
+/// Column types are inferred per column: the first non-null value fixes the
+/// type; a later conflicting type degrades that column to kMixed (exact
+/// tagged values, row-engine fallback). String columns are dictionary
+/// encoded with first-occurrence code assignment, so equal strings share one
+/// code and constant comparisons reduce to a per-code precomputed mask.
+class ColumnarTable {
+ public:
+  ColumnarTable() = default;
+
+  /// Builds the columnar image of `rows`, each of arity `num_columns`.
+  static ColumnarTable FromRows(const std::vector<Row>& rows, int num_columns);
+
+  size_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(cols_.size()); }
+  const Column& col(int i) const { return cols_[static_cast<size_t>(i)]; }
+
+  /// True if operators can run tight typed loops over column `i` (i.e. it
+  /// is not kMixed).
+  bool ColumnVectorizable(int i) const {
+    return col(i).type != ColumnType::kMixed;
+  }
+
+  Value ValueAt(int column, size_t row) const { return col(column).ValueAt(row); }
+
+  /// Reconstructs full row `row` (all columns, schema order) into `*out`.
+  void AppendRowTo(size_t row, Row* out) const;
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<Column> cols_;
+};
+
+/// A selection over a ColumnarTable: ascending row indices that survived a
+/// filter. Operators consuming (table, selection) pairs avoid materializing
+/// intermediate rows entirely.
+using SelVector = std::vector<uint32_t>;
+
+}  // namespace aqv
+
+#endif  // AQV_EXEC_COLUMN_BATCH_H_

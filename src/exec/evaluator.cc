@@ -7,6 +7,7 @@
 #include "base/strings.h"
 #include "exec/operators.h"
 #include "exec/planner.h"
+#include "exec/vectorized.h"
 #include "ir/validate.h"
 
 namespace aqv {
@@ -153,7 +154,76 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
   std::vector<Row> joined;
   ColumnIndexMap layout;
 
-  if (!options_.use_hash_join) {
+  // The Cartesian reference plan is the executable specification tests
+  // compare everything against, so it stays pure row-at-a-time.
+  const bool vec = options_.vectorized && options_.use_hash_join;
+
+  // Aggregation output; the columnar fast path below can produce it
+  // directly from the table's cached columnar image, in which case the join
+  // phase and row-based aggregation are skipped entirely.
+  std::vector<Row> grouped;
+  bool grouped_ready = false;
+  std::vector<Operand> agg_terms = query.AggregateTerms();
+  auto agg_label = [&](bool vectorized) {
+    std::vector<std::string> aggs;
+    for (const Operand& term : agg_terms) aggs.push_back(term.ToString());
+    return "HashAggregate(groups: " +
+           (query.group_by.empty() ? std::string("<global>")
+                                   : Join(query.group_by, ", ")) +
+           "; aggregates: " + Join(aggs, ", ") + ")" +
+           (vectorized ? " [vec]" : "");
+  };
+
+  // ---- Columnar fast path: single-table aggregation runs scan + filter +
+  // hash-group entirely over typed column arrays (selection vectors instead
+  // of materialized rows). Falls through to the row engine whenever the
+  // compiled operators cannot reproduce its semantics exactly.
+  if (vec && n == 1 && !query.IsConjunctive()) {
+    PredicateClassification cls = ClassifyPredicates(query);
+    if (cls.multi_table.empty() && cls.equi_joins.empty()) {
+      ColumnIndexMap scan_layout;
+      for (size_t j = 0; j < query.from[0].columns.size(); ++j) {
+        scan_layout[query.from[0].columns[j]] = static_cast<int>(j);
+      }
+      std::vector<int> group_ordinals;
+      group_ordinals.reserve(query.group_by.size());
+      for (const std::string& g : query.group_by) {
+        group_ordinals.push_back(scan_layout.at(g));
+      }
+      std::vector<AggSpec> specs;
+      specs.reserve(agg_terms.size());
+      for (const Operand& term : agg_terms) {
+        int mult =
+            term.multiplier.empty() ? -1 : scan_layout.at(term.multiplier);
+        specs.push_back(AggSpec{term.agg, scan_layout.at(term.column), mult});
+      }
+      const ColumnarTable& ct = inputs[0]->columnar();
+      const std::vector<Predicate>& filters = cls.single_table[0];
+      CompiledFilter filter;
+      VectorizedAggregation agg;
+      if (CompiledFilter::Compile(filters, scan_layout, ct, &filter) &&
+          VectorizedAggregation::Compile(ct, group_ordinals, specs, &agg)) {
+        op_begin();
+        SelVector sel;
+        const bool use_sel = !filters.empty();
+        if (use_sel) sel = filter.Run(ct, ctx_);
+        size_t scanned = use_sel ? sel.size() : ct.num_rows();
+        op_end("Scan " + input_label(0, filters) + " [vec]",
+               inputs[0]->num_rows(), scanned);
+        note_rows(scanned);
+        op_begin();
+        grouped = agg.Run(ct, use_sel ? &sel : nullptr, ctx_);
+        op_end(agg_label(true), scanned, grouped.size());
+        note_rows(grouped.size());
+        stats_.vectorized_ops += 2;
+        grouped_ready = true;
+      }
+    }
+  }
+
+  if (grouped_ready) {
+    // Join phase skipped: aggregation came straight off the columnar image.
+  } else if (!options_.use_hash_join) {
     // Reference plan: Cartesian product in FROM order, then filter.
     int offset = 0;
     for (size_t i = 0; i < n; ++i) {
@@ -183,17 +253,33 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
   } else {
     PredicateClassification cls = ClassifyPredicates(query);
 
-    // Per-input filtered scans.
+    // Per-input filtered scans: vectorized (filter over the columnar image,
+    // then gather the survivors) when every predicate compiles, row engine
+    // otherwise. Both charge one row per stored row, so governance
+    // accounting is engine-independent.
     std::vector<std::vector<Row>> scans(n);
     std::vector<uint64_t> scan_micros(n, 0);
+    std::vector<bool> scan_vec(n, false);
     for (size_t i = 0; i < n; ++i) {
       ColumnIndexMap scan_layout;
       for (size_t j = 0; j < query.from[i].columns.size(); ++j) {
         scan_layout[query.from[i].columns[j]] = static_cast<int>(j);
       }
       op_begin();
-      scans[i] = FilterRows(inputs[i]->rows(), cls.single_table[i], scan_layout,
-                            ctx_);
+      if (vec && !cls.single_table[i].empty()) {
+        const ColumnarTable& ct = inputs[i]->columnar();
+        CompiledFilter filter;
+        if (CompiledFilter::Compile(cls.single_table[i], scan_layout, ct,
+                                    &filter)) {
+          scans[i] = GatherRows(ct, filter.Run(ct, ctx_));
+          scan_vec[i] = true;
+          ++stats_.vectorized_ops;
+        }
+      }
+      if (!scan_vec[i]) {
+        scans[i] = FilterRows(inputs[i]->rows(), cls.single_table[i],
+                              scan_layout, ctx_);
+      }
       if (prof) scan_micros[i] = MicrosSince(op_start);
     }
 
@@ -233,7 +319,8 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
       // model's estimate) in the label and the scan actuals measured above.
       if (prof) {
         profile_->ops.push_back(OperatorProfile{
-            "Scan " + input_label(t, cls.single_table[t]),
+            "Scan " + input_label(t, cls.single_table[t]) +
+                (scan_vec[t] ? " [vec]" : ""),
             inputs[t]->num_rows(), scans[t].size(), scan_micros[t]});
       }
       if (step == 0) {
@@ -337,34 +424,32 @@ Result<Table> Evaluator::ExecuteInternal(const Query& query, int depth) {
     return out;
   }
 
-  // Grouped/aggregated query.
-  std::vector<int> group_ordinals;
-  group_ordinals.reserve(query.group_by.size());
-  for (const std::string& g : query.group_by) {
-    group_ordinals.push_back(layout.at(g));
-  }
+  // Grouped/aggregated query (post-join path; the columnar fast path above
+  // may already have produced `grouped`).
+  if (!grouped_ready) {
+    std::vector<int> group_ordinals;
+    group_ordinals.reserve(query.group_by.size());
+    for (const std::string& g : query.group_by) {
+      group_ordinals.push_back(layout.at(g));
+    }
 
-  std::vector<Operand> agg_terms = query.AggregateTerms();
-  std::vector<AggSpec> specs;
-  specs.reserve(agg_terms.size());
-  for (const Operand& term : agg_terms) {
-    int mult = term.multiplier.empty() ? -1 : layout.at(term.multiplier);
-    specs.push_back(AggSpec{term.agg, layout.at(term.column), mult});
-  }
+    std::vector<AggSpec> specs;
+    specs.reserve(agg_terms.size());
+    for (const Operand& term : agg_terms) {
+      int mult = term.multiplier.empty() ? -1 : layout.at(term.multiplier);
+      specs.push_back(AggSpec{term.agg, layout.at(term.column), mult});
+    }
 
-  op_begin();
-  size_t agg_in = joined.size();
-  std::vector<Row> grouped = GroupAggregate(joined, group_ordinals, specs, ctx_);
-  if (prof) {
-    std::vector<std::string> aggs;
-    for (const Operand& term : agg_terms) aggs.push_back(term.ToString());
-    op_end("HashAggregate(groups: " +
-               (query.group_by.empty() ? std::string("<global>")
-                                       : Join(query.group_by, ", ")) +
-               "; aggregates: " + Join(aggs, ", ") + ")",
-           agg_in, grouped.size());
+    op_begin();
+    size_t agg_in = joined.size();
+    bool vec_agg = false;
+    grouped = vec ? VectorizedGroupAggregateRows(joined, group_ordinals, specs,
+                                                 ctx_, &vec_agg)
+                  : GroupAggregate(joined, group_ordinals, specs, ctx_);
+    if (vec_agg) ++stats_.vectorized_ops;
+    if (prof) op_end(agg_label(vec_agg), agg_in, grouped.size());
+    note_rows(grouped.size());
   }
-  note_rows(grouped.size());
 
   // Layout of the grouped rows: grouping columns then one synthetic column
   // per aggregate term.

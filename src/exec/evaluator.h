@@ -41,12 +41,27 @@ struct PlanProfile {
 /// of multiset semantics.
 struct EvalOptions {
   bool use_hash_join = true;
+  /// Batch-at-a-time columnar execution (exec/vectorized.h) for scans,
+  /// filters and hash-group aggregation, over the table's cached columnar
+  /// image. Operators without a vectorized implementation — joins,
+  /// HAVING, final projection, anything touching a mixed-type column —
+  /// fall back to the row engine per operator; results are identical
+  /// either way (enforced by tests/vectorized_differential_test.cc). Only
+  /// effective with use_hash_join: the Cartesian reference plan stays pure
+  /// row-at-a-time, as it is the executable specification tests compare
+  /// against.
+  bool vectorized = true;
 };
 
 /// Counters for benches and plan-quality assertions.
 struct EvalStats {
   size_t peak_intermediate_rows = 0;
   size_t views_materialized = 0;
+  /// Operators executed by the vectorized engine, cumulative across
+  /// Execute calls (scans/filters and aggregations count separately). Lets
+  /// tests assert the columnar path actually engaged rather than silently
+  /// falling back.
+  size_t vectorized_ops = 0;
 };
 
 /// Executes single-block queries against a Database under multiset

@@ -120,7 +120,9 @@ std::string RenderAnalyzedPlan(const PlanProfile& profile) {
   width = std::min<size_t>(width, 72);
 
   std::string out;
+  size_t vec_ops = 0;
   for (const OperatorProfile& op : profile.ops) {
+    if (op.label.find(" [vec]") != std::string::npos) ++vec_ops;
     out += op.label;
     if (op.label.size() < width) out += std::string(width - op.label.size(), ' ');
     out += "  (actual rows=" + std::to_string(op.rows_in) + " -> " +
@@ -128,6 +130,12 @@ std::string RenderAnalyzedPlan(const PlanProfile& profile) {
            " us)\n";
   }
   out += "total: " + std::to_string(profile.total_micros) + " us\n";
+  if (vec_ops > 0) {
+    // Operators tagged [vec] ran batch-at-a-time over the columnar image;
+    // the rest fell back to the row engine (see README "Execution engine").
+    out += "engine: vectorized (" + std::to_string(vec_ops) + "/" +
+           std::to_string(profile.ops.size()) + " operators batched)\n";
+  }
   return out;
 }
 

@@ -9,8 +9,62 @@
 #include <unordered_map>
 
 #include "base/strings.h"
+#include "exec/column_batch.h"
 
 namespace aqv {
+
+Table::Table() : columnar_(std::make_shared<ColumnarSlot>()) {}
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)), columnar_(std::make_shared<ColumnarSlot>()) {}
+
+Table::Table(const Table& other)
+    : columns_(other.columns_),
+      rows_(other.rows_),
+      columnar_(std::make_shared<ColumnarSlot>()) {}
+
+Table::Table(Table&& other) noexcept
+    : columns_(std::move(other.columns_)),
+      rows_(std::move(other.rows_)),
+      columnar_(std::move(other.columnar_)) {
+  other.columnar_ = std::make_shared<ColumnarSlot>();
+}
+
+Table& Table::operator=(const Table& other) {
+  if (this == &other) return *this;
+  columns_ = other.columns_;
+  rows_ = other.rows_;
+  columnar_ = std::make_shared<ColumnarSlot>();
+  return *this;
+}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this == &other) return *this;
+  columns_ = std::move(other.columns_);
+  rows_ = std::move(other.rows_);
+  columnar_ = std::move(other.columnar_);
+  other.columnar_ = std::make_shared<ColumnarSlot>();
+  return *this;
+}
+
+Table::~Table() = default;
+
+const ColumnarTable& Table::columnar() const {
+  ColumnarSlot* slot = columnar_.get();
+  std::call_once(slot->once, [&] {
+    slot->image = std::make_unique<const ColumnarTable>(
+        ColumnarTable::FromRows(rows_, num_columns()));
+    slot->built.store(true, std::memory_order_release);
+  });
+  return *slot->image;
+}
+
+void Table::InvalidateColumnar() {
+  // Replacing the slot (rather than clearing it) keeps columnar() free of
+  // pointer races; skip the allocation while nothing was ever built.
+  if (!columnar_->built.load(std::memory_order_acquire)) return;
+  columnar_ = std::make_shared<ColumnarSlot>();
+}
 
 int Table::ColumnIndex(const std::string& column) const {
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -25,7 +79,22 @@ Status Table::AddRow(Row row) {
         "row arity " + std::to_string(row.size()) + " != table arity " +
         std::to_string(num_columns()));
   }
+  InvalidateColumnar();
   rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::AddRows(std::vector<Row> rows) {
+  for (const Row& row : rows) {
+    if (static_cast<int>(row.size()) != num_columns()) {
+      return Status::InvalidArgument(
+          "row arity " + std::to_string(row.size()) + " != table arity " +
+          std::to_string(num_columns()));
+    }
+  }
+  InvalidateColumnar();
+  rows_.reserve(rows_.size() + rows.size());
+  for (Row& row : rows) rows_.push_back(std::move(row));
   return Status::OK();
 }
 

@@ -1,9 +1,11 @@
 #ifndef AQV_EXEC_TABLE_H_
 #define AQV_EXEC_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -14,14 +16,20 @@
 
 namespace aqv {
 
+class ColumnarTable;
+
 /// An in-memory multiset of rows with named columns. Duplicate rows are
 /// first-class: the paper's semantics are over bags, and a Table preserves
 /// multiplicities exactly.
 class Table {
  public:
-  Table() = default;
-  explicit Table(std::vector<std::string> columns)
-      : columns_(std::move(columns)) {}
+  Table();
+  explicit Table(std::vector<std::string> columns);
+  Table(const Table& other);
+  Table(Table&& other) noexcept;
+  Table& operator=(const Table& other);
+  Table& operator=(Table&& other) noexcept;
+  ~Table();
 
   const std::vector<std::string>& columns() const { return columns_; }
   int num_columns() const { return static_cast<int>(columns_.size()); }
@@ -33,18 +41,47 @@ class Table {
   /// Appends `row`; its arity must match the schema.
   Status AddRow(Row row);
 
+  /// Appends a batch of rows (all-or-nothing on arity mismatch). One cache
+  /// invalidation and one capacity reservation for the whole batch, so the
+  /// write path's delta application stays O(batch), not O(batch * rebuilds).
+  Status AddRows(std::vector<Row> rows);
+
   /// AddRow that aborts on arity mismatch; for literal test data.
   void AddRowOrDie(Row row);
 
   const std::vector<Row>& rows() const { return rows_; }
-  std::vector<Row>* mutable_rows() { return &rows_; }
+  std::vector<Row>* mutable_rows() {
+    InvalidateColumnar();
+    return &rows_;
+  }
+
+  /// Lazily built, cached columnar image of this table (exec/column_batch.h),
+  /// the input of the vectorized operators. Safe for concurrent readers of
+  /// an immutable (published) table version: the first caller builds under a
+  /// once-flag, later callers share the image. Mutation through AddRow /
+  /// AddRows / mutable_rows discards the cache; mutating while another
+  /// thread reads is outside the Table contract (stored versions are
+  /// copy-on-write, see TablePtr below).
+  const ColumnarTable& columnar() const;
 
   /// Multi-line human-readable rendering (for examples and test failures).
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  /// Holder for the lazily built columnar image. A fresh slot is assigned on
+  /// construction, copy, and mutation, so the pointer itself is never
+  /// written while concurrent readers race through columnar().
+  struct ColumnarSlot {
+    std::once_flag once;
+    std::atomic<bool> built{false};
+    std::unique_ptr<const ColumnarTable> image;
+  };
+
+  void InvalidateColumnar();
+
   std::vector<std::string> columns_;
   std::vector<Row> rows_;
+  mutable std::shared_ptr<ColumnarSlot> columnar_;
 };
 
 /// An immutable stored table version. Once a Table is Put into a Database it

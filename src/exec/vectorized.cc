@@ -1,0 +1,613 @@
+#include "exec/vectorized.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <unordered_map>
+
+namespace aqv {
+
+namespace {
+
+/// Maps a three-way comparison result through `op` (EvalCmp's final switch).
+inline bool CmpPass(CmpOp op, int c) {
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+/// Numeric column value as double — the representation EvalCmp compares in
+/// (AsDouble on both sides), so INT64/DOUBLE cross comparisons match the
+/// row engine bit-for-bit.
+inline double NumAt(const Column& c, size_t r) {
+  return c.type == ColumnType::kInt64 ? static_cast<double>(c.i64[r])
+                                      : c.f64[r];
+}
+
+inline int Sign(int c) { return c < 0 ? -1 : (c > 0 ? 1 : 0); }
+
+using Pred = CompiledFilter::Pred;
+
+bool PredPass(const Pred& p, const ColumnarTable& t, size_t r) {
+  switch (p.kind) {
+    case Pred::Kind::kAlwaysTrue:
+      return true;
+    case Pred::Kind::kAlwaysFalse:
+      return false;
+    case Pred::Kind::kNumConst: {
+      const Column& c = t.col(p.lhs_col);
+      if (c.IsNull(r)) return false;
+      double d = NumAt(c, r);
+      return CmpPass(p.op, d < p.cval ? -1 : (d > p.cval ? 1 : 0));
+    }
+    case Pred::Kind::kStrConst: {
+      const Column& c = t.col(p.lhs_col);
+      if (c.IsNull(r)) return false;
+      return p.dict_pass[static_cast<size_t>(c.codes[r])] != 0;
+    }
+    case Pred::Kind::kNumNum: {
+      const Column& lc = t.col(p.lhs_col);
+      const Column& rc = t.col(p.rhs_col);
+      if (lc.IsNull(r) || rc.IsNull(r)) return false;
+      double a = NumAt(lc, r), b = NumAt(rc, r);
+      return CmpPass(p.op, a < b ? -1 : (a > b ? 1 : 0));
+    }
+    case Pred::Kind::kStrStr: {
+      const Column& lc = t.col(p.lhs_col);
+      const Column& rc = t.col(p.rhs_col);
+      if (lc.IsNull(r) || rc.IsNull(r)) return false;
+      int cm = lc.dict[static_cast<size_t>(lc.codes[r])].compare(
+          rc.dict[static_cast<size_t>(rc.codes[r])]);
+      return CmpPass(p.op, Sign(cm));
+    }
+    case Pred::Kind::kNotNullNe: {
+      if (t.col(p.lhs_col).IsNull(r)) return false;
+      if (p.rhs_col >= 0 && t.col(p.rhs_col).IsNull(r)) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename T, typename Cmp>
+inline void AppendCmp(const T* v, const Column& c, size_t base, size_t end,
+                      double cv, Cmp cmp, SelVector* sel) {
+  if (!c.has_nulls) {
+    for (size_t r = base; r < end; ++r) {
+      if (cmp(static_cast<double>(v[r]), cv)) {
+        sel->push_back(static_cast<uint32_t>(r));
+      }
+    }
+  } else {
+    for (size_t r = base; r < end; ++r) {
+      if (!c.IsNull(r) && cmp(static_cast<double>(v[r]), cv)) {
+        sel->push_back(static_cast<uint32_t>(r));
+      }
+    }
+  }
+}
+
+template <typename T>
+void AppendNumConst(const T* v, const Column& c, size_t base, size_t end,
+                    CmpOp op, double cv, SelVector* sel) {
+  switch (op) {
+    case CmpOp::kEq:
+      AppendCmp(v, c, base, end, cv, [](double a, double b) { return a == b; },
+                sel);
+      break;
+    case CmpOp::kNe:
+      AppendCmp(v, c, base, end, cv, [](double a, double b) { return a != b; },
+                sel);
+      break;
+    case CmpOp::kLt:
+      AppendCmp(v, c, base, end, cv, [](double a, double b) { return a < b; },
+                sel);
+      break;
+    case CmpOp::kLe:
+      AppendCmp(v, c, base, end, cv, [](double a, double b) { return a <= b; },
+                sel);
+      break;
+    case CmpOp::kGt:
+      AppendCmp(v, c, base, end, cv, [](double a, double b) { return a > b; },
+                sel);
+      break;
+    case CmpOp::kGe:
+      AppendCmp(v, c, base, end, cv, [](double a, double b) { return a >= b; },
+                sel);
+      break;
+  }
+}
+
+/// First conjunct over one batch: appends passing row ids to `sel`. The
+/// numeric-vs-constant shape (the dominant scan predicate) gets dedicated
+/// typed loops with the comparator hoisted out.
+void AppendPassing(const Pred& p, const ColumnarTable& t, size_t base,
+                   size_t end, SelVector* sel) {
+  if (p.kind == Pred::Kind::kNumConst) {
+    const Column& c = t.col(p.lhs_col);
+    if (c.type == ColumnType::kInt64) {
+      AppendNumConst(c.i64.data(), c, base, end, p.op, p.cval, sel);
+    } else {
+      AppendNumConst(c.f64.data(), c, base, end, p.op, p.cval, sel);
+    }
+    return;
+  }
+  for (size_t r = base; r < end; ++r) {
+    if (PredPass(p, t, r)) sel->push_back(static_cast<uint32_t>(r));
+  }
+}
+
+/// Later conjuncts: compacts the batch's slice of `sel` in place.
+void RefinePassing(const Pred& p, const ColumnarTable& t, SelVector* sel,
+                   size_t from) {
+  size_t w = from;
+  for (size_t i = from; i < sel->size(); ++i) {
+    uint32_t r = (*sel)[i];
+    if (PredPass(p, t, r)) (*sel)[w++] = r;
+  }
+  sel->resize(w);
+}
+
+}  // namespace
+
+bool CompiledFilter::Compile(const std::vector<Predicate>& preds,
+                             const ColumnIndexMap& layout,
+                             const ColumnarTable& table, CompiledFilter* out) {
+  out->preds_.clear();
+  out->preds_.reserve(preds.size());
+  for (const Predicate& p : preds) {
+    if (!p.IsScalar()) return false;
+    // Resolve each operand the way EvalScalarPredicate does: constants pass
+    // through, columns go through the layout, anything unresolvable becomes
+    // a NULL constant (which makes the predicate constant-false).
+    struct Res {
+      bool is_const;
+      Value cv;
+      int col;
+    };
+    auto resolve = [&](const Operand& o) -> Res {
+      if (o.is_constant()) return {true, o.constant, -1};
+      auto it = layout.find(o.column);
+      if (it == layout.end() || it->second < 0 ||
+          it->second >= table.num_columns()) {
+        return {true, Value::Null(), -1};
+      }
+      return {false, Value(), it->second};
+    };
+    Res l = resolve(p.lhs), r = resolve(p.rhs);
+    if (!l.is_const && !table.ColumnVectorizable(l.col)) return false;
+    if (!r.is_const && !table.ColumnVectorizable(r.col)) return false;
+
+    Pred c;
+    c.op = p.op;
+    if (l.is_const && r.is_const) {
+      c.kind = EvalCmp(l.cv, p.op, r.cv) ? Pred::Kind::kAlwaysTrue
+                                         : Pred::Kind::kAlwaysFalse;
+    } else if (l.is_const || r.is_const) {
+      // Normalize to `column op constant` (flip when the constant is lhs).
+      int col = l.is_const ? r.col : l.col;
+      const Value& cv = l.is_const ? l.cv : r.cv;
+      CmpOp op = l.is_const ? FlipCmpOp(p.op) : p.op;
+      c.lhs_col = col;
+      c.op = op;
+      const Column& cc = table.col(col);
+      if (cv.is_null()) {
+        c.kind = Pred::Kind::kAlwaysFalse;
+      } else if (cc.type == ColumnType::kString) {
+        if (cv.type() == ValueType::kString) {
+          // Hoist the comparison out of the scan: one verdict per dict code.
+          c.kind = Pred::Kind::kStrConst;
+          c.dict_pass.resize(cc.dict.size());
+          for (size_t i = 0; i < cc.dict.size(); ++i) {
+            c.dict_pass[i] =
+                CmpPass(op, Sign(cc.dict[i].compare(cv.str()))) ? 1 : 0;
+          }
+        } else {
+          c.kind = op == CmpOp::kNe ? Pred::Kind::kNotNullNe
+                                    : Pred::Kind::kAlwaysFalse;
+        }
+      } else {  // numeric column
+        if (cv.is_numeric()) {
+          c.kind = Pred::Kind::kNumConst;
+          c.cval = cv.AsDouble();
+        } else {
+          c.kind = op == CmpOp::kNe ? Pred::Kind::kNotNullNe
+                                    : Pred::Kind::kAlwaysFalse;
+        }
+      }
+    } else {
+      c.lhs_col = l.col;
+      c.rhs_col = r.col;
+      bool lnum = table.col(l.col).type != ColumnType::kString;
+      bool rnum = table.col(r.col).type != ColumnType::kString;
+      if (lnum && rnum) {
+        c.kind = Pred::Kind::kNumNum;
+      } else if (!lnum && !rnum) {
+        c.kind = Pred::Kind::kStrStr;
+      } else {
+        c.kind = p.op == CmpOp::kNe ? Pred::Kind::kNotNullNe
+                                    : Pred::Kind::kAlwaysFalse;
+      }
+    }
+    out->preds_.push_back(std::move(c));
+  }
+  return true;
+}
+
+SelVector CompiledFilter::Run(const ColumnarTable& table,
+                              ExecContext* ctx) const {
+  const size_t n = table.num_rows();
+  SelVector sel;
+  if (preds_.empty()) {
+    // Identity selection; FilterRows charges nothing for an empty
+    // conjunction, so neither do we.
+    sel.resize(n);
+    for (size_t r = 0; r < n; ++r) sel[r] = static_cast<uint32_t>(r);
+    return sel;
+  }
+  sel.reserve(n);
+  for (size_t base = 0; base < n; base += kBatchRows) {
+    const size_t end = std::min(n, base + kBatchRows);
+    // Charge the whole batch up front; kBatchRows == kCheckStride, so this
+    // also re-checks the deadline/cancel flag once per batch.
+    if (ctx != nullptr && !ctx->TickRows(end - base)) break;
+    const size_t mark = sel.size();
+    AppendPassing(preds_[0], table, base, end, &sel);
+    for (size_t p = 1; p < preds_.size(); ++p) {
+      if (sel.size() == mark) break;
+      RefinePassing(preds_[p], table, &sel, mark);
+    }
+  }
+  return sel;
+}
+
+std::vector<Row> GatherRows(const ColumnarTable& table, const SelVector& sel) {
+  std::vector<Row> out;
+  out.reserve(sel.size());
+  for (uint32_t r : sel) {
+    Row row;
+    table.AppendRowTo(r, &row);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+namespace {
+
+/// Packed canonical group key: (tag, bits) per grouping column, zero-padded
+/// to the maximum width so the map type is fixed. Tags: 0 NULL, 1 integer
+/// space (INT64 and integral DOUBLE collapse here — CanonicalKey's rule),
+/// 2 non-integral DOUBLE (IEEE bits), 3 string (dictionary code).
+using GroupKey = std::array<uint64_t, 2 * VectorizedAggregation::kMaxGroupCols>;
+
+struct GroupKeyHash {
+  size_t words;
+  size_t operator()(const GroupKey& k) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t i = 0; i < words; ++i) {
+      h ^= k[i];
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Mirrors Aggregator's accumulator state; which fields are live is decided
+/// by the compiled (fn, stream) pair, so the struct carries no tags.
+struct AggState {
+  int64_t sum_i = 0;
+  double sum_d = 0.0;
+  int64_t cnt = 0;
+  int64_t ext_i = 0;
+  double ext_d = 0.0;
+  int32_t ext_code = -1;
+  bool any = false;
+};
+
+inline void EncodeKeyCol(const Column& c, size_t r, uint64_t* tag,
+                         uint64_t* bits) {
+  if (c.IsNull(r)) {
+    *tag = 0;
+    *bits = 0;
+    return;
+  }
+  switch (c.type) {
+    case ColumnType::kInt64:
+      *tag = 1;
+      *bits = static_cast<uint64_t>(c.i64[r]);
+      break;
+    case ColumnType::kDouble: {
+      double d = c.f64[r];
+      int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        *tag = 1;
+        *bits = static_cast<uint64_t>(i);
+      } else {
+        *tag = 2;
+        *bits = std::bit_cast<uint64_t>(d);
+      }
+      break;
+    }
+    case ColumnType::kString:
+      *tag = 3;
+      *bits = static_cast<uint64_t>(static_cast<uint32_t>(c.codes[r]));
+      break;
+    case ColumnType::kMixed:
+      break;  // rejected at Compile
+  }
+}
+
+}  // namespace
+
+bool VectorizedAggregation::Compile(const ColumnarTable& table,
+                                    const std::vector<int>& group_cols,
+                                    const std::vector<AggSpec>& aggs,
+                                    VectorizedAggregation* out) {
+  if (group_cols.size() > kMaxGroupCols) return false;
+  for (int g : group_cols) {
+    if (!table.ColumnVectorizable(g)) return false;
+  }
+  out->group_cols_ = group_cols;
+  out->aggs_.clear();
+  out->aggs_.reserve(aggs.size());
+  for (const AggSpec& a : aggs) {
+    Agg c;
+    c.fn = a.fn;
+    c.col = a.column;
+    c.mult = a.multiplier;
+    if (!table.ColumnVectorizable(a.column)) return false;
+    ColumnType ct = table.col(a.column).type;
+    if (a.multiplier >= 0) {
+      if (!table.ColumnVectorizable(a.multiplier)) return false;
+      ColumnType mt = table.col(a.multiplier).type;
+      if (ct == ColumnType::kString || mt == ColumnType::kString) {
+        // NumericProduct of a non-numeric operand is NULL for every row.
+        c.stream = Stream::kNullStream;
+      } else if (ct == ColumnType::kInt64 && mt == ColumnType::kInt64) {
+        c.stream = Stream::kInt;
+      } else {
+        c.stream = Stream::kDbl;
+      }
+    } else {
+      c.stream = ct == ColumnType::kInt64    ? Stream::kInt
+                 : ct == ColumnType::kDouble ? Stream::kDbl
+                                             : Stream::kStr;
+    }
+    // SUM/AVG over a string column would hit AsDouble on a string in the
+    // row engine; keep that path byte-identical by not vectorizing it.
+    if ((a.fn == AggFn::kSum || a.fn == AggFn::kAvg) &&
+        c.stream == Stream::kStr) {
+      return false;
+    }
+    out->aggs_.push_back(c);
+  }
+  return true;
+}
+
+std::vector<Row> VectorizedAggregation::Run(const ColumnarTable& table,
+                                            const SelVector* sel,
+                                            ExecContext* ctx) const {
+  const size_t total = sel != nullptr ? sel->size() : table.num_rows();
+  const size_t nspecs = aggs_.size();
+  const size_t ng = group_cols_.size();
+
+  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> gmap(
+      16, GroupKeyHash{2 * ng});
+  std::vector<uint32_t> first_rows;
+  std::vector<AggState> states;
+  if (ng == 0) {
+    // Global aggregate: exactly one group, present even on empty input.
+    first_rows.push_back(0);
+    states.resize(nspecs);
+  }
+
+  std::vector<uint32_t> gids(kBatchRows);
+  for (size_t base = 0; base < total; base += kBatchRows) {
+    const size_t bn = std::min(kBatchRows, total - base);
+    if (ctx != nullptr && !ctx->TickRows(bn)) break;
+    const uint32_t* selp = sel != nullptr ? sel->data() + base : nullptr;
+
+    // Stage 1: group-id per row.
+    if (ng == 0) {
+      std::fill_n(gids.begin(), bn, 0u);
+    } else {
+      GroupKey key{};
+      for (size_t k = 0; k < bn; ++k) {
+        size_t r = selp != nullptr ? selp[k] : base + k;
+        for (size_t g = 0; g < ng; ++g) {
+          EncodeKeyCol(table.col(group_cols_[g]), r, &key[2 * g],
+                       &key[2 * g + 1]);
+        }
+        auto [it, inserted] =
+            gmap.try_emplace(key, static_cast<uint32_t>(first_rows.size()));
+        if (inserted) {
+          first_rows.push_back(static_cast<uint32_t>(r));
+          states.resize(states.size() + nspecs);
+        }
+        gids[k] = it->second;
+      }
+    }
+
+    // Stage 2: per-aggregate typed accumulation over the batch.
+    for (size_t s = 0; s < nspecs; ++s) {
+      const Agg& a = aggs_[s];
+      if (a.stream == Stream::kNullStream) continue;
+      auto state = [&](size_t k) -> AggState& {
+        return states[gids[k] * nspecs + s];
+      };
+      auto row_of = [&](size_t k) {
+        return selp != nullptr ? static_cast<size_t>(selp[k]) : base + k;
+      };
+      const Column& c = table.col(a.col);
+      const Column* m = a.mult >= 0 ? &table.col(a.mult) : nullptr;
+
+      switch (a.fn) {
+        case AggFn::kSum:
+        case AggFn::kAvg:
+          if (a.stream == Stream::kInt) {
+            for (size_t k = 0; k < bn; ++k) {
+              size_t r = row_of(k);
+              if (c.IsNull(r) || (m != nullptr && m->IsNull(r))) continue;
+              int64_t v = m != nullptr ? c.i64[r] * m->i64[r] : c.i64[r];
+              AggState& st = state(k);
+              st.sum_i += v;
+              st.sum_d += static_cast<double>(v);
+              ++st.cnt;
+              st.any = true;
+            }
+          } else {
+            for (size_t k = 0; k < bn; ++k) {
+              size_t r = row_of(k);
+              if (c.IsNull(r) || (m != nullptr && m->IsNull(r))) continue;
+              double v = m != nullptr ? NumAt(c, r) * NumAt(*m, r) : NumAt(c, r);
+              AggState& st = state(k);
+              st.sum_d += v;
+              ++st.cnt;
+              st.any = true;
+            }
+          }
+          break;
+        case AggFn::kCount:
+          for (size_t k = 0; k < bn; ++k) {
+            size_t r = row_of(k);
+            if (c.IsNull(r) || (m != nullptr && m->IsNull(r))) continue;
+            AggState& st = state(k);
+            ++st.cnt;
+            st.any = true;
+          }
+          break;
+        case AggFn::kMin:
+        case AggFn::kMax: {
+          const bool is_min = a.fn == AggFn::kMin;
+          if (a.stream == Stream::kInt) {
+            for (size_t k = 0; k < bn; ++k) {
+              size_t r = row_of(k);
+              if (c.IsNull(r) || (m != nullptr && m->IsNull(r))) continue;
+              int64_t v = m != nullptr ? c.i64[r] * m->i64[r] : c.i64[r];
+              AggState& st = state(k);
+              // Strict double comparison like EvalCmp: first value wins
+              // ties, including int64 pairs that collapse as doubles.
+              double d = static_cast<double>(v);
+              double e = static_cast<double>(st.ext_i);
+              if (!st.any || (is_min ? d < e : d > e)) st.ext_i = v;
+              st.any = true;
+            }
+          } else if (a.stream == Stream::kDbl) {
+            for (size_t k = 0; k < bn; ++k) {
+              size_t r = row_of(k);
+              if (c.IsNull(r) || (m != nullptr && m->IsNull(r))) continue;
+              double v = m != nullptr ? NumAt(c, r) * NumAt(*m, r) : NumAt(c, r);
+              AggState& st = state(k);
+              if (!st.any || (is_min ? v < st.ext_d : v > st.ext_d)) {
+                st.ext_d = v;
+              }
+              st.any = true;
+            }
+          } else {  // Stream::kStr (unscaled: a string mult is kNullStream)
+            for (size_t k = 0; k < bn; ++k) {
+              size_t r = row_of(k);
+              if (c.IsNull(r)) continue;
+              int32_t code = c.codes[r];
+              AggState& st = state(k);
+              if (!st.any) {
+                st.ext_code = code;
+              } else if (code != st.ext_code) {
+                int cm = c.dict[static_cast<size_t>(code)].compare(
+                    c.dict[static_cast<size_t>(st.ext_code)]);
+                if (is_min ? cm < 0 : cm > 0) st.ext_code = code;
+              }
+              st.any = true;
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Emit [group values..., aggregate finishes...]; group values are the
+  // first-encountered originals, like GroupAggregate.
+  std::vector<Row> out;
+  out.reserve(first_rows.size());
+  for (size_t g = 0; g < first_rows.size(); ++g) {
+    Row row;
+    row.reserve(ng + nspecs);
+    for (size_t i = 0; i < ng; ++i) {
+      row.push_back(table.ValueAt(group_cols_[i], first_rows[g]));
+    }
+    for (size_t s = 0; s < nspecs; ++s) {
+      const Agg& a = aggs_[s];
+      const AggState& st = states[g * nspecs + s];
+      switch (a.fn) {
+        case AggFn::kMin:
+        case AggFn::kMax:
+          if (!st.any) {
+            row.push_back(Value::Null());
+          } else if (a.stream == Stream::kInt) {
+            row.push_back(Value::Int64(st.ext_i));
+          } else if (a.stream == Stream::kDbl) {
+            row.push_back(Value::Double(st.ext_d));
+          } else {
+            row.push_back(Value::String(
+                table.col(a.col).dict[static_cast<size_t>(st.ext_code)]));
+          }
+          break;
+        case AggFn::kSum:
+          if (!st.any) {
+            row.push_back(Value::Null());
+          } else if (a.stream == Stream::kInt) {
+            row.push_back(Value::Int64(st.sum_i));
+          } else {
+            row.push_back(Value::Double(st.sum_d));
+          }
+          break;
+        case AggFn::kCount:
+          row.push_back(Value::Int64(st.cnt));
+          break;
+        case AggFn::kAvg:
+          row.push_back(st.cnt == 0
+                            ? Value::Null()
+                            : Value::Double(st.sum_d /
+                                            static_cast<double>(st.cnt)));
+          break;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<Row> VectorizedGroupAggregateRows(const std::vector<Row>& rows,
+                                              const std::vector<int>& group_cols,
+                                              const std::vector<AggSpec>& aggs,
+                                              ExecContext* ctx,
+                                              bool* used_vectorized) {
+  *used_vectorized = false;
+  // Below ~two batches the row engine wins: conversion is O(rows) and the
+  // compiled dispatch never amortizes.
+  if (rows.size() < 2 * kBatchRows) {
+    return GroupAggregate(rows, group_cols, aggs, ctx);
+  }
+  ColumnarTable table =
+      ColumnarTable::FromRows(rows, static_cast<int>(rows[0].size()));
+  VectorizedAggregation agg;
+  if (!VectorizedAggregation::Compile(table, group_cols, aggs, &agg)) {
+    return GroupAggregate(rows, group_cols, aggs, ctx);
+  }
+  *used_vectorized = true;
+  return agg.Run(table, nullptr, ctx);
+}
+
+}  // namespace aqv

@@ -1,0 +1,133 @@
+#ifndef AQV_EXEC_VECTORIZED_H_
+#define AQV_EXEC_VECTORIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/exec_context.h"
+#include "base/value.h"
+#include "exec/column_batch.h"
+#include "exec/expression.h"
+#include "exec/operators.h"
+#include "ir/query.h"
+
+namespace aqv {
+
+/// Batch-at-a-time operators over ColumnarTable images. Each operator is
+/// compiled once per query against a concrete columnar layout (so all type
+/// dispatch happens per column, not per value), then runs tight typed loops
+/// in kBatchRows chunks, charging the ExecContext per batch — governance
+/// (deadline / row budget / cancel) therefore fires *inside* a long scan.
+///
+/// Compilation fails (returns false) whenever the row engine's semantics
+/// cannot be reproduced exactly — a kMixed column, too many grouping
+/// columns, SUM/AVG over a string column. Callers then fall back to the
+/// row-at-a-time operators in exec/operators.h; results are bit-identical
+/// either way (the invariant enforced by tests/vectorized_differential_test).
+
+/// A conjunction of scalar predicates compiled against one columnar layout.
+/// Mirrors FilterRows/EvalScalarPredicate exactly: NULL operands evaluate
+/// to false, numerics compare as doubles across INT64/DOUBLE, cross-family
+/// comparisons are false except `<>`, unresolvable columns yield NULL.
+class CompiledFilter {
+ public:
+  /// Compiles `preds` (each must be scalar) against `layout`/`table`.
+  /// Returns false — leaving `*out` unusable — if any referenced column is
+  /// kMixed or a predicate is not scalar.
+  static bool Compile(const std::vector<Predicate>& preds,
+                      const ColumnIndexMap& layout, const ColumnarTable& table,
+                      CompiledFilter* out);
+
+  /// Selection of rows satisfying the conjunction, ascending. Charges one
+  /// row per input row in kBatchRows chunks; on a tripped context the
+  /// partial selection is returned for the caller to discard.
+  SelVector Run(const ColumnarTable& table, ExecContext* ctx) const;
+
+  /// One compiled conjunct. Internal, exposed for the batch-layer tests.
+  struct Pred {
+    enum class Kind : uint8_t {
+      kAlwaysTrue,   // constant-constant, true
+      kAlwaysFalse,  // constant-constant false, NULL operand, cross != kNe
+      kNumConst,     // numeric column `op` numeric constant
+      kStrConst,     // string column vs string constant: per-code mask
+      kNumNum,       // numeric column `op` numeric column
+      kStrStr,       // string column `op` string column
+      kNotNullNe,    // cross-family `<>`: true iff operand column(s) non-NULL
+    };
+    Kind kind = Kind::kAlwaysFalse;
+    CmpOp op = CmpOp::kEq;
+    int lhs_col = -1;
+    int rhs_col = -1;
+    double cval = 0.0;               // kNumConst
+    std::vector<uint8_t> dict_pass;  // kStrConst: pass/fail per dict code
+  };
+
+ private:
+  std::vector<Pred> preds_;
+};
+
+/// Hash-group aggregation compiled against one columnar layout: group keys
+/// are packed into fixed-width canonical (tag, bits) words (integral
+/// doubles collapse to INT64, exactly like the row engine's CanonicalKey),
+/// and each aggregate runs a typed accumulation loop chosen once from the
+/// column's storage class. State mirrors Aggregator field-for-field — the
+/// double sum is accumulated in input-row order, so SUM/AVG results are
+/// bit-identical to the row engine, not merely close.
+class VectorizedAggregation {
+ public:
+  /// Compiles grouping by `group_cols` with aggregates `aggs`. Returns
+  /// false if any referenced column is kMixed, there are more than
+  /// kMaxGroupCols grouping columns, or a SUM/AVG argument is a string
+  /// column (the row engine's error behaviour is preserved by falling back).
+  static bool Compile(const ColumnarTable& table,
+                      const std::vector<int>& group_cols,
+                      const std::vector<AggSpec>& aggs,
+                      VectorizedAggregation* out);
+
+  /// Aggregates the selected rows (all rows when `sel` is null). Output
+  /// rows are [group values..., aggregate values...] like GroupAggregate;
+  /// group values are the first-encountered originals and a global
+  /// aggregate over empty input still emits one row. Charges one row per
+  /// input row in kBatchRows chunks.
+  std::vector<Row> Run(const ColumnarTable& table, const SelVector* sel,
+                       ExecContext* ctx) const;
+
+  static constexpr size_t kMaxGroupCols = 4;
+
+ private:
+  /// Typed value stream an aggregate consumes: fixed at compile time since
+  /// a non-kMixed column holds one type (a product of a string operand is
+  /// always NULL, hence kNullStream).
+  enum class Stream : uint8_t { kInt, kDbl, kStr, kNullStream };
+
+  struct Agg {
+    AggFn fn;
+    Stream stream = Stream::kNullStream;
+    int col = -1;
+    int mult = -1;  // >= 0: scaled argument (Section 4 multiplicity)
+  };
+
+  std::vector<int> group_cols_;
+  std::vector<Agg> aggs_;
+};
+
+/// Materializes the selected rows of `table` (all columns, schema order).
+/// Charges nothing: the filter that produced `sel` already charged the
+/// scan, matching the row engine's accounting.
+std::vector<Row> GatherRows(const ColumnarTable& table, const SelVector& sel);
+
+/// Drop-in replacement for GroupAggregate over materialized rows (the
+/// post-join aggregation path): converts to a transient columnar image and
+/// runs the vectorized aggregation when the input is large enough to
+/// amortize conversion and every referenced column is vectorizable;
+/// otherwise falls back to the row engine. `*used_vectorized` reports which
+/// engine ran (for EXPLAIN ANALYZE labels and stats).
+std::vector<Row> VectorizedGroupAggregateRows(const std::vector<Row>& rows,
+                                              const std::vector<int>& group_cols,
+                                              const std::vector<AggSpec>& aggs,
+                                              ExecContext* ctx,
+                                              bool* used_vectorized);
+
+}  // namespace aqv
+
+#endif  // AQV_EXEC_VECTORIZED_H_

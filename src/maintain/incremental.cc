@@ -22,9 +22,7 @@ Status ApplyDeltaToBase(const Delta& delta, Database* db) {
   for (const auto& [name, rows] : delta.inserts) {
     AQV_ASSIGN_OR_RETURN(const Table* t, db->Get(name));
     Table updated = *t;
-    for (const Row& row : rows) {
-      AQV_RETURN_NOT_OK(updated.AddRow(row));
-    }
+    AQV_RETURN_NOT_OK(updated.AddRows(rows));
     db->Put(name, std::move(updated));
   }
   for (const auto& [name, rows] : delta.deletes) {
@@ -33,14 +31,17 @@ Status ApplyDeltaToBase(const Delta& delta, Database* db) {
     std::unordered_map<Row, int64_t, RowHash, RowEq> to_remove;
     for (const Row& row : rows) ++to_remove[row];
     Table updated(t->columns());
+    std::vector<Row> kept;
+    kept.reserve(t->num_rows());
     for (const Row& row : t->rows()) {
       auto it = to_remove.find(row);
       if (it != to_remove.end() && it->second > 0) {
         --it->second;
         continue;
       }
-      AQV_RETURN_NOT_OK(updated.AddRow(row));
+      kept.push_back(row);
     }
+    AQV_RETURN_NOT_OK(updated.AddRows(std::move(kept)));
     for (const auto& [row, remaining] : to_remove) {
       if (remaining > 0) {
         return Status::InvalidArgument(
@@ -53,7 +54,7 @@ Status ApplyDeltaToBase(const Delta& delta, Database* db) {
 }
 
 Result<IncrementalMaintainer> IncrementalMaintainer::Create(
-    const ViewDef& view) {
+    const ViewDef& view, EvalOptions eval_options) {
   AQV_RETURN_NOT_OK(ValidateQuery(view.query));
   const Query& q = view.query;
   if (!q.having.empty()) {
@@ -84,7 +85,7 @@ Result<IncrementalMaintainer> IncrementalMaintainer::Create(
       }
     }
   }
-  return IncrementalMaintainer(view);
+  return IncrementalMaintainer(view, eval_options);
 }
 
 namespace {
@@ -164,16 +165,14 @@ IncrementalMaintainer::DeltaCoreRows(const Delta& delta,
         if (j == i) {
           AQV_ASSIGN_OR_RETURN(const Table* base, before.Get(table));
           Table dt(base->columns());
-          for (const Row& row : it->second) {
-            AQV_RETURN_NOT_OK(dt.AddRow(row));
-          }
+          AQV_RETURN_NOT_OK(dt.AddRows(it->second));
           term_db.Put(core.from[j].table, std::move(dt));
         } else {
           AQV_ASSIGN_OR_RETURN(const Table* t, source.Get(q.from[j].table));
           term_db.Put(core.from[j].table, *t);
         }
       }
-      Evaluator eval(&term_db, nullptr);
+      Evaluator eval(&term_db, nullptr, eval_options_);
       AQV_ASSIGN_OR_RETURN(Table term_rows, eval.Execute(core));
       for (const Row& row : term_rows.rows()) {
         out.push_back(SignedRow{row, sign});

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "exec/evaluator.h"
 #include "exec/table.h"
 #include "ir/query.h"
 
@@ -47,7 +48,11 @@ class IncrementalMaintainer {
  public:
   /// Checks the view shape and captures what Apply needs. Fails with
   /// Unsupported for shapes listed above (HAVING, ratio items, AVG).
-  static Result<IncrementalMaintainer> Create(const ViewDef& view);
+  /// `eval_options` configures the evaluator the maintainer runs delta
+  /// terms through — the service passes its own, so batched delta
+  /// application uses the same (vectorized or row) engine as queries.
+  static Result<IncrementalMaintainer> Create(
+      const ViewDef& view, EvalOptions eval_options = EvalOptions{});
 
   /// Applies `delta` to `materialized` (the view's current contents).
   /// `before` must hold every base table at its pre-delta state. Returns
@@ -67,7 +72,8 @@ class IncrementalMaintainer {
   const ViewDef& view() const { return view_; }
 
  private:
-  explicit IncrementalMaintainer(ViewDef view) : view_(std::move(view)) {}
+  IncrementalMaintainer(ViewDef view, EvalOptions eval_options)
+      : view_(std::move(view)), eval_options_(eval_options) {}
 
   // Signed core rows: the view's FROM ⋈ WHERE output restricted to delta
   // terms, each with weight +1 (insert) or -1 (delete).
@@ -79,6 +85,7 @@ class IncrementalMaintainer {
                                                const Database& before) const;
 
   ViewDef view_;
+  EvalOptions eval_options_;
 };
 
 /// Convenience: applies `delta` to the base tables stored in `db` (the

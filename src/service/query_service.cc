@@ -166,6 +166,7 @@ QueryService::QueryService(ServiceOptions options)
       optimize_latency_(metrics_.GetHistogram("service.optimize_latency")),
       exec_latency_(metrics_.GetHistogram("service.exec_latency")),
       maintain_latency_(metrics_.GetHistogram("service.maintain_latency")) {
+  options_.eval.vectorized = options_.vectorized;
   cache_capacity_gauge_.Set(static_cast<int64_t>(plan_cache_.capacity()));
   metrics_.SetHelp("service.statements", "Statements accepted (all kinds)");
   metrics_.SetHelp("service.queries_served", "SELECTs executed to completion");
@@ -1835,7 +1836,7 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
     }
     if (base_only) {
       Result<IncrementalMaintainer> maintainer =
-          IncrementalMaintainer::Create(*def);
+          IncrementalMaintainer::Create(*def, options_.eval);
       if (maintainer.ok()) {
         AQV_ASSIGN_OR_RETURN(const Table* current, db_.Get(d.name));
         Result<Table> fresh = maintainer->ApplyToCopy(delta, db_, *current);

@@ -111,6 +111,14 @@ struct ServiceOptions {
   /// aggregation entirely.
   size_t attribution_capacity = 512;
 
+  // ---- Execution engine (see README "Execution engine").
+  /// Batch-at-a-time columnar execution for scans, filters and hash-group
+  /// aggregation; operators without a vectorized implementation fall back
+  /// to the row engine per operator, with identical results (enforced by
+  /// the row-vs-batch differential oracle). Copied into `eval.vectorized`
+  /// at construction; set false to force the row engine everywhere.
+  bool vectorized = true;
+
   RewriteOptions rewrite;
   EvalOptions eval;
 

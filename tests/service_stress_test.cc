@@ -14,6 +14,11 @@
 //
 // Run under AQV_SANITIZE=thread in CI (ctest label "stress"); TSan covers
 // the data-race half of the contract, these assertions the logical half.
+//
+// PR 8: every concurrency suite runs twice, with ServiceOptions::vectorized
+// on and off, so the columnar engine (including its lazily built, shared
+// per-table image — a once-flag race under TSan) faces the same hammering
+// as the row engine.
 
 #include <atomic>
 #include <cstdint>
@@ -40,14 +45,19 @@ constexpr int kInsertsPerWriter = 100;
 
 std::string TableName(int w) { return "W" + std::to_string(w); }
 
-std::unique_ptr<QueryService> MakeStressService() {
-  auto service = std::make_unique<QueryService>();
+std::unique_ptr<QueryService> MakeStressService(ServiceOptions options) {
+  auto service = std::make_unique<QueryService>(options);
   for (int w = 0; w < kWriters; ++w) {
     Result<StatementResult> r =
         service->Execute("CREATE TABLE " + TableName(w) + "(A, B)");
     EXPECT_TRUE(r.ok()) << r.status().ToString();
   }
   return service;
+}
+
+/// Names the engine arm of a parameterized suite: true = vectorized.
+std::string EngineName(const ::testing::TestParamInfo<bool>& info) {
+  return info.param ? "vectorized" : "row";
 }
 
 /// Checks that `t` is a prefix of writer `w`'s append sequence: rows are
@@ -73,8 +83,12 @@ std::string CheckPrefix(const Table& t, int w) {
   return "";
 }
 
-TEST(ServiceStressTest, SnapshotReadersSeeSingleEpochWhileWritersRun) {
-  std::unique_ptr<QueryService> service = MakeStressService();
+class ServiceStressTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ServiceStressTest, SnapshotReadersSeeSingleEpochWhileWritersRun) {
+  ServiceOptions stress_options;
+  stress_options.vectorized = GetParam();
+  std::unique_ptr<QueryService> service = MakeStressService(stress_options);
   std::atomic<int> writers_running{kWriters};
   std::atomic<int> failures{0};
   std::vector<std::string> errors(kWriters + kReaders);
@@ -201,6 +215,9 @@ TEST(ServiceStressTest, SnapshotReadersSeeSingleEpochWhileWritersRun) {
   EXPECT_EQ(stats.latch_stripes, LatchManager::kDefaultStripes);
 }
 
+INSTANTIATE_TEST_SUITE_P(Engines, ServiceStressTest, ::testing::Bool(),
+                         EngineName);
+
 // Chaos under concurrency (PR 4): writers and readers hammer the service
 // while probabilistic failpoints inject errors and delays into the COW
 // copy, the evaluator, and the plan cache, with admission control capping
@@ -214,10 +231,13 @@ TEST(ServiceStressTest, SnapshotReadersSeeSingleEpochWhileWritersRun) {
 //     or duplicate rows).
 //
 // Runs in CI under ThreadSanitizer via the "chaos" label.
-TEST(ServiceChaosStressTest, InjectedFaultsNeverTearStateOrWedgeService) {
+class ServiceChaosStressTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ServiceChaosStressTest, InjectedFaultsNeverTearStateOrWedgeService) {
   ServiceOptions options;
   options.max_concurrent_statements = 6;
   options.admission_wait_micros = 2000;
+  options.vectorized = GetParam();
   auto service = std::make_unique<QueryService>(options);
   for (int w = 0; w < kWriters; ++w) {
     ASSERT_OK(
@@ -338,6 +358,9 @@ TEST(ServiceChaosStressTest, InjectedFaultsNeverTearStateOrWedgeService) {
   EXPECT_GT(unavailable, 0u) << stats.ToString();
 }
 
+INSTANTIATE_TEST_SUITE_P(Engines, ServiceChaosStressTest, ::testing::Bool(),
+                         EngineName);
+
 // Write-path freshness under concurrency (PR 5): writer threads INSERT into
 // one shared table with a materialized SUM/COUNT view over it — single-row
 // statements, multi-row statements, and BEGIN WRITE..COMMIT batches — while
@@ -351,12 +374,16 @@ TEST(ServiceChaosStressTest, InjectedFaultsNeverTearStateOrWedgeService) {
 //
 // and, after the dust settles, the live view holds the full aggregate with
 // no REFRESH ever issued.
-TEST(ServiceWriteStressTest, MaintainedViewStaysCoupledToItsBaseTable) {
+class ServiceWriteStressTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ServiceWriteStressTest, MaintainedViewStaysCoupledToItsBaseTable) {
   constexpr int kWriteWriters = 3;
   constexpr int kSnapshotReaders = 3;
   constexpr int kStatementsPerWriter = 60;  // 5 rows per 3 statements
 
-  auto service = std::make_unique<QueryService>();
+  ServiceOptions write_options;
+  write_options.vectorized = GetParam();
+  auto service = std::make_unique<QueryService>(write_options);
   ASSERT_OK(service->Execute("CREATE TABLE T(A, B)").status());
   ASSERT_OK(service
                 ->Execute("CREATE MATERIALIZED VIEW TV AS SELECT A_1, "
@@ -463,6 +490,9 @@ TEST(ServiceWriteStressTest, MaintainedViewStaysCoupledToItsBaseTable) {
                                        3 * 5));
   EXPECT_GE(service->Stats().views_maintained, 1u);
 }
+
+INSTANTIATE_TEST_SUITE_P(Engines, ServiceWriteStressTest, ::testing::Bool(),
+                         EngineName);
 
 // Deterministic rules of the BEGIN SNAPSHOT / COMMIT statement dialect.
 TEST(ServiceSnapshotDialectTest, BeginCommitStatementRules) {
