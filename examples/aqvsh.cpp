@@ -108,6 +108,8 @@ class Shell {
         "    spec: off | error[(P[,N])] | delay(U[,P[,N]])  (P=pct, U=usec)\n"
         "  CHECKPOINT                       -- flush pages + truncate WAL "
         "(--db only)\n"
+        "  SCRUB                            -- verify page/WAL checksums + "
+        "quarantine report (--db only)\n"
         "  STATS HISTORY [JSON] [n]         -- sampled telemetry windows\n"
         "  STATS ATTRIBUTION [n]            -- per-fingerprint cost breakdown\n"
         "  MONITOR [n]                      -- cut a window now + recent rates\n"

@@ -127,6 +127,25 @@ std::string ServiceStats::ToString() const {
         static_cast<long long>(storage_recovery_replay_ms),
         static_cast<long long>(storage_recovery_recompute_ms));
     out += sbuf;
+    std::snprintf(
+        sbuf, sizeof(sbuf),
+        "storage wal size    %llu bytes (%llu auto-checkpoint(s), %llu "
+        "backpressure wait(s))\n"
+        "storage group batch p50=%.1f p99=%.1f commits/fsync\n",
+        static_cast<unsigned long long>(storage_wal_size_bytes),
+        static_cast<unsigned long long>(storage_auto_checkpoints),
+        static_cast<unsigned long long>(storage_backpressure_waits),
+        storage_group_batch_p50, storage_group_batch_p99);
+    out += sbuf;
+    if (!quarantined_tables.empty()) {
+      out += "quarantined tables  ";
+      for (size_t i = 0; i < quarantined_tables.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += quarantined_tables[i].first;
+      }
+      out += " (" + std::to_string(storage_pages_quarantined) +
+             " page(s); repair with LOAD)\n";
+    }
   }
   char obuf[160];
   std::snprintf(obuf, sizeof(obuf),
@@ -189,6 +208,20 @@ QueryService::QueryService(ServiceOptions options)
                    "WAL fsync wall time per commit, microseconds");
   metrics_.SetHelp("storage.checkpoint_latency",
                    "Full shadow-paged checkpoint duration, microseconds");
+  metrics_.SetHelp("storage.wal_size_bytes",
+                   "Current WAL file size in bytes (falls to 0 at "
+                   "checkpoint)");
+  metrics_.SetHelp("storage.auto_checkpoints_total",
+                   "Checkpoints taken by the background auto-checkpointer");
+  metrics_.SetHelp("storage.backpressure_waits_total",
+                   "Writers stalled because the WAL outgrew the "
+                   "backpressure cap");
+  metrics_.SetHelp("storage.group_commit_batch",
+                   "Commit records made durable per WAL fsync (group "
+                   "commit batch size)");
+  metrics_.SetHelp("storage.pages_quarantined_total",
+                   "Data pages belonging to tables quarantined by "
+                   "recovery's corruption checks");
   if (!options_.storage_path.empty()) {
     storage_status_ = AttachStorage();
     if (!storage_status_.ok()) {
@@ -203,6 +236,21 @@ QueryService::QueryService(ServiceOptions options)
   topts.capacity = options_.telemetry_history_capacity;
   telemetry_ = std::make_unique<TelemetryRecorder>(&metrics_, topts);
   telemetry_->Start();  // no-op when the interval is 0
+  if (storage_ != nullptr &&
+      (options_.storage_auto_checkpoint_wal_bytes > 0 ||
+       options_.storage_auto_checkpoint_commits > 0 ||
+       options_.storage_backpressure_wal_bytes > 0)) {
+    checkpointer_ = std::thread(&QueryService::AutoCheckpointLoop, this);
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    stop_checkpointer_ = true;
+  }
+  checkpoint_cv_.notify_all();
+  if (checkpointer_.joinable()) checkpointer_.join();
 }
 
 Status QueryService::AttachStorage() {
@@ -210,6 +258,13 @@ Status QueryService::AttachStorage() {
   sopts.path = options_.storage_path;
   sopts.buffer_pool_pages = options_.storage_buffer_pages;
   sopts.fsync_wal = options_.storage_fsync_wal;
+  sopts.group_commit = options_.storage_group_commit;
+  sopts.group_commit_window_micros =
+      options_.storage_group_commit_window_micros;
+  sopts.staged_replay = options_.storage_staged_replay;
+  sopts.auto_checkpoint_wal_bytes = options_.storage_auto_checkpoint_wal_bytes;
+  sopts.auto_checkpoint_commits = options_.storage_auto_checkpoint_commits;
+  sopts.backpressure_wal_bytes = options_.storage_backpressure_wal_bytes;
   AQV_ASSIGN_OR_RETURN(std::unique_ptr<StorageEngine> engine,
                        StorageEngine::Open(std::move(sopts), &metrics_));
   RecoveredState& rec = engine->recovered();
@@ -220,14 +275,84 @@ Status QueryService::AttachStorage() {
   db_ = std::move(rec.db);
   storage_ = std::move(engine);
 
+  // Self-heal first: a stored view whose own pages rotted but whose
+  // definition closure has no quarantined base table holds nothing that
+  // cannot be re-derived — a view cannot be LOAD-repaired, so dead-ending
+  // the quarantine on it would be permanent. Drop it from the quarantine
+  // (engine map included, so the next checkpoint persists the lift) and
+  // queue it for the stale-view recompute below.
+  std::map<std::string, std::string> quarantined = rec.quarantined_tables;
+  std::vector<std::string> healed_views;
+  for (const auto& [name, reason] : rec.quarantined_tables) {
+    if (!views_.Has(name)) continue;
+    std::vector<std::string> closure;
+    CollectDependencies({name}, views_, &closure);
+    bool clean = true;
+    for (const std::string& n : closure) {
+      // Quarantined views in the closure do not block healing: they are
+      // derivations too, and the upstream-first recompute refreshes them
+      // before this one reads them.
+      if (n != name && !views_.Has(n) && quarantined.count(n) > 0) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      quarantined.erase(name);
+      storage_->ClearQuarantinedTable(name);
+      healed_views.push_back(name);
+    }
+  }
+
+  // Install recovery's quarantine before anything reads the salvaged state:
+  // every corrupt table, plus every materialized view whose definition
+  // closure touches one — recomputing such a view against a salvaged-empty
+  // base would publish silently wrong rows, which is exactly what the
+  // quarantine exists to prevent.
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mutex_);
+    table_quarantine_ = quarantined;
+  }
+  if (!quarantined.empty()) {
+    std::lock_guard<std::mutex> lock(quarantine_mutex_);
+    for (const std::string& view : views_.ViewNames()) {
+      if (!db_.Has(view)) continue;  // virtual: reads hit the base check
+      std::vector<std::string> closure;
+      CollectDependencies({view}, views_, &closure);
+      for (const std::string& n : closure) {
+        auto it = quarantined.find(n);
+        if (it == quarantined.end()) continue;
+        table_quarantine_.emplace(
+            view, "depends on quarantined table '" + n + "'");
+        break;
+      }
+    }
+  }
+
   // Recompute every stale view (checkpoint contents predate the replayed
   // WAL tail, or were never written), upstream-first so a view over another
   // stale view reads refreshed inputs. This is the second recovery phase —
   // WAL replay happened inside StorageEngine::Open — and is timed
   // separately so E18-style analysis can tell log-bound from compute-bound
-  // recoveries apart.
+  // recoveries apart. Quarantined views are skipped, not recomputed: their
+  // inputs cannot be trusted, and their reads error until repair.
   Clock::time_point recompute_start = Clock::now();
   std::vector<std::string> pending = rec.stale_views;
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mutex_);
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [&](const std::string& v) {
+                                   return table_quarantine_.count(v) > 0;
+                                 }),
+                  pending.end());
+  }
+  // Healed views re-derive their contents here; their salvaged-empty
+  // checkpoint image is never served.
+  for (const std::string& view : healed_views) {
+    if (std::find(pending.begin(), pending.end(), view) == pending.end()) {
+      pending.push_back(view);
+    }
+  }
   while (!pending.empty()) {
     bool progressed = false;
     for (auto it = pending.begin(); it != pending.end();) {
@@ -276,6 +401,18 @@ Status QueryService::AttachStorage() {
     }
   }
 
+  // A mid-log tear's quarantine was derived from the suspect WAL tail that
+  // recovery itself truncated: checkpoint now, while still quiesced, so the
+  // quarantine reaches the directory blob before the process can exit.
+  // Without this a second restart finds a clean WAL, derives nothing, and
+  // silently serves rows missing an acknowledged commit. (The window
+  // between the in-recovery truncation and this checkpoint is the residual
+  // exposure; it closes before the service accepts its first statement.)
+  if (rec.wal_mid_log_corruption) {
+    AQV_RETURN_NOT_OK(
+        storage_->Checkpoint(catalog_, views_, db_, CollectPlanImages()));
+  }
+
   storage_pages_read_ = &metrics_.GetCounter("storage.pages_read");
   storage_pages_written_ = &metrics_.GetCounter("storage.pages_written");
   storage_wal_bytes_ = &metrics_.GetCounter("storage.wal_bytes");
@@ -292,6 +429,14 @@ Status QueryService::AttachStorage() {
   storage_recovery_replay_ms_ = &metrics_.GetGauge("storage.recovery_replay_ms");
   storage_recovery_recompute_ms_ =
       &metrics_.GetGauge("storage.recovery_recompute_ms");
+  storage_wal_size_ = &metrics_.GetGauge("storage.wal_size_bytes");
+  storage_auto_checkpoints_ =
+      &metrics_.GetCounter("storage.auto_checkpoints_total");
+  storage_backpressure_waits_ =
+      &metrics_.GetCounter("storage.backpressure_waits_total");
+  storage_group_batch_ = &metrics_.GetHistogram("storage.group_commit_batch");
+  storage_pages_quarantined_ =
+      &metrics_.GetCounter("storage.pages_quarantined_total");
   return Status::OK();
 }
 
@@ -325,7 +470,7 @@ bool IsControlStatement(const std::string& upper) {
   return upper == "STATS" || StartsWith(upper, "STATS ") ||
          upper == "MONITOR" || StartsWith(upper, "MONITOR ") ||
          upper == "SLOWLOG" || upper == "TABLES" || upper == "VIEWS" ||
-         upper == "COMMIT" || upper == "ROLLBACK" ||
+         upper == "COMMIT" || upper == "ROLLBACK" || upper == "SCRUB" ||
          StartsWith(upper, "TRACE") || StartsWith(upper, "FAILPOINT");
 }
 
@@ -567,6 +712,14 @@ ServiceStats QueryService::Stats() const {
         storage_checkpoint_latency_->PercentileMicros(0.99);
     s.storage_recovery_replay_ms = storage_recovery_replay_ms_->value();
     s.storage_recovery_recompute_ms = storage_recovery_recompute_ms_->value();
+    s.storage_wal_size_bytes =
+        static_cast<uint64_t>(storage_wal_size_->value());
+    s.storage_auto_checkpoints = storage_auto_checkpoints_->value();
+    s.storage_backpressure_waits = storage_backpressure_waits_->value();
+    s.storage_group_batch_p50 = storage_group_batch_->PercentileMicros(0.5);
+    s.storage_group_batch_p99 = storage_group_batch_->PercentileMicros(0.99);
+    s.storage_pages_quarantined = storage_pages_quarantined_->value();
+    s.quarantined_tables = QuarantinedTables();
   }
   s.trace_dropped_spans = Tracer::Global().dropped();
   s.telemetry_windows = telemetry_->windows_sampled();
@@ -817,6 +970,7 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
   if (upper == "TABLES") return HandleListTables();
   if (upper == "VIEWS") return HandleListViews();
   if (upper == "CHECKPOINT") return HandleCheckpoint();
+  if (upper == "SCRUB") return HandleScrub();
   // Writes and DDL are rejected while the calling thread has an open
   // snapshot: the pin is read-only by construction.
   bool is_write = StartsWith(upper, "CREATE ") ||
@@ -971,6 +1125,13 @@ Result<StatementResult> QueryService::SelectOnSnapshot(
   if (span.active()) span.AddAttr("epoch", snap.epoch);
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(stmt, &snap.catalog));
   qs.parse_micros = ElapsedMicros(stmt_start);
+  {
+    // The current quarantine gates snapshot reads too: a pinned copy of a
+    // salvaged-empty table is exactly the silent-wrong-rows hazard.
+    std::vector<std::string> deps;
+    CollectQueryDependencies(query, snap.views, &deps);
+    AQV_RETURN_NOT_OK(CheckTableQuarantine(deps));
+  }
   StatementResult out;
   // Always a fresh optimize: the plan cache tracks current state (and its
   // invalidation hooks fire on current-state writes), not the pinned epoch.
@@ -1066,6 +1227,13 @@ Result<StatementResult> QueryService::HandleSelect(const std::string& stmt) {
   LatchManager::Guard guard = latches_.StatementShared();
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(stmt, &catalog_));
   qs.parse_micros = ElapsedMicros(stmt_start);
+  {
+    // Corruption quarantine: a query whose closure touches a quarantined
+    // table gets a clean error instead of salvaged-empty rows.
+    std::vector<std::string> deps;
+    CollectQueryDependencies(query, views_, &deps);
+    AQV_RETURN_NOT_OK(CheckTableQuarantine(deps));
+  }
   {
     TraceSpan latch_span("latch");
     Clock::time_point latch_start = Clock::now();
@@ -1182,6 +1350,11 @@ Result<StatementResult> QueryService::HandleExplainAnalyze(
   LatchManager::Guard guard = latches_.StatementShared();
   AQV_ASSIGN_OR_RETURN(Query query, ParseQuery(select_stmt, &catalog_));
   qs.parse_micros = ElapsedMicros(stmt_start);
+  {
+    std::vector<std::string> deps;
+    CollectQueryDependencies(query, views_, &deps);
+    AQV_RETURN_NOT_OK(CheckTableQuarantine(deps));
+  }
   Clock::time_point latch_start = Clock::now();
   latches_.AcquireShared(&guard, SelectFootprint(query));
   qs.latch_micros = ElapsedMicros(latch_start);
@@ -1546,6 +1719,7 @@ Result<StatementResult> QueryService::HandleSave(const std::string& stmt) {
   LatchManager::Guard guard = latches_.StatementShared();
   std::vector<std::string> footprint;
   CollectDependencies({tokens[1].text}, views_, &footprint);
+  AQV_RETURN_NOT_OK(CheckTableQuarantine(footprint));
   latches_.AcquireShared(&guard, footprint);
   Evaluator eval(&db_, &views_);
   AQV_ASSIGN_OR_RETURN(Table contents, eval.MaterializeView(tokens[1].text));
@@ -1762,6 +1936,10 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
   WriteApplied applied;
   if (delta.empty()) return applied;
   TraceSpan span("write_apply");
+  // Backpressure gate BEFORE any latch: a writer stalled here holds
+  // nothing, so the auto-checkpointer's exclusive ddl acquisition (which
+  // shrinks the WAL and releases the stall) can always proceed.
+  AQV_RETURN_NOT_OK(WaitOutBackpressure());
   LatchManager::Guard guard = latches_.StatementShared();
 
   // Validate targets and collect the written table names.
@@ -1787,6 +1965,19 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
     AQV_RETURN_NOT_OK(add_target(name));
   }
   applied.tables = written.size();
+  // Writing into a quarantined table would mingle new rows with salvaged
+  // (possibly empty) contents; refuse until a LOAD replaces it wholesale.
+  AQV_RETURN_NOT_OK(CheckTableQuarantine(written));
+  // Oversized rows are refused HERE, when they arrive, not deferred to the
+  // next CHECKPOINT: rows above the overflow-chain cap can never be made
+  // durable, so accepting them would poison the checkpoint later.
+  if (storage_ != nullptr) {
+    for (const auto& [name, rows] : delta.inserts) {
+      for (const Row& row : rows) {
+        AQV_RETURN_NOT_OK(StorageEngine::CheckRowSize(row));
+      }
+    }
+  }
 
   AQV_ASSIGN_OR_RETURN(std::vector<DependentView> dependents,
                        DependentViewsOf(written));
@@ -1913,6 +2104,161 @@ Result<StatementResult> QueryService::HandleCheckpoint() {
   return out;
 }
 
+Result<StatementResult> QueryService::HandleScrub() {
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument(
+        "no durable storage attached (set ServiceOptions::storage_path, or "
+        "start aqvsh with --db FILE)");
+  }
+  AQV_ASSIGN_OR_RETURN(StorageEngine::ScrubReport report, storage_->Scrub());
+  StatementResult out;
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "scrub: %llu page(s) checked, %llu corrupt (%llu directory); wal %llu "
+      "record(s)%s\n",
+      static_cast<unsigned long long>(report.pages_checked),
+      static_cast<unsigned long long>(report.pages_corrupt),
+      static_cast<unsigned long long>(report.directory_pages_corrupt),
+      static_cast<unsigned long long>(report.wal_records),
+      report.wal_mid_log_corruption ? " + MID-LOG CORRUPTION" : "");
+  out.message = buf;
+  for (const auto& [name, t] : report.tables) {
+    out.message += "  " + name + ": " + std::to_string(t.pages) +
+                   " page(s), " + std::to_string(t.corrupt_pages) +
+                   " corrupt" + (t.corrupt_pages > 0 ? "  <-- damaged" : "") +
+                   "\n";
+  }
+  if (report.pages_corrupt > 0) {
+    // The checkpoint pages are a copy of the live in-memory tables: the
+    // next CHECKPOINT rewrites every data page fresh, healing the rot.
+    out.message +=
+        "corrupt checkpoint page(s) found; run CHECKPOINT to rewrite them "
+        "from the live copy\n";
+  }
+  if (report.wal_mid_log_corruption) {
+    out.message += "wal: " + std::to_string(report.wal_suspect_records) +
+                   " acknowledged record(s) stranded beyond a mid-log tear; "
+                   "a restart will quarantine every table the log names\n";
+  }
+  std::vector<std::pair<std::string, std::string>> quarantined =
+      QuarantinedTables();
+  for (const auto& [name, reason] : quarantined) {
+    out.message += "  quarantined: " + name + " — " + reason + "\n";
+  }
+  if (report.pages_corrupt == 0 && report.directory_pages_corrupt == 0 &&
+      !report.wal_mid_log_corruption && quarantined.empty()) {
+    out.message += "all clean\n";
+  }
+  return out;
+}
+
+void QueryService::AutoCheckpointLoop() {
+  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  while (!stop_checkpointer_) {
+    // Woken early by a stalled writer (WaitOutBackpressure) or shutdown;
+    // otherwise polls, since LogCommit deliberately does not signal here.
+    checkpoint_cv_.wait_for(lock, std::chrono::milliseconds(20),
+                            [this] { return stop_checkpointer_; });
+    if (stop_checkpointer_) break;
+    if (storage_ == nullptr || !storage_->NeedsAutoCheckpoint()) continue;
+    lock.unlock();
+    Status taken = [this]() -> Status {
+      // Fires once per trigger, BEFORE the quiesce: a chaos run can inject
+      // an error (checkpoint skipped, retried next poll) or kill the
+      // process at the exact moment auto-checkpoint decides to run.
+      AQV_FAILPOINT("checkpoint.auto");
+      LatchManager::Guard guard = latches_.Ddl();
+      return CheckpointIfDurable();
+    }();
+    if (taken.ok()) {
+      storage_auto_checkpoints_->Increment();
+    } else {
+      RecordError(taken);
+    }
+    lock.lock();
+  }
+}
+
+Status QueryService::WaitOutBackpressure() {
+  if (storage_ == nullptr || !storage_->OverBackpressureCap()) {
+    return Status::OK();
+  }
+  storage_backpressure_waits_->Increment();
+  checkpoint_cv_.notify_all();  // kick the checkpointer now, not next poll
+  Clock::time_point deadline =
+      Clock::now() +
+      std::chrono::microseconds(options_.storage_backpressure_wait_micros);
+  while (storage_->OverBackpressureCap()) {
+    if (Clock::now() >= deadline) {
+      return Status::Unavailable(
+          "SERVER_BUSY: wal is " + std::to_string(storage_->wal_bytes()) +
+          " bytes, over the " +
+          std::to_string(storage_->options().backpressure_wal_bytes) +
+          "-byte backpressure cap and the checkpointer has not caught up; "
+          "retry later");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::OK();
+}
+
+Status QueryService::CheckTableQuarantine(
+    const std::vector<std::string>& names) const {
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  if (table_quarantine_.empty()) return Status::OK();
+  for (const std::string& name : names) {
+    auto it = table_quarantine_.find(name);
+    if (it != table_quarantine_.end()) {
+      return Status::Unavailable(
+          "'" + it->first + "' is quarantined: " + it->second +
+          "; repair it with LOAD " + it->first + " FROM '<file.csv>'");
+    }
+  }
+  return Status::OK();
+}
+
+bool QueryService::ClearTableQuarantine(const std::string& name) {
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  if (table_quarantine_.erase(name) == 0) return false;
+  // Mirror every lift into the engine's persisted map, or the next
+  // checkpoint would re-serialize the stale entry and restart would
+  // resurrect a quarantine the repair already cleared.
+  if (storage_ != nullptr) storage_->ClearQuarantinedTable(name);
+  // Dependent views re-enter service once no quarantined base table remains
+  // in their closure — the LOAD that lifted `name` just recomputed them.
+  for (auto it = table_quarantine_.begin(); it != table_quarantine_.end();) {
+    if (!views_.Has(it->first)) {
+      ++it;
+      continue;
+    }
+    std::vector<std::string> closure;
+    CollectDependencies({it->first}, views_, &closure);
+    bool dirty = false;
+    for (const std::string& n : closure) {
+      if (n == it->first || views_.Has(n)) continue;
+      if (table_quarantine_.count(n) > 0) {
+        dirty = true;
+        break;
+      }
+    }
+    if (dirty) {
+      ++it;
+    } else {
+      if (storage_ != nullptr) storage_->ClearQuarantinedTable(it->first);
+      it = table_quarantine_.erase(it);
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<std::string, std::string>>
+QueryService::QuarantinedTables() const {
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  return std::vector<std::pair<std::string, std::string>>(
+      table_quarantine_.begin(), table_quarantine_.end());
+}
+
 Result<size_t> QueryService::RefreshLatched(const std::string& name) {
   AQV_FAILPOINT("service.refresh");
   if (!views_.Has(name)) {
@@ -1937,9 +2283,11 @@ Result<StatementResult> QueryService::HandleRefresh(const std::string& name) {
     return Status::NotFound("no view named '" + name + "'");
   }
   // The view itself is written; everything its definition reads (its
-  // transitive closure) is read.
+  // transitive closure) is read. A quarantined closure refuses: recomputing
+  // from a salvaged-empty base would publish wrong rows as "fresh".
   std::vector<std::string> reads;
   CollectDependencies({name}, views_, &reads);
+  AQV_RETURN_NOT_OK(CheckTableQuarantine(reads));
   latches_.AcquireWrite(&guard, {name}, reads);
   AQV_ASSIGN_OR_RETURN(size_t rows, RefreshLatched(name));
   StatementResult out;
@@ -1958,6 +2306,14 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
   std::string name = tokens[1].text;
   AQV_ASSIGN_OR_RETURN(Table loaded, ReadCsvFile(tokens[3].text));
   size_t loaded_rows = loaded.num_rows();
+  // Row-size gate at arrival time (durable services only): a row beyond the
+  // overflow-chain cap could never be checkpointed or replayed, so the LOAD
+  // is refused before anything is published.
+  if (storage_attached()) {
+    for (const Row& row : loaded.rows()) {
+      AQV_RETURN_NOT_OK(StorageEngine::CheckRowSize(row));
+    }
+  }
   StatementResult out;
   // Replacing a table wholesale invalidates every dependent materialized
   // view with no delta to fold, so all of them are recomputed and published
@@ -2008,6 +2364,7 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
     views_recomputed_.Increment(dependents.size());
     return Status::OK();
   };
+  bool repaired = false;
   {
     // Fast path: the table exists, so this is a row write, not DDL.
     LatchManager::Guard guard = latches_.StatementShared();
@@ -2018,10 +2375,26 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
                                        name + "'");
       }
       AQV_RETURN_NOT_OK(replace_with_dependents(&guard, /*latched=*/true));
+      // A full replacement is the quarantine repair path: the table's
+      // contents no longer owe anything to the corrupt durable state.
+      repaired = ClearTableQuarantine(name);
       out.message = std::to_string(loaded_rows) + " row(s) loaded into " +
                     name + "\n";
-      return out;
+      if (!repaired) return out;
     }
+  }
+  if (repaired) {
+    // The WAL-logged replacement alone would not survive a restart: the
+    // corrupt checkpoint pages are still on disk, so recovery would
+    // re-derive the quarantine from them and discard the repair delta as
+    // suspect. A checkpoint rewrites the damaged pages from the repaired
+    // live contents and persists the cleared quarantine map. Quiesce first
+    // — the repair above held only the table's own stripes.
+    LatchManager::Guard ddl = latches_.Ddl();
+    AQV_RETURN_NOT_OK(CheckpointIfDurable());
+    out.message +=
+        "quarantine repaired; checkpoint rewrote the damaged pages\n";
+    return out;
   }
   // The table is new: schema change. Re-check under the ddl latch — another
   // thread may have created it between the two acquisitions.
@@ -2046,6 +2419,12 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
   AQV_RETURN_NOT_OK(replace_with_dependents(&guard, /*latched=*/false));
   out.message += std::to_string(loaded_rows) + " row(s) loaded into " + name +
                  "\n";
+  if (ClearTableQuarantine(name)) {
+    // Already fully quiesced under Ddl(): persist the repair directly.
+    AQV_RETURN_NOT_OK(CheckpointIfDurable());
+    out.message +=
+        "quarantine repaired; checkpoint rewrote the damaged pages\n";
+  }
   return out;
 }
 

@@ -94,6 +94,30 @@ struct ServiceOptions {
   /// off trades the last few commits for commit latency; the E18 bench
   /// quantifies the gap.
   bool storage_fsync_wal = true;
+  /// Group commit: concurrent commits coalesce onto one WAL fsync
+  /// (leader/follower). Acked-implies-durable is preserved exactly; only
+  /// the fsync count drops. Off = the fsync-per-commit baseline the E21
+  /// bench measures against.
+  bool storage_group_commit = true;
+  /// Lets a group-commit leader linger this long before fsyncing so more
+  /// followers can pile onto its batch. 0 (the default) adds no latency
+  /// and still coalesces whatever arrived while the previous fsync ran.
+  uint64_t storage_group_commit_window_micros = 0;
+  /// Recovery applies the WAL tail into one staging image published at a
+  /// single COW epoch instead of one publication per record. Off = the
+  /// per-record baseline the E21 bench measures against.
+  bool storage_staged_replay = true;
+  /// Auto-checkpoint: a background thread checkpoints once the WAL passes
+  /// this many bytes / this many commits since the last checkpoint, so the
+  /// log can never grow unbounded. 0 disables that trigger. The commit
+  /// threshold deliberately sits above E18's 4096-commit recovery fixture.
+  uint64_t storage_auto_checkpoint_wal_bytes = 16ull << 20;
+  uint64_t storage_auto_checkpoint_commits = 16384;
+  /// Writer backpressure: once the WAL passes this cap, writers that outrun
+  /// the auto-checkpointer stall (bounded sleep) until it catches up, then
+  /// fail with a clean SERVER_BUSY error at the deadline. 0 disables.
+  uint64_t storage_backpressure_wal_bytes = 64ull << 20;
+  uint64_t storage_backpressure_wait_micros = 2000000;
 
   // ---- Time-series telemetry (see README "Observability").
   /// Background sampler interval for the telemetry recorder: every tick
@@ -209,6 +233,16 @@ struct ServiceStats {
   double storage_checkpoint_p99_micros = 0;  // full-checkpoint duration
   int64_t storage_recovery_replay_ms = 0;    // WAL-replay phase of recovery
   int64_t storage_recovery_recompute_ms = 0;  // stale-view recompute phase
+  uint64_t storage_wal_size_bytes = 0;       // current WAL file size (gauge)
+  uint64_t storage_auto_checkpoints = 0;     // background checkpoints taken
+  uint64_t storage_backpressure_waits = 0;   // writers stalled on the cap
+  double storage_group_batch_p50 = 0;        // commits coalesced per fsync
+  double storage_group_batch_p99 = 0;
+  uint64_t storage_pages_quarantined = 0;    // data pages under quarantine
+  /// Tables (and dependent materialized views) quarantined by recovery
+  /// after checksum or mid-log WAL corruption, with the reason. Reads and
+  /// writes error cleanly; a full LOAD replacement repairs and clears.
+  std::vector<std::pair<std::string, std::string>> quarantined_tables;
 
   // ---- Observability of the observability (PR 7).
   uint64_t trace_dropped_spans = 0;    // spans lost to trace-ring overflow
@@ -273,6 +307,9 @@ struct SlowQueryRecord {
 class QueryService {
  public:
   explicit QueryService(ServiceOptions options = ServiceOptions{});
+
+  /// Stops and joins the auto-checkpoint thread before storage teardown.
+  ~QueryService();
 
   /// Parses and executes one statement (same dialect as aqvsh; see HELP
   /// there). Thread-safe. Statement keywords are matched case-insensitively.
@@ -377,6 +414,43 @@ class QueryService {
   /// WAL, under the exclusive ddl latch (the engine requires a quiesced
   /// database so the captured commit sequence matches the captured data).
   Result<StatementResult> HandleCheckpoint();
+
+  /// SCRUB: re-verifies every live checkpoint page's checksum straight from
+  /// disk plus the WAL framing, and reports per-table health alongside the
+  /// current quarantine set. Reporting only — data-page rot in the
+  /// checkpoint heals at the next CHECKPOINT (pages are rewritten from the
+  /// live in-memory copy), so SCRUB recommends rather than quarantines.
+  Result<StatementResult> HandleScrub();
+
+  /// Background auto-checkpoint loop (storage attached only): polls
+  /// StorageEngine::NeedsAutoCheckpoint, quiesces under the exclusive ddl
+  /// latch and checkpoints. `checkpoint.auto` fires per attempt, so chaos
+  /// runs can error or kill exactly at the trigger point.
+  void AutoCheckpointLoop();
+
+  /// Bounded writer stall while the WAL sits over the backpressure cap:
+  /// sleeps (kicking the checkpointer) until the cap clears or the deadline
+  /// passes, then returns a clean SERVER_BUSY-style kUnavailable. Called
+  /// before any latch is taken — stalling while holding stripes would
+  /// deadlock against the checkpointer's exclusive ddl acquisition.
+  Status WaitOutBackpressure();
+
+  /// kUnavailable with the stored reason if any of `names` is quarantined.
+  Status CheckTableQuarantine(const std::vector<std::string>& names) const;
+
+  /// Repair hook: a LOAD that fully replaced `name` lifts its quarantine,
+  /// and any dependent view whose closure no longer touches a quarantined
+  /// base table re-enters service (its contents were just recomputed).
+  /// Every lift is mirrored into the engine's persisted quarantine map.
+  /// Returns true when `name` itself was quarantined — the caller must then
+  /// checkpoint, or the repair dies with the process (recovery re-derives
+  /// the quarantine from the still-corrupt pages and discards the repair
+  /// delta as suspect). Caller holds the ddl latch (any mode) — views_ is
+  /// read.
+  bool ClearTableQuarantine(const std::string& name);
+
+  /// Current table quarantine, name-sorted, for STATS/SCRUB.
+  std::vector<std::pair<std::string, std::string>> QuarantinedTables() const;
 
   /// Opens ServiceOptions::storage_path and installs the recovered state:
   /// catalog, views, base tables, surviving view contents (stale ones
@@ -552,6 +626,20 @@ class QueryService {
   };
   mutable std::mutex quarantine_mutex_;
   mutable std::unordered_map<std::string, ViewFailureRecord> view_failures_;
+  /// Tables (and dependent materialized views) whose durable state failed
+  /// recovery's checksum/WAL validation, mapped to the reason. Reads and
+  /// writes of these names error cleanly; LOAD replacement clears. Shares
+  /// quarantine_mutex_ with the view-failure records above. In-memory only:
+  /// quarantine is re-derived from the files at every recovery.
+  std::map<std::string, std::string> table_quarantine_;
+
+  /// Auto-checkpoint thread state: the thread runs only when storage is
+  /// attached with a nonzero threshold; stop is flagged under the mutex and
+  /// the condvar gives prompt shutdown and backpressure kicks.
+  std::mutex checkpoint_mutex_;
+  std::condition_variable checkpoint_cv_;
+  bool stop_checkpointer_ = false;
+  std::thread checkpointer_;
 
   /// Per-fingerprint cost attribution (own lock; one map update per SELECT,
   /// never under a data latch). Bounded by attribution_capacity; overflow
@@ -598,6 +686,11 @@ class QueryService {
   LatencyHistogram* storage_checkpoint_latency_ = nullptr;
   Gauge* storage_recovery_replay_ms_ = nullptr;
   Gauge* storage_recovery_recompute_ms_ = nullptr;
+  Gauge* storage_wal_size_ = nullptr;
+  Counter* storage_auto_checkpoints_ = nullptr;
+  Counter* storage_backpressure_waits_ = nullptr;
+  LatencyHistogram* storage_group_batch_ = nullptr;
+  Counter* storage_pages_quarantined_ = nullptr;
 
   /// Time-series recorder over metrics_ (always constructed; see
   /// ServiceOptions::telemetry_interval_micros). Declared after metrics_ so

@@ -45,11 +45,25 @@ Status DiskManager::ReadPage(uint32_t page_id, Page* page) {
                             " past EOF of '" + path_ + "' (" +
                             std::to_string(page_count_) + " pages)");
   }
+  // pread may legitimately transfer fewer bytes than asked (signal
+  // interruption, pipe-ish filesystems); only a true EOF or errno is an
+  // error, so loop until the page is whole.
   off_t off = static_cast<off_t>(page_id) * Page::kPageSize;
-  ssize_t n = ::pread(fd_, page->data(), Page::kPageSize, off);
-  if (n != static_cast<ssize_t>(Page::kPageSize)) {
-    return ErrnoStatus(
-        "short read of page " + std::to_string(page_id) + " from", path_);
+  size_t done = 0;
+  while (done < Page::kPageSize) {
+    ssize_t n = ::pread(fd_, page->data() + done, Page::kPageSize - done,
+                        off + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus(
+          "cannot read page " + std::to_string(page_id) + " from", path_);
+    }
+    if (n == 0) {
+      return Status::Unavailable("page " + std::to_string(page_id) +
+                                 " of '" + path_ +
+                                 "' is truncated mid-page");
+    }
+    done += static_cast<size_t>(n);
   }
   if (pages_read_ != nullptr) pages_read_->Increment();
   return Status::OK();
@@ -61,10 +75,16 @@ Status DiskManager::WritePage(uint32_t page_id, const Page& page) {
   // orphaned (harmless — the live meta page never referenced them).
   AQV_FAILPOINT("page.flush");
   off_t off = static_cast<off_t>(page_id) * Page::kPageSize;
-  ssize_t n = ::pwrite(fd_, page.data(), Page::kPageSize, off);
-  if (n != static_cast<ssize_t>(Page::kPageSize)) {
-    return ErrnoStatus(
-        "short write of page " + std::to_string(page_id) + " to", path_);
+  size_t done = 0;
+  while (done < Page::kPageSize) {
+    ssize_t n = ::pwrite(fd_, page.data() + done, Page::kPageSize - done,
+                         off + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus(
+          "cannot write page " + std::to_string(page_id) + " to", path_);
+    }
+    done += static_cast<size_t>(n);
   }
   if (page_id >= page_count_) page_count_ = page_id + 1;
   if (pages_written_ != nullptr) pages_written_->Increment();
@@ -72,7 +92,10 @@ Status DiskManager::WritePage(uint32_t page_id, const Page& page) {
 }
 
 Status DiskManager::Sync() {
-  if (::fsync(fd_) != 0) return ErrnoStatus("cannot fsync", path_);
+  while (::fsync(fd_) != 0) {
+    if (errno == EINTR) continue;
+    return ErrnoStatus("cannot fsync", path_);
+  }
   return Status::OK();
 }
 

@@ -1,7 +1,10 @@
 #ifndef AQV_STORAGE_STORAGE_ENGINE_H_
 #define AQV_STORAGE_STORAGE_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -57,6 +60,18 @@ struct RecoveredState {
   uint64_t replayed_commits = 0;
   /// False when the db file held no valid checkpoint (fresh database).
   bool from_checkpoint = false;
+  /// Tables whose durable state failed its checksum (bit-rotted or torn
+  /// data pages) or sat beyond a mid-log WAL tear, mapped to a
+  /// human-readable reason. Recovery salvages every checksummed-clean
+  /// table and quarantines these; the service serves clean errors for them
+  /// until they are repaired (a LOAD that fully replaces the contents).
+  std::map<std::string, std::string> quarantined_tables;
+
+  /// True when the WAL tore mid-log (not just at the tail): a commit inside
+  /// the log is unrecoverable. The service must checkpoint promptly — the
+  /// quarantine derived from the torn log has to reach the directory blob
+  /// before the evidence (the suspect tail recovery truncated) is gone.
+  bool wal_mid_log_corruption = false;
 };
 
 /// Serializes `delta` (the WAL commit payload body) / parses it back.
@@ -68,6 +83,33 @@ struct StorageOptions {
   std::string path;               // db file; WAL lives at path + ".wal"
   size_t buffer_pool_pages = 64;  // page cache capacity (8 KiB pages)
   bool fsync_wal = true;          // fsync on every commit (off: bench only)
+
+  /// Group commit: concurrent LogCommit callers coalesce onto one fsync
+  /// (leader/follower). Off = every commit pays its own fsync (the PR 6
+  /// behavior, kept as the bench baseline). `group_commit_window_micros`
+  /// lets the leader linger before fsyncing so followers can pile on —
+  /// 0 trades no latency and still coalesces whatever arrived while the
+  /// previous fsync was in flight.
+  bool group_commit = true;
+  uint64_t group_commit_window_micros = 0;
+
+  /// Replay the WAL tail into one staging image published at a single COW
+  /// epoch, instead of one Database publication per record. Off = the PR 6
+  /// per-record path, kept as the bench baseline.
+  bool staged_replay = true;
+
+  /// Auto-checkpoint thresholds, polled by the service's background
+  /// checkpointer through NeedsAutoCheckpoint(): checkpoint once the WAL
+  /// exceeds this many bytes / this many commits since the last
+  /// checkpoint. 0 disables that trigger.
+  uint64_t auto_checkpoint_wal_bytes = 0;
+  uint64_t auto_checkpoint_commits = 0;
+
+  /// Writer backpressure cap: once the WAL exceeds this many bytes
+  /// (OverBackpressureCap()), the service stalls writers — bounded
+  /// sleep-with-deadline, then a clean SERVER_BUSY-style refusal — until
+  /// the checkpointer catches up. 0 disables the cap.
+  uint64_t backpressure_wal_bytes = 0;
 };
 
 /// The durability subsystem: a shadow-paged single-file checkpoint plus a
@@ -100,14 +142,46 @@ struct StorageOptions {
 ///
 /// Failpoints: `page.flush` (each page write), `wal.append` (torn record),
 /// `wal.fsync` (written-not-durable), `wal.truncate`, `recovery.replay`
-/// (each replayed commit).
+/// (each replayed commit), `wal.group_leader` (a group-commit leader about
+/// to fsync for its whole batch), `scrub.page` (each page checksum
+/// verification — an injected error reads as a corrupt page).
 ///
-/// All entry points are serialized by one internal mutex: commits from
+/// Rows larger than one page record are chained across overflow records:
+/// every data-page record starts with a continuation flag byte, and a row
+/// is the concatenation of consecutive records up to the first final one.
+/// Rows up to kMaxRowBytes round-trip; bigger ones are refused with a
+/// clean row-size error (the service rejects them at INSERT/LOAD time).
+///
+/// Entry points are serialized by one internal mutex: commits from
 /// disjoint-table writers (the service's striped latches allow those to
 /// race) are ordered here, which is sound because disjoint-table deltas
-/// commute under replay.
+/// commute under replay. With group commit the mutex covers only the WAL
+/// append (sequence assignment stays ordered); the fsync runs outside it
+/// under a leader/follower protocol, so acked-implies-durable holds while
+/// one fsync covers every record appended before it started.
 class StorageEngine {
  public:
+  /// Hard cap on one encoded row (the overflow-chain limit, 1 MiB). Rows
+  /// above it are refused with kInvalidArgument at WriteRows — and, so the
+  /// failure surfaces at INSERT/LOAD time instead of the next CHECKPOINT,
+  /// by the service through CheckRowSize.
+  static constexpr size_t kMaxRowBytes = 1 << 20;
+
+  /// Per-table result of a scrub pass (see Scrub()).
+  struct TableScrub {
+    uint64_t pages = 0;
+    uint64_t corrupt_pages = 0;
+  };
+  struct ScrubReport {
+    uint64_t pages_checked = 0;
+    uint64_t pages_corrupt = 0;
+    uint64_t directory_pages_corrupt = 0;
+    std::map<std::string, TableScrub> tables;
+    uint64_t wal_records = 0;
+    bool wal_mid_log_corruption = false;
+    uint64_t wal_suspect_records = 0;
+  };
+
   /// Opens (creating if needed) the db file and WAL, and runs recovery:
   /// picks the live checkpoint, loads it, replays the WAL tail. Read-only
   /// with respect to the files, so a failed recovery (an injected
@@ -136,6 +210,31 @@ class StorageEngine {
   Status Checkpoint(const Catalog& catalog, const ViewRegistry& views,
                     const Database& db, const std::vector<PlanImage>& plans);
 
+  /// Re-verifies the checksum of every live checkpoint page (directory and
+  /// data, read straight from disk so cached frames cannot mask on-disk
+  /// rot) and re-scans the WAL for mid-log corruption. Reporting only — it
+  /// never mutates state; the service decides what to quarantine.
+  Result<ScrubReport> Scrub();
+
+  /// Drops `name` from the quarantine map the next checkpoint persists.
+  /// Call when a repair (LOAD) replaced the table's contents — and pair it
+  /// with a checkpoint, so both the repair and the cleared quarantine
+  /// outlive a restart instead of the damaged pages re-deriving it.
+  void ClearQuarantinedTable(const std::string& name);
+
+  /// Clean error if `row` encodes beyond kMaxRowBytes — the check the
+  /// service runs at INSERT/LOAD time so oversized rows are refused when
+  /// they arrive, not when the next CHECKPOINT trips over them.
+  static Status CheckRowSize(const Row& row);
+
+  /// True once the WAL has outgrown an armed auto-checkpoint threshold
+  /// (bytes or commits since the last checkpoint) — the service's
+  /// background checkpointer polls this.
+  bool NeedsAutoCheckpoint() const;
+  /// True once the WAL exceeds the backpressure cap: the service stalls
+  /// writers until a checkpoint shrinks the log.
+  bool OverBackpressureCap() const;
+
   /// Sequence of the last logged commit (recovered ones included).
   uint64_t last_commit_seq() const;
   /// Sequence captured by the last successful checkpoint.
@@ -145,6 +244,7 @@ class StorageEngine {
   /// True once a WAL failure has fail-stopped the engine.
   bool failed() const;
 
+  const StorageOptions& options() const { return options_; }
   const std::string& path() const { return options_.path; }
 
  private:
@@ -154,6 +254,17 @@ class StorageEngine {
   Status Recover(MetricsRegistry* metrics);
   Status LoadCheckpoint(const std::string& directory_blob);
   Status ReplayWal();
+
+  /// The group-commit follower/leader protocol: returns once every WAL
+  /// byte up to `my_end` is durable (or the writer fail-stopped). Exactly
+  /// one caller fsyncs at a time; the rest wait on its result.
+  Status SyncWalGroup(uint64_t my_end);
+
+  /// True once a group-commit leader's fsync failed. Part of the fail-stop
+  /// surface alongside LogWriter::failed(): the writer itself is not
+  /// poisoned by a leader failure (its appended bytes are intact), so every
+  /// commit/checkpoint entry point must check both.
+  bool GroupFailed() const;
 
   /// Publishes the buffer pool's cumulative hit/miss totals into the
   /// registry counters. The pool itself is metrics-free (its counters are
@@ -186,6 +297,32 @@ class StorageEngine {
   std::set<uint32_t> free_pool_;   // allocatable ids below the file end
   uint32_t next_page_ = 2;         // first never-allocated id
 
+  /// Where every live table's rows (and the directory blob) sit on disk —
+  /// what Scrub() walks. Rebuilt by LoadCheckpoint and Checkpoint.
+  std::map<std::string, std::vector<uint32_t>> table_pages_;
+  std::vector<uint32_t> directory_pages_;
+
+  /// Quarantine as of the last recovery (minus repairs), serialized into
+  /// every checkpoint's directory blob. Persisting it is what keeps a
+  /// quarantine alive across the cleanup that recovery and checkpoints
+  /// perform — WAL-tail truncation and page rewrites both destroy the
+  /// on-disk evidence the quarantine was derived from. Guarded by mu_.
+  std::map<std::string, std::string> quarantine_;
+
+  /// Group-commit state. Appends publish how far the log extends through
+  /// the atomics (store-release after the write syscall completed, so a
+  /// leader's acquire-load only ever covers fully written bytes); the
+  /// leader/follower handshake and the durable watermark live under
+  /// group_mu_.
+  mutable std::mutex group_mu_;
+  std::condition_variable group_cv_;
+  bool group_sync_active_ = false;
+  bool group_failed_ = false;
+  uint64_t wal_synced_offset_ = 0;
+  uint64_t wal_synced_records_ = 0;
+  std::atomic<uint64_t> wal_appended_offset_{0};
+  std::atomic<uint64_t> wal_appended_records_{0};
+
   Counter* recoveries_ = nullptr;
   Counter* checkpoints_ = nullptr;
   Counter* wal_replayed_ = nullptr;
@@ -196,6 +333,9 @@ class StorageEngine {
   Counter* pool_misses_ = nullptr;
   uint64_t pool_hits_synced_ = 0;    // pool totals already published
   uint64_t pool_misses_synced_ = 0;
+  Gauge* wal_size_gauge_ = nullptr;  // current WAL file size
+  LatencyHistogram* group_commit_batch_ = nullptr;  // records per fsync
+  Counter* pages_quarantined_ = nullptr;
 };
 
 }  // namespace aqv

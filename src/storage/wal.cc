@@ -63,7 +63,7 @@ Status LogWriter::WriteAll(const char* data, size_t size) {
   return Status::OK();
 }
 
-Status LogWriter::AppendCommit(std::string_view payload) {
+Status LogWriter::Append(std::string_view payload) {
   if (failed_) {
     return Status::Unavailable(
         "wal writer failed earlier; restart and recover before committing");
@@ -89,7 +89,18 @@ Status LogWriter::AppendCommit(std::string_view payload) {
     return torn;
   }
 
-  // The record is fully written but not yet durable: a failure here models
+  last_record_bytes_ = record.size();
+  if (wal_bytes_ != nullptr) wal_bytes_->Increment(record.size());
+  if (wal_records_ != nullptr) wal_records_->Increment();
+  return Status::OK();
+}
+
+Status LogWriter::Sync() {
+  if (failed_) {
+    return Status::Unavailable(
+        "wal writer failed earlier; restart and recover before committing");
+  }
+  // Records are fully written but not yet durable: a failure here models
   // a crash after pwrite and before fsync — the commit was never
   // acknowledged, yet may still survive. The differential oracle accepts
   // either outcome, as long as recovery applies it atomically or not at all.
@@ -97,7 +108,10 @@ Status LogWriter::AppendCommit(std::string_view payload) {
     AQV_FAILPOINT("wal.fsync");
     if (fsync_on_commit_) {
       auto start = std::chrono::steady_clock::now();
-      if (::fsync(fd_) != 0) return ErrnoStatus("cannot fsync wal", path_);
+      while (::fsync(fd_) != 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("cannot fsync wal", path_);
+      }
       if (fsync_latency_ != nullptr) {
         fsync_latency_->Record(static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
@@ -111,12 +125,13 @@ Status LogWriter::AppendCommit(std::string_view payload) {
     failed_ = true;
     return synced;
   }
-
-  last_record_bytes_ = record.size();
-  if (wal_bytes_ != nullptr) wal_bytes_->Increment(record.size());
-  if (wal_records_ != nullptr) wal_records_->Increment();
   if (fsync_on_commit_ && wal_fsyncs_ != nullptr) wal_fsyncs_->Increment();
   return Status::OK();
+}
+
+Status LogWriter::AppendCommit(std::string_view payload) {
+  AQV_RETURN_NOT_OK(Append(payload));
+  return Sync();
 }
 
 Status LogWriter::Truncate() {
@@ -151,20 +166,53 @@ Result<WalContents> ReadLog(const std::string& path) {
 
   // Walk records until the tail tears: a short header, bad magic, a length
   // that runs past EOF, or a checksum mismatch all mean "crash mid-append"
-  // — everything from there on is discarded, never an error.
-  ByteReader reader(contents);
-  while (reader.remaining() >= LogWriter::kRecordHeaderSize) {
-    auto magic = reader.ReadFixed32();
-    auto len = reader.ReadFixed32();
-    auto checksum = reader.ReadFixed64();
-    if (!magic.ok() || !len.ok() || !checksum.ok()) break;
-    if (*magic != LogWriter::kRecordMagic) break;
-    if (*len > reader.remaining()) break;
-    auto payload = reader.ReadBytes(*len);
-    if (!payload.ok()) break;
-    if (Checksum64(*payload) != *checksum) break;
-    contents_out.payloads.emplace_back(payload->data(), payload->size());
-    contents_out.valid_bytes = reader.position();
+  // — everything from there on is discarded, never an error. Returns the
+  // byte position the walk stopped at.
+  auto walk = [&contents](size_t start,
+                          std::vector<std::string>* payloads) -> size_t {
+    size_t good_end = start;
+    ByteReader reader(std::string_view(contents).substr(start));
+    while (reader.remaining() >= LogWriter::kRecordHeaderSize) {
+      auto magic = reader.ReadFixed32();
+      auto len = reader.ReadFixed32();
+      auto checksum = reader.ReadFixed64();
+      if (!magic.ok() || !len.ok() || !checksum.ok()) break;
+      if (*magic != LogWriter::kRecordMagic) break;
+      if (*len > reader.remaining()) break;
+      auto payload = reader.ReadBytes(*len);
+      if (!payload.ok()) break;
+      if (Checksum64(*payload) != *checksum) break;
+      payloads->emplace_back(payload->data(), payload->size());
+      good_end = start + reader.position();
+    }
+    return good_end;
+  };
+
+  size_t clean_end = walk(0, &contents_out.payloads);
+  contents_out.valid_bytes = clean_end;
+
+  // Anything after the clean prefix is normally a torn tail. But if the
+  // record magic reappears later and frames intact records, the tear is in
+  // the MIDDLE of the log — bit rot, not a crash — and those later records
+  // are acknowledged commits whose predecessor is lost. Surface them so
+  // recovery can quarantine instead of silently dropping them.
+  std::string magic_bytes;
+  PutFixed32(&magic_bytes, LogWriter::kRecordMagic);
+  size_t scan = clean_end == 0 ? 0 : clean_end;
+  for (;;) {
+    size_t hit = contents.find(magic_bytes, scan + 1);
+    if (hit == std::string::npos) break;
+    std::vector<std::string> found;
+    size_t end = walk(hit, &found);
+    if (!found.empty()) {
+      contents_out.mid_log_corruption = true;
+      for (std::string& payload : found) {
+        contents_out.suspect_payloads.push_back(std::move(payload));
+      }
+      scan = end;
+    } else {
+      scan = hit;
+    }
   }
   return contents_out;
 }

@@ -58,6 +58,16 @@ class LogWriter {
   /// its commit mutex.
   Status AppendCommit(std::string_view payload);
 
+  /// The two halves of AppendCommit, split so the engine's group commit can
+  /// coalesce many appended records under ONE Sync(): Append writes the
+  /// framed record (and evaluates `wal.append`), Sync makes everything
+  /// appended so far durable (and evaluates `wal.fsync`). Both fail-stop
+  /// the writer on error exactly like AppendCommit. The engine serializes
+  /// Append calls; Sync may run from a group-commit leader while no append
+  /// is in flight (the engine's offset protocol guarantees that).
+  Status Append(std::string_view payload);
+  Status Sync();
+
   /// Truncates the log to empty — the checkpoint's final step. Failure
   /// here does NOT poison the writer: stale records are skipped at replay
   /// by commit sequence number.
@@ -107,14 +117,26 @@ class LogWriter {
 /// What ReadLog recovered: the intact record payloads plus the byte length
 /// of the clean prefix they came from (pass it to LogWriter::Open so a torn
 /// tail is chopped before new appends).
+///
+/// A bad record at the very end of the file is a torn tail — the expected
+/// debris of a crash mid-append, handled silently. A bad record *followed
+/// by* intact records is something else entirely: bit rot or a torn sector
+/// in the middle of the log. Those later records cannot be applied (the
+/// commit between them and the clean prefix is lost), so they are returned
+/// separately as `suspect_payloads` with `mid_log_corruption` set — the
+/// engine quarantines every table the log names rather than serve rows
+/// missing an acknowledged commit.
 struct WalContents {
   std::vector<std::string> payloads;
   uint64_t valid_bytes = 0;
+  bool mid_log_corruption = false;
+  std::vector<std::string> suspect_payloads;
 };
 
 /// Reads every intact record payload from the log at `path`, oldest first,
-/// stopping (without error) at the first torn or corrupt record. A missing
-/// file reads as an empty log.
+/// stopping (without error) at the first torn or corrupt record, then
+/// resyncing on the record magic to detect intact records beyond a mid-log
+/// tear (see WalContents). A missing file reads as an empty log.
 Result<WalContents> ReadLog(const std::string& path);
 
 }  // namespace aqv

@@ -6,7 +6,9 @@
 // recovery_test.cc.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -32,6 +34,34 @@ std::string FreshPath(const std::string& stem) {
   std::remove(path.c_str());
   std::remove((path + ".wal").c_str());
   return path;
+}
+
+// XORs one byte of `path` at `offset` — simulated bit rot.
+void FlipByteAt(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  ASSERT_TRUE(f.read(&b, 1).good());
+  b = static_cast<char>(b ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  ASSERT_TRUE(f.write(&b, 1).good());
+}
+
+// Flips a byte inside every on-disk occurrence of `marker` in `path`.
+// Returns the number of occurrences hit.
+size_t FlipMarkerBytes(const std::string& path, const std::string& marker) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  size_t hits = 0;
+  for (size_t pos = bytes.find(marker); pos != std::string::npos;
+       pos = bytes.find(marker, pos + 1)) {
+    FlipByteAt(path, pos + 2);
+    ++hits;
+  }
+  return hits;
 }
 
 // ---------------------------------------------------------------- serde
@@ -327,6 +357,45 @@ TEST(WalTest, TruncateEmptiesTheLog) {
   ASSERT_OK(wal->AppendCommit("still-works"));
 }
 
+TEST(WalTest, MidLogCorruptionIsFlaggedWithSuspects) {
+  std::string path = FreshPath("wal_midlog.wal");
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal, LogWriter::Open(path, true));
+    ASSERT_OK(wal->AppendCommit("first-record-payload"));
+    ASSERT_OK(wal->AppendCommit("second-record"));
+  }
+  // Rot a byte inside the FIRST record's payload: the reader's clean
+  // prefix ends before it, but resyncing on the magic finds the intact
+  // second record — that is mid-log corruption, not a torn tail.
+  FlipByteAt(path, LogWriter::kRecordHeaderSize + 3);
+  ASSERT_OK_AND_ASSIGN(WalContents contents, ReadLog(path));
+  EXPECT_TRUE(contents.payloads.empty());
+  EXPECT_EQ(contents.valid_bytes, 0u);
+  EXPECT_TRUE(contents.mid_log_corruption);
+  ASSERT_EQ(contents.suspect_payloads.size(), 1u);
+  EXPECT_EQ(contents.suspect_payloads[0], "second-record");
+}
+
+TEST(WalTest, TailRotIsTornTailNotMidLog) {
+  std::string path = FreshPath("wal_tailrot.wal");
+  uint64_t first_end = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal, LogWriter::Open(path, true));
+    ASSERT_OK(wal->AppendCommit("kept"));
+    first_end = wal->size_bytes();
+    ASSERT_OK(wal->AppendCommit("rotted-away"));
+  }
+  // Rot inside the LAST record: indistinguishable from a kill mid-append,
+  // so it is dropped silently and nothing is suspect.
+  FlipByteAt(path, first_end + LogWriter::kRecordHeaderSize + 3);
+  ASSERT_OK_AND_ASSIGN(WalContents contents, ReadLog(path));
+  ASSERT_EQ(contents.payloads.size(), 1u);
+  EXPECT_EQ(contents.payloads[0], "kept");
+  EXPECT_EQ(contents.valid_bytes, first_end);
+  EXPECT_FALSE(contents.mid_log_corruption);
+  EXPECT_TRUE(contents.suspect_payloads.empty());
+}
+
 // ------------------------------------------------------------ row codec
 
 TEST(RowCodecTest, AllValueTypesRoundTrip) {
@@ -596,6 +665,310 @@ TEST(StorageEngineTest, LogCommitFailStopsUntilReopen) {
   EXPECT_EQ(reopened->recovered().replayed_commits, 1u);
   EXPECT_FALSE(reopened->failed());
   ASSERT_OK(reopened->LogCommit(OneTableDelta("R", 2, 1)));
+}
+
+// ------------------------------------------------------- overflow pages
+
+// One table whose rows straddle every interesting boundary of the
+// overflow chain: just under one chunk, exactly at it, one byte over
+// (the first two-record row), and several chunks long.
+TEST(StorageEngineTest, OverflowRowsRoundTripAcrossRestart) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_overflow.db");
+  opts.buffer_pool_pages = 4;  // eviction traffic through the chains
+
+  const size_t chunk = Page::kMaxRecordSize - 1;  // payload per record
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("Big", {"A", "B"})));
+  Database db;
+  Table big({"A", "B"});
+  int64_t id = 0;
+  for (size_t size : {size_t{64}, chunk - 100, chunk - 1, chunk, chunk + 1,
+                      3 * chunk + 5, size_t{100000}}) {
+    big.AddRowOrDie(
+        {Value::Int64(id),
+         Value::String(std::string(
+             size, static_cast<char>('a' + (id % 26))))});
+    ++id;
+  }
+  db.Put("Big", big);
+  ViewRegistry views;
+
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+    ASSERT_OK(engine->Checkpoint(catalog, views, db, {}));
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+    ASSERT_OK_AND_ASSIGN(const Table* back, engine->recovered().db.Get("Big"));
+    EXPECT_TRUE(MultisetEqual(*back, big));
+  }
+}
+
+// Shrinking and re-growing a table with overflow rows must reuse the
+// freed chain pages, not extend the file on every checkpoint.
+TEST(StorageEngineTest, OverflowChainPagesAreReusedAfterDelete) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_overflow_reuse.db");
+
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("Big", {"A", "B"})));
+  Table with_big({"A", "B"});
+  with_big.AddRowOrDie({Value::Int64(1), Value::String(std::string(
+                                             50000, 'x'))});
+  Table without({"A", "B"});
+  without.AddRowOrDie({Value::Int64(2), Value::String("small")});
+  ViewRegistry views;
+
+  ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+  Database db1;
+  db1.Put("Big", with_big);
+  ASSERT_OK(engine->Checkpoint(catalog, views, db1, {}));
+  ASSERT_OK_AND_ASSIGN(auto disk, DiskManager::Open(opts.path));
+  uint32_t pages_after_first = disk->page_count();
+  disk.reset();
+
+  // Alternate the chain away and back: every generation's overflow pages
+  // must come from the previous generation's freed ids.
+  for (int i = 0; i < 4; ++i) {
+    Database db2;
+    db2.Put("Big", without);
+    ASSERT_OK(engine->Checkpoint(catalog, views, db2, {}));
+    Database db3;
+    db3.Put("Big", with_big);
+    ASSERT_OK(engine->Checkpoint(catalog, views, db3, {}));
+  }
+  ASSERT_OK_AND_ASSIGN(auto disk2, DiskManager::Open(opts.path));
+  EXPECT_LE(disk2->page_count(), 2 * pages_after_first + 2);
+}
+
+TEST(StorageEngineTest, RowAboveOverflowCapIsRefusedCleanly) {
+  // The check the service runs at INSERT/LOAD time.
+  Row small = {Value::Int64(1), Value::String("fine")};
+  ASSERT_OK(StorageEngine::CheckRowSize(small));
+  Row huge = {Value::Int64(1),
+              Value::String(std::string(StorageEngine::kMaxRowBytes, 'x'))};
+  Status refused = StorageEngine::CheckRowSize(huge);
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(refused.message().find("row"), std::string::npos);
+
+  // A checkpoint that trips over one anyway fails cleanly and keeps the
+  // previous checkpoint live.
+  StorageOptions opts;
+  opts.path = FreshPath("engine_rowcap.db");
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("R", {"A", "B"})));
+  ViewRegistry views;
+  ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+  Database db_ok;
+  db_ok.Put("R", Table({"A", "B"}));
+  ASSERT_OK(engine->Checkpoint(catalog, views, db_ok, {}));
+  Database db_huge;
+  Table t({"A", "B"});
+  t.AddRowOrDie(huge);
+  db_huge.Put("R", t);
+  EXPECT_EQ(engine->Checkpoint(catalog, views, db_huge, {}).code(),
+            StatusCode::kInvalidArgument);
+  engine.reset();
+  ASSERT_OK_AND_ASSIGN(auto recovered, StorageEngine::Open(opts, nullptr));
+  EXPECT_TRUE(recovered->recovered().from_checkpoint);
+}
+
+// --------------------------------------- quarantine, scrub, thresholds
+
+// Bit rot in one table's data page: recovery salvages every clean table
+// and quarantines exactly the damaged one (salvaged empty).
+TEST(StorageEngineTest, DataPageRotQuarantinesOnlyThatTable) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_rot.db");
+
+  const std::string marker = "CORRUPT-ME-MARKER-PAYLOAD";
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("Bad", {"A", "B"})));
+  ASSERT_OK(catalog.AddTable(TableDef("Good", {"C", "D"})));
+  Database db;
+  Table bad({"A", "B"});
+  bad.AddRowOrDie({Value::Int64(1), Value::String(marker)});
+  db.Put("Bad", std::move(bad));
+  Table good({"C", "D"});
+  good.AddRowOrDie({Value::Int64(7), Value::Double(7.5)});
+  db.Put("Good", good);
+  ViewRegistry views;
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+    ASSERT_OK(engine->Checkpoint(catalog, views, db, {}));
+  }
+  ASSERT_GE(FlipMarkerBytes(opts.path, marker), 1u);
+
+  ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+  RecoveredState& rec = engine->recovered();
+  ASSERT_EQ(rec.quarantined_tables.size(), 1u);
+  ASSERT_EQ(rec.quarantined_tables.count("Bad"), 1u);
+  EXPECT_NE(rec.quarantined_tables["Bad"].find("checksum"),
+            std::string::npos);
+  // The damaged table is salvaged empty, the clean one fully intact.
+  ASSERT_OK_AND_ASSIGN(const Table* bad_back, rec.db.Get("Bad"));
+  EXPECT_EQ(bad_back->num_rows(), 0u);
+  ASSERT_OK_AND_ASSIGN(const Table* good_back, rec.db.Get("Good"));
+  EXPECT_TRUE(MultisetEqual(*good_back, good));
+}
+
+// Scrub reads pages straight from disk, so rot that happens while the
+// engine is live (clean cached frames) is still reported — and the next
+// checkpoint rewrites the pages fresh, healing it.
+TEST(StorageEngineTest, ScrubDetectsOnDiskRotAndCheckpointHeals) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_scrub.db");
+
+  const std::string marker = "SCRUB-FINDS-THIS-MARKER";
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("T", {"A", "B"})));
+  Database db;
+  Table t({"A", "B"});
+  t.AddRowOrDie({Value::Int64(1), Value::String(marker)});
+  db.Put("T", t);
+  ViewRegistry views;
+
+  ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+  ASSERT_OK(engine->Checkpoint(catalog, views, db, {}));
+  ASSERT_OK_AND_ASSIGN(StorageEngine::ScrubReport clean, engine->Scrub());
+  EXPECT_EQ(clean.pages_corrupt, 0u);
+  EXPECT_GE(clean.pages_checked, 2u);  // directory + data
+
+  ASSERT_GE(FlipMarkerBytes(opts.path, marker), 1u);
+  ASSERT_OK_AND_ASSIGN(StorageEngine::ScrubReport dirty, engine->Scrub());
+  EXPECT_GE(dirty.pages_corrupt, 1u);
+  ASSERT_EQ(dirty.tables.count("T"), 1u);
+  EXPECT_GE(dirty.tables["T"].corrupt_pages, 1u);
+
+  // The in-memory copy is still good: CHECKPOINT rewrites every data page.
+  ASSERT_OK(engine->Checkpoint(catalog, views, db, {}));
+  ASSERT_OK_AND_ASSIGN(StorageEngine::ScrubReport healed, engine->Scrub());
+  EXPECT_EQ(healed.pages_corrupt, 0u);
+}
+
+TEST(StorageEngineTest, ScrubFailpointReportsCorruptPages) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_scrub_fp.db");
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("R", {"A", "B"})));
+  Database db;
+  Table rt({"A", "B"});
+  rt.AddRowOrDie({Value::Int64(1), Value::Double(1.0)});
+  db.Put("R", std::move(rt));
+  ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+  ASSERT_OK(engine->Checkpoint(catalog, ViewRegistry{}, db, {}));
+
+  FailpointScope fp("scrub.page", "error");
+  ASSERT_TRUE(fp.armed());
+  ASSERT_OK_AND_ASSIGN(StorageEngine::ScrubReport report, engine->Scrub());
+  EXPECT_EQ(report.pages_corrupt, report.pages_checked);
+  EXPECT_GE(report.pages_corrupt, 1u);
+}
+
+TEST(StorageEngineTest, AutoCheckpointAndBackpressurePredicates) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_thresholds.db");
+  opts.auto_checkpoint_commits = 2;
+  opts.backpressure_wal_bytes = 1;
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("R", {"A", "B"})));
+  Database db;
+  db.Put("R", Table({"A", "B"}));
+  ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+  ASSERT_OK(engine->Checkpoint(catalog, ViewRegistry{}, db, {}));
+
+  EXPECT_FALSE(engine->NeedsAutoCheckpoint());
+  EXPECT_FALSE(engine->OverBackpressureCap());
+  ASSERT_OK(engine->LogCommit(OneTableDelta("R", 1, 1)));
+  EXPECT_FALSE(engine->NeedsAutoCheckpoint());  // one commit, threshold 2
+  EXPECT_TRUE(engine->OverBackpressureCap());   // any WAL byte is over cap 1
+  ASSERT_OK(engine->LogCommit(OneTableDelta("R", 2, 1)));
+  EXPECT_TRUE(engine->NeedsAutoCheckpoint());
+
+  // A checkpoint truncates the WAL and resets both predicates.
+  ASSERT_OK(engine->Checkpoint(catalog, ViewRegistry{}, db, {}));
+  EXPECT_FALSE(engine->NeedsAutoCheckpoint());
+  EXPECT_FALSE(engine->OverBackpressureCap());
+}
+
+// ----------------------------------------- group commit, staged replay
+
+// Hammer LogCommit from several threads with group commit on: every
+// acknowledged commit must be durable and replay intact.
+TEST(StorageEngineTest, GroupCommitConcurrentWritersAllDurable) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_group.db");
+  opts.group_commit = true;
+  constexpr int kThreads = 4;
+  constexpr int kCommitsPerThread = 16;
+
+  Catalog catalog;
+  Database db;
+  for (int t = 0; t < kThreads; ++t) {
+    std::string name = "T" + std::to_string(t);
+    ASSERT_OK(catalog.AddTable(TableDef(name, {"A", "B"})));
+    db.Put(name, Table({"A", "B"}));
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+    ASSERT_OK(engine->Checkpoint(catalog, ViewRegistry{}, db, {}));
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&engine, t] {
+        std::string name = "T" + std::to_string(t);
+        for (int i = 0; i < kCommitsPerThread; ++i) {
+          ASSERT_OK(engine->LogCommit(OneTableDelta(name, i, 1)));
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    EXPECT_EQ(engine->last_commit_seq(),
+              static_cast<uint64_t>(kThreads * kCommitsPerThread));
+  }
+  ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+  EXPECT_EQ(engine->recovered().replayed_commits,
+            static_cast<uint64_t>(kThreads * kCommitsPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_OK_AND_ASSIGN(const Table* back,
+                         engine->recovered().db.Get("T" + std::to_string(t)));
+    EXPECT_EQ(back->num_rows(), static_cast<size_t>(kCommitsPerThread));
+  }
+}
+
+// Recovery is read-only, so the same files can be recovered under both
+// replay strategies — and they must agree exactly.
+TEST(StorageEngineTest, StagedAndPerRecordReplayAgree) {
+  StorageOptions opts;
+  opts.path = FreshPath("engine_replay_modes.db");
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(TableDef("R", {"A", "B"})));
+  Database db;
+  db.Put("R", Table({"A", "B"}));
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, StorageEngine::Open(opts, nullptr));
+    ASSERT_OK(engine->Checkpoint(catalog, ViewRegistry{}, db, {}));
+    for (int i = 0; i < 20; ++i) {
+      Delta d = OneTableDelta("R", i * 10, 2);
+      if (i % 3 == 0 && i > 0) {
+        // The odd delete too, so replay ordering matters.
+        d.deletes["R"].push_back(
+            {Value::Int64(i * 10 - 10), Value::Double((i * 10 - 10) * 2.0)});
+      }
+      ASSERT_OK(engine->LogCommit(d));
+    }
+  }
+  opts.staged_replay = false;
+  ASSERT_OK_AND_ASSIGN(auto per_record, StorageEngine::Open(opts, nullptr));
+  ASSERT_OK_AND_ASSIGN(const Table* slow, per_record->recovered().db.Get("R"));
+  Table slow_copy = *slow;
+  per_record.reset();
+
+  opts.staged_replay = true;
+  ASSERT_OK_AND_ASSIGN(auto staged, StorageEngine::Open(opts, nullptr));
+  ASSERT_OK_AND_ASSIGN(const Table* fast, staged->recovered().db.Get("R"));
+  EXPECT_EQ(staged->recovered().replayed_commits, 20u);
+  EXPECT_TRUE(MultisetEqual(slow_copy, *fast));
 }
 
 }  // namespace
