@@ -10,7 +10,9 @@
 //
 //   CREATE TABLE R(A, B) [KEY(A)]
 //   INSERT INTO R VALUES (1, 2), (3, 4)    -- maintains dependent views
-//   BEGIN WRITE ... COMMIT | ROLLBACK      -- batch INSERTs, one publication
+//   DELETE FROM R WHERE A = 1              -- delete matching occurrences
+//   UPDATE R SET B = B + 1 WHERE A = 3     -- delete+insert at one epoch
+//   BEGIN WRITE ... COMMIT | ROLLBACK      -- batch DML, one publication
 //   CREATE VIEW V AS SELECT ...            -- virtual view
 //   CREATE MATERIALIZED VIEW V AS SELECT ...
 //   REFRESH V                              -- recompute a materialized view
@@ -19,7 +21,8 @@
 //   EXPLAIN ANALYZE SELECT ...             -- executed plan + actual rows/times
 //   WHY V SELECT ...                       -- per-mapping usability trace
 //   TRACE ON|OFF|CLEAR|DUMP ['trace.json'] -- span tracing (Chrome/Perfetto)
-//   STATS                                  -- service runtime counters
+//   STATS                                  -- service runtime counters,
+//                                             incl. mvcc.* version/pin gauges
 //   STATS PROM                             -- Prometheus text exposition
 //   STATS HISTORY [JSON] [n]               -- sampled telemetry windows
 //   STATS ATTRIBUTION [n]                  -- per-fingerprint cost breakdown
@@ -97,7 +100,9 @@ class Shell {
         "statements:\n"
         "  CREATE TABLE R(A, B) [KEY(A)]\n"
         "  INSERT INTO R VALUES (1, 'x'), (-2, NULL)  -- maintains dependent views\n"
-        "  BEGIN WRITE | COMMIT | ROLLBACK  -- buffer INSERTs, apply as one batch\n"
+        "  DELETE FROM R WHERE A = 1        -- removes every matching occurrence\n"
+        "  UPDATE R SET B = B + 1 WHERE A = 3  -- delete+insert at one epoch\n"
+        "  BEGIN WRITE | COMMIT | ROLLBACK  -- buffer DML, apply as one batch\n"
         "  BEGIN SNAPSHOT | COMMIT          -- pin reads to one epoch\n"
         "  CREATE [MATERIALIZED] VIEW V AS SELECT ...\n"
         "  REFRESH V | SELECT ... | EXPLAIN SELECT ... | WHY V SELECT ...\n"
@@ -113,7 +118,9 @@ class Shell {
         "  STATS HISTORY [JSON] [n]         -- sampled telemetry windows\n"
         "  STATS ATTRIBUTION [n]            -- per-fingerprint cost breakdown\n"
         "  MONITOR [n]                      -- cut a window now + recent rates\n"
-        "  STATS | STATS PROM | SLOWLOG | TABLES | VIEWS | HELP | QUIT\n");
+        "  STATS | STATS PROM               -- counters + mvcc.versions_alive /\n"
+        "                                      mvcc.bytes_pinned per table\n"
+        "  SLOWLOG | TABLES | VIEWS | HELP | QUIT\n");
   }
 
   QueryService service_;

@@ -106,6 +106,38 @@ void Table::AddRowOrDie(Row row) {
   }
 }
 
+size_t Table::ApproxBytes() const {
+  size_t bytes = sizeof(Table);
+  for (const std::string& c : columns_) {
+    bytes += sizeof(std::string) + c.capacity();
+  }
+  bytes += rows_.capacity() * sizeof(Row);
+  for (const Row& row : rows_) {
+    bytes += row.capacity() * sizeof(Value);
+    for (const Value& v : row) {
+      if (v.type() == ValueType::kString) bytes += v.str().capacity();
+    }
+  }
+  // The cached columnar pivot belongs to this version and dies with it; an
+  // MVCC ledger that ignored it would undercount exactly the garbage the
+  // reclamation test exists to bound.
+  if (columnar_->built.load(std::memory_order_acquire)) {
+    const ColumnarTable& img = *columnar_->image;
+    for (int i = 0; i < img.num_columns(); ++i) {
+      const Column& col = img.col(i);
+      bytes += col.null_words.capacity() * sizeof(uint64_t);
+      bytes += col.i64.capacity() * sizeof(int64_t);
+      bytes += col.f64.capacity() * sizeof(double);
+      bytes += col.codes.capacity() * sizeof(int32_t);
+      for (const std::string& s : col.dict) {
+        bytes += sizeof(std::string) + s.capacity();
+      }
+      bytes += col.mixed.capacity() * sizeof(Value);
+    }
+  }
+  return bytes;
+}
+
 std::string Table::ToString(size_t max_rows) const {
   std::ostringstream os;
   os << Join(columns_, " | ") << "\n";
@@ -133,6 +165,7 @@ Database::Database(const Database& other) {
 Database::Database(Database&& other) noexcept {
   std::unique_lock<std::shared_mutex> lock(other.mu_);
   tables_ = std::move(other.tables_);
+  retired_ = std::move(other.retired_);
   epoch_ = other.epoch_;
 }
 
@@ -154,14 +187,17 @@ Database& Database::operator=(const Database& other) {
 Database& Database::operator=(Database&& other) noexcept {
   if (this == &other) return *this;
   std::map<std::string, Versioned> taken;
+  std::map<std::string, std::vector<Retired>> retired;
   uint64_t epoch;
   {
     std::unique_lock<std::shared_mutex> lock(other.mu_);
     taken = std::move(other.tables_);
+    retired = std::move(other.retired_);
     epoch = other.epoch_;
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
   tables_ = std::move(taken);
+  retired_ = std::move(retired);
   epoch_ = epoch;
   return *this;
 }
@@ -172,7 +208,8 @@ void Database::Put(std::string name, Table table) {
 
 void Database::Put(std::string name, TablePtr table) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  Versioned& slot = tables_[std::move(name)];
+  Versioned& slot = tables_[name];
+  RetireLocked(name, slot);
   slot.table = std::move(table);
   slot.version = ++epoch_;
 }
@@ -182,10 +219,58 @@ void Database::PutAll(std::vector<std::pair<std::string, TablePtr>> tables) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   const uint64_t version = ++epoch_;
   for (auto& [name, table] : tables) {
-    Versioned& slot = tables_[std::move(name)];
+    Versioned& slot = tables_[name];
+    RetireLocked(name, slot);
     slot.table = std::move(table);
     slot.version = version;
   }
+}
+
+void Database::RetireLocked(const std::string& name, const Versioned& slot) {
+  std::vector<Retired>& ledger = retired_[name];
+  ledger.erase(std::remove_if(ledger.begin(), ledger.end(),
+                              [](const Retired& r) { return r.table.expired(); }),
+               ledger.end());
+  if (slot.table != nullptr) {
+    ledger.push_back(Retired{slot.table, slot.version});
+  }
+}
+
+std::vector<Database::TableMvcc> Database::MvccStats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<TableMvcc> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, versioned] : tables_) {
+    TableMvcc m;
+    m.table = name;
+    m.versions_alive = versioned.table != nullptr ? 1 : 0;
+    auto it = retired_.find(name);
+    if (it != retired_.end()) {
+      for (const Retired& r : it->second) {
+        TablePtr pinned = r.table.lock();
+        if (pinned == nullptr) continue;
+        ++m.versions_alive;
+        m.bytes_pinned += pinned->ApproxBytes();
+        if (m.oldest_pinned_epoch == 0 || r.version < m.oldest_pinned_epoch) {
+          m.oldest_pinned_epoch = r.version;
+        }
+      }
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+uint64_t Database::OldestPinnedEpoch() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  uint64_t oldest = 0;
+  for (const auto& [name, ledger] : retired_) {
+    for (const Retired& r : ledger) {
+      if (r.table.expired()) continue;
+      if (oldest == 0 || r.version < oldest) oldest = r.version;
+    }
+  }
+  return oldest;
 }
 
 bool Database::Has(const std::string& name) const {

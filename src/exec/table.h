@@ -67,6 +67,12 @@ class Table {
   /// Multi-line human-readable rendering (for examples and test failures).
   std::string ToString(size_t max_rows = 20) const;
 
+  /// Approximate heap footprint of this version in bytes: row storage plus
+  /// the cached columnar pivot image when one has been built. Used by the
+  /// MVCC accounting (Database::MvccStats) to size what pinned old versions
+  /// hold; O(rows), so call it from stats paths, not hot loops.
+  size_t ApproxBytes() const;
+
  private:
   /// Holder for the lazily built columnar image. A fresh slot is assigned on
   /// construction, copy, and mutation, so the pointer itself is never
@@ -149,16 +155,56 @@ class Database {
   /// versions in the source leave the snapshot untouched.
   Database Snapshot() const { return Database(*this); }
 
+  /// MVCC accounting for one table: how many versions are still reachable
+  /// (the current one plus retired versions kept alive by snapshots or
+  /// in-flight readers), how many bytes those retired versions pin, and the
+  /// epoch of the oldest still-pinned retired version (0 when only the
+  /// current version is alive).
+  struct TableMvcc {
+    std::string table;
+    size_t versions_alive = 0;  // current version + live retired versions
+    size_t bytes_pinned = 0;    // bytes held by live retired versions
+    uint64_t oldest_pinned_epoch = 0;
+  };
+
+  /// Per-table MVCC accounting, name-sorted. Retired versions are tracked
+  /// by weak_ptr, so a version (and its columnar pivot cache) that no
+  /// snapshot holds any more drops out of the numbers the moment the last
+  /// shared_ptr dies — reclamation is the shared_ptr itself; this is the
+  /// ledger proving it happened. O(total pinned rows) for the byte sizing.
+  std::vector<TableMvcc> MvccStats() const;
+
+  /// The smallest epoch any live retired version was published at, across
+  /// all tables — everything at or before it is potentially pinned by a
+  /// reader. 0 when nothing but current versions is alive.
+  uint64_t OldestPinnedEpoch() const;
+
  private:
   struct Versioned {
     TablePtr table;
     uint64_t version = 0;
   };
 
+  /// A superseded table version: weakly held (the replacing Put does not
+  /// extend its life) plus the epoch it was published at. Entries whose
+  /// version died are pruned on the next Put of the same table.
+  struct Retired {
+    std::weak_ptr<const Table> table;
+    uint64_t version = 0;
+  };
+
+  /// Records `slot`'s outgoing version in retired_ and prunes entries whose
+  /// weak_ptr has expired. Caller holds mu_ exclusive.
+  void RetireLocked(const std::string& name, const Versioned& slot);
+
   /// Guards the name->version map and the epoch, not table contents (those
   /// are immutable once stored).
   mutable std::shared_mutex mu_;
   std::map<std::string, Versioned> tables_;
+  /// Retired-version ledger, oldest first per table. Deliberately NOT
+  /// copied into snapshots (a snapshot is a read-only pin; only the live
+  /// instance owns garbage accounting).
+  std::map<std::string, std::vector<Retired>> retired_;
   uint64_t epoch_ = 0;
 };
 

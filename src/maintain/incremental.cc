@@ -210,36 +210,47 @@ Status IncrementalMaintainer::Apply(const Delta& delta, const Database& before,
 
   // ---- Conjunctive views: append / remove projected occurrences. ----
   if (q.IsConjunctive()) {
-    std::vector<Row> new_rows = materialized->rows();
-    std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> index;
-    for (size_t r = 0; r < new_rows.size(); ++r) index[new_rows[r]].push_back(r);
-    std::vector<bool> removed(new_rows.size(), false);
-
-    std::vector<Row> appended;
+    // Net the signed projections first: when one batch both inserts and
+    // deletes rows of the same table (an UPDATE, say) and the table occurs
+    // more than once in the view, the telescoped terms contain insert×delete
+    // cross products — equal rows of opposite sign that must cancel against
+    // EACH OTHER, not against the stored materialization.
+    std::unordered_map<Row, int64_t, RowHash, RowEq> net;
     for (const SignedRow& core : cores) {
       Row projected;
       projected.reserve(q.select.size());
       for (const SelectItem& s : q.select) {
         projected.push_back(core.row[layout.at(s.column)]);
       }
-      if (core.weight > 0) {
-        appended.push_back(std::move(projected));
-      } else {
-        auto it = index.find(projected);
-        bool found = false;
-        if (it != index.end()) {
-          for (size_t r : it->second) {
-            if (!removed[r]) {
-              removed[r] = true;
-              found = true;
-              break;
-            }
-          }
+      net[std::move(projected)] += core.weight;
+    }
+
+    std::vector<Row> new_rows = materialized->rows();
+    std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> index;
+    for (size_t r = 0; r < new_rows.size(); ++r) index[new_rows[r]].push_back(r);
+    std::vector<bool> removed(new_rows.size(), false);
+
+    std::vector<Row> appended;
+    for (auto& [projected, weight] : net) {
+      for (; weight > 0; --weight) {
+        appended.push_back(projected);
+      }
+      if (weight == 0) continue;
+      auto it = index.find(projected);
+      if (it == index.end()) {
+        return Status::Internal(
+            "delta removes a view row absent from the materialization");
+      }
+      for (size_t r : it->second) {
+        if (weight == 0) break;
+        if (!removed[r]) {
+          removed[r] = true;
+          ++weight;
         }
-        if (!found) {
-          return Status::Internal(
-              "delta removes a view row absent from the materialization");
-        }
+      }
+      if (weight < 0) {
+        return Status::Internal(
+            "delta removes a view row absent from the materialization");
       }
     }
     Table result(materialized->columns());
@@ -350,10 +361,17 @@ Status IncrementalMaintainer::Apply(const Delta& delta, const Database& before,
   for (auto& [key, u] : updates) {
     auto it = index.find(key);
     if (it == index.end()) {
-      // A brand-new group: it must consist purely of inserts.
+      // A group absent from the materialization can still see deletes when
+      // one batch inserts and deletes rows of a self-joined table: the
+      // telescoped cross terms land signed updates on a key that only the
+      // same batch created. Folding those needs the inserts and deletes
+      // cancelled value-by-value (MIN/MAX have no signed form); punt to the
+      // full-recompute fallback instead.
       for (size_t p = 0; p < width; ++p) {
         if (!u.deleted[p].empty()) {
-          return Status::Internal("delta deletes from an unknown group");
+          return Status::Unsupported(
+              "a delete lands in a group absent from the materialization; "
+              "recompute");
         }
       }
       Row row(width, Value::Null());

@@ -71,6 +71,8 @@ class Parser {
 
   Result<Query> ParseQueryBlock();
   Result<ViewDef> ParseViewStatement();
+  Result<DeleteStatement> ParseDeleteStatement();
+  Result<UpdateStatement> ParseUpdateStatement();
 
  private:
   const Token& Peek(size_t k = 0) const {
@@ -113,6 +115,16 @@ class Parser {
   Status ParseFrom(Query* query, BindingScope* scope);
   Result<Operand> ParseOperand(const BindingScope& scope);
   Result<std::vector<Predicate>> ParseConjunction(const BindingScope& scope);
+  /// Binds the DML target table's schema columns verbatim into `scope` (no
+  /// per-occurrence renaming: DML predicates evaluate row-at-a-time against
+  /// the stored layout, so the names must match the schema exactly).
+  Result<const TableDef*> BindDmlTarget(const std::string& table,
+                                        BindingScope* scope);
+  Result<SetExpr> ParseSetExpr(const BindingScope& scope);
+  /// Scalar-only WHERE tail shared by DELETE and UPDATE: optional, and no
+  /// aggregate operands (there is no group to aggregate over).
+  Result<std::vector<Predicate>> ParseDmlWhere(const BindingScope& scope,
+                                               const char* verb);
 
   Result<std::string> Bind(const BindingScope& scope, const RawRef& ref) {
     return scope.Resolve(ref.qualifier, ref.column);
@@ -451,6 +463,161 @@ Result<Query> Parser::ParseQueryBlock() {
   return query;
 }
 
+Result<const TableDef*> Parser::BindDmlTarget(const std::string& table,
+                                              BindingScope* scope) {
+  if (catalog_ == nullptr) {
+    return Status::InvalidArgument(
+        "DELETE/UPDATE need a catalog to bind '" + table + "' against");
+  }
+  AQV_ASSIGN_OR_RETURN(const TableDef* def, catalog_->GetTable(table));
+  AQV_RETURN_NOT_OK(
+      scope->AddOccurrence(table, table, def->columns(), def->columns()));
+  return def;
+}
+
+Result<std::vector<Predicate>> Parser::ParseDmlWhere(const BindingScope& scope,
+                                                     const char* verb) {
+  std::vector<Predicate> where;
+  if (ConsumeKeyword("WHERE")) {
+    AQV_ASSIGN_OR_RETURN(where, ParseConjunction(scope));
+    for (const Predicate& p : where) {
+      if (!p.IsScalar()) {
+        return Status::InvalidArgument(std::string(verb) +
+                                       " predicates must be scalar (no "
+                                       "aggregate terms)");
+      }
+    }
+  }
+  if (Peek().kind != TokenKind::kEnd) {
+    return Status::InvalidArgument("unexpected trailing input at offset " +
+                                   std::to_string(Peek().offset));
+  }
+  return where;
+}
+
+Result<DeleteStatement> Parser::ParseDeleteStatement() {
+  if (!ConsumeKeyword("DELETE") || !ConsumeKeyword("FROM")) {
+    return Status::InvalidArgument("expected DELETE FROM");
+  }
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return Status::InvalidArgument("expected a table name at offset " +
+                                   std::to_string(Peek().offset));
+  }
+  DeleteStatement out;
+  out.table = Next().text;
+  BindingScope scope;
+  AQV_RETURN_NOT_OK(BindDmlTarget(out.table, &scope).status());
+  AQV_ASSIGN_OR_RETURN(out.where, ParseDmlWhere(scope, "DELETE"));
+  return out;
+}
+
+Result<SetExpr> Parser::ParseSetExpr(const BindingScope& scope) {
+  SetExpr expr;
+  const Token& t = Peek();
+  // A bare identifier that is not NULL is a column reference; everything
+  // else (signed numerics, strings, NULL) is a literal.
+  if (t.kind == TokenKind::kIdentifier && !t.IsKeyword("NULL")) {
+    AQV_ASSIGN_OR_RETURN(RawRef raw, ParseRawRef());
+    AQV_ASSIGN_OR_RETURN(expr.column, Bind(scope, raw));
+    expr.kind = SetExpr::Kind::kColumn;
+    char op = 0;
+    if (Peek().kind == TokenKind::kPlus) op = '+';
+    if (Peek().kind == TokenKind::kMinus) op = '-';
+    if (Peek().kind == TokenKind::kStar) op = '*';
+    if (op == 0) return expr;
+    Next();
+    expr.kind = SetExpr::Kind::kBinary;
+    expr.op = op;
+    // fall through to the literal right operand
+  }
+  bool negate = false;
+  if (Peek().kind == TokenKind::kMinus || Peek().kind == TokenKind::kPlus) {
+    negate = Next().kind == TokenKind::kMinus;
+    if (Peek().kind != TokenKind::kInteger &&
+        Peek().kind != TokenKind::kFloat) {
+      return Status::InvalidArgument(
+          "expected a numeric literal after the sign at offset " +
+          std::to_string(Peek().offset));
+    }
+  }
+  const Token& lit = Peek();
+  switch (lit.kind) {
+    case TokenKind::kInteger: {
+      int64_t v = Next().int_value;
+      expr.literal = Value::Int64(negate ? -v : v);
+      break;
+    }
+    case TokenKind::kFloat: {
+      double v = Next().float_value;
+      expr.literal = Value::Double(negate ? -v : v);
+      break;
+    }
+    case TokenKind::kString:
+      if (expr.kind == SetExpr::Kind::kBinary) {
+        return Status::InvalidArgument(
+            "UPDATE arithmetic takes a numeric right operand at offset " +
+            std::to_string(lit.offset));
+      }
+      expr.literal = Value::String(Next().text);
+      break;
+    case TokenKind::kIdentifier:
+      if (lit.IsKeyword("NULL") && expr.kind != SetExpr::Kind::kBinary) {
+        Next();
+        expr.literal = Value::Null();
+        break;
+      }
+      [[fallthrough]];
+    default:
+      return Status::InvalidArgument(
+          "expected a literal or column after '=' at offset " +
+          std::to_string(lit.offset));
+  }
+  return expr;
+}
+
+Result<UpdateStatement> Parser::ParseUpdateStatement() {
+  if (!ConsumeKeyword("UPDATE")) {
+    return Status::InvalidArgument("expected UPDATE");
+  }
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return Status::InvalidArgument("expected a table name at offset " +
+                                   std::to_string(Peek().offset));
+  }
+  UpdateStatement out;
+  out.table = Next().text;
+  BindingScope scope;
+  AQV_RETURN_NOT_OK(BindDmlTarget(out.table, &scope).status());
+  if (!ConsumeKeyword("SET")) {
+    return Status::InvalidArgument("expected SET at offset " +
+                                   std::to_string(Peek().offset));
+  }
+  while (true) {
+    AQV_ASSIGN_OR_RETURN(RawRef raw, ParseRawRef());
+    Assignment assign;
+    AQV_ASSIGN_OR_RETURN(assign.column, Bind(scope, raw));
+    for (const Assignment& prev : out.sets) {
+      if (prev.column == assign.column) {
+        return Status::InvalidArgument("column '" + assign.column +
+                                       "' assigned twice in one UPDATE");
+      }
+    }
+    if (Peek().kind != TokenKind::kEq) {
+      return Status::InvalidArgument("expected '=' at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    Next();
+    AQV_ASSIGN_OR_RETURN(assign.expr, ParseSetExpr(scope));
+    out.sets.push_back(std::move(assign));
+    if (Peek().kind == TokenKind::kComma) {
+      Next();
+      continue;
+    }
+    break;
+  }
+  AQV_ASSIGN_OR_RETURN(out.where, ParseDmlWhere(scope, "UPDATE"));
+  return out;
+}
+
 Result<ViewDef> Parser::ParseViewStatement() {
   if (!ConsumeKeyword("CREATE") || !ConsumeKeyword("VIEW")) {
     return Status::InvalidArgument("expected CREATE VIEW");
@@ -481,6 +648,22 @@ Result<ViewDef> ParseView(std::string_view sql, const Catalog* catalog) {
   AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens), catalog);
   return parser.ParseViewStatement();
+}
+
+Result<DeleteStatement> ParseDelete(std::string_view sql,
+                                    const Catalog* catalog) {
+  AQV_FAILPOINT("parse");
+  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens), catalog);
+  return parser.ParseDeleteStatement();
+}
+
+Result<UpdateStatement> ParseUpdate(std::string_view sql,
+                                    const Catalog* catalog) {
+  AQV_FAILPOINT("parse");
+  AQV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens), catalog);
+  return parser.ParseUpdateStatement();
 }
 
 Result<InsertStatement> ParseInsert(std::string_view sql) {

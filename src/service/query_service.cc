@@ -1,17 +1,20 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "base/failpoint.h"
 #include "base/strings.h"
 #include "base/trace.h"
 #include "exec/csv.h"
+#include "exec/expression.h"
 #include "exec/explain_plan.h"
 #include "ir/fingerprint.h"
 #include "ir/printer.h"
@@ -70,7 +73,8 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(optimize_max_micros), exec_p50_micros,
       exec_p99_micros, static_cast<unsigned long long>(exec_max_micros));
   std::string out = buf;
-  out += "rows inserted       " + std::to_string(rows_inserted) + "\n";
+  out += "rows written        " + std::to_string(rows_inserted) +
+         " inserted / " + std::to_string(rows_deleted) + " deleted\n";
   out += "view maintenance    " + std::to_string(views_maintained) +
          " maintained / " + std::to_string(views_recomputed) + " recomputed\n";
   char mbuf[128];
@@ -81,6 +85,27 @@ std::string ServiceStats::ToString() const {
   out += mbuf;
   out += "admission rejects   " + std::to_string(admission_rejects) + "\n";
   out += "degraded fallbacks  " + std::to_string(degraded_fallbacks) + "\n";
+  if (!mvcc.empty()) {
+    size_t versions = 0, bytes = 0;
+    for (const auto& m : mvcc) {
+      versions += m.versions_alive;
+      bytes += m.bytes_pinned;
+    }
+    out += "mvcc                " + std::to_string(versions) +
+           " version(s) alive, " + std::to_string(bytes) +
+           " bytes pinned by retired versions";
+    if (mvcc_oldest_pinned_epoch > 0) {
+      out += " (oldest pinned epoch " +
+             std::to_string(mvcc_oldest_pinned_epoch) + ")";
+    }
+    out += "\n";
+    for (const auto& m : mvcc) {
+      if (m.versions_alive <= 1 && m.bytes_pinned == 0) continue;
+      out += "  mvcc " + m.table + "  " + std::to_string(m.versions_alive) +
+             " version(s), " + std::to_string(m.bytes_pinned) +
+             " bytes pinned\n";
+    }
+  }
   if (!errors_by_code.empty()) {
     out += "errors              ";
     for (size_t i = 0; i < errors_by_code.size(); ++i) {
@@ -176,6 +201,7 @@ QueryService::QueryService(ServiceOptions options)
       degraded_fallbacks_(
           metrics_.GetCounter("service.degraded_fallbacks_total")),
       rows_inserted_(metrics_.GetCounter("service.rows_inserted_total")),
+      rows_deleted_(metrics_.GetCounter("service.rows_deleted_total")),
       views_maintained_(
           metrics_.GetCounter("service.views_maintained_total")),
       views_recomputed_(
@@ -198,6 +224,19 @@ QueryService::QueryService(ServiceOptions options)
                    "microseconds");
   metrics_.SetHelp("service.maintain_latency",
                    "Write-path view maintenance wall time, microseconds");
+  metrics_.SetHelp("service.rows_inserted_total",
+                   "Rows added by INSERT/UPDATE/COMMIT batches");
+  metrics_.SetHelp("service.rows_deleted_total",
+                   "Rows removed by DELETE/UPDATE/COMMIT batches");
+  metrics_.SetHelp("mvcc.versions_alive",
+                   "Table versions still reachable (current + retired "
+                   "versions pinned by snapshots or in-flight readers)");
+  metrics_.SetHelp("mvcc.bytes_pinned",
+                   "Approximate bytes held by retired-but-referenced table "
+                   "versions, including their columnar pivot caches");
+  metrics_.SetHelp("mvcc.oldest_pinned_epoch",
+                   "Epoch of the oldest retired table version still alive "
+                   "(0 = nothing but current versions)");
   metrics_.SetHelp("trace.dropped_spans",
                    "Spans lost to trace-ring overflow since the last clear");
   metrics_.SetHelp("telemetry.windows_sampled",
@@ -664,8 +703,11 @@ ServiceStats QueryService::Stats() const {
   s.admission_rejects = admission_rejects_.value();
   s.degraded_fallbacks = degraded_fallbacks_.value();
   s.rows_inserted = rows_inserted_.value();
+  s.rows_deleted = rows_deleted_.value();
   s.views_maintained = views_maintained_.value();
   s.views_recomputed = views_recomputed_.value();
+  s.mvcc = db_.MvccStats();
+  s.mvcc_oldest_pinned_epoch = db_.OldestPinnedEpoch();
   const std::string kErrorPrefix = "service.errors_total{code=\"";
   for (auto& [name, value] : metrics_.CounterValues(kErrorPrefix)) {
     // Strip the family prefix and the trailing '"}' to recover the token.
@@ -745,6 +787,16 @@ std::string QueryService::StatsPromText() {
       .Set(static_cast<int64_t>(telemetry_->windows_sampled()));
   metrics_.GetGauge("telemetry.windows_dropped")
       .Set(static_cast<int64_t>(telemetry_->windows_dropped()));
+  // MVCC garbage accounting, recomputed at scrape time: what the COW
+  // version vector still keeps alive beyond the current versions.
+  for (const Database::TableMvcc& m : db_.MvccStats()) {
+    metrics_.GetGauge("mvcc.versions_alive{table=\"" + m.table + "\"}")
+        .Set(static_cast<int64_t>(m.versions_alive));
+    metrics_.GetGauge("mvcc.bytes_pinned{table=\"" + m.table + "\"}")
+        .Set(static_cast<int64_t>(m.bytes_pinned));
+  }
+  metrics_.GetGauge("mvcc.oldest_pinned_epoch")
+      .Set(static_cast<int64_t>(db_.OldestPinnedEpoch()));
   return metrics_.PromText();
 }
 
@@ -866,8 +918,8 @@ Result<StatementResult> QueryService::HandleBeginWrite() {
         "it first");
   }
   StatementResult out;
-  out.message = "write batch opened; INSERTs buffer on this thread until "
-                "COMMIT\n";
+  out.message = "write batch opened; INSERT/DELETE/UPDATE buffer on this "
+                "thread until COMMIT\n";
   return out;
 }
 
@@ -880,6 +932,9 @@ Result<StatementResult> QueryService::HandleRollback() {
   }
   size_t rows = 0;
   for (const auto& [table, buffered] : it->second.inserts) {
+    rows += buffered.size();
+  }
+  for (const auto& [table, buffered] : it->second.deletes) {
     rows += buffered.size();
   }
   write_batches_.erase(it);
@@ -916,9 +971,11 @@ Result<StatementResult> QueryService::HandleCommit() {
     qs.total_micros = apply_micros;
     MaybeRecordSlowStatement("COMMIT", qs);
     StatementResult out;
-    out.message = std::to_string(applied.rows) + " row(s) committed into " +
-                  std::to_string(applied.tables) + " table(s); " +
-                  std::to_string(applied.views_maintained) +
+    out.message = std::to_string(applied.rows_inserted) +
+                  " row(s) inserted / " +
+                  std::to_string(applied.rows_deleted) +
+                  " deleted across " + std::to_string(applied.tables) +
+                  " table(s); " + std::to_string(applied.views_maintained) +
                   " view(s) maintained, " +
                   std::to_string(applied.views_recomputed) + " recomputed\n";
     return out;
@@ -973,19 +1030,21 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
   if (upper == "SCRUB") return HandleScrub();
   // Writes and DDL are rejected while the calling thread has an open
   // snapshot: the pin is read-only by construction.
-  bool is_write = StartsWith(upper, "CREATE ") ||
-                  StartsWith(upper, "INSERT INTO") ||
+  bool is_dml = StartsWith(upper, "INSERT INTO") ||
+                StartsWith(upper, "DELETE") || StartsWith(upper, "UPDATE ");
+  bool is_write = StartsWith(upper, "CREATE ") || is_dml ||
                   StartsWith(upper, "REFRESH") || StartsWith(upper, "LOAD");
   if (is_write && ThreadSnapshot() != nullptr) {
     return Status::InvalidArgument(
         "writes are not allowed inside BEGIN SNAPSHOT; COMMIT first");
   }
-  // Inside a write batch only INSERT (buffered) and reads are allowed: DDL,
+  // Inside a write batch only DML (buffered) and reads are allowed: DDL,
   // REFRESH and LOAD would have to either see or ignore the uncommitted
   // rows, and neither is coherent.
-  if (is_write && !StartsWith(upper, "INSERT INTO") && ThreadHasWriteBatch()) {
+  if (is_write && !is_dml && ThreadHasWriteBatch()) {
     return Status::InvalidArgument(
-        "only INSERT may run inside BEGIN WRITE; COMMIT or ROLLBACK first");
+        "only INSERT/DELETE/UPDATE may run inside BEGIN WRITE; COMMIT or "
+        "ROLLBACK first");
   }
   if (StartsWith(upper, "CREATE TABLE")) return HandleCreateTable(stmt);
   if (StartsWith(upper, "CREATE MATERIALIZED VIEW")) {
@@ -997,6 +1056,8 @@ Result<StatementResult> QueryService::Dispatch(const std::string& stmt,
     return HandleCreateView(stmt, /*materialized=*/false);
   }
   if (StartsWith(upper, "INSERT INTO")) return HandleInsert(stmt);
+  if (StartsWith(upper, "DELETE")) return HandleDelete(stmt);
+  if (StartsWith(upper, "UPDATE ")) return HandleUpdate(stmt);
   if (StartsWith(upper, "REFRESH")) {
     return HandleRefresh(TrimStatement(stmt.substr(7)));
   }
@@ -1865,6 +1926,138 @@ Result<StatementResult> QueryService::HandleInsert(const std::string& stmt) {
   return out;
 }
 
+namespace {
+
+/// The identifier at `word_index` of a whitespace-split statement, or ""
+/// when the statement is too short. Used to peek a DML target table name
+/// before parsing, so a write aimed at a view gets a verb-accurate refusal
+/// instead of the binder's generic unknown-table error.
+std::string PeekDmlTarget(const std::string& stmt, size_t word_index) {
+  size_t i = 0;
+  size_t word = 0;
+  const size_t n = stmt.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(stmt[i]))) ++i;
+    size_t b = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(stmt[i]))) ++i;
+    if (b == i) break;
+    if (word == word_index) return stmt.substr(b, i - b);
+    ++word;
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<StatementResult> QueryService::HandleDelete(const std::string& stmt) {
+  Clock::time_point stmt_start = Clock::now();
+  QueryStats qs;
+  DeleteStatement del;
+  {
+    // Binding reads the catalog; the statement latch freezes it.
+    LatchManager::Guard guard = latches_.StatementShared();
+    std::string target = PeekDmlTarget(stmt, 2);  // DELETE FROM <t>
+    if (!target.empty() && views_.Has(target)) {
+      return Status::InvalidArgument("cannot DELETE from view '" + target +
+                                     "'; write its base tables");
+    }
+    AQV_ASSIGN_OR_RETURN(del, ParseDelete(stmt, &catalog_));
+  }
+  qs.parse_micros = ElapsedMicros(stmt_start);
+  Mutation mutation;
+  mutation.kind = Mutation::Kind::kDelete;
+  mutation.table = std::move(del.table);
+  mutation.where = std::move(del.where);
+  Result<StatementResult> out = ExecuteMutation(std::move(mutation), &qs);
+  if (out.ok()) {
+    qs.total_micros = ElapsedMicros(stmt_start);
+    MaybeRecordSlowStatement(stmt, qs);
+  }
+  return out;
+}
+
+Result<StatementResult> QueryService::HandleUpdate(const std::string& stmt) {
+  Clock::time_point stmt_start = Clock::now();
+  QueryStats qs;
+  UpdateStatement upd;
+  {
+    LatchManager::Guard guard = latches_.StatementShared();
+    std::string target = PeekDmlTarget(stmt, 1);  // UPDATE <t>
+    if (!target.empty() && views_.Has(target)) {
+      return Status::InvalidArgument("cannot UPDATE view '" + target +
+                                     "'; write its base tables");
+    }
+    AQV_ASSIGN_OR_RETURN(upd, ParseUpdate(stmt, &catalog_));
+  }
+  qs.parse_micros = ElapsedMicros(stmt_start);
+  Mutation mutation;
+  mutation.kind = Mutation::Kind::kUpdate;
+  mutation.table = std::move(upd.table);
+  mutation.where = std::move(upd.where);
+  mutation.sets = std::move(upd.sets);
+  Result<StatementResult> out = ExecuteMutation(std::move(mutation), &qs);
+  if (out.ok()) {
+    qs.total_micros = ElapsedMicros(stmt_start);
+    MaybeRecordSlowStatement(stmt, qs);
+  }
+  return out;
+}
+
+Result<StatementResult> QueryService::ExecuteMutation(Mutation mutation,
+                                                      QueryStats* qs) {
+  const bool is_update = mutation.kind == Mutation::Kind::kUpdate;
+  if (ThreadHasWriteBatch()) {
+    // Buffer into the open batch: the mutation is evaluated against the
+    // *committed* state now (same visibility rule as SELECT inside BEGIN
+    // WRITE) and its delta rides the batch; COMMIT re-validates delete
+    // containment against the then-current base, so a concurrent write
+    // that removed a matched row fails the batch cleanly instead of
+    // desyncing views.
+    size_t matched = 0;
+    Delta staged;
+    {
+      LatchManager::Guard guard = latches_.StatementShared();
+      latches_.AcquireShared(&guard, {mutation.table});
+      AQV_ASSIGN_OR_RETURN(staged, MaterializeMutation(mutation, db_, &matched));
+    }
+    std::lock_guard<std::mutex> lock(write_batch_mutex_);
+    auto it = write_batches_.find(std::this_thread::get_id());
+    if (it == write_batches_.end()) {
+      return Status::InvalidArgument(
+          "the write batch on this thread closed while the statement ran");
+    }
+    for (auto& [name, rows] : staged.inserts) {
+      std::vector<Row>& buffered = it->second.inserts[name];
+      for (Row& row : rows) buffered.push_back(std::move(row));
+    }
+    for (auto& [name, rows] : staged.deletes) {
+      std::vector<Row>& buffered = it->second.deletes[name];
+      for (Row& row : rows) buffered.push_back(std::move(row));
+    }
+    StatementResult out;
+    out.message = std::to_string(matched) + " row(s) buffered to " +
+                  (is_update ? "update in " : "delete from ") + mutation.table +
+                  " (COMMIT to apply)\n";
+    return out;
+  }
+  Clock::time_point exec_start = Clock::now();
+  AQV_ASSIGN_OR_RETURN(WriteApplied applied, ApplyWrite(Delta{}, &mutation, qs));
+  // The write's "exec" phase is apply minus the attributed sub-phases so
+  // the phases stay disjoint and their sum tracks the wall clock.
+  uint64_t apply_micros = ElapsedMicros(exec_start);
+  uint64_t attributed = qs->maintain_micros + qs->wal_commit_micros;
+  qs->exec_micros = apply_micros > attributed ? apply_micros - attributed : 0;
+  qs->rows_processed += applied.rows;
+  qs->epoch = db_.epoch();
+  StatementResult out;
+  out.message = std::to_string(applied.rows_deleted) + " row(s) " +
+                (is_update ? "updated in " : "deleted from ") + mutation.table +
+                "; " + std::to_string(applied.views_maintained) +
+                " view(s) maintained, " +
+                std::to_string(applied.views_recomputed) + " recomputed\n";
+  return out;
+}
+
 Result<std::vector<QueryService::DependentView>>
 QueryService::DependentViewsOf(const std::vector<std::string>& tables) const {
   std::vector<DependentView> dependents;
@@ -1931,10 +2124,174 @@ Status QueryService::RecomputeViewInto(const std::string& name,
   return Status::OK();
 }
 
+namespace {
+
+/// Renders a row as "(v1, v2, ...)" for write-path error messages.
+std::string RowText(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+/// Multiset containment of the delta's deletes in base ∪ same-batch inserts.
+/// ApplyDeltaToBase lands inserts before deletes, so an insert in the same
+/// batch legitimately covers a delete of an identical row (the extremum-tie
+/// write tests rely on that). A delete the available multiset cannot cover
+/// is rejected here, before
+/// anything is staged, logged or published — otherwise the base would drop
+/// fewer rows than the maintainer subtracted and views would silently
+/// desync from their bases.
+Status ValidateDeleteContainment(const Delta& delta, const Database& db) {
+  for (const auto& [name, dels] : delta.deletes) {
+    if (dels.empty()) continue;
+    // Histogram the (usually few) deletes, then drain it against the
+    // available rows — same-batch inserts first, then the base, stopping as
+    // soon as every delete is covered. A single-row delete touching a large
+    // table ends the base scan at the first match instead of hashing the
+    // whole table.
+    std::unordered_map<Row, int64_t, RowHash, RowEq> needed;
+    for (const Row& row : dels) ++needed[row];
+    int64_t remaining = static_cast<int64_t>(dels.size());
+    auto consume = [&](const Row& row) {
+      auto it = needed.find(row);
+      if (it == needed.end() || it->second <= 0) return;
+      --it->second;
+      --remaining;
+    };
+    auto ins = delta.inserts.find(name);
+    if (ins != delta.inserts.end()) {
+      for (const Row& row : ins->second) {
+        if (remaining == 0) break;
+        consume(row);
+      }
+    }
+    if (remaining > 0) {
+      if (TablePtr base = db.GetShared(name)) {
+        for (const Row& row : base->rows()) {
+          if (remaining == 0) break;
+          consume(row);
+        }
+      }
+    }
+    if (remaining > 0) {
+      for (const auto& [row, count] : needed) {
+        if (count > 0) {
+          return Status::InvalidArgument(
+              "cannot delete row " + RowText(row) + " from '" + name +
+              "': not present in the stored table");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// One UPDATE SET expression applied to one row. Arithmetic on NULL yields
+/// NULL (SQL semantics); on a string it is an execution-time error;
+/// INT64 op INT64 stays INT64, anything involving a DOUBLE promotes.
+Result<Value> EvalSetExpr(const SetExpr& expr, const Row& row,
+                          const ColumnIndexMap& layout) {
+  if (expr.kind == SetExpr::Kind::kLiteral) return expr.literal;
+  auto it = layout.find(expr.column);
+  if (it == layout.end()) {
+    return Status::Internal("unbound UPDATE source column '" + expr.column +
+                            "'");
+  }
+  const Value& v = row[static_cast<size_t>(it->second)];
+  if (expr.kind == SetExpr::Kind::kColumn) return v;
+  if (v.is_null() || expr.literal.is_null()) return Value::Null();
+  if (!v.is_numeric() || !expr.literal.is_numeric()) {
+    return Status::InvalidArgument(
+        "UPDATE arithmetic needs numeric operands; column '" + expr.column +
+        "' holds " + v.ToString());
+  }
+  if (v.type() == ValueType::kInt64 &&
+      expr.literal.type() == ValueType::kInt64) {
+    int64_t a = v.int64();
+    int64_t b = expr.literal.int64();
+    switch (expr.op) {
+      case '+':
+        return Value::Int64(a + b);
+      case '-':
+        return Value::Int64(a - b);
+      default:
+        return Value::Int64(a * b);
+    }
+  }
+  double a = v.AsDouble();
+  double b = expr.literal.AsDouble();
+  switch (expr.op) {
+    case '+':
+      return Value::Double(a + b);
+    case '-':
+      return Value::Double(a - b);
+    default:
+      return Value::Double(a * b);
+  }
+}
+
+}  // namespace
+
+Result<Delta> QueryService::MaterializeMutation(const Mutation& mutation,
+                                                const Database& db,
+                                                size_t* matched) const {
+  Delta out;
+  AQV_ASSIGN_OR_RETURN(const Table* table, db.Get(mutation.table));
+  ColumnIndexMap layout;
+  for (int i = 0; i < table->num_columns(); ++i) {
+    layout[table->columns()[static_cast<size_t>(i)]] = i;
+  }
+  std::vector<Row> deleted;
+  std::vector<Row> inserted;
+  for (const Row& row : table->rows()) {
+    bool match = true;
+    for (const Predicate& p : mutation.where) {
+      if (!EvalScalarPredicate(p, row, layout)) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    deleted.push_back(row);
+    if (mutation.kind == Mutation::Kind::kUpdate) {
+      Row updated = row;
+      for (const Assignment& a : mutation.sets) {
+        auto it = layout.find(a.column);
+        if (it == layout.end()) {
+          return Status::Internal("unbound UPDATE target column '" + a.column +
+                                  "'");
+        }
+        // Assignments all read the OLD row (SQL semantics: SET a = b,
+        // b = a swaps), so the source is `row`, never `updated`.
+        AQV_ASSIGN_OR_RETURN(Value v, EvalSetExpr(a.expr, row, layout));
+        updated[static_cast<size_t>(it->second)] = std::move(v);
+      }
+      inserted.push_back(std::move(updated));
+    }
+  }
+  if (matched != nullptr) *matched = deleted.size();
+  if (!deleted.empty()) {
+    if (mutation.kind == Mutation::Kind::kUpdate) {
+      out.inserts[mutation.table] = std::move(inserted);
+    }
+    out.deletes[mutation.table] = std::move(deleted);
+  }
+  return out;
+}
+
 Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
     const Delta& delta, QueryStats* stats) {
+  return ApplyWrite(delta, nullptr, stats);
+}
+
+Result<QueryService::WriteApplied> QueryService::ApplyWrite(
+    const Delta& delta, const Mutation* mutation, QueryStats* stats) {
   WriteApplied applied;
-  if (delta.empty()) return applied;
+  if (mutation == nullptr && delta.empty()) return applied;
   TraceSpan span("write_apply");
   // Backpressure gate BEFORE any latch: a writer stalled here holds
   // nothing, so the auto-checkpointer's exclusive ddl acquisition (which
@@ -1942,11 +2299,14 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
   AQV_RETURN_NOT_OK(WaitOutBackpressure());
   LatchManager::Guard guard = latches_.StatementShared();
 
-  // Validate targets and collect the written table names.
+  // Validate targets and collect the written table names. The error verb
+  // matches the side of the delta that hit the view: "cannot INSERT into
+  // view" on the delete side would point the user at the wrong statement.
   std::vector<std::string> written;
-  auto add_target = [&](const std::string& name) -> Status {
+  auto add_target = [&](const std::string& name, const char* verb) -> Status {
     if (views_.Has(name)) {
-      return Status::InvalidArgument("cannot INSERT into view '" + name +
+      return Status::InvalidArgument(std::string("cannot ") + verb +
+                                     " view '" + name +
                                      "'; write its base tables");
     }
     if (!db_.Has(name)) {
@@ -1958,26 +2318,20 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
     return Status::OK();
   };
   for (const auto& [name, rows] : delta.inserts) {
-    AQV_RETURN_NOT_OK(add_target(name));
-    applied.rows += rows.size();
+    AQV_RETURN_NOT_OK(add_target(name, "INSERT into"));
   }
   for (const auto& [name, rows] : delta.deletes) {
-    AQV_RETURN_NOT_OK(add_target(name));
+    AQV_RETURN_NOT_OK(add_target(name, "DELETE from"));
+  }
+  if (mutation != nullptr) {
+    AQV_RETURN_NOT_OK(add_target(
+        mutation->table,
+        mutation->kind == Mutation::Kind::kUpdate ? "UPDATE" : "DELETE from"));
   }
   applied.tables = written.size();
   // Writing into a quarantined table would mingle new rows with salvaged
   // (possibly empty) contents; refuse until a LOAD replaces it wholesale.
   AQV_RETURN_NOT_OK(CheckTableQuarantine(written));
-  // Oversized rows are refused HERE, when they arrive, not deferred to the
-  // next CHECKPOINT: rows above the overflow-chain cap can never be made
-  // durable, so accepting them would poison the checkpoint later.
-  if (storage_ != nullptr) {
-    for (const auto& [name, rows] : delta.inserts) {
-      for (const Row& row : rows) {
-        AQV_RETURN_NOT_OK(StorageEngine::CheckRowSize(row));
-      }
-    }
-  }
 
   AQV_ASSIGN_OR_RETURN(std::vector<DependentView> dependents,
                        DependentViewsOf(written));
@@ -2000,11 +2354,47 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
     span.AddAttr("dependents", static_cast<uint64_t>(dependents.size()));
   }
 
+  // Materialize a DML mutation now, under the acquired write latches: the
+  // WHERE predicate runs against the exact table version the delta will be
+  // applied to, so the matched multiset cannot race a concurrent writer.
+  Delta mutated;
+  if (mutation != nullptr) {
+    size_t matched = 0;
+    AQV_ASSIGN_OR_RETURN(mutated,
+                         MaterializeMutation(*mutation, db_, &matched));
+  }
+  const Delta& effective = mutation != nullptr ? mutated : delta;
+  for (const auto& [name, rows] : effective.inserts) {
+    applied.rows_inserted += rows.size();
+  }
+  for (const auto& [name, rows] : effective.deletes) {
+    applied.rows_deleted += rows.size();
+  }
+  applied.rows = applied.rows_inserted + applied.rows_deleted;
+
+  // A delete the base (plus this batch's inserts) cannot cover is rejected
+  // before anything is staged, logged or published.
+  AQV_RETURN_NOT_OK(ValidateDeleteContainment(effective, db_));
+  // Oversized rows are refused HERE, when they arrive, not deferred to the
+  // next CHECKPOINT: rows above the overflow-chain cap can never be made
+  // durable, so accepting them would poison the checkpoint later. Checked
+  // on the effective delta so UPDATE-transformed rows are covered too.
+  if (storage_ != nullptr) {
+    for (const auto& [name, rows] : effective.inserts) {
+      for (const Row& row : rows) {
+        AQV_RETURN_NOT_OK(StorageEngine::CheckRowSize(row));
+      }
+    }
+  }
+  // A mutation that matched nothing changes nothing: skip the COW copy, the
+  // maintenance sweep, the WAL record and the epoch bump entirely.
+  if (effective.empty()) return applied;
+
   // One COW copy per written table, however many rows the batch carries; a
   // fault injected here must leave the published state untouched.
   AQV_FAILPOINT("table.cow_copy");
   Database staging = db_.Snapshot();
-  AQV_RETURN_NOT_OK(ApplyDeltaToBase(delta, &staging));
+  AQV_RETURN_NOT_OK(ApplyDeltaToBase(effective, &staging));
 
   // Bring every dependent view up to date in the staging state: fold the
   // delta in where the maintainer supports the view's shape, recompute from
@@ -2030,7 +2420,7 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
           IncrementalMaintainer::Create(*def, options_.eval);
       if (maintainer.ok()) {
         AQV_ASSIGN_OR_RETURN(const Table* current, db_.Get(d.name));
-        Result<Table> fresh = maintainer->ApplyToCopy(delta, db_, *current);
+        Result<Table> fresh = maintainer->ApplyToCopy(effective, db_, *current);
         if (fresh.ok()) {
           staging.Put(d.name, *std::move(fresh));
           maintained = true;
@@ -2062,7 +2452,7 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
   // the ack), recovery replays it atomically; the client simply never
   // learned its fate, which is the usual commit-ack contract.
   if (storage_ != nullptr) {
-    AQV_RETURN_NOT_OK(storage_->LogCommit(delta, stats));
+    AQV_RETURN_NOT_OK(storage_->LogCommit(effective, stats));
   }
 
   // Publish base tables and views as ONE version swap at a single epoch:
@@ -2079,7 +2469,8 @@ Result<QueryService::WriteApplied> QueryService::ApplyWriteDelta(
   // A recomputed view's contents are as fresh as a REFRESH would make them,
   // so it gets the same clean quarantine slate.
   for (const std::string& name : recomputed) ClearViewFailures(name);
-  rows_inserted_.Increment(applied.rows);
+  rows_inserted_.Increment(applied.rows_inserted);
+  rows_deleted_.Increment(applied.rows_deleted);
   views_maintained_.Increment(applied.views_maintained);
   views_recomputed_.Increment(applied.views_recomputed);
   return applied;
@@ -2304,6 +2695,13 @@ Result<StatementResult> QueryService::HandleLoad(const std::string& stmt) {
     return Status::InvalidArgument("usage: LOAD R FROM 'file.csv'");
   }
   std::string name = tokens[1].text;
+  // A LOAD over a view name would otherwise fall through to the new-table
+  // DDL path (views live in the registry, not the catalog) and shadow the
+  // view; refuse with the verb that matches the statement.
+  if (views_.Has(name)) {
+    return Status::InvalidArgument("cannot LOAD into view '" + name +
+                                   "'; write its base tables");
+  }
   AQV_ASSIGN_OR_RETURN(Table loaded, ReadCsvFile(tokens[3].text));
   size_t loaded_rows = loaded.num_rows();
   // Row-size gate at arrival time (durable services only): a row beyond the

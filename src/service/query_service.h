@@ -23,6 +23,7 @@
 #include "exec/table.h"
 #include "ir/views.h"
 #include "maintain/incremental.h"
+#include "parser/parser.h"
 #include "rewrite/rewriter.h"
 #include "service/latch_manager.h"
 #include "service/plan_cache.h"
@@ -191,9 +192,15 @@ struct ServiceStats {
   uint64_t snapshot_reads = 0;     // SELECTs served from a pinned snapshot
   uint64_t admission_rejects = 0;  // statements rejected SERVER_BUSY
   uint64_t degraded_fallbacks = 0; // retries on the unrewritten plan
-  uint64_t rows_inserted = 0;      // rows applied by INSERT/COMMIT batches
+  uint64_t rows_inserted = 0;      // rows applied by INSERT/UPDATE/COMMIT
+  uint64_t rows_deleted = 0;       // rows removed by DELETE/UPDATE/COMMIT
   uint64_t views_maintained = 0;   // write-path incremental maintenances
   uint64_t views_recomputed = 0;   // write-path full recomputes (fallback)
+  /// Per-table MVCC accounting at snapshot time: live versions, bytes pinned
+  /// by retired-but-referenced versions, oldest pinned epoch (see
+  /// Database::MvccStats).
+  std::vector<Database::TableMvcc> mvcc;
+  uint64_t mvcc_oldest_pinned_epoch = 0;  // min across tables, 0 = none pinned
   /// Failed statements by status-code token ("invalid_argument",
   /// "deadline_exceeded", ...), sorted by token.
   std::vector<std::pair<std::string, uint64_t>> errors_by_code;
@@ -408,6 +415,16 @@ class QueryService {
   // Row-write statements: ddl shared + written stripes (and those of every
   // dependent materialized view) exclusive.
   Result<StatementResult> HandleInsert(const std::string& stmt);
+  /// DELETE FROM t [WHERE ...]: the predicate is evaluated against the
+  /// current epoch *inside* the write latches (so the matched multiset is
+  /// exactly what the delta removes), then the delete delta rides the same
+  /// transactional path as INSERT. Inside BEGIN WRITE the rows matching the
+  /// committed state are buffered into the batch instead.
+  Result<StatementResult> HandleDelete(const std::string& stmt);
+  /// UPDATE t SET col = expr, ... [WHERE ...]: materialized as a
+  /// delete+insert delta (old rows out, transformed rows in), published at
+  /// one epoch like every other write.
+  Result<StatementResult> HandleUpdate(const std::string& stmt);
   Result<StatementResult> HandleRefresh(const std::string& name);
 
   /// CHECKPOINT: flushes a full shadow-paged checkpoint and truncates the
@@ -467,12 +484,28 @@ class QueryService {
   /// The plan cache as storage images (LRU first; see PlanCache::Snapshot).
   std::vector<PlanImage> CollectPlanImages() const;
 
-  /// What one ApplyWriteDelta call changed, for acks and metrics.
+  /// What one ApplyWriteDelta call changed, for acks and metrics. Inserted
+  /// and deleted rows are counted separately (an UPDATE of n rows is n
+  /// deletes plus n inserts); `rows` keeps the combined total for callers
+  /// that only want magnitude.
   struct WriteApplied {
-    size_t rows = 0;              // rows inserted across all tables
+    size_t rows = 0;              // rows_inserted + rows_deleted
+    size_t rows_inserted = 0;     // rows added across all tables
+    size_t rows_deleted = 0;      // rows removed across all tables
     size_t tables = 0;            // base tables written
     size_t views_maintained = 0;  // dependents folded incrementally
     size_t views_recomputed = 0;  // dependents fully recomputed (fallback)
+  };
+
+  /// A DML mutation whose delta must be materialized *inside* the write
+  /// latches: the WHERE predicate is evaluated against the then-current
+  /// table version, so the matched multiset cannot race a concurrent write.
+  struct Mutation {
+    enum class Kind { kDelete, kUpdate };
+    Kind kind = Kind::kDelete;
+    std::string table;
+    std::vector<Predicate> where;    // empty = all rows
+    std::vector<Assignment> sets;    // kUpdate only
   };
 
   /// The transactional write path shared by single-statement INSERT and
@@ -486,6 +519,27 @@ class QueryService {
   /// before the swap leaves the published state untouched.
   Result<WriteApplied> ApplyWriteDelta(const Delta& delta,
                                        QueryStats* stats = nullptr);
+
+  /// ApplyWriteDelta's general form: when `mutation` is non-null, its WHERE
+  /// is evaluated under the acquired write latches to materialize the
+  /// delete (+ insert, for UPDATE) delta, which then flows through the same
+  /// validate/maintain/log/publish sequence as `delta`. Exactly one of
+  /// `delta`-with-rows or `mutation` is the payload.
+  Result<WriteApplied> ApplyWrite(const Delta& delta, const Mutation* mutation,
+                                  QueryStats* stats);
+
+  /// Evaluates `mutation` against the table version in `db` (no latches
+  /// taken — the caller either holds them or reads committed state for
+  /// batch buffering). Returns the delete/insert delta plus the matched-row
+  /// count via `matched`.
+  Result<Delta> MaterializeMutation(const Mutation& mutation,
+                                    const Database& db, size_t* matched) const;
+
+  /// Post-parse tail shared by HandleDelete/HandleUpdate: either buffers
+  /// the mutation's delta into the thread's open BEGIN WRITE batch
+  /// (evaluated against committed state, like SELECT inside a batch) or
+  /// runs it through ApplyWrite, with phase accounting into `qs`.
+  Result<StatementResult> ExecuteMutation(Mutation mutation, QueryStats* qs);
 
   /// A materialized view whose stored contents must follow writes to any
   /// table in `closure`.
@@ -662,6 +716,7 @@ class QueryService {
   Counter& admission_rejects_;
   Counter& degraded_fallbacks_;
   Counter& rows_inserted_;
+  Counter& rows_deleted_;
   Counter& views_maintained_;
   Counter& views_recomputed_;
   Gauge& cache_size_gauge_;

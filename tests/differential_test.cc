@@ -16,6 +16,7 @@
 // Every assertion failure prints a self-contained repro: the seed (replay
 // with AQV_TEST_SEED=<n>) plus the exact SQL of the query and view.
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -243,9 +244,10 @@ TEST_P(DifferentialTest, ChaosInjectionYieldsCorrectRowsOrCleanErrors) {
   EXPECT_GT(failed + degraded, 0);
 }
 
-// (d) Writes without REFRESH (PR 5): random INSERTs — single-row statements,
-// multi-row statements, and BEGIN WRITE..COMMIT batches — flow through the
-// maintained write path. After every write, each SELECT through the service
+// (d) Writes without REFRESH (PR 5, DML arms PR 10): random INSERTs —
+// single-row statements, multi-row statements, and BEGIN WRITE..COMMIT
+// batches — plus seeded DELETEs, UPDATEs, and mixed insert+delete batches
+// flow through the maintained write path. After every write, each SELECT through the service
 // (which may be rewritten onto a materialized view) must match direct
 // evaluation of the original query over a mirror database that applies the
 // same rows by hand. No REFRESH is ever issued: freshness comes entirely
@@ -278,7 +280,10 @@ TEST_P(DifferentialTest, WritesStayFreshWithoutRefresh) {
   const struct {
     const char* table;
     int arity;
-  } kTables[] = {{"R1", 4}, {"R2", 2}, {"R3", 2}};
+    const char* col0;  // WHERE column for DML rounds
+    const char* col1;  // SET target for UPDATE rounds
+  } kTables[] = {{"R1", 4, "A", "B"}, {"R2", 2, "E", "F"},
+                 {"R3", 2, "G", "H"}};
   std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 17);
   auto random_tuple = [&](int arity) {
     std::vector<int64_t> tuple;
@@ -319,15 +324,97 @@ TEST_P(DifferentialTest, WritesStayFreshWithoutRefresh) {
     mirror_insert(table, tuples);
   };
 
-  for (int round = 0; round < 6; ++round) {
+  // Rows matching `col == v` are removed from the mirror by hand; same
+  // multiset semantics as the service's DELETE (every occurrence goes).
+  auto mirror_delete = [&](const char* table, const char* col, int64_t v) {
+    Table copy = *mirror.GetShared(table);
+    int c = copy.ColumnIndex(col);
+    ASSERT_GE(c, 0);
+    std::vector<Row>* rows = copy.mutable_rows();
+    rows->erase(std::remove_if(rows->begin(), rows->end(),
+                               [&](const Row& row) {
+                                 return row[c] == Value::Int64(v);
+                               }),
+                rows->end());
+    mirror.Put(table, std::move(copy));
+  };
+  // `SET set_col = set_col + 1 WHERE where_col = v` applied by hand.
+  auto mirror_update = [&](const char* table, const char* where_col,
+                           int64_t v, const char* set_col) {
+    Table copy = *mirror.GetShared(table);
+    int wc = copy.ColumnIndex(where_col);
+    int sc = copy.ColumnIndex(set_col);
+    ASSERT_GE(wc, 0);
+    ASSERT_GE(sc, 0);
+    for (Row& row : *copy.mutable_rows()) {
+      if (row[wc] == Value::Int64(v)) {
+        row[sc] = Value::Int64(row[sc].int64() + 1);
+      }
+    }
+    mirror.Put(table, std::move(copy));
+  };
+
+  // Rounds 0..5 insert (single-row, multi-row, batch); rounds 6..11 mix in
+  // DELETE, UPDATE, and a batch that inserts into one table and deletes
+  // from another — all with the mirror maintained by hand.
+  for (int round = 0; round < 12; ++round) {
     const auto& target = kTables[rng() % 3];
-    switch (round % 3) {
+    int shape = round < 6 ? round % 3 : 3 + round % 3;
+    switch (shape) {
       case 0:
         write(target.table, target.arity, 1);
         break;
       case 1:
         write(target.table, target.arity, 3);
         break;
+      case 3: {
+        // DELETE through the maintained write path. Values live in {0,1,2},
+        // so the predicate usually matches several rows.
+        int64_t v = static_cast<int64_t>(rng() % 3);
+        std::string sql = "DELETE FROM " + std::string(target.table) +
+                          " WHERE " + target.col0 + " = " + std::to_string(v);
+        SCOPED_TRACE("write: " + sql);
+        ASSERT_OK(service.Execute(sql).status());
+        mirror_delete(target.table, target.col0, v);
+        break;
+      }
+      case 4: {
+        // UPDATE = delete+insert delta through the same path.
+        int64_t v = static_cast<int64_t>(rng() % 3);
+        std::string sql = "UPDATE " + std::string(target.table) + " SET " +
+                          target.col1 + " = " + target.col1 + " + 1 WHERE " +
+                          target.col0 + " = " + std::to_string(v);
+        SCOPED_TRACE("write: " + sql);
+        ASSERT_OK(service.Execute(sql).status());
+        mirror_update(target.table, target.col0, v, target.col1);
+        break;
+      }
+      case 5: {
+        // Mixed batch: an INSERT and a DELETE (possibly on different
+        // tables) commit as ONE delta. The batched DELETE evaluates
+        // against committed state, which is exactly what the mirror holds.
+        const auto& victim = kTables[rng() % 3];
+        std::vector<std::vector<int64_t>> new_rows = {
+            random_tuple(target.arity)};
+        int64_t v = static_cast<int64_t>(rng() % 3);
+        ASSERT_OK(service.Execute("BEGIN WRITE").status());
+        ASSERT_OK(service
+                      .Execute("INSERT INTO " + std::string(target.table) +
+                               " VALUES " + tuple_sql(new_rows[0]))
+                      .status());
+        ASSERT_OK(service
+                      .Execute("DELETE FROM " + std::string(victim.table) +
+                               " WHERE " + victim.col0 + " = " +
+                               std::to_string(v))
+                      .status());
+        ASSERT_OK(service.Execute("COMMIT").status());
+        // Mirror the delete from pre-batch state first, then the insert:
+        // same multiset outcome as the service's inserts-then-deletes order
+        // because the staged deletes matched committed rows only.
+        mirror_delete(victim.table, victim.col0, v);
+        mirror_insert(target.table, new_rows);
+        break;
+      }
       case 2: {
         // A multi-statement batch, possibly spanning two tables; the mirror
         // applies the rows only once COMMIT succeeds.

@@ -339,6 +339,94 @@ TEST(RecoveryTest, KillAtWalTruncateAfterCheckpoint) {
   EXPECT_EQ(service->Stats().storage_wal_replayed, 0u);
 }
 
+// DELETE/UPDATE through the kill matrix (PR 10): delete-carrying WAL
+// deltas must commit atomically. After a crash at any write-path failpoint
+// the table holds exactly the pre-statement or the post-statement
+// multiset — never a mix — and the recovered view matches a recompute.
+// Failpoints before the WAL record is durable can only leave the
+// pre-statement state; a kill between append and fsync may land either.
+TEST(RecoveryTest, KillAtFailpointsDuringDeleteMaintenance) {
+  const struct {
+    const char* failpoint;
+    bool can_survive;  // fires after the WAL record hit the file?
+  } kKills[] = {
+      {"table.cow_copy", false},
+      {"maintain.apply", false},
+      {"wal.append", false},
+      {"wal.fsync", true},
+  };
+  auto sorted_rows = [](QueryService* s, const char* t) {
+    ServiceSnapshotPtr snap = s->PinSnapshot();
+    Result<const Table*> r = snap->db.Get(t);
+    EXPECT_OK(r.status());
+    return SortedRows(**r);
+  };
+  int variant = 0;
+  for (const auto& kill : kKills) {
+    SCOPED_TRACE(kill.failpoint);
+    std::string path =
+        FreshPath("kill_dml_" + std::to_string(variant++) + ".db");
+    Oracle oracle;
+    auto service = MakeService(path);
+    ASSERT_NO_FATAL_FAILURE(Bootstrap(service.get(), &oracle));
+
+    // -------- DELETE under the failpoint, then crash. --------
+    std::vector<Row> before = sorted_rows(service.get(), "R");
+    std::vector<Row> after_delete =
+        Sorted({{Value::Int64(2), Value::Int64(20)}});
+    {
+      FailpointScope fp(kill.failpoint, "error");
+      ASSERT_TRUE(fp.armed());
+      EXPECT_FALSE(service->Execute("DELETE FROM R WHERE A = 1").ok());
+    }
+    service.reset();  // the crash
+    service = MakeService(path);
+    ASSERT_TRUE(service->storage_attached())
+        << service->storage_status().ToString();
+    std::vector<Row> got = sorted_rows(service.get(), "R");
+    if (kill.can_survive) {
+      EXPECT_TRUE(got == before || got == after_delete)
+          << "recovered R is neither pre- nor post-DELETE ("
+          << got.size() << " rows)";
+    } else {
+      EXPECT_EQ(got, before) << "an unlogged DELETE replayed";
+    }
+    ASSERT_NO_FATAL_FAILURE(CheckViewConsistent(service.get(), "VSum"));
+    if (sorted_rows(service.get(), "R") == before) {
+      ASSERT_OK(service->Execute("DELETE FROM R WHERE A = 1").status());
+    }
+    EXPECT_EQ(sorted_rows(service.get(), "R"), after_delete);
+
+    // -------- UPDATE under the failpoint, on the recovered state. --------
+    std::vector<Row> after_update =
+        Sorted({{Value::Int64(2), Value::Int64(25)}});
+    {
+      FailpointScope fp(kill.failpoint, "error");
+      ASSERT_TRUE(fp.armed());
+      EXPECT_FALSE(
+          service->Execute("UPDATE R SET B = B + 5 WHERE A = 2").ok());
+    }
+    service.reset();
+    service = MakeService(path);
+    ASSERT_TRUE(service->storage_attached())
+        << service->storage_status().ToString();
+    got = sorted_rows(service.get(), "R");
+    if (kill.can_survive) {
+      EXPECT_TRUE(got == after_delete || got == after_update)
+          << "recovered R is neither pre- nor post-UPDATE ("
+          << got.size() << " rows)";
+    } else {
+      EXPECT_EQ(got, after_delete) << "an unlogged UPDATE replayed";
+    }
+    ASSERT_NO_FATAL_FAILURE(CheckViewConsistent(service.get(), "VSum"));
+    if (sorted_rows(service.get(), "R") == after_delete) {
+      ASSERT_OK(
+          service->Execute("UPDATE R SET B = B + 5 WHERE A = 2").status());
+    }
+    EXPECT_EQ(sorted_rows(service.get(), "R"), after_update);
+  }
+}
+
 // A fault during replay fails recovery — but recovery never writes, so
 // disarming the fault and reopening succeeds on the same files.
 TEST(RecoveryTest, RecoveryReplayFaultIsRetryable) {

@@ -494,6 +494,125 @@ TEST_P(ServiceWriteStressTest, MaintainedViewStaysCoupledToItsBaseTable) {
 INSTANTIATE_TEST_SUITE_P(Engines, ServiceWriteStressTest, ::testing::Bool(),
                          EngineName);
 
+// The same coupling + freshness oracle under a full DML mix (PR 10):
+// writer threads interleave INSERTs with DELETEs of their own earlier rows
+// and UPDATEs that move a row between groups, all on one shared table.
+// Each writer keys its rows by a private B value, so every DELETE/UPDATE
+// matches exactly one live row regardless of interleaving, and the final
+// row count is deterministic. Readers verify inside every snapshot that
+// the stored view equals a recompute from that snapshot's base table.
+TEST_P(ServiceWriteStressTest, ConcurrentDmlKeepsViewCoupledToItsBaseTable) {
+  constexpr int kDmlWriters = 3;
+  constexpr int kDmlReaders = 2;
+  constexpr int kRowsPerWriter = 45;
+
+  ServiceOptions write_options;
+  write_options.vectorized = GetParam();
+  auto service = std::make_unique<QueryService>(write_options);
+  ASSERT_OK(service->Execute("CREATE TABLE T(A, B)").status());
+  ASSERT_OK(service
+                ->Execute("CREATE MATERIALIZED VIEW TV AS SELECT A_1, "
+                          "SUM(B_1) AS S, COUNT(B_1) AS N FROM T GROUPBY A_1")
+                .status());
+  ASSERT_OK_AND_ASSIGN(
+      Query aggregate,
+      ParseQuery("SELECT A1, SUM(B1) AS S, COUNT(B1) AS N FROM T(A1, B1) "
+                 "GROUPBY A1"));
+
+  std::atomic<int> writers_running{kDmlWriters};
+  std::atomic<int> failures{0};
+  std::vector<std::string> errors(kDmlWriters + kDmlReaders);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kDmlWriters + kDmlReaders);
+  for (int w = 0; w < kDmlWriters; ++w) {
+    threads.emplace_back([&, w] {
+      auto run = [&](const std::string& stmt) {
+        Result<StatementResult> r = service->Execute(stmt);
+        if (!r.ok()) {
+          errors[w] += "dml failed: " + stmt + ": " + r.status().ToString() +
+                       "\n";
+          failures.fetch_add(1);
+        }
+      };
+      for (int i = 0; i < kRowsPerWriter; ++i) {
+        std::string b = std::to_string(w * 100000 + i);
+        run("INSERT INTO T VALUES (" + std::to_string(i % 4) + ", " + b +
+            ")");
+        if (i % 3 == 2) {
+          // Remove the row inserted on the previous iteration — a write
+          // only this thread can race with.
+          run("DELETE FROM T WHERE B = " +
+              std::to_string(w * 100000 + i - 1));
+        }
+        if (i % 5 == 4) {
+          // Move the just-inserted row to another group: a delete+insert
+          // delta through the same maintained path.
+          run("UPDATE T SET A = A + 1 WHERE B = " + b);
+        }
+      }
+      writers_running.fetch_sub(1);
+    });
+  }
+  for (int rdr = 0; rdr < kDmlReaders; ++rdr) {
+    threads.emplace_back([&, rdr] {
+      auto fail = [&](const std::string& msg) {
+        errors[kDmlWriters + rdr] += msg + "\n";
+        failures.fetch_add(1);
+      };
+      bool final_round = false;
+      while (!final_round) {
+        final_round = writers_running.load() == 0;
+        ServiceSnapshotPtr snap = service->PinSnapshot();
+        if (snap->db.VersionOf("T") > snap->db.VersionOf("TV")) {
+          fail("snapshot holds T newer than its dependent view TV");
+        }
+        TablePtr stored = snap->db.GetShared("TV");
+        if (stored == nullptr) {
+          fail("snapshot lost the stored view TV");
+          break;
+        }
+        Evaluator eval(&snap->db);
+        Result<Table> want = eval.Execute(aggregate);
+        if (!want.ok()) {
+          fail("snapshot recompute failed: " + want.status().ToString());
+          break;
+        }
+        if (!MultisetEqual(*stored, *want)) {
+          fail("stored view diverged from its snapshot's base table:\n" +
+               DescribeMultisetDifference(*stored, *want));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0) << [&] {
+    std::string all;
+    for (const std::string& e : errors) all += e;
+    return all;
+  }();
+
+  // Deterministic net cardinality: every writer inserted kRowsPerWriter
+  // rows and deleted one per i%3==2 iteration.
+  ServiceSnapshotPtr fin = service->PinSnapshot();
+  Evaluator eval(&fin->db);
+  ASSERT_OK_AND_ASSIGN(Table want, eval.Execute(aggregate));
+  TablePtr stored = fin->db.GetShared("TV");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_TRUE(MultisetEqual(*stored, want))
+      << DescribeMultisetDifference(*stored, want);
+  size_t total = 0;
+  for (const Row& row : want.rows()) {
+    total += static_cast<size_t>(row[2].int64());
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kDmlWriters *
+                                       (kRowsPerWriter - kRowsPerWriter / 3)));
+  ServiceStats stats = service->Stats();
+  EXPECT_GE(stats.rows_deleted,
+            static_cast<uint64_t>(kDmlWriters * (kRowsPerWriter / 3)));
+  EXPECT_GE(stats.views_maintained, 1u);
+}
+
 // Deterministic rules of the BEGIN SNAPSHOT / COMMIT statement dialect.
 TEST(ServiceSnapshotDialectTest, BeginCommitStatementRules) {
   QueryService service;

@@ -636,7 +636,8 @@ TEST(ServiceWritePathTest, BeginWriteBuffersAndCommitsAtomically) {
   EXPECT_FALSE(service->Execute("BEGIN SNAPSHOT").ok());
 
   ASSERT_OK_AND_ASSIGN(StatementResult committed, service->Execute("COMMIT"));
-  EXPECT_NE(committed.message.find("3 row(s) committed"), std::string::npos);
+  EXPECT_NE(committed.message.find("3 row(s) inserted / 0 deleted"),
+            std::string::npos);
   ASSERT_OK_AND_ASSIGN(
       Table after, service->Select("SELECT Shop_1, SUM(Amount_1) AS T "
                                    "FROM Sales GROUPBY Shop_1"));
